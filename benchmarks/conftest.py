@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper at the profile
+selected by ``REPRO_SCALE`` (tiny / small / paper — default small), writes
+the rendered artefact to ``results/``, and echoes it so ``pytest
+benchmarks/ --benchmark-only -s`` shows the reproduced numbers inline.
+
+Simulation runs are memoised inside :mod:`repro.experiments.runner`, so the
+shared default configuration is simulated once across all benchmark files
+in a session.
+"""
+
+import pytest
+
+from repro.experiments import PredictionExperimentConfig, profile_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The simulation-experiment configuration for this bench session."""
+    return profile_config()
+
+
+@pytest.fixture(scope="session")
+def prediction_config():
+    """The prediction-experiment configuration (paper-density counts)."""
+    return PredictionExperimentConfig()
+
+
+def full_shape_checks(config) -> bool:
+    """Whether paper-shape assertions apply.
+
+    The tiny profile simulates only the overnight hours — a degenerate
+    regime kept for smoke-testing the harness, where orderings between
+    policies are not meaningful.  Shape assertions run for full-day
+    horizons (small / paper profiles).
+    """
+    return config.horizon_s >= 86_400.0
+
+
+def emit(name: str, content: str) -> None:
+    """Persist and echo one rendered artefact."""
+    from repro.experiments.reporting import save_result
+
+    path = save_result(name, content)
+    print(f"\n[{name}] -> {path}\n{content}\n")
+
+
+def emit_svg(artifact_name: str, config=None, prediction_config=None) -> None:
+    """Render one figure artefact's SVG charts into ``results/``.
+
+    Runs after the textual ``emit`` inside the same process, so the
+    simulation sweeps behind the charts come from the runner's memoised
+    cache rather than being recomputed.
+    """
+    from repro.experiments.artifacts import build_artifact_svg
+    from repro.experiments.reporting import results_dir
+
+    charts = build_artifact_svg(
+        artifact_name, sim_config=config, prediction_config=prediction_config
+    )
+    for stem, svg in charts.items():
+        path = results_dir() / f"{stem}.svg"
+        path.write_text(svg)
+        print(f"[{artifact_name}] -> {path}")

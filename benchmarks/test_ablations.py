@@ -1,0 +1,229 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these quantify our own adaptation and
+engineering decisions:
+
+- pickup-deadhead term in the idle ratio (on vs paper-exact Eq. 17),
+- candidate-pair cap per rider,
+- reneging parameter beta,
+- demand-prediction noise sensitivity (how fast revenue decays as the
+  "-P" signal degrades toward noise).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.dispatch import QueueingPolicy
+from repro.experiments.runner import _build_riders_and_drivers, run_policy
+from repro.sim.demand import NoisyOracleDemand, OracleDemand
+from repro.sim.engine import SimConfig, Simulation
+from repro.utils.textplot import render_table
+
+
+def _simulate(config, policy, demand=None):
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    sim = Simulation(
+        riders, drivers, grid, cost_model, policy,
+        SimConfig(
+            batch_interval_s=config.batch_interval_s,
+            tc_seconds=config.tc_seconds,
+            horizon_s=config.horizon_s,
+            pickup_speed_mps=config.speed_mps,
+        ),
+        demand=demand,
+    )
+    return sim.run()
+
+
+def test_ablation_pickup_term_in_idle_ratio(benchmark, config):
+    """Eq. 17 exact vs our deadhead-aware variant.
+
+    With cross-region candidate pairs the deadhead-aware ratio should not
+    lose revenue; the paper-exact form is blind to pickup cost.
+    """
+
+    def run():
+        out = {}
+        for label, include in (("IR with deadhead", True), ("IR paper-exact", False)):
+            policy = QueueingPolicy("irg", beta=config.beta, include_pickup=include)
+            result = _simulate(config, policy)
+            out[label] = (result.total_revenue, result.served_orders)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v[0]), v[1]] for k, v in out.items()]
+    emit("ablation_pickup_term", render_table(["variant", "revenue", "served"], rows,
+                                              title="Ablation: pickup term in IR"))
+    assert out["IR with deadhead"][0] >= out["IR paper-exact"][0] * 0.98
+
+
+def test_ablation_candidate_cap(benchmark, config):
+    """Capping candidate drivers per rider trades revenue for batch speed."""
+
+    def run():
+        out = {}
+        for cap in (None, 8, 2):
+            policy = QueueingPolicy("irg", beta=config.beta, max_drivers_per_rider=cap)
+            result = _simulate(config, policy)
+            out[str(cap)] = (
+                result.total_revenue,
+                result.metrics.mean_batch_seconds * 1000,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v[0]), round(v[1], 3)] for k, v in out.items()]
+    emit("ablation_candidate_cap",
+         render_table(["cap", "revenue", "batch ms"], rows,
+                      title="Ablation: candidate pairs per rider"))
+    # A tight cap cannot increase revenue beyond the uncapped run by much.
+    assert out["2"][0] <= out["None"][0] * 1.02
+
+
+def test_ablation_beta(benchmark, config):
+    """Reneging-rate aggressiveness beta: flat vs steep reneging."""
+
+    def run():
+        out = {}
+        for beta in (0.0, 0.01, 0.2):
+            policy = QueueingPolicy("irg", beta=beta)
+            result = _simulate(config, policy)
+            out[str(beta)] = result.total_revenue
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v)] for k, v in out.items()]
+    emit("ablation_beta", render_table(["beta", "revenue"], rows,
+                                       title="Ablation: reneging parameter beta"))
+    values = list(out.values())
+    # beta perturbs ET magnitudes but must not collapse the policy.
+    assert min(values) > 0.9 * max(values)
+
+
+def test_ablation_prediction_noise(benchmark, config):
+    """Revenue as the demand signal degrades (log-normal noise on the
+    oracle) — the Table 4 axis, continuously."""
+
+    def run():
+        riders, _, grid, _ = _build_riders_and_drivers(config)
+        out = {}
+        for sigma in (0.0, 0.5, 1.5):
+            demand = NoisyOracleDemand(
+                OracleDemand(riders, grid.num_regions),
+                sigma=sigma,
+                rng=np.random.default_rng(0),
+            )
+            policy = QueueingPolicy("irg", beta=config.beta)
+            result = _simulate(config, policy, demand=demand)
+            out[str(sigma)] = result.total_revenue
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v)] for k, v in out.items()]
+    emit("ablation_prediction_noise",
+         render_table(["noise sigma", "revenue"], rows,
+                      title="Ablation: demand-signal noise"))
+    assert out["0.0"] >= out["1.5"] * 0.97  # exact signal should not lose
+
+
+def test_ablation_driver_shifts(benchmark, config):
+    """Same driver-hours, different fleet shapes (extension experiment).
+
+    An all-day fleet of n drivers is compared against 3n drivers working
+    staggered 8-hour shifts anchored to the demand curve — the fleet shape
+    real platforms actually run (§2.4 driver lifetimes, Appendix B's
+    8-hour regulars).  Anchored shifts concentrate supply where demand is,
+    so they should serve at least roughly as much as the always-on fleet.
+    """
+    from repro.data.workload import shift_drivers_from_trips
+    from repro.experiments.runner import build_world
+
+    def run():
+        riders, allday, grid, cost_model = _build_riders_and_drivers(config)
+        _, _, trips, _ = build_world(config)
+        shifted = shift_drivers_from_trips(
+            trips,
+            grid,
+            3 * config.num_drivers,
+            np.random.default_rng(config.seed),
+            shift_hours=8.0,
+            horizon_s=config.horizon_s,
+        )
+        out = {}
+        for label, drivers in (("all-day n", allday), ("8h shifts 3n", shifted)):
+            sim = Simulation(
+                riders,
+                [_fresh_driver(d) for d in drivers],
+                grid,
+                cost_model,
+                QueueingPolicy("irg", beta=config.beta),
+                SimConfig(
+                    batch_interval_s=config.batch_interval_s,
+                    tc_seconds=config.tc_seconds,
+                    horizon_s=config.horizon_s,
+                    pickup_speed_mps=config.speed_mps,
+                ),
+            )
+            result = sim.run()
+            out[label] = (result.total_revenue, result.served_orders)
+            _reset_riders(riders)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v[0]), v[1]] for k, v in out.items()]
+    emit("ablation_driver_shifts",
+         render_table(["fleet shape", "revenue", "served"], rows,
+                      title="Ablation: all-day fleet vs staggered shifts"))
+    assert out["8h shifts 3n"][0] >= out["all-day n"][0] * 0.8
+
+
+def _fresh_driver(driver):
+    """Copy a driver in its pre-simulation state."""
+    from repro.sim.entities import Driver
+
+    return Driver(
+        driver_id=driver.driver_id,
+        position=driver.position,
+        region=driver.region,
+        available_since_s=driver.available_since_s,
+        join_time_s=driver.join_time_s,
+        leave_time_s=driver.leave_time_s,
+    )
+
+
+def _reset_riders(riders):
+    """Return riders to their pre-simulation state for the next variant."""
+    from repro.sim.entities import RiderStatus
+
+    for rider in riders:
+        rider.status = RiderStatus.WAITING
+        rider.assign_time_s = None
+        rider.pickup_time_s = None
+        rider.dropoff_time_s = None
+        rider.driver_id = None
+
+
+def test_ablation_rebalancing(benchmark, config):
+    """Queueing-guided repositioning on top of IRG (extension experiment).
+
+    The rebalancer spends deadhead fuel to cut future idle time; the net
+    effect depends on how spatially mismatched supply and demand are.  At
+    the default profile it must at least not hurt materially, and the
+    repositioning machinery must actually fire.
+    """
+    from repro.experiments.runner import run_policy
+
+    def run():
+        out = {}
+        for name in ("IRG-R", "IRG-R+RB"):
+            summary = run_policy(config, name)
+            out[name] = (summary.total_revenue, summary.served_orders)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v[0]), v[1]] for k, v in out.items()]
+    emit("ablation_rebalancing",
+         render_table(["policy", "revenue", "served"], rows,
+                      title="Ablation: queueing-guided rebalancing"))
+    assert out["IRG-R+RB"][0] >= out["IRG-R"][0] * 0.97

@@ -1,0 +1,33 @@
+"""Figure 10 — effect of the base pickup waiting time tau."""
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_sweep_figure
+from repro.experiments.figures import figure10_vary_waiting_time
+
+
+def test_figure10_vary_waiting_time(benchmark, config):
+    """Reproduce Figure 10: longer patience raises revenue for every
+    approach, with the queueing approaches on top."""
+
+    def run():
+        return figure10_vary_waiting_time(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "figure10_vary_waiting_time",
+        render_sweep_figure("tau", result,
+                            "Figure 10(a) reproduced: total revenue",
+                            "Figure 10(b) reproduced: batch time (ms)"),
+    )
+    emit_svg("figure10", config=config)
+
+    if not full_shape_checks(config):
+        return
+    # Revenue is monotone-ish in tau for every approach (end > start).
+    for policy, series in result.revenue.items():
+        assert series[-1] > series[0], f"{policy} should gain from patience"
+    # Queueing approaches lead at the default tau=120 point.
+    idx = result.values.index(120.0)
+    best_q = max(result.revenue["IRG-R"][idx], result.revenue["LS-R"][idx])
+    assert best_q >= result.revenue["NEAR"][idx] * 0.995

@@ -1,0 +1,25 @@
+"""Figure 11 — observed vs Poisson-expected order-count histograms."""
+
+from conftest import emit, emit_svg
+
+from repro.experiments.artifacts import render_histogram_panels
+from repro.experiments.figures import figure11_order_histograms
+
+
+def test_figure11_order_histograms(benchmark, prediction_config):
+    """Reproduce Figure 11: per-window order counts match the fitted
+    Poisson's expected bin frequencies."""
+
+    def run():
+        return figure11_order_histograms(prediction_config)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure11_order_histograms", render_histogram_panels(panels, "Figure 11 (reproduced)"))
+    emit_svg("figure11", prediction_config=prediction_config)
+
+    assert len(panels) == 4
+    for panel in panels:
+        total_obs = sum(panel["observed"])
+        total_exp = sum(panel["expected"])
+        assert total_obs == 210  # 21 working days x 10 minutes
+        assert abs(total_obs - total_exp) / total_obs < 0.05

@@ -1,0 +1,25 @@
+"""Figure 12 — observed vs Poisson-expected rejoined-driver histograms."""
+
+from conftest import emit, emit_svg
+
+from repro.experiments.artifacts import render_histogram_panels
+from repro.experiments.figures import figure12_driver_histograms
+
+
+def test_figure12_driver_histograms(benchmark, prediction_config):
+    """Reproduce Figure 12: per-window order-destination counts (rejoined
+    drivers) match the fitted Poisson's expected bin frequencies."""
+
+    def run():
+        return figure12_driver_histograms(prediction_config)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure12_driver_histograms", render_histogram_panels(panels, "Figure 12 (reproduced)"))
+    emit_svg("figure12", prediction_config=prediction_config)
+
+    assert len(panels) == 4
+    for panel in panels:
+        total_obs = sum(panel["observed"])
+        total_exp = sum(panel["expected"])
+        assert total_obs == 210
+        assert abs(total_obs - total_exp) / total_obs < 0.05

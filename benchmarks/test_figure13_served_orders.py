@@ -1,0 +1,31 @@
+"""Figure 13 — total served orders under the SHORT objective."""
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_figure13
+from repro.experiments.figures import figure13_served_orders
+
+
+def test_figure13_served_orders(benchmark, config):
+    """Reproduce Figure 13: SHORT serves the most orders across all four
+    parameter sweeps (Appendix C)."""
+
+    def run():
+        return figure13_served_orders(config)
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure13_served_orders", render_figure13(sweeps))
+    emit_svg("figure13", config=config)
+
+    if not full_shape_checks(config):
+        return
+    # SHORT (modified IRG) serves at least as many orders as RAND at every
+    # sweep point, and strictly more in aggregate.
+    for key, sweep in sweeps.items():
+        short_total = sum(sweep.served["SHORT"])
+        rand_total = sum(sweep.served["RAND"])
+        assert short_total > rand_total * 0.995, key
+    driver_sweep = sweeps["num_drivers"]
+    assert all(
+        b >= a for a, b in zip(driver_sweep.served["SHORT"], driver_sweep.served["SHORT"][1:])
+    ), "served orders grow with n"

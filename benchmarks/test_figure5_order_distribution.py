@@ -1,0 +1,25 @@
+"""Figure 5 — spatial distribution of morning orders."""
+
+import numpy as np
+
+from conftest import emit, emit_svg
+
+from repro.experiments.artifacts import render_order_distribution
+from repro.experiments.figures import figure5_order_distribution
+
+
+def test_figure5_order_distribution(benchmark, config):
+    """Reproduce Figure 5: pickup density between 8:00 and 8:45, showing
+    the hotspot structure of the synthetic NYC."""
+
+    def run():
+        return figure5_order_distribution(config)
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure5_order_distribution", render_order_distribution(counts))
+    emit_svg("figure5", config=config)
+
+    assert counts.sum() > 0
+    # Hotspot structure: the busiest cell carries far more than the median.
+    flat = np.sort(counts.reshape(-1))
+    assert flat[-1] > 3 * max(1.0, float(np.median(flat)))

@@ -1,0 +1,30 @@
+"""Figure 6 — predicted vs real idle time per region."""
+
+import numpy as np
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_idle_time_maps
+from repro.experiments.figures import figure6_idle_time_maps
+
+
+def test_figure6_idle_time_maps(benchmark, config):
+    """Reproduce Figure 6: the per-region mean predicted idle time tracks
+    the realized one."""
+
+    def run():
+        return figure6_idle_time_maps(config)
+
+    predicted, realized = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure6_idle_time_maps", render_idle_time_maps(predicted, realized))
+    emit_svg("figure6", config=config)
+
+    if not full_shape_checks(config):
+        return
+    mask = ~(np.isnan(predicted) | np.isnan(realized))
+    assert mask.sum() >= 4  # most regions produced samples
+    # The prediction map correlates positively with the realized map.
+    p, r = predicted[mask], realized[mask]
+    if p.std() > 0 and r.std() > 0:
+        corr = float(np.corrcoef(p, r)[0, 1])
+        assert corr > 0.0

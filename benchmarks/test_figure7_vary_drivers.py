@@ -1,0 +1,55 @@
+"""Figure 7 — effect of the number of drivers."""
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_sweep_figure
+from repro.experiments.figures import figure7_vary_drivers
+
+
+def test_figure7_vary_drivers(benchmark, config):
+    """Reproduce Figure 7: revenue rises with n for all approaches, the
+    queueing approaches lead the baselines, and everyone converges toward
+    UPPER as supply saturates."""
+
+    def run():
+        return figure7_vary_drivers(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "figure7_vary_drivers",
+        render_sweep_figure("n", result,
+                            "Figure 7(a) reproduced: total revenue",
+                            "Figure 7(b) reproduced: batch time (ms)"),
+    )
+    emit_svg("figure7", config=config)
+
+    if not full_shape_checks(config):
+        return
+    # Revenue increases with n for every approach.
+    for policy, series in result.revenue.items():
+        assert series[-1] > series[0], f"{policy} revenue should grow with n"
+    # The queueing approaches lead RAND / NEAR where supply is scarce —
+    # the paper's headline regime ("our proposed algorithms are more
+    # effective when the number of drivers is smaller").
+    scarce = range(len(result.values) // 2 + 1)
+    for i in scarce:
+        best_q = max(result.revenue["IRG-R"][i], result.revenue["LS-R"][i])
+        assert best_q >= result.revenue["RAND"][i] * 0.995
+        assert best_q >= result.revenue["NEAR"][i] * 0.995
+    # At abundant supply the advantage narrows (paper: everyone approaches
+    # UPPER); the queueing approaches stay within a few percent of the
+    # best baseline rather than strictly above it.
+    for i in range(len(result.values)):
+        best_q = max(result.revenue["IRG-R"][i], result.revenue["LS-R"][i])
+        best_baseline = max(
+            result.revenue[p][i] for p in ("RAND", "NEAR", "LTG", "POLAR")
+        )
+        assert best_q >= best_baseline * 0.97
+    # UPPER bounds everyone.
+    for policy in ("IRG-R", "LS-R", "NEAR", "RAND"):
+        for i in range(len(result.values)):
+            assert result.revenue["UPPER"][i] >= result.revenue[policy][i]
+    # The relative gap to UPPER narrows as n grows (paper: 78% -> 92%).
+    ls_share_lo = result.revenue["LS-R"][0] / result.revenue["UPPER"][0]
+    ls_share_hi = result.revenue["LS-R"][-1] / result.revenue["UPPER"][-1]
+    assert ls_share_hi > ls_share_lo

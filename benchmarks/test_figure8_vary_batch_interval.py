@@ -1,0 +1,33 @@
+"""Figure 8 — effect of the batch interval Delta."""
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_sweep_figure
+from repro.experiments.figures import figure8_vary_batch_interval
+
+
+def test_figure8_vary_batch_interval(benchmark, config):
+    """Reproduce Figure 8: revenue decays as Delta grows (riders time out
+    between batches), with the queueing approaches on top."""
+
+    def run():
+        return figure8_vary_batch_interval(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "figure8_vary_batch_interval",
+        render_sweep_figure("Delta", result,
+                            "Figure 8(a) reproduced: total revenue",
+                            "Figure 8(b) reproduced: batch time (ms)"),
+    )
+    emit_svg("figure8", config=config)
+
+    if not full_shape_checks(config):
+        return
+    # Large Delta hurts every approach relative to the 3-second default.
+    for policy, series in result.revenue.items():
+        assert series[-1] < series[0] * 1.01, f"{policy} should decay with Delta"
+    # Queueing approaches stay competitive at the default point.
+    assert max(result.revenue["IRG-R"][0], result.revenue["LS-R"][0]) >= (
+        result.revenue["NEAR"][0] * 0.995
+    )

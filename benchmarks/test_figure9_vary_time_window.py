@@ -1,0 +1,35 @@
+"""Figure 9 — effect of the scheduling window t_c."""
+
+from conftest import emit, emit_svg, full_shape_checks
+
+from repro.experiments.artifacts import render_sweep_figure
+from repro.experiments.figures import figure9_vary_time_window
+
+
+def test_figure9_vary_time_window(benchmark, config):
+    """Reproduce Figure 9: queueing-approach revenue peaks at moderate t_c
+    and degrades once the window far exceeds typical trip times; RAND and
+    LTG are insensitive to t_c."""
+
+    def run():
+        return figure9_vary_time_window(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "figure9_vary_time_window",
+        render_sweep_figure("tc_min", result,
+                            "Figure 9(a) reproduced: total revenue",
+                            "Figure 9(b) reproduced: batch time (ms)"),
+    )
+    emit_svg("figure9", config=config)
+
+    if not full_shape_checks(config):
+        return
+    # RAND and LTG ignore predictions entirely: t_c must not move them
+    # (identical runs modulo nothing — exactly equal, in fact).
+    for policy in ("RAND", "LTG"):
+        series = result.revenue[policy]
+        spread = (max(series) - min(series)) / max(series)
+        assert spread < 1e-9, f"{policy} should be invariant to tc"
+    # IRG's best t_c beats its largest t_c (performance decays past ~20min).
+    assert max(result.revenue["IRG-R"]) >= result.revenue["IRG-R"][-1]

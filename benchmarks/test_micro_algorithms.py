@@ -1,0 +1,99 @@
+"""Microbenchmarks of the core computational kernels.
+
+These use pytest-benchmark's statistics properly (multiple rounds): the
+per-batch algorithm cost is what Figures 7b–10b report, and these isolate
+it from the simulator.
+"""
+
+import numpy as np
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
+from repro.core.irg import idle_ratio_greedy
+from repro.core.local_search import local_search
+from repro.core.queueing import RegionQueue
+from repro.core.rates import RegionRates
+from repro.matching.hungarian import hungarian_min_cost
+
+
+def _batch_instance(num_riders=150, num_drivers=60, num_regions=16, seed=0):
+    rng = np.random.default_rng(seed)
+    riders = [
+        BatchRider(
+            i,
+            int(rng.integers(num_regions)),
+            int(rng.integers(num_regions)),
+            float(rng.uniform(100, 900)),
+            float(rng.uniform(100, 900)),
+        )
+        for i in range(num_riders)
+    ]
+    drivers = [BatchDriver(j, int(rng.integers(num_regions))) for j in range(num_drivers)]
+    pairs = [
+        CandidatePair(i, j, float(rng.uniform(0, 100)))
+        for i in range(num_riders)
+        for j in range(num_drivers)
+        if rng.random() < 0.25
+    ]
+    return riders, drivers, pairs
+
+
+def _rates(num_regions=16):
+    rng = np.random.default_rng(1)
+    return RegionRates(
+        waiting_riders=rng.integers(0, 20, num_regions).tolist(),
+        available_drivers=rng.integers(0, 10, num_regions).tolist(),
+        predicted_riders=rng.uniform(0, 30, num_regions).tolist(),
+        predicted_drivers=rng.uniform(0, 10, num_regions).tolist(),
+        tc_seconds=1200.0,
+        beta=0.01,
+    )
+
+
+def test_bench_irg_batch(benchmark):
+    """One rush-hour-sized IRG batch (150 riders x 60 drivers)."""
+    riders, drivers, pairs = _batch_instance()
+
+    def run():
+        return idle_ratio_greedy(riders, drivers, pairs, _rates())
+
+    selected = benchmark(run)
+    assert len(selected) > 0
+
+
+def test_bench_local_search_batch(benchmark):
+    """One rush-hour-sized LS batch."""
+    riders, drivers, pairs = _batch_instance()
+
+    def run():
+        return local_search(riders, drivers, pairs, _rates(), max_sweeps=16)
+
+    selected = benchmark(run)
+    assert len(selected) > 0
+
+
+def test_bench_expected_idle_time(benchmark):
+    """Queueing-model evaluation across representative rate regimes."""
+    cases = [
+        (0.05, 0.01, 10), (0.01, 0.05, 25), (0.02, 0.02, 15), (0.4, 0.1, 5),
+    ]
+
+    def run():
+        return [
+            RegionQueue(lam, mu, beta=0.01, max_drivers=k).expected_idle_time()
+            for lam, mu, k in cases
+        ]
+
+    values = benchmark(run)
+    assert all(v >= 0 for v in values)
+
+
+def test_bench_hungarian_64(benchmark):
+    """64x64 min-cost assignment (POLAR blueprint building block)."""
+    rng = np.random.default_rng(0)
+    cost = rng.uniform(0, 100, size=(64, 64))
+
+    def run():
+        return hungarian_min_cost(cost)
+
+    total, assignment = benchmark(run)
+    assert sorted(assignment) == list(range(64))

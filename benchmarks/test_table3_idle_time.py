@@ -1,0 +1,29 @@
+"""Table 3 — accuracy of the estimated idle time vs number of drivers."""
+
+import math
+
+from conftest import emit, full_shape_checks
+
+from repro.experiments.tables import build_table3
+from repro.utils.textplot import render_table
+
+
+def test_table3_idle_time_estimation(benchmark, config):
+    """Reproduce Table 3: MAE / RMSE% / real RMSE of the queueing model's
+    idle-time estimates across the driver sweep."""
+
+    def run():
+        return build_table3(config)
+
+    headers, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table3_idle_time", render_table(headers, rows, title="Table 3 (reproduced)"))
+
+    # Every sweep point produced usable samples and finite errors.
+    assert len(rows) == len(config.idle_driver_sweep())
+    if not full_shape_checks(config):
+        return
+    measured = [r for r in rows if not math.isnan(float(r[1]))]
+    assert len(measured) >= len(rows) - 1
+    for row in measured:
+        assert float(row[1]) >= 0.0  # MAE
+        assert float(row[3]) >= 0.0  # real RMSE

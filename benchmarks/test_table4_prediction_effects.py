@@ -1,0 +1,31 @@
+"""Table 4 — effect of the prediction method on total revenue."""
+
+from conftest import emit, full_shape_checks
+
+from repro.experiments.tables import build_table4
+from repro.utils.textplot import render_table
+
+
+def test_table4_prediction_effects(benchmark, config):
+    """Reproduce Table 4: IRG / LS / POLAR revenue under HA / LR / GBRT /
+    DeepST predictions and the ground-truth oracle."""
+
+    def run():
+        return build_table4(config)
+
+    headers, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table4_prediction_effects",
+        render_table(headers, rows, title="Table 4 (reproduced, revenue)"),
+    )
+
+    if not full_shape_checks(config):
+        return
+    by_approach = {row[0]: row[1:] for row in rows}
+    # Paper shape (a): the oracle column dominates each approach's HA column
+    # (more accurate demand => more revenue; HA is the weakest predictor).
+    for approach, values in by_approach.items():
+        ha, real = float(values[0]), float(values[-1])
+        assert real >= 0.97 * ha, f"{approach}: oracle should not trail HA"
+    # Paper shape (b): LS is the best approach at exploiting predictions.
+    assert max(map(float, by_approach["LS"])) >= max(map(float, by_approach["POLAR"])) * 0.98

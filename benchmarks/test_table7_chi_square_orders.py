@@ -1,0 +1,26 @@
+"""Table 7 — chi-square verification that order counts are Poisson."""
+
+from conftest import emit
+
+from repro.experiments.tables import build_table7
+from repro.utils.textplot import render_table
+
+
+def test_table7_chi_square_orders(benchmark, prediction_config):
+    """Reproduce Table 7: per-minute order counts in two busy regions at
+    7 A.M. and 8 A.M. pass the Poisson goodness-of-fit test."""
+
+    def run():
+        return build_table7(prediction_config)
+
+    headers, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table7_chi_square_orders",
+        render_table(headers, rows, title="Table 7 (reproduced)"),
+    )
+
+    assert len(rows) == 4
+    # k < chi2_{r-1}(0.05) in every cell of the paper's table; allow one
+    # borderline cell (a 5% level occasionally rejects a true H0).
+    accepted = [row for row in rows if row[-1] == "no"]
+    assert len(accepted) >= 3

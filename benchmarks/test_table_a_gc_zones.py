@@ -1,0 +1,30 @@
+"""Appendix A — DeepST-GC prediction accuracy on irregular zones."""
+
+from conftest import emit
+
+from repro.experiments.tables import build_table_a
+from repro.utils.textplot import render_table
+
+
+def test_table_a_gc_zones(benchmark, prediction_config):
+    """Reproduce Appendix A's point: on an irregular (non-grid) partition,
+    the graph-convolution DeepST variant still trains and clearly beats
+    the historical-average baseline; the CNN DeepST cannot run here at
+    all."""
+
+    def run():
+        return build_table_a(prediction_config)
+
+    headers, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table_a_gc_zones",
+        render_table(headers, rows, title="Appendix A (reproduced): irregular zones"),
+    )
+
+    rmse_by_model = {row[0]: float(row[2]) for row in rows}
+    assert set(rmse_by_model) == {"DeepST-GC", "HA", "LR", "GBRT"}
+    # The appendix's qualitative claim: the learned models beat HA on the
+    # irregular partition, with the GC variant fully functional there.
+    assert rmse_by_model["DeepST-GC"] < rmse_by_model["HA"]
+    assert rmse_by_model["GBRT"] < rmse_by_model["HA"]
+    assert rmse_by_model["LR"] < rmse_by_model["HA"]

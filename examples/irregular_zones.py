@@ -1,0 +1,63 @@
+"""Demand prediction on irregular zones with DeepST-GC (Appendix A).
+
+New York's real taxi zones are 262 irregular polygons, not a grid — so the
+CNN inside DeepST has nothing to convolve over.  Appendix A swaps the
+convolution for a graph convolution over the zone adjacency graph
+(DeepST-GC).  This example builds an irregular partition of the NYC box
+with the jittered-mesh builder, bins a synthetic demand history into it,
+and compares DeepST-GC against the grid-free baselines.
+
+Run with::
+
+    python examples/irregular_zones.py
+"""
+
+import numpy as np
+
+from repro.data.history import ZoneHistoryBuilder
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
+from repro.geo import build_jittered_zones
+from repro.prediction import (
+    DeepSTGCPredictor,
+    GBRTPredictor,
+    HistoricalAverage,
+    LinearRegressionPredictor,
+    evaluate_predictor,
+)
+
+
+def main() -> None:
+    generator = NycTraceGenerator(CityConfig(daily_orders=40_000.0), seed=11)
+    zones = build_jittered_zones(
+        generator.grid.bbox, rows=6, cols=6, rng=np.random.default_rng(11)
+    ).build_index()
+    print(f"irregular partition: {zones.num_regions} zones")
+    adjacency = zones.adjacency()
+    degrees = [len(v) for v in adjacency.values()]
+    print(f"adjacency degrees: min {min(degrees)}, max {max(degrees)}")
+
+    print("\nbinning 21 days of trips into zones ...")
+    history = ZoneHistoryBuilder(generator, zones, slot_minutes=30).build(21)
+    train, _ = history.split(16)
+    test_days = list(range(16, 21))
+
+    print(f"\n{'model':<10s} {'RMSE %':>8s} {'real RMSE':>10s}")
+    for predictor in (
+        DeepSTGCPredictor(adjacency, epochs=30),
+        HistoricalAverage(),
+        LinearRegressionPredictor(),
+        GBRTPredictor(),
+    ):
+        predictor.fit(train)
+        score = evaluate_predictor(predictor, history, test_days)
+        print(f"{score.name:<10s} {score.relative_rmse_pct:>8.1f} {score.rmse:>10.2f}")
+
+    print(
+        "\nDeepST-GC trains end to end on the irregular partition — the "
+        "plain DeepST\ncannot (its convolution requires a regular grid), "
+        "which is Appendix A's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

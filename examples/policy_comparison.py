@@ -1,0 +1,43 @@
+"""Full policy comparison at one configuration (the Figure 7 story).
+
+Runs every dispatch policy in the library — the paper's IRG/LS/SHORT, the
+baselines RAND/NEAR/LTG, the POLAR comparator, the UPPER bound, and the
+rebalancing extension (+RB) — on the same day and prints a ranked table.
+
+Run with::
+
+    python examples/policy_comparison.py            # default profile
+    REPRO_SCALE=tiny python examples/policy_comparison.py   # quick smoke
+"""
+
+from repro.experiments import profile_config, run_policy
+
+
+def main() -> None:
+    config = profile_config()
+    names = ["RAND", "LTG", "NEAR", "POLAR-R", "SHORT-R", "IRG-R",
+             "IRG-R+RB", "LS-R", "UPPER"]
+
+    print(f"Simulating {len(names)} policies "
+          f"({config.num_drivers} drivers, full horizon)...\n")
+    summaries = []
+    for name in names:
+        summary = run_policy(config, name)
+        summaries.append(summary)
+        print(f"  {name} done", flush=True)
+
+    summaries.sort(key=lambda s: -s.total_revenue)
+    upper = next(s for s in summaries if s.policy == "UPPER")
+
+    print(f"\n{'policy':10s}{'revenue':>14s}{'% of UPPER':>12s}"
+          f"{'served':>10s}{'batch ms':>10s}")
+    for s in summaries:
+        share = s.total_revenue / upper.total_revenue
+        print(
+            f"{s.policy:10s}{s.total_revenue:14.0f}{share:12.1%}"
+            f"{s.served_orders:10d}{s.mean_batch_seconds * 1000:10.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

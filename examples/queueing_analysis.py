@@ -1,0 +1,68 @@
+"""Interactive tour of the double-sided queueing model (paper §4).
+
+Shows, for a single region, how the expected idle time of a rejoining
+driver responds to the rider arrival rate, the driver rejoin rate, and the
+reneging parameter — the quantities behind the idle-ratio priority.
+
+All rates follow the paper's per-minute convention (§4: "the arrival rate
+of riders (in number per minute)"), so the expected idle times printed
+here are in minutes.
+
+Run with::
+
+    python examples/queueing_analysis.py
+"""
+
+from repro.core.idle_ratio import idle_ratio
+from repro.core.queueing import RegionQueue, beta_for_patience
+
+
+def show(title, rows, header):
+    print(f"\n{title}")
+    print("  " + "  ".join(f"{h:>12s}" for h in header))
+    for row in rows:
+        print("  " + "  ".join(f"{v:12.3f}" for v in row))
+
+
+def main() -> None:
+    print("Expected idle time ET(lam, mu) of a driver rejoining one region")
+    print("(rates per minute; tc-window truncation K = 15; beta = 0.02)")
+
+    rows = []
+    for lam in (1.0, 3.0, 6.0, 12.0):
+        queue = RegionQueue(lam=lam, mu=3.0, beta=0.02, max_drivers=15)
+        rows.append([lam, queue.p0(), queue.expected_idle_time()])
+    show("Varying rider arrivals (mu = 3/min):", rows, ["lam", "p0", "ET (min)"])
+
+    rows = []
+    for mu in (0.5, 3.0, 6.0, 12.0):
+        queue = RegionQueue(lam=3.0, mu=mu, beta=0.02, max_drivers=15)
+        rows.append([mu, queue.p0(), queue.expected_idle_time()])
+    show("Varying driver rejoins (lam = 3/min):", rows, ["mu", "p0", "ET (min)"])
+
+    rows = []
+    for beta in (0.005, 0.02, 0.1, 0.3):
+        queue = RegionQueue(lam=12.0, mu=3.0, beta=beta, max_drivers=15)
+        rows.append([beta, queue.p0(), queue.expected_idle_time()])
+    show("Varying reneging aggressiveness (lam > mu):", rows,
+         ["beta", "p0", "ET (min)"])
+    print("  (p0 = ET = 0 marks a divergent rider backlog: riders out-arrive")
+    print("   service + reneging, so a rejoining driver is matched instantly)")
+
+    print("\nIdle ratio IR = (ET + eta) / (cost + ET + eta)  (lower = dispatched first)")
+    # Convert ET minutes -> seconds before combining with trip costs in seconds,
+    # exactly as repro.core.rates.RegionRates does inside the dispatcher.
+    et_hot = 60.0 * RegionQueue(12.0, 3.0, beta=0.02, max_drivers=15).expected_idle_time()
+    et_cold = 60.0 * RegionQueue(1.0, 6.0, beta=0.02, max_drivers=15).expected_idle_time()
+    for cost in (200.0, 600.0):
+        print(
+            f"  trip {cost:5.0f}s -> hot destination IR={idle_ratio(cost, et_hot):.3f}"
+            f"   cold destination IR={idle_ratio(cost, et_cold):.3f}"
+        )
+
+    beta = beta_for_patience(patience=2.0, mu=3.0, typical_backlog=5)
+    print(f"\nbeta derived from 2-minute rider patience at backlog 5: {beta:.4f}")
+
+
+if __name__ == "__main__":
+    main()

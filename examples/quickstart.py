@@ -1,0 +1,38 @@
+"""Quickstart: run one day of queueing-based dispatching and print results.
+
+Builds the scaled NYC-like workload, runs the paper's Local Search
+dispatcher (LS) against the nearest-trip baseline (NEAR), and reports
+revenue, service rate, and batch planning time.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.experiments import ExperimentConfig, run_policy
+
+
+def main() -> None:
+    # Table 2 defaults at the scaled profile: 120 drivers, tau = 120 s,
+    # Delta = 3 s, t_c = 20 min, a full simulated day.
+    config = ExperimentConfig()
+    print(f"workload: ~{config.daily_orders:.0f} orders/day, "
+          f"{config.num_drivers} drivers, batch every {config.batch_interval_s:.0f}s")
+
+    for policy in ("NEAR", "LS-R", "UPPER"):
+        summary = run_policy(config, policy)
+        print(
+            f"{policy:6s} revenue={summary.total_revenue:12.0f}  "
+            f"served={summary.served_orders}/{summary.total_orders} "
+            f"({summary.service_rate:.1%})  "
+            f"mean batch={summary.mean_batch_seconds * 1000:.2f} ms"
+        )
+
+    ls = run_policy(config, "LS-R")
+    near = run_policy(config, "NEAR")
+    gain = (ls.total_revenue / near.total_revenue - 1.0) * 100.0
+    print(f"\nLS-R revenue gain over NEAR: {gain:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Queueing-guided fleet rebalancing on a stranded-fleet scenario.
+
+The paper's framework uses the expected idle time ET(lam, mu) reactively:
+riders heading to driver-starved regions get priority.  This extension
+uses the same signal proactively — idle drivers are driven (empty) toward
+the region where the queueing model says their wait will be shortest.
+
+The scenario: the whole fleet starts on the west side of town, but the
+evening demand materialises entirely in the east, too far to reach within
+any rider's patience.  Without repositioning the platform earns nothing;
+with it, the fleet migrates ahead of demand.
+
+Run with::
+
+    python examples/rebalancing_demo.py
+"""
+
+import numpy as np
+
+from repro.dispatch import NearestPolicy, QueueingPolicy, RebalancingPolicy
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.06, 0.03)          # ~6.7 x 3.3 km
+GRID = GridPartition(BOX, rows=1, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+WEST = GeoPoint(0.015, 0.015)
+EAST_BOX = BoundingBox(0.034, 0.004, 0.056, 0.026)
+
+
+def build_world(seed=3, num_riders=60, num_drivers=6):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        t = 600.0 + float(rng.uniform(0.0, 2400.0))
+        pickup = EAST_BOX.sample(rng)
+        dropoff = EAST_BOX.sample(rng)
+        trip = COST.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + 240.0, trip_seconds=trip, revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = [
+        Driver(j, WEST.shifted(0.0006 * j), GRID.region_of(WEST))
+        for j in range(num_drivers)
+    ]
+    return riders, drivers
+
+
+def run(policy, seed=3):
+    riders, drivers = build_world(seed)
+    sim = Simulation(
+        riders, drivers, GRID, COST, policy,
+        SimConfig(batch_interval_s=10.0, tc_seconds=900.0, horizon_s=4200.0),
+    )
+    return sim.run()
+
+
+def main() -> None:
+    print("Fleet stranded west; all demand arrives east (3+ km away,")
+    print("unreachable within the riders' 4-minute patience).\n")
+    print(f"{'policy':<14s} {'served':>7s} {'revenue':>10s} {'repositions':>12s}")
+    for policy in (
+        NearestPolicy(),
+        QueueingPolicy("irg"),
+        RebalancingPolicy(NearestPolicy(), idle_threshold_s=60.0),
+        RebalancingPolicy(QueueingPolicy("irg"), idle_threshold_s=60.0),
+    ):
+        result = run(policy)
+        print(
+            f"{policy.name:<14s} {result.served_orders:>7d} "
+            f"{result.total_revenue:>10.0f} "
+            f"{result.metrics.repositions:>12d}"
+        )
+
+    print(
+        "\nThe +RB variants migrate the idle fleet toward the region with "
+        "the lowest\nexpected idle time — the same ET(lam, mu) signal the "
+        "paper uses for rider\npriorities, pointed at the supply side."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Dispatching over an explicit road network (paper §2's formal model).
+
+The paper defines travel cost on a road-network graph ``G = (V, E)``; the
+big sweeps use the constant-speed approximation for throughput, but the
+full network path is available end to end.  This example builds a
+Manhattan-style street lattice with per-edge speed perturbation, runs the
+same morning workload under the straight-line and the shortest-path cost
+models, and reports how the network detours change trip costs and the
+dispatcher's outcome.
+
+Run with::
+
+    python examples/road_network_dispatch.py
+"""
+
+import numpy as np
+
+from repro.dispatch import NearestPolicy, QueueingPolicy
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet import RoadNetworkCost, StraightLineCost, build_grid_network
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider
+
+#: ~5.5 km x 5.5 km study area (0.05 deg at NYC latitudes).
+BOX = BoundingBox(-74.01, 40.70, -73.96, 40.75)
+GRID = GridPartition(BOX, rows=3, cols=3)
+HORIZON_S = 2 * 3600.0
+NUM_RIDERS = 400
+NUM_DRIVERS = 25
+SPEED_MPS = 8.0
+
+
+def build_workload(cost_model, rng):
+    """Riders with uniform endpoints; trip cost priced by ``cost_model``."""
+    riders = []
+    for i in range(NUM_RIDERS):
+        t = float(rng.uniform(0.0, HORIZON_S * 0.9))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = cost_model.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i,
+                request_time_s=t,
+                pickup=pickup,
+                dropoff=dropoff,
+                deadline_s=t + 300.0,
+                trip_seconds=trip,
+                revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = [
+        Driver(j, BOX.sample(rng), 0) for j in range(NUM_DRIVERS)
+    ]
+    for driver in drivers:
+        driver.region = GRID.region_of(driver.position)
+    return riders, drivers
+
+
+def run(cost_model, policy, seed=42):
+    rng = np.random.default_rng(seed)
+    riders, drivers = build_workload(cost_model, rng)
+    sim = Simulation(
+        riders,
+        drivers,
+        GRID,
+        cost_model,
+        policy,
+        SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=HORIZON_S),
+    )
+    return sim.run()
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    network = build_grid_network(
+        BOX,
+        rows=18,
+        cols=18,
+        speed_mps=SPEED_MPS,
+        speed_jitter=0.25,
+        diagonal_fraction=0.1,
+        rng=rng,
+    )
+    print(f"road network: {network.num_vertices} vertices, "
+          f"{network.num_edges} directed edges")
+
+    straight = StraightLineCost(speed_mps=SPEED_MPS, metric="euclidean")
+    road = RoadNetworkCost(network, access_speed_mps=SPEED_MPS)
+
+    # Detour factors on a probe sample: network paths are typically
+    # 1.1-1.6x the crow-flies time (speed jitter can create fast corridors
+    # that occasionally dip just below 1).
+    probe_rng = np.random.default_rng(3)
+    factors = []
+    for _ in range(40):
+        a, b = BOX.sample(probe_rng), BOX.sample(probe_rng)
+        s = straight.travel_seconds(a, b)
+        if s > 60.0:  # skip near-coincident pairs
+            factors.append(road.travel_seconds(a, b) / s)
+    print(f"network detour factor over {len(factors)} probes: "
+          f"min {min(factors):.2f}  mean {np.mean(factors):.2f}  "
+          f"max {max(factors):.2f}")
+
+    print(f"\n{'cost model':<14s} {'policy':<6s} {'revenue':>10s} "
+          f"{'served':>7s} {'reneged':>8s}")
+    for label, cost_model in (("straight", straight), ("road-net", road)):
+        for policy in (NearestPolicy(), QueueingPolicy("irg")):
+            result = run(cost_model, policy)
+            print(
+                f"{label:<14s} {policy.name:<6s} "
+                f"{result.total_revenue:>10.0f} "
+                f"{result.served_orders:>7d} "
+                f"{result.metrics.reneged_orders:>8d}"
+            )
+
+    print(
+        "\nThe road network stretches trips (higher per-trip revenue at "
+        "equal alpha)\nbut slows pickups, so fewer orders make their "
+        "deadlines — the dispatcher\ntrades these off exactly as on the "
+        "straight-line model."
+    )
+
+
+if __name__ == "__main__":
+    main()

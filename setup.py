@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package needed by the PEP 660 editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — Queueing-Theoretic Vehicle Dispatching for Dynamic Car-Hailing.
+
+A from-scratch reproduction of Cheng, Jin, Chen, Lin & Zheng (ICDE 2019 /
+arXiv:2107.08662): the maximum-revenue vehicle dispatching (MRVD) problem,
+the double-sided region queueing model with reneging, the IRG / LS / SHORT
+batch dispatching algorithms, the baselines they are compared against
+(RAND, NEAR, LTG, POLAR, UPPER), the demand predictors that feed them
+(HA, LR, GBRT, DeepST, DeepST-GC), and the event-driven simulator and
+experiment harness that regenerate every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_policy
+
+    config = ExperimentConfig(num_drivers=120)
+    result = run_policy(config, "LS-R")
+    print(result.total_revenue, result.served_orders)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "geo",
+    "roadnet",
+    "matching",
+    "stats",
+    "sim",
+    "dispatch",
+    "prediction",
+    "data",
+    "experiments",
+    "utils",
+]

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+``repro list``
+    Show every reproducible artefact and every dispatching policy.
+
+``repro artifact table3 figure7 ... [--profile small] [--save]``
+    Build and print the named artefacts (``all`` expands to everything);
+    ``--save`` also persists them under ``results/``.
+
+``repro simulate --policy LS-R [--profile small] [overrides]``
+    Run one full simulation and print its summary.  Individual Table 2
+    parameters can be overridden (``--drivers``, ``--tau``, ``--delta``,
+    ``--tc``).
+
+``repro queue --lam 2.0 --mu 1.0 [--beta 0.01] [--k 10]``
+    Evaluate the double-sided queueing model at one operating point:
+    stationary probabilities and the expected idle time (rates per minute,
+    following the paper's §4 convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.queueing import RegionQueue
+from repro.experiments.artifacts import artifact_names, build_artifact, get_artifact
+from repro.experiments.config import (
+    ExperimentConfig,
+    PredictionExperimentConfig,
+    profile_config,
+)
+from repro.experiments.runner import available_policies, run_policy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Queueing-theoretic vehicle dispatching (MRVD) — reproduction "
+            "of Cheng et al., ICDE 2019."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list artefacts and policies")
+
+    art = sub.add_parser("artifact", help="build one or more paper artefacts")
+    art.add_argument(
+        "names",
+        nargs="+",
+        help=f"artefact names ({', '.join(artifact_names())}) or 'all'",
+    )
+    art.add_argument(
+        "--profile",
+        default=None,
+        help="simulation scale profile (tiny / small / paper); "
+        "defaults to $REPRO_SCALE or 'small'",
+    )
+    art.add_argument(
+        "--save", action="store_true", help="persist rendered output to results/"
+    )
+    art.add_argument(
+        "--svg",
+        action="store_true",
+        help="also render figure artefacts as SVG charts under results/",
+    )
+
+    simulate = sub.add_parser("simulate", help="run one policy end to end")
+    simulate.add_argument(
+        "--policy",
+        default="LS-R",
+        help=f"one of {', '.join(available_policies())}; append +RB for "
+        "queueing-guided rebalancing (e.g. IRG-R+RB)",
+    )
+    simulate.add_argument("--profile", default=None, help="tiny / small / paper")
+    simulate.add_argument("--drivers", type=int, default=None, help="fleet size n")
+    simulate.add_argument(
+        "--tau", type=float, default=None, help="base pickup waiting time (s)"
+    )
+    simulate.add_argument(
+        "--delta", type=float, default=None, help="batch interval Delta (s)"
+    )
+    simulate.add_argument(
+        "--tc", type=float, default=None, help="scheduling window t_c (minutes)"
+    )
+    simulate.add_argument(
+        "--predictor",
+        default="deepst",
+        help="demand model for -P variants (ha / lr / gbrt / deepst)",
+    )
+    simulate.add_argument("--seed", type=int, default=None, help="workload seed")
+
+    queue = sub.add_parser("queue", help="evaluate the region queueing model")
+    queue.add_argument(
+        "--lam", type=float, required=True, help="rider arrival rate (per minute)"
+    )
+    queue.add_argument(
+        "--mu", type=float, required=True, help="driver rejoin rate (per minute)"
+    )
+    queue.add_argument("--beta", type=float, default=0.01, help="reneging exponent")
+    queue.add_argument(
+        "--k", type=int, default=10, help="driver-side truncation K (Eq. 12)"
+    )
+    queue.add_argument(
+        "--states",
+        type=int,
+        default=5,
+        help="print stationary probabilities for states -N..N",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Artefacts (repro artifact <name>):")
+    for name in artifact_names():
+        artifact = get_artifact(name)
+        print(f"  {name:<10s} [{artifact.kind}]  {artifact.title}")
+    print("\nPolicies (repro simulate --policy <name>):")
+    print("  " + ", ".join(available_policies()))
+    print("\nProfiles: tiny, small, paper (or set REPRO_SCALE)")
+    return 0
+
+
+def _cmd_artifact(args: argparse.Namespace) -> int:
+    names = list(args.names)
+    if names == ["all"]:
+        names = artifact_names()
+    unknown = [n for n in names if n != "all" and n not in artifact_names()]
+    if unknown:
+        print(
+            f"unknown artefact(s): {', '.join(unknown)}; "
+            f"expected {', '.join(artifact_names())} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    sim_config = profile_config(args.profile)
+    prediction_config = PredictionExperimentConfig()
+    for name in names:
+        content = build_artifact(
+            name, sim_config=sim_config, prediction_config=prediction_config
+        )
+        print(content)
+        print()
+        if args.save:
+            from repro.experiments.reporting import save_result
+
+            path = save_result(_SAVE_NAMES[name], content)
+            print(f"[saved {path}]\n")
+        if args.svg:
+            from repro.experiments.artifacts import build_artifact_svg
+            from repro.experiments.reporting import results_dir
+
+            charts = build_artifact_svg(
+                name, sim_config=sim_config, prediction_config=prediction_config
+            )
+            for stem, svg in charts.items():
+                path = results_dir() / f"{stem}.svg"
+                path.write_text(svg)
+                print(f"[saved {path}]")
+            if charts:
+                print()
+    return 0
+
+
+#: results/ file stems, matching what the benchmark suite writes.
+_SAVE_NAMES = {
+    "table3": "table3_idle_time",
+    "table4": "table4_prediction_effects",
+    "table6": "table6_prediction_rmse",
+    "table7": "table7_chi_square_orders",
+    "table8": "table8_chi_square_drivers",
+    "figure5": "figure5_order_distribution",
+    "figure6": "figure6_idle_time_maps",
+    "figure7": "figure7_vary_drivers",
+    "figure8": "figure8_vary_batch_interval",
+    "figure9": "figure9_vary_time_window",
+    "figure10": "figure10_vary_waiting_time",
+    "figure11": "figure11_order_histograms",
+    "figure12": "figure12_driver_histograms",
+    "figure13": "figure13_served_orders",
+    "tableA": "table_a_gc_zones",
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = profile_config(args.profile)
+    overrides = {}
+    if args.drivers is not None:
+        overrides["num_drivers"] = args.drivers
+    if args.tau is not None:
+        overrides["base_waiting_s"] = args.tau
+    if args.delta is not None:
+        overrides["batch_interval_s"] = args.delta
+    if args.tc is not None:
+        overrides["tc_minutes"] = args.tc
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = config.replace(**overrides)
+    base_policy = (
+        args.policy[:-3] if args.policy.endswith("+RB") else args.policy
+    )
+    if base_policy not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; expected one of "
+            f"{', '.join(available_policies())} (optionally with +RB)",
+            file=sys.stderr,
+        )
+        return 2
+    summary = run_policy(config, args.policy, predictor_name=args.predictor)
+    print(f"policy            {summary.policy}")
+    print(f"total revenue     {summary.total_revenue:.1f}")
+    print(
+        f"served orders     {summary.served_orders} / {summary.total_orders}"
+        f" ({100 * summary.service_rate:.1f}%)"
+    )
+    print(f"reneged orders    {summary.reneged_orders}")
+    print(f"mean batch time   {summary.mean_batch_seconds * 1000:.2f} ms")
+    print(f"max batch time    {summary.max_batch_seconds * 1000:.2f} ms")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    if args.lam <= 0:
+        print("lam must be positive", file=sys.stderr)
+        return 2
+    queue = RegionQueue(
+        lam=args.lam, mu=args.mu, beta=args.beta, max_drivers=args.k
+    )
+    regime = (
+        "more riders (lam > mu)"
+        if args.lam > args.mu
+        else "more drivers (lam < mu)" if args.lam < args.mu else "balanced"
+    )
+    print(f"regime            {regime}")
+    print(f"p0                {queue.p0():.6f}")
+    et = queue.expected_idle_time()
+    print(f"expected idle     {et:.3f} min  ({et * 60:.1f} s)")
+    print("\nstationary probabilities (n<0: waiting drivers, n>0: waiting riders):")
+    for n in range(-args.states, args.states + 1):
+        bar = "#" * int(round(40 * queue.state_probability(n)))
+        print(f"  n={n:+3d}  p={queue.state_probability(n):.4f}  {bar}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "artifact":
+        return _cmd_artifact(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

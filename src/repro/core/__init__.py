@@ -1,0 +1,33 @@
+"""The paper's core contribution: double-sided region queues, expected idle
+times, idle-ratio priorities, and the batch dispatching algorithms (IRG, LS,
+SHORT) orchestrated by the batch framework.
+"""
+
+from repro.core.queueing import (
+    RegionQueue,
+    RenegingFunction,
+    beta_for_patience,
+    fit_beta,
+)
+from repro.core.rates import RegionRates, estimate_rates
+from repro.core.idle_ratio import idle_ratio
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
+from repro.core.irg import idle_ratio_greedy
+from repro.core.local_search import local_search
+from repro.core.short_greedy import shortest_total_time_greedy
+
+__all__ = [
+    "RegionQueue",
+    "RenegingFunction",
+    "beta_for_patience",
+    "fit_beta",
+    "RegionRates",
+    "estimate_rates",
+    "idle_ratio",
+    "BatchRider",
+    "BatchDriver",
+    "CandidatePair",
+    "idle_ratio_greedy",
+    "local_search",
+    "shortest_total_time_greedy",
+]

@@ -1,0 +1,75 @@
+"""Plain data types exchanged between the simulator and the batch algorithms.
+
+The core algorithms (IRG, LS, SHORT) are deliberately decoupled from the
+simulator: they operate on index-based riders/drivers plus a candidate-pair
+list, so they can be unit-tested and benchmarked on synthetic instances
+without running a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BatchRider", "BatchDriver", "CandidatePair", "SelectedPair"]
+
+
+@dataclass(frozen=True)
+class BatchRider:
+    """A waiting rider as seen by a batch algorithm.
+
+    ``trip_cost_s`` is ``cost(s_i, e_i)`` — the in-service travel seconds;
+    ``revenue`` is ``alpha * cost`` (kept separate so ``alpha != 1``
+    configurations remain expressible).
+    """
+
+    index: int
+    origin_region: int
+    destination_region: int
+    trip_cost_s: float
+    revenue: float
+
+    def __post_init__(self) -> None:
+        if self.trip_cost_s < 0:
+            raise ValueError(f"trip cost must be >= 0, got {self.trip_cost_s}")
+        if self.revenue < 0:
+            raise ValueError(f"revenue must be >= 0, got {self.revenue}")
+
+
+@dataclass(frozen=True)
+class BatchDriver:
+    """An available driver as seen by a batch algorithm."""
+
+    index: int
+    region: int
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """A valid rider-and-driver dispatching pair (Definition 3).
+
+    The dispatch layer guarantees ``pickup_eta_s`` respects the rider's
+    deadline before the pair enters the candidate set.
+    """
+
+    rider: int
+    driver: int
+    pickup_eta_s: float
+
+    def __post_init__(self) -> None:
+        if self.pickup_eta_s < 0:
+            raise ValueError(f"pickup eta must be >= 0, got {self.pickup_eta_s}")
+
+
+@dataclass(frozen=True)
+class SelectedPair:
+    """A committed assignment with the idle-time estimate that justified it.
+
+    ``predicted_idle_s`` is ``ET`` of the rider's destination region at
+    selection time — recorded so Table 3 can compare it against the idle
+    time the driver actually experiences.
+    """
+
+    rider: int
+    driver: int
+    pickup_eta_s: float
+    predicted_idle_s: float

@@ -1,0 +1,107 @@
+"""Idle Ratio Oriented Greedy — Algorithm 2 of the paper.
+
+Greedily commits the valid rider–driver pair with the smallest idle ratio
+(Eq. 17); each commitment sends one future driver to the rider's destination
+region, raising that region's ``mu`` and therefore the idle ratios of every
+other pair ending there (§5.1, line 11).
+
+The sorted-pair structure of the paper is realised as a *lazy-key heap*:
+entries carry the destination-region version at evaluation time; when an
+entry surfaces with a stale version its idle ratio is recomputed and it is
+pushed back.  This performs exactly the update the complexity analysis
+charges (re-keying the pairs that end in the mutated region) without
+rescanning untouched pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
+from repro.core.idle_ratio import idle_ratio
+from repro.core.rates import RegionRates
+
+__all__ = ["idle_ratio_greedy"]
+
+
+def idle_ratio_greedy(
+    riders: Sequence[BatchRider],
+    drivers: Sequence[BatchDriver],
+    pairs: Sequence[CandidatePair],
+    rates: RegionRates,
+    include_pickup: bool = True,
+) -> list[SelectedPair]:
+    """Run one batch of Algorithm 2.
+
+    Parameters
+    ----------
+    riders, drivers:
+        The batch participants; ``pairs`` references them by their
+        ``index`` fields.
+    pairs:
+        Valid rider-and-driver dispatching pairs (deadline-feasible).
+    rates:
+        Mutable per-region rate state; **mutated in place** — every selected
+        pair bumps ``mu`` of the rider's destination region, exactly like
+        line 11 of Algorithm 2, so the caller sees the post-batch rates.
+    include_pickup:
+        Count the pickup deadhead as non-earning time in the idle ratio
+        (see :func:`repro.core.idle_ratio.idle_ratio`); disable for the
+        paper-exact Eq. 17 (ablation).
+
+    Returns
+    -------
+    The selected pairs in selection order, each with the destination-region
+    ``ET`` that was current when the pair won.
+    """
+    rider_by_index = {r.index: r for r in riders}
+    driver_indices = {d.index for d in drivers}
+    for pair in pairs:
+        if pair.rider not in rider_by_index:
+            raise ValueError(f"pair references unknown rider {pair.rider}")
+        if pair.driver not in driver_indices:
+            raise ValueError(f"pair references unknown driver {pair.driver}")
+
+    # Heap entries: (idle_ratio, tiebreak, pair, region_version_at_eval).
+    # The tiebreak makes ordering deterministic for equal ratios.
+    heap: list[tuple[float, int, CandidatePair, int]] = []
+    for tiebreak, pair in enumerate(pairs):
+        rider = rider_by_index[pair.rider]
+        dest = rider.destination_region
+        eta = pair.pickup_eta_s if include_pickup else 0.0
+        ratio = idle_ratio(rider.trip_cost_s, rates.expected_idle_time(dest), eta)
+        heap.append((ratio, tiebreak, pair, rates.version(dest)))
+    heapq.heapify(heap)
+
+    taken_riders: set[int] = set()
+    taken_drivers: set[int] = set()
+    selected: list[SelectedPair] = []
+
+    while heap:
+        ratio, tiebreak, pair, seen_version = heapq.heappop(heap)
+        if pair.rider in taken_riders or pair.driver in taken_drivers:
+            continue
+        rider = rider_by_index[pair.rider]
+        dest = rider.destination_region
+        if rates.version(dest) != seen_version:
+            # Stale: the destination's mu changed since this key was computed.
+            eta = pair.pickup_eta_s if include_pickup else 0.0
+            fresh = idle_ratio(
+                rider.trip_cost_s, rates.expected_idle_time(dest), eta
+            )
+            heapq.heappush(heap, (fresh, tiebreak, pair, rates.version(dest)))
+            continue
+        predicted_idle = rates.expected_idle_time(dest)
+        taken_riders.add(pair.rider)
+        taken_drivers.add(pair.driver)
+        rates.on_assignment(dest)
+        selected.append(
+            SelectedPair(
+                rider=pair.rider,
+                driver=pair.driver,
+                pickup_eta_s=pair.pickup_eta_s,
+                predicted_idle_s=predicted_idle,
+            )
+        )
+    return selected

@@ -1,0 +1,130 @@
+"""Local Search — Algorithm 3 of the paper.
+
+Starts from any assignment (Algorithm 2's by default) and repeatedly
+replaces a driver's rider with an unassigned valid rider of strictly smaller
+idle ratio, until a full sweep makes no replacement.  Lemma 5.1 shows the
+process converges; we additionally cap the number of sweeps (``max_sweeps``,
+the ``L_max`` of the complexity analysis) as a defensive bound.
+
+Replacing rider ``r`` by ``r'`` for driver ``d`` moves the future driver
+contribution from ``dest(r)`` to ``dest(r')``: ``mu(dest(r))`` drops by
+``1/t_c`` and ``mu(dest(r'))`` rises by ``1/t_c``, which is what makes the
+search escape the greedy's myopia.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
+from repro.core.idle_ratio import idle_ratio
+from repro.core.irg import idle_ratio_greedy
+from repro.core.rates import RegionRates
+
+__all__ = ["local_search"]
+
+
+def local_search(
+    riders: Sequence[BatchRider],
+    drivers: Sequence[BatchDriver],
+    pairs: Sequence[CandidatePair],
+    rates: RegionRates,
+    initial: Sequence[SelectedPair] | None = None,
+    max_sweeps: int = 64,
+    include_pickup: bool = True,
+) -> list[SelectedPair]:
+    """Run one batch of Algorithm 3.
+
+    Parameters
+    ----------
+    initial:
+        Starting assignment; when omitted, Algorithm 2 runs first (on the
+        same ``rates`` object, mutating it — matching Alg. 3 line 1).
+    rates:
+        Must reflect the contributions of ``initial`` if one is supplied
+        (i.e. ``on_assignment`` already applied for every initial pair).
+    max_sweeps:
+        Defensive cap on full improvement sweeps.
+
+    Returns
+    -------
+    The converged assignment.  ``predicted_idle_s`` of each pair is
+    refreshed to the final rates so downstream idle-time accounting reflects
+    what the algorithm believed when it finished.
+    """
+    if initial is None:
+        current = list(
+            idle_ratio_greedy(
+                riders, drivers, pairs, rates, include_pickup=include_pickup
+            )
+        )
+    else:
+        current = list(initial)
+
+    rider_by_index = {r.index: r for r in riders}
+    pair_lookup: dict[tuple[int, int], CandidatePair] = {
+        (p.rider, p.driver): p for p in pairs
+    }
+    # R_j of the paper: valid riders per driver.
+    riders_of_driver: dict[int, list[int]] = {}
+    for p in pairs:
+        riders_of_driver.setdefault(p.driver, []).append(p.rider)
+
+    assigned_rider_of: dict[int, int] = {sp.driver: sp.rider for sp in current}
+    assigned_riders: set[int] = {sp.rider for sp in current}
+
+    for _ in range(max_sweeps):
+        improved = False
+        for driver, rider_idx in list(assigned_rider_of.items()):
+            rider = rider_by_index[rider_idx]
+            current_eta = (
+                pair_lookup[(rider_idx, driver)].pickup_eta_s if include_pickup else 0.0
+            )
+            current_ratio = idle_ratio(
+                rider.trip_cost_s,
+                rates.expected_idle_time(rider.destination_region),
+                current_eta,
+            )
+            best_candidate: int | None = None
+            best_ratio = current_ratio
+            for other_idx in riders_of_driver.get(driver, ()):
+                if other_idx == rider_idx or other_idx in assigned_riders:
+                    continue
+                other = rider_by_index[other_idx]
+                other_eta = (
+                    pair_lookup[(other_idx, driver)].pickup_eta_s
+                    if include_pickup
+                    else 0.0
+                )
+                ratio = idle_ratio(
+                    other.trip_cost_s,
+                    rates.expected_idle_time(other.destination_region),
+                    other_eta,
+                )
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    best_candidate = other_idx
+            if best_candidate is not None:
+                other = rider_by_index[best_candidate]
+                rates.on_unassignment(rider.destination_region)
+                rates.on_assignment(other.destination_region)
+                assigned_rider_of[driver] = best_candidate
+                assigned_riders.discard(rider_idx)
+                assigned_riders.add(best_candidate)
+                improved = True
+        if not improved:
+            break
+
+    result = []
+    for driver, rider_idx in assigned_rider_of.items():
+        pair = pair_lookup[(rider_idx, driver)]
+        rider = rider_by_index[rider_idx]
+        result.append(
+            SelectedPair(
+                rider=rider_idx,
+                driver=driver,
+                pickup_eta_s=pair.pickup_eta_s,
+                predicted_idle_s=rates.expected_idle_time(rider.destination_region),
+            )
+        )
+    return result

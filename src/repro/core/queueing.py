@@ -1,0 +1,446 @@
+"""Double-sided region queue with impatient riders (paper §4).
+
+Each region maintains one birth–death chain whose state ``n`` counts waiting
+riders when ``n > 0`` and congested (waiting) drivers when ``n < 0``:
+
+- riders arrive with Poisson rate ``lam`` (birth, ``n -> n+1``),
+- rejoined drivers arrive with Poisson rate ``mu`` (death, ``n -> n-1``),
+- waiting riders renege with state-dependent rate ``pi(n) = exp(beta*n)/mu``
+  (Eq. 4), so the death rate is ``mu + pi(n)`` for ``n > 0``.
+
+Flow balance (Eq. 5) gives the stationary probabilities ``p_n`` (Eq. 6); the
+expected idle time ``ET(lam, mu)`` of a driver rejoining the region is the
+expectation of ``T(n)`` over the stationary distribution, with ``T(n) = 0``
+for ``n > 0`` and ``T(n) = (|n| + 1)/lam`` for ``n <= 0``:
+
+- ``lam > mu``   — Eq. 9/10 (negative side is an infinite geometric series),
+- ``lam < mu``   — Eq. 12/13 (negative side truncated at ``K`` drivers),
+- ``lam == mu``  — Eq. 15/16.
+
+Units: the paper states its rates **per minute** (§4), and the choice is
+load-bearing — Eq. 4's ``pi(n) = exp(beta*n)/mu`` is not scale-invariant,
+so feeding per-second rates into the same formula produces a different
+(and much more renege-heavy) model.  :class:`RegionQueue` itself is
+unit-agnostic maths: whatever time unit the rates are expressed in, the
+expected idle time comes back in that same unit.  The rate-estimation
+layer (:mod:`repro.core.rates`) is responsible for passing per-minute
+rates and converting idle times back to seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "RenegingFunction",
+    "RegionQueue",
+    "fit_beta",
+    "beta_for_patience",
+]
+
+#: Smallest driver-rejoin rate used inside the reneging function; Eq. 4
+#: divides by ``mu``, which the rate estimator can legitimately produce as 0
+#: (no driver is predicted to rejoin).  The floor keeps ``pi`` finite without
+#: visibly distorting any realistic configuration.
+_MU_FLOOR = 1e-9
+
+#: Terms of the positive-side series smaller than this (relative to the
+#: accumulated sum) are treated as converged tail.
+_SERIES_RELATIVE_TOLERANCE = 1e-14
+
+#: Hard iteration cap for the positive-side series.  With ``beta > 0`` the
+#: reneging rate grows exponentially so convergence takes a few dozen terms;
+#: the cap only matters for ``beta == 0`` with ``lam`` much larger than
+#: ``mu``, where the series diverges and ``p_0`` tends to zero.
+_SERIES_MAX_TERMS = 200_000
+
+#: When the accumulated positive-side series exceeds this, ``p_0`` is below
+#: any practically distinguishable level and we short-circuit to 0.
+_SERIES_DIVERGENCE_CAP = 1e15
+
+
+@dataclass(frozen=True)
+class RenegingFunction:
+    """The paper's reneging rate ``pi(n) = exp(beta * n) / mu`` (Eq. 4).
+
+    ``beta`` controls how aggressively waiting riders abandon the queue as
+    the backlog grows; ``mu`` is the driver-rejoin rate of the same region.
+    """
+
+    beta: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+        if self.mu < 0:
+            raise ValueError(f"mu must be non-negative, got {self.mu}")
+
+    def __call__(self, n: int) -> float:
+        """Reneging rate in state ``n``; zero for states without riders."""
+        if n <= 0:
+            return 0.0
+        return math.exp(self.beta * n) / max(self.mu, _MU_FLOOR)
+
+
+class RegionQueue:
+    """Stationary analysis of one region's double-sided queue.
+
+    Parameters
+    ----------
+    lam:
+        Rider (birth) arrival rate, conventionally per minute (see the
+        module docstring).  Must be positive: a region that never produces
+        riders has an infinite idle time, which callers should handle
+        before building the queue (see :meth:`expected_idle_time_or_inf`).
+    mu:
+        Rejoined-driver (death) arrival rate in the same unit, ``>= 0``.
+    beta:
+        Reneging aggressiveness of Eq. 4.
+    max_drivers:
+        ``K`` — the most drivers that can congest in the region during the
+        scheduling window (used when ``lam <= mu``; Eqs. 11–16).
+    """
+
+    def __init__(self, lam: float, mu: float, beta: float = 0.01, max_drivers: int = 0):
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        if mu < 0:
+            raise ValueError(f"mu must be non-negative, got {mu}")
+        if max_drivers < 0:
+            raise ValueError(f"max_drivers must be >= 0, got {max_drivers}")
+        self.lam = float(lam)
+        self.mu = float(mu)
+        self.beta = float(beta)
+        self.max_drivers = int(max_drivers)
+        self.reneging = RenegingFunction(beta=beta, mu=mu)
+        self._positive_sum: float | None = None
+        self._p0: float | None = None
+        self._log_p0: float | None = None
+
+    # -- building blocks ---------------------------------------------------
+
+    def death_rate(self, n: int) -> float:
+        """``mu_n`` of Eq. 4: ``mu`` below the axis, ``mu + pi(n)`` above."""
+        if n <= 0:
+            return self.mu
+        return self.mu + self.reneging(n)
+
+    def birth_rate(self, n: int) -> float:
+        """``lam_n``: constant ``lam`` (drivers do not renege)."""
+        return self.lam
+
+    def positive_side_sum(self) -> float:
+        """``S+ = sum_{n>=1} prod_{i=1..n} lam / (mu + pi(i))`` (Eq. 6 tail).
+
+        Converges whenever ``beta > 0`` (the reneging rate eventually
+        dominates); detected divergence returns ``inf``.
+        """
+        if self._positive_sum is None:
+            self._positive_sum = self._compute_positive_sum()
+        return self._positive_sum
+
+    def _compute_positive_sum(self) -> float:
+        total = 0.0
+        term = 1.0
+        for n in range(1, _SERIES_MAX_TERMS + 1):
+            term *= self.lam / (self.mu + self.reneging(n))
+            total += term
+            if term <= _SERIES_RELATIVE_TOLERANCE * max(total, 1.0):
+                return total
+            if total > _SERIES_DIVERGENCE_CAP:
+                return math.inf
+        # The cap was reached while terms were still significant: with a
+        # shrinking term this is a long geometric tail we can close in form,
+        # otherwise treat as divergent.
+        ratio = self.lam / (self.mu + self.reneging(_SERIES_MAX_TERMS))
+        if ratio < 1.0:
+            return total + term * ratio / (1.0 - ratio)
+        return math.inf
+
+    def p0(self) -> float:
+        """Probability of the empty state (Eqs. 9, 12, 15)."""
+        if self._p0 is None:
+            self._p0, self._log_p0 = self._compute_p0()
+        return self._p0
+
+    def log_p0(self) -> float:
+        """``log(p0)``; ``-inf`` when the positive-side series diverges."""
+        if self._log_p0 is None:
+            self._p0, self._log_p0 = self._compute_p0()
+        return self._log_p0
+
+    def _compute_p0(self) -> tuple[float, float]:
+        s_plus = self.positive_side_sum()
+        if math.isinf(s_plus):
+            return 0.0, -math.inf
+        if self.lam > self.mu:
+            # Eq. 9: infinite geometric negative side.
+            denom = self.lam / (self.lam - self.mu) + s_plus
+            return 1.0 / denom, -math.log(denom)
+        # lam <= mu: negative side truncated at K (Eqs. 12, 15).  The
+        # denominator is sum_{i=0..K} theta^i + S+, summed with a log-space
+        # scale so theta^K beyond float range stays finite.
+        k = self.max_drivers
+        theta = self.mu / self.lam
+        log_scale, scaled_neg = _scaled_geometric_sum(theta, k)
+        if log_scale == 0.0:
+            denom = scaled_neg + s_plus
+            return 1.0 / denom, -math.log(denom)
+        denom_log = log_scale + math.log(scaled_neg + s_plus * math.exp(-log_scale))
+        return math.exp(-denom_log), -denom_log
+
+    def state_probability(self, n: int) -> float:
+        """Stationary probability ``p_n`` (Eq. 6).
+
+        States below ``-K`` have probability zero when ``lam <= mu``; when
+        ``lam > mu`` the chain extends to ``-inf`` as in the paper.
+        """
+        p0 = self.p0()
+        if n == 0:
+            return p0
+        if n < 0:
+            if self.lam <= self.mu and -n > self.max_drivers:
+                return 0.0
+            ratio = self.mu / self.lam
+            # p_n = p0 * (mu/lam)^(-n); compute in logs to dodge overflow.
+            if p0 == 0.0:
+                return 0.0
+            log_p = math.log(p0) + (-n) * math.log(ratio) if ratio > 0 else -math.inf
+            return math.exp(log_p) if log_p < 700 else math.inf
+        prod = 1.0
+        for i in range(1, n + 1):
+            prod *= self.lam / (self.mu + self.reneging(i))
+            if prod == 0.0:
+                break
+        return p0 * prod
+
+    def conditional_idle_time(self, n: int) -> float:
+        """``T(n)``: expected idle time of a driver arriving in state ``n``.
+
+        Zero when riders are already waiting; ``(|n| + 1)/lam`` otherwise
+        (the driver waits for the ``(|n|+1)``-th future rider).
+        """
+        if n > 0:
+            return 0.0
+        return (abs(n) + 1) / self.lam
+
+    # -- headline quantity ---------------------------------------------------
+
+    def expected_idle_time(self) -> float:
+        """``ET(lam, mu)`` in the rates' time unit (Eqs. 10, 13, 16)."""
+        p0 = self.p0()
+        if math.isinf(self.log_p0()) and self.log_p0() < 0:
+            # Diverging rider backlog: drivers are absorbed instantly.
+            return 0.0
+        if self.lam > self.mu:
+            # Eq. 10: ET = lam * p0 / (lam - mu)^2.
+            return self.lam * p0 / (self.lam - self.mu) ** 2
+        k = self.max_drivers
+        theta = self.mu / self.lam
+        if self.lam == self.mu:
+            # Eq. 16.
+            return p0 * (k + 1) * (k + 2) / (2.0 * self.lam)
+        # Eq. 13 via the stable weighted sum A = sum_{i=0..K} (i+1) theta^i;
+        # ET = p0 * A / lam composed in log space so theta^K beyond float
+        # range still yields the correct finite ratio.
+        log_scale, value = _scaled_weighted_geometric_sum(theta, k)
+        log_et = self.log_p0() + log_scale + math.log(value) - math.log(self.lam)
+        if log_et >= 700.0:  # pragma: no cover - astronomically large ET
+            return math.inf
+        return math.exp(log_et)
+
+    def expected_idle_time_closed_form(self) -> float:
+        """Eq. 13 exactly as printed (for cross-validation in tests).
+
+        Only valid for moderate ``theta ** K`` — overflows on purpose where
+        the stable path does not.
+        """
+        if self.lam >= self.mu:
+            raise ValueError("closed form applies to lam < mu only")
+        k = self.max_drivers
+        theta = self.mu / self.lam
+        numer = (k + 1) * theta ** (k + 2) - (k + 2) * theta ** (k + 1) + 1.0
+        return self.p0() / self.lam * numer / (theta - 1.0) ** 2
+
+    # -- truncated-everywhere evaluation --------------------------------------
+
+    def p0_truncated(self) -> float:
+        """``p0`` with the negative side truncated at ``-K`` in *every*
+        regime, not only ``lam <= mu``.
+
+        Physically at most ``K`` drivers exist whatever the rates are; the
+        paper's Eq. 9 (``lam > mu``) drops the truncation because the
+        geometric mass below ``-K`` is negligible when ``lam >> mu`` — but
+        near criticality (``lam -> mu+``) that approximation sends Eq. 10
+        to infinity while the real system stays bounded by ``K``.  This
+        evaluation is exact for the truncated chain at any ``theta != 1``
+        and coincides with Eqs. 9/12/15 in their own regimes.
+        """
+        return math.exp(self.log_p0_truncated())
+
+    def log_p0_truncated(self) -> float:
+        """``log`` of :meth:`p0_truncated` (stays exact where ``p0``
+        itself would underflow to a denormal, e.g. ``theta**K ~ e^700``)."""
+        s_plus = self.positive_side_sum()
+        if math.isinf(s_plus):
+            return -math.inf
+        theta = self.mu / self.lam
+        if theta == 0.0:
+            return -math.log(1.0 + s_plus)
+        if theta == 1.0:
+            return -math.log(self.max_drivers + 1 + s_plus)
+        log_scale, scaled_neg = _scaled_geometric_sum(theta, self.max_drivers)
+        if log_scale == 0.0:
+            return -math.log(scaled_neg + s_plus)
+        return -(log_scale + math.log(scaled_neg + s_plus * math.exp(-log_scale)))
+
+    def expected_idle_time_truncated(self) -> float:
+        """``ET`` over the ``-K``-truncated chain in every regime.
+
+        Always finite and bounded by ``(K+1)/lam`` (the wait of a driver
+        arriving at the fullest state), converging to the paper's Eq. 10
+        as ``K -> inf`` when ``lam > mu``.  The dispatch layer uses this
+        evaluation so near-critical rate estimates cannot produce
+        astronomically large priorities.
+        """
+        log_p0 = self.log_p0_truncated()
+        if math.isinf(log_p0):
+            # Diverging rider backlog: drivers are absorbed instantly.
+            return 0.0
+        k = self.max_drivers
+        theta = self.mu / self.lam
+        if theta == 0.0:
+            # No rejoining drivers: an arriving driver always sees state 0.
+            return math.exp(log_p0) / self.lam
+        if theta == 1.0:
+            return math.exp(log_p0) * (k + 1) * (k + 2) / (2.0 * self.lam)
+        log_scale, value = _scaled_weighted_geometric_sum(theta, k)
+        log_et = log_p0 + log_scale + math.log(value) - math.log(self.lam)
+        if log_et >= 700.0:  # pragma: no cover - requires astronomical K
+            return math.inf
+        return math.exp(log_et)
+
+    @staticmethod
+    def expected_idle_time_or_inf(
+        lam: float, mu: float, beta: float, max_drivers: int
+    ) -> float:
+        """Truncated ``ET`` that tolerates ``lam <= 0`` by returning ``inf``.
+
+        The dispatch algorithms use this: a region with no predicted riders
+        gives any driver sent there an unbounded idle time, i.e. the worst
+        possible idle ratio.  Positive rates evaluate the ``-K``-truncated
+        chain (see :meth:`expected_idle_time_truncated`), which stays
+        bounded by ``(K+1)/lam`` even at near-critical rate estimates.
+        """
+        if lam <= 0:
+            return math.inf
+        queue = RegionQueue(lam, mu, beta=beta, max_drivers=max_drivers)
+        return queue.expected_idle_time_truncated()
+
+
+def _scaled_geometric_sum(theta: float, k: int) -> tuple[float, float]:
+    """Return ``(log_scale, value)`` with ``sum_{i=0..K} theta^i = value *
+    exp(log_scale)`` computed without overflow.
+
+    For ``theta`` <= 1 or small exponents the scale is 0 and the value is
+    the plain sum.
+    """
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    log_top = k * math.log(theta) if theta != 1.0 else 0.0
+    if log_top < 700.0:
+        total = 0.0
+        term = 1.0
+        for _ in range(k + 1):
+            total += term
+            term *= theta
+        return 0.0, total
+    # Normalise by theta^K: sum = theta^K * sum_{j=0..K} theta^-j.
+    inv = 1.0 / theta
+    total = 0.0
+    term = 1.0
+    for _ in range(k + 1):
+        total += term
+        term *= inv
+        if term < _SERIES_RELATIVE_TOLERANCE * total:
+            break
+    return log_top, total
+
+
+def _scaled_weighted_geometric_sum(theta: float, k: int) -> tuple[float, float]:
+    """Return ``(log_scale, value)`` for ``sum_{i=0..K} (i+1) theta^i``."""
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    log_top = k * math.log(theta) if theta != 1.0 else 0.0
+    if log_top < 680.0:
+        total = 0.0
+        term = 1.0
+        for i in range(k + 1):
+            total += (i + 1) * term
+            term *= theta
+        return 0.0, total
+    inv = 1.0 / theta
+    total = 0.0
+    term = 1.0  # theta^(K-j) / theta^K
+    for j in range(k + 1):
+        total += (k + 1 - j) * term
+        term *= inv
+        if (k + 1 - j) * term < _SERIES_RELATIVE_TOLERANCE * total:
+            break
+    return log_top, total
+
+
+def fit_beta(
+    backlogs: Sequence[int],
+    reneging_rates: Sequence[float],
+    mu: float,
+) -> float:
+    """Fit ``beta`` from historical reneging records (paper §4.1).
+
+    Given observed backlog states ``n`` and the reneging rates measured in
+    those states, invert Eq. 4 — ``log(rate * mu) = beta * n`` — by least
+    squares through the origin.  Non-positive rates are skipped (no renege
+    observed in that state carries no information about the exponent).
+    """
+    if len(backlogs) != len(reneging_rates):
+        raise ValueError("backlogs and reneging_rates must have equal length")
+    mu_eff = max(mu, _MU_FLOOR)
+    num = 0.0
+    den = 0.0
+    for n, rate in zip(backlogs, reneging_rates):
+        if n <= 0 or rate <= 0:
+            continue
+        y = math.log(rate * mu_eff)
+        num += n * y
+        den += n * n
+    if den == 0:
+        raise ValueError("no usable (backlog > 0, rate > 0) records to fit beta")
+    return max(0.0, num / den)
+
+
+def beta_for_patience(
+    patience: float, mu: float, typical_backlog: int = 5
+) -> float:
+    """Derive ``beta`` from rider patience.
+
+    Individually, an impatient rider reneges after roughly ``patience``
+    time units, so a backlog of ``n`` riders produces a total reneging rate
+    of about ``n / patience``.  Matching Eq. 4 at a typical backlog ``n*``:
+    ``exp(beta * n*) / mu = n* / patience`` gives
+    ``beta = log(mu * n* / patience) / n*``, clamped to be non-negative.
+
+    ``patience`` must be expressed in the same time unit as ``1/mu`` —
+    minutes under the paper's per-minute rate convention.
+    """
+    if patience <= 0:
+        raise ValueError(f"patience must be positive, got {patience}")
+    if typical_backlog < 1:
+        raise ValueError(f"typical_backlog must be >= 1, got {typical_backlog}")
+    mu_eff = max(mu, _MU_FLOOR)
+    target = mu_eff * typical_backlog / patience
+    if target <= 1.0:
+        return 0.0
+    return math.log(target) / typical_backlog

@@ -1,0 +1,195 @@
+"""Per-region arrival-rate estimation and expected-idle-time bookkeeping.
+
+Equations 18 and 19 of the paper convert the counts visible at the start of
+a batch into the Poisson rates of the queueing model:
+
+.. math::
+
+   lam(k) = |R^hat_k| / t_c                              if |R_k| <= |D_k|
+          = (|R^hat_k| + |R_k| - |D_k|) / t_c            otherwise
+
+   mu(k)  = (|D^hat_k| + |D_k| - |R_k|) / t_c            if |R_k| <= |D_k|
+          = |D^hat_k| / t_c                              otherwise
+
+where ``R_k``/``D_k`` are the waiting riders / available drivers currently
+in region ``k`` and ``R^hat_k``/``D^hat_k`` the predicted upcoming riders /
+rejoined drivers during the scheduling window ``[t, t + t_c]``.
+
+Units: the paper defines its queue rates *per minute* (§4: "the arrival
+rate of riders (in number per minute)").  This matters because the reneging
+form ``pi(n) = exp(beta*n)/mu`` of Eq. 4 is **not scale-invariant** — with
+per-second rates ``1/mu`` explodes and the model grossly overestimates idle
+times.  This module therefore evaluates the queueing model in per-minute
+units and converts the resulting expected idle time back to seconds at the
+boundary, so the simulator and the dispatch algorithms keep working in
+seconds throughout.
+
+:class:`RegionRates` also tracks the *assignment feedback* of §3.1.3: when a
+rider whose destination is region ``k`` is selected, one more driver will
+rejoin ``k``, so ``mu(k)`` increases by ``1 / t_c``.  Every mutation bumps a
+per-region version counter that the lazy-key heap in IRG uses to detect
+stale idle ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.queueing import RegionQueue
+
+__all__ = ["RateEstimate", "estimate_rates", "RegionRates"]
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """Estimated rates of a single region for one scheduling window."""
+
+    lam: float
+    mu: float
+    max_drivers: int
+
+
+def estimate_rates(
+    waiting_riders: int,
+    available_drivers: int,
+    predicted_riders: float,
+    predicted_drivers: float,
+    tc_seconds: float,
+) -> RateEstimate:
+    """Apply Eqs. 18–19 for one region; rates come back **per minute**.
+
+    The window length is given in seconds (the simulator's unit) and is
+    converted internally, because Eq. 4's reneging function fixes the
+    queueing model to the paper's per-minute rate unit (see the module
+    docstring).  ``max_drivers`` (the truncation ``K`` of §4.2.2) is the
+    number of drivers that can be available in the region during the
+    window: the ones already here plus the predicted rejoins.
+    """
+    if tc_seconds <= 0:
+        raise ValueError(f"tc must be positive, got {tc_seconds}")
+    if waiting_riders < 0 or available_drivers < 0:
+        raise ValueError("waiting/available counts must be non-negative")
+    if predicted_riders < 0 or predicted_drivers < 0:
+        raise ValueError("predicted counts must be non-negative")
+
+    tc_minutes = tc_seconds / 60.0
+    if waiting_riders <= available_drivers:
+        lam = predicted_riders / tc_minutes
+        mu = (predicted_drivers + available_drivers - waiting_riders) / tc_minutes
+    else:
+        lam = (predicted_riders + waiting_riders - available_drivers) / tc_minutes
+        mu = predicted_drivers / tc_minutes
+    max_drivers = int(math.ceil(available_drivers + predicted_drivers))
+    return RateEstimate(lam=lam, mu=mu, max_drivers=max_drivers)
+
+
+class RegionRates:
+    """Mutable per-batch rate state for all regions.
+
+    Built once at the start of each batch from the four count vectors, then
+    mutated by :meth:`on_assignment` as the dispatching algorithm commits
+    rider–driver pairs.  ``expected_idle_time`` memoises the queueing-model
+    evaluation per (region, version).
+    """
+
+    def __init__(
+        self,
+        waiting_riders: Sequence[int],
+        available_drivers: Sequence[int],
+        predicted_riders: Sequence[float],
+        predicted_drivers: Sequence[float],
+        tc_seconds: float,
+        beta: float = 0.01,
+    ):
+        lengths = {
+            len(waiting_riders),
+            len(available_drivers),
+            len(predicted_riders),
+            len(predicted_drivers),
+        }
+        if len(lengths) != 1:
+            raise ValueError("all per-region count vectors must share a length")
+        self.num_regions = len(waiting_riders)
+        self.tc_seconds = float(tc_seconds)
+        self.tc_minutes = float(tc_seconds) / 60.0
+        self.beta = float(beta)
+        self._estimates = [
+            estimate_rates(
+                int(waiting_riders[k]),
+                int(available_drivers[k]),
+                float(predicted_riders[k]),
+                float(predicted_drivers[k]),
+                tc_seconds,
+            )
+            for k in range(self.num_regions)
+        ]
+        self._versions = [0] * self.num_regions
+        self._et_cache: dict[int, tuple[int, float]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def lam(self, region: int) -> float:
+        """Rider arrival rate of ``region`` (per minute, the paper's unit)."""
+        return self._estimates[region].lam
+
+    def mu(self, region: int) -> float:
+        """Driver rejoin rate of ``region`` (per minute, the paper's unit)."""
+        return self._estimates[region].mu
+
+    def max_drivers(self, region: int) -> int:
+        """Truncation ``K`` of the region's negative queue side."""
+        return self._estimates[region].max_drivers
+
+    def version(self, region: int) -> int:
+        """Version counter, bumped by every mutation of the region."""
+        return self._versions[region]
+
+    def expected_idle_time(self, region: int) -> float:
+        """``ET(lam(k), mu(k))`` for the region's current rates (seconds).
+
+        Returns ``inf`` when the region has no expected riders at all
+        (``lam == 0``), matching the dispatch-level convention that such a
+        destination is maximally unattractive.
+        """
+        cached = self._et_cache.get(region)
+        if cached is not None and cached[0] == self._versions[region]:
+            return cached[1]
+        est = self._estimates[region]
+        # The queueing model works in minutes (see module docstring); the
+        # dispatch layer compares ET against trip costs in seconds.
+        et_minutes = RegionQueue.expected_idle_time_or_inf(
+            est.lam, est.mu, beta=self.beta, max_drivers=est.max_drivers
+        )
+        value = et_minutes * 60.0
+        self._et_cache[region] = (self._versions[region], value)
+        return value
+
+    # -- mutations -----------------------------------------------------------
+
+    def on_assignment(self, destination_region: int) -> None:
+        """Record that a selected rider will deliver a driver to ``region``.
+
+        One extra driver rejoins the destination during the window, so
+        ``mu`` rises by ``1/t_c`` and ``K`` by one (§5.1, line 11 of Alg. 2).
+        """
+        est = self._estimates[destination_region]
+        self._estimates[destination_region] = RateEstimate(
+            lam=est.lam,
+            mu=est.mu + 1.0 / self.tc_minutes,
+            max_drivers=est.max_drivers + 1,
+        )
+        self._versions[destination_region] += 1
+
+    def on_unassignment(self, destination_region: int) -> None:
+        """Inverse of :meth:`on_assignment` (used by the local search when a
+        driver abandons a rider for a better one)."""
+        est = self._estimates[destination_region]
+        new_mu = max(0.0, est.mu - 1.0 / self.tc_minutes)
+        self._estimates[destination_region] = RateEstimate(
+            lam=est.lam,
+            mu=new_mu,
+            max_drivers=max(0, est.max_drivers - 1),
+        )
+        self._versions[destination_region] += 1

@@ -1,0 +1,84 @@
+"""SHORT — shortest total time greedy (Appendix C of the paper).
+
+Targets the alternate objective of maximising the *number* of served orders:
+in each iteration select the valid pair with the minimum ``cost(s, e) + ET``
+— the shortest expected service round — so every driver cycles back to a new
+rider as quickly as possible.
+
+Structurally identical to Algorithm 2 (same lazy-key heap, same
+``mu``-feedback on the destination region); only the priority key differs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
+from repro.core.idle_ratio import short_total_time
+from repro.core.rates import RegionRates
+
+__all__ = ["shortest_total_time_greedy"]
+
+
+def shortest_total_time_greedy(
+    riders: Sequence[BatchRider],
+    drivers: Sequence[BatchDriver],
+    pairs: Sequence[CandidatePair],
+    rates: RegionRates,
+    include_pickup: bool = True,
+) -> list[SelectedPair]:
+    """Run one batch of the SHORT algorithm.
+
+    Same contract as :func:`~repro.core.irg.idle_ratio_greedy`; ``rates`` is
+    mutated in place as pairs are committed.
+    """
+    rider_by_index = {r.index: r for r in riders}
+    driver_indices = {d.index for d in drivers}
+    for pair in pairs:
+        if pair.rider not in rider_by_index:
+            raise ValueError(f"pair references unknown rider {pair.rider}")
+        if pair.driver not in driver_indices:
+            raise ValueError(f"pair references unknown driver {pair.driver}")
+
+    heap: list[tuple[float, int, CandidatePair, int]] = []
+    for tiebreak, pair in enumerate(pairs):
+        rider = rider_by_index[pair.rider]
+        dest = rider.destination_region
+        eta = pair.pickup_eta_s if include_pickup else 0.0
+        key = short_total_time(
+            rider.trip_cost_s, rates.expected_idle_time(dest), eta
+        )
+        heap.append((key, tiebreak, pair, rates.version(dest)))
+    heapq.heapify(heap)
+
+    taken_riders: set[int] = set()
+    taken_drivers: set[int] = set()
+    selected: list[SelectedPair] = []
+
+    while heap:
+        key, tiebreak, pair, seen_version = heapq.heappop(heap)
+        if pair.rider in taken_riders or pair.driver in taken_drivers:
+            continue
+        rider = rider_by_index[pair.rider]
+        dest = rider.destination_region
+        if rates.version(dest) != seen_version:
+            eta = pair.pickup_eta_s if include_pickup else 0.0
+            fresh = short_total_time(
+                rider.trip_cost_s, rates.expected_idle_time(dest), eta
+            )
+            heapq.heappush(heap, (fresh, tiebreak, pair, rates.version(dest)))
+            continue
+        predicted_idle = rates.expected_idle_time(dest)
+        taken_riders.add(pair.rider)
+        taken_drivers.add(pair.driver)
+        rates.on_assignment(dest)
+        selected.append(
+            SelectedPair(
+                rider=pair.rider,
+                driver=pair.driver,
+                pickup_eta_s=pair.pickup_eta_s,
+                predicted_idle_s=predicted_idle,
+            )
+        )
+    return selected

@@ -1,0 +1,30 @@
+"""Data substrate: trip schema, the NYC-like synthetic trace generator, and
+workload assembly.
+
+The real NYC TLC trip data is not available offline; the generator
+reproduces the statistical properties the paper's framework depends on —
+Poisson per-region arrivals (verified in Appendix B), hotspot spatial
+structure, rush-hour/day-of-week temporal patterns, and commute
+directionality that creates the regional demand/supply imbalance motivating
+the whole approach (Example 1).
+"""
+
+from repro.data.schema import TripRecord
+from repro.data.nyc_synthetic import CityConfig, DayContext, NycTraceGenerator
+from repro.data.history import HistoryBuilder
+from repro.data.workload import (
+    WorkloadConfig,
+    initial_drivers_from_trips,
+    riders_from_trips,
+)
+
+__all__ = [
+    "TripRecord",
+    "CityConfig",
+    "DayContext",
+    "NycTraceGenerator",
+    "HistoryBuilder",
+    "WorkloadConfig",
+    "riders_from_trips",
+    "initial_drivers_from_trips",
+]

@@ -1,0 +1,161 @@
+"""Multi-day count histories for training the demand predictors.
+
+The paper trains on roughly five months of TLC records and tests on later
+days (Table 5).  :class:`HistoryBuilder` produces the same shape of data
+from the synthetic generator: a count tensor ``(days, slots, regions)``
+plus per-day meta features, split into train/test by day index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.nyc_synthetic import NycTraceGenerator
+
+__all__ = ["CountHistory", "HistoryBuilder", "ZoneHistoryBuilder"]
+
+
+@dataclass(frozen=True)
+class CountHistory:
+    """A contiguous span of daily count maps.
+
+    ``counts[d, s, k]``: orders of region ``k`` in slot ``s`` of day ``d``.
+    ``meta[d]``: (day_of_week one-hot is derived downstream) — stores
+    ``(day_of_week, is_weekend, weather_factor, is_rainy)`` per day.
+    """
+
+    counts: np.ndarray
+    day_of_week: np.ndarray
+    is_weekend: np.ndarray
+    weather: np.ndarray
+    is_rainy: np.ndarray
+    slot_minutes: int
+    first_day_index: int
+
+    @property
+    def num_days(self) -> int:
+        """Days in the history."""
+        return self.counts.shape[0]
+
+    @property
+    def slots_per_day(self) -> int:
+        """Time slots per day."""
+        return self.counts.shape[1]
+
+    @property
+    def num_regions(self) -> int:
+        """Regions per slot."""
+        return self.counts.shape[2]
+
+    def flatten_slots(self) -> np.ndarray:
+        """Collapse to ``(days * slots, regions)`` in chronological order."""
+        return self.counts.reshape(-1, self.num_regions)
+
+    def split(self, train_days: int) -> tuple["CountHistory", "CountHistory"]:
+        """Chronological train/test split after ``train_days`` days."""
+        if not 0 < train_days < self.num_days:
+            raise ValueError(
+                f"train_days must be in (0, {self.num_days}), got {train_days}"
+            )
+
+        def make(sl: slice, first: int) -> CountHistory:
+            return CountHistory(
+                counts=self.counts[sl],
+                day_of_week=self.day_of_week[sl],
+                is_weekend=self.is_weekend[sl],
+                weather=self.weather[sl],
+                is_rainy=self.is_rainy[sl],
+                slot_minutes=self.slot_minutes,
+                first_day_index=first,
+            )
+
+        return (
+            make(slice(0, train_days), self.first_day_index),
+            make(slice(train_days, self.num_days), self.first_day_index + train_days),
+        )
+
+
+class HistoryBuilder:
+    """Samples multi-day histories from a trace generator."""
+
+    def __init__(self, generator: NycTraceGenerator, slot_minutes: int = 30):
+        self.generator = generator
+        self.slot_minutes = int(slot_minutes)
+
+    def build(self, num_days: int, first_day_index: int = 0) -> CountHistory:
+        """Sample ``num_days`` consecutive days of slot counts + meta."""
+        if num_days <= 0:
+            raise ValueError(f"num_days must be positive, got {num_days}")
+        counts = []
+        dow = np.zeros(num_days, dtype=int)
+        weekend = np.zeros(num_days, dtype=bool)
+        weather = np.zeros(num_days)
+        rainy = np.zeros(num_days, dtype=bool)
+        for d in range(num_days):
+            day_index = first_day_index + d
+            counts.append(self.generator.generate_slot_counts(day_index, self.slot_minutes))
+            ctx = self.generator.day_context(day_index)
+            dow[d] = ctx.day_of_week
+            weekend[d] = ctx.is_weekend
+            weather[d] = ctx.weather_factor
+            rainy[d] = ctx.is_rainy
+        return CountHistory(
+            counts=np.stack(counts),
+            day_of_week=dow,
+            is_weekend=weekend,
+            weather=weather,
+            is_rainy=rainy,
+            slot_minutes=self.slot_minutes,
+            first_day_index=first_day_index,
+        )
+
+
+class ZoneHistoryBuilder:
+    """Bins generated trips into an irregular :class:`ZonePartition`.
+
+    The grid-based :class:`HistoryBuilder` samples per-cell counts directly
+    from the generator's intensity field; irregular zones (Appendix A) do
+    not align with that field, so this builder materialises each day's
+    trips and bins their pickups by zone.  Building the partition's raster
+    index first (``zones.build_index()``) keeps this fast.
+    """
+
+    def __init__(self, generator: NycTraceGenerator, zones, slot_minutes: int = 30):
+        self.generator = generator
+        self.zones = zones
+        self.slot_minutes = int(slot_minutes)
+
+    def build(self, num_days: int, first_day_index: int = 0) -> CountHistory:
+        """Materialise ``num_days`` of per-zone slot counts + meta."""
+        if num_days <= 0:
+            raise ValueError(f"num_days must be positive, got {num_days}")
+        slots_per_day = 1440 // self.slot_minutes
+        counts = np.zeros((num_days, slots_per_day, self.zones.num_regions))
+        dow = np.zeros(num_days, dtype=int)
+        weekend = np.zeros(num_days, dtype=bool)
+        weather = np.zeros(num_days)
+        rainy = np.zeros(num_days, dtype=bool)
+        for d in range(num_days):
+            day_index = first_day_index + d
+            for trip in self.generator.generate_trips(day_index):
+                slot = min(
+                    int(trip.pickup_time_s // (self.slot_minutes * 60)),
+                    slots_per_day - 1,
+                )
+                counts[d, slot, self.zones.region_of(trip.pickup)] += 1
+            ctx = self.generator.day_context(day_index)
+            dow[d] = ctx.day_of_week
+            weekend[d] = ctx.is_weekend
+            weather[d] = ctx.weather_factor
+            rainy[d] = ctx.is_rainy
+        return CountHistory(
+            counts=counts,
+            day_of_week=dow,
+            is_weekend=weekend,
+            weather=weather,
+            is_rainy=rainy,
+            slot_minutes=self.slot_minutes,
+            first_day_index=first_day_index,
+        )

@@ -1,0 +1,172 @@
+"""CSV round-trip for trip traces.
+
+Traces are plain CSV (``pickup_time_s,pickup_lon,pickup_lat,dropoff_lon,
+dropoff_lat``) so generated workloads can be inspected, cached between
+benchmark runs, or swapped for real TLC extracts when available.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.data.schema import TripRecord
+from repro.geo.point import GeoPoint
+
+__all__ = ["write_trips_csv", "read_trips_csv", "read_tlc_trips_csv"]
+
+_HEADER = ["pickup_time_s", "pickup_lon", "pickup_lat", "dropoff_lon", "dropoff_lat"]
+
+
+def write_trips_csv(path: str | Path, trips: Iterable[TripRecord]) -> int:
+    """Write ``trips`` to ``path``; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for trip in trips:
+            writer.writerow(
+                [
+                    f"{trip.pickup_time_s:.3f}",
+                    f"{trip.pickup.lon:.6f}",
+                    f"{trip.pickup.lat:.6f}",
+                    f"{trip.dropoff.lon:.6f}",
+                    f"{trip.dropoff.lat:.6f}",
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_trips_csv(path: str | Path) -> list[TripRecord]:
+    """Read a trace written by :func:`write_trips_csv`."""
+    trips: list[TripRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(
+                f"unexpected header {header!r} in {path}; expected {_HEADER}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(_HEADER):
+                raise ValueError(f"{path}:{line_no}: expected {len(_HEADER)} fields")
+            trips.append(
+                TripRecord(
+                    pickup_time_s=float(row[0]),
+                    pickup=GeoPoint(float(row[1]), float(row[2])),
+                    dropoff=GeoPoint(float(row[3]), float(row[4])),
+                )
+            )
+    return trips
+
+
+# -- NYC TLC yellow-taxi schema -------------------------------------------------
+
+#: Columns of the 2013-era TLC yellow-taxi trip files (the vintage the
+#: paper evaluates on).  Column order varies between vintages, so lookup is
+#: by name; only these four plus the pickup timestamp are consumed.
+_TLC_REQUIRED = (
+    "pickup_datetime",
+    "pickup_longitude",
+    "pickup_latitude",
+    "dropoff_longitude",
+    "dropoff_latitude",
+)
+
+#: Aliases seen across TLC vintages (2013 "trip_data" vs later "tpep" files).
+_TLC_ALIASES = {
+    "pickup_datetime": ("pickup_datetime", "tpep_pickup_datetime", "lpep_pickup_datetime"),
+    "pickup_longitude": ("pickup_longitude", "start_lon"),
+    "pickup_latitude": ("pickup_latitude", "start_lat"),
+    "dropoff_longitude": ("dropoff_longitude", "end_lon"),
+    "dropoff_latitude": ("dropoff_latitude", "end_lat"),
+}
+
+
+def _tlc_seconds_of_day(stamp: str) -> float:
+    """Seconds since midnight of a ``YYYY-MM-DD HH:MM:SS`` TLC timestamp."""
+    time_part = stamp.strip().split(" ")[1]
+    hours, minutes, seconds = time_part.split(":")
+    return float(hours) * 3600.0 + float(minutes) * 60.0 + float(seconds)
+
+
+def _tlc_date(stamp: str) -> str:
+    """The ``YYYY-MM-DD`` date of a TLC timestamp."""
+    return stamp.strip().split(" ")[0]
+
+
+def read_tlc_trips_csv(
+    path: str | Path,
+    date: str | None = None,
+    bbox=None,
+    max_rows: int | None = None,
+) -> list[TripRecord]:
+    """Import trips from an NYC TLC yellow-taxi CSV (§6.1's dataset).
+
+    Understands both the 2013 ``trip_data`` headers the paper used and the
+    later ``tpep_*`` variants; unknown extra columns are ignored.  Rows
+    with missing or zero coordinates (a known TLC data artefact) are
+    skipped silently, mirroring standard TLC preprocessing.
+
+    Parameters
+    ----------
+    date:
+        Keep only trips on this ``YYYY-MM-DD`` day (the paper tests on
+        2013-05-28); ``None`` keeps every row and timestamps each trip
+        within its own day.
+    bbox:
+        Optional :class:`~repro.geo.bbox.BoundingBox`; rows outside are
+        dropped (the paper clips to the NYC box).
+    max_rows:
+        Optional cap on imported rows (handy for sampling huge files).
+    """
+    trips: list[TripRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty file")
+        names = [h.strip().lower() for h in header]
+        columns = {}
+        for canonical, aliases in _TLC_ALIASES.items():
+            for alias in aliases:
+                if alias in names:
+                    columns[canonical] = names.index(alias)
+                    break
+        missing = [c for c in _TLC_REQUIRED if c not in columns]
+        if missing:
+            raise ValueError(
+                f"{path}: not a TLC trip file; missing columns {missing}"
+            )
+        for row in reader:
+            if max_rows is not None and len(trips) >= max_rows:
+                break
+            try:
+                stamp = row[columns["pickup_datetime"]]
+                lon = float(row[columns["pickup_longitude"]])
+                lat = float(row[columns["pickup_latitude"]])
+                dlon = float(row[columns["dropoff_longitude"]])
+                dlat = float(row[columns["dropoff_latitude"]])
+            except (IndexError, ValueError):
+                continue  # malformed row: standard TLC cleaning drops it
+            if lon == 0.0 or lat == 0.0 or dlon == 0.0 or dlat == 0.0:
+                continue  # the TLC files use zeros for missing GPS fixes
+            if date is not None and _tlc_date(stamp) != date:
+                continue
+            pickup = GeoPoint(lon, lat)
+            dropoff = GeoPoint(dlon, dlat)
+            if bbox is not None and not (
+                bbox.contains(pickup) and bbox.contains(dropoff)
+            ):
+                continue
+            trips.append(
+                TripRecord(
+                    pickup_time_s=_tlc_seconds_of_day(stamp),
+                    pickup=pickup,
+                    dropoff=dropoff,
+                )
+            )
+    trips.sort(key=lambda t: t.pickup_time_s)
+    return trips

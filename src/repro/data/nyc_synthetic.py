@@ -1,0 +1,416 @@
+"""NYC-like synthetic trip-trace generator.
+
+Substitutes the offline-unavailable TLC dataset (see DESIGN.md §3).  The
+generative model:
+
+- **Space** — the paper's NYC bounding box on a 16×16 grid.  Region base
+  intensities are a mixture of Gaussian hotspots split into *business*
+  (midtown, financial district), *residential* (upper east, Brooklyn,
+  Queens) and *transit* (airport-like) classes, over a small uniform floor.
+- **Time** — a diurnal volume curve with morning (~8:30) and evening
+  (~18:30) rush peaks, damped and shifted on weekends; a per-day weather
+  multiplier adds day-scale variance (and serves as DeepST's meta input).
+- **Directionality** — a commute signal moves origin mass toward
+  residential regions and destination mass toward business regions in the
+  morning, reversed in the evening: this creates the per-region
+  demand/supply imbalance of the paper's Example 1.
+- **Arrivals** — independent Poisson counts per (minute, region), exactly
+  the assumption Appendix B validates on the real data; destinations follow
+  an origin-conditional gravity model (closer regions more likely, scale
+  calibrated so most trips take under 20 minutes, matching [12] in §6.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.schema import TripRecord
+from repro.geo.bbox import NYC_BBOX, BoundingBox
+from repro.geo.distance import equirectangular_m
+from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
+
+__all__ = [
+    "Hotspot",
+    "CityConfig",
+    "DayContext",
+    "NycTraceGenerator",
+    "scaled_city_config",
+]
+
+_SECONDS_PER_DAY = 86_400
+_MINUTES_PER_DAY = 1_440
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One Gaussian intensity blob with a land-use class."""
+
+    lon: float
+    lat: float
+    sigma_deg: float
+    weight: float
+    kind: str  # "business" | "residential" | "transit"
+
+    def __post_init__(self) -> None:
+        if self.sigma_deg <= 0:
+            raise ValueError("hotspot sigma must be positive")
+        if self.weight <= 0:
+            raise ValueError("hotspot weight must be positive")
+        if self.kind not in ("business", "residential", "transit"):
+            raise ValueError(f"unknown hotspot kind {self.kind!r}")
+
+
+def _default_hotspots() -> tuple[Hotspot, ...]:
+    """Stylised NYC: business cores, residential belts, one airport."""
+    return (
+        Hotspot(-73.985, 40.758, 0.020, 3.0, "business"),    # midtown
+        Hotspot(-74.010, 40.707, 0.015, 2.0, "business"),    # financial district
+        Hotspot(-73.950, 40.780, 0.018, 1.6, "residential"), # upper east side
+        Hotspot(-73.955, 40.680, 0.030, 1.4, "residential"), # brooklyn
+        Hotspot(-73.870, 40.745, 0.030, 1.0, "residential"), # queens
+        Hotspot(-73.790, 40.645, 0.015, 0.7, "transit"),     # JFK-like
+    )
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Knobs of the synthetic city."""
+
+    bbox: BoundingBox = NYC_BBOX
+    rows: int = 16
+    cols: int = 16
+    daily_orders: float = 25_000.0
+    hotspots: tuple[Hotspot, ...] = field(default_factory=_default_hotspots)
+    uniform_floor: float = 0.08
+    gravity_scale_m: float = 3_500.0
+    commute_strength: float = 0.55
+    weekend_volume_factor: float = 0.78
+    weather_sigma: float = 0.08
+    rainy_probability: float = 0.25
+    rainy_boost: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.daily_orders <= 0:
+            raise ValueError("daily_orders must be positive")
+        if not 0 <= self.commute_strength <= 1:
+            raise ValueError("commute_strength must be in [0, 1]")
+        if self.gravity_scale_m <= 0:
+            raise ValueError("gravity scale must be positive")
+
+
+@dataclass(frozen=True)
+class DayContext:
+    """Per-day meta data (DeepST's external features)."""
+
+    day_index: int
+    day_of_week: int  # 0 = Monday
+    is_weekend: bool
+    weather_factor: float
+    is_rainy: bool
+
+
+class NycTraceGenerator:
+    """Deterministic (seeded) generator of NYC-like daily trip traces."""
+
+    def __init__(self, config: CityConfig | None = None, seed: int = 0):
+        self.config = config or CityConfig()
+        self.seed = int(seed)
+        self.grid = GridPartition(self.config.bbox, self.config.rows, self.config.cols)
+        self._centers = [self.grid.center_of(k) for k in self.grid]
+        self._base, self._business, self._residential = self._spatial_profiles()
+        self._pair_distance_m = self._pairwise_distances()
+        self._dest_matrix_cache: dict[int, np.ndarray] = {}
+
+    # -- per-day context -------------------------------------------------------
+
+    def day_context(self, day_index: int) -> DayContext:
+        """Deterministic meta data for day ``day_index`` (day 0 = a Monday)."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(1, day_index))
+        )
+        dow = day_index % 7
+        is_weekend = dow >= 5
+        weather = float(np.exp(rng.normal(0.0, self.config.weather_sigma)))
+        is_rainy = bool(rng.random() < self.config.rainy_probability)
+        if is_rainy:
+            weather *= self.config.rainy_boost
+        return DayContext(
+            day_index=day_index,
+            day_of_week=dow,
+            is_weekend=is_weekend,
+            weather_factor=weather,
+            is_rainy=is_rainy,
+        )
+
+    # -- intensity model -------------------------------------------------------
+
+    def volume_curve(self, minute: int, is_weekend: bool) -> float:
+        """Relative citywide demand intensity at ``minute`` of the day."""
+        h = minute / 60.0
+        base = 0.22
+        if is_weekend:
+            # Later, flatter weekend peaks.
+            morning = 0.45 * _gauss(h, 11.0, 2.2)
+            evening = 0.75 * _gauss(h, 19.5, 2.6)
+            midday = 0.35 * _gauss(h, 14.0, 3.0)
+        else:
+            morning = 1.00 * _gauss(h, 8.5, 1.4)
+            evening = 0.90 * _gauss(h, 18.5, 1.9)
+            midday = 0.30 * _gauss(h, 13.0, 3.0)
+        night = 0.20 * _gauss(h, 23.0, 1.5) + 0.20 * _gauss(h, 0.5, 1.5)
+        return base + morning + evening + midday + night
+
+    def commute_signal(self, minute: int, is_weekend: bool) -> float:
+        """+1 at the morning commute (res→bus), −1 in the evening, 0 at rest."""
+        if is_weekend:
+            return 0.0
+        h = minute / 60.0
+        return _gauss(h, 8.5, 1.6) - _gauss(h, 18.5, 2.0)
+
+    def origin_shares(self, minute: int, is_weekend: bool) -> np.ndarray:
+        """Per-region origin probability vector at ``minute``."""
+        c = self.config.commute_strength * self.commute_signal(minute, is_weekend)
+        raw = self._base * (1.0 + c * (self._residential - self._business))
+        raw = np.clip(raw, 1e-12, None)
+        return raw / raw.sum()
+
+    def minute_rate_matrix(self, day_index: int) -> np.ndarray:
+        """Expected arrivals per (minute, region): shape (1440, regions).
+
+        Rows sum to the day's per-minute volume; the whole matrix sums to
+        ``daily_orders`` scaled by the day's weekend/weather factors.
+        """
+        ctx = self.day_context(day_index)
+        volume = np.array(
+            [self.volume_curve(m, ctx.is_weekend) for m in range(_MINUTES_PER_DAY)]
+        )
+        volume /= volume.sum()
+        total = self.config.daily_orders * ctx.weather_factor
+        if ctx.is_weekend:
+            total *= self.config.weekend_volume_factor
+        shares = np.stack(
+            [self.origin_shares(m, ctx.is_weekend) for m in range(_MINUTES_PER_DAY)]
+        )
+        return shares * (volume * total)[:, None]
+
+    def destination_matrix(self, hour: int, is_weekend: bool) -> np.ndarray:
+        """Row-stochastic origin→destination region matrix for ``hour``."""
+        key = hour + (24 if is_weekend else 0)
+        cached = self._dest_matrix_cache.get(key)
+        if cached is not None:
+            return cached
+        minute = hour * 60 + 30
+        c = self.config.commute_strength * self.commute_signal(minute, is_weekend)
+        attraction = self._base * (1.0 + c * (self._business - self._residential))
+        attraction = np.clip(attraction, 1e-12, None)
+        gravity = np.exp(-self._pair_distance_m / self.config.gravity_scale_m)
+        raw = gravity * attraction[None, :]
+        # Suppress zero-length trips: a rider does not hail a taxi to stay put.
+        np.fill_diagonal(raw, raw.diagonal() * 0.05)
+        matrix = raw / raw.sum(axis=1, keepdims=True)
+        self._dest_matrix_cache[key] = matrix
+        return matrix
+
+    # -- sampling ----------------------------------------------------------------
+
+    def generate_trips(self, day_index: int) -> list[TripRecord]:
+        """Sample one full day of trips for ``day_index``."""
+        ctx = self.day_context(day_index)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(2, day_index))
+        )
+        rates = self.minute_rate_matrix(day_index)
+        counts = rng.poisson(rates)  # (1440, regions)
+
+        trips: list[TripRecord] = []
+        minutes, regions = np.nonzero(counts)
+        for minute, region in zip(minutes, regions):
+            n = int(counts[minute, region])
+            dest_probs = self.destination_matrix(minute // 60, ctx.is_weekend)[region]
+            dests = rng.choice(len(dest_probs), size=n, p=dest_probs)
+            times = rng.uniform(minute * 60.0, (minute + 1) * 60.0, size=n)
+            for t, dest in zip(times, dests):
+                trips.append(
+                    TripRecord(
+                        pickup_time_s=float(t),
+                        pickup=self._sample_in_region(int(region), rng),
+                        dropoff=self._sample_in_region(int(dest), rng),
+                    )
+                )
+        trips.sort(key=lambda tr: tr.pickup_time_s)
+        return trips
+
+    def generate_slot_counts(
+        self, day_index: int, slot_minutes: int = 30
+    ) -> np.ndarray:
+        """Sampled per-slot order counts, shape (slots, regions).
+
+        Statistically identical to counting :meth:`generate_trips` output
+        (sums of independent Poisson minutes), but orders of magnitude
+        faster — used to build multi-month training histories.
+        """
+        if _MINUTES_PER_DAY % slot_minutes != 0:
+            raise ValueError(f"slot_minutes must divide 1440, got {slot_minutes}")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(3, day_index))
+        )
+        expected = self.expected_slot_counts(day_index, slot_minutes)
+        return rng.poisson(expected).astype(float)
+
+    def expected_slot_counts(
+        self, day_index: int, slot_minutes: int = 30
+    ) -> np.ndarray:
+        """Noise-free per-slot expectations, shape (slots, regions)."""
+        if _MINUTES_PER_DAY % slot_minutes != 0:
+            raise ValueError(f"slot_minutes must divide 1440, got {slot_minutes}")
+        rates = self.minute_rate_matrix(day_index)
+        slots = _MINUTES_PER_DAY // slot_minutes
+        return rates.reshape(slots, slot_minutes, -1).sum(axis=1)
+
+    def sample_minute_counts(
+        self, day_index: int, region: int, minute_start: int, minute_end: int
+    ) -> np.ndarray:
+        """Per-minute *origin* counts of one region over a minute range.
+
+        Feeds the Appendix-B chi-square experiment on orders (Table 7).
+        """
+        if not 0 <= minute_start < minute_end <= _MINUTES_PER_DAY:
+            raise ValueError("invalid minute range")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(4, day_index, region))
+        )
+        rates = self.minute_rate_matrix(day_index)[minute_start:minute_end, region]
+        return rng.poisson(rates).astype(int)
+
+    def sample_minute_destination_counts(
+        self, day_index: int, region: int, minute_start: int, minute_end: int
+    ) -> np.ndarray:
+        """Per-minute counts of orders *ending* in ``region``.
+
+        The paper treats order destinations as the birth locations of
+        rejoined drivers (Appendix B, Table 8).  Thinning each origin's
+        Poisson stream by the origin→destination probabilities leaves the
+        per-destination counts Poisson with the mixed rate, which is what
+        we sample here.
+        """
+        if not 0 <= minute_start < minute_end <= _MINUTES_PER_DAY:
+            raise ValueError("invalid minute range")
+        ctx = self.day_context(day_index)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(5, day_index, region))
+        )
+        origin_rates = self.minute_rate_matrix(day_index)[minute_start:minute_end]
+        out = np.empty(minute_end - minute_start, dtype=int)
+        for i, minute in enumerate(range(minute_start, minute_end)):
+            dest_col = self.destination_matrix(minute // 60, ctx.is_weekend)[:, region]
+            rate = float(origin_rates[i] @ dest_col)
+            out[i] = rng.poisson(rate)
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _spatial_profiles(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self.grid.num_regions
+        base = np.full(n, self.config.uniform_floor)
+        business = np.zeros(n)
+        residential = np.zeros(n)
+        for k, center in enumerate(self._centers):
+            for spot in self.config.hotspots:
+                d2 = (center.lon - spot.lon) ** 2 + (center.lat - spot.lat) ** 2
+                intensity = spot.weight * math.exp(-d2 / (2.0 * spot.sigma_deg**2))
+                base[k] += intensity
+                if spot.kind == "business":
+                    business[k] += intensity
+                elif spot.kind == "residential":
+                    residential[k] += intensity
+        # Class profiles as shares of the local intensity, in [0, 1].
+        total = np.clip(base, 1e-12, None)
+        return base / base.sum(), business / total, residential / total
+
+    def _pairwise_distances(self) -> np.ndarray:
+        n = self.grid.num_regions
+        lons = np.array([c.lon for c in self._centers])
+        lats = np.array([c.lat for c in self._centers])
+        mean_lat = math.radians(float(lats.mean()))
+        kx = 111_320.0 * math.cos(mean_lat)
+        ky = 110_540.0
+        dx = (lons[:, None] - lons[None, :]) * kx
+        dy = (lats[:, None] - lats[None, :]) * ky
+        return np.hypot(dx, dy)
+
+    def _sample_in_region(self, region: int, rng: np.random.Generator) -> GeoPoint:
+        cell = self.grid.cell_bbox(region)
+        return cell.sample(rng)
+
+    def hot_regions(self, top: int = 10) -> list[int]:
+        """The ``top`` regions by base intensity (for Appendix-B picks)."""
+        order = np.argsort(-self._base)
+        return [int(k) for k in order[:top]]
+
+    def region_center_distance_m(self, a: int, b: int) -> float:
+        """Centre-to-centre distance between regions in metres."""
+        return equirectangular_m(self._centers[a], self._centers[b])
+
+
+def _gauss(x: float, mean: float, sigma: float) -> float:
+    """Unnormalised Gaussian bump."""
+    return math.exp(-((x - mean) ** 2) / (2.0 * sigma**2))
+
+
+def scaled_city_config(
+    base: CityConfig, factor: float, gravity_factor: float | None = None
+) -> CityConfig:
+    """Shrink a city around its bounding-box centre by ``factor``.
+
+    Used to run laptop-scale driver counts at the paper's spatial driver
+    *density*: the number of drivers within pickup reach of a random point
+    is ``(n / area) * pi * reach^2``, so a 25× smaller study area gives 120
+    drivers the same reachability as 3,000 drivers on the full NYC box
+    (DESIGN.md §3).  Hotspot centres and spreads shrink with the map;
+    ``gravity_factor`` (default: ``factor``) scales the trip-length scale —
+    pass 1.0 to keep trips at their physical lengths (they then span the
+    smaller city, as Manhattan trips span Manhattan).
+    """
+    if not 0 < factor <= 1:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    if gravity_factor is None:
+        gravity_factor = factor
+    if not 0 < gravity_factor <= 1:
+        raise ValueError(f"gravity_factor must be in (0, 1], got {gravity_factor}")
+    if factor == 1.0 and gravity_factor == 1.0:
+        return base
+    center = base.bbox.center
+    bbox = BoundingBox(
+        min_lon=center.lon + (base.bbox.min_lon - center.lon) * factor,
+        min_lat=center.lat + (base.bbox.min_lat - center.lat) * factor,
+        max_lon=center.lon + (base.bbox.max_lon - center.lon) * factor,
+        max_lat=center.lat + (base.bbox.max_lat - center.lat) * factor,
+    )
+    hotspots = tuple(
+        Hotspot(
+            lon=center.lon + (spot.lon - center.lon) * factor,
+            lat=center.lat + (spot.lat - center.lat) * factor,
+            sigma_deg=spot.sigma_deg * factor,
+            weight=spot.weight,
+            kind=spot.kind,
+        )
+        for spot in base.hotspots
+    )
+    return CityConfig(
+        bbox=bbox,
+        rows=base.rows,
+        cols=base.cols,
+        daily_orders=base.daily_orders,
+        hotspots=hotspots,
+        uniform_floor=base.uniform_floor,
+        gravity_scale_m=base.gravity_scale_m * gravity_factor,
+        commute_strength=base.commute_strength,
+        weekend_volume_factor=base.weekend_volume_factor,
+        weather_sigma=base.weather_sigma,
+        rainy_probability=base.rainy_probability,
+        rainy_boost=base.rainy_boost,
+    )

@@ -1,0 +1,27 @@
+"""Trip-record schema mirroring the fields the paper uses from TLC data.
+
+Each TLC yellow-taxi record contributes a pickup timestamp and location and
+a dropoff location (§6.2); everything else the experiments need (deadlines,
+travel costs, revenue) is derived at workload-assembly time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.point import GeoPoint
+
+__all__ = ["TripRecord"]
+
+
+@dataclass(frozen=True)
+class TripRecord:
+    """One taxi trip: when and where it started, where it ended."""
+
+    pickup_time_s: float
+    pickup: GeoPoint
+    dropoff: GeoPoint
+
+    def __post_init__(self) -> None:
+        if self.pickup_time_s < 0:
+            raise ValueError(f"pickup time must be >= 0, got {self.pickup_time_s}")

@@ -1,0 +1,144 @@
+"""Workload assembly: trip records → simulator riders and drivers.
+
+Follows §6.2 exactly: a trip record's pickup location/timestamp seeds the
+order's source and post time, the dropoff seeds the destination, and the
+pickup deadline is ``t_i + tau' + tau`` with ``tau' ~ U[1, 10]`` seconds of
+noise on top of the base waiting time ``tau``.  Driver origins are the
+pickup locations of randomly selected order records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import TripRecord
+from repro.geo.grid import GridPartition
+from repro.roadnet.travel_time import TravelCostModel
+from repro.sim.entities import Driver, Rider
+
+__all__ = [
+    "WorkloadConfig",
+    "riders_from_trips",
+    "initial_drivers_from_trips",
+    "shift_drivers_from_trips",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Rider-side parameters of Table 2."""
+
+    base_waiting_s: float = 120.0
+    waiting_noise_lo_s: float = 1.0
+    waiting_noise_hi_s: float = 10.0
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_waiting_s <= 0:
+            raise ValueError("base waiting time must be positive")
+        if not 0 <= self.waiting_noise_lo_s <= self.waiting_noise_hi_s:
+            raise ValueError("invalid waiting-noise interval")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+
+def riders_from_trips(
+    trips: Sequence[TripRecord],
+    grid: GridPartition,
+    cost_model: TravelCostModel,
+    config: WorkloadConfig,
+    rng: np.random.Generator,
+) -> list[Rider]:
+    """Materialise riders with deadlines, trip costs, and revenues."""
+    riders = []
+    noise = rng.uniform(
+        config.waiting_noise_lo_s, config.waiting_noise_hi_s, size=len(trips)
+    )
+    for i, trip in enumerate(trips):
+        trip_seconds = cost_model.travel_seconds(trip.pickup, trip.dropoff)
+        riders.append(
+            Rider(
+                rider_id=i,
+                request_time_s=trip.pickup_time_s,
+                pickup=trip.pickup,
+                dropoff=trip.dropoff,
+                deadline_s=trip.pickup_time_s + config.base_waiting_s + float(noise[i]),
+                trip_seconds=trip_seconds,
+                revenue=config.alpha * trip_seconds,
+                origin_region=grid.region_of(trip.pickup),
+                destination_region=grid.region_of(trip.dropoff),
+            )
+        )
+    return riders
+
+
+def initial_drivers_from_trips(
+    trips: Sequence[TripRecord],
+    grid: GridPartition,
+    num_drivers: int,
+    rng: np.random.Generator,
+) -> list[Driver]:
+    """Place ``num_drivers`` at the pickup locations of random records (§6.2)."""
+    if num_drivers <= 0:
+        raise ValueError(f"num_drivers must be positive, got {num_drivers}")
+    if not trips:
+        raise ValueError("cannot initialise drivers from an empty trace")
+    picks = rng.integers(0, len(trips), size=num_drivers)
+    drivers = []
+    for j, pick in enumerate(picks):
+        position = trips[int(pick)].pickup
+        drivers.append(
+            Driver(
+                driver_id=j,
+                position=position,
+                region=grid.region_of(position),
+            )
+        )
+    return drivers
+
+
+def shift_drivers_from_trips(
+    trips: Sequence[TripRecord],
+    grid: GridPartition,
+    num_drivers: int,
+    rng: np.random.Generator,
+    shift_hours: float = 8.0,
+    horizon_s: float = 86_400.0,
+) -> list[Driver]:
+    """Drivers with staggered fixed-length shifts (the lifetime ``T_j`` of
+    §2.4; Appendix B notes regular drivers work 8+ hour days).
+
+    Each driver anchors to a random trip record: the record's pickup
+    location seeds the origin, and the shift starts up to one hour before
+    the record's pickup time (clipped so the full shift fits the horizon
+    where possible), which makes the supply curve track the demand curve
+    the way rush-hour fleets do.
+    """
+    if num_drivers <= 0:
+        raise ValueError(f"num_drivers must be positive, got {num_drivers}")
+    if shift_hours <= 0:
+        raise ValueError(f"shift_hours must be positive, got {shift_hours}")
+    if not trips:
+        raise ValueError("cannot initialise drivers from an empty trace")
+    shift_s = shift_hours * 3600.0
+    picks = rng.integers(0, len(trips), size=num_drivers)
+    lead = rng.uniform(0.0, 3600.0, size=num_drivers)
+    drivers = []
+    for j, pick in enumerate(picks):
+        record = trips[int(pick)]
+        join = max(0.0, record.pickup_time_s - float(lead[j]))
+        join = min(join, max(0.0, horizon_s - shift_s))
+        drivers.append(
+            Driver(
+                driver_id=j,
+                position=record.pickup,
+                region=grid.region_of(record.pickup),
+                available_since_s=join,
+                join_time_s=join,
+                leave_time_s=join + shift_s,
+            )
+        )
+    return drivers

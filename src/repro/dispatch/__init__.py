@@ -1,0 +1,44 @@
+"""Dispatch policies: the paper's queueing-based algorithms plus baselines.
+
+All policies implement :class:`~repro.dispatch.base.DispatchPolicy` and are
+interchangeable inside the simulator:
+
+- ``QueueingPolicy`` — IRG / LS / SHORT (the paper's contribution),
+- ``NearestPolicy`` — NEAR baseline (nearest order per taxi),
+- ``LongTripPolicy`` — LTG baseline (highest-revenue orders first),
+- ``RandomPolicy`` — RAND baseline,
+- ``PolarPolicy`` — the VLDB'17 prediction-blueprint comparator,
+- ``UpperBoundPolicy`` — the UPPER revenue bound (ignores pickup travel),
+- ``RebalancingPolicy`` — extension wrapper adding queueing-guided
+  repositioning of long-idle drivers to any base policy.
+"""
+
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    Reposition,
+    generate_candidate_pairs,
+)
+from repro.dispatch.long_trip import LongTripPolicy
+from repro.dispatch.nearest import NearestPolicy
+from repro.dispatch.polar import PolarPolicy
+from repro.dispatch.queueing_policy import QueueingPolicy
+from repro.dispatch.random_policy import RandomPolicy
+from repro.dispatch.rebalancing import RebalancingPolicy
+from repro.dispatch.upper_bound import UpperBoundPolicy
+
+__all__ = [
+    "Assignment",
+    "BatchSnapshot",
+    "DispatchPolicy",
+    "generate_candidate_pairs",
+    "QueueingPolicy",
+    "NearestPolicy",
+    "LongTripPolicy",
+    "RandomPolicy",
+    "PolarPolicy",
+    "UpperBoundPolicy",
+    "RebalancingPolicy",
+    "Reposition",
+]

@@ -1,0 +1,109 @@
+"""Batch-optimal dispatcher (extension, not in the paper).
+
+The paper dispatches each batch greedily (IRG's §5.1 complexity analysis
+argues an exact method would be too slow at platform scale).  This policy
+solves each batch *exactly* with the Hungarian algorithm instead, under two
+objectives:
+
+- ``objective="idle_ratio"`` — minimise the summed idle ratios of the
+  selected pairs (the quantity IRG greedily descends), with a small reward
+  for each assignment so maximum-cardinality matchings are preferred among
+  equal-ratio solutions;
+- ``objective="revenue"`` — maximise the summed immediate revenue of the
+  batch (myopic exact matching, ignoring the queueing feedback).
+
+Comparing IRG against this policy quantifies how much the greedy loses to
+per-batch optimality (very little, it turns out — see the ablation
+benchmark) and how much the *mu feedback* matters: the exact matcher cannot
+model the interaction between its own simultaneous choices, because the
+idle ratio of a pair depends on how many other selected pairs share its
+destination.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.idle_ratio import idle_ratio
+from repro.core.rates import RegionRates
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    generate_candidate_pairs,
+)
+from repro.matching.hungarian import hungarian_min_cost
+
+__all__ = ["BatchOptimalPolicy"]
+
+#: Reward per committed assignment, dominating any idle-ratio difference so
+#: the matcher never trades an extra served rider for a better ratio.
+_ASSIGNMENT_REWARD = 10.0
+
+
+class BatchOptimalPolicy(DispatchPolicy):
+    """Exact per-batch assignment via the Hungarian algorithm."""
+
+    def __init__(self, objective: str = "idle_ratio", beta: float = 0.01):
+        if objective not in ("idle_ratio", "revenue"):
+            raise ValueError(f"unknown objective {objective!r}")
+        self.objective = objective
+        self.beta = float(beta)
+        self.name = "OPT-" + ("IR" if objective == "idle_ratio" else "REV")
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Build the cost matrix over valid pairs and solve exactly."""
+        pairs = generate_candidate_pairs(snapshot)
+        if not pairs:
+            return []
+
+        rider_ids = sorted({r.rider_id for r, _, _ in pairs})
+        driver_ids = sorted({d.driver_id for _, d, _ in pairs})
+        rider_index = {rid: i for i, rid in enumerate(rider_ids)}
+        driver_index = {did: j for j, did in enumerate(driver_ids)}
+
+        rates: RegionRates | None = None
+        if self.objective == "idle_ratio":
+            rates = RegionRates(
+                waiting_riders=snapshot.waiting_count_per_region(),
+                available_drivers=snapshot.available_count_per_region(),
+                predicted_riders=snapshot.predicted_riders,
+                predicted_drivers=snapshot.predicted_drivers,
+                tc_seconds=snapshot.tc_seconds,
+                beta=self.beta,
+            )
+
+        cost = np.full((len(rider_ids), len(driver_ids)), math.inf)
+        eta_of: dict[tuple[int, int], float] = {}
+        idle_of: dict[int, float] = {}
+        for rider, driver, eta in pairs:
+            i = rider_index[rider.rider_id]
+            j = driver_index[driver.driver_id]
+            eta_of[(rider.rider_id, driver.driver_id)] = eta
+            if self.objective == "revenue":
+                # Minimise negative revenue; constant shift keeps costs
+                # comparable but the optimum identical.
+                cost[i, j] = -rider.revenue
+            else:
+                et = rates.expected_idle_time(rider.destination_region)
+                idle_of[rider.rider_id] = et
+                cost[i, j] = idle_ratio(rider.trip_seconds, et, eta) - _ASSIGNMENT_REWARD
+
+        _, assignment = hungarian_min_cost(cost)
+        plan: list[Assignment] = []
+        for i, j in enumerate(assignment):
+            if j < 0:
+                continue
+            rider_id = rider_ids[i]
+            driver_id = driver_ids[j]
+            plan.append(
+                Assignment(
+                    rider_id=rider_id,
+                    driver_id=driver_id,
+                    pickup_eta_s=eta_of[(rider_id, driver_id)],
+                    predicted_idle_s=idle_of.get(rider_id, float("nan")),
+                )
+            )
+        return plan

@@ -1,0 +1,50 @@
+"""LTG baseline: greedily serve the highest-revenue orders first.
+
+Riders are taken in descending revenue; each receives its nearest remaining
+valid driver (the natural way to realise "assign orders with the highest
+revenue to available taxis").
+"""
+
+from __future__ import annotations
+
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    generate_candidate_pairs,
+)
+
+__all__ = ["LongTripPolicy"]
+
+
+class LongTripPolicy(DispatchPolicy):
+    """Long-trip greedy (highest ``alpha * cost(s, e)`` first)."""
+
+    name = "LTG"
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Descending-revenue sweep; nearest remaining driver per rider."""
+        pairs = generate_candidate_pairs(snapshot)
+        by_rider: dict[int, list[tuple[int, float]]] = {}
+        revenue_of: dict[int, float] = {}
+        for rider, driver, eta in pairs:
+            by_rider.setdefault(rider.rider_id, []).append((driver.driver_id, eta))
+            revenue_of[rider.rider_id] = rider.revenue
+
+        order = sorted(by_rider, key=lambda rid: (-revenue_of[rid], rid))
+        used_drivers: set[int] = set()
+        plan: list[Assignment] = []
+        for rider_id in order:
+            best: tuple[int, float] | None = None
+            for driver_id, eta in by_rider[rider_id]:
+                if driver_id in used_drivers:
+                    continue
+                if best is None or eta < best[1]:
+                    best = (driver_id, eta)
+            if best is None:
+                continue
+            used_drivers.add(best[0])
+            plan.append(
+                Assignment(rider_id=rider_id, driver_id=best[0], pickup_eta_s=best[1])
+            )
+        return plan

@@ -1,0 +1,36 @@
+"""NEAR baseline: greedily match the nearest order to each available taxi.
+
+Implemented as a global ascending-ETA sweep over all valid pairs, which is
+the symmetric "nearest first" matching: each surviving pair is the closest
+remaining (rider, driver) combination.
+"""
+
+from __future__ import annotations
+
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    generate_candidate_pairs,
+)
+from repro.matching.greedy import greedy_min_weight_matching
+
+__all__ = ["NearestPolicy"]
+
+
+class NearestPolicy(DispatchPolicy):
+    """Nearest-trip greedy (minimise pickup ETA pair by pair)."""
+
+    name = "NEAR"
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Sweep valid pairs in ascending pickup-ETA order."""
+        pairs = generate_candidate_pairs(snapshot)
+        triples = [
+            (rider.rider_id, driver.driver_id, eta) for rider, driver, eta in pairs
+        ]
+        selected = greedy_min_weight_matching(triples)
+        return [
+            Assignment(rider_id=r, driver_id=d, pickup_eta_s=eta)
+            for r, d, eta in selected
+        ]

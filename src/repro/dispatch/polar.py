@@ -1,0 +1,135 @@
+"""POLAR comparator (Tong et al., VLDB 2017 — described in §6.3/§7).
+
+POLAR "utilizes the predicted number of orders and drivers to conduct an
+offline bipartite matching first, then uses the offline result as a
+blueprint to guide the online task matching".  Our rendition:
+
+1. **Offline blueprint** (recomputed when the scheduling window rolls):
+   per-region expected driver supply (available now + predicted rejoins) is
+   matched to per-region predicted rider demand through a min-cost
+   transportation sweep over inter-region travel times, yielding quotas
+   ``blueprint[(supply_region, demand_region)]``.
+2. **Online matching**: valid pairs whose (driver region → rider region)
+   lane still has blueprint quota are preferred; within the same class,
+   pairs go in ascending pickup ETA.  Selected pairs consume quota.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    generate_candidate_pairs,
+)
+from repro.geo.distance import equirectangular_m
+from repro.geo.grid import GridPartition
+
+__all__ = ["PolarPolicy"]
+
+
+class PolarPolicy(DispatchPolicy):
+    """Prediction-blueprint guided online matching."""
+
+    name = "POLAR"
+
+    def __init__(self, blueprint_refresh_s: float | None = None):
+        #: How often the offline blueprint is recomputed; defaults to the
+        #: scheduling window length (a new blueprint per window).
+        self.blueprint_refresh_s = blueprint_refresh_s
+        self._blueprint: dict[tuple[int, int], float] = {}
+        self._blueprint_time: float | None = None
+        self._centers_cache: tuple[int, np.ndarray] | None = None
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Refresh the blueprint when stale, then run guided matching."""
+        refresh = self.blueprint_refresh_s or snapshot.tc_seconds
+        if (
+            self._blueprint_time is None
+            or snapshot.time_s - self._blueprint_time >= refresh
+        ):
+            self._blueprint = self._build_blueprint(snapshot)
+            self._blueprint_time = snapshot.time_s
+
+        pairs = generate_candidate_pairs(snapshot)
+        quota = dict(self._blueprint)
+
+        def sort_key(triple):
+            rider, driver, eta = triple
+            lane = (driver.region, rider.origin_region)
+            preferred = 0 if quota.get(lane, 0.0) >= 1.0 else 1
+            return (preferred, eta, rider.rider_id, driver.driver_id)
+
+        used_riders: set[int] = set()
+        used_drivers: set[int] = set()
+        plan: list[Assignment] = []
+        for rider, driver, eta in sorted(pairs, key=sort_key):
+            if rider.rider_id in used_riders or driver.driver_id in used_drivers:
+                continue
+            used_riders.add(rider.rider_id)
+            used_drivers.add(driver.driver_id)
+            lane = (driver.region, rider.origin_region)
+            if quota.get(lane, 0.0) >= 1.0:
+                quota[lane] -= 1.0
+            plan.append(
+                Assignment(
+                    rider_id=rider.rider_id,
+                    driver_id=driver.driver_id,
+                    pickup_eta_s=eta,
+                )
+            )
+        return plan
+
+    # -- offline stage -------------------------------------------------------
+
+    def _build_blueprint(self, snapshot: BatchSnapshot) -> dict[tuple[int, int], float]:
+        supply = (
+            snapshot.available_count_per_region().astype(float)
+            + snapshot.predicted_drivers
+        )
+        demand = np.asarray(snapshot.predicted_riders, dtype=float).copy()
+        centers = self._region_centers(snapshot.grid)
+
+        lanes: list[tuple[float, int, int]] = []
+        supply_regions = np.nonzero(supply > 0)[0]
+        demand_regions = np.nonzero(demand > 0)[0]
+        for i in supply_regions:
+            for j in demand_regions:
+                cost = float(
+                    np.hypot(
+                        centers[i, 0] - centers[j, 0], centers[i, 1] - centers[j, 1]
+                    )
+                )
+                lanes.append((cost, int(i), int(j)))
+        lanes.sort()
+
+        remaining_supply = supply.copy()
+        remaining_demand = demand.copy()
+        blueprint: dict[tuple[int, int], float] = {}
+        for _, i, j in lanes:
+            if remaining_supply[i] <= 0 or remaining_demand[j] <= 0:
+                continue
+            amount = min(remaining_supply[i], remaining_demand[j])
+            blueprint[(i, j)] = blueprint.get((i, j), 0.0) + amount
+            remaining_supply[i] -= amount
+            remaining_demand[j] -= amount
+        return blueprint
+
+    def _region_centers(self, grid: GridPartition) -> np.ndarray:
+        """Region centres projected to metres (memoised per grid size)."""
+        if self._centers_cache is not None and self._centers_cache[0] == id(grid):
+            return self._centers_cache[1]
+        origin = grid.bbox.center
+        centers = np.zeros((grid.num_regions, 2))
+        for k in range(grid.num_regions):
+            c = grid.center_of(k)
+            centers[k, 0] = equirectangular_m(origin, origin.shifted(dlon=c.lon - origin.lon))
+            if c.lon < origin.lon:
+                centers[k, 0] = -centers[k, 0]
+            centers[k, 1] = equirectangular_m(origin, origin.shifted(dlat=c.lat - origin.lat))
+            if c.lat < origin.lat:
+                centers[k, 1] = -centers[k, 1]
+        self._centers_cache = (id(grid), centers)
+        return centers

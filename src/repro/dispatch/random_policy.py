@@ -1,0 +1,49 @@
+"""RAND baseline: assign orders to available taxis uniformly at random."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    generate_candidate_pairs,
+)
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(DispatchPolicy):
+    """Pick a random valid driver for each rider, in random rider order."""
+
+    name = "RAND"
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._rng = rng or np.random.default_rng(0)
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Randomly sweep riders; give each a random remaining valid driver."""
+        pairs = generate_candidate_pairs(snapshot)
+        by_rider: dict[int, list[tuple[int, float]]] = {}
+        for rider, driver, eta in pairs:
+            by_rider.setdefault(rider.rider_id, []).append((driver.driver_id, eta))
+
+        rider_ids = list(by_rider.keys())
+        self._rng.shuffle(rider_ids)
+        used_drivers: set[int] = set()
+        plan: list[Assignment] = []
+        for rider_id in rider_ids:
+            options = [
+                (driver_id, eta)
+                for driver_id, eta in by_rider[rider_id]
+                if driver_id not in used_drivers
+            ]
+            if not options:
+                continue
+            driver_id, eta = options[self._rng.integers(len(options))]
+            used_drivers.add(driver_id)
+            plan.append(
+                Assignment(rider_id=rider_id, driver_id=driver_id, pickup_eta_s=eta)
+            )
+        return plan

@@ -1,0 +1,138 @@
+"""Queueing-guided fleet rebalancing (extension, not in the paper).
+
+The paper's framework uses the expected idle time ``ET(λ(k), μ(k))``
+*reactively*: riders whose destinations have low ET get priority, which
+drifts the fleet toward under-supplied regions as a side effect of
+serving.  This wrapper exercises the same signal *proactively*: drivers
+that stay unassigned for a while are driven — empty — toward the region
+where the queueing model says their wait for the next rider will be
+shortest, counting the deadhead travel as part of that wait.
+
+The wrapper composes with any base policy (``RebalancingPolicy(
+QueueingPolicy("irg"))``, ``RebalancingPolicy(NearestPolicy())`` …) and
+leaves its assignments untouched; the ablation benchmark quantifies the
+net revenue effect.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rates import RegionRates
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    Reposition,
+)
+
+__all__ = ["RebalancingPolicy"]
+
+
+class RebalancingPolicy(DispatchPolicy):
+    """Wrap a base policy with queueing-guided idle-driver repositioning.
+
+    Parameters
+    ----------
+    base:
+        The dispatching policy producing the revenue assignments.
+    idle_threshold_s:
+        Only drivers idle for at least this long are considered — fresh
+        arrivals are left in place so the base policy can use them.
+    max_fraction:
+        At most this fraction of the batch's available drivers is moved
+        per tick (prevents the whole surplus from stampeding to one hot
+        region between two batches).
+    min_gain_s:
+        A move must cut the expected time-to-next-rider (travel + ET) by
+        at least this margin; small gains are not worth the fuel.
+    beta:
+        Reneging parameter of the queueing model (Eq. 4).
+    """
+
+    def __init__(
+        self,
+        base: DispatchPolicy,
+        idle_threshold_s: float = 120.0,
+        max_fraction: float = 0.2,
+        min_gain_s: float = 30.0,
+        beta: float = 0.01,
+    ):
+        if idle_threshold_s < 0:
+            raise ValueError("idle threshold must be non-negative")
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        if min_gain_s < 0:
+            raise ValueError("min_gain_s must be non-negative")
+        self.base = base
+        self.idle_threshold_s = float(idle_threshold_s)
+        self.max_fraction = float(max_fraction)
+        self.min_gain_s = float(min_gain_s)
+        self.beta = float(beta)
+        self.name = f"{base.name}+RB"
+        self._assigned_this_batch: set[int] = set()
+
+    @property
+    def ignores_pickup_distance(self) -> bool:  # delegate UPPER-style flags
+        return self.base.ignores_pickup_distance
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Delegate to the base policy, remembering who it used."""
+        assignments = self.base.plan_batch(snapshot)
+        self._assigned_this_batch = {a.driver_id for a in assignments}
+        return assignments
+
+    def plan_repositions(self, snapshot: BatchSnapshot) -> list[Reposition]:
+        """Send long-idle leftover drivers where their expected wait is least."""
+        candidates = [
+            d
+            for d in snapshot.available_drivers
+            if d.driver_id not in self._assigned_this_batch
+            and snapshot.time_s - d.available_since_s >= self.idle_threshold_s
+        ]
+        if not candidates:
+            return []
+        budget = max(1, int(self.max_fraction * len(snapshot.available_drivers)))
+
+        rates = RegionRates(
+            waiting_riders=snapshot.waiting_count_per_region(),
+            available_drivers=snapshot.available_count_per_region(),
+            predicted_riders=snapshot.predicted_riders,
+            predicted_drivers=snapshot.predicted_drivers,
+            tc_seconds=snapshot.tc_seconds,
+            beta=self.beta,
+        )
+        grid = snapshot.grid
+        # Longest-idle drivers move first: they have waited the most and
+        # are the strongest evidence their region is oversupplied.
+        candidates.sort(key=lambda d: d.available_since_s)
+
+        repositions: list[Reposition] = []
+        for driver in candidates:
+            if len(repositions) >= budget:
+                break
+            stay = rates.expected_idle_time(driver.region)
+            best_region = driver.region
+            best_total = stay
+            for region in range(grid.num_regions):
+                if region == driver.region:
+                    continue
+                et = rates.expected_idle_time(region)
+                if math.isinf(et):
+                    continue
+                travel = snapshot.cost_model.travel_seconds(
+                    driver.position, grid.center_of(region)
+                )
+                total = travel + et
+                if total < best_total:
+                    best_total = total
+                    best_region = region
+            gain = stay - best_total
+            if best_region != driver.region and gain >= self.min_gain_s:
+                repositions.append(
+                    Reposition(driver_id=driver.driver_id, target_region=best_region)
+                )
+                # The move adds future supply to the target: make it less
+                # attractive for the rest of this batch's candidates.
+                rates.on_assignment(best_region)
+        return repositions

@@ -1,0 +1,39 @@
+"""UPPER: the paper's per-batch revenue upper bound (§6.3).
+
+"Summing up the revenue of the most expensive orders that can be served by
+idle drivers ignoring their pick-up distances in each batch": every batch,
+the ``k`` most expensive waiting orders (``k`` = available drivers) are
+served with zero pickup travel.  The engine honours
+``ignores_pickup_distance`` by charging no pickup time at all, so drivers
+teleport — an upper bound, not a feasible policy.
+"""
+
+from __future__ import annotations
+
+from repro.dispatch.base import Assignment, BatchSnapshot, DispatchPolicy
+
+__all__ = ["UpperBoundPolicy"]
+
+
+class UpperBoundPolicy(DispatchPolicy):
+    """Serve the top-revenue waiting orders, ignoring pickup distances."""
+
+    name = "UPPER"
+    ignores_pickup_distance = True
+
+    def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
+        """Pair top-revenue riders with arbitrary available drivers."""
+        riders = sorted(
+            snapshot.waiting_riders, key=lambda r: (-r.revenue, r.rider_id)
+        )
+        drivers = snapshot.available_drivers
+        plan: list[Assignment] = []
+        for rider, driver in zip(riders, drivers):
+            plan.append(
+                Assignment(
+                    rider_id=rider.rider_id,
+                    driver_id=driver.driver_id,
+                    pickup_eta_s=0.0,
+                )
+            )
+        return plan

@@ -1,0 +1,32 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+``ExperimentConfig`` carries Table 2's parameters (scaled defaults — see
+DESIGN.md §3 for the scaling substitution); ``run_policy`` executes one
+simulation; ``sweep_parameter`` drives the Figure 7–10/13 sweeps; the
+``tables``/``figures`` modules assemble every reported artefact.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PredictionExperimentConfig,
+    profile_config,
+)
+from repro.experiments.runner import (
+    RunSummary,
+    available_policies,
+    clear_caches,
+    run_policy,
+)
+from repro.experiments.sweeps import SweepResult, sweep_parameter
+
+__all__ = [
+    "ExperimentConfig",
+    "PredictionExperimentConfig",
+    "profile_config",
+    "RunSummary",
+    "run_policy",
+    "available_policies",
+    "clear_caches",
+    "SweepResult",
+    "sweep_parameter",
+]

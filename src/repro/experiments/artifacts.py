@@ -1,0 +1,404 @@
+"""Registry of every reproduced paper artefact (tables and figures).
+
+Each artefact is addressed by a short name (``table3`` … ``figure13``),
+knows which configuration kind it needs (the simulation experiments or the
+pure prediction experiments), and renders the same text the benchmark
+suite persists under ``results/``.  The benchmarks and the command-line
+interface both go through this module, so the rendered output has a single
+source of truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, PredictionExperimentConfig
+from repro.experiments.figures import (
+    figure5_order_distribution,
+    figure6_idle_time_maps,
+    figure7_vary_drivers,
+    figure8_vary_batch_interval,
+    figure9_vary_time_window,
+    figure10_vary_waiting_time,
+    figure11_order_histograms,
+    figure12_driver_histograms,
+    figure13_served_orders,
+)
+from repro.experiments.sweeps import SweepResult
+from repro.experiments.tables import (
+    build_table3,
+    build_table4,
+    build_table6,
+    build_table7,
+    build_table8,
+    build_table_a,
+)
+from repro.utils.svgplot import grouped_bars, heatmap, line_chart
+from repro.utils.textplot import render_heatmap, render_series, render_table
+
+__all__ = [
+    "Artifact",
+    "artifact_names",
+    "get_artifact",
+    "build_artifact",
+    "build_artifact_svg",
+    "render_sweep_figure",
+    "render_histogram_panels",
+    "render_idle_time_maps",
+    "render_order_distribution",
+    "render_figure13",
+]
+
+
+# -- shared renderers (used by the benchmark files too) ----------------------------
+
+def render_sweep_figure(
+    xlabel: str, result: SweepResult, title_revenue: str, title_time: str
+) -> str:
+    """Two stacked panels: total revenue and batch time (ms) vs the swept
+    parameter — the layout of Figures 7–10."""
+    timings = {
+        policy: [round(v * 1000, 3) for v in values]
+        for policy, values in result.batch_seconds.items()
+    }
+    return (
+        render_series(xlabel, result.values, result.revenue, title=title_revenue)
+        + "\n\n"
+        + render_series(xlabel, result.values, timings, title=title_time)
+    )
+
+
+def render_histogram_panels(panels: Sequence[Mapping], title: str) -> str:
+    """Observed-vs-expected count histograms (Figures 11–12 layout)."""
+    blocks = [title]
+    for panel in panels:
+        rows = [
+            [f"{int(b[0])}~{int(b[1])}", obs, exp]
+            for b, obs, exp in zip(
+                panel["bins"], panel["observed"], panel["expected"]
+            )
+        ]
+        blocks.append(
+            render_table(
+                ["count range", "observed", "expected"],
+                rows,
+                title=f'{panel["region"]} @ {panel["hour"]}',
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_idle_time_maps(predicted: np.ndarray, realized: np.ndarray) -> str:
+    """Predicted and realized per-region idle-time grids (Figure 6 layout)."""
+
+    def fmt(matrix: np.ndarray, title: str) -> str:
+        rows = [
+            [("-" if np.isnan(v) else round(float(v), 1)) for v in row]
+            for row in matrix
+        ]
+        return render_table(
+            [f"c{c}" for c in range(matrix.shape[1])], rows, title=title
+        )
+
+    return (
+        fmt(predicted, "Figure 6(a) reproduced: predicted idle time (s)")
+        + "\n\n"
+        + fmt(realized, "Figure 6(b) reproduced: real idle time (s)")
+    )
+
+
+def render_order_distribution(counts: np.ndarray) -> str:
+    """Morning pickup-density heatmap plus the raw counts (Figure 5)."""
+    heat = render_heatmap(
+        counts.tolist(), title="Figure 5 (reproduced): 8:00-8:45 pickups"
+    )
+    table = render_table(
+        [f"c{c}" for c in range(counts.shape[1])],
+        [[int(v) for v in row] for row in counts],
+    )
+    return heat + "\n\n" + table
+
+
+_FIGURE13_TITLES = {
+    "num_drivers": "Figure 13(a) reproduced: vs n",
+    "tc_minutes": "Figure 13(b) reproduced: vs t_c",
+    "batch_interval_s": "Figure 13(c) reproduced: vs Delta",
+    "base_waiting_s": "Figure 13(d) reproduced: vs tau",
+}
+
+
+def render_figure13(sweeps: Mapping[str, SweepResult]) -> str:
+    """Served-order counts across the four parameter sweeps (Figure 13)."""
+    blocks = [
+        render_series(key, sweep.values, sweep.served, title=_FIGURE13_TITLES[key])
+        for key, sweep in sweeps.items()
+    ]
+    return "\n\n".join(blocks)
+
+
+# -- artefact construction ----------------------------------------------------------
+
+def _table3(config: ExperimentConfig) -> str:
+    headers, rows = build_table3(config)
+    return render_table(headers, rows, title="Table 3 (reproduced)")
+
+
+def _table4(config: ExperimentConfig) -> str:
+    headers, rows = build_table4(config)
+    return render_table(headers, rows, title="Table 4 (reproduced, revenue)")
+
+
+def _table6(config: PredictionExperimentConfig) -> str:
+    headers, rows = build_table6(config)
+    return render_table(headers, rows, title="Table 6 (reproduced)")
+
+
+def _table7(config: PredictionExperimentConfig) -> str:
+    headers, rows = build_table7(config)
+    return render_table(headers, rows, title="Table 7 (reproduced)")
+
+
+def _table8(config: PredictionExperimentConfig) -> str:
+    headers, rows = build_table8(config)
+    return render_table(headers, rows, title="Table 8 (reproduced)")
+
+
+def _table_a(config: PredictionExperimentConfig) -> str:
+    headers, rows = build_table_a(config)
+    return render_table(
+        headers, rows, title="Appendix A (reproduced): irregular zones"
+    )
+
+
+def _figure5(config: ExperimentConfig) -> str:
+    return render_order_distribution(figure5_order_distribution(config))
+
+
+def _figure6(config: ExperimentConfig) -> str:
+    predicted, realized = figure6_idle_time_maps(config)
+    return render_idle_time_maps(predicted, realized)
+
+
+def _figure7(config: ExperimentConfig) -> str:
+    return render_sweep_figure(
+        "n",
+        figure7_vary_drivers(config),
+        "Figure 7(a) reproduced: total revenue",
+        "Figure 7(b) reproduced: batch time (ms)",
+    )
+
+
+def _figure8(config: ExperimentConfig) -> str:
+    return render_sweep_figure(
+        "Delta",
+        figure8_vary_batch_interval(config),
+        "Figure 8(a) reproduced: total revenue",
+        "Figure 8(b) reproduced: batch time (ms)",
+    )
+
+
+def _figure9(config: ExperimentConfig) -> str:
+    return render_sweep_figure(
+        "tc_min",
+        figure9_vary_time_window(config),
+        "Figure 9(a) reproduced: total revenue",
+        "Figure 9(b) reproduced: batch time (ms)",
+    )
+
+
+def _figure10(config: ExperimentConfig) -> str:
+    return render_sweep_figure(
+        "tau",
+        figure10_vary_waiting_time(config),
+        "Figure 10(a) reproduced: total revenue",
+        "Figure 10(b) reproduced: batch time (ms)",
+    )
+
+
+def _figure11(config: PredictionExperimentConfig) -> str:
+    return render_histogram_panels(
+        figure11_order_histograms(config), "Figure 11 (reproduced)"
+    )
+
+
+def _figure12(config: PredictionExperimentConfig) -> str:
+    return render_histogram_panels(
+        figure12_driver_histograms(config), "Figure 12 (reproduced)"
+    )
+
+
+def _figure13(config: ExperimentConfig) -> str:
+    return render_figure13(figure13_served_orders(config))
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One reproducible paper artefact.
+
+    ``kind`` selects the configuration the builder consumes: ``"sim"``
+    artefacts run the dispatching simulator (:class:`ExperimentConfig`),
+    ``"prediction"`` artefacts exercise the demand predictors and the
+    Poisson verification (:class:`PredictionExperimentConfig`).
+    """
+
+    name: str
+    title: str
+    kind: str
+    builder: Callable[..., str]
+
+
+_ARTIFACTS: dict[str, Artifact] = {
+    a.name: a
+    for a in (
+        Artifact("table3", "Idle-time estimation error vs #drivers", "sim", _table3),
+        Artifact("table4", "Revenue by prediction method", "sim", _table4),
+        Artifact("table6", "Demand predictor RMSE", "prediction", _table6),
+        Artifact("table7", "Chi-square Poisson test of orders", "prediction", _table7),
+        Artifact("table8", "Chi-square Poisson test of drivers", "prediction", _table8),
+        Artifact(
+            "tableA",
+            "DeepST-GC accuracy on irregular zones (Appendix A)",
+            "prediction",
+            _table_a,
+        ),
+        Artifact("figure5", "Morning order distribution map", "sim", _figure5),
+        Artifact("figure6", "Predicted vs real idle time maps", "sim", _figure6),
+        Artifact("figure7", "Revenue / batch time vs #drivers", "sim", _figure7),
+        Artifact("figure8", "Revenue / batch time vs batch interval", "sim", _figure8),
+        Artifact("figure9", "Revenue / batch time vs time window", "sim", _figure9),
+        Artifact("figure10", "Revenue / batch time vs waiting time", "sim", _figure10),
+        Artifact("figure11", "Order-count Poisson histograms", "prediction", _figure11),
+        Artifact("figure12", "Driver-count Poisson histograms", "prediction", _figure12),
+        Artifact("figure13", "Served orders under SHORT", "sim", _figure13),
+    )
+}
+
+
+def artifact_names() -> list[str]:
+    """All artefact names, tables first then figures (paper order)."""
+    return list(_ARTIFACTS)
+
+
+def get_artifact(name: str) -> Artifact:
+    """Look up one artefact; raises ``KeyError`` with the known names."""
+    try:
+        return _ARTIFACTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown artifact {name!r}; expected one of {', '.join(_ARTIFACTS)}"
+        ) from None
+
+
+def build_artifact(
+    name: str,
+    sim_config: ExperimentConfig | None = None,
+    prediction_config: PredictionExperimentConfig | None = None,
+) -> str:
+    """Build and render one artefact with the matching configuration."""
+    artifact = get_artifact(name)
+    if artifact.kind == "sim":
+        return artifact.builder(sim_config or ExperimentConfig())
+    return artifact.builder(prediction_config or PredictionExperimentConfig())
+
+
+# -- SVG rendering of the figure artefacts -------------------------------------------
+
+def _sweep_svgs(stem: str, xlabel: str, result: SweepResult, number: int):
+    timings = {
+        policy: [v * 1000 for v in values]
+        for policy, values in result.batch_seconds.items()
+    }
+    return {
+        f"{stem}_revenue": line_chart(
+            result.values, result.revenue,
+            title=f"Figure {number}(a): total revenue",
+            xlabel=xlabel, ylabel="total revenue",
+        ),
+        f"{stem}_batch_time": line_chart(
+            result.values, timings,
+            title=f"Figure {number}(b): batch time",
+            xlabel=xlabel, ylabel="batch time (ms)",
+        ),
+    }
+
+
+def _histogram_svgs(stem: str, panels, number: int):
+    out = {}
+    for i, panel in enumerate(panels):
+        labels = [f"{int(b[0])}~{int(b[1])}" for b in panel["bins"]]
+        out[f"{stem}_panel{i}"] = grouped_bars(
+            labels,
+            {"observed": panel["observed"], "expected": panel["expected"]},
+            title=f'Figure {number}: {panel["region"]} @ {panel["hour"]}',
+            ylabel="sample count",
+        )
+    return out
+
+
+def build_artifact_svg(
+    name: str,
+    sim_config: ExperimentConfig | None = None,
+    prediction_config: PredictionExperimentConfig | None = None,
+) -> dict[str, str]:
+    """SVG renderings of a *figure* artefact (empty dict for tables).
+
+    Returns ``{file_stem: svg_text}``; one artefact may produce several
+    charts (the sweeps have a revenue and a timing panel, the histogram
+    figures one chart per region/hour panel).
+    """
+    sim_config = sim_config or ExperimentConfig()
+    prediction_config = prediction_config or PredictionExperimentConfig()
+    get_artifact(name)  # validate the name
+    if name == "figure5":
+        counts = figure5_order_distribution(sim_config)
+        return {
+            "figure5_pickups": heatmap(
+                counts.tolist(), title="Figure 5: 8:00-8:45 pickups"
+            )
+        }
+    if name == "figure6":
+        predicted, realized = figure6_idle_time_maps(sim_config)
+        return {
+            "figure6_predicted": heatmap(
+                predicted.tolist(), title="Figure 6(a): predicted idle time (s)"
+            ),
+            "figure6_real": heatmap(
+                realized.tolist(), title="Figure 6(b): real idle time (s)"
+            ),
+        }
+    if name == "figure7":
+        return _sweep_svgs("figure7", "n", figure7_vary_drivers(sim_config), 7)
+    if name == "figure8":
+        return _sweep_svgs(
+            "figure8", "Delta (s)", figure8_vary_batch_interval(sim_config), 8
+        )
+    if name == "figure9":
+        return _sweep_svgs(
+            "figure9", "t_c (min)", figure9_vary_time_window(sim_config), 9
+        )
+    if name == "figure10":
+        return _sweep_svgs(
+            "figure10", "tau (s)", figure10_vary_waiting_time(sim_config), 10
+        )
+    if name == "figure11":
+        return _histogram_svgs(
+            "figure11", figure11_order_histograms(prediction_config), 11
+        )
+    if name == "figure12":
+        return _histogram_svgs(
+            "figure12", figure12_driver_histograms(prediction_config), 12
+        )
+    if name == "figure13":
+        sweeps = figure13_served_orders(sim_config)
+        return {
+            f"figure13_{key}": line_chart(
+                sweep.values, sweep.served,
+                title=_FIGURE13_TITLES[key].replace(" reproduced", ""),
+                xlabel=key, ylabel="# served orders",
+            )
+            for key, sweep in sweeps.items()
+        }
+    return {}

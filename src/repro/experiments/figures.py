@@ -1,0 +1,193 @@
+"""Reproduction of every *figure* in the paper's evaluation.
+
+Figures come back as data series (plus ASCII heatmaps where the original is
+a map); the benchmark files render and persist them under ``results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
+from repro.experiments.config import ExperimentConfig, PredictionExperimentConfig
+from repro.experiments.runner import build_world, run_policy
+from repro.experiments.sweeps import (
+    PAPER_FIGURE13_POLICIES,
+    PAPER_FIGURE_POLICIES,
+    SweepResult,
+    sweep_parameter,
+)
+from repro.stats.histograms import bin_counts, equal_width_bins, poisson_expected_counts
+
+__all__ = [
+    "figure5_order_distribution",
+    "figure6_idle_time_maps",
+    "figure7_vary_drivers",
+    "figure8_vary_batch_interval",
+    "figure9_vary_time_window",
+    "figure10_vary_waiting_time",
+    "figure11_order_histograms",
+    "figure12_driver_histograms",
+    "figure13_served_orders",
+]
+
+
+# -- Figure 5: spatial distribution of orders --------------------------------------
+
+def figure5_order_distribution(
+    config: ExperimentConfig,
+    start_s: float = 8 * 3600.0,
+    end_s: float = 8 * 3600.0 + 45 * 60.0,
+) -> np.ndarray:
+    """Pickup counts per grid cell between 8:00 and 8:45 (paper Figure 5).
+
+    Returns a ``(rows, cols)`` matrix, northernmost row first (map
+    orientation).
+    """
+    _, grid, trips, _ = build_world(config)
+    counts = np.zeros((grid.rows, grid.cols))
+    for trip in trips:
+        if start_s <= trip.pickup_time_s < end_s:
+            row, col = grid.row_col(grid.region_of(trip.pickup))
+            counts[row, col] += 1
+    return counts[::-1]
+
+
+# -- Figure 6: predicted vs real idle time per region --------------------------------
+
+def figure6_idle_time_maps(
+    config: ExperimentConfig, policy: str = "IRG-R"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean predicted and realized idle seconds per region (Figure 6 a/b).
+
+    Regions that never produced an idle sample hold NaN.
+    """
+    summary = run_policy(config, policy)
+    rows, cols = config.grid_rows, config.grid_cols
+    predicted = np.full((rows, cols), np.nan)
+    realized = np.full((rows, cols), np.nan)
+    acc: dict[int, list[float]] = {}
+    for sample in summary.idle_samples:
+        acc.setdefault(sample.region, [0.0, 0.0, 0.0])
+        slot = acc[sample.region]
+        slot[0] += sample.predicted_idle_s
+        slot[1] += sample.realized_idle_s
+        slot[2] += 1.0
+    for region, (p, r, n) in acc.items():
+        row, col = divmod(region, cols)
+        predicted[row, col] = p / n
+        realized[row, col] = r / n
+    return predicted[::-1], realized[::-1]
+
+
+# -- Figures 7–10: the four parameter sweeps ------------------------------------------
+
+def figure7_vary_drivers(
+    config: ExperimentConfig, include_upper: bool = True
+) -> SweepResult:
+    """Revenue and batch time vs number of drivers (Figure 7)."""
+    policies = list(PAPER_FIGURE_POLICIES) + (["UPPER"] if include_upper else [])
+    return sweep_parameter(config, "num_drivers", config.driver_sweep(), policies)
+
+
+def figure8_vary_batch_interval(config: ExperimentConfig) -> SweepResult:
+    """Revenue and batch time vs batch interval Delta (Figure 8)."""
+    return sweep_parameter(
+        config, "batch_interval_s", config.batch_interval_sweep(), PAPER_FIGURE_POLICIES
+    )
+
+
+def figure9_vary_time_window(config: ExperimentConfig) -> SweepResult:
+    """Revenue and batch time vs scheduling window t_c (Figure 9)."""
+    return sweep_parameter(
+        config, "tc_minutes", config.tc_sweep(), PAPER_FIGURE_POLICIES
+    )
+
+
+def figure10_vary_waiting_time(config: ExperimentConfig) -> SweepResult:
+    """Revenue and batch time vs base waiting time tau (Figure 10)."""
+    return sweep_parameter(
+        config, "base_waiting_s", config.waiting_sweep(), PAPER_FIGURE_POLICIES
+    )
+
+
+# -- Figures 11–12: Poisson fit histograms ---------------------------------------------
+
+def _histogram_panels(config: PredictionExperimentConfig, kind: str):
+    """Observed vs expected per-window count histograms (Appendix B).
+
+    Weather variation is disabled for the same reason as Tables 7-8: the
+    Poisson property holds within a stable period.
+    """
+    generator = NycTraceGenerator(
+        CityConfig(
+            daily_orders=config.daily_orders,
+            weather_sigma=0.0,
+            rainy_probability=0.0,
+        ),
+        seed=config.seed,
+    )
+    hot = generator.hot_regions(top=4)
+    panels = []
+    working_days = [d for d in range(30) if d % 7 < 5][:21]
+    for label_region, region in (("Region 1", hot[0]), ("Region 2", hot[2])):
+        for hour in (7, 8):
+            samples: list[int] = []
+            for day in working_days:
+                if kind == "orders":
+                    counts = generator.sample_minute_counts(
+                        day, region, hour * 60, hour * 60 + 10
+                    )
+                else:
+                    counts = generator.sample_minute_destination_counts(
+                        day, region, hour * 60, hour * 60 + 10
+                    )
+                samples.extend(int(c) for c in counts)
+            lam = float(np.mean(samples))
+            width = max(1, int(round(max(samples) - min(samples))) // 6 or 1)
+            bins = equal_width_bins(min(samples), max(samples) + 1, width)
+            observed = bin_counts(samples, bins)
+            expected = poisson_expected_counts(bins, lam, len(samples))
+            panels.append(
+                {
+                    "region": label_region,
+                    "hour": f"{hour}:00 A.M.",
+                    "bins": bins,
+                    "observed": observed,
+                    "expected": [round(e, 1) for e in expected],
+                }
+            )
+    return panels
+
+
+def figure11_order_histograms(config: PredictionExperimentConfig):
+    """Observed vs Poisson-expected order-count histograms (Figure 11)."""
+    return _histogram_panels(config, kind="orders")
+
+
+def figure12_driver_histograms(config: PredictionExperimentConfig):
+    """Observed vs Poisson-expected driver-count histograms (Figure 12)."""
+    return _histogram_panels(config, kind="drivers")
+
+
+# -- Figure 13: total served orders -----------------------------------------------------
+
+def figure13_served_orders(config: ExperimentConfig) -> dict[str, SweepResult]:
+    """Served-order counts for RAND/NEAR/POLAR/SHORT over all four sweeps."""
+    return {
+        "num_drivers": sweep_parameter(
+            config, "num_drivers", config.driver_sweep(), PAPER_FIGURE13_POLICIES
+        ),
+        "tc_minutes": sweep_parameter(
+            config, "tc_minutes", config.tc_sweep(), PAPER_FIGURE13_POLICIES
+        ),
+        "batch_interval_s": sweep_parameter(
+            config,
+            "batch_interval_s",
+            config.batch_interval_sweep(),
+            PAPER_FIGURE13_POLICIES,
+        ),
+        "base_waiting_s": sweep_parameter(
+            config, "base_waiting_s", config.waiting_sweep(), PAPER_FIGURE13_POLICIES
+        ),
+    }

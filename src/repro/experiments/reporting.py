@@ -1,0 +1,35 @@
+"""Persist rendered tables/figures under ``results/``.
+
+Every benchmark writes its artefact here so ``pytest benchmarks/`` leaves a
+full, inspectable record of the reproduced evaluation (EXPERIMENTS.md links
+to these files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["results_dir", "save_result"]
+
+_RESULTS_DIRNAME = "results"
+
+
+def results_dir() -> Path:
+    """The repository-level ``results/`` directory (created on demand)."""
+    root = Path(__file__).resolve()
+    for parent in root.parents:
+        if (parent / "pyproject.toml").exists():
+            out = parent / _RESULTS_DIRNAME
+            out.mkdir(exist_ok=True)
+            return out
+    # Fallback: current working directory (e.g. installed package usage).
+    out = Path.cwd() / _RESULTS_DIRNAME
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def save_result(name: str, content: str) -> Path:
+    """Write ``content`` to ``results/<name>.txt`` and return the path."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

@@ -1,0 +1,345 @@
+"""Workload construction, policy registry, and memoised run execution.
+
+Everything downstream (sweeps, tables, figures, benchmarks) funnels through
+:func:`run_policy`.  Results are memoised per ``(config, policy)`` — the
+default configuration appears in every sweep, so sharing it across the
+Figure 7–10 benchmarks saves a large fraction of total bench time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.history import CountHistory, HistoryBuilder
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator, scaled_city_config
+from repro.data.workload import (
+    WorkloadConfig,
+    initial_drivers_from_trips,
+    riders_from_trips,
+)
+from repro.dispatch import (
+    LongTripPolicy,
+    NearestPolicy,
+    PolarPolicy,
+    QueueingPolicy,
+    RandomPolicy,
+    UpperBoundPolicy,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.prediction import (
+    DeepSTPredictor,
+    GBRTPredictor,
+    HistoricalAverage,
+    LinearRegressionPredictor,
+)
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.demand import CachedDemand, OracleDemand, SlotModelDemand
+from repro.sim.engine import SimConfig, Simulation, SimulationResult
+from repro.sim.metrics import IdleSample
+
+__all__ = [
+    "RunSummary",
+    "run_policy",
+    "available_policies",
+    "clear_caches",
+    "build_world",
+    "predicted_slot_matrix",
+]
+
+#: Queueing-policy variants and baselines accepted by :func:`run_policy`.
+_POLICY_NAMES = (
+    "RAND",
+    "NEAR",
+    "LTG",
+    "UPPER",
+    "POLAR",
+    "POLAR-R",
+    "IRG-P",
+    "IRG-R",
+    "LS-P",
+    "LS-R",
+    "SHORT",
+    "SHORT-R",
+)
+
+_PREDICTOR_FACTORIES = {
+    "ha": lambda: HistoricalAverage(),
+    "lr": lambda: LinearRegressionPredictor(),
+    "gbrt": lambda: GBRTPredictor(),
+    "deepst": lambda: DeepSTPredictor(),
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """All policy names the runner understands."""
+    return _POLICY_NAMES
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Slim, cache-friendly summary of one simulation run."""
+
+    policy: str
+    total_revenue: float
+    served_orders: int
+    total_orders: int
+    reneged_orders: int
+    mean_batch_seconds: float
+    max_batch_seconds: float
+    idle_samples: tuple[IdleSample, ...]
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of riders served."""
+        return self.served_orders / self.total_orders if self.total_orders else 0.0
+
+
+# -- world construction ----------------------------------------------------------
+
+_world_cache: dict[tuple, tuple] = {}
+_prediction_cache: dict[tuple, np.ndarray] = {}
+_run_cache: dict[tuple, RunSummary] = {}
+
+
+def clear_caches() -> None:
+    """Drop every memoised world, prediction, and run."""
+    _world_cache.clear()
+    _prediction_cache.clear()
+    _run_cache.clear()
+
+
+def build_world(config: ExperimentConfig):
+    """Generator, grid, trips and cost model for ``config`` (memoised)."""
+    key = (
+        config.daily_orders,
+        config.seed,
+        config.test_day_index,
+        config.grid_rows,
+        config.grid_cols,
+        config.speed_mps,
+        config.space_scale,
+    )
+    cached = _world_cache.get(key)
+    if cached is None:
+        city = scaled_city_config(
+            CityConfig(
+                daily_orders=config.daily_orders,
+                rows=config.grid_rows,
+                cols=config.grid_cols,
+            ),
+            config.space_scale,
+            gravity_factor=1.0,
+        )
+        generator = NycTraceGenerator(city, seed=config.seed)
+        trips = generator.generate_trips(config.test_day_index)
+        cost_model = StraightLineCost(speed_mps=config.speed_mps)
+        cached = (generator, generator.grid, trips, cost_model)
+        _world_cache[key] = cached
+    return cached
+
+
+def _build_riders_and_drivers(config: ExperimentConfig):
+    generator, grid, trips, cost_model = build_world(config)
+    workload = WorkloadConfig(base_waiting_s=config.base_waiting_s, alpha=config.alpha)
+    rider_rng = np.random.default_rng(
+        np.random.SeedSequence(config.seed, spawn_key=(10,))
+    )
+    driver_rng = np.random.default_rng(
+        np.random.SeedSequence(config.seed, spawn_key=(11,))
+    )
+    riders = riders_from_trips(trips, grid, cost_model, workload, rider_rng)
+    drivers = initial_drivers_from_trips(trips, grid, config.num_drivers, driver_rng)
+    return riders, drivers, grid, cost_model
+
+
+# -- prediction for the "-P" variants ---------------------------------------------
+
+def _history_with_test_day(config: ExperimentConfig) -> tuple[CountHistory, int]:
+    """Sampled training history plus the *actual* test-day counts.
+
+    Earlier days come from the fast count sampler; the final day's counts
+    are tallied from the very trips the simulation will replay, so "-P"
+    predictions are graded against the day that actually happens.
+    """
+    generator, grid, trips, _ = build_world(config)
+    slot_minutes = 30
+    builder = HistoryBuilder(generator, slot_minutes=slot_minutes)
+    history = builder.build(num_days=config.test_day_index)
+
+    slots_per_day = 1440 // slot_minutes
+    test_counts = np.zeros((slots_per_day, grid.num_regions))
+    for trip in trips:
+        slot = min(int(trip.pickup_time_s // (slot_minutes * 60)), slots_per_day - 1)
+        test_counts[slot, grid.region_of(trip.pickup)] += 1
+
+    ctx = generator.day_context(config.test_day_index)
+    merged = CountHistory(
+        counts=np.concatenate([history.counts, test_counts[None]], axis=0),
+        day_of_week=np.append(history.day_of_week, ctx.day_of_week),
+        is_weekend=np.append(history.is_weekend, ctx.is_weekend),
+        weather=np.append(history.weather, ctx.weather_factor),
+        is_rainy=np.append(history.is_rainy, ctx.is_rainy),
+        slot_minutes=slot_minutes,
+        first_day_index=0,
+    )
+    return merged, config.test_day_index
+
+
+def predicted_slot_matrix(
+    config: ExperimentConfig, predictor_name: str = "deepst"
+) -> np.ndarray:
+    """Test-day per-slot predictions ``(slots, regions)`` for ``config``.
+
+    Memoised per (workload identity, predictor): the same trained model
+    serves every sweep point that shares the trace.
+    """
+    if predictor_name not in _PREDICTOR_FACTORIES:
+        raise ValueError(
+            f"unknown predictor {predictor_name!r}; expected one of "
+            f"{sorted(_PREDICTOR_FACTORIES)}"
+        )
+    key = (
+        config.daily_orders,
+        config.seed,
+        config.test_day_index,
+        config.grid_rows,
+        config.grid_cols,
+        predictor_name,
+    )
+    cached = _prediction_cache.get(key)
+    if cached is None:
+        history, test_day = _history_with_test_day(config)
+        train = CountHistory(
+            counts=history.counts[:test_day],
+            day_of_week=history.day_of_week[:test_day],
+            is_weekend=history.is_weekend[:test_day],
+            weather=history.weather[:test_day],
+            is_rainy=history.is_rainy[:test_day],
+            slot_minutes=history.slot_minutes,
+            first_day_index=0,
+        )
+        predictor = _PREDICTOR_FACTORIES[predictor_name]()
+        predictor.fit(train)
+        cached = predictor.predict_day(history, test_day)
+        _prediction_cache[key] = cached
+    return cached
+
+
+# -- policy registry ---------------------------------------------------------------
+
+def _make_policy(name: str, config: ExperimentConfig):
+    if name.endswith("+RB"):
+        from repro.dispatch import RebalancingPolicy
+
+        return RebalancingPolicy(_make_policy(name[:-3], config), beta=config.beta)
+    rng = np.random.default_rng(np.random.SeedSequence(config.seed, spawn_key=(12,)))
+    if name == "RAND":
+        return RandomPolicy(rng=rng)
+    if name == "NEAR":
+        return NearestPolicy()
+    if name == "LTG":
+        return LongTripPolicy()
+    if name == "UPPER":
+        return UpperBoundPolicy()
+    if name in ("POLAR", "POLAR-R"):
+        return PolarPolicy()
+    if name.startswith("IRG"):
+        return QueueingPolicy("irg", beta=config.beta, name_suffix=name[3:])
+    if name.startswith("LS"):
+        return QueueingPolicy("ls", beta=config.beta, name_suffix=name[2:])
+    if name.startswith("SHORT"):
+        return QueueingPolicy("short", beta=config.beta, name_suffix=name[5:])
+    raise ValueError(f"unknown policy {name!r}; expected one of {_POLICY_NAMES}")
+
+
+def _make_demand(name: str, config: ExperimentConfig, riders, grid, predictor_name: str):
+    if name.endswith("+RB"):
+        name = name[:-3]
+    uses_prediction = name in ("POLAR", "IRG-P", "LS-P", "SHORT") or name.endswith("-P")
+    if uses_prediction:
+        matrix = predicted_slot_matrix(config, predictor_name)
+        source = SlotModelDemand(matrix, slot_seconds=30 * 60.0)
+    else:
+        source = OracleDemand(riders, grid.num_regions)
+    if config.demand_cache_quantum_s > 0:
+        return CachedDemand(source, quantum_s=config.demand_cache_quantum_s)
+    return source
+
+
+# -- execution ----------------------------------------------------------------------
+
+def run_policy(
+    config: ExperimentConfig,
+    policy_name: str,
+    predictor_name: str = "deepst",
+    use_cache: bool = True,
+) -> RunSummary:
+    """Run one full simulation of ``policy_name`` under ``config``.
+
+    ``predictor_name`` selects the demand model backing the "-P" variants
+    (Table 4 sweeps it; everything else uses DeepST, the paper's choice).
+    Any base name may carry a ``+RB`` suffix to wrap it in the
+    queueing-guided rebalancer (e.g. ``"IRG-R+RB"``).
+    """
+    base_name = policy_name[:-3] if policy_name.endswith("+RB") else policy_name
+    if base_name not in _POLICY_NAMES:
+        raise ValueError(
+            f"unknown policy {policy_name!r}; expected one of {_POLICY_NAMES} "
+            f"(optionally suffixed with '+RB')"
+        )
+    cache_key = (config, policy_name, predictor_name)
+    if use_cache:
+        cached = _run_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+    result = _execute(config, policy_name, predictor_name)
+    summary = RunSummary(
+        policy=policy_name,
+        total_revenue=result.metrics.total_revenue,
+        served_orders=result.metrics.served_orders,
+        total_orders=result.metrics.total_orders,
+        reneged_orders=result.metrics.reneged_orders,
+        mean_batch_seconds=result.metrics.mean_batch_seconds,
+        max_batch_seconds=result.metrics.max_batch_seconds,
+        idle_samples=tuple(result.recorder.samples),
+    )
+    if use_cache:
+        _run_cache[cache_key] = summary
+    return summary
+
+
+def run_policy_full(
+    config: ExperimentConfig, policy_name: str, predictor_name: str = "deepst"
+) -> SimulationResult:
+    """Like :func:`run_policy` but returns the full (uncached) result."""
+    return _execute(config, policy_name, predictor_name)
+
+
+def _execute(
+    config: ExperimentConfig, policy_name: str, predictor_name: str
+) -> SimulationResult:
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    policy = _make_policy(policy_name, config)
+    demand = _make_demand(policy_name, config, riders, grid, predictor_name)
+    sim = Simulation(
+        riders,
+        drivers,
+        grid,
+        cost_model,
+        policy,
+        SimConfig(
+            batch_interval_s=config.batch_interval_s,
+            tc_seconds=config.tc_seconds,
+            horizon_s=config.horizon_s,
+            pickup_speed_mps=config.speed_mps,
+        ),
+        demand=demand,
+    )
+    result = sim.run()
+    if not math.isfinite(result.metrics.total_revenue):
+        raise RuntimeError(f"non-finite revenue from {policy_name}")  # pragma: no cover
+    return result

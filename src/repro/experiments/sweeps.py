@@ -1,0 +1,84 @@
+"""Parameter sweeps (Figures 7–10 and 13).
+
+A sweep varies exactly one :class:`ExperimentConfig` field across a value
+list and runs every requested policy at every point, collecting total
+revenue, mean per-batch planning time, and served-order counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_policy
+
+__all__ = ["SweepResult", "sweep_parameter", "PAPER_FIGURE_POLICIES"]
+
+#: The approaches plotted in Figures 7–10 of the paper.
+PAPER_FIGURE_POLICIES = (
+    "RAND",
+    "LTG",
+    "NEAR",
+    "POLAR",
+    "IRG-P",
+    "IRG-R",
+    "LS-P",
+    "LS-R",
+)
+
+#: The approaches plotted in Figure 13 (served-order experiments).
+PAPER_FIGURE13_POLICIES = ("RAND", "NEAR", "POLAR", "SHORT")
+
+
+@dataclass
+class SweepResult:
+    """Revenue / batch-time / served-order series over a swept parameter."""
+
+    parameter: str
+    values: list
+    revenue: dict[str, list[float]] = field(default_factory=dict)
+    batch_seconds: dict[str, list[float]] = field(default_factory=dict)
+    served: dict[str, list[int]] = field(default_factory=dict)
+
+    def revenue_series(self) -> dict[str, Sequence[float]]:
+        """Policy → revenue per sweep value (Figure *a* panels)."""
+        return self.revenue
+
+    def batch_time_series(self) -> dict[str, Sequence[float]]:
+        """Policy → mean batch seconds per sweep value (Figure *b* panels)."""
+        return self.batch_seconds
+
+    def served_series(self) -> dict[str, Sequence[int]]:
+        """Policy → served orders per sweep value (Figure 13 panels)."""
+        return self.served
+
+
+def sweep_parameter(
+    config: ExperimentConfig,
+    parameter: str,
+    values: Sequence,
+    policies: Sequence[str] = PAPER_FIGURE_POLICIES,
+    predictor_name: str = "deepst",
+) -> SweepResult:
+    """Run ``policies`` across ``values`` of ``parameter``.
+
+    ``parameter`` must be a field of :class:`ExperimentConfig` (e.g.
+    ``"num_drivers"``, ``"batch_interval_s"``, ``"tc_minutes"``,
+    ``"base_waiting_s"``).
+    """
+    if not hasattr(config, parameter):
+        raise ValueError(f"ExperimentConfig has no field {parameter!r}")
+    result = SweepResult(parameter=parameter, values=list(values))
+    for policy in policies:
+        result.revenue[policy] = []
+        result.batch_seconds[policy] = []
+        result.served[policy] = []
+    for value in values:
+        point = config.replace(**{parameter: value})
+        for policy in policies:
+            summary = run_policy(point, policy, predictor_name=predictor_name)
+            result.revenue[policy].append(summary.total_revenue)
+            result.batch_seconds[policy].append(summary.mean_batch_seconds)
+            result.served[policy].append(summary.served_orders)
+    return result

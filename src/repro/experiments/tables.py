@@ -1,0 +1,263 @@
+"""Reproduction of every *table* in the paper's evaluation.
+
+Each ``build_table*`` returns ``(headers, rows)`` ready for
+:func:`repro.utils.textplot.render_table`; the benchmark files render and
+persist them under ``results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.history import HistoryBuilder
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
+from repro.experiments.config import ExperimentConfig, PredictionExperimentConfig
+from repro.experiments.runner import run_policy
+from repro.prediction import (
+    DeepSTPredictor,
+    GBRTPredictor,
+    HistoricalAverage,
+    LinearRegressionPredictor,
+    evaluate_predictor,
+)
+from repro.stats.chi_square import poisson_chi_square_test
+from repro.stats.metrics import mae, relative_rmse, rmse
+
+__all__ = [
+    "build_table3",
+    "build_table4",
+    "build_table6",
+    "build_table7",
+    "build_table8",
+    "build_table_a",
+]
+
+
+# -- Table 3: accuracy of the estimated idle time --------------------------------
+
+def build_table3(
+    config: ExperimentConfig,
+    driver_counts: list[int] | None = None,
+    policy: str = "IRG-R",
+):
+    """Idle-time estimation error versus the number of drivers.
+
+    Per sweep point, runs the queueing policy and compares the ET attached
+    to each assignment with the idle interval the driver actually
+    experienced (MAE, relative RMSE %, real RMSE — the paper's columns).
+    """
+    driver_counts = driver_counts or config.idle_driver_sweep()
+    headers = ["#Drivers", "MAE (s)", "RMSE (%)", "Real RMSE (s)", "#Samples"]
+    rows = []
+    for n in driver_counts:
+        summary = run_policy(config.replace(num_drivers=n), policy)
+        predicted = [s.predicted_idle_s for s in summary.idle_samples]
+        realized = [s.realized_idle_s for s in summary.idle_samples]
+        if len(predicted) < 2 or sum(realized) == 0:
+            rows.append([n, float("nan"), float("nan"), float("nan"), len(predicted)])
+            continue
+        rows.append(
+            [
+                n,
+                round(mae(predicted, realized), 2),
+                round(relative_rmse(predicted, realized), 2),
+                round(rmse(predicted, realized), 2),
+                len(predicted),
+            ]
+        )
+    return headers, rows
+
+
+# -- Table 4: effect of the prediction method ------------------------------------
+
+def build_table4(
+    config: ExperimentConfig,
+    approaches: tuple[str, ...] = ("IRG", "LS", "POLAR"),
+    predictors: tuple[str, ...] = ("ha", "lr", "gbrt", "deepst"),
+    num_instances: int = 3,
+):
+    """Mean total revenue of each approach under each demand predictor.
+
+    Matches Table 4's layout: one row per approach, one column per
+    prediction method, final column the ground-truth oracle.  The paper
+    averages 10 generated problem instances; predictor-quality deltas are
+    fractions of a percent, so a single instance buries them in workload
+    noise — ``num_instances`` seeds are averaged (runs are memoised per
+    seed, so the sweep benchmarks reuse the first instance).
+    """
+    headers = ["Approach"] + [
+        p.upper() if p != "deepst" else "DeepST" for p in predictors
+    ] + ["Real"]
+    instance_configs = [
+        config.replace(seed=config.seed + 10 * i) for i in range(num_instances)
+    ]
+
+    def mean_revenue(policy_name: str, predictor_name: str = "deepst") -> float:
+        total = 0.0
+        for instance in instance_configs:
+            total += run_policy(
+                instance, policy_name, predictor_name=predictor_name
+            ).total_revenue
+        return total / len(instance_configs)
+
+    rows = []
+    for approach in approaches:
+        pred_name = {"IRG": "IRG-P", "LS": "LS-P", "POLAR": "POLAR"}[approach]
+        real_name = {"IRG": "IRG-R", "LS": "LS-R", "POLAR": "POLAR-R"}[approach]
+        row: list[object] = [approach]
+        for predictor in predictors:
+            row.append(round(mean_revenue(pred_name, predictor)))
+        row.append(round(mean_revenue(real_name)))
+        rows.append(row)
+    return headers, rows
+
+
+# -- Table 6: demand prediction accuracy ------------------------------------------
+
+def build_table6(config: PredictionExperimentConfig):
+    """RMSE of HA / LR / GBRT / DeepST on held-out days (paper Table 6)."""
+    generator = NycTraceGenerator(
+        CityConfig(
+            daily_orders=config.daily_orders,
+            rows=config.grid_rows,
+            cols=config.grid_cols,
+        ),
+        seed=config.seed,
+    )
+    history = HistoryBuilder(generator, slot_minutes=config.slot_minutes).build(
+        num_days=config.history_days
+    )
+    train, _ = history.split(config.train_days)
+    test_days = config.test_days()
+
+    headers = ["Model", "RMSE (%)", "Real RMSE"]
+    rows = []
+    for predictor in (
+        DeepSTPredictor(),
+        HistoricalAverage(),
+        LinearRegressionPredictor(),
+        GBRTPredictor(),
+    ):
+        predictor.fit(train)
+        score = evaluate_predictor(predictor, history, test_days)
+        rows.append(score.as_row())
+    return headers, rows
+
+
+# -- Appendix A: DeepST-GC on irregular zones ----------------------------------------
+
+def build_table_a(
+    config: PredictionExperimentConfig,
+    zone_rows: int = 6,
+    zone_cols: int = 6,
+    daily_orders: float | None = None,
+):
+    """Predictor accuracy on an *irregular* zone partition (Appendix A).
+
+    The CNN-based DeepST needs a regular grid, so on irregular zones the
+    comparison is HA / LR / GBRT / DeepST-GC — the graph-convolution
+    variant the appendix introduces for exactly this case.  Zones come
+    from the jittered-mesh builder (DESIGN.md: no real shapefiles
+    offline); per-zone counts are binned from materialised trips.
+
+    ``daily_orders`` defaults to a quarter of the prediction config's
+    density: counts must be binned trip by trip here, and the accuracy
+    *ordering* (GC best, HA worst) is what the appendix reports.
+    """
+    from repro.data.history import ZoneHistoryBuilder
+    from repro.geo import build_jittered_zones
+    from repro.prediction import DeepSTGCPredictor
+
+    density = daily_orders if daily_orders is not None else config.daily_orders / 4
+    generator = NycTraceGenerator(
+        CityConfig(daily_orders=density), seed=config.seed
+    )
+    zones = build_jittered_zones(
+        generator.grid.bbox,
+        rows=zone_rows,
+        cols=zone_cols,
+        rng=np.random.default_rng(config.seed),
+    ).build_index()
+    history = ZoneHistoryBuilder(
+        generator, zones, slot_minutes=config.slot_minutes
+    ).build(num_days=config.history_days)
+    train, _ = history.split(config.train_days)
+    test_days = config.test_days()
+
+    headers = ["Model", "RMSE (%)", "Real RMSE"]
+    rows = []
+    for predictor in (
+        DeepSTGCPredictor(zones.adjacency()),
+        HistoricalAverage(),
+        LinearRegressionPredictor(),
+        GBRTPredictor(),
+    ):
+        predictor.fit(train)
+        score = evaluate_predictor(predictor, history, test_days)
+        rows.append(score.as_row())
+    return headers, rows
+
+
+# -- Tables 7 and 8: chi-square Poisson verification -------------------------------
+
+def _chi_square_rows(config: PredictionExperimentConfig, kind: str):
+    """Shared machinery for Tables 7 (orders) and 8 (rejoined drivers).
+
+    Appendix B samples per-minute counts in two busy regions at 7 A.M. and
+    8 A.M. over 21 working days (210 samples per cell).  Rejoined drivers
+    are the *destinations* of orders (a regular driver rejoins where the
+    last order ended), realised here by testing the same Poisson machinery
+    on the destination-side counts.
+    """
+    # Day-scale weather variation is disabled: the chi-square test verifies
+    # within-stable-period Poissonity (Appendix B samples one stable month);
+    # pooling days with different weather multipliers would test a Poisson
+    # mixture instead.
+    generator = NycTraceGenerator(
+        CityConfig(
+            daily_orders=config.daily_orders,
+            weather_sigma=0.0,
+            rainy_probability=0.0,
+        ),
+        seed=config.seed,
+    )
+    hot = generator.hot_regions(top=4)
+    regions = [hot[0], hot[2]]
+    slots = [(7 * 60, 7 * 60 + 10, "7:00~7:10"), (8 * 60, 8 * 60 + 10, "8:00~8:10")]
+    working_days = [d for d in range(30) if d % 7 < 5][:21]
+
+    headers = ["region", "time slot", "r", "k", "chi2_{r-1}(0.05)", "reject H0"]
+    rows = []
+    for idx, region in enumerate(regions, start=1):
+        for start, end, label in slots:
+            samples: list[int] = []
+            for day in working_days:
+                if kind == "orders":
+                    counts = generator.sample_minute_counts(day, region, start, end)
+                else:
+                    counts = generator.sample_minute_destination_counts(
+                        day, region, start, end
+                    )
+                samples.extend(int(c) for c in counts)
+            result = poisson_chi_square_test(samples, alpha=0.05)
+            rows.append(
+                [
+                    f"region {idx}",
+                    label,
+                    result.num_intervals,
+                    round(result.statistic, 4),
+                    round(result.critical_value, 3),
+                    "yes" if result.reject else "no",
+                ]
+            )
+    return headers, rows
+
+
+def build_table7(config: PredictionExperimentConfig):
+    """Chi-square test of per-minute order counts (Appendix B, Table 7)."""
+    return _chi_square_rows(config, kind="orders")
+
+
+def build_table8(config: PredictionExperimentConfig):
+    """Chi-square test of rejoined-driver counts (Appendix B, Table 8)."""
+    return _chi_square_rows(config, kind="drivers")

@@ -1,0 +1,33 @@
+"""Geometry substrate: points, distances, bounding boxes, grids, zones.
+
+All experiments in the paper run over the New York City bounding box
+(longitude −74.03..−73.77, latitude 40.58..40.92) divided into a 16×16
+uniform grid.  This package provides that partition plus irregular polygon
+zones (used by the DeepST-GC variant in Appendix A).
+"""
+
+from repro.geo.bbox import BoundingBox, NYC_BBOX
+from repro.geo.distance import (
+    EARTH_RADIUS_M,
+    equirectangular_m,
+    haversine_m,
+    manhattan_m,
+)
+from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
+from repro.geo.zone_builders import build_jittered_zones
+from repro.geo.zones import Zone, ZonePartition
+
+__all__ = [
+    "GeoPoint",
+    "BoundingBox",
+    "NYC_BBOX",
+    "GridPartition",
+    "Zone",
+    "ZonePartition",
+    "build_jittered_zones",
+    "haversine_m",
+    "equirectangular_m",
+    "manhattan_m",
+    "EARTH_RADIUS_M",
+]

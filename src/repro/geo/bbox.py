@@ -1,0 +1,86 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.point import GeoPoint
+
+__all__ = ["BoundingBox", "NYC_BBOX"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A rectangle in (lon, lat) space, inclusive of all four edges."""
+
+    min_lon: float
+    min_lat: float
+    max_lon: float
+    max_lat: float
+
+    def __post_init__(self) -> None:
+        if self.min_lon >= self.max_lon:
+            raise ValueError(
+                f"min_lon ({self.min_lon}) must be < max_lon ({self.max_lon})"
+            )
+        if self.min_lat >= self.max_lat:
+            raise ValueError(
+                f"min_lat ({self.min_lat}) must be < max_lat ({self.max_lat})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.max_lon - self.min_lon
+
+    @property
+    def height(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.max_lat - self.min_lat
+
+    @property
+    def center(self) -> GeoPoint:
+        """Geometric centre of the box."""
+        return GeoPoint(
+            (self.min_lon + self.max_lon) / 2.0,
+            (self.min_lat + self.max_lat) / 2.0,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether ``point`` lies inside the box (edges inclusive)."""
+        return (
+            self.min_lon <= point.lon <= self.max_lon
+            and self.min_lat <= point.lat <= self.max_lat
+        )
+
+    def clamp(self, point: GeoPoint) -> GeoPoint:
+        """Project ``point`` onto the nearest location inside the box."""
+        return GeoPoint(
+            min(max(point.lon, self.min_lon), self.max_lon),
+            min(max(point.lat, self.min_lat), self.max_lat),
+        )
+
+    def sample(self, rng: np.random.Generator) -> GeoPoint:
+        """Draw a uniform random point inside the box."""
+        return GeoPoint(
+            float(rng.uniform(self.min_lon, self.max_lon)),
+            float(rng.uniform(self.min_lat, self.max_lat)),
+        )
+
+    def sample_gaussian(
+        self,
+        rng: np.random.Generator,
+        center: GeoPoint,
+        sigma_deg: float,
+    ) -> GeoPoint:
+        """Draw a Gaussian point around ``center``, clamped into the box."""
+        lon = float(rng.normal(center.lon, sigma_deg))
+        lat = float(rng.normal(center.lat, sigma_deg))
+        return self.clamp(GeoPoint(min(max(lon, -180.0), 180.0),
+                                   min(max(lat, -90.0), 90.0)))
+
+
+NYC_BBOX = BoundingBox(min_lon=-74.03, min_lat=40.58, max_lon=-73.77, max_lat=40.92)
+"""The New York City study area used in the paper's experiments (§6.2)."""

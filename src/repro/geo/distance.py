@@ -1,0 +1,55 @@
+"""Great-circle and approximate planar distances between geographic points.
+
+The simulator mostly uses :func:`equirectangular_m` — at NYC scale the error
+versus the haversine formula is far below a metre, and it is several times
+faster, which matters because every batch evaluates thousands of
+candidate-pair distances.  :func:`manhattan_m` models street-grid driving
+distance (the "Manhattan metric"), which is closer to true road distance in
+midtown-style grids and is the default travel metric for the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.point import GeoPoint
+
+__all__ = ["EARTH_RADIUS_M", "haversine_m", "equirectangular_m", "manhattan_m"]
+
+EARTH_RADIUS_M = 6_371_000.0
+"""Mean Earth radius in metres."""
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between ``a`` and ``b`` in metres."""
+    lon1, lat1 = math.radians(a.lon), math.radians(a.lat)
+    lon2, lat2 = math.radians(b.lon), math.radians(b.lat)
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def equirectangular_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Fast equirectangular approximation of the distance in metres.
+
+    Accurate to well under 0.1% for city-scale separations away from the
+    poles; monotone in the true distance, which is all the greedy matchers
+    need.
+    """
+    mean_lat = math.radians((a.lat + b.lat) / 2.0)
+    dx = math.radians(b.lon - a.lon) * math.cos(mean_lat)
+    dy = math.radians(b.lat - a.lat)
+    return EARTH_RADIUS_M * math.hypot(dx, dy)
+
+
+def manhattan_m(a: GeoPoint, b: GeoPoint) -> float:
+    """L1 (street-grid) distance in metres.
+
+    Sum of the east–west and north–south great-circle legs; a standard model
+    of driving distance in gridded street networks.
+    """
+    mean_lat = math.radians((a.lat + b.lat) / 2.0)
+    dx = abs(math.radians(b.lon - a.lon)) * math.cos(mean_lat)
+    dy = abs(math.radians(b.lat - a.lat))
+    return EARTH_RADIUS_M * (dx + dy)

@@ -1,0 +1,126 @@
+"""Uniform grid partition of a bounding box into rectangular regions.
+
+The paper divides the NYC bounding box evenly into 16×16 grids (§6.2); each
+grid cell is one queueing region.  Region ids are row-major integers in
+``[0, rows*cols)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+__all__ = ["GridPartition"]
+
+
+class GridPartition:
+    """Partition ``bbox`` into ``rows`` × ``cols`` equal rectangles.
+
+    >>> from repro.geo import NYC_BBOX
+    >>> grid = GridPartition(NYC_BBOX, rows=16, cols=16)
+    >>> grid.num_regions
+    256
+    """
+
+    def __init__(self, bbox: BoundingBox, rows: int = 16, cols: int = 16):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+        self.bbox = bbox
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self._cell_w = bbox.width / cols
+        self._cell_h = bbox.height / rows
+
+    @property
+    def num_regions(self) -> int:
+        """Total number of grid cells."""
+        return self.rows * self.cols
+
+    def region_of(self, point: GeoPoint) -> int:
+        """Return the region id containing ``point``.
+
+        Points outside the box are clamped to the nearest border cell, so the
+        mapping is total — real traces contain occasional off-bbox GPS fixes.
+        """
+        col = int((point.lon - self.bbox.min_lon) / self._cell_w)
+        row = int((point.lat - self.bbox.min_lat) / self._cell_h)
+        col = min(max(col, 0), self.cols - 1)
+        row = min(max(row, 0), self.rows - 1)
+        return row * self.cols + col
+
+    def row_col(self, region_id: int) -> tuple[int, int]:
+        """Return ``(row, col)`` of a region id."""
+        self._check_region(region_id)
+        return divmod(region_id, self.cols)
+
+    def region_id(self, row: int, col: int) -> int:
+        """Return the region id at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"cell ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def center_of(self, region_id: int) -> GeoPoint:
+        """Return the geographic centre of a region."""
+        row, col = self.row_col(region_id)
+        return GeoPoint(
+            self.bbox.min_lon + (col + 0.5) * self._cell_w,
+            self.bbox.min_lat + (row + 0.5) * self._cell_h,
+        )
+
+    def cell_bbox(self, region_id: int) -> BoundingBox:
+        """Return the bounding box of a single cell."""
+        row, col = self.row_col(region_id)
+        return BoundingBox(
+            min_lon=self.bbox.min_lon + col * self._cell_w,
+            min_lat=self.bbox.min_lat + row * self._cell_h,
+            max_lon=self.bbox.min_lon + (col + 1) * self._cell_w,
+            max_lat=self.bbox.min_lat + (row + 1) * self._cell_h,
+        )
+
+    def neighbors(self, region_id: int, radius: int = 1) -> list[int]:
+        """Region ids within Chebyshev distance ``radius`` (excluding self)."""
+        row, col = self.row_col(region_id)
+        out = []
+        for r in range(max(0, row - radius), min(self.rows, row + radius + 1)):
+            for c in range(max(0, col - radius), min(self.cols, col + radius + 1)):
+                if (r, c) != (row, col):
+                    out.append(r * self.cols + c)
+        return out
+
+    def ring(self, region_id: int, radius: int = 1) -> list[int]:
+        """Region ids including self out to Chebyshev distance ``radius``."""
+        return [region_id] + self.neighbors(region_id, radius)
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """4-connected adjacency (used by the graph-convolution predictor)."""
+        adj: dict[int, list[int]] = {}
+        for region in range(self.num_regions):
+            row, col = self.row_col(region)
+            near = []
+            if row > 0:
+                near.append(region - self.cols)
+            if row < self.rows - 1:
+                near.append(region + self.cols)
+            if col > 0:
+                near.append(region - 1)
+            if col < self.cols - 1:
+                near.append(region + 1)
+            adj[region] = near
+        return adj
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_regions))
+
+    def __len__(self) -> int:
+        return self.num_regions
+
+    def _check_region(self, region_id: int) -> None:
+        if not 0 <= region_id < self.num_regions:
+            raise ValueError(
+                f"region id {region_id} outside [0, {self.num_regions})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridPartition({self.rows}x{self.cols} over {self.bbox})"

@@ -1,0 +1,36 @@
+"""Geographic points (longitude / latitude, WGS-84 degrees)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """An immutable (longitude, latitude) pair in decimal degrees.
+
+    Longitude comes first throughout the library (x before y), matching
+    the common GIS convention.
+    """
+
+    lon: float
+    lat: float
+
+    def __post_init__(self) -> None:
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range [-180, 180]: {self.lon}")
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range [-90, 90]: {self.lat}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lon, lat)``."""
+        return (self.lon, self.lat)
+
+    def shifted(self, dlon: float = 0.0, dlat: float = 0.0) -> "GeoPoint":
+        """Return a new point offset by ``(dlon, dlat)`` degrees."""
+        return GeoPoint(self.lon + dlon, self.lat + dlat)
+
+    def __str__(self) -> str:
+        return f"({self.lon:.6f}, {self.lat:.6f})"

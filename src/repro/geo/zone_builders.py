@@ -1,0 +1,74 @@
+"""Builders for irregular zone partitions.
+
+The real NYC taxi-zone shapefile is not available offline, so Appendix A's
+irregular-space experiments use a *jittered quadrilateral mesh*: take the
+lattice of a regular grid, displace every interior vertex by a random
+offset, and form one quadrilateral zone per cell.  The result tiles the
+bounding box exactly, has genuinely irregular cell shapes and areas, and —
+because neighbouring quads share displaced vertices — the vertex-sharing
+adjacency of :class:`~repro.geo.zones.ZonePartition` reproduces the grid's
+neighbourhood structure the way real zone borders do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.zones import Zone, ZonePartition
+
+__all__ = ["build_jittered_zones"]
+
+
+def build_jittered_zones(
+    bbox: BoundingBox,
+    rows: int = 6,
+    cols: int = 6,
+    jitter: float = 0.35,
+    rng: np.random.Generator | None = None,
+) -> ZonePartition:
+    """Build an irregular partition of ``bbox`` into ``rows * cols`` quads.
+
+    Parameters
+    ----------
+    jitter:
+        Maximum vertex displacement as a fraction of the cell pitch
+        (``< 0.5`` keeps the quads simple/non-self-intersecting).  Boundary
+        vertices only slide *along* the boundary so the partition still
+        tiles the box exactly.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"rows and cols must be >= 1, got {rows}x{cols}")
+    if not 0.0 <= jitter < 0.5:
+        raise ValueError(f"jitter must be in [0, 0.5), got {jitter}")
+    rng = rng or np.random.default_rng(0)
+
+    pitch_x = (bbox.max_lon - bbox.min_lon) / cols
+    pitch_y = (bbox.max_lat - bbox.min_lat) / rows
+    xs = np.linspace(bbox.min_lon, bbox.max_lon, cols + 1)
+    ys = np.linspace(bbox.min_lat, bbox.max_lat, rows + 1)
+    vx = np.tile(xs, (rows + 1, 1))
+    vy = np.tile(ys[:, None], (1, cols + 1))
+
+    dx = rng.uniform(-jitter, jitter, size=vx.shape) * pitch_x
+    dy = rng.uniform(-jitter, jitter, size=vy.shape) * pitch_y
+    # Corner vertices stay fixed; edge vertices slide along their edge.
+    dx[:, 0] = dx[:, -1] = 0.0
+    dy[0, :] = dy[-1, :] = 0.0
+    vx = vx + dx
+    vy = vy + dy
+
+    zones = []
+    for r in range(rows):
+        for c in range(cols):
+            polygon = (
+                (float(vx[r, c]), float(vy[r, c])),
+                (float(vx[r, c + 1]), float(vy[r, c + 1])),
+                (float(vx[r + 1, c + 1]), float(vy[r + 1, c + 1])),
+                (float(vx[r + 1, c]), float(vy[r + 1, c])),
+            )
+            zone_id = r * cols + c
+            zones.append(
+                Zone(zone_id=zone_id, name=f"zone-{r}-{c}", polygon=polygon)
+            )
+    return ZonePartition(zones)

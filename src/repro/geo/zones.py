@@ -1,0 +1,265 @@
+"""Irregular polygonal zones (NYC has 262 irregular taxi zones).
+
+Appendix A of the paper replaces the CNN with a graph-convolution layer when
+the space is not a regular grid.  This module provides the polygon zones and
+the zone adjacency graph that DeepST-GC consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+__all__ = ["Zone", "ZonePartition"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A simple polygon zone with an id and a name.
+
+    ``polygon`` is a list of (lon, lat) vertices in order; the polygon is
+    implicitly closed.
+    """
+
+    zone_id: int
+    name: str
+    polygon: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.polygon) < 3:
+            raise ValueError(f"zone {self.zone_id} needs >= 3 vertices")
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Ray-casting point-in-polygon test (edges count as inside)."""
+        x, y = point.lon, point.lat
+        inside = False
+        n = len(self.polygon)
+        for i in range(n):
+            x1, y1 = self.polygon[i]
+            x2, y2 = self.polygon[(i + 1) % n]
+            if _on_segment(x, y, x1, y1, x2, y2):
+                return True
+            if (y1 > y) != (y2 > y):
+                x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+                if x < x_cross:
+                    inside = not inside
+        return inside
+
+    def bbox(self) -> BoundingBox:
+        """Bounding box of the polygon."""
+        lons = [p[0] for p in self.polygon]
+        lats = [p[1] for p in self.polygon]
+        return BoundingBox(min(lons), min(lats), max(lons), max(lats))
+
+    def centroid(self) -> GeoPoint:
+        """Area centroid of the polygon (shoelace formula)."""
+        acc_x = acc_y = acc_a = 0.0
+        n = len(self.polygon)
+        for i in range(n):
+            x1, y1 = self.polygon[i]
+            x2, y2 = self.polygon[(i + 1) % n]
+            cross = x1 * y2 - x2 * y1
+            acc_a += cross
+            acc_x += (x1 + x2) * cross
+            acc_y += (y1 + y2) * cross
+        if abs(acc_a) < 1e-15:  # degenerate: fall back to vertex mean
+            return GeoPoint(
+                sum(p[0] for p in self.polygon) / n,
+                sum(p[1] for p in self.polygon) / n,
+            )
+        area6 = 3.0 * acc_a
+        return GeoPoint(acc_x / area6, acc_y / area6)
+
+
+def _on_segment(px, py, x1, y1, x2, y2, eps: float = 1e-12) -> bool:
+    """Whether (px, py) lies on the segment (x1,y1)-(x2,y2)."""
+    cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+    if abs(cross) > eps:
+        return False
+    return (
+        min(x1, x2) - eps <= px <= max(x1, x2) + eps
+        and min(y1, y2) - eps <= py <= max(y1, y2) + eps
+    )
+
+
+@dataclass
+class ZonePartition:
+    """A set of polygon zones with point lookup and adjacency.
+
+    ``region_of`` falls back to the nearest zone centroid when a point lies
+    in none of the polygons (gaps between real-world zone boundaries).
+    """
+
+    zones: list[Zone]
+    _centroids: list[GeoPoint] = field(init=False, repr=False)
+    _index: "_RasterZoneIndex | None" = field(
+        init=False, repr=False, default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.zones:
+            raise ValueError("ZonePartition requires at least one zone")
+        ids = [z.zone_id for z in self.zones]
+        if sorted(ids) != list(range(len(self.zones))):
+            raise ValueError("zone ids must be 0..n-1 without gaps")
+        self.zones = sorted(self.zones, key=lambda z: z.zone_id)
+        self._centroids = [z.centroid() for z in self.zones]
+
+    @property
+    def num_regions(self) -> int:
+        """Number of zones."""
+        return len(self.zones)
+
+    def region_of(self, point: GeoPoint) -> int:
+        """Return the zone containing ``point`` (nearest centroid fallback).
+
+        With a raster index built (:meth:`build_index`) the candidate zone
+        comes from an O(1) lookup grid; without one, every polygon is
+        scanned.
+        """
+        if self._index is not None:
+            return self._index.region_of(point)
+        return self._region_of_scan(point)
+
+    def _region_of_scan(self, point: GeoPoint) -> int:
+        for zone in self.zones:
+            if zone.contains(point):
+                return zone.zone_id
+        return self._nearest_centroid(point)
+
+    def build_index(self, resolution: int = 96) -> "ZonePartition":
+        """Attach a raster lookup index for O(1)-ish ``region_of`` queries.
+
+        Rasterises the partition's bounding box into ``resolution²`` cells,
+        each remembering the zone its centre falls in; a query first tries
+        that zone, then its vertex-adjacent neighbours, then falls back to
+        the full scan (points near borders).  Returns ``self`` so calls
+        chain: ``ZonePartition(zones).build_index()``.
+        """
+        self._index = _RasterZoneIndex(self, resolution)
+        return self
+
+    def center_of(self, zone_id: int) -> GeoPoint:
+        """Centroid of zone ``zone_id``."""
+        return self._centroids[zone_id]
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Zones are adjacent when they share at least one vertex."""
+        vertex_owners: dict[tuple[float, float], list[int]] = {}
+        for zone in self.zones:
+            for vertex in zone.polygon:
+                vertex_owners.setdefault(vertex, []).append(zone.zone_id)
+        adj: dict[int, set[int]] = {z.zone_id: set() for z in self.zones}
+        for owners in vertex_owners.values():
+            for a in owners:
+                for b in owners:
+                    if a != b:
+                        adj[a].add(b)
+        return {k: sorted(v) for k, v in adj.items()}
+
+    def _nearest_centroid(self, point: GeoPoint) -> int:
+        best, best_d = 0, float("inf")
+        for zone_id, c in enumerate(self._centroids):
+            d = (c.lon - point.lon) ** 2 + (c.lat - point.lat) ** 2
+            if d < best_d:
+                best, best_d = zone_id, d
+        return best
+
+    @staticmethod
+    def voronoi_like(
+        bbox: BoundingBox, seeds: list[GeoPoint], cells: int = 24
+    ) -> "ZonePartition":
+        """Build an irregular partition by assigning a fine grid of square
+        tiles to the nearest seed and merging each seed's tiles into a zone
+        polygon (the tiles' outer rectangle ring, simplified to the tile
+        union's bounding polygon).
+
+        This gives a deterministic irregular partition for tests and the
+        DeepST-GC experiments without needing real shapefiles.  Zones here
+        are represented by the convex bounding rectangle of their tiles,
+        which is sufficient for centroid/adjacency purposes.
+        """
+        if not seeds:
+            raise ValueError("need at least one seed")
+        tile_w = bbox.width / cells
+        tile_h = bbox.height / cells
+        tiles_per_seed: dict[int, list[tuple[int, int]]] = {
+            i: [] for i in range(len(seeds))
+        }
+        for row in range(cells):
+            for col in range(cells):
+                cx = bbox.min_lon + (col + 0.5) * tile_w
+                cy = bbox.min_lat + (row + 0.5) * tile_h
+                best, best_d = 0, float("inf")
+                for i, seed in enumerate(seeds):
+                    d = (seed.lon - cx) ** 2 + (seed.lat - cy) ** 2
+                    if d < best_d:
+                        best, best_d = i, d
+                tiles_per_seed[best].append((row, col))
+        zones = []
+        next_id = 0
+        for i, tiles in tiles_per_seed.items():
+            if not tiles:
+                continue
+            rows = [t[0] for t in tiles]
+            cols = [t[1] for t in tiles]
+            poly = (
+                (bbox.min_lon + min(cols) * tile_w, bbox.min_lat + min(rows) * tile_h),
+                (bbox.min_lon + (max(cols) + 1) * tile_w, bbox.min_lat + min(rows) * tile_h),
+                (bbox.min_lon + (max(cols) + 1) * tile_w, bbox.min_lat + (max(rows) + 1) * tile_h),
+                (bbox.min_lon + min(cols) * tile_w, bbox.min_lat + (max(rows) + 1) * tile_h),
+            )
+            zones.append(Zone(zone_id=next_id, name=f"zone-{i}", polygon=poly))
+            next_id += 1
+        return ZonePartition(zones)
+
+
+class _RasterZoneIndex:
+    """Raster lookup grid accelerating :meth:`ZonePartition.region_of`.
+
+    Each raster cell remembers the zone containing its centre.  A query
+    tries that zone's polygon, then its vertex-adjacent neighbours, and
+    only falls back to the partition's full scan for points that defeat
+    both (possible very close to shared borders).
+    """
+
+    def __init__(self, partition: "ZonePartition", resolution: int):
+        if resolution < 2:
+            raise ValueError(f"resolution must be >= 2, got {resolution}")
+        self.partition = partition
+        boxes = [zone.bbox() for zone in partition.zones]
+        self.min_lon = min(b.min_lon for b in boxes)
+        self.min_lat = min(b.min_lat for b in boxes)
+        self.max_lon = max(b.max_lon for b in boxes)
+        self.max_lat = max(b.max_lat for b in boxes)
+        self.resolution = int(resolution)
+        self.step_lon = (self.max_lon - self.min_lon) / resolution or 1e-12
+        self.step_lat = (self.max_lat - self.min_lat) / resolution or 1e-12
+        self._cells = [
+            [0] * resolution for _ in range(resolution)
+        ]
+        for row in range(resolution):
+            cy = self.min_lat + (row + 0.5) * self.step_lat
+            for col in range(resolution):
+                cx = self.min_lon + (col + 0.5) * self.step_lon
+                self._cells[row][col] = partition._region_of_scan(GeoPoint(cx, cy))
+        self._neighbours = partition.adjacency()
+
+    def _cell_of(self, point: GeoPoint) -> int:
+        col = int((point.lon - self.min_lon) / self.step_lon)
+        row = int((point.lat - self.min_lat) / self.step_lat)
+        col = min(max(col, 0), self.resolution - 1)
+        row = min(max(row, 0), self.resolution - 1)
+        return self._cells[row][col]
+
+    def region_of(self, point: GeoPoint) -> int:
+        candidate = self._cell_of(point)
+        zones = self.partition.zones
+        if zones[candidate].contains(point):
+            return candidate
+        for neighbour in self._neighbours.get(candidate, ()):
+            if zones[neighbour].contains(point):
+                return neighbour
+        return self.partition._region_of_scan(point)

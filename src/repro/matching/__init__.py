@@ -1,0 +1,16 @@
+"""Assignment substrates: bipartite matching and min-cost assignment.
+
+POLAR's offline blueprint stage needs a bipartite assignment between
+predicted driver supply and rider demand; tests cross-check our Hungarian
+implementation against ``scipy.optimize.linear_sum_assignment``.
+"""
+
+from repro.matching.bipartite import hopcroft_karp
+from repro.matching.greedy import greedy_max_weight_matching
+from repro.matching.hungarian import hungarian_min_cost
+
+__all__ = [
+    "hopcroft_karp",
+    "hungarian_min_cost",
+    "greedy_max_weight_matching",
+]

@@ -1,0 +1,85 @@
+"""Hopcroft–Karp maximum-cardinality bipartite matching.
+
+Runs in ``O(E * sqrt(V))``.  Used to size feasible assignments (how many
+riders *can* be served this batch) and as a building block in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+__all__ = ["hopcroft_karp"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    num_left: int,
+    num_right: int,
+    adjacency: Sequence[Sequence[int]],
+) -> tuple[int, list[int], list[int]]:
+    """Maximum matching in a bipartite graph.
+
+    Parameters
+    ----------
+    num_left, num_right:
+        Sizes of the two vertex sets.
+    adjacency:
+        ``adjacency[u]`` lists the right-vertices adjacent to left-vertex
+        ``u``.
+
+    Returns
+    -------
+    ``(size, match_left, match_right)`` where ``match_left[u]`` is the right
+    partner of ``u`` (or -1) and symmetrically for ``match_right``.
+    """
+    if len(adjacency) != num_left:
+        raise ValueError(
+            f"adjacency has {len(adjacency)} rows, expected {num_left}"
+        )
+    for u, row in enumerate(adjacency):
+        for v in row:
+            if not 0 <= v < num_right:
+                raise ValueError(f"right vertex {v} (row {u}) outside [0, {num_right})")
+
+    match_left = [-1] * num_left
+    match_right = [-1] * num_right
+    dist = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] == -1 and dfs(u):
+                size += 1
+    return size, match_left, match_right

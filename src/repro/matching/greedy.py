@@ -1,0 +1,48 @@
+"""Greedy weighted-matching helpers.
+
+Sorting all candidate pairs once and sweeping them greedily gives a 1/2
+approximation of maximum-weight matching and is the workhorse inside several
+dispatch baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["greedy_max_weight_matching", "greedy_min_weight_matching"]
+
+
+def greedy_max_weight_matching(
+    pairs: Sequence[tuple[int, int, float]],
+) -> list[tuple[int, int, float]]:
+    """Greedy maximum-weight matching over ``(left, right, weight)`` pairs.
+
+    Pairs are taken in descending weight; a pair is selected when neither
+    endpoint is already matched.  Ties break on (left, right) ids so the
+    result is deterministic.
+    """
+    ordered = sorted(pairs, key=lambda p: (-p[2], p[0], p[1]))
+    return _sweep(ordered)
+
+
+def greedy_min_weight_matching(
+    pairs: Sequence[tuple[int, int, float]],
+) -> list[tuple[int, int, float]]:
+    """Greedy minimum-weight matching (ascending weight sweep)."""
+    ordered = sorted(pairs, key=lambda p: (p[2], p[0], p[1]))
+    return _sweep(ordered)
+
+
+def _sweep(
+    ordered: Sequence[tuple[int, int, float]],
+) -> list[tuple[int, int, float]]:
+    used_left: set[int] = set()
+    used_right: set[int] = set()
+    selected = []
+    for left, right, weight in ordered:
+        if left in used_left or right in used_right:
+            continue
+        used_left.add(left)
+        used_right.add(right)
+        selected.append((left, right, weight))
+    return selected

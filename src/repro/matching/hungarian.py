@@ -1,0 +1,98 @@
+"""Kuhn–Munkres (Hungarian) algorithm for min-cost assignment.
+
+``O(n^3)`` shortest-augmenting-path formulation with potentials, operating
+on a dense rectangular cost matrix.  Infeasible pairs are encoded as
+``math.inf``; rows that cannot be assigned feasibly stay unassigned (the
+matrix is padded internally).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["hungarian_min_cost"]
+
+_BIG = 1e18
+
+
+def hungarian_min_cost(cost: np.ndarray) -> tuple[float, list[int]]:
+    """Solve the rectangular assignment problem, minimising total cost.
+
+    Parameters
+    ----------
+    cost:
+        2-D array, ``cost[i, j]`` the cost of assigning row ``i`` to column
+        ``j``.  ``inf`` marks a forbidden pair.
+
+    Returns
+    -------
+    ``(total_cost, assignment)`` where ``assignment[i]`` is the column given
+    to row ``i`` or ``-1`` when the row is left unassigned (only happens for
+    infeasible rows or when rows outnumber columns).  Forbidden assignments
+    are never returned.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost matrix must be 2-D, got shape {cost.shape}")
+    n_rows, n_cols = cost.shape
+    if n_rows == 0 or n_cols == 0:
+        return 0.0, [-1] * n_rows
+
+    # Pad to square with forbidden entries replaced by a large finite value;
+    # padded rows/cols absorb infeasible assignments at zero marginal cost.
+    n = max(n_rows, n_cols)
+    padded = np.full((n, n), 0.0)
+    block = np.where(np.isinf(cost), _BIG, cost)
+    padded[:n_rows, :n_cols] = block
+
+    # Jonker-Volgenant-style O(n^3) augmentation with potentials u, v.
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=int)  # p[j] = row assigned to column j (1-based)
+    way = np.zeros(n + 1, dtype=int)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, math.inf)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = math.inf
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = padded[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * n_rows
+    total = 0.0
+    for j in range(1, n + 1):
+        row = p[j] - 1
+        col = j - 1
+        if row < n_rows and col < n_cols and math.isfinite(cost[row, col]):
+            assignment[row] = col
+            total += float(cost[row, col])
+    return total, assignment

@@ -1,0 +1,35 @@
+"""Demand prediction substrate (paper §3.1.1 and Appendix A).
+
+Four predictors forecast next-slot order counts per region:
+
+- :class:`HistoricalAverage` (HA) — mean of the previous 15 slots,
+- :class:`LinearRegressionPredictor` (LR) — ridge regression on 15 lags,
+- :class:`GBRTPredictor` — gradient-boosted regression trees (own CART),
+- :class:`DeepSTPredictor` — closeness/period/trend CNN fusion plus meta
+  features (our numpy re-implementation of DeepST), and
+- :class:`DeepSTGCPredictor` — the graph-convolution variant for irregular
+  zones (Appendix A).
+
+All share the :class:`DemandPredictor` interface and are evaluated
+walk-forward with true history, matching how the dispatcher consumes them.
+"""
+
+from repro.prediction.base import DemandPredictor, walk_forward_predictions
+from repro.prediction.historical import HistoricalAverage
+from repro.prediction.linear import LinearRegressionPredictor
+from repro.prediction.gbrt import GBRTPredictor
+from repro.prediction.deepst import DeepSTPredictor
+from repro.prediction.deepst_gc import DeepSTGCPredictor
+from repro.prediction.evaluation import PredictorScore, evaluate_predictor
+
+__all__ = [
+    "DemandPredictor",
+    "walk_forward_predictions",
+    "HistoricalAverage",
+    "LinearRegressionPredictor",
+    "GBRTPredictor",
+    "DeepSTPredictor",
+    "DeepSTGCPredictor",
+    "PredictorScore",
+    "evaluate_predictor",
+]

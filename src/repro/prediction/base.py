@@ -1,0 +1,111 @@
+"""Predictor interface and walk-forward evaluation harness.
+
+Predictors are trained on a :class:`~repro.data.history.CountHistory` and
+queried one slot at a time: ``predict(history, day, slot)`` may inspect only
+counts strictly *before* (day, slot).  The walk-forward harness mirrors how
+the dispatcher consumes predictions online — at every batch the model sees
+the true past, never its own outputs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.history import CountHistory
+
+__all__ = [
+    "DemandPredictor",
+    "make_lagged_dataset",
+    "walk_forward_predictions",
+]
+
+
+class DemandPredictor(abc.ABC):
+    """Forecasts next-slot order counts per region."""
+
+    #: Report label ("HA", "LR", "GBRT", "DeepST", ...).
+    name: str = "predictor"
+
+    #: How many historical slots must exist before the first prediction.
+    min_history_slots: int = 15
+
+    @abc.abstractmethod
+    def fit(self, history: CountHistory) -> "DemandPredictor":
+        """Train on ``history``; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, history: CountHistory, day: int, slot: int) -> np.ndarray:
+        """Predicted counts per region for slot ``(day, slot)``.
+
+        ``history`` holds the ground truth; implementations may only read
+        strictly earlier slots.  ``day`` indexes into ``history`` (not the
+        generator's global day index).
+        """
+
+    def predict_day(self, history: CountHistory, day: int) -> np.ndarray:
+        """All slots of ``day``: shape ``(slots_per_day, regions)``."""
+        return np.stack(
+            [
+                self.predict(history, day, slot)
+                for slot in range(history.slots_per_day)
+            ]
+        )
+
+
+def make_lagged_dataset(
+    counts: np.ndarray, lags: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a pooled lag-regression dataset from ``(T, regions)`` counts.
+
+    Sample ``i`` for region ``k`` has features ``counts[t-lags:t, k]``
+    (chronological) and target ``counts[t, k]``; all regions are pooled, as
+    the paper's HA/LR/GBRT baselines model each region with the same lag
+    relationship.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be (T, regions), got shape {counts.shape}")
+    t_total, regions = counts.shape
+    if t_total <= lags:
+        raise ValueError(f"need more than {lags} slots, got {t_total}")
+    windows = np.lib.stride_tricks.sliding_window_view(counts, lags + 1, axis=0)
+    # windows: (T - lags, regions, lags + 1)
+    x = windows[:, :, :lags].reshape(-1, lags)
+    y = windows[:, :, lags].reshape(-1)
+    return x, y
+
+
+def lag_window(
+    history: CountHistory, day: int, slot: int, lags: int
+) -> np.ndarray:
+    """The ``lags`` slots preceding ``(day, slot)``: shape ``(lags, regions)``.
+
+    Missing history at the very start is zero-padded (the overnight slots a
+    real deployment would backfill from the previous day's tape).
+    """
+    flat = history.flatten_slots()
+    t = day * history.slots_per_day + slot
+    lo = max(0, t - lags)
+    window = flat[lo:t]
+    if window.shape[0] < lags:
+        pad = np.zeros((lags - window.shape[0], history.num_regions))
+        window = np.concatenate([pad, window], axis=0)
+    return window
+
+
+def walk_forward_predictions(
+    predictor: DemandPredictor, history: CountHistory, test_days: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predict every slot of ``test_days`` with true history available.
+
+    Returns ``(predictions, truth)`` of shape ``(len(test_days) * slots,
+    regions)`` in chronological order.
+    """
+    preds = []
+    truths = []
+    for day in test_days:
+        preds.append(predictor.predict_day(history, day))
+        truths.append(history.counts[day])
+    return np.concatenate(preds, axis=0), np.concatenate(truths, axis=0)

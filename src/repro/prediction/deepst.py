@@ -1,0 +1,318 @@
+"""DeepST (Zhang et al., AAAI'17) re-implemented in numpy (paper §3.1.1, App. A).
+
+Three temporal streams feed separate convolutional branches over the
+region-count map:
+
+- **closeness** — the previous ``lc`` time slots,
+- **period**    — the same slot on the previous ``lp`` days,
+- **trend**     — the same slot on the previous ``lt`` weeks,
+
+fused by learned per-cell weights (``W_c ∘ X_c + W_p ∘ X_p + W_t ∘ X_t``),
+plus a dense head over external meta features (time-of-day harmonics,
+day-of-week one-hot, weekend flag, weather).  Counts are scaled by the
+training maximum; training minimises MSE with Adam.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.history import CountHistory
+from repro.prediction.base import DemandPredictor
+from repro.prediction.nn.conv import Conv2D
+from repro.prediction.nn.layers import Dense, Parameter, ReLU
+from repro.prediction.nn.loss import mse_loss
+from repro.prediction.nn.network import Sequential
+from repro.prediction.nn.optim import Adam
+
+__all__ = ["DeepSTPredictor", "DeepSTNetwork", "meta_features"]
+
+_SLOTS_PER_WEEK_DAYS = 7
+
+
+def meta_features(history: CountHistory, day: int, slot: int) -> np.ndarray:
+    """External features for one slot: time harmonics + calendar + weather."""
+    frac = slot / history.slots_per_day
+    dow = np.zeros(7)
+    dow[history.day_of_week[day]] = 1.0
+    return np.concatenate(
+        [
+            [np.sin(2 * np.pi * frac), np.cos(2 * np.pi * frac)],
+            dow,
+            [1.0 if history.is_weekend[day] else 0.0],
+            [history.weather[day]],
+            [1.0 if history.is_rainy[day] else 0.0],
+        ]
+    )
+
+
+META_DIM = 12
+"""Length of the vector produced by :func:`meta_features`."""
+
+
+class DeepSTNetwork:
+    """The fusion network: three conv branches + per-cell fusion + meta head."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        lc: int,
+        lp: int,
+        lt: int,
+        filters: int = 8,
+        meta_dim: int = META_DIM,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.rows, self.cols = rows, cols
+
+        def branch(in_channels: int) -> Sequential:
+            return Sequential(
+                Conv2D(in_channels, filters, 3, rng=rng),
+                ReLU(),
+                Conv2D(filters, 1, 3, rng=rng),
+            )
+
+        self.closeness = branch(lc)
+        self.period = branch(lp)
+        self.trend = branch(lt)
+        self.fuse_c = Parameter(np.full((rows, cols), 0.5))
+        self.fuse_p = Parameter(np.full((rows, cols), 0.3))
+        self.fuse_t = Parameter(np.full((rows, cols), 0.2))
+        self.meta_head = Sequential(
+            Dense(meta_dim, 16, rng=rng), ReLU(), Dense(16, rows * cols, rng=rng)
+        )
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+        params = (
+            self.closeness.parameters()
+            + self.period.parameters()
+            + self.trend.parameters()
+            + [self.fuse_c, self.fuse_p, self.fuse_t]
+            + self.meta_head.parameters()
+        )
+        return params
+
+    def forward(
+        self,
+        xc: np.ndarray,
+        xp: np.ndarray,
+        xt: np.ndarray,
+        meta: np.ndarray,
+    ) -> np.ndarray:
+        """Predict scaled count maps: inputs (N, l, H, W) + (N, meta_dim)."""
+        out_c = self.closeness.forward(xc)[:, 0]  # (N, H, W)
+        out_p = self.period.forward(xp)[:, 0]
+        out_t = self.trend.forward(xt)[:, 0]
+        fused = (
+            self.fuse_c.value[None] * out_c
+            + self.fuse_p.value[None] * out_p
+            + self.fuse_t.value[None] * out_t
+        )
+        meta_out = self.meta_head.forward(meta).reshape(-1, self.rows, self.cols)
+        self._cache = (out_c, out_p, out_t)
+        return fused + meta_out
+
+    def backward(self, grad: np.ndarray) -> None:
+        """Back-propagate ``grad`` (N, H, W) through every component."""
+        out_c, out_p, out_t = self._cache
+        self.fuse_c.grad += (grad * out_c).sum(axis=0)
+        self.fuse_p.grad += (grad * out_p).sum(axis=0)
+        self.fuse_t.grad += (grad * out_t).sum(axis=0)
+        self.closeness.backward((grad * self.fuse_c.value[None])[:, None])
+        self.period.backward((grad * self.fuse_p.value[None])[:, None])
+        self.trend.backward((grad * self.fuse_t.value[None])[:, None])
+        self.meta_head.backward(grad.reshape(grad.shape[0], -1))
+
+
+class DeepSTPredictor(DemandPredictor):
+    """DeepST wrapped in the :class:`DemandPredictor` interface."""
+
+    name = "DeepST"
+
+    def __init__(
+        self,
+        lc: int = 3,
+        lp: int = 3,
+        lt: int = 1,
+        filters: int = 8,
+        epochs: int = 60,
+        batch_size: int = 32,
+        learning_rate: float = 2e-3,
+        weight_decay: float = 1e-3,
+        validation_days: int = 4,
+        patience: int = 6,
+        seed: int = 0,
+    ):
+        if min(lc, lp, lt) < 1:
+            raise ValueError("lc, lp, lt must all be >= 1")
+        if validation_days < 0:
+            raise ValueError("validation_days must be >= 0")
+        self.lc, self.lp, self.lt = int(lc), int(lp), int(lt)
+        self.filters = int(filters)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.validation_days = int(validation_days)
+        self.patience = int(patience)
+        self.seed = int(seed)
+        self._network: DeepSTNetwork | None = None
+        self._cell_mean: np.ndarray | None = None  # (regions,)
+        self._cell_std: np.ndarray | None = None
+        self._rows = self._cols = 0
+        self.min_history_slots = self.lt * _SLOTS_PER_WEEK_DAYS * 48
+
+    # -- sample assembly ---------------------------------------------------------
+
+    def _first_trainable_day(self) -> int:
+        return max(self.lp, self.lt * _SLOTS_PER_WEEK_DAYS)
+
+    def _grid_shape(self, history: CountHistory) -> tuple[int, int]:
+        n = history.num_regions
+        rows = int(round(np.sqrt(n)))
+        if rows * rows == n:
+            return rows, rows
+        # Fall back to a single row: DeepST-GC is the intended model for
+        # non-square region sets, but stay functional regardless.
+        return 1, n
+
+    def _scaled_flat(self, history: CountHistory) -> np.ndarray:
+        """Per-cell standardised (T, regions) counts, memoised per history.
+
+        Standardisation (train-cell mean/std) conditions the optimisation:
+        with raw fractions-of-max the generalisable mapping learns orders of
+        magnitude slower than day-memorisation shortcuts.
+        """
+        cached = getattr(self, "_flat_cache", None)
+        if cached is not None and cached[0] is history:
+            return cached[1]
+        flat = (history.flatten_slots() - self._cell_mean) / self._cell_std
+        self._flat_cache = (history, flat)
+        return flat
+
+    def _standardize(self, counts_slot: np.ndarray) -> np.ndarray:
+        """Standardise one (regions,) slot of counts."""
+        return (counts_slot - self._cell_mean) / self._cell_std
+
+    def _unstandardize(self, pred: np.ndarray) -> np.ndarray:
+        """Invert :meth:`_standardize`; clamp at zero (counts)."""
+        return np.clip(pred * self._cell_std + self._cell_mean, 0.0, None)
+
+    def _frames(
+        self, history: CountHistory, day: int, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        flat = self._scaled_flat(history)
+        spd = history.slots_per_day
+        t = day * spd + slot
+
+        def frame_at(index: int) -> np.ndarray:
+            if index < 0:
+                return np.zeros((self._rows, self._cols))
+            return flat[index].reshape(self._rows, self._cols)
+
+        xc = np.stack([frame_at(t - i) for i in range(1, self.lc + 1)])
+        xp = np.stack([frame_at(t - i * spd) for i in range(1, self.lp + 1)])
+        xt = np.stack(
+            [frame_at(t - i * _SLOTS_PER_WEEK_DAYS * spd) for i in range(1, self.lt + 1)]
+        )
+        return xc, xp, xt
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, history: CountHistory) -> "DeepSTPredictor":
+        """Train the fusion network on all sufficiently-deep slots."""
+        self._rows, self._cols = self._grid_shape(history)
+        flat = history.flatten_slots()
+        self._cell_mean = flat.mean(axis=0)
+        self._cell_std = np.maximum(flat.std(axis=0), 1e-3)
+        self._flat_cache = None
+        rng = np.random.default_rng(self.seed)
+        self._network = DeepSTNetwork(
+            self._rows, self._cols, self.lc, self.lp, self.lt,
+            filters=self.filters, rng=rng,
+        )
+
+        first_day = self._first_trainable_day()
+        if first_day >= history.num_days:
+            raise ValueError(
+                f"DeepST needs at least {first_day + 1} days of history, "
+                f"got {history.num_days}"
+            )
+        # Hold out the last validation_days (when there is room) for early
+        # stopping — without it the meta head memorises the per-day weather
+        # signature and collapses on unseen days.
+        val_start = history.num_days - self.validation_days
+        if val_start <= first_day:
+            val_start = history.num_days  # too little data: no validation
+        samples = [
+            (day, slot)
+            for day in range(first_day, history.num_days)
+            for slot in range(history.slots_per_day)
+        ]
+        frames = [self._frames(history, d, s) for d, s in samples]
+        xc = np.stack([f[0] for f in frames])
+        xp = np.stack([f[1] for f in frames])
+        xt = np.stack([f[2] for f in frames])
+        meta = np.stack([meta_features(history, d, s) for d, s in samples])
+        target = np.stack(
+            [
+                self._standardize(history.counts[d, s]).reshape(self._rows, self._cols)
+                for d, s in samples
+            ]
+        )
+        is_val = np.array([d >= val_start for d, _ in samples])
+        train_idx = np.nonzero(~is_val)[0]
+        val_idx = np.nonzero(is_val)[0]
+
+        optimizer = Adam(
+            self._network.parameters(),
+            learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        best_val = math.inf
+        best_state: list[np.ndarray] | None = None
+        stale = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(train_idx)
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                pred = self._network.forward(xc[batch], xp[batch], xt[batch], meta[batch])
+                _, grad = mse_loss(pred, target[batch])
+                self._network.backward(grad)
+                optimizer.step()
+            if len(val_idx) == 0:
+                continue
+            val_pred = self._network.forward(
+                xc[val_idx], xp[val_idx], xt[val_idx], meta[val_idx]
+            )
+            val_loss, _ = mse_loss(val_pred, target[val_idx])
+            if val_loss < best_val - 1e-9:
+                best_val = val_loss
+                best_state = [p.value.copy() for p in self._network.parameters()]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        if best_state is not None:
+            for param, value in zip(self._network.parameters(), best_state):
+                param.value = value
+        return self
+
+    def predict(self, history: CountHistory, day: int, slot: int) -> np.ndarray:
+        """Forward pass for one slot; unscaled, clamped non-negative."""
+        if self._network is None:
+            raise RuntimeError("DeepSTPredictor.predict before fit")
+        xc, xp, xt = self._frames(history, day, slot)
+        meta = meta_features(history, day, slot)
+        pred = self._network.forward(
+            xc[None], xp[None], xt[None], meta[None]
+        )[0]
+        return self._unstandardize(pred.reshape(-1))

@@ -1,0 +1,245 @@
+"""DeepST-GC: DeepST with graph convolutions (Appendix A of the paper).
+
+When the space is not a regular grid (NYC's 262 irregular taxi zones), the
+convolutional branches are replaced by graph-convolution stacks over the
+zone adjacency graph ``A = D^{-1/2}(A~ + I)D^{-1/2}``; everything else
+(three temporal streams, per-node fusion weights, meta head) matches
+DeepST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.history import CountHistory
+from repro.prediction.base import DemandPredictor
+from repro.prediction.deepst import META_DIM, meta_features
+from repro.prediction.nn.graphconv import GraphConv, normalized_adjacency
+from repro.prediction.nn.layers import Dense, Parameter, ReLU
+from repro.prediction.nn.loss import mse_loss
+from repro.prediction.nn.network import Sequential
+from repro.prediction.nn.optim import Adam
+
+__all__ = ["DeepSTGCPredictor", "DeepSTGCNetwork"]
+
+_DAYS_PER_WEEK = 7
+
+
+class DeepSTGCNetwork:
+    """Graph-convolution variant of the DeepST fusion network."""
+
+    def __init__(
+        self,
+        adjacency_norm: np.ndarray,
+        lc: int,
+        lp: int,
+        lt: int,
+        filters: int = 8,
+        meta_dim: int = META_DIM,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.num_nodes = adjacency_norm.shape[0]
+
+        def branch(in_features: int) -> Sequential:
+            return Sequential(
+                GraphConv(adjacency_norm, in_features, filters, rng=rng),
+                ReLU(),
+                GraphConv(adjacency_norm, filters, 1, rng=rng),
+            )
+
+        self.closeness = branch(lc)
+        self.period = branch(lp)
+        self.trend = branch(lt)
+        self.fuse_c = Parameter(np.full(self.num_nodes, 0.5))
+        self.fuse_p = Parameter(np.full(self.num_nodes, 0.3))
+        self.fuse_t = Parameter(np.full(self.num_nodes, 0.2))
+        self.meta_head = Sequential(
+            Dense(meta_dim, 16, rng=rng), ReLU(), Dense(16, self.num_nodes, rng=rng)
+        )
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+        return (
+            self.closeness.parameters()
+            + self.period.parameters()
+            + self.trend.parameters()
+            + [self.fuse_c, self.fuse_p, self.fuse_t]
+            + self.meta_head.parameters()
+        )
+
+    def forward(
+        self, xc: np.ndarray, xp: np.ndarray, xt: np.ndarray, meta: np.ndarray
+    ) -> np.ndarray:
+        """Inputs (N, nodes, l_*) + (N, meta_dim) → (N, nodes)."""
+        out_c = self.closeness.forward(xc)[:, :, 0]  # (N, nodes)
+        out_p = self.period.forward(xp)[:, :, 0]
+        out_t = self.trend.forward(xt)[:, :, 0]
+        fused = (
+            self.fuse_c.value[None] * out_c
+            + self.fuse_p.value[None] * out_p
+            + self.fuse_t.value[None] * out_t
+        )
+        self._cache = (out_c, out_p, out_t)
+        return fused + self.meta_head.forward(meta)
+
+    def backward(self, grad: np.ndarray) -> None:
+        """Back-propagate ``grad`` of shape (N, nodes)."""
+        out_c, out_p, out_t = self._cache
+        self.fuse_c.grad += (grad * out_c).sum(axis=0)
+        self.fuse_p.grad += (grad * out_p).sum(axis=0)
+        self.fuse_t.grad += (grad * out_t).sum(axis=0)
+        self.closeness.backward((grad * self.fuse_c.value[None])[:, :, None])
+        self.period.backward((grad * self.fuse_p.value[None])[:, :, None])
+        self.trend.backward((grad * self.fuse_t.value[None])[:, :, None])
+        self.meta_head.backward(grad)
+
+
+class DeepSTGCPredictor(DemandPredictor):
+    """DeepST-GC wrapped in the :class:`DemandPredictor` interface."""
+
+    name = "DeepST-GC"
+
+    def __init__(
+        self,
+        adjacency: dict[int, list[int]],
+        lc: int = 3,
+        lp: int = 3,
+        lt: int = 1,
+        filters: int = 8,
+        epochs: int = 60,
+        batch_size: int = 32,
+        learning_rate: float = 2e-3,
+        weight_decay: float = 1e-3,
+        validation_days: int = 4,
+        patience: int = 6,
+        seed: int = 0,
+    ):
+        if min(lc, lp, lt) < 1:
+            raise ValueError("lc, lp, lt must all be >= 1")
+        self.adjacency_norm = normalized_adjacency(adjacency)
+        self.lc, self.lp, self.lt = int(lc), int(lp), int(lt)
+        self.filters = int(filters)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.validation_days = int(validation_days)
+        self.patience = int(patience)
+        self.seed = int(seed)
+        self._network: DeepSTGCNetwork | None = None
+        self._cell_mean: np.ndarray | None = None
+        self._cell_std: np.ndarray | None = None
+
+    def _first_trainable_day(self) -> int:
+        return max(self.lp, self.lt * _DAYS_PER_WEEK)
+
+    def _node_features(
+        self, flat: np.ndarray, spd: int, day: int, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t = day * spd + slot
+        regions = flat.shape[1]
+
+        def at(index: int) -> np.ndarray:
+            if index < 0:
+                return np.zeros(regions)
+            return flat[index]
+
+        xc = np.stack([at(t - i) for i in range(1, self.lc + 1)], axis=1)
+        xp = np.stack([at(t - i * spd) for i in range(1, self.lp + 1)], axis=1)
+        xt = np.stack(
+            [at(t - i * _DAYS_PER_WEEK * spd) for i in range(1, self.lt + 1)], axis=1
+        )
+        return xc, xp, xt  # each (nodes, l_*)
+
+    def fit(self, history: CountHistory) -> "DeepSTGCPredictor":
+        """Train the GC fusion network."""
+        if history.num_regions != self.adjacency_norm.shape[0]:
+            raise ValueError(
+                f"history has {history.num_regions} regions but adjacency has "
+                f"{self.adjacency_norm.shape[0]} nodes"
+            )
+        raw = history.flatten_slots()
+        self._cell_mean = raw.mean(axis=0)
+        self._cell_std = np.maximum(raw.std(axis=0), 1e-3)
+        rng = np.random.default_rng(self.seed)
+        self._network = DeepSTGCNetwork(
+            self.adjacency_norm, self.lc, self.lp, self.lt,
+            filters=self.filters, rng=rng,
+        )
+        flat = (raw - self._cell_mean) / self._cell_std
+        spd = history.slots_per_day
+        first_day = self._first_trainable_day()
+        if first_day >= history.num_days:
+            raise ValueError(
+                f"DeepST-GC needs at least {first_day + 1} days, got {history.num_days}"
+            )
+        val_start = history.num_days - self.validation_days
+        if val_start <= first_day:
+            val_start = history.num_days
+        samples = [
+            (d, s)
+            for d in range(first_day, history.num_days)
+            for s in range(spd)
+        ]
+        feats = [self._node_features(flat, spd, d, s) for d, s in samples]
+        xc = np.stack([f[0] for f in feats])
+        xp = np.stack([f[1] for f in feats])
+        xt = np.stack([f[2] for f in feats])
+        meta = np.stack([meta_features(history, d, s) for d, s in samples])
+        target = np.stack(
+            [
+                (history.counts[d, s] - self._cell_mean) / self._cell_std
+                for d, s in samples
+            ]
+        )
+        is_val = np.array([d >= val_start for d, _ in samples])
+        train_idx = np.nonzero(~is_val)[0]
+        val_idx = np.nonzero(is_val)[0]
+
+        optimizer = Adam(
+            self._network.parameters(),
+            learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        best_val = np.inf
+        best_state: list[np.ndarray] | None = None
+        stale = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(train_idx)
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                pred = self._network.forward(xc[batch], xp[batch], xt[batch], meta[batch])
+                _, grad = mse_loss(pred, target[batch])
+                self._network.backward(grad)
+                optimizer.step()
+            if len(val_idx) == 0:
+                continue
+            val_pred = self._network.forward(
+                xc[val_idx], xp[val_idx], xt[val_idx], meta[val_idx]
+            )
+            val_loss, _ = mse_loss(val_pred, target[val_idx])
+            if val_loss < best_val - 1e-9:
+                best_val = val_loss
+                best_state = [p.value.copy() for p in self._network.parameters()]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        if best_state is not None:
+            for param, value in zip(self._network.parameters(), best_state):
+                param.value = value
+        return self
+
+    def predict(self, history: CountHistory, day: int, slot: int) -> np.ndarray:
+        """Forward pass for one slot; unscaled, clamped non-negative."""
+        if self._network is None:
+            raise RuntimeError("DeepSTGCPredictor.predict before fit")
+        flat = (history.flatten_slots() - self._cell_mean) / self._cell_std
+        xc, xp, xt = self._node_features(flat, history.slots_per_day, day, slot)
+        meta = meta_features(history, day, slot)
+        pred = self._network.forward(xc[None], xp[None], xt[None], meta[None])[0]
+        return np.clip(pred * self._cell_std + self._cell_mean, 0.0, None)

@@ -1,0 +1,56 @@
+"""Predictor evaluation (Table 6 metrics).
+
+The paper reports "RMSE (%)" (relative) and "Real RMSE" for each model on
+held-out days; both come from walk-forward predictions with true history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.history import CountHistory
+from repro.prediction.base import DemandPredictor, walk_forward_predictions
+from repro.stats.metrics import mae
+
+__all__ = ["PredictorScore", "evaluate_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictorScore:
+    """Evaluation scores of one predictor on held-out days."""
+
+    name: str
+    rmse: float
+    relative_rmse_pct: float
+    mae: float
+
+    def as_row(self) -> list[object]:
+        """Row for the Table 6 renderer."""
+        return [self.name, round(self.relative_rmse_pct, 2), round(self.rmse, 2)]
+
+
+def evaluate_predictor(
+    predictor: DemandPredictor,
+    history: CountHistory,
+    test_days: list[int],
+) -> PredictorScore:
+    """Walk-forward evaluation of a fitted predictor on ``test_days``.
+
+    Relative RMSE follows the paper's convention: RMSE normalised by the
+    mean of the ground-truth counts, in percent.
+    """
+    preds, truth = walk_forward_predictions(predictor, history, test_days)
+    preds = preds.reshape(-1)
+    truth = truth.reshape(-1)
+    sq = float(np.mean((preds - truth) ** 2)) ** 0.5
+    denom = float(np.mean(np.abs(truth)))
+    if denom == 0:
+        raise ValueError("ground truth is all zeros; relative RMSE undefined")
+    return PredictorScore(
+        name=predictor.name,
+        rmse=sq,
+        relative_rmse_pct=100.0 * sq / denom,
+        mae=mae(preds.tolist(), truth.tolist()),
+    )

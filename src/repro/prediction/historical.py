@@ -1,0 +1,36 @@
+"""HA — Historical Average baseline (Appendix A).
+
+Predicts the next order count of each region as the mean of that region's
+previous 15 time slots.  Training is a no-op; all signal lives in the lag
+window at query time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.history import CountHistory
+from repro.prediction.base import DemandPredictor, lag_window
+
+__all__ = ["HistoricalAverage"]
+
+
+class HistoricalAverage(DemandPredictor):
+    """Rolling mean of the previous ``lags`` slots."""
+
+    name = "HA"
+
+    def __init__(self, lags: int = 15):
+        if lags < 1:
+            raise ValueError(f"lags must be >= 1, got {lags}")
+        self.lags = int(lags)
+        self.min_history_slots = int(lags)
+
+    def fit(self, history: CountHistory) -> "HistoricalAverage":
+        """No parameters to learn."""
+        return self
+
+    def predict(self, history: CountHistory, day: int, slot: int) -> np.ndarray:
+        """Mean of the preceding ``lags`` slots, per region."""
+        window = lag_window(history, day, slot, self.lags)
+        return window.mean(axis=0)

@@ -1,0 +1,50 @@
+"""LR — linear (ridge) regression on the previous 15 slot counts.
+
+Solved in closed form through the regularised normal equations; all regions
+are pooled into one model, per the paper's baseline description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.history import CountHistory
+from repro.prediction.base import DemandPredictor, lag_window, make_lagged_dataset
+
+__all__ = ["LinearRegressionPredictor"]
+
+
+class LinearRegressionPredictor(DemandPredictor):
+    """Ridge regression over lagged counts."""
+
+    name = "LR"
+
+    def __init__(self, lags: int = 15, ridge: float = 1e-3):
+        if lags < 1:
+            raise ValueError(f"lags must be >= 1, got {lags}")
+        if ridge < 0:
+            raise ValueError(f"ridge must be >= 0, got {ridge}")
+        self.lags = int(lags)
+        self.ridge = float(ridge)
+        self.min_history_slots = int(lags)
+        self._weights: np.ndarray | None = None  # (lags,) after fit
+        self._intercept: float = 0.0
+
+    def fit(self, history: CountHistory) -> "LinearRegressionPredictor":
+        """Closed-form ridge fit on the pooled lag dataset."""
+        x, y = make_lagged_dataset(history.flatten_slots(), self.lags)
+        design = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        gram = design.T @ design
+        gram += self.ridge * np.eye(gram.shape[0])
+        coef = np.linalg.solve(gram, design.T @ y)
+        self._weights = coef[:-1]
+        self._intercept = float(coef[-1])
+        return self
+
+    def predict(self, history: CountHistory, day: int, slot: int) -> np.ndarray:
+        """Apply the fitted lag weights; clamp negatives (counts >= 0)."""
+        if self._weights is None:
+            raise RuntimeError("LinearRegressionPredictor.predict before fit")
+        window = lag_window(history, day, slot, self.lags)  # (lags, regions)
+        pred = window.T @ self._weights + self._intercept
+        return np.clip(pred, 0.0, None)

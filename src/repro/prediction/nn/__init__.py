@@ -1,0 +1,28 @@
+"""A small numpy neural-network framework (manual backprop).
+
+Built for DeepST and DeepST-GC: dense layers, 3×3 same-padding convolutions
+via im2col, graph convolutions, ReLU, MSE loss, and SGD/Adam optimisers.
+No autograd — every layer implements forward/backward explicitly, with
+gradients verified against finite differences in the test suite.
+"""
+
+from repro.prediction.nn.layers import Dense, Layer, Parameter, ReLU
+from repro.prediction.nn.conv import Conv2D
+from repro.prediction.nn.graphconv import GraphConv, normalized_adjacency
+from repro.prediction.nn.loss import mse_loss
+from repro.prediction.nn.network import Sequential
+from repro.prediction.nn.optim import SGD, Adam
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Conv2D",
+    "GraphConv",
+    "normalized_adjacency",
+    "Sequential",
+    "mse_loss",
+    "SGD",
+    "Adam",
+]

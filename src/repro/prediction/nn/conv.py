@@ -1,0 +1,93 @@
+"""2-D convolution with same padding, via im2col.
+
+Inputs are ``(batch, channels, height, width)``.  The im2col transform
+turns convolution into one matmul per batch — the standard trick that keeps
+a numpy CNN fast enough to train DeepST on 16×16 demand maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.nn.layers import Layer, Parameter
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Same-padding 2-D convolution with odd square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        if kernel_size % 2 != 1:
+            raise ValueError(f"kernel size must be odd, got {kernel_size}")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self.kernel_size = kernel_size
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got shape {x.shape}")
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        cols = _im2col(x, k)  # (N, C*k*k, H*W)
+        w_mat = self.weight.value.reshape(self.weight.shape[0], -1)  # (F, C*k*k)
+        out = np.einsum("fk,nkp->nfp", w_mat, cols)
+        out = out.reshape(n, -1, h, w) + self.bias.value[None, :, None, None]
+        self._cache = (cols, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cols, x_shape = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel_size
+        f = self.weight.shape[0]
+        grad_flat = grad_out.reshape(n, f, h * w)
+
+        # dW: sum over batch and positions of grad x col.
+        grad_w = np.einsum("nfp,nkp->fk", grad_flat, cols)
+        self.weight.grad += grad_w.reshape(self.weight.shape)
+        self.bias.grad += grad_flat.sum(axis=(0, 2))
+
+        # dX: transpose convolution via col2im.
+        w_mat = self.weight.value.reshape(f, -1)  # (F, C*k*k)
+        grad_cols = np.einsum("fk,nfp->nkp", w_mat, grad_flat)
+        return _col2im(grad_cols, x_shape, k)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+def _im2col(x: np.ndarray, k: int) -> np.ndarray:
+    """Extract k×k same-padded patches: (N, C, H, W) → (N, C*k*k, H*W)."""
+    n, c, h, w = x.shape
+    pad = k // 2
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, k, k, h, w), dtype=x.dtype)
+    for i in range(k):
+        for j in range(k):
+            cols[:, :, i, j] = padded[:, :, i : i + h, j : j + w]
+    return cols.reshape(n, c * k * k, h * w)
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], k: int) -> np.ndarray:
+    """Scatter-add patch gradients back: inverse of :func:`_im2col`."""
+    n, c, h, w = x_shape
+    pad = k // 2
+    cols = cols.reshape(n, c, k, k, h, w)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    for i in range(k):
+        for j in range(k):
+            padded[:, :, i : i + h, j : j + w] += cols[:, :, i, j]
+    return padded[:, :, pad : pad + h, pad : pad + w]

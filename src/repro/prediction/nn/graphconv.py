@@ -1,0 +1,74 @@
+"""Graph convolution layer (Kipf & Welling), for DeepST-GC (Appendix A).
+
+Propagation rule ``X' = A X W + b`` with the fixed symmetric-normalised
+adjacency ``A = D^{-1/2} (A~ + I) D^{-1/2}`` built once from the zone (or
+grid) adjacency lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.nn.layers import Layer, Parameter
+
+__all__ = ["GraphConv", "normalized_adjacency"]
+
+
+def normalized_adjacency(adjacency: dict[int, list[int]]) -> np.ndarray:
+    """Build ``D^{-1/2} (A~ + I) D^{-1/2}`` from adjacency lists.
+
+    Node ids must be 0..n-1.  The result is symmetric whenever the input
+    adjacency is.
+    """
+    n = len(adjacency)
+    a = np.eye(n)
+    for node, neighbors in adjacency.items():
+        for other in neighbors:
+            if not 0 <= other < n:
+                raise ValueError(f"neighbor {other} of node {node} out of range")
+            a[node, other] = 1.0
+    degree = a.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(degree)
+    return a * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GraphConv(Layer):
+    """``X' = A X W + b`` over inputs of shape ``(batch, nodes, features)``."""
+
+    def __init__(
+        self,
+        adjacency_norm: np.ndarray,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if adjacency_norm.ndim != 2 or adjacency_norm.shape[0] != adjacency_norm.shape[1]:
+            raise ValueError("adjacency must be a square matrix")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.adjacency = np.asarray(adjacency_norm, dtype=float)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.adjacency.shape[0]:
+            raise ValueError(
+                f"expected (batch, {self.adjacency.shape[0]}, features), got {x.shape}"
+            )
+        ax = np.einsum("uv,nvf->nuf", self.adjacency, x)
+        self._cache = (x, ax)
+        return ax @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        _, ax = self._cache
+        flat_ax = ax.reshape(-1, ax.shape[-1])
+        flat_g = grad_out.reshape(-1, grad_out.shape[-1])
+        self.weight.grad += flat_ax.T @ flat_g
+        self.bias.grad += flat_g.sum(axis=0)
+        grad_ax = grad_out @ self.weight.value.T
+        # d/dx of A x: multiply by A^T along the node axis.
+        return np.einsum("vu,nvf->nuf", self.adjacency, grad_ax)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]

@@ -1,0 +1,95 @@
+"""Base layer protocol plus Dense and ReLU."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "Dense", "ReLU"]
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter tensor."""
+        return self.value.shape
+
+
+class Layer(abc.ABC):
+    """One differentiable transformation.
+
+    ``forward`` caches whatever ``backward`` needs; ``backward`` receives
+    the loss gradient w.r.t. the layer output, accumulates parameter
+    gradients, and returns the gradient w.r.t. the input.
+    """
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``x``."""
+
+    @abc.abstractmethod
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_out``; returns gradient w.r.t. input."""
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of this layer (default: none)."""
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b`` over the last axis.
+
+    Accepts inputs of any leading shape ``(..., in_features)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_g = grad_out.reshape(-1, grad_out.shape[-1])
+        self.weight.grad += flat_x.T @ flat_g
+        self.bias.grad += flat_g.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Elementwise ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)

@@ -1,0 +1,17 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,34 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.nn.layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """Run layers in order; backward in reverse."""
+
+    def __init__(self, *layers: Layer):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params

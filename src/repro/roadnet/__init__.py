@@ -1,0 +1,40 @@
+"""Road-network substrate: weighted digraph, shortest paths, builders.
+
+The paper models travel costs on a road network ``G = <V, E>`` with weighted
+edges (§2).  The experiments convert between travel distance and travel time
+through a constant speed.  This package provides:
+
+- :class:`RoadGraph` — adjacency-list weighted digraph keyed by vertex id,
+  with geographic vertex positions;
+- Dijkstra / bidirectional Dijkstra / A* shortest paths;
+- a Manhattan-style grid network builder covering a bounding box;
+- :class:`RoadNetworkCost` and :class:`StraightLineCost` travel-cost
+  providers implementing a common ``TravelCostModel`` protocol used by the
+  simulator.
+"""
+
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.shortest_path import (
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_all,
+)
+from repro.roadnet.builders import build_grid_network
+from repro.roadnet.travel_time import (
+    RoadNetworkCost,
+    StraightLineCost,
+    TravelCostModel,
+)
+
+__all__ = [
+    "RoadGraph",
+    "dijkstra",
+    "dijkstra_all",
+    "bidirectional_dijkstra",
+    "astar",
+    "build_grid_network",
+    "TravelCostModel",
+    "StraightLineCost",
+    "RoadNetworkCost",
+]

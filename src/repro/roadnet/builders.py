@@ -1,0 +1,95 @@
+"""Builders for synthetic road networks.
+
+Real NYC road shapefiles are not available offline, so the experiments that
+need an explicit road network use a Manhattan-style lattice covering the
+study bounding box: vertices on a regular grid, bidirectional street edges
+between 4-neighbours, optional diagonal "avenue" shortcuts, and per-edge
+speed perturbation so shortest paths are not degenerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import equirectangular_m
+from repro.geo.point import GeoPoint
+from repro.roadnet.graph import RoadGraph
+
+__all__ = ["build_grid_network"]
+
+
+def build_grid_network(
+    bbox: BoundingBox,
+    rows: int = 20,
+    cols: int = 20,
+    speed_mps: float = 8.0,
+    speed_jitter: float = 0.0,
+    diagonal_fraction: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> RoadGraph:
+    """Build a Manhattan-style street lattice over ``bbox``.
+
+    Parameters
+    ----------
+    rows, cols:
+        Number of vertex rows/columns (``rows*cols`` vertices).
+    speed_mps:
+        Base travel speed; edge costs are travel *seconds*.
+    speed_jitter:
+        Relative std-dev of per-edge speed perturbation (0 disables).
+    diagonal_fraction:
+        Fraction of grid cells that receive a diagonal shortcut edge
+        (requires ``rng`` when > 0 together with jitter).
+    rng:
+        Randomness source for jitter/diagonals; defaults to a fixed seed so
+        the builder is deterministic.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError(f"need at least a 2x2 lattice, got {rows}x{cols}")
+    if speed_mps <= 0:
+        raise ValueError(f"speed must be positive, got {speed_mps}")
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise ValueError("diagonal_fraction must be within [0, 1]")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    graph = RoadGraph()
+    dlon = bbox.width / (cols - 1)
+    dlat = bbox.height / (rows - 1)
+    ids = [
+        [
+            graph.add_vertex(
+                GeoPoint(bbox.min_lon + c * dlon, bbox.min_lat + r * dlat)
+            )
+            for c in range(cols)
+        ]
+        for r in range(rows)
+    ]
+
+    def edge_seconds(u: int, v: int) -> float:
+        meters = equirectangular_m(graph.position(u), graph.position(v))
+        speed = speed_mps
+        if speed_jitter > 0:
+            # Clip so an unlucky draw can never produce zero/negative speed.
+            speed = max(0.25 * speed_mps,
+                        speed_mps * (1.0 + speed_jitter * rng.standard_normal()))
+        return meters / speed
+
+    for r in range(rows):
+        for c in range(cols):
+            u = ids[r][c]
+            if c + 1 < cols:
+                graph.add_bidirectional_edge(u, ids[r][c + 1], edge_seconds(u, ids[r][c + 1]))
+            if r + 1 < rows:
+                graph.add_bidirectional_edge(u, ids[r + 1][c], edge_seconds(u, ids[r + 1][c]))
+            if (
+                diagonal_fraction > 0
+                and c + 1 < cols
+                and r + 1 < rows
+                and rng.random() < diagonal_fraction
+            ):
+                graph.add_bidirectional_edge(
+                    u, ids[r + 1][c + 1], edge_seconds(u, ids[r + 1][c + 1])
+                )
+    return graph

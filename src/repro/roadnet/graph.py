@@ -1,0 +1,119 @@
+"""Adjacency-list weighted directed graph with geographic vertices."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.geo.point import GeoPoint
+
+__all__ = ["RoadGraph"]
+
+
+class RoadGraph:
+    """A weighted digraph whose vertices carry geographic positions.
+
+    Vertices are integer ids; edges carry a non-negative ``cost`` (seconds or
+    metres — callers decide the unit and keep it consistent).
+
+    >>> g = RoadGraph()
+    >>> a = g.add_vertex(GeoPoint(0.0, 0.0))
+    >>> b = g.add_vertex(GeoPoint(0.1, 0.0))
+    >>> g.add_edge(a, b, 5.0)
+    >>> g.edge_cost(a, b)
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._positions: list[GeoPoint] = []
+        self._out: list[dict[int, float]] = []
+        self._in: list[dict[int, float]] = []
+        self._num_edges = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_vertex(self, position: GeoPoint) -> int:
+        """Add a vertex at ``position`` and return its id."""
+        self._positions.append(position)
+        self._out.append({})
+        self._in.append({})
+        return len(self._positions) - 1
+
+    def add_edge(self, u: int, v: int, cost: float) -> None:
+        """Add (or overwrite) the directed edge ``u -> v``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if cost < 0:
+            raise ValueError(f"edge cost must be non-negative, got {cost}")
+        if v not in self._out[u]:
+            self._num_edges += 1
+        self._out[u][v] = float(cost)
+        self._in[v][u] = float(cost)
+
+    def add_bidirectional_edge(self, u: int, v: int, cost: float) -> None:
+        """Add both ``u -> v`` and ``v -> u`` with the same cost."""
+        self.add_edge(u, v, cost)
+        self.add_edge(v, u, cost)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._positions)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def position(self, u: int) -> GeoPoint:
+        """Geographic position of vertex ``u``."""
+        self._check_vertex(u)
+        return self._positions[u]
+
+    def out_edges(self, u: int) -> Iterable[tuple[int, float]]:
+        """Iterate ``(neighbor, cost)`` for edges leaving ``u``."""
+        self._check_vertex(u)
+        return self._out[u].items()
+
+    def in_edges(self, v: int) -> Iterable[tuple[int, float]]:
+        """Iterate ``(neighbor, cost)`` for edges entering ``v``."""
+        self._check_vertex(v)
+        return self._in[v].items()
+
+    def edge_cost(self, u: int, v: int) -> float:
+        """Cost of edge ``u -> v``; raises ``KeyError`` if absent."""
+        self._check_vertex(u)
+        return self._out[u][v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``u -> v`` exists."""
+        self._check_vertex(u)
+        return v in self._out[u]
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate all vertex ids."""
+        return iter(range(self.num_vertices))
+
+    def nearest_vertex(self, point: GeoPoint) -> int:
+        """Vertex whose position is closest to ``point`` (linear scan).
+
+        Builders that need many lookups should build their own spatial index;
+        the simulator snaps each trip endpoint once, so a scan is fine at the
+        network sizes used here.
+        """
+        if self.num_vertices == 0:
+            raise ValueError("graph has no vertices")
+        best, best_d = 0, float("inf")
+        for u, pos in enumerate(self._positions):
+            d = (pos.lon - point.lon) ** 2 + (pos.lat - point.lat) ** 2
+            if d < best_d:
+                best, best_d = u, d
+        return best
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._positions):
+            raise ValueError(f"vertex {u} outside [0, {len(self._positions)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,196 @@
+"""Shortest-path algorithms over :class:`~repro.roadnet.graph.RoadGraph`.
+
+Provides plain Dijkstra (single target and all targets), bidirectional
+Dijkstra, and A* with a great-circle heuristic.  All return ``(cost, path)``
+with ``cost = inf`` and an empty path when the target is unreachable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.geo.distance import equirectangular_m
+from repro.roadnet.graph import RoadGraph
+
+__all__ = ["dijkstra", "dijkstra_all", "bidirectional_dijkstra", "astar"]
+
+_INF = float("inf")
+
+
+def dijkstra(graph: RoadGraph, source: int, target: int) -> tuple[float, list[int]]:
+    """Single-pair Dijkstra; returns ``(cost, vertex path)``."""
+    if source == target:
+        return 0.0, [source]
+    dist = {source: 0.0}
+    parent: dict[int, int] = {}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            return d, _rebuild_path(parent, source, target)
+        if d > dist.get(u, _INF):
+            continue
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return _INF, []
+
+
+def dijkstra_all(graph: RoadGraph, source: int) -> dict[int, float]:
+    """Costs from ``source`` to every reachable vertex."""
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, _INF):
+            continue
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def bidirectional_dijkstra(
+    graph: RoadGraph, source: int, target: int
+) -> tuple[float, list[int]]:
+    """Bidirectional Dijkstra; explores ~half the vertices of plain Dijkstra."""
+    if source == target:
+        return 0.0, [source]
+
+    dist_f = {source: 0.0}
+    dist_b = {target: 0.0}
+    parent_f: dict[int, int] = {}
+    parent_b: dict[int, int] = {}
+    heap_f = [(0.0, source)]
+    heap_b = [(0.0, target)]
+    best = _INF
+    meet = -1
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # Expand the frontier with the smaller top, alternating naturally.
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, u = heapq.heappop(heap_f)
+            if d > dist_f.get(u, _INF):
+                continue
+            for v, w in graph.out_edges(u):
+                nd = d + w
+                if nd < dist_f.get(v, _INF):
+                    dist_f[v] = nd
+                    parent_f[v] = u
+                    heapq.heappush(heap_f, (nd, v))
+                    if v in dist_b and nd + dist_b[v] < best:
+                        best = nd + dist_b[v]
+                        meet = v
+        else:
+            d, u = heapq.heappop(heap_b)
+            if d > dist_b.get(u, _INF):
+                continue
+            for v, w in graph.in_edges(u):
+                nd = d + w
+                if nd < dist_b.get(v, _INF):
+                    dist_b[v] = nd
+                    parent_b[v] = u
+                    heapq.heappush(heap_b, (nd, v))
+                    if v in dist_f and nd + dist_f[v] < best:
+                        best = nd + dist_f[v]
+                        meet = v
+
+    if meet < 0:
+        return _INF, []
+    forward = _rebuild_path(parent_f, source, meet)
+    backward: list[int] = []
+    node = meet
+    while node != target:
+        node = parent_b[node]
+        backward.append(node)
+    return best, forward + backward
+
+
+def astar(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    cost_per_meter: float = 1.0,
+) -> tuple[float, list[int]]:
+    """A* with an equirectangular-distance heuristic.
+
+    ``cost_per_meter`` converts metres to the graph's edge-cost unit; it must
+    not overestimate (e.g. use ``1 / max_speed`` when edges are in seconds)
+    or the result loses optimality.
+    """
+    if source == target:
+        return 0.0, [source]
+    goal = graph.position(target)
+
+    def h(u: int) -> float:
+        return equirectangular_m(graph.position(u), goal) * cost_per_meter
+
+    dist = {source: 0.0}
+    parent: dict[int, int] = {}
+    heap = [(h(source), source)]
+    closed: set[int] = set()
+    while heap:
+        f, u = heapq.heappop(heap)
+        if u == target:
+            return dist[u], _rebuild_path(parent, source, target)
+        if u in closed:
+            continue
+        closed.add(u)
+        for v, w in graph.out_edges(u):
+            nd = dist[u] + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + h(v), v))
+    return _INF, []
+
+
+def _rebuild_path(parent: dict[int, int], source: int, target: int) -> list[int]:
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def path_cost(graph: RoadGraph, path: list[int]) -> float:
+    """Total cost along ``path`` (consecutive edges must exist)."""
+    if len(path) < 2:
+        return 0.0
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.edge_cost(u, v)
+    return total
+
+
+def is_strongly_connected(graph: RoadGraph) -> bool:
+    """Whether every vertex reaches every other (forward + reverse BFS)."""
+    n = graph.num_vertices
+    if n == 0:
+        return True
+
+    def reachable(start: int, reverse: bool) -> int:
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            edges = graph.in_edges(u) if reverse else graph.out_edges(u)
+            for v, _ in edges:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen)
+
+    if math.isinf(n):  # pragma: no cover - defensive
+        return False
+    return reachable(0, reverse=False) == n and reachable(0, reverse=True) == n

@@ -1,0 +1,115 @@
+"""Travel-cost models shared by the simulator and the dispatch algorithms.
+
+The paper's travel cost ``cost(u, v)`` is either travel time or distance and
+converts between the two through a constant vehicle speed (§2).  The
+simulator talks to one of two interchangeable implementations:
+
+- :class:`StraightLineCost` — Manhattan (or great-circle) distance divided by
+  a constant speed.  This is the default for the large experiment sweeps: it
+  is O(1) per query and matches the paper's grid-region granularity.
+- :class:`RoadNetworkCost` — shortest-path seconds on an explicit
+  :class:`~repro.roadnet.graph.RoadGraph`, with endpoint snapping and an LRU
+  cache over (vertex, vertex) queries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol
+
+from repro.geo.distance import equirectangular_m, manhattan_m
+from repro.geo.point import GeoPoint
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.shortest_path import astar
+
+__all__ = ["TravelCostModel", "StraightLineCost", "RoadNetworkCost"]
+
+
+class TravelCostModel(Protocol):
+    """Anything that can answer "how many seconds from a to b"."""
+
+    def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Travel time from ``a`` to ``b`` in seconds."""
+        ...  # pragma: no cover - protocol
+
+
+class StraightLineCost:
+    """Distance / constant-speed travel cost.
+
+    ``metric="manhattan"`` (default) models street-grid driving;
+    ``metric="euclidean"`` uses the great-circle approximation.
+    """
+
+    def __init__(self, speed_mps: float = 8.0, metric: str = "manhattan"):
+        if speed_mps <= 0:
+            raise ValueError(f"speed must be positive, got {speed_mps}")
+        if metric not in ("manhattan", "euclidean"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.speed_mps = float(speed_mps)
+        self.metric = metric
+        self._dist = manhattan_m if metric == "manhattan" else equirectangular_m
+
+    def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Seconds to drive from ``a`` to ``b`` at the constant speed."""
+        return self._dist(a, b) / self.speed_mps
+
+    def distance_m(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Driving distance in metres under the chosen metric."""
+        return self._dist(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StraightLineCost({self.speed_mps} m/s, {self.metric})"
+
+
+class RoadNetworkCost:
+    """Shortest-path travel seconds over an explicit road graph.
+
+    Endpoints are snapped to their nearest network vertex; results are
+    memoised in a bounded LRU cache keyed by the snapped vertex pair.
+    Off-network legs (point to snapped vertex) are charged at the straight-
+    line speed so costs stay strictly positive for distinct points.
+    """
+
+    def __init__(
+        self,
+        graph: RoadGraph,
+        access_speed_mps: float = 8.0,
+        cache_size: int = 65536,
+    ):
+        if graph.num_vertices == 0:
+            raise ValueError("road graph has no vertices")
+        if access_speed_mps <= 0:
+            raise ValueError("access speed must be positive")
+        self.graph = graph
+        self.access_speed_mps = float(access_speed_mps)
+        self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._cache_size = int(cache_size)
+        # Heuristic admissibility: network edges are seconds at >= min speed;
+        # using access speed keeps A* admissible for jitter >= -75% (builders
+        # clip speed at 25% of base, so 1/(4*speed) is safe).
+        self._heuristic_cost_per_meter = 1.0 / (4.0 * self.access_speed_mps)
+
+    def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Seconds from ``a`` to ``b`` via the network (plus access legs)."""
+        u = self.graph.nearest_vertex(a)
+        v = self.graph.nearest_vertex(b)
+        access = (
+            equirectangular_m(a, self.graph.position(u))
+            + equirectangular_m(b, self.graph.position(v))
+        ) / self.access_speed_mps
+        return access + self._network_seconds(u, v)
+
+    def _network_seconds(self, u: int, v: int) -> float:
+        key = (u, v)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        cost, _ = astar(self.graph, u, v, self._heuristic_cost_per_meter)
+        self._cache[key] = cost
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadNetworkCost({self.graph!r})"

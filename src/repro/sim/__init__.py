@@ -1,0 +1,25 @@
+"""Event-driven car-hailing simulator.
+
+Drives the batch-based dispatching loop of Algorithm 1 over a day of trip
+requests: riders arrive dynamically, renege at their pickup deadlines,
+drivers travel to pickups and dropoffs and rejoin the pool, and a pluggable
+:class:`~repro.dispatch.base.DispatchPolicy` plans every batch.
+"""
+
+from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
+from repro.sim.engine import SimConfig, Simulation, SimulationResult
+from repro.sim.metrics import BatchMetrics, IdleSample
+from repro.sim.recorder import IdleTimeRecorder
+
+__all__ = [
+    "Rider",
+    "RiderStatus",
+    "Driver",
+    "DriverStatus",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "IdleTimeRecorder",
+    "IdleSample",
+    "BatchMetrics",
+]

@@ -1,0 +1,174 @@
+"""Demand sources feeding Algorithm 1's line 5 (predicted upcoming riders).
+
+The engine asks a *demand source* for the expected number of new riders per
+region over the scheduling window ``[t, t + t_c]``:
+
+- :class:`OracleDemand` reads the ground-truth trace ("-R" variants,
+  IRG-R / LS-R, and POLAR's "Real" column in Table 4);
+- :class:`SlotModelDemand` interpolates a per-slot prediction matrix
+  produced by any trained model in :mod:`repro.prediction` ("-P" variants);
+- :class:`NoisyOracleDemand` corrupts the oracle with multiplicative noise
+  (ablation: how accuracy degrades revenue, the Table 4 axis);
+- :class:`ZeroDemand` predicts nothing (stress-testing the algorithms'
+  behaviour without foresight).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+from typing import Protocol
+
+import numpy as np
+
+from repro.geo.grid import GridPartition
+from repro.sim.entities import Rider
+
+__all__ = [
+    "DemandSource",
+    "OracleDemand",
+    "SlotModelDemand",
+    "NoisyOracleDemand",
+    "ZeroDemand",
+    "CachedDemand",
+]
+
+
+class DemandSource(Protocol):
+    """Predicts upcoming rider counts per region for a time window."""
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Expected new riders per region in ``[start_s, start_s+window_s)``."""
+        ...  # pragma: no cover - protocol
+
+
+class OracleDemand:
+    """Exact future rider counts, read from the trace itself."""
+
+    def __init__(self, riders: Sequence[Rider], num_regions: int):
+        per_region: list[list[float]] = [[] for _ in range(num_regions)]
+        for rider in riders:
+            per_region[rider.origin_region].append(rider.request_time_s)
+        self._times = [sorted(ts) for ts in per_region]
+        self.num_regions = num_regions
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Count trace arrivals inside the window, per region."""
+        out = np.zeros(self.num_regions)
+        end = start_s + window_s
+        for k, times in enumerate(self._times):
+            lo = bisect.bisect_left(times, start_s)
+            hi = bisect.bisect_left(times, end)
+            out[k] = hi - lo
+        return out
+
+
+class SlotModelDemand:
+    """Adapt a per-slot prediction matrix to arbitrary windows.
+
+    ``slot_matrix[s, k]`` is the predicted rider count of region ``k`` in
+    time slot ``s`` (slots of ``slot_seconds``, slot 0 starting at time 0).
+    A query window is answered by summing the overlapped slots weighted by
+    the overlap fraction.  Windows beyond the last slot reuse the final
+    slot's rate (the day simply ends).
+    """
+
+    def __init__(self, slot_matrix: np.ndarray, slot_seconds: float):
+        matrix = np.asarray(slot_matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"slot matrix must be 2-D, got shape {matrix.shape}")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot length must be positive, got {slot_seconds}")
+        self._matrix = np.clip(matrix, 0.0, None)
+        self.slot_seconds = float(slot_seconds)
+        self.num_regions = matrix.shape[1]
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Overlap-weighted sum of slot predictions across the window."""
+        out = np.zeros(self.num_regions)
+        n_slots = self._matrix.shape[0]
+        end = start_s + window_s
+        first = max(0, int(start_s // self.slot_seconds))
+        last = int(np.ceil(end / self.slot_seconds))
+        for slot in range(first, last):
+            clamped = min(slot, n_slots - 1)
+            s0 = slot * self.slot_seconds
+            s1 = s0 + self.slot_seconds
+            overlap = max(0.0, min(end, s1) - max(start_s, s0))
+            if overlap > 0:
+                out += self._matrix[clamped] * (overlap / self.slot_seconds)
+        return out
+
+
+class NoisyOracleDemand:
+    """Oracle counts corrupted by multiplicative log-normal noise."""
+
+    def __init__(
+        self,
+        oracle: OracleDemand,
+        sigma: float,
+        rng: np.random.Generator,
+    ):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self._oracle = oracle
+        self._sigma = float(sigma)
+        self._rng = rng
+        self.num_regions = oracle.num_regions
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Oracle prediction times per-region log-normal factors."""
+        truth = self._oracle.predict(start_s, window_s)
+        if self._sigma == 0.0:
+            return truth
+        noise = np.exp(self._rng.normal(0.0, self._sigma, size=truth.shape))
+        return truth * noise
+
+
+class ZeroDemand:
+    """Predicts zero upcoming riders everywhere."""
+
+    def __init__(self, num_regions: int):
+        self.num_regions = num_regions
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Always the zero vector."""
+        return np.zeros(self.num_regions)
+
+
+class CachedDemand:
+    """Quantise prediction windows to amortise per-batch demand queries.
+
+    With a 3-second batch interval the scheduling window slides by 3 s per
+    batch while the per-region rates barely move; quantising the window
+    start to ``quantum_s`` lets consecutive batches share one prediction.
+    A documented performance approximation (DESIGN.md §6) — set
+    ``quantum_s=0`` to disable.
+    """
+
+    def __init__(self, source: DemandSource, quantum_s: float = 15.0):
+        if quantum_s < 0:
+            raise ValueError(f"quantum must be >= 0, got {quantum_s}")
+        self._source = source
+        self.quantum_s = float(quantum_s)
+        self._cache: dict[tuple[float, float], np.ndarray] = {}
+        self.num_regions = getattr(source, "num_regions", None)
+
+    def predict(self, start_s: float, window_s: float) -> np.ndarray:
+        """Prediction for the quantised window containing ``start_s``."""
+        if self.quantum_s == 0:
+            return self._source.predict(start_s, window_s)
+        key = (start_s // self.quantum_s * self.quantum_s, window_s)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._source.predict(key[0], window_s)
+            # Keep the cache bounded: one active window is all we need.
+            if len(self._cache) > 8:
+                self._cache.clear()
+            self._cache[key] = cached
+        return cached
+
+
+def oracle_for_grid(riders: Sequence[Rider], grid: GridPartition) -> OracleDemand:
+    """Convenience: an oracle sized to ``grid``."""
+    return OracleDemand(riders, grid.num_regions)

@@ -1,0 +1,339 @@
+"""The batch-based simulation engine (Algorithm 1 of the paper).
+
+The engine advances wall-clock time in batch steps of ``batch_interval_s``.
+At each tick it:
+
+1. admits riders whose requests arrived since the previous tick,
+2. reneges waiting riders whose pickup deadlines have passed,
+3. releases drivers whose deliveries completed (recording their rejoin
+   region — the "rejoined active drivers" of §3.1.2),
+4. builds a :class:`~repro.dispatch.base.BatchSnapshot` with the demand
+   prediction for ``[t, t + t_c]`` and the exact upcoming-rejoin counts,
+5. lets the policy plan, validates the plan, and applies it.
+
+Revenue accounting follows Eq. 1 with ``alpha`` folded into each rider's
+``revenue`` field at generation time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dispatch.base import BatchSnapshot, DispatchPolicy
+from repro.geo.grid import GridPartition
+from repro.roadnet.travel_time import TravelCostModel
+from repro.sim.demand import DemandSource, OracleDemand
+from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
+from repro.sim.metrics import BatchMetrics, SimMetrics
+from repro.sim.recorder import IdleTimeRecorder
+
+__all__ = ["SimConfig", "Simulation", "SimulationResult"]
+
+#: Tolerance when re-validating a policy's pickup ETA against the deadline.
+_ETA_TOLERANCE_S = 1e-6
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine parameters (defaults follow Table 2's bold values).
+
+    ``batch_interval_s`` is the paper's ``Delta``; ``tc_seconds`` the
+    scheduling-window length ``t_c``; ``horizon_s`` the simulated period
+    (a whole day in the paper).
+    """
+
+    batch_interval_s: float = 3.0
+    tc_seconds: float = 20.0 * 60.0
+    horizon_s: float = 24.0 * 3600.0
+    pickup_speed_mps: float = 8.0
+    record_idle_samples: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_interval_s <= 0:
+            raise ValueError("batch interval must be positive")
+        if self.tc_seconds <= 0:
+            raise ValueError("tc must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if self.pickup_speed_mps <= 0:
+            raise ValueError("pickup speed must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    metrics: SimMetrics
+    riders: list[Rider]
+    drivers: list[Driver]
+    recorder: IdleTimeRecorder
+
+    @property
+    def total_revenue(self) -> float:
+        """Platform revenue (Eq. 1)."""
+        return self.metrics.total_revenue
+
+    @property
+    def served_orders(self) -> int:
+        """Number of riders picked up before their deadlines."""
+        return self.metrics.served_orders
+
+
+class Simulation:
+    """One full run of the batch dispatching loop over a rider trace."""
+
+    def __init__(
+        self,
+        riders: Sequence[Rider],
+        drivers: Sequence[Driver],
+        grid: GridPartition,
+        cost_model: TravelCostModel,
+        policy: DispatchPolicy,
+        config: SimConfig | None = None,
+        demand: DemandSource | None = None,
+    ):
+        self.config = config or SimConfig()
+        self.grid = grid
+        self.cost_model = cost_model
+        self.policy = policy
+        self.riders = sorted(riders, key=lambda r: (r.request_time_s, r.rider_id))
+        self.drivers = list(drivers)
+        self._driver_by_id = {d.driver_id: d for d in self.drivers}
+        self._rider_by_id = {r.rider_id: r for r in self.riders}
+        if len(self._driver_by_id) != len(self.drivers):
+            raise ValueError("duplicate driver ids")
+        if len(self._rider_by_id) != len(self.riders):
+            raise ValueError("duplicate rider ids")
+        self.demand = demand or OracleDemand(self.riders, grid.num_regions)
+        self.recorder = IdleTimeRecorder()
+        # Release times of drivers for idle-interval bookkeeping; a shifted
+        # driver's idle clock starts when the shift does.
+        self._released_at: dict[int, float | None] = {
+            d.driver_id: d.join_time_s for d in self.drivers
+        }
+
+    def run(self) -> SimulationResult:
+        """Execute every batch tick across the horizon and return results."""
+        cfg = self.config
+        metrics = SimMetrics(total_orders=len(self.riders))
+
+        waiting: dict[int, Rider] = {}
+        arrival_ptr = 0
+        renege_heap: list[tuple[float, int]] = []
+        release_heap: list[tuple[float, int]] = []
+
+        num_batches = int(math.floor(cfg.horizon_s / cfg.batch_interval_s)) + 1
+        for batch_index in range(num_batches):
+            now = batch_index * cfg.batch_interval_s
+
+            # 1. admit new riders (requests up to and including `now`).
+            while (
+                arrival_ptr < len(self.riders)
+                and self.riders[arrival_ptr].request_time_s <= now
+            ):
+                rider = self.riders[arrival_ptr]
+                waiting[rider.rider_id] = rider
+                heapq.heappush(renege_heap, (rider.deadline_s, rider.rider_id))
+                arrival_ptr += 1
+
+            # 2. renege riders whose deadline passed before this tick.
+            while renege_heap and renege_heap[0][0] < now:
+                _, rider_id = heapq.heappop(renege_heap)
+                rider = self._rider_by_id[rider_id]
+                if rider.status is RiderStatus.WAITING:
+                    rider.status = RiderStatus.RENEGED
+                    metrics.reneged_orders += 1
+                    waiting.pop(rider_id, None)
+
+            # 3. release drivers whose deliveries completed.
+            while release_heap and release_heap[0][0] <= now:
+                _, driver_id = heapq.heappop(release_heap)
+                driver = self._driver_by_id[driver_id]
+                driver.release(now)
+                self._released_at[driver_id] = now
+
+            waiting_riders = list(waiting.values())
+            available_drivers = [
+                d for d in self.drivers if d.available and d.on_shift(now)
+            ]
+
+            snapshot = BatchSnapshot(
+                time_s=now,
+                tc_seconds=cfg.tc_seconds,
+                waiting_riders=waiting_riders,
+                available_drivers=available_drivers,
+                predicted_riders_fn=(
+                    lambda t=now: self.demand.predict(t, cfg.tc_seconds)
+                ),
+                predicted_drivers_fn=(
+                    lambda t=now, heap=release_heap: self._upcoming_rejoins(heap, t)
+                ),
+                grid=self.grid,
+                cost_model=self.cost_model,
+                pickup_speed_mps=cfg.pickup_speed_mps,
+            )
+
+            start = _time.perf_counter()
+            assignments = self.policy.plan_batch(snapshot)
+            plan_seconds = _time.perf_counter() - start
+
+            applied = self._apply_assignments(
+                assignments, waiting, release_heap, now, metrics
+            )
+            self._apply_repositions(
+                self.policy.plan_repositions(snapshot), release_heap, now, metrics
+            )
+            metrics.batches.append(
+                BatchMetrics(
+                    time_s=now,
+                    waiting_riders=len(waiting_riders),
+                    available_drivers=len(available_drivers),
+                    assignments=applied,
+                    plan_seconds=plan_seconds,
+                )
+            )
+
+        # Post-horizon accounting: anyone still waiting with an expired or
+        # in-horizon deadline effectively reneged.
+        for rider in waiting.values():
+            if rider.status is RiderStatus.WAITING:
+                rider.status = RiderStatus.RENEGED
+                metrics.reneged_orders += 1
+
+        if self.config.record_idle_samples:
+            metrics.idle_samples = self.recorder.samples
+        return SimulationResult(
+            metrics=metrics,
+            riders=self.riders,
+            drivers=self.drivers,
+            recorder=self.recorder,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _apply_repositions(
+        self,
+        repositions: Sequence,
+        release_heap: list[tuple[float, int]],
+        now: float,
+        metrics: SimMetrics,
+    ) -> None:
+        """Move idle drivers toward target regions (no revenue).
+
+        The driver drives to the target region's centre, is busy for the
+        travel time, and rejoins the pool there.  Invalid repositions
+        (busy/off-shift driver, unknown region) are rejected loudly — a
+        policy bug, not a runtime condition.
+        """
+        for reposition in repositions:
+            driver = self._driver_by_id.get(reposition.driver_id)
+            if driver is None:
+                raise ValueError(f"reposition references unknown driver: {reposition}")
+            if not (driver.available and driver.on_shift(now)):
+                raise ValueError(
+                    f"policy repositioned unavailable driver {driver.driver_id}"
+                )
+            target = reposition.target_region
+            if not 0 <= target < self.grid.num_regions:
+                raise ValueError(f"reposition targets unknown region {target}")
+            if target == driver.region:
+                continue  # nothing to do
+            centre = self.grid.center_of(target)
+            travel = self.cost_model.travel_seconds(driver.position, centre)
+            driver.status = DriverStatus.BUSY
+            driver.busy_until_s = now + travel
+            driver.destination_region = target
+            driver.position = centre
+            driver.current_rider_id = None
+            self.recorder.on_reposition(driver.driver_id)
+            self._released_at[driver.driver_id] = None
+            heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
+            metrics.repositions += 1
+
+    def _upcoming_rejoins(
+        self, release_heap: list[tuple[float, int]], now: float
+    ) -> np.ndarray:
+        """Exact |D^hat_k|: busy drivers scheduled to finish in the window.
+
+        A driver whose shift ends before the delivery completes exits the
+        platform instead of rejoining, so it does not count as supply.
+        """
+        counts = np.zeros(self.grid.num_regions)
+        window_end = now + self.config.tc_seconds
+        for release_time, driver_id in release_heap:
+            driver = self._driver_by_id[driver_id]
+            if release_time <= window_end and driver.on_shift(release_time):
+                counts[driver.destination_region] += 1
+        return counts
+
+    def _apply_assignments(
+        self,
+        assignments: Sequence,
+        waiting: dict[int, Rider],
+        release_heap: list[tuple[float, int]],
+        now: float,
+        metrics: SimMetrics,
+    ) -> int:
+        applied = 0
+        for assignment in assignments:
+            rider = self._rider_by_id.get(assignment.rider_id)
+            driver = self._driver_by_id.get(assignment.driver_id)
+            if rider is None or driver is None:
+                raise ValueError(
+                    f"assignment references unknown rider/driver: {assignment}"
+                )
+            if rider.rider_id not in waiting or rider.status is not RiderStatus.WAITING:
+                raise ValueError(
+                    f"policy assigned rider {rider.rider_id} who is not waiting"
+                )
+            if not driver.available:
+                raise ValueError(
+                    f"policy assigned busy driver {driver.driver_id}"
+                )
+
+            if self.policy.ignores_pickup_distance:
+                eta = 0.0
+            else:
+                eta = self.cost_model.travel_seconds(driver.position, rider.pickup)
+                if now + eta > rider.deadline_s + _ETA_TOLERANCE_S:
+                    raise ValueError(
+                        f"policy produced an invalid pair: driver "
+                        f"{driver.driver_id} cannot reach rider "
+                        f"{rider.rider_id} before the deadline"
+                    )
+
+            released_at = self._released_at.get(driver.driver_id)
+            self.recorder.on_assignment(
+                driver_id=driver.driver_id,
+                now_s=now,
+                released_at_s=released_at,
+                destination_region=rider.destination_region,
+                predicted_idle_s=assignment.predicted_idle_s,
+            )
+
+            rider.status = RiderStatus.SERVED
+            rider.assign_time_s = now
+            rider.pickup_time_s = now + eta
+            rider.dropoff_time_s = now + eta + rider.trip_seconds
+            rider.driver_id = driver.driver_id
+            driver.assign(
+                rider,
+                now_s=now,
+                pickup_eta_s=eta,
+                dropoff_position=rider.dropoff,
+                destination_region=rider.destination_region,
+            )
+            self._released_at[driver.driver_id] = None
+            heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
+            waiting.pop(rider.rider_id)
+
+            metrics.total_revenue += rider.revenue
+            metrics.served_orders += 1
+            applied += 1
+        return applied

@@ -1,0 +1,149 @@
+"""Simulation entities: impatient riders and drivers (paper §2.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geo.point import GeoPoint
+
+__all__ = ["RiderStatus", "Rider", "DriverStatus", "Driver"]
+
+
+class RiderStatus(enum.Enum):
+    """Lifecycle of an impatient rider (Definition 1)."""
+
+    WAITING = "waiting"
+    SERVED = "served"
+    RENEGED = "reneged"
+
+
+class DriverStatus(enum.Enum):
+    """Lifecycle of a driver (Definition 2)."""
+
+    AVAILABLE = "available"
+    BUSY = "busy"
+
+
+@dataclass
+class Rider:
+    """An impatient rider ``r_i`` with one order ``o_i``.
+
+    ``deadline_s`` is the *absolute* pickup deadline ``tau_i`` (request time
+    plus base waiting time plus noise, per §6.2); ``trip_seconds`` is
+    ``cost(s_i, e_i)``; ``revenue`` is ``alpha * cost(s_i, e_i)``.
+    """
+
+    rider_id: int
+    request_time_s: float
+    pickup: GeoPoint
+    dropoff: GeoPoint
+    deadline_s: float
+    trip_seconds: float
+    revenue: float
+    origin_region: int
+    destination_region: int
+    status: RiderStatus = RiderStatus.WAITING
+    assign_time_s: float | None = None
+    pickup_time_s: float | None = None
+    dropoff_time_s: float | None = None
+    driver_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s < self.request_time_s:
+            raise ValueError(
+                f"rider {self.rider_id}: deadline {self.deadline_s} precedes "
+                f"request time {self.request_time_s}"
+            )
+        if self.trip_seconds < 0:
+            raise ValueError(f"rider {self.rider_id}: negative trip time")
+        if self.revenue < 0:
+            raise ValueError(f"rider {self.rider_id}: negative revenue")
+
+    @property
+    def waiting(self) -> bool:
+        """Whether the rider is still waiting for an assignment."""
+        return self.status is RiderStatus.WAITING
+
+
+@dataclass
+class Driver:
+    """A driver ``d_j`` switching between available and busy status.
+
+    ``available_since_s`` timestamps the start of the current idle interval
+    (the ``psi`` of Eq. 3); ``busy_until_s`` is when the current delivery
+    finishes.  ``join_time_s``/``leave_time_s`` bound the driver's lifetime
+    ``T_j`` on the platform (§2.4): before joining and after leaving the
+    driver takes no assignments (a delivery in flight at ``leave_time_s``
+    is completed first — drivers do not abandon riders).
+    """
+
+    driver_id: int
+    position: GeoPoint
+    region: int
+    status: DriverStatus = DriverStatus.AVAILABLE
+    available_since_s: float = 0.0
+    busy_until_s: float = 0.0
+    destination_region: int = -1
+    current_rider_id: int | None = None
+    served_orders: int = 0
+    busy_seconds_total: float = field(default=0.0)
+    join_time_s: float = 0.0
+    leave_time_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.leave_time_s <= self.join_time_s:
+            raise ValueError(
+                f"driver {self.driver_id}: shift end {self.leave_time_s} must "
+                f"follow shift start {self.join_time_s}"
+            )
+
+    @property
+    def available(self) -> bool:
+        """Whether the driver can take a new rider (ignoring shift times;
+        the engine additionally checks :meth:`on_shift`)."""
+        return self.status is DriverStatus.AVAILABLE
+
+    def on_shift(self, now_s: float) -> bool:
+        """Whether ``now_s`` lies inside the driver's lifetime ``T_j``."""
+        return self.join_time_s <= now_s < self.leave_time_s
+
+    @property
+    def lifetime_s(self) -> float:
+        """The ``T_j`` of Eq. 3 (infinite for open-ended drivers)."""
+        return self.leave_time_s - self.join_time_s
+
+    def assign(
+        self,
+        rider: Rider,
+        now_s: float,
+        pickup_eta_s: float,
+        dropoff_position: GeoPoint,
+        destination_region: int,
+    ) -> None:
+        """Commit this driver to ``rider`` at time ``now_s``.
+
+        The driver turns busy until pickup + trip completes, then will
+        rejoin the pool at the rider's destination.
+        """
+        if not self.available:
+            raise ValueError(f"driver {self.driver_id} is not available")
+        busy_span = pickup_eta_s + rider.trip_seconds
+        self.status = DriverStatus.BUSY
+        self.busy_until_s = now_s + busy_span
+        self.destination_region = destination_region
+        self.current_rider_id = rider.rider_id
+        self.busy_seconds_total += busy_span
+        self.served_orders += 1
+        # Position updates immediately to the eventual dropoff; nothing reads
+        # a busy driver's position before release.
+        self.position = dropoff_position
+
+    def release(self, now_s: float) -> None:
+        """Return the driver to the available pool at ``now_s``."""
+        if self.available:
+            raise ValueError(f"driver {self.driver_id} is already available")
+        self.status = DriverStatus.AVAILABLE
+        self.region = self.destination_region
+        self.available_since_s = now_s
+        self.current_rider_id = None

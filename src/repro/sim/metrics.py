@@ -1,0 +1,68 @@
+"""Result containers produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IdleSample", "BatchMetrics", "SimMetrics"]
+
+
+@dataclass(frozen=True)
+class IdleSample:
+    """One (predicted, realized) idle-interval observation for Table 3.
+
+    The prediction was made when the driver's *previous* assignment was
+    committed (ET of its destination region); the realized idle interval is
+    the time between the driver's release there and the next assignment.
+    """
+
+    driver_id: int
+    region: int
+    released_at_s: float
+    predicted_idle_s: float
+    realized_idle_s: float
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """Per-batch bookkeeping (Figures 7b–10b report the mean plan time)."""
+
+    time_s: float
+    waiting_riders: int
+    available_drivers: int
+    assignments: int
+    plan_seconds: float
+
+
+@dataclass
+class SimMetrics:
+    """Aggregates accumulated over one simulation run."""
+
+    total_revenue: float = 0.0
+    served_orders: int = 0
+    reneged_orders: int = 0
+    total_orders: int = 0
+    repositions: int = 0
+    batches: list[BatchMetrics] = field(default_factory=list)
+    idle_samples: list[IdleSample] = field(default_factory=list)
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of riders served (0 when no riders arrived)."""
+        if self.total_orders == 0:
+            return 0.0
+        return self.served_orders / self.total_orders
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        """Average per-batch planning wall time in seconds."""
+        if not self.batches:
+            return 0.0
+        return sum(b.plan_seconds for b in self.batches) / len(self.batches)
+
+    @property
+    def max_batch_seconds(self) -> float:
+        """Worst per-batch planning wall time in seconds."""
+        if not self.batches:
+            return 0.0
+        return max(b.plan_seconds for b in self.batches)

@@ -1,0 +1,84 @@
+"""Idle-time ground-truth recorder (feeds Table 3 and Figure 6).
+
+Every queueing-based assignment carries the ``ET`` estimate of the rider's
+destination region.  The recorder holds that prediction until the driver is
+assigned again, at which point the realized idle interval (release time →
+next assignment time) is known and a sample is emitted.
+
+Drivers whose final release never leads to another assignment are censored
+observations and are dropped, exactly as in any waiting-time study.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.sim.metrics import IdleSample
+
+__all__ = ["IdleTimeRecorder"]
+
+
+class IdleTimeRecorder:
+    """Correlates predicted ``ET`` values with realized idle intervals."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, tuple[int, float]] = {}
+        self.samples: list[IdleSample] = []
+
+    def on_assignment(
+        self,
+        driver_id: int,
+        now_s: float,
+        released_at_s: float | None,
+        destination_region: int,
+        predicted_idle_s: float,
+    ) -> None:
+        """Record an assignment of ``driver_id`` at ``now_s``.
+
+        ``released_at_s`` is when the driver last became available (``None``
+        for the initial pool, whose idle interval has no prediction).
+        ``predicted_idle_s`` is the ET attached to *this* assignment — it
+        predicts the idle interval after this trip's dropoff.  ``nan``
+        predictions (non-queueing policies) simply never emit samples.
+        """
+        pending = self._pending.pop(driver_id, None)
+        if pending is not None and released_at_s is not None:
+            region, predicted = pending
+            realized = now_s - released_at_s
+            if realized >= 0 and math.isfinite(predicted):
+                self.samples.append(
+                    IdleSample(
+                        driver_id=driver_id,
+                        region=region,
+                        released_at_s=released_at_s,
+                        predicted_idle_s=predicted,
+                        realized_idle_s=realized,
+                    )
+                )
+        if math.isfinite(predicted_idle_s):
+            self._pending[driver_id] = (destination_region, predicted_idle_s)
+        else:
+            self._pending.pop(driver_id, None)
+
+    def on_reposition(self, driver_id: int) -> None:
+        """Invalidate the pending prediction of a repositioned driver.
+
+        A reposition changes where (and when) the driver rejoins, so the
+        ET attached to their previous assignment no longer predicts the
+        upcoming idle interval — the observation is censored.
+        """
+        self._pending.pop(driver_id, None)
+
+    def per_region_means(self) -> dict[int, tuple[float, float]]:
+        """Region → (mean predicted, mean realized) idle seconds (Figure 6)."""
+        sums: dict[int, list[float]] = defaultdict(lambda: [0.0, 0.0, 0.0])
+        for s in self.samples:
+            acc = sums[s.region]
+            acc[0] += s.predicted_idle_s
+            acc[1] += s.realized_idle_s
+            acc[2] += 1.0
+        return {
+            region: (acc[0] / acc[2], acc[1] / acc[2])
+            for region, acc in sums.items()
+        }

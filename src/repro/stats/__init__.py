@@ -1,0 +1,39 @@
+"""Statistics substrate: Poisson utilities, chi-square GoF test, metrics.
+
+Appendix B of the paper verifies with a chi-square test that per-minute
+order and rejoined-driver counts follow Poisson distributions; Tables 3 and
+6 report MAE / RMSE / relative RMSE.  Everything here is implemented from
+first principles (scipy is used only for the regularised gamma function
+behind the chi-square quantile).
+"""
+
+from repro.stats.chi_square import (
+    ChiSquareResult,
+    chi_square_critical_value,
+    chi_square_goodness_of_fit,
+    poisson_chi_square_test,
+)
+from repro.stats.histograms import bin_counts, equal_width_bins
+from repro.stats.metrics import mae, relative_rmse, rmse
+from repro.stats.poisson import (
+    poisson_cdf,
+    poisson_interval_probability,
+    poisson_pmf,
+    sample_poisson_process,
+)
+
+__all__ = [
+    "poisson_pmf",
+    "poisson_cdf",
+    "poisson_interval_probability",
+    "sample_poisson_process",
+    "ChiSquareResult",
+    "chi_square_goodness_of_fit",
+    "chi_square_critical_value",
+    "poisson_chi_square_test",
+    "bin_counts",
+    "equal_width_bins",
+    "mae",
+    "rmse",
+    "relative_rmse",
+]

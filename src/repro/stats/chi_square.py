@@ -1,0 +1,206 @@
+"""Chi-square goodness-of-fit test (Appendix B of the paper).
+
+The statistic ``k = sum_i (nu_i - n*p_i)^2 / (n*p_i)`` over ``r`` intervals
+converges to a chi-square distribution with ``r - 1`` degrees of freedom
+(Pearson 1900).  The null hypothesis "counts are Poisson" is rejected when
+``k`` exceeds the critical value at the chosen significance level.
+
+We implement the statistic, interval construction, and Poisson-specific test
+here; the chi-square quantile is obtained by bisection on the regularised
+upper incomplete gamma function (``scipy.special.gammaincc``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from scipy import special
+
+from repro.stats.poisson import poisson_interval_probability
+
+__all__ = [
+    "ChiSquareResult",
+    "chi_square_statistic",
+    "chi_square_sf",
+    "chi_square_critical_value",
+    "chi_square_goodness_of_fit",
+    "poisson_chi_square_test",
+]
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a chi-square goodness-of-fit test.
+
+    ``statistic`` is the Pearson ``k``; ``critical_value`` the
+    ``chi2_{df}(alpha)`` threshold; ``reject`` whether H0 is rejected at
+    ``alpha``; ``p_value`` the survival probability of the statistic.
+    """
+
+    statistic: float
+    df: int
+    alpha: float
+    critical_value: float
+    p_value: float
+    num_intervals: int
+
+    @property
+    def reject(self) -> bool:
+        """True when the null hypothesis is rejected at level ``alpha``."""
+        return self.statistic > self.critical_value
+
+
+def chi_square_statistic(
+    observed: Sequence[float], expected: Sequence[float]
+) -> float:
+    """Pearson's ``k`` for observed vs expected interval frequencies."""
+    if len(observed) != len(expected):
+        raise ValueError(
+            f"observed ({len(observed)}) and expected ({len(expected)}) "
+            "must have equal length"
+        )
+    stat = 0.0
+    for nu, np_i in zip(observed, expected):
+        if np_i <= 0:
+            raise ValueError("expected frequencies must be positive")
+        stat += (nu - np_i) ** 2 / np_i
+    return stat
+
+
+def chi_square_sf(x: float, df: int) -> float:
+    """Survival function ``P[Chi2_df > x]`` via the regularised gamma."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if x <= 0:
+        return 1.0
+    return float(special.gammaincc(df / 2.0, x / 2.0))
+
+
+def chi_square_critical_value(df: int, alpha: float = 0.05) -> float:
+    """The value ``c`` with ``P[Chi2_df > c] = alpha`` (bisection search)."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    lo, hi = 0.0, 1.0
+    while chi_square_sf(hi, df) > alpha:
+        hi *= 2.0
+        if hi > 1e8:  # pragma: no cover - defensive
+            raise RuntimeError("critical value search diverged")
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if chi_square_sf(mid, df) > alpha:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10 * max(1.0, hi):
+            break
+    return (lo + hi) / 2.0
+
+
+def chi_square_goodness_of_fit(
+    observed: Sequence[float],
+    expected: Sequence[float],
+    alpha: float = 0.05,
+    fitted_params: int = 0,
+) -> ChiSquareResult:
+    """Run the GoF test on pre-binned observed/expected frequencies.
+
+    ``fitted_params`` reduces the degrees of freedom by the number of
+    distribution parameters estimated from the same sample (1 when the
+    Poisson mean is fitted from the data, as in Appendix B).
+    """
+    r = len(observed)
+    df = r - 1 - fitted_params
+    if df < 1:
+        raise ValueError(
+            f"{r} intervals with {fitted_params} fitted params leaves df < 1"
+        )
+    stat = chi_square_statistic(observed, expected)
+    return ChiSquareResult(
+        statistic=stat,
+        df=df,
+        alpha=alpha,
+        critical_value=chi_square_critical_value(df, alpha),
+        p_value=chi_square_sf(stat, df),
+        num_intervals=r,
+    )
+
+
+def poisson_chi_square_test(
+    samples: Sequence[int],
+    alpha: float = 0.05,
+    min_expected: float = 5.0,
+    fit_rate: bool = True,
+) -> ChiSquareResult:
+    """Test whether integer ``samples`` are Poisson distributed.
+
+    Follows Appendix B: pick interval boundaries, count observed
+    frequencies, compute expected frequencies ``n * p_i`` from the Poisson
+    hypothesis with the rate fitted as the sample mean, and merge sparse
+    tail intervals until every expected frequency reaches ``min_expected``
+    (the standard validity rule for the chi-square approximation).
+    """
+    if len(samples) < 10:
+        raise ValueError("need at least 10 samples for a meaningful test")
+    n = len(samples)
+    lam = sum(samples) / n
+    if lam <= 0:
+        raise ValueError("all-zero samples cannot be tested against Poisson")
+
+    # Start from unit-width intervals covering the sample range, extended to
+    # catch the full tail mass, then greedily merge until each interval has
+    # enough expected mass.
+    lo = min(samples)
+    hi = max(samples) + 1
+    edges = list(range(lo, hi + 1))
+    # Open the first and last interval to capture full probability mass.
+    probs = []
+    for i, (a, b) in enumerate(zip(edges[:-1], edges[1:])):
+        left = 0 if i == 0 else a
+        p = poisson_interval_probability(left, b, lam)
+        probs.append(p)
+    # Fold the upper tail into the last interval.
+    tail = 1.0 - sum(probs)
+    if tail > 0:
+        probs[-1] += tail
+
+    observed = [0] * (len(edges) - 1)
+    for s in samples:
+        idx = min(max(s - lo, 0), len(observed) - 1)
+        observed[idx] += 1
+
+    merged_obs, merged_exp = _merge_sparse(observed, [n * p for p in probs], min_expected)
+    return chi_square_goodness_of_fit(
+        merged_obs, merged_exp, alpha=alpha, fitted_params=1 if fit_rate else 0
+    )
+
+
+def _merge_sparse(
+    observed: list[float], expected: list[float], min_expected: float
+) -> tuple[list[float], list[float]]:
+    """Merge adjacent intervals until all expected frequencies are large."""
+    obs = list(observed)
+    exp = list(expected)
+    # Merge left-to-right: fold any sparse interval into its right neighbour.
+    i = 0
+    while i < len(exp) - 1:
+        if exp[i] < min_expected:
+            exp[i + 1] += exp[i]
+            obs[i + 1] += obs[i]
+            del exp[i], obs[i]
+        else:
+            i += 1
+    # The last interval may still be sparse; fold it into its left neighbour.
+    while len(exp) > 1 and exp[-1] < min_expected:
+        exp[-2] += exp[-1]
+        obs[-2] += obs[-1]
+        del exp[-1], obs[-1]
+    if len(exp) < 2:
+        raise ValueError(
+            "too few populated intervals for a chi-square test; "
+            "collect more samples or lower min_expected"
+        )
+    if any(not math.isfinite(e) for e in exp):  # pragma: no cover - defensive
+        raise RuntimeError("non-finite expected frequency")
+    return obs, exp

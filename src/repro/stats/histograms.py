@@ -1,0 +1,70 @@
+"""Histogram binning helpers for the Figure 11/12 style comparisons."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["equal_width_bins", "bin_counts", "poisson_expected_counts"]
+
+
+def equal_width_bins(lo: float, hi: float, width: float) -> list[tuple[float, float]]:
+    """Half-open bins ``[a, b)`` of ``width`` covering ``[lo, hi)``.
+
+    The last bin is extended to ``hi`` when the range does not divide
+    evenly.
+    """
+    if width <= 0:
+        raise ValueError(f"bin width must be positive, got {width}")
+    if hi <= lo:
+        raise ValueError(f"empty range [{lo}, {hi})")
+    bins = []
+    a = lo
+    while a < hi:
+        b = min(a + width, hi)
+        bins.append((a, b))
+        a = b
+    # Ensure the terminal bin reaches hi exactly (floating-point drift).
+    if bins and bins[-1][1] < hi:
+        bins[-1] = (bins[-1][0], hi)
+    return bins
+
+
+def bin_counts(
+    samples: Sequence[float], bins: Sequence[tuple[float, float]]
+) -> list[int]:
+    """Count samples per half-open bin; the final bin includes its right edge."""
+    counts = [0] * len(bins)
+    if not bins:
+        return counts
+    last = len(bins) - 1
+    for s in samples:
+        for i, (a, b) in enumerate(bins):
+            if a <= s < b or (i == last and s == b):
+                counts[i] += 1
+                break
+    return counts
+
+
+def poisson_expected_counts(
+    bins: Sequence[tuple[float, float]], lam: float, n: int
+) -> list[float]:
+    """Expected per-bin counts of ``n`` Poisson(lam) samples.
+
+    Bin edges are treated as integer count boundaries (Figures 11/12 bin the
+    per-window order counts into ranges like 40~50, 50~60, ...).
+    """
+    from repro.stats.poisson import poisson_interval_probability
+
+    out = []
+    for i, (a, b) in enumerate(bins):
+        lo_k = 0 if i == 0 else int(a)
+        hi_k = int(b)
+        p = poisson_interval_probability(lo_k, hi_k, lam)
+        if i == len(bins) - 1:
+            # Fold the upper tail into the final bin.
+            p += max(0.0, 1.0 - sum(
+                poisson_interval_probability(0 if j == 0 else int(x[0]), int(x[1]), lam)
+                for j, x in enumerate(bins)
+            ))
+        out.append(n * p)
+    return out

@@ -1,0 +1,59 @@
+"""Error metrics used across Tables 3 and 6.
+
+The paper reports three flavours:
+
+- **MAE** — mean absolute error, in seconds for idle times.
+- **Real RMSE** — the usual root-mean-square error in original units.
+- **RMSE (%)** — relative RMSE: real RMSE normalised by the mean magnitude
+  of the ground truth, expressed as a percentage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["mae", "rmse", "relative_rmse", "mape"]
+
+
+def _check(pred: Sequence[float], truth: Sequence[float]) -> None:
+    if len(pred) != len(truth):
+        raise ValueError(
+            f"prediction ({len(pred)}) and truth ({len(truth)}) lengths differ"
+        )
+    if not pred:
+        raise ValueError("cannot compute a metric over zero samples")
+
+
+def mae(pred: Sequence[float], truth: Sequence[float]) -> float:
+    """Mean absolute error."""
+    _check(pred, truth)
+    return sum(abs(p - t) for p, t in zip(pred, truth)) / len(pred)
+
+
+def rmse(pred: Sequence[float], truth: Sequence[float]) -> float:
+    """Root mean squared error in original units ("Real RMSE")."""
+    _check(pred, truth)
+    return math.sqrt(sum((p - t) ** 2 for p, t in zip(pred, truth)) / len(pred))
+
+
+def relative_rmse(pred: Sequence[float], truth: Sequence[float]) -> float:
+    """RMSE normalised by the mean |truth|, as a percentage.
+
+    Matches the paper's "RMSE (%)" columns; raises when the truth is all
+    zeros (the normaliser would be meaningless).
+    """
+    _check(pred, truth)
+    denom = sum(abs(t) for t in truth) / len(truth)
+    if denom == 0:
+        raise ValueError("relative RMSE undefined for all-zero ground truth")
+    return 100.0 * rmse(pred, truth) / denom
+
+
+def mape(pred: Sequence[float], truth: Sequence[float]) -> float:
+    """Mean absolute percentage error over samples with non-zero truth."""
+    _check(pred, truth)
+    terms = [abs(p - t) / abs(t) for p, t in zip(pred, truth) if t != 0]
+    if not terms:
+        raise ValueError("MAPE undefined: ground truth is all zeros")
+    return 100.0 * sum(terms) / len(terms)

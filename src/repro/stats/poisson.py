@@ -1,0 +1,73 @@
+"""Poisson distribution utilities.
+
+The queueing model of §4 assumes rider and rejoined-driver arrivals in a
+region are Poisson within a short window; the data generator realises those
+assumptions and the chi-square machinery verifies them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "poisson_pmf",
+    "poisson_cdf",
+    "poisson_interval_probability",
+    "sample_poisson_process",
+]
+
+
+def poisson_pmf(k: int, lam: float) -> float:
+    """``P[X = k]`` for ``X ~ Poisson(lam)``, computed in log space."""
+    if k < 0:
+        return 0.0
+    if lam < 0:
+        raise ValueError(f"rate must be non-negative, got {lam}")
+    if lam == 0:
+        return 1.0 if k == 0 else 0.0
+    return math.exp(k * math.log(lam) - lam - math.lgamma(k + 1))
+
+
+def poisson_cdf(k: int, lam: float) -> float:
+    """``P[X <= k]`` for ``X ~ Poisson(lam)``."""
+    if k < 0:
+        return 0.0
+    if lam < 0:
+        raise ValueError(f"rate must be non-negative, got {lam}")
+    if lam == 0:
+        return 1.0
+    total = 0.0
+    term_log = -lam  # log P[X=0]
+    for i in range(k + 1):
+        if i > 0:
+            term_log += math.log(lam) - math.log(i)
+        total += math.exp(term_log)
+    return min(total, 1.0)
+
+
+def poisson_interval_probability(lo: int, hi: int, lam: float) -> float:
+    """``P[lo <= X < hi]`` for ``X ~ Poisson(lam)`` (half-open interval)."""
+    if hi <= lo:
+        return 0.0
+    return max(0.0, poisson_cdf(hi - 1, lam) - poisson_cdf(lo - 1, lam))
+
+
+def sample_poisson_process(
+    rate_per_second: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Event timestamps of a homogeneous Poisson process on [0, duration).
+
+    Returns a sorted float array of arrival times (seconds).
+    """
+    if rate_per_second < 0:
+        raise ValueError(f"rate must be non-negative, got {rate_per_second}")
+    if duration_s <= 0 or rate_per_second == 0:
+        return np.empty(0)
+    count = rng.poisson(rate_per_second * duration_s)
+    times = rng.uniform(0.0, duration_s, size=count)
+    times.sort()
+    return times

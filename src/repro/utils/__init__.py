@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG management, validation helpers, text plots."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

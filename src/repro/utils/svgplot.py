@@ -1,0 +1,310 @@
+"""Dependency-free SVG charts for the reproduced figures.
+
+matplotlib is not available offline, so the figure artefacts can be
+rendered as standalone SVG files with this small plotter: line charts for
+the parameter sweeps (Figures 7–10, 13), grouped bars for the histogram
+panels (Figures 11–12), and cell heatmaps for the maps (Figures 5–6).
+The output is deterministic, viewable in any browser, and small enough to
+commit next to the textual artefacts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["line_chart", "grouped_bars", "heatmap"]
+
+#: Qualitative palette (colour-blind friendly, Okabe–Ito).
+_PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+)
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * magnitude
+        if span / step <= count:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-12 * span:
+        if value >= lo - 1e-12 * span:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.1e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render one line chart (one line per series entry) as an SVG string."""
+    if not x_values:
+        raise ValueError("x_values must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+    margin_l, margin_r, margin_t, margin_b = 70, 150, 40, 55
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs = [float(x) for x in x_values]
+    all_y = [float(y) for ys in series.values() for y in ys] or [0.0, 1.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def px(x: float) -> float:
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return margin_t + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" {_FONT} '
+        f'font-size="15" font-weight="bold">{_esc(title)}</text>',
+    ]
+    # Axes and grid.
+    for tick in _ticks(y_lo, y_hi):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(x_lo, x_hi, count=len(xs) if len(xs) <= 8 else 6):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h + 5}" stroke="#333333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 20}" '
+            f'text-anchor="middle" {_FONT} font-size="11">{_fmt(tick)}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle" {_FONT} font-size="12">{_esc(xlabel)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+        f'{_FONT} font-size="12" transform="rotate(-90 18 '
+        f'{margin_t + plot_h / 2})">{_esc(ylabel)}</text>'
+    )
+    # Series lines, markers, legend.
+    for i, (name, ys) in enumerate(series.items()):
+        colour = _PALETTE[i % len(_PALETTE)]
+        dash = "" if i < len(_PALETTE) else ' stroke-dasharray="6 3"'
+        points = " ".join(f"{px(x):.1f},{py(float(y)):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"{dash}/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(float(y)):.1f}" r="3" '
+                f'fill="{colour}"/>'
+            )
+        ly = margin_t + 14 + i * 18
+        lx = margin_l + plot_w + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" y2="{ly - 4}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 28}" y="{ly}" {_FONT} font-size="11">'
+            f"{_esc(name)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def grouped_bars(
+    labels: Sequence[str],
+    groups: Mapping[str, Sequence[float]],
+    title: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Grouped bar chart (Figures 11–12: observed vs expected per bin)."""
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    for name, vals in groups.items():
+        if len(vals) != len(labels):
+            raise ValueError(
+                f"group {name!r} has {len(vals)} values, expected {len(labels)}"
+            )
+    margin_l, margin_r, margin_t, margin_b = 70, 140, 40, 70
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    all_vals = [float(v) for vals in groups.values() for v in vals] or [1.0]
+    v_hi = max(max(all_vals), 1e-12) * 1.05
+
+    def py(v: float) -> float:
+        return margin_t + (1.0 - v / v_hi) * plot_h
+
+    slot_w = plot_w / len(labels)
+    bar_w = slot_w * 0.8 / max(len(groups), 1)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" {_FONT} '
+        f'font-size="15" font-weight="bold">{_esc(title)}</text>',
+    ]
+    for tick in _ticks(0.0, v_hi):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{_fmt(tick)}</text>'
+        )
+    for i, (name, vals) in enumerate(groups.items()):
+        colour = _PALETTE[i % len(_PALETTE)]
+        for j, v in enumerate(vals):
+            x = margin_l + j * slot_w + slot_w * 0.1 + i * bar_w
+            y = py(float(v))
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{margin_t + plot_h - y:.1f}" fill="{colour}"/>'
+            )
+        ly = margin_t + 14 + i * 18
+        lx = margin_l + plot_w + 12
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 10}" width="12" height="12" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 18}" y="{ly}" {_FONT} font-size="11">'
+            f"{_esc(name)}</text>"
+        )
+    for j, label in enumerate(labels):
+        x = margin_l + (j + 0.5) * slot_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle" {_FONT} font-size="10" '
+            f'transform="rotate(-30 {x:.1f} {margin_t + plot_h + 16})">'
+            f"{_esc(label)}</text>"
+        )
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="18" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+        f'{_FONT} font-size="12" transform="rotate(-90 18 '
+        f'{margin_t + plot_h / 2})">{_esc(ylabel)}</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def heatmap(
+    matrix: Sequence[Sequence[float]],
+    title: str = "",
+    width: int = 520,
+    height: int = 460,
+) -> str:
+    """Cell heatmap (Figures 5–6); NaN cells are hatched grey."""
+    rows = len(matrix)
+    if rows == 0 or len(matrix[0]) == 0:
+        raise ValueError("matrix must be non-empty")
+    cols = len(matrix[0])
+    margin, title_h = 30, 40
+    cell_w = (width - 2 * margin) / cols
+    cell_h = (height - title_h - 2 * margin) / rows
+    finite = [
+        float(v) for row in matrix for v in row
+        if v is not None and not math.isnan(float(v))
+    ]
+    v_lo = min(finite) if finite else 0.0
+    v_hi = max(finite) if finite else 1.0
+    if v_hi == v_lo:
+        v_hi = v_lo + 1.0
+
+    def colour(v: float) -> str:
+        t = (v - v_lo) / (v_hi - v_lo)
+        # White -> deep blue ramp.
+        r = round(255 * (1 - 0.75 * t))
+        g = round(255 * (1 - 0.55 * t))
+        return f"rgb({r},{g},255)"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" {_FONT} '
+        f'font-size="15" font-weight="bold">{_esc(title)}</text>',
+    ]
+    for r, row in enumerate(matrix):
+        for c, value in enumerate(row):
+            x = margin + c * cell_w
+            y = title_h + margin + r * cell_h
+            if value is None or math.isnan(float(value)):
+                fill = "#eeeeee"
+            else:
+                fill = colour(float(value))
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.1f}" '
+                f'height="{cell_h:.1f}" fill="{fill}" stroke="#ffffff"/>'
+            )
+    parts.append(
+        f'<text x="{margin}" y="{height - 8}" {_FONT} font-size="10">'
+        f"range: {_fmt(v_lo)} – {_fmt(v_hi)}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,94 @@
+"""Terminal-friendly rendering of tables, series, and grid heatmaps.
+
+The benchmark harness prints every reproduced table/figure as text so the
+results are inspectable without matplotlib (which is not a dependency).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_heatmap", "format_number"]
+
+
+def format_number(value: float, digits: int = 4) -> str:
+    """Format a number compactly: integers stay integral, floats rounded."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [
+        [cell if isinstance(cell, str) else format_number(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render one row per series, one column per x value (figure data)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return render_table(headers, rows, title=title)
+
+
+def render_heatmap(
+    grid: Sequence[Sequence[float]],
+    title: str | None = None,
+    chars: str = " .:-=+*#%@",
+) -> str:
+    """Render a 2-D grid of values as an ASCII density map.
+
+    Higher values map to denser characters.  Rows are printed top-to-bottom
+    in the order given.
+    """
+    flat = [v for row in grid for v in row]
+    if not flat:
+        return title or ""
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    scale = len(chars) - 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append(
+            "".join(chars[int(round((v - lo) / span * scale))] for v in row)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Small argument-validation helpers used across the library.
+
+They exist so that public constructors fail fast with a clear message instead
+of propagating NaNs or negative rates deep into the queueing math.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_finite",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` and return it."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def require_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number and return it."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,88 @@
+"""Tests of the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_artifact_accepts_multiple_names(self):
+        args = build_parser().parse_args(["artifact", "table3", "figure7"])
+        assert args.names == ["table3", "figure7"]
+        assert args.save is False
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "LS-R"
+        assert args.predictor == "deepst"
+        assert args.drivers is None
+
+    def test_simulate_overrides(self):
+        args = build_parser().parse_args(
+            ["simulate", "--policy", "NEAR", "--drivers", "48",
+             "--tau", "180", "--delta", "5", "--tc", "10"]
+        )
+        assert args.policy == "NEAR"
+        assert args.drivers == 48
+        assert args.tau == 180.0
+        assert args.delta == 5.0
+        assert args.tc == 10.0
+
+    def test_queue_requires_rates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue", "--lam", "2.0"])
+
+
+class TestListCommand:
+    def test_lists_artifacts_and_policies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("table3", "figure13", "LS-R", "POLAR", "tiny"):
+            assert token in out
+
+
+class TestQueueCommand:
+    def test_prints_model_summary(self, capsys):
+        assert main(["queue", "--lam", "2.0", "--mu", "1.0", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "more riders" in out
+        assert "expected idle" in out
+        assert "n= -5" in out
+
+    def test_driver_surplus_regime_label(self, capsys):
+        assert main(["queue", "--lam", "0.5", "--mu", "2.0"]) == 0
+        assert "more drivers" in capsys.readouterr().out
+
+    def test_rejects_non_positive_lam(self, capsys):
+        assert main(["queue", "--lam", "0", "--mu", "1.0"]) == 2
+        assert "lam must be positive" in capsys.readouterr().err
+
+
+class TestArtifactCommand:
+    def test_unknown_name_is_an_error(self, capsys):
+        assert main(["artifact", "table99"]) == 2
+        err = capsys.readouterr().err
+        assert "table99" in err and "table3" in err
+
+    def test_builds_cheap_artifact(self, capsys):
+        assert main(["artifact", "figure5", "--profile", "tiny"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_unknown_policy_is_an_error(self, capsys):
+        assert main(["simulate", "--policy", "WAT", "--profile", "tiny"]) == 2
+        assert "WAT" in capsys.readouterr().err
+
+    def test_tiny_run_end_to_end(self, capsys):
+        code = main(
+            ["simulate", "--policy", "NEAR", "--profile", "tiny", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total revenue" in out
+        assert "served orders" in out

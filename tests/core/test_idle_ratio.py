@@ -1,0 +1,72 @@
+"""Tests of the idle ratio (Eq. 17) and the SHORT priority key."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.idle_ratio import idle_ratio, short_total_time
+
+
+class TestIdleRatio:
+    def test_matches_equation_17(self):
+        assert idle_ratio(300.0, 100.0) == pytest.approx(100.0 / 400.0)
+
+    def test_longer_trips_lower_ratio(self):
+        """Rule a of §2.4: higher travel cost → higher priority."""
+        assert idle_ratio(600.0, 100.0) < idle_ratio(200.0, 100.0)
+
+    def test_shorter_idle_lower_ratio(self):
+        """Rule b of §2.4: shorter idle time → higher priority."""
+        assert idle_ratio(300.0, 50.0) < idle_ratio(300.0, 200.0)
+
+    def test_infinite_idle_is_worst(self):
+        assert idle_ratio(1000.0, math.inf) == 1.0
+
+    def test_zero_zero_is_best(self):
+        assert idle_ratio(0.0, 0.0) == 0.0
+
+    def test_bounds(self):
+        assert 0.0 <= idle_ratio(10.0, 5.0) <= 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            idle_ratio(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            idle_ratio(1.0, -5.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cost=st.floats(min_value=0, max_value=1e6),
+    idle=st.floats(min_value=0, max_value=1e6),
+)
+def test_property_idle_ratio_in_unit_interval(cost, idle):
+    assert 0.0 <= idle_ratio(cost, idle) <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cost=st.floats(min_value=1e-3, max_value=1e5),
+    idle=st.floats(min_value=1e-3, max_value=1e5),
+    extra=st.floats(min_value=1e-3, max_value=1e5),
+)
+def test_property_monotonicity(cost, idle, extra):
+    """IR decreases in cost and increases in idle time."""
+    assert idle_ratio(cost + extra, idle) < idle_ratio(cost, idle)
+    assert idle_ratio(cost, idle + extra) > idle_ratio(cost, idle)
+
+
+class TestShortTotalTime:
+    def test_is_plain_sum(self):
+        assert short_total_time(120.0, 30.0) == 150.0
+
+    def test_infinite_idle_propagates(self):
+        assert short_total_time(10.0, math.inf) == math.inf
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            short_total_time(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            short_total_time(1.0, -1.0)

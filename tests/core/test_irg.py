@@ -1,0 +1,221 @@
+"""Tests of the Idle Ratio Oriented Greedy algorithm (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
+from repro.core.idle_ratio import idle_ratio
+from repro.core.irg import idle_ratio_greedy
+from repro.core.rates import RegionRates
+
+
+def make_rates(num_regions=4, riders=None, drivers=None, pred_r=None, pred_d=None):
+    return RegionRates(
+        waiting_riders=riders or [2] * num_regions,
+        available_drivers=drivers or [1] * num_regions,
+        predicted_riders=pred_r or [8.0] * num_regions,
+        predicted_drivers=pred_d or [2.0] * num_regions,
+        tc_seconds=1200.0,
+        beta=0.05,
+    )
+
+
+class TestIRGBasics:
+    def test_single_pair_selected(self):
+        riders = [BatchRider(0, 0, 1, 600.0, 600.0)]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 30.0)]
+        out = idle_ratio_greedy(riders, drivers, pairs, make_rates())
+        assert len(out) == 1
+        assert (out[0].rider, out[0].driver) == (0, 0)
+        assert out[0].pickup_eta_s == 30.0
+
+    def test_each_rider_and_driver_used_once(self):
+        riders = [BatchRider(i, 0, 1, 300.0 + i, 300.0 + i) for i in range(4)]
+        drivers = [BatchDriver(j, 0) for j in range(2)]
+        pairs = [CandidatePair(i, j, 10.0) for i in range(4) for j in range(2)]
+        out = idle_ratio_greedy(riders, drivers, pairs, make_rates())
+        assert len(out) == 2
+        assert len({p.rider for p in out}) == 2
+        assert len({p.driver for p in out}) == 2
+
+    def test_prefers_longer_trip_same_destination(self):
+        """With equal destinations, the longer (higher-revenue) trip wins."""
+        riders = [
+            BatchRider(0, 0, 1, 200.0, 200.0),
+            BatchRider(1, 0, 1, 900.0, 900.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        out = idle_ratio_greedy(riders, drivers, pairs, make_rates())
+        assert len(out) == 1
+        assert out[0].rider == 1
+
+    def test_prefers_hot_destination_same_cost(self):
+        """With equal costs, the destination with shorter ET wins."""
+        rates = make_rates(
+            num_regions=2,
+            riders=[0, 0],
+            drivers=[0, 0],
+            pred_r=[30.0, 2.0],  # region 0 is hot → short idle there
+            pred_d=[1.0, 1.0],
+        )
+        assert rates.expected_idle_time(0) < rates.expected_idle_time(1)
+        riders = [
+            BatchRider(0, 0, 0, 500.0, 500.0),  # ends in hot region
+            BatchRider(1, 0, 1, 500.0, 500.0),  # ends in cold region
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        out = idle_ratio_greedy(riders, drivers, pairs, rates)
+        assert out[0].rider == 0
+
+    def test_mu_feedback_applied_per_selection(self):
+        rates = make_rates(num_regions=2)
+        mu_before = rates.mu(1)
+        riders = [BatchRider(i, 0, 1, 400.0, 400.0) for i in range(3)]
+        drivers = [BatchDriver(j, 0) for j in range(3)]
+        pairs = [CandidatePair(i, i, 5.0) for i in range(3)]
+        idle_ratio_greedy(riders, drivers, pairs, rates)
+        assert rates.mu(1) == pytest.approx(mu_before + 3.0 / 20.0)
+
+    def test_predicted_idle_recorded_at_selection_time(self):
+        rates = make_rates(num_regions=2)
+        riders = [BatchRider(0, 0, 1, 400.0, 400.0)]
+        drivers = [BatchDriver(0, 0)]
+        out = idle_ratio_greedy(riders, drivers, [CandidatePair(0, 0, 1.0)], rates)
+        # Recorded ET must be the pre-assignment value of the destination.
+        fresh = make_rates(num_regions=2)
+        assert out[0].predicted_idle_s == pytest.approx(fresh.expected_idle_time(1))
+
+    def test_unknown_rider_rejected(self):
+        with pytest.raises(ValueError):
+            idle_ratio_greedy(
+                [BatchRider(0, 0, 1, 1.0, 1.0)],
+                [BatchDriver(0, 0)],
+                [CandidatePair(5, 0, 1.0)],
+                make_rates(),
+            )
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ValueError):
+            idle_ratio_greedy(
+                [BatchRider(0, 0, 1, 1.0, 1.0)],
+                [BatchDriver(0, 0)],
+                [CandidatePair(0, 5, 1.0)],
+                make_rates(),
+            )
+
+    def test_empty_inputs(self):
+        assert idle_ratio_greedy([], [], [], make_rates()) == []
+
+
+class TestLazyHeapCorrectness:
+    def test_stale_entries_recomputed(self):
+        """Saturating one destination must push later picks elsewhere.
+
+        Region 1 starts marginally better than region 2; after enough
+        assignments its mu rises and its idle ratio overtakes region 2's.
+        The lazy heap must notice and start routing to region 2.
+        """
+        rates = RegionRates(
+            waiting_riders=[0, 0, 0],
+            available_drivers=[0, 0, 0],
+            predicted_riders=[0.0, 10.0, 9.0],
+            predicted_drivers=[0.0, 0.5, 0.5],
+            tc_seconds=1200.0,
+            beta=0.05,
+        )
+        riders = []
+        pairs = []
+        for i in range(6):
+            dest = 1 if i < 3 else 2
+            riders.append(BatchRider(i, 0, dest, 500.0, 500.0))
+        drivers = [BatchDriver(j, 0) for j in range(4)]
+        for i in range(6):
+            for j in range(4):
+                pairs.append(CandidatePair(i, j, 2.0))
+        out = idle_ratio_greedy(riders, drivers, pairs, rates)
+        destinations = sorted(riders[p.rider].destination_region for p in out)
+        # All four drivers placed, split across both regions rather than all
+        # flooding region 1.
+        assert len(out) == 4
+        assert 2 in destinations
+
+    def test_greedy_order_matches_bruteforce_recompute(self):
+        """Lazy-heap IRG must equal a naive re-scan-everything greedy."""
+        rng_pairs = [
+            (0, 0, 0, 1, 300.0),
+            (1, 0, 0, 2, 700.0),
+            (2, 1, 1, 1, 450.0),
+            (3, 1, 1, 2, 650.0),
+            (4, 2, 2, 1, 500.0),
+        ]
+        riders = [BatchRider(i, o, d, c, c) for i, o, _, d, c in [
+            (p[0], p[1], p[2], p[3], p[4]) for p in rng_pairs
+        ]]
+        drivers = [BatchDriver(j, 0) for j in range(3)]
+        pairs = [CandidatePair(r.index, j, 3.0) for r in riders for j in range(3)]
+
+        def naive(riders, drivers, pairs, rates):
+            rider_by = {r.index: r for r in riders}
+            taken_r, taken_d, chosen = set(), set(), []
+            live = list(pairs)
+            while True:
+                best, best_key = None, None
+                for p in live:
+                    if p.rider in taken_r or p.driver in taken_d:
+                        continue
+                    r = rider_by[p.rider]
+                    key = idle_ratio(
+                        r.trip_cost_s, rates.expected_idle_time(r.destination_region)
+                    )
+                    if best is None or key < best_key:
+                        best, best_key = p, key
+                if best is None:
+                    return chosen
+                taken_r.add(best.rider)
+                taken_d.add(best.driver)
+                rates.on_assignment(rider_by[best.rider].destination_region)
+                chosen.append((best.rider, best.driver))
+
+        lazy = idle_ratio_greedy(riders, drivers, pairs, make_rates(num_regions=3))
+        brute = naive(riders, drivers, pairs, make_rates(num_regions=3))
+        assert [(p.rider, p.driver) for p in lazy] == brute
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_riders=st.integers(min_value=0, max_value=12),
+    num_drivers=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_matching_validity(num_riders, num_drivers, seed):
+    """IRG output is always a matching over the given candidate pairs."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    riders = [
+        BatchRider(i, int(rng.integers(4)), int(rng.integers(4)),
+                   float(rng.uniform(60, 1200)), float(rng.uniform(60, 1200)))
+        for i in range(num_riders)
+    ]
+    drivers = [BatchDriver(j, int(rng.integers(4))) for j in range(num_drivers)]
+    pairs = [
+        CandidatePair(i, j, float(rng.uniform(0, 120)))
+        for i in range(num_riders)
+        for j in range(num_drivers)
+        if rng.random() < 0.6
+    ]
+    out = idle_ratio_greedy(riders, drivers, pairs, make_rates())
+    seen_pairs = {(p.rider, p.driver) for p in pairs}
+    assert len({p.rider for p in out}) == len(out)
+    assert len({p.driver for p in out}) == len(out)
+    assert all((p.rider, p.driver) in seen_pairs for p in out)
+    # Maximality: no unselected valid pair has both endpoints free.
+    used_r = {p.rider for p in out}
+    used_d = {p.driver for p in out}
+    assert not any(
+        r not in used_r and d not in used_d for r, d in seen_pairs
+    )

@@ -1,0 +1,138 @@
+"""Tests of the Local Search algorithm (Algorithm 3, Lemma 5.1)."""
+
+import pytest
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
+from repro.core.idle_ratio import idle_ratio
+from repro.core.local_search import local_search
+from repro.core.rates import RegionRates
+
+
+def fresh_rates(pred_r, pred_d, tc=1200.0):
+    n = len(pred_r)
+    return RegionRates(
+        waiting_riders=[0] * n,
+        available_drivers=[0] * n,
+        predicted_riders=pred_r,
+        predicted_drivers=pred_d,
+        tc_seconds=tc,
+        beta=0.05,
+    )
+
+
+class TestLocalSearch:
+    def test_keeps_valid_matching(self):
+        riders = [BatchRider(i, 0, i % 2, 300.0 + 50 * i, 300.0 + 50 * i) for i in range(6)]
+        drivers = [BatchDriver(j, 0) for j in range(3)]
+        pairs = [CandidatePair(i, j, 5.0) for i in range(6) for j in range(3)]
+        rates = fresh_rates([10.0, 10.0], [1.0, 1.0])
+        out = local_search(riders, drivers, pairs, rates)
+        assert len({p.rider for p in out}) == len(out)
+        assert len({p.driver for p in out}) == len(out)
+        valid = {(p.rider, p.driver) for p in pairs}
+        assert all((p.rider, p.driver) in valid for p in out)
+
+    def test_improves_on_bad_initial_assignment(self):
+        """Starting from a deliberately bad matching, LS must swap to the
+        strictly better rider available to the driver."""
+        # Rider 0: short trip to a cold region; rider 1: long trip to a hot one.
+        riders = [
+            BatchRider(0, 0, 1, 120.0, 120.0),
+            BatchRider(1, 0, 0, 900.0, 900.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        rates = fresh_rates([20.0, 0.5], [0.5, 2.0])
+        initial = [SelectedPair(rider=0, driver=0, pickup_eta_s=5.0, predicted_idle_s=0.0)]
+        rates.on_assignment(riders[0].destination_region)
+        out = local_search(riders, drivers, pairs, rates, initial=initial)
+        assert len(out) == 1
+        assert out[0].rider == 1
+
+    def test_no_change_when_already_optimal(self):
+        riders = [
+            BatchRider(0, 0, 0, 900.0, 900.0),
+            BatchRider(1, 0, 1, 120.0, 120.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        rates = fresh_rates([20.0, 0.5], [0.5, 2.0])
+        initial = [SelectedPair(rider=0, driver=0, pickup_eta_s=5.0, predicted_idle_s=0.0)]
+        rates.on_assignment(0)
+        out = local_search(riders, drivers, pairs, rates, initial=initial)
+        assert out[0].rider == 0
+
+    def test_never_steals_assigned_riders(self):
+        """A rider already assigned to another driver is not a swap target."""
+        riders = [
+            BatchRider(0, 0, 0, 600.0, 600.0),
+            BatchRider(1, 0, 0, 650.0, 650.0),
+        ]
+        drivers = [BatchDriver(0, 0), BatchDriver(1, 0)]
+        pairs = [CandidatePair(i, j, 5.0) for i in range(2) for j in range(2)]
+        rates = fresh_rates([10.0], [1.0])
+        out = local_search(riders, drivers, pairs, rates)
+        assert len(out) == 2
+        assert {p.rider for p in out} == {0, 1}
+
+    def test_converges_within_sweep_cap(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        riders = [
+            BatchRider(i, int(rng.integers(4)), int(rng.integers(4)),
+                       float(rng.uniform(100, 1000)), float(rng.uniform(100, 1000)))
+            for i in range(20)
+        ]
+        drivers = [BatchDriver(j, int(rng.integers(4))) for j in range(8)]
+        pairs = [
+            CandidatePair(i, j, 1.0)
+            for i in range(20)
+            for j in range(8)
+            if rng.random() < 0.5
+        ]
+        rates = fresh_rates([12.0, 6.0, 3.0, 1.0], [1.0, 1.0, 2.0, 3.0])
+        out = local_search(riders, drivers, pairs, rates, max_sweeps=64)
+        assert len({p.rider for p in out}) == len(out)
+
+    def test_ls_never_worse_than_irg_objective(self):
+        """The sum of idle ratios under final rates cannot exceed IRG's."""
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        riders = [
+            BatchRider(i, int(rng.integers(3)), int(rng.integers(3)),
+                       float(rng.uniform(100, 900)), float(rng.uniform(100, 900)))
+            for i in range(15)
+        ]
+        drivers = [BatchDriver(j, int(rng.integers(3))) for j in range(6)]
+        pairs = [
+            CandidatePair(i, j, 2.0)
+            for i in range(15)
+            for j in range(6)
+            if rng.random() < 0.7
+        ]
+        rider_by = {r.index: r for r in riders}
+
+        def objective(selection, rates):
+            return sum(
+                idle_ratio(
+                    rider_by[p.rider].trip_cost_s,
+                    rates.expected_idle_time(rider_by[p.rider].destination_region),
+                )
+                for p in selection
+            )
+
+        from repro.core.irg import idle_ratio_greedy
+
+        rates_irg = fresh_rates([9.0, 5.0, 2.0], [1.0, 1.5, 2.5])
+        irg = idle_ratio_greedy(riders, drivers, pairs, rates_irg)
+
+        rates_ls = fresh_rates([9.0, 5.0, 2.0], [1.0, 1.5, 2.5])
+        ls = local_search(riders, drivers, pairs, rates_ls)
+
+        assert objective(ls, rates_ls) <= objective(irg, rates_irg) + 1e-9
+
+    def test_empty_input(self):
+        rates = fresh_rates([1.0], [1.0])
+        assert local_search([], [], [], rates) == []

@@ -1,0 +1,340 @@
+"""Tests of the double-sided queueing model (paper §4, Eqs. 4–16)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queueing import (
+    RegionQueue,
+    RenegingFunction,
+    beta_for_patience,
+    fit_beta,
+)
+
+
+class TestRenegingFunction:
+    def test_zero_below_axis(self):
+        pi = RenegingFunction(beta=0.1, mu=0.5)
+        assert pi(0) == 0.0
+        assert pi(-3) == 0.0
+
+    def test_matches_equation_4(self):
+        pi = RenegingFunction(beta=0.1, mu=0.5)
+        assert pi(3) == pytest.approx(math.exp(0.3) / 0.5)
+
+    def test_monotone_in_backlog(self):
+        pi = RenegingFunction(beta=0.2, mu=1.0)
+        values = [pi(n) for n in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_mu_zero_is_floored_not_infinite(self):
+        pi = RenegingFunction(beta=0.1, mu=0.0)
+        assert math.isfinite(pi(1)) is True
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            RenegingFunction(beta=-0.1, mu=1.0)
+
+
+class TestStateProbabilities:
+    def test_probabilities_sum_to_one_lam_greater(self):
+        q = RegionQueue(lam=0.2, mu=0.1, beta=0.05, max_drivers=10)
+        total = sum(q.state_probability(n) for n in range(-200, 200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_probabilities_sum_to_one_lam_smaller(self):
+        q = RegionQueue(lam=0.1, mu=0.2, beta=0.05, max_drivers=15)
+        total = sum(q.state_probability(n) for n in range(-15, 200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_probabilities_sum_to_one_balanced(self):
+        q = RegionQueue(lam=0.15, mu=0.15, beta=0.05, max_drivers=8)
+        total = sum(q.state_probability(n) for n in range(-8, 200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_truncation_below_minus_k(self):
+        q = RegionQueue(lam=0.1, mu=0.2, beta=0.05, max_drivers=5)
+        assert q.state_probability(-6) == 0.0
+        assert q.state_probability(-5) > 0.0
+
+    def test_flow_balance_equation_5(self):
+        """mu_n * p_n == lam * p_{n-1} for every adjacent state pair."""
+        q = RegionQueue(lam=0.3, mu=0.2, beta=0.1, max_drivers=6)
+        for n in range(-5, 12):
+            lhs = q.death_rate(n) * q.state_probability(n)
+            rhs = q.birth_rate(n - 1) * q.state_probability(n - 1)
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_negative_side_geometric_ratio(self):
+        q = RegionQueue(lam=0.4, mu=0.1, beta=0.05, max_drivers=3)
+        ratio = q.state_probability(-2) / q.state_probability(-1)
+        assert ratio == pytest.approx(0.1 / 0.4)
+
+
+class TestExpectedIdleTime:
+    def test_conditional_idle_time(self):
+        q = RegionQueue(lam=0.5, mu=0.1, beta=0.05)
+        assert q.conditional_idle_time(3) == 0.0
+        assert q.conditional_idle_time(0) == pytest.approx(1 / 0.5)
+        assert q.conditional_idle_time(-2) == pytest.approx(3 / 0.5)
+
+    def test_equation_10_closed_form(self):
+        """For lam > mu, ET = lam * p0 / (lam - mu)^2."""
+        q = RegionQueue(lam=0.3, mu=0.1, beta=0.05, max_drivers=5)
+        expected = 0.3 * q.p0() / (0.3 - 0.1) ** 2
+        assert q.expected_idle_time() == pytest.approx(expected)
+
+    def test_equation_13_matches_direct_sum(self):
+        """For lam < mu, ET equals the direct expectation over states."""
+        q = RegionQueue(lam=0.1, mu=0.25, beta=0.05, max_drivers=12)
+        direct = sum(
+            q.conditional_idle_time(n) * q.state_probability(n)
+            for n in range(-12, 1)
+        )
+        assert q.expected_idle_time() == pytest.approx(direct, rel=1e-9)
+
+    def test_equation_13_matches_printed_closed_form(self):
+        q = RegionQueue(lam=0.07, mu=0.11, beta=0.03, max_drivers=9)
+        assert q.expected_idle_time() == pytest.approx(
+            q.expected_idle_time_closed_form(), rel=1e-9
+        )
+
+    def test_equation_16_balanced(self):
+        """For lam == mu, ET = p0 (K+1)(K+2) / (2 lam)."""
+        q = RegionQueue(lam=0.2, mu=0.2, beta=0.05, max_drivers=7)
+        expected = q.p0() * 8 * 9 / (2 * 0.2)
+        assert q.expected_idle_time() == pytest.approx(expected)
+
+    def test_equation_10_matches_direct_sum(self):
+        q = RegionQueue(lam=0.3, mu=0.12, beta=0.08, max_drivers=4)
+        direct = sum(
+            q.conditional_idle_time(n) * q.state_probability(n)
+            for n in range(-400, 1)
+        )
+        assert q.expected_idle_time() == pytest.approx(direct, rel=1e-6)
+
+    def test_more_drivers_means_longer_idle(self):
+        """Raising mu (more rejoining drivers) cannot shorten the wait."""
+        base = RegionQueue(lam=0.2, mu=0.05, beta=0.05, max_drivers=10)
+        more = RegionQueue(lam=0.2, mu=0.15, beta=0.05, max_drivers=10)
+        assert more.expected_idle_time() > base.expected_idle_time()
+
+    def test_more_riders_means_shorter_idle(self):
+        base = RegionQueue(lam=0.15, mu=0.1, beta=0.05, max_drivers=10)
+        more = RegionQueue(lam=0.35, mu=0.1, beta=0.05, max_drivers=10)
+        assert more.expected_idle_time() < base.expected_idle_time()
+
+    def test_huge_theta_stays_finite(self):
+        """theta^K far beyond float range must not overflow (log path)."""
+        q = RegionQueue(lam=1e-4, mu=0.5, beta=0.01, max_drivers=2000)
+        et = q.expected_idle_time()
+        assert math.isfinite(et)
+        assert et > 0
+
+    def test_zero_lambda_helper_returns_inf(self):
+        et = RegionQueue.expected_idle_time_or_inf(0.0, 0.1, beta=0.05, max_drivers=5)
+        assert et == math.inf
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            RegionQueue(lam=0.0, mu=0.1)
+        with pytest.raises(ValueError):
+            RegionQueue(lam=0.1, mu=-0.1)
+        with pytest.raises(ValueError):
+            RegionQueue(lam=0.1, mu=0.1, max_drivers=-1)
+
+    def test_divergent_series_beta_zero_heavy_load(self):
+        """beta = 0 with lam >> mu + pi: infinite backlog, ET collapses to 0.
+
+        With beta = 0 the reneging rate is the constant 1/mu (Eq. 4), so the
+        positive-side ratio is lam / (mu + 1/mu); mu = 10 makes it ~5 > 1.
+        """
+        q = RegionQueue(lam=50.0, mu=10.0, beta=0.0, max_drivers=3)
+        assert q.p0() == 0.0
+        assert q.expected_idle_time() == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam=st.floats(min_value=1e-3, max_value=5.0),
+    mu=st.floats(min_value=0.0, max_value=5.0),
+    beta=st.floats(min_value=1e-3, max_value=0.5),
+    k=st.integers(min_value=0, max_value=50),
+)
+def test_property_p0_is_probability(lam, mu, beta, k):
+    """p0 always lies in [0, 1]."""
+    q = RegionQueue(lam=lam, mu=mu, beta=beta, max_drivers=k)
+    assert 0.0 <= q.p0() <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam=st.floats(min_value=1e-3, max_value=5.0),
+    mu=st.floats(min_value=0.0, max_value=5.0),
+    beta=st.floats(min_value=1e-3, max_value=0.5),
+    k=st.integers(min_value=0, max_value=50),
+)
+def test_property_expected_idle_time_non_negative(lam, mu, beta, k):
+    """ET is finite and non-negative across the parameter space."""
+    q = RegionQueue(lam=lam, mu=mu, beta=beta, max_drivers=k)
+    et = q.expected_idle_time()
+    assert et >= 0.0
+    assert math.isfinite(et)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lam=st.floats(min_value=0.01, max_value=2.0),
+    mu=st.floats(min_value=0.01, max_value=2.0),
+    beta=st.floats(min_value=0.01, max_value=0.3),
+    k=st.integers(min_value=1, max_value=30),
+)
+def test_property_et_equals_stationary_expectation(lam, mu, beta, k):
+    """ET always equals sum_n T(n) p_n, whatever the rate regime.
+
+    For ``lam > mu`` the negative side extends to ``-inf``; the sum is
+    evaluated to depth 2000 and closed with the analytic geometric tail —
+    near-balanced rates (``lam/mu -> 1``) put significant ET mass
+    arbitrarily deep, so a bare truncation would miss it.
+    """
+    q = RegionQueue(lam=lam, mu=mu, beta=beta, max_drivers=k)
+    if q.p0() == 0.0:
+        return  # divergent backlog: expectation degenerates to 0 by design
+    lo = -k if lam <= mu else -2000
+    direct = sum(q.conditional_idle_time(n) * q.state_probability(n) for n in range(lo, 1))
+    if lam > mu:
+        # Tail beyond the cut: sum_{m > M} (m+1) r^m * p0 / lam with
+        # r = mu/lam; closed form r^(M+1) ((M+2)(1-r) + r) / (1-r)^2.
+        r = mu / lam
+        m_cut = -lo
+        tail_weight = r ** (m_cut + 1) * ((m_cut + 2) * (1 - r) + r) / (1 - r) ** 2
+        direct += q.p0() * tail_weight / lam
+    assert q.expected_idle_time() == pytest.approx(direct, rel=1e-4, abs=1e-9)
+
+
+class TestTruncatedEvaluation:
+    """The -K-truncated chain used by the dispatch layer (all regimes)."""
+
+    def test_matches_paper_exactly_for_lam_below_mu(self):
+        q = RegionQueue(lam=0.1, mu=0.25, beta=0.05, max_drivers=12)
+        assert q.expected_idle_time_truncated() == pytest.approx(
+            q.expected_idle_time(), rel=1e-12
+        )
+        assert q.p0_truncated() == pytest.approx(q.p0(), rel=1e-12)
+
+    def test_matches_paper_exactly_for_balanced(self):
+        q = RegionQueue(lam=0.2, mu=0.2, beta=0.05, max_drivers=7)
+        assert q.expected_idle_time_truncated() == pytest.approx(
+            q.expected_idle_time(), rel=1e-12
+        )
+
+    def test_converges_to_equation_10_when_lam_dominates(self):
+        """For lam >> mu the truncated tail is negligible: Eq. 10 and the
+        truncated evaluation agree to float precision at moderate K."""
+        q = RegionQueue(lam=2.0, mu=0.4, beta=0.05, max_drivers=60)
+        assert q.expected_idle_time_truncated() == pytest.approx(
+            q.expected_idle_time(), rel=1e-10
+        )
+
+    def test_bounded_at_near_critical_rates(self):
+        """Eq. 10 explodes as lam -> mu+ (1/(lam-mu)); the truncated chain
+        stays bounded by the physical (K+1)/lam worst case.  This is the
+        float-noise regime that produced 1e18-second 'predictions' before
+        the dispatch layer switched to the truncated evaluation."""
+        lam = 0.25
+        k = 30
+        for eps in (1e-15, 1e-12, 1e-9, 1e-6, 1e-3):
+            q = RegionQueue(lam=lam, mu=lam - eps, beta=0.01, max_drivers=k)
+            et = q.expected_idle_time_truncated()
+            assert et <= (k + 1) / lam + 1e-9
+            # Eq. 10's untruncated value blows up for the tiny gaps.
+            if eps <= 1e-9:
+                assert q.expected_idle_time() > 100 * et
+
+    def test_continuous_across_the_balanced_point(self):
+        """ET varies smoothly as lam crosses mu (no branch discontinuity)."""
+        mu, k = 0.2, 15
+        values = [
+            RegionQueue(lam=mu * f, mu=mu, beta=0.05, max_drivers=k)
+            .expected_idle_time_truncated()
+            for f in (0.98, 0.99, 1.0, 1.01, 1.02)
+        ]
+        for a, b in zip(values, values[1:]):
+            assert b < a  # more riders, shorter waits
+            assert abs(a - b) < 0.2 * a  # ... but only slightly at 1% steps
+
+    def test_zero_mu_edge(self):
+        q = RegionQueue(lam=0.5, mu=0.0, beta=0.05, max_drivers=10)
+        assert q.expected_idle_time_truncated() == pytest.approx(
+            q.p0_truncated() / 0.5
+        )
+
+    def test_et_non_monotone_in_mu_near_zero(self):
+        """Documents an inherent property of Eq. 4: ``pi(n) = e^(beta*n)/mu``
+        diverges as ``mu -> 0``, so at ``mu ~ 0`` every queued rider reneges
+        instantly and ET collapses to ``~1/lam``; a *small* rise in ``mu``
+        weakens reneging, lets riders queue, and *lowers* ET before the
+        usual more-drivers-longer-wait effect takes over."""
+        lam, beta, k = 1.333, 0.01, 6
+        at_zero = RegionQueue(lam, 0.0, beta=beta, max_drivers=k)
+        small = RegionQueue(lam, 0.1, beta=beta, max_drivers=k)
+        large = RegionQueue(lam, 1.2, beta=beta, max_drivers=k)
+        assert at_zero.expected_idle_time_truncated() == pytest.approx(
+            1.0 / lam, rel=0.01
+        )
+        assert (
+            small.expected_idle_time_truncated()
+            < at_zero.expected_idle_time_truncated()
+        )
+        assert (
+            large.expected_idle_time_truncated()
+            > small.expected_idle_time_truncated()
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    lam=st.floats(min_value=1e-4, max_value=10.0),
+    mu=st.floats(min_value=0.0, max_value=10.0),
+    beta=st.floats(min_value=1e-3, max_value=0.5),
+    k=st.integers(min_value=0, max_value=200),
+)
+def test_property_truncated_et_physically_bounded(lam, mu, beta, k):
+    """The truncated ET never exceeds the fullest-state wait (K+1)/lam —
+    the invariant that keeps dispatch priorities sane."""
+    q = RegionQueue(lam=lam, mu=mu, beta=beta, max_drivers=k)
+    et = q.expected_idle_time_truncated()
+    assert 0.0 <= et <= (k + 1) / lam * (1 + 1e-9)
+
+
+class TestBetaFitting:
+    def test_fit_beta_recovers_exponent(self):
+        mu = 0.4
+        true_beta = 0.12
+        pi = RenegingFunction(beta=true_beta, mu=mu)
+        states = list(range(1, 15))
+        rates = [pi(n) for n in states]
+        assert fit_beta(states, rates, mu) == pytest.approx(true_beta, rel=1e-9)
+
+    def test_fit_beta_ignores_useless_records(self):
+        assert fit_beta([1, 2, 0, -1, 3], [3.0, 0.0, 0.9, 0.9, 9.0], 0.5) > 0
+
+    def test_fit_beta_needs_data(self):
+        with pytest.raises(ValueError):
+            fit_beta([0, -1], [1.0, 1.0], 0.5)
+
+    def test_beta_for_patience_positive_when_target_large(self):
+        beta = beta_for_patience(patience=10.0, mu=5.0, typical_backlog=4)
+        pi = RenegingFunction(beta=beta, mu=5.0)
+        assert pi(4) == pytest.approx(4 / 10.0, rel=1e-9)
+
+    def test_beta_for_patience_clamped_at_zero(self):
+        assert beta_for_patience(patience=1e6, mu=0.01, typical_backlog=3) == 0.0
+
+    def test_beta_for_patience_validation(self):
+        with pytest.raises(ValueError):
+            beta_for_patience(patience=0.0, mu=1.0)
+        with pytest.raises(ValueError):
+            beta_for_patience(patience=10.0, mu=1.0, typical_backlog=0)

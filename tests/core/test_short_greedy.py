@@ -1,0 +1,70 @@
+"""Tests of the SHORT algorithm (Appendix C)."""
+
+import pytest
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
+from repro.core.rates import RegionRates
+from repro.core.short_greedy import shortest_total_time_greedy
+
+
+def make_rates(pred_r, pred_d):
+    n = len(pred_r)
+    return RegionRates(
+        waiting_riders=[0] * n,
+        available_drivers=[0] * n,
+        predicted_riders=pred_r,
+        predicted_drivers=pred_d,
+        tc_seconds=1200.0,
+        beta=0.05,
+    )
+
+
+class TestShortGreedy:
+    def test_prefers_shorter_trip_same_destination(self):
+        """Opposite of IRG's rule a: SHORT picks the quicker service round."""
+        riders = [
+            BatchRider(0, 0, 0, 900.0, 900.0),
+            BatchRider(1, 0, 0, 150.0, 150.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        out = shortest_total_time_greedy(riders, drivers, pairs, make_rates([10.0], [1.0]))
+        assert out[0].rider == 1
+
+    def test_prefers_hot_destination_same_cost(self):
+        """Like IRG, SHORT still prefers destinations with short idle."""
+        rates = make_rates([30.0, 1.0], [1.0, 1.0])
+        riders = [
+            BatchRider(0, 0, 0, 300.0, 300.0),
+            BatchRider(1, 0, 1, 300.0, 300.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        out = shortest_total_time_greedy(riders, drivers, pairs, rates)
+        assert out[0].rider == 0
+
+    def test_matching_validity(self):
+        riders = [BatchRider(i, 0, 0, 100.0 * (i + 1), 100.0) for i in range(5)]
+        drivers = [BatchDriver(j, 0) for j in range(3)]
+        pairs = [CandidatePair(i, j, 1.0) for i in range(5) for j in range(3)]
+        out = shortest_total_time_greedy(riders, drivers, pairs, make_rates([8.0], [1.0]))
+        assert len(out) == 3
+        assert len({p.rider for p in out}) == 3
+        assert len({p.driver for p in out}) == 3
+
+    def test_mu_feedback(self):
+        rates = make_rates([8.0, 8.0], [1.0, 1.0])
+        before = rates.mu(1)
+        riders = [BatchRider(0, 0, 1, 100.0, 100.0)]
+        drivers = [BatchDriver(0, 0)]
+        shortest_total_time_greedy(riders, drivers, [CandidatePair(0, 0, 1.0)], rates)
+        assert rates.mu(1) == pytest.approx(before + 1.0 / 20.0)
+
+    def test_unknown_references_rejected(self):
+        with pytest.raises(ValueError):
+            shortest_total_time_greedy(
+                [BatchRider(0, 0, 0, 1.0, 1.0)],
+                [BatchDriver(0, 0)],
+                [CandidatePair(9, 0, 1.0)],
+                make_rates([1.0], [1.0]),
+            )

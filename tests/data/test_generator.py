@@ -1,0 +1,216 @@
+"""Tests of the NYC-like synthetic generator and workload assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CityConfig,
+    HistoryBuilder,
+    NycTraceGenerator,
+    TripRecord,
+    WorkloadConfig,
+    initial_drivers_from_trips,
+    riders_from_trips,
+)
+from repro.data.io import read_trips_csv, write_trips_csv
+from repro.data.nyc_synthetic import scaled_city_config
+from repro.geo import GeoPoint
+from repro.roadnet.travel_time import StraightLineCost
+from repro.stats import poisson_chi_square_test
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return NycTraceGenerator(CityConfig(daily_orders=20_000, rows=4, cols=4), seed=5)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self, generator):
+        other = NycTraceGenerator(CityConfig(daily_orders=20_000, rows=4, cols=4), seed=5)
+        a = generator.generate_trips(0)[:50]
+        b = other.generate_trips(0)[:50]
+        assert [(t.pickup_time_s, t.pickup.lon) for t in a] == [
+            (t.pickup_time_s, t.pickup.lon) for t in b
+        ]
+
+    def test_daily_volume_close_to_target(self, generator):
+        trips = generator.generate_trips(1)
+        ctx = generator.day_context(1)
+        target = 20_000 * ctx.weather_factor
+        assert len(trips) == pytest.approx(target, rel=0.05)
+
+    def test_weekend_damped(self, generator):
+        weekday = generator.minute_rate_matrix(0).sum()   # Monday
+        weekend = generator.minute_rate_matrix(5).sum()   # Saturday
+        ctx_wd = generator.day_context(0)
+        ctx_we = generator.day_context(5)
+        # Normalise out the weather factor before comparing.
+        assert weekend / ctx_we.weather_factor < weekday / ctx_wd.weather_factor
+
+    def test_rush_hour_peaks(self, generator):
+        rates = generator.minute_rate_matrix(0).sum(axis=1)  # weekday
+        assert rates[8 * 60 + 30] > 2.0 * rates[4 * 60]      # 8:30 vs 4:00
+        assert rates[18 * 60 + 30] > 2.0 * rates[4 * 60]
+
+    def test_trips_inside_bbox(self, generator):
+        for trip in generator.generate_trips(0)[:200]:
+            assert generator.grid.bbox.contains(trip.pickup)
+            assert generator.grid.bbox.contains(trip.dropoff)
+
+    def test_trips_sorted_by_time(self, generator):
+        trips = generator.generate_trips(0)
+        times = [t.pickup_time_s for t in trips]
+        assert times == sorted(times)
+
+    def test_destination_matrix_row_stochastic(self, generator):
+        matrix = generator.destination_matrix(8, is_weekend=False)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, rtol=1e-9)
+        assert (matrix >= 0).all()
+
+    def test_commute_reverses_between_morning_and_evening(self, generator):
+        morning = generator.commute_signal(8 * 60 + 30, is_weekend=False)
+        evening = generator.commute_signal(18 * 60 + 30, is_weekend=False)
+        assert morning > 0.3
+        assert evening < -0.3
+        assert generator.commute_signal(8 * 60, is_weekend=True) == 0.0
+
+    def test_minute_counts_are_poisson(self):
+        """The core Appendix-B property: per-minute counts pass the chi-square
+        Poisson test in a busy region.
+
+        The day-scale weather multiplier is disabled: pooling days with
+        different multipliers yields a Poisson *mixture* (over-dispersed),
+        while Appendix B tests within a weather-stable period.
+        """
+        stationary = NycTraceGenerator(
+            CityConfig(daily_orders=20_000, rows=4, cols=4,
+                       weather_sigma=0.0, rainy_probability=0.0),
+            seed=5,
+        )
+        region = stationary.hot_regions(top=1)[0]
+        samples = []
+        for day in [d for d in range(30) if d % 7 < 5][:21]:
+            samples.extend(
+                int(c)
+                for c in stationary.sample_minute_counts(day, region, 8 * 60, 8 * 60 + 10)
+            )
+        result = poisson_chi_square_test(samples)
+        assert not result.reject
+
+    def test_expected_slot_counts_match_rate_matrix(self, generator):
+        expected = generator.expected_slot_counts(0, slot_minutes=30)
+        rates = generator.minute_rate_matrix(0)
+        np.testing.assert_allclose(expected.sum(), rates.sum(), rtol=1e-9)
+        assert expected.shape == (48, 16)
+
+    def test_invalid_slot_minutes(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_slot_counts(0, slot_minutes=37)
+
+
+class TestScaledCity:
+    def test_scaling_shrinks_bbox(self):
+        base = CityConfig()
+        scaled = scaled_city_config(base, 0.2)
+        assert scaled.bbox.width == pytest.approx(base.bbox.width * 0.2)
+        assert scaled.bbox.center.lon == pytest.approx(base.bbox.center.lon)
+
+    def test_hotspots_stay_inside(self):
+        scaled = scaled_city_config(CityConfig(), 0.25)
+        for spot in scaled.hotspots:
+            assert scaled.bbox.contains(GeoPoint(spot.lon, spot.lat))
+
+    def test_gravity_factor_override(self):
+        base = CityConfig()
+        scaled = scaled_city_config(base, 0.2, gravity_factor=1.0)
+        assert scaled.gravity_scale_m == base.gravity_scale_m
+
+    def test_identity(self):
+        base = CityConfig()
+        assert scaled_city_config(base, 1.0) is base
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scaled_city_config(CityConfig(), 0.0)
+
+
+class TestWorkloadAssembly:
+    def test_riders_from_trips(self, generator):
+        trips = generator.generate_trips(0)[:100]
+        cost = StraightLineCost(speed_mps=8.0)
+        riders = riders_from_trips(
+            trips, generator.grid, cost, WorkloadConfig(base_waiting_s=120.0),
+            np.random.default_rng(0),
+        )
+        assert len(riders) == 100
+        for rider, trip in zip(riders, trips):
+            assert rider.request_time_s == trip.pickup_time_s
+            assert 121.0 <= rider.deadline_s - rider.request_time_s <= 130.0
+            assert rider.revenue == pytest.approx(rider.trip_seconds)
+
+    def test_alpha_scales_revenue(self, generator):
+        trips = generator.generate_trips(0)[:10]
+        cost = StraightLineCost(speed_mps=8.0)
+        riders = riders_from_trips(
+            trips, generator.grid, cost, WorkloadConfig(alpha=2.5),
+            np.random.default_rng(0),
+        )
+        for rider in riders:
+            assert rider.revenue == pytest.approx(2.5 * rider.trip_seconds)
+
+    def test_drivers_at_trip_pickups(self, generator):
+        trips = generator.generate_trips(0)[:100]
+        drivers = initial_drivers_from_trips(
+            trips, generator.grid, 10, np.random.default_rng(0)
+        )
+        assert len(drivers) == 10
+        pickups = {(t.pickup.lon, t.pickup.lat) for t in trips}
+        for driver in drivers:
+            assert (driver.position.lon, driver.position.lat) in pickups
+
+    def test_empty_trace_rejected(self, generator):
+        with pytest.raises(ValueError):
+            initial_drivers_from_trips([], generator.grid, 5, np.random.default_rng(0))
+
+
+class TestHistoryBuilder:
+    def test_shapes_and_meta(self, generator):
+        history = HistoryBuilder(generator, slot_minutes=30).build(num_days=9)
+        assert history.counts.shape == (9, 48, 16)
+        assert history.day_of_week.tolist() == [0, 1, 2, 3, 4, 5, 6, 0, 1]
+        assert history.is_weekend.tolist() == [False] * 5 + [True, True] + [False, False]
+
+    def test_split(self, generator):
+        history = HistoryBuilder(generator).build(num_days=9)
+        train, test = history.split(7)
+        assert train.num_days == 7
+        assert test.num_days == 2
+        assert test.first_day_index == 7
+        np.testing.assert_array_equal(test.counts[0], history.counts[7])
+
+    def test_invalid_split(self, generator):
+        history = HistoryBuilder(generator).build(num_days=4)
+        with pytest.raises(ValueError):
+            history.split(4)
+
+
+class TestTripIO:
+    def test_roundtrip(self, tmp_path, generator):
+        trips = generator.generate_trips(0)[:25]
+        path = tmp_path / "trace.csv"
+        assert write_trips_csv(path, trips) == 25
+        loaded = read_trips_csv(path)
+        assert len(loaded) == 25
+        for a, b in zip(trips, loaded):
+            assert b.pickup_time_s == pytest.approx(a.pickup_time_s, abs=1e-3)
+            assert b.pickup.lon == pytest.approx(a.pickup.lon, abs=1e-6)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_trips_csv(path)
+
+    def test_trip_validation(self):
+        with pytest.raises(ValueError):
+            TripRecord(pickup_time_s=-1.0, pickup=GeoPoint(0, 0), dropoff=GeoPoint(0, 0))

@@ -1,0 +1,131 @@
+"""Tests of the NYC TLC yellow-taxi CSV importer."""
+
+import pytest
+
+from repro.data.io import read_tlc_trips_csv
+from repro.geo import BoundingBox
+
+# The 2013 "trip_data" vintage the paper used (extra columns included to
+# prove they are ignored).
+HEADER_2013 = (
+    "medallion,hack_license,vendor_id,rate_code,store_and_fwd_flag,"
+    "pickup_datetime,dropoff_datetime,passenger_count,trip_time_in_secs,"
+    "trip_distance,pickup_longitude,pickup_latitude,"
+    "dropoff_longitude,dropoff_latitude"
+)
+
+
+def _row(stamp, plon, plat, dlon, dlat):
+    return (
+        f"A1,B2,VTS,1,N,{stamp},{stamp},1,600,2.1,{plon},{plat},{dlon},{dlat}"
+    )
+
+
+def _write(tmp_path, lines, name="trips.csv"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestTlc2013Schema:
+    def test_parses_well_formed_rows(self, tmp_path):
+        path = _write(tmp_path, [
+            HEADER_2013,
+            _row("2013-05-28 08:00:00", -73.98, 40.75, -73.96, 40.78),
+            _row("2013-05-28 08:15:30", -73.99, 40.73, -73.97, 40.76),
+        ])
+        trips = read_tlc_trips_csv(path)
+        assert len(trips) == 2
+        assert trips[0].pickup_time_s == pytest.approx(8 * 3600.0)
+        assert trips[1].pickup_time_s == pytest.approx(8 * 3600.0 + 15 * 60 + 30)
+        assert trips[0].pickup.lon == pytest.approx(-73.98)
+        assert trips[0].dropoff.lat == pytest.approx(40.78)
+
+    def test_output_sorted_by_pickup_time(self, tmp_path):
+        path = _write(tmp_path, [
+            HEADER_2013,
+            _row("2013-05-28 09:00:00", -73.98, 40.75, -73.96, 40.78),
+            _row("2013-05-28 07:00:00", -73.98, 40.75, -73.96, 40.78),
+        ])
+        trips = read_tlc_trips_csv(path)
+        assert trips[0].pickup_time_s < trips[1].pickup_time_s
+
+    def test_zero_coordinates_dropped(self, tmp_path):
+        """TLC files mark missing GPS fixes with zeros."""
+        path = _write(tmp_path, [
+            HEADER_2013,
+            _row("2013-05-28 08:00:00", 0.0, 0.0, -73.96, 40.78),
+            _row("2013-05-28 08:01:00", -73.98, 40.75, 0.0, 40.78),
+            _row("2013-05-28 08:02:00", -73.98, 40.75, -73.96, 40.78),
+        ])
+        assert len(read_tlc_trips_csv(path)) == 1
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = _write(tmp_path, [
+            HEADER_2013,
+            "garbage,row",
+            _row("2013-05-28 08:00:00", -73.98, 40.75, -73.96, 40.78),
+            _row("2013-05-28 08:01:00", "not-a-number", 40.75, -73.96, 40.78),
+        ])
+        assert len(read_tlc_trips_csv(path)) == 1
+
+    def test_date_filter(self, tmp_path):
+        path = _write(tmp_path, [
+            HEADER_2013,
+            _row("2013-05-27 23:59:59", -73.98, 40.75, -73.96, 40.78),
+            _row("2013-05-28 08:00:00", -73.98, 40.75, -73.96, 40.78),
+        ])
+        trips = read_tlc_trips_csv(path, date="2013-05-28")
+        assert len(trips) == 1
+        assert trips[0].pickup_time_s == pytest.approx(8 * 3600.0)
+
+    def test_bbox_filter(self, tmp_path):
+        nyc = BoundingBox(-74.03, 40.58, -73.77, 40.92)
+        path = _write(tmp_path, [
+            HEADER_2013,
+            _row("2013-05-28 08:00:00", -73.98, 40.75, -73.96, 40.78),
+            _row("2013-05-28 08:01:00", -75.5, 40.75, -73.96, 40.78),  # NJ
+        ])
+        assert len(read_tlc_trips_csv(path, bbox=nyc)) == 1
+
+    def test_max_rows(self, tmp_path):
+        rows = [HEADER_2013] + [
+            _row(f"2013-05-28 08:00:{i:02d}", -73.98, 40.75, -73.96, 40.78)
+            for i in range(20)
+        ]
+        assert len(read_tlc_trips_csv(_write(tmp_path, rows), max_rows=5)) == 5
+
+
+class TestTpepSchema:
+    """The later `tpep_*` vintage uses different column names."""
+
+    HEADER = (
+        "VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,"
+        "trip_distance,pickup_longitude,pickup_latitude,RateCodeID,"
+        "store_and_fwd_flag,dropoff_longitude,dropoff_latitude,payment_type"
+    )
+
+    def test_parses_tpep_columns(self, tmp_path):
+        path = _write(tmp_path, [
+            self.HEADER,
+            "2,2015-01-15 19:05:39,2015-01-15 19:23:42,1,1.59,"
+            "-73.993896,40.750111,1,N,-73.974785,40.750618,1",
+        ])
+        trips = read_tlc_trips_csv(path)
+        assert len(trips) == 1
+        assert trips[0].pickup_time_s == pytest.approx(
+            19 * 3600 + 5 * 60 + 39
+        )
+
+
+class TestErrors:
+    def test_non_tlc_file_rejected(self, tmp_path):
+        path = _write(tmp_path, ["a,b,c", "1,2,3"])
+        with pytest.raises(ValueError, match="missing columns"):
+            read_tlc_trips_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_tlc_trips_csv(path)

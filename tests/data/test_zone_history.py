@@ -1,0 +1,54 @@
+"""Tests of the irregular-zone count history builder."""
+
+import numpy as np
+import pytest
+
+from repro.data.history import HistoryBuilder, ZoneHistoryBuilder
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
+from repro.geo import build_jittered_zones
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return NycTraceGenerator(CityConfig(daily_orders=3000.0), seed=4)
+
+
+@pytest.fixture(scope="module")
+def zones(generator):
+    return build_jittered_zones(
+        generator.grid.bbox, rows=4, cols=4, rng=np.random.default_rng(1)
+    ).build_index()
+
+
+class TestZoneHistoryBuilder:
+    def test_shapes_and_meta(self, generator, zones):
+        history = ZoneHistoryBuilder(generator, zones, slot_minutes=60).build(3)
+        assert history.counts.shape == (3, 24, 16)
+        assert history.num_days == 3
+        assert history.slot_minutes == 60
+        assert len(history.day_of_week) == 3
+
+    def test_counts_total_matches_trips(self, generator, zones):
+        history = ZoneHistoryBuilder(generator, zones, slot_minutes=30).build(2)
+        for day in range(2):
+            trips = generator.generate_trips(day)
+            assert history.counts[day].sum() == pytest.approx(len(trips))
+
+    def test_grid_and_zone_totals_agree(self, generator, zones):
+        """Same generator, different partitions: per-slot totals match."""
+        zone_history = ZoneHistoryBuilder(generator, zones, slot_minutes=120).build(1)
+        trips = generator.generate_trips(0)
+        slot_totals = np.zeros(12)
+        for trip in trips:
+            slot_totals[min(int(trip.pickup_time_s // 7200), 11)] += 1
+        assert np.allclose(zone_history.counts[0].sum(axis=1), slot_totals)
+
+    def test_meta_matches_grid_builder(self, generator, zones):
+        zone_history = ZoneHistoryBuilder(generator, zones).build(4)
+        grid_history = HistoryBuilder(generator).build(4)
+        assert np.array_equal(zone_history.day_of_week, grid_history.day_of_week)
+        assert np.array_equal(zone_history.weather, grid_history.weather)
+
+    def test_rejects_zero_days(self, generator, zones):
+        with pytest.raises(ValueError):
+            ZoneHistoryBuilder(generator, zones).build(0)

@@ -1,0 +1,99 @@
+"""Tests of the batch-optimal (Hungarian) dispatcher extension."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.base import BatchSnapshot
+from repro.dispatch.batch_optimal import BatchOptimalPolicy
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.1, 0.1)
+GRID = GridPartition(BOX, rows=2, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+
+
+def rider(rider_id, pickup, dropoff, wait=600.0):
+    return Rider(
+        rider_id=rider_id,
+        request_time_s=0.0,
+        pickup=pickup,
+        dropoff=dropoff,
+        deadline_s=wait,
+        trip_seconds=COST.travel_seconds(pickup, dropoff),
+        revenue=COST.travel_seconds(pickup, dropoff),
+        origin_region=GRID.region_of(pickup),
+        destination_region=GRID.region_of(dropoff),
+    )
+
+
+def snapshot(riders, drivers):
+    return BatchSnapshot.with_arrays(
+        predicted_riders=np.full(GRID.num_regions, 4.0),
+        predicted_drivers=np.ones(GRID.num_regions),
+        time_s=0.0,
+        tc_seconds=600.0,
+        waiting_riders=riders,
+        available_drivers=drivers,
+        grid=GRID,
+        cost_model=COST,
+        pickup_speed_mps=10.0,
+    )
+
+
+class TestBatchOptimal:
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            BatchOptimalPolicy(objective="chaos")
+
+    def test_names(self):
+        assert BatchOptimalPolicy("idle_ratio").name == "OPT-IR"
+        assert BatchOptimalPolicy("revenue").name == "OPT-REV"
+
+    def test_revenue_objective_takes_expensive_rider(self):
+        riders = [
+            rider(0, GeoPoint(0.01, 0.01), GeoPoint(0.02, 0.01)),   # short
+            rider(1, GeoPoint(0.012, 0.01), GeoPoint(0.09, 0.09)),  # long
+        ]
+        drivers = [Driver(0, GeoPoint(0.011, 0.01), GRID.region_of(GeoPoint(0.011, 0.01)))]
+        plan = BatchOptimalPolicy("revenue").plan_batch(snapshot(riders, drivers))
+        assert len(plan) == 1
+        assert plan[0].rider_id == 1
+
+    def test_cardinality_never_sacrificed_for_ratio(self):
+        """With two drivers and two riders, both get served even if one
+        pairing has a poor idle ratio."""
+        riders = [
+            rider(0, GeoPoint(0.01, 0.01), GeoPoint(0.09, 0.09)),
+            rider(1, GeoPoint(0.02, 0.01), GeoPoint(0.02, 0.02)),
+        ]
+        drivers = [
+            Driver(0, GeoPoint(0.011, 0.01), GRID.region_of(GeoPoint(0.011, 0.01))),
+            Driver(1, GeoPoint(0.021, 0.01), GRID.region_of(GeoPoint(0.021, 0.01))),
+        ]
+        plan = BatchOptimalPolicy("idle_ratio").plan_batch(snapshot(riders, drivers))
+        assert len(plan) == 2
+
+    def test_matching_validity(self):
+        rng = np.random.default_rng(0)
+        riders = [
+            rider(i, BOX.sample(rng), BOX.sample(rng), wait=800.0) for i in range(8)
+        ]
+        drivers = [
+            Driver(j, BOX.sample(rng), GRID.region_of(BOX.sample(rng)))
+            for j in range(4)
+        ]
+        for objective in ("idle_ratio", "revenue"):
+            plan = BatchOptimalPolicy(objective).plan_batch(snapshot(riders, drivers))
+            assert len({a.rider_id for a in plan}) == len(plan)
+            assert len({a.driver_id for a in plan}) == len(plan)
+
+    def test_empty_batch(self):
+        assert BatchOptimalPolicy().plan_batch(snapshot([], [])) == []
+
+    def test_idle_ratio_objective_attaches_predictions(self):
+        riders = [rider(0, GeoPoint(0.01, 0.01), GeoPoint(0.08, 0.08))]
+        drivers = [Driver(0, GeoPoint(0.011, 0.01), GRID.region_of(GeoPoint(0.011, 0.01)))]
+        plan = BatchOptimalPolicy("idle_ratio").plan_batch(snapshot(riders, drivers))
+        assert np.isfinite(plan[0].predicted_idle_s)

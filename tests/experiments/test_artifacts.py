@@ -1,0 +1,106 @@
+"""Tests of the artefact registry (the CLI/benchmark rendering layer)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.artifacts import (
+    artifact_names,
+    build_artifact,
+    get_artifact,
+    render_figure13,
+    render_histogram_panels,
+    render_idle_time_maps,
+    render_order_distribution,
+    render_sweep_figure,
+)
+from repro.experiments.config import profile_config
+from repro.experiments.sweeps import SweepResult
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table3", "table4", "table6", "table7", "table8", "tableA",
+            "figure5", "figure6", "figure7", "figure8", "figure9",
+            "figure10", "figure11", "figure12", "figure13",
+        }
+        assert set(artifact_names()) == expected
+
+    def test_kinds_are_valid(self):
+        for name in artifact_names():
+            assert get_artifact(name).kind in ("sim", "prediction")
+
+    def test_prediction_artifacts_flagged(self):
+        for name in ("table6", "table7", "table8", "tableA", "figure11", "figure12"):
+            assert get_artifact(name).kind == "prediction"
+
+    def test_unknown_artifact_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="table3"):
+            get_artifact("table99")
+
+    def test_titles_are_informative(self):
+        for name in artifact_names():
+            assert len(get_artifact(name).title) > 10
+
+    def test_build_sim_artifact_end_to_end(self):
+        """figure5 only bins a generated trace — cheap enough for a unit test."""
+        content = build_artifact("figure5", sim_config=profile_config("tiny"))
+        assert "Figure 5" in content
+        assert "c0" in content  # the per-column table rendered
+
+
+def _sweep_result():
+    return SweepResult(
+        parameter="num_drivers",
+        values=[10, 20],
+        revenue={"NEAR": [1.0, 2.0], "IRG-R": [1.5, 2.5]},
+        batch_seconds={"NEAR": [0.001, 0.002], "IRG-R": [0.003, 0.004]},
+        served={"NEAR": [5, 9], "IRG-R": [6, 11]},
+    )
+
+
+class TestRenderers:
+    def test_sweep_figure_contains_both_panels(self):
+        text = render_sweep_figure("n", _sweep_result(), "REV TITLE", "TIME TITLE")
+        assert "REV TITLE" in text and "TIME TITLE" in text
+        assert "IRG-R" in text
+        # Timings are reported in milliseconds.
+        assert "3.0" in text or "3" in text
+
+    def test_histogram_panels_layout(self):
+        panels = [
+            {
+                "region": "Region 1",
+                "hour": "7:00 A.M.",
+                "bins": [(0, 5), (5, 10)],
+                "observed": [12, 8],
+                "expected": [11.5, 8.5],
+            }
+        ]
+        text = render_histogram_panels(panels, "HEAD")
+        assert text.startswith("HEAD")
+        assert "0~5" in text and "Region 1 @ 7:00 A.M." in text
+
+    def test_idle_time_maps_handle_nan(self):
+        predicted = np.array([[1.0, np.nan], [3.0, 4.0]])
+        realized = np.array([[1.1, 2.0], [np.nan, 4.2]])
+        text = render_idle_time_maps(predicted, realized)
+        assert "Figure 6(a)" in text and "Figure 6(b)" in text
+        assert "-" in text  # NaN cells rendered as dashes
+
+    def test_order_distribution_has_heatmap_and_counts(self):
+        counts = np.array([[0.0, 5.0], [2.0, 9.0]])
+        text = render_order_distribution(counts)
+        assert "Figure 5" in text
+        assert "9" in text
+
+    def test_figure13_renders_all_four_sweeps(self):
+        sweeps = {
+            key: _sweep_result()
+            for key in (
+                "num_drivers", "tc_minutes", "batch_interval_s", "base_waiting_s"
+            )
+        }
+        text = render_figure13(sweeps)
+        for panel in ("13(a)", "13(b)", "13(c)", "13(d)"):
+            assert panel in text

@@ -1,0 +1,159 @@
+"""Integration tests of the experiment harness (tiny profile)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PredictionExperimentConfig,
+    clear_caches,
+    profile_config,
+    run_policy,
+    sweep_parameter,
+)
+from repro.experiments.runner import available_policies, predicted_slot_matrix
+from repro.experiments.tables import build_table7
+from repro.utils.textplot import render_heatmap, render_series, render_table
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return profile_config("tiny")
+
+
+class TestConfig:
+    def test_profiles(self):
+        assert profile_config("small").grid_rows == 4
+        assert profile_config("paper").grid_rows == 16
+        with pytest.raises(ValueError):
+            profile_config("galactic")
+
+    def test_sweep_presets_scale_with_drivers(self):
+        cfg = ExperimentConfig(num_drivers=120)
+        assert cfg.driver_sweep() == [40, 80, 120, 160, 200]
+        assert len(cfg.idle_driver_sweep()) == 8
+        assert cfg.batch_interval_sweep() == [3.0, 5.0, 10.0, 20.0, 30.0]
+
+    def test_replace(self):
+        cfg = ExperimentConfig()
+        assert cfg.replace(num_drivers=99).num_drivers == 99
+        assert cfg.num_drivers == 120
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_drivers=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(space_scale=1.5)
+        with pytest.raises(ValueError):
+            PredictionExperimentConfig(history_days=5, train_days=5)
+
+
+class TestRunner:
+    def test_unknown_policy_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            run_policy(tiny, "TELEPORT")
+
+    def test_runs_and_caches(self, tiny):
+        first = run_policy(tiny, "NEAR")
+        second = run_policy(tiny, "NEAR")
+        assert first is second  # memoised
+        assert first.total_orders > 0
+        assert 0 < first.served_orders <= first.total_orders
+        assert first.total_revenue > 0
+
+    def test_upper_dominates_feasible_policies(self, tiny):
+        upper = run_policy(tiny, "UPPER")
+        near = run_policy(tiny, "NEAR")
+        assert upper.total_revenue >= near.total_revenue
+
+    def test_all_policies_run(self, tiny):
+        for name in ("RAND", "LTG", "IRG-R", "SHORT-R"):
+            summary = run_policy(tiny, name)
+            assert summary.total_revenue >= 0
+        assert "LS-P" in available_policies()
+
+    def test_deterministic_across_cache_clear(self, tiny):
+        a = run_policy(tiny, "IRG-R").total_revenue
+        clear_caches()
+        b = run_policy(tiny, "IRG-R").total_revenue
+        assert a == b
+
+    def test_idle_samples_from_queueing_policies_only(self, tiny):
+        irg = run_policy(tiny, "IRG-R")
+        near = run_policy(tiny, "NEAR")
+        assert len(irg.idle_samples) > 0
+        assert len(near.idle_samples) == 0
+
+
+class TestSweeps:
+    def test_sweep_shapes(self, tiny):
+        result = sweep_parameter(
+            tiny, "num_drivers", [16, 24], policies=("NEAR", "IRG-R")
+        )
+        assert result.values == [16, 24]
+        assert len(result.revenue["NEAR"]) == 2
+        assert len(result.batch_seconds["IRG-R"]) == 2
+        # More drivers cannot reduce revenue in a supply-bound regime.
+        assert result.revenue["NEAR"][1] >= result.revenue["NEAR"][0]
+
+    def test_unknown_parameter_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            sweep_parameter(tiny, "warp_factor", [1], policies=("NEAR",))
+
+
+class TestPrediction:
+    def test_predicted_matrix_shape_and_cache(self, tiny):
+        matrix = predicted_slot_matrix(tiny, "ha")
+        again = predicted_slot_matrix(tiny, "ha")
+        assert matrix is again
+        assert matrix.shape == (48, tiny.grid_rows * tiny.grid_cols)
+        assert (matrix >= 0).all()
+
+    def test_unknown_predictor_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            predicted_slot_matrix(tiny, "crystal-ball")
+
+
+class TestTables:
+    def test_table7_chi_square_accepts(self):
+        config = PredictionExperimentConfig(daily_orders=100_000)
+        headers, rows = build_table7(config)
+        assert len(rows) == 4
+        accepted = [row for row in rows if row[-1] == "no"]
+        # Poisson generation: H0 should survive in (almost) all cells.
+        assert len(accepted) >= 3
+
+
+class TestTextplot:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.5" in text and "x" in text
+
+    def test_render_series(self):
+        text = render_series("n", [1, 2], {"NEAR": [10.0, 20.0]})
+        assert "NEAR" in text
+
+    def test_render_heatmap(self):
+        text = render_heatmap([[0.0, 1.0], [0.5, 0.25]])
+        assert len(text.splitlines()) == 2
+
+
+class TestRebalancingVariants:
+    def test_rb_suffix_builds_wrapped_policy(self):
+        from repro.experiments.runner import _make_policy
+        from repro.dispatch import RebalancingPolicy
+        from repro.experiments.config import profile_config
+
+        policy = _make_policy("IRG-R+RB", profile_config("tiny"))
+        assert isinstance(policy, RebalancingPolicy)
+        assert policy.name == "IRG-R+RB"
+
+    def test_unknown_base_with_rb_suffix_rejected(self):
+        import pytest
+        from repro.experiments.config import profile_config
+        from repro.experiments.runner import run_policy
+
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_policy(profile_config("tiny"), "WAT+RB")

@@ -1,0 +1,121 @@
+"""Tests for points, distances, bounding boxes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    NYC_BBOX,
+    BoundingBox,
+    GeoPoint,
+    equirectangular_m,
+    haversine_m,
+    manhattan_m,
+)
+
+
+class TestGeoPoint:
+    def test_construction(self):
+        p = GeoPoint(-73.98, 40.75)
+        assert p.as_tuple() == (-73.98, 40.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(200.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 95.0)
+
+    def test_shifted(self):
+        p = GeoPoint(1.0, 2.0).shifted(dlon=0.5, dlat=-0.5)
+        assert p == GeoPoint(1.5, 1.5)
+
+    def test_immutable(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lon = 1.0
+
+
+class TestDistances:
+    def test_zero_distance(self):
+        p = GeoPoint(-73.98, 40.75)
+        assert haversine_m(p, p) == 0.0
+        assert equirectangular_m(p, p) == 0.0
+        assert manhattan_m(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=1e-3)
+
+    def test_symmetry(self):
+        a = GeoPoint(-73.98, 40.75)
+        b = GeoPoint(-73.90, 40.70)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+        assert manhattan_m(a, b) == pytest.approx(manhattan_m(b, a))
+
+    def test_equirectangular_close_to_haversine_at_city_scale(self):
+        a = GeoPoint(-73.98, 40.75)
+        b = GeoPoint(-73.90, 40.70)
+        assert equirectangular_m(a, b) == pytest.approx(haversine_m(a, b), rel=1e-4)
+
+    def test_manhattan_at_least_euclidean(self):
+        a = GeoPoint(-73.98, 40.75)
+        b = GeoPoint(-73.90, 40.70)
+        assert manhattan_m(a, b) >= equirectangular_m(a, b)
+
+    def test_manhattan_at_most_sqrt2_euclidean(self):
+        a = GeoPoint(-73.98, 40.75)
+        b = GeoPoint(-73.90, 40.70)
+        assert manhattan_m(a, b) <= math.sqrt(2) * equirectangular_m(a, b) + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    lon1=st.floats(min_value=-74.1, max_value=-73.7),
+    lat1=st.floats(min_value=40.5, max_value=41.0),
+    lon2=st.floats(min_value=-74.1, max_value=-73.7),
+    lat2=st.floats(min_value=40.5, max_value=41.0),
+)
+def test_property_triangle_inequality(lon1, lat1, lon2, lat2):
+    a = GeoPoint(lon1, lat1)
+    b = GeoPoint(lon2, lat2)
+    mid = GeoPoint((lon1 + lon2) / 2, (lat1 + lat2) / 2)
+    direct = haversine_m(a, b)
+    via = haversine_m(a, mid) + haversine_m(mid, b)
+    assert direct <= via + 1e-6
+
+
+class TestBoundingBox:
+    def test_contains(self):
+        assert NYC_BBOX.contains(GeoPoint(-73.98, 40.75))
+        assert not NYC_BBOX.contains(GeoPoint(-73.98, 41.5))
+
+    def test_clamp(self):
+        clamped = NYC_BBOX.clamp(GeoPoint(-80.0, 45.0))
+        assert NYC_BBOX.contains(clamped)
+        assert clamped.lon == NYC_BBOX.min_lon
+        assert clamped.lat == NYC_BBOX.max_lat
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        assert box.center == GeoPoint(1.0, 2.0)
+
+    def test_sample_inside(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert NYC_BBOX.contains(NYC_BBOX.sample(rng))
+
+    def test_gaussian_sample_clamped(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = NYC_BBOX.sample_gaussian(rng, NYC_BBOX.center, sigma_deg=1.0)
+            assert NYC_BBOX.contains(p)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 2.0, 1.0, 2.0)

@@ -1,0 +1,90 @@
+"""Tests of the uniform grid partition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import NYC_BBOX, GeoPoint, GridPartition
+
+
+@pytest.fixture
+def grid():
+    return GridPartition(NYC_BBOX, rows=16, cols=16)
+
+
+class TestGridPartition:
+    def test_paper_dimensions(self, grid):
+        assert grid.num_regions == 256
+        assert len(grid) == 256
+
+    def test_corner_regions(self, grid):
+        assert grid.region_of(GeoPoint(NYC_BBOX.min_lon, NYC_BBOX.min_lat)) == 0
+        top_right = grid.region_of(GeoPoint(NYC_BBOX.max_lon - 1e-9, NYC_BBOX.max_lat - 1e-9))
+        assert top_right == 255
+
+    def test_out_of_bbox_clamped(self, grid):
+        assert grid.region_of(GeoPoint(-80.0, 35.0)) == 0
+        assert grid.region_of(GeoPoint(-60.0, 45.0)) == 255
+
+    def test_row_col_roundtrip(self, grid):
+        for region in (0, 17, 100, 255):
+            row, col = grid.row_col(region)
+            assert grid.region_id(row, col) == region
+
+    def test_center_maps_back(self, grid):
+        for region in range(0, 256, 7):
+            assert grid.region_of(grid.center_of(region)) == region
+
+    def test_cell_bbox_contains_center(self, grid):
+        for region in (0, 31, 128, 255):
+            cell = grid.cell_bbox(region)
+            assert cell.contains(grid.center_of(region))
+
+    def test_neighbors_interior(self, grid):
+        region = grid.region_id(8, 8)
+        assert len(grid.neighbors(region, radius=1)) == 8
+
+    def test_neighbors_corner(self, grid):
+        assert len(grid.neighbors(0, radius=1)) == 3
+
+    def test_ring_includes_self(self, grid):
+        ring = grid.ring(0, radius=1)
+        assert ring[0] == 0
+        assert len(ring) == 4
+
+    def test_adjacency_four_connected(self, grid):
+        adj = grid.adjacency()
+        assert len(adj) == 256
+        assert len(adj[0]) == 2  # corner
+        assert len(adj[grid.region_id(8, 8)]) == 4  # interior
+        # Symmetry.
+        for node, nbrs in adj.items():
+            for other in nbrs:
+                assert node in adj[other]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GridPartition(NYC_BBOX, rows=0, cols=4)
+
+    def test_invalid_region_id(self, grid):
+        with pytest.raises(ValueError):
+            grid.row_col(256)
+        with pytest.raises(ValueError):
+            grid.center_of(-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lon=st.floats(min_value=-74.03, max_value=-73.77),
+    lat=st.floats(min_value=40.58, max_value=40.92),
+    rows=st.integers(min_value=1, max_value=20),
+    cols=st.integers(min_value=1, max_value=20),
+)
+def test_property_region_of_total_and_in_range(lon, lat, rows, cols):
+    grid = GridPartition(NYC_BBOX, rows=rows, cols=cols)
+    region = grid.region_of(GeoPoint(lon, lat))
+    assert 0 <= region < grid.num_regions
+    cell = grid.cell_bbox(region)
+    # The point lies within (or on the border of) its cell.
+    assert cell.min_lon - 1e-9 <= lon <= cell.max_lon + 1e-9
+    assert cell.min_lat - 1e-9 <= lat <= cell.max_lat + 1e-9

@@ -1,0 +1,106 @@
+"""Tests of the jittered-mesh zone builder and the raster zone index."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint, build_jittered_zones
+
+BOX = BoundingBox(-74.03, 40.58, -73.77, 40.92)
+
+
+def _partition(rows=5, cols=4, jitter=0.35, seed=3):
+    return build_jittered_zones(
+        BOX, rows=rows, cols=cols, jitter=jitter, rng=np.random.default_rng(seed)
+    )
+
+
+class TestBuilder:
+    def test_zone_count_and_ids(self):
+        zones = _partition(rows=5, cols=4)
+        assert zones.num_regions == 20
+        assert [z.zone_id for z in zones.zones] == list(range(20))
+
+    def test_partition_tiles_the_box(self):
+        """Every sampled point lands in exactly one zone polygon (no gaps,
+        no centroid fallback needed away from borders)."""
+        zones = _partition()
+        rng = np.random.default_rng(9)
+        for _ in range(300):
+            p = BOX.sample(rng)
+            hits = [z.zone_id for z in zones.zones if z.contains(p)]
+            assert 1 <= len(hits) <= 2  # 2 only exactly on a shared border
+            assert zones.region_of(p) in hits
+
+    def test_corners_remain_fixed(self):
+        zones = _partition(rows=3, cols=3)
+        south_west = zones.zones[0].polygon[0]
+        assert south_west == (BOX.min_lon, BOX.min_lat)
+        north_east = zones.zones[-1].polygon[2]
+        assert north_east == (BOX.max_lon, BOX.max_lat)
+
+    def test_zones_are_genuinely_irregular(self):
+        """Vertex jitter must actually vary zone areas."""
+        zones = _partition(jitter=0.35)
+
+        def area(zone):
+            poly = zone.polygon
+            acc = 0.0
+            for i in range(len(poly)):
+                x1, y1 = poly[i]
+                x2, y2 = poly[(i + 1) % len(poly)]
+                acc += x1 * y2 - x2 * y1
+            return abs(acc) / 2
+
+        areas = [area(z) for z in zones.zones]
+        assert max(areas) > 1.3 * min(areas)
+
+    def test_zero_jitter_recovers_regular_grid(self):
+        zones = build_jittered_zones(BOX, rows=2, cols=2, jitter=0.0)
+        mid_lon = (BOX.min_lon + BOX.max_lon) / 2
+        mid_lat = (BOX.min_lat + BOX.max_lat) / 2
+        assert zones.zones[0].polygon[2] == (mid_lon, mid_lat)
+
+    def test_adjacency_matches_grid_structure(self):
+        """Interior zones of an R x C mesh touch 8 vertex-neighbours."""
+        zones = _partition(rows=4, cols=4)
+        adjacency = zones.adjacency()
+        interior = 1 * 4 + 1  # row 1, col 1
+        assert len(adjacency[interior]) == 8
+        corner = 0
+        assert len(adjacency[corner]) == 3
+
+    def test_deterministic_per_seed(self):
+        a = _partition(seed=5)
+        b = _partition(seed=5)
+        assert [z.polygon for z in a.zones] == [z.polygon for z in b.zones]
+        c = _partition(seed=6)
+        assert [z.polygon for z in a.zones] != [z.polygon for z in c.zones]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            build_jittered_zones(BOX, rows=0, cols=3)
+        with pytest.raises(ValueError):
+            build_jittered_zones(BOX, rows=3, cols=3, jitter=0.5)
+
+
+class TestRasterIndex:
+    def test_index_agrees_with_scan_everywhere(self):
+        zones = _partition(rows=6, cols=6)
+        indexed = _partition(rows=6, cols=6).build_index(resolution=48)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            p = BOX.sample(rng)
+            assert indexed.region_of(p) == zones.region_of(p)
+
+    def test_build_index_returns_self_for_chaining(self):
+        zones = _partition()
+        assert zones.build_index() is zones
+
+    def test_out_of_box_points_still_resolve(self):
+        zones = _partition().build_index()
+        outside = GeoPoint(BOX.max_lon + 1.0, BOX.max_lat + 1.0)
+        assert 0 <= zones.region_of(outside) < zones.num_regions
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            _partition().build_index(resolution=1)

@@ -1,0 +1,85 @@
+"""Tests of irregular polygon zones."""
+
+import pytest
+
+from repro.geo import GeoPoint, NYC_BBOX, Zone, ZonePartition
+
+
+def square(zone_id, x0, y0, size=1.0, name="z"):
+    return Zone(
+        zone_id=zone_id,
+        name=f"{name}{zone_id}",
+        polygon=((x0, y0), (x0 + size, y0), (x0 + size, y0 + size), (x0, y0 + size)),
+    )
+
+
+class TestZone:
+    def test_contains_inside(self):
+        z = square(0, 0.0, 0.0)
+        assert z.contains(GeoPoint(0.5, 0.5))
+
+    def test_contains_outside(self):
+        z = square(0, 0.0, 0.0)
+        assert not z.contains(GeoPoint(1.5, 0.5))
+
+    def test_contains_on_edge(self):
+        z = square(0, 0.0, 0.0)
+        assert z.contains(GeoPoint(0.0, 0.5))
+        assert z.contains(GeoPoint(0.5, 1.0))
+
+    def test_centroid_of_square(self):
+        z = square(0, 0.0, 0.0, size=2.0)
+        c = z.centroid()
+        assert c.lon == pytest.approx(1.0)
+        assert c.lat == pytest.approx(1.0)
+
+    def test_centroid_of_triangle(self):
+        z = Zone(0, "t", ((0.0, 0.0), (3.0, 0.0), (0.0, 3.0)))
+        c = z.centroid()
+        assert c.lon == pytest.approx(1.0)
+        assert c.lat == pytest.approx(1.0)
+
+    def test_bbox(self):
+        z = square(0, 1.0, 2.0, size=3.0)
+        box = z.bbox()
+        assert (box.min_lon, box.min_lat, box.max_lon, box.max_lat) == (1.0, 2.0, 4.0, 5.0)
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Zone(0, "bad", ((0.0, 0.0), (1.0, 1.0)))
+
+
+class TestZonePartition:
+    def _partition(self):
+        return ZonePartition([square(0, 0.0, 0.0), square(1, 1.0, 0.0), square(2, 0.0, 1.0)])
+
+    def test_region_of_inside(self):
+        part = self._partition()
+        assert part.region_of(GeoPoint(0.5, 0.5)) == 0
+        assert part.region_of(GeoPoint(1.5, 0.5)) == 1
+
+    def test_region_of_gap_falls_back_to_nearest(self):
+        part = self._partition()
+        assert part.region_of(GeoPoint(1.6, 1.6)) in (0, 1, 2)
+
+    def test_adjacency_shared_vertices(self):
+        part = self._partition()
+        adj = part.adjacency()
+        assert 1 in adj[0]
+        assert 2 in adj[0]
+        # Zones 1 and 2 share the corner vertex (1.0, 1.0), which the
+        # shared-vertex rule counts as adjacency.
+        assert 2 in adj[1]
+
+    def test_zone_ids_must_be_dense(self):
+        with pytest.raises(ValueError):
+            ZonePartition([square(0, 0.0, 0.0), square(2, 1.0, 0.0)])
+
+    def test_voronoi_like_partition(self):
+        seeds = [GeoPoint(-73.99, 40.73), GeoPoint(-73.85, 40.75), GeoPoint(-73.95, 40.65)]
+        part = ZonePartition.voronoi_like(NYC_BBOX, seeds, cells=12)
+        assert part.num_regions >= 2
+        for seed in seeds:
+            assert 0 <= part.region_of(seed) < part.num_regions
+        adj = part.adjacency()
+        assert len(adj) == part.num_regions

@@ -1,0 +1,116 @@
+"""Tests of Hopcroft–Karp and the greedy matchers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.matching import greedy_max_weight_matching, hopcroft_karp
+from repro.matching.greedy import greedy_min_weight_matching
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        size, ml, mr = hopcroft_karp(2, 2, [[0, 1], [0]])
+        assert size == 2
+        assert sorted(ml) == [0, 1]
+
+    def test_partial_matching(self):
+        size, ml, mr = hopcroft_karp(3, 2, [[0], [0], [1]])
+        assert size == 2
+        assert ml.count(-1) == 1
+
+    def test_empty_graph(self):
+        size, ml, mr = hopcroft_karp(3, 3, [[], [], []])
+        assert size == 0
+        assert ml == [-1, -1, -1]
+
+    def test_matching_consistency(self):
+        size, ml, mr = hopcroft_karp(4, 4, [[0, 1], [1, 2], [2, 3], [3, 0]])
+        assert size == 4
+        for u, v in enumerate(ml):
+            if v >= 0:
+                assert mr[v] == u
+
+    def test_bad_adjacency_rejected(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(2, 2, [[0]])
+        with pytest.raises(ValueError):
+            hopcroft_karp(1, 2, [[5]])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.integers(min_value=1, max_value=10),
+    right=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_matches_networkx_maximum_matching(left, right, seed):
+    rng = np.random.default_rng(seed)
+    adjacency = [
+        [v for v in range(right) if rng.random() < 0.4] for _ in range(left)
+    ]
+    size, _, _ = hopcroft_karp(left, right, adjacency)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(left), bipartite=0)
+    graph.add_nodes_from(range(left, left + right), bipartite=1)
+    for u, row in enumerate(adjacency):
+        for v in row:
+            graph.add_edge(u, left + v)
+    nx_matching = nx.bipartite.maximum_matching(graph, top_nodes=range(left))
+    assert size == len(nx_matching) // 2
+
+
+class TestGreedyMatching:
+    def test_max_weight_order(self):
+        pairs = [(0, 0, 1.0), (0, 1, 5.0), (1, 0, 4.0)]
+        out = greedy_max_weight_matching(pairs)
+        assert (0, 1, 5.0) in out
+        assert (1, 0, 4.0) in out
+
+    def test_min_weight_order(self):
+        pairs = [(0, 0, 1.0), (0, 1, 5.0), (1, 0, 4.0)]
+        out = greedy_min_weight_matching(pairs)
+        assert (0, 0, 1.0) in out
+        assert len(out) == 1  # both endpoints of the remaining pairs are used
+
+    def test_no_endpoint_reuse(self):
+        pairs = [(0, 0, 3.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 1.0)]
+        out = greedy_max_weight_matching(pairs)
+        lefts = [p[0] for p in out]
+        rights = [p[1] for p in out]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_deterministic_tie_break(self):
+        pairs = [(1, 1, 2.0), (0, 0, 2.0)]
+        assert greedy_max_weight_matching(pairs) == greedy_max_weight_matching(
+            list(reversed(pairs))
+        )
+
+    def test_half_approximation_guarantee(self):
+        """Greedy max-weight matching is a 1/2 approximation."""
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            pairs = [
+                (int(u), int(v), float(rng.uniform(0, 10)))
+                for u in range(6)
+                for v in range(6)
+                if rng.random() < 0.5
+            ]
+            if not pairs:
+                continue
+            greedy_total = sum(w for _, _, w in greedy_max_weight_matching(pairs))
+            graph = nx.Graph()
+            for u, v, w in pairs:
+                key = (f"L{u}", f"R{v}")
+                if not graph.has_edge(*key) or graph[key[0]][key[1]]["weight"] < w:
+                    graph.add_edge(*key, weight=w)
+            optimal = sum(
+                graph[u][v]["weight"]
+                for u, v in nx.max_weight_matching(graph, maxcardinality=False)
+            )
+            assert greedy_total >= 0.5 * optimal - 1e-9

@@ -1,0 +1,88 @@
+"""Tests of the Kuhn–Munkres implementation, cross-checked against scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching.hungarian import hungarian_min_cost
+
+
+class TestHungarianBasics:
+    def test_identity_matrix(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        total, assign = hungarian_min_cost(cost)
+        assert total == 0.0
+        assert assign == [0, 1]
+
+    def test_classic_example(self):
+        cost = np.array(
+            [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]]
+        )
+        total, assign = hungarian_min_cost(cost)
+        assert total == pytest.approx(5.0)
+        assert sorted(assign) == [0, 1, 2]
+
+    def test_rectangular_more_rows(self):
+        cost = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])
+        total, assign = hungarian_min_cost(cost)
+        assigned = [a for a in assign if a >= 0]
+        assert len(assigned) == 2
+        assert len(set(assigned)) == 2
+
+    def test_rectangular_more_cols(self):
+        cost = np.array([[5.0, 1.0, 9.0]])
+        total, assign = hungarian_min_cost(cost)
+        assert assign == [1]
+        assert total == 1.0
+
+    def test_forbidden_pairs_avoided(self):
+        cost = np.array([[math.inf, 2.0], [1.0, math.inf]])
+        total, assign = hungarian_min_cost(cost)
+        assert assign == [1, 0]
+        assert total == pytest.approx(3.0)
+
+    def test_fully_infeasible_row_unassigned(self):
+        cost = np.array([[math.inf, math.inf], [1.0, 2.0]])
+        total, assign = hungarian_min_cost(cost)
+        assert assign[0] == -1
+        assert assign[1] in (0, 1)
+
+    def test_empty(self):
+        total, assign = hungarian_min_cost(np.zeros((0, 3)))
+        assert total == 0.0
+        assert assign == []
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_min_cost(np.zeros(3))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_matches_scipy_optimum(rows, cols, seed):
+    """Total cost equals scipy's linear_sum_assignment optimum."""
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(0.0, 100.0, size=(rows, cols))
+    ours, _ = hungarian_min_cost(cost)
+    r, c = linear_sum_assignment(cost)
+    assert ours == pytest.approx(float(cost[r, c].sum()), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_assignment_is_permutation(n, seed):
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(0.0, 10.0, size=(n, n))
+    _, assign = hungarian_min_cost(cost)
+    assert sorted(assign) == list(range(n))

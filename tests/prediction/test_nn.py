@@ -1,0 +1,187 @@
+"""Gradient and training tests for the numpy NN framework."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    GraphConv,
+    ReLU,
+    SGD,
+    Sequential,
+    mse_loss,
+    normalized_adjacency,
+)
+
+
+def numeric_grad(f, array, index, eps=1e-6):
+    array[index] += eps
+    up = f()
+    array[index] -= 2 * eps
+    down = f()
+    array[index] += eps
+    return (up - down) / (2 * eps)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)[0]
+
+        _, grad = mse_loss(layer.forward(x), target)
+        grad_in = layer.backward(grad)
+
+        idx = (1, 2)
+        assert layer.weight.grad[idx] == pytest.approx(
+            numeric_grad(loss, layer.weight.value, idx), rel=1e-5, abs=1e-8
+        )
+        assert layer.bias.grad[0] == pytest.approx(
+            numeric_grad(loss, layer.bias.value, (0,)), rel=1e-5, abs=1e-8
+        )
+        assert grad_in[2, 3] == pytest.approx(
+            numeric_grad(loss, x, (2, 3)), rel=1e-5, abs=1e-8
+        )
+
+    def test_leading_dims_preserved(self):
+        layer = Dense(4, 2, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((2, 3, 4)))
+        assert out.shape == (2, 3, 2)
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        conv = Conv2D(2, 5, 3, rng=np.random.default_rng(0))
+        out = conv.forward(np.ones((4, 2, 7, 9)))
+        assert out.shape == (4, 5, 7, 9)
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2D(2, 3, 3, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        target = rng.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            return mse_loss(conv.forward(x), target)[0]
+
+        _, grad = mse_loss(conv.forward(x), target)
+        grad_in = conv.backward(grad)
+
+        w_idx = (2, 1, 0, 2)
+        assert conv.weight.grad[w_idx] == pytest.approx(
+            numeric_grad(loss, conv.weight.value, w_idx), rel=1e-4, abs=1e-8
+        )
+        assert conv.bias.grad[1] == pytest.approx(
+            numeric_grad(loss, conv.bias.value, (1,)), rel=1e-4, abs=1e-8
+        )
+        x_idx = (1, 0, 4, 4)
+        assert grad_in[x_idx] == pytest.approx(
+            numeric_grad(loss, x, x_idx), rel=1e-4, abs=1e-8
+        )
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 4)
+
+    def test_identity_kernel(self):
+        conv = Conv2D(1, 1, 3, rng=np.random.default_rng(0))
+        conv.weight.value[:] = 0.0
+        conv.weight.value[0, 0, 1, 1] = 1.0
+        conv.bias.value[:] = 0.0
+        x = np.random.default_rng(2).normal(size=(1, 1, 6, 6))
+        np.testing.assert_allclose(conv.forward(x), x)
+
+
+class TestGraphConv:
+    def test_adjacency_normalisation(self):
+        adj = normalized_adjacency({0: [1], 1: [0, 2], 2: [1]})
+        # Symmetric, rows of D^{-1/2}(A+I)D^{-1/2}.
+        np.testing.assert_allclose(adj, adj.T)
+        eigenvalues = np.linalg.eigvalsh(adj)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(3)
+        adj = normalized_adjacency({0: [1], 1: [0, 2], 2: [1]})
+        layer = GraphConv(adj, 4, 2, rng=rng)
+        x = rng.normal(size=(3, 3, 4))
+        target = rng.normal(size=(3, 3, 2))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)[0]
+
+        _, grad = mse_loss(layer.forward(x), target)
+        grad_in = layer.backward(grad)
+
+        assert layer.weight.grad[2, 1] == pytest.approx(
+            numeric_grad(loss, layer.weight.value, (2, 1)), rel=1e-5, abs=1e-8
+        )
+        assert grad_in[1, 2, 3] == pytest.approx(
+            numeric_grad(loss, x, (1, 2, 3)), rel=1e-5, abs=1e-8
+        )
+
+    def test_isolated_node_keeps_self_loop(self):
+        adj = normalized_adjacency({0: [], 1: []})
+        np.testing.assert_allclose(adj, np.eye(2))
+
+
+class TestTraining:
+    def test_sequential_learns_linear_map(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(3, 2))
+        x = rng.normal(size=(256, 3))
+        y = x @ true_w
+        model = Sequential(Dense(3, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng))
+        optimizer = Adam(model.parameters(), learning_rate=0.01)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss, grad = mse_loss(model.forward(x), y)
+            model.backward(grad)
+            optimizer.step()
+        final, _ = mse_loss(model.forward(x), y)
+        assert final < 0.01
+
+    def test_sgd_descends(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = x.sum(axis=1, keepdims=True)
+        model = Sequential(Dense(2, 1, rng=rng))
+        optimizer = SGD(model.parameters(), learning_rate=0.05, momentum=0.5)
+        first, _ = mse_loss(model.forward(x), y)
+        for _ in range(100):
+            optimizer.zero_grad()
+            _, grad = mse_loss(model.forward(x), y)
+            model.backward(grad)
+            optimizer.step()
+        final, _ = mse_loss(model.forward(x), y)
+        assert final < first * 0.05
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 3, rng=rng)
+        optimizer = Adam([layer.weight], learning_rate=0.01, weight_decay=0.5)
+        before = np.abs(layer.weight.value).sum()
+        for _ in range(50):
+            optimizer.zero_grad()  # zero gradient: pure decay
+            optimizer.step()
+        assert np.abs(layer.weight.value).sum() < before
+
+    def test_optimizer_validation(self):
+        layer = Dense(2, 2)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), weight_decay=-0.1)

@@ -1,0 +1,181 @@
+"""Tests of the demand predictors (HA / LR / GBRT / DeepST / DeepST-GC)."""
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, HistoryBuilder, NycTraceGenerator
+from repro.data.history import CountHistory
+from repro.geo import GridPartition, NYC_BBOX
+from repro.prediction import (
+    DeepSTGCPredictor,
+    DeepSTPredictor,
+    GBRTPredictor,
+    HistoricalAverage,
+    LinearRegressionPredictor,
+    evaluate_predictor,
+)
+from repro.prediction.base import lag_window, make_lagged_dataset
+from repro.prediction.gbrt import RegressionTree
+
+
+def small_history(days=16, daily=40_000, rows=4, cols=4, seed=3):
+    generator = NycTraceGenerator(
+        CityConfig(daily_orders=daily, rows=rows, cols=cols), seed=seed
+    )
+    return HistoryBuilder(generator, slot_minutes=30).build(num_days=days)
+
+
+class TestLaggedDatasets:
+    def test_shapes(self):
+        counts = np.arange(40, dtype=float).reshape(10, 4)
+        x, y = make_lagged_dataset(counts, lags=3)
+        assert x.shape == ((10 - 3) * 4, 3)
+        assert y.shape == ((10 - 3) * 4,)
+
+    def test_values_chronological(self):
+        counts = np.arange(12, dtype=float).reshape(6, 2)
+        x, y = make_lagged_dataset(counts, lags=2)
+        # First sample, region 0: lags [0, 2] then target 4.
+        assert list(x[0]) == [0.0, 2.0]
+        assert y[0] == 4.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            make_lagged_dataset(np.zeros((3, 2)), lags=3)
+
+    def test_lag_window_zero_pads_start(self):
+        history = small_history(days=8)
+        window = lag_window(history, day=0, slot=2, lags=5)
+        assert window.shape == (5, history.num_regions)
+        assert (window[:3] == 0).all()
+
+
+class TestHistoricalAverage:
+    def test_predicts_rolling_mean(self):
+        history = small_history(days=8)
+        model = HistoricalAverage(lags=4).fit(history)
+        pred = model.predict(history, day=5, slot=10)
+        flat = history.flatten_slots()
+        t = 5 * history.slots_per_day + 10
+        np.testing.assert_allclose(pred, flat[t - 4 : t].mean(axis=0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoricalAverage(lags=0)
+
+
+class TestLinearRegression:
+    def test_learns_exact_linear_process(self):
+        """On y_t = 0.5 y_{t-1} + 0.5 y_{t-2} the ridge fit is near-exact."""
+        rng = np.random.default_rng(0)
+        t_len, regions = 300, 3
+        counts = np.zeros((t_len, regions))
+        counts[:2] = rng.uniform(5, 10, size=(2, regions))
+        for t in range(2, t_len):
+            counts[t] = 0.5 * counts[t - 1] + 0.5 * counts[t - 2]
+        history = CountHistory(
+            counts=counts.reshape(30, 10, regions),
+            day_of_week=np.zeros(30, dtype=int),
+            is_weekend=np.zeros(30, dtype=bool),
+            weather=np.ones(30),
+            is_rainy=np.zeros(30, dtype=bool),
+            slot_minutes=30,
+            first_day_index=0,
+        )
+        model = LinearRegressionPredictor(lags=4, ridge=1e-8).fit(history)
+        pred = model.predict(history, day=20, slot=5)
+        truth = history.counts[20, 5]
+        np.testing.assert_allclose(pred, truth, rtol=1e-3)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionPredictor().predict(small_history(), 0, 0)
+
+    def test_non_negative_predictions(self):
+        history = small_history(days=8)
+        model = LinearRegressionPredictor().fit(history)
+        assert (model.predict(history, 7, 5) >= 0).all()
+
+
+class TestGBRT:
+    def test_tree_fits_step_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(500, 1))
+        y = np.where(x[:, 0] > 0.5, 10.0, -10.0)
+        binned = (x * 31).astype(np.int64)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(binned, y, 32)
+        pred = tree.predict(binned)
+        assert np.abs(pred - y).mean() < 1.0
+
+    def test_boosting_beats_single_tree_baseline(self):
+        history = small_history(days=10)
+        model = GBRTPredictor(n_estimators=30, max_train_samples=20_000).fit(history)
+        score = evaluate_predictor(model, history, [8, 9])
+        base = evaluate_predictor(HistoricalAverage().fit(history), history, [8, 9])
+        assert score.rmse < base.rmse
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GBRTPredictor().predict(small_history(), 0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GBRTPredictor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GBRTPredictor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GBRTPredictor(num_bins=1)
+
+
+class TestDeepST:
+    def test_fit_predict_shapes_and_nonnegativity(self):
+        history = small_history(days=12)
+        model = DeepSTPredictor(epochs=3, validation_days=2).fit(history)
+        pred = model.predict(history, day=10, slot=17)
+        assert pred.shape == (history.num_regions,)
+        assert (pred >= 0).all()
+
+    def test_needs_enough_days(self):
+        history = small_history(days=5)
+        with pytest.raises(ValueError):
+            DeepSTPredictor(epochs=1).fit(history)
+
+    def test_beats_historical_average(self):
+        history = small_history(days=16, daily=60_000)
+        model = DeepSTPredictor(epochs=12, validation_days=2, seed=0).fit(history)
+        ours = evaluate_predictor(model, history, [14, 15])
+        base = evaluate_predictor(HistoricalAverage().fit(history), history, [14, 15])
+        assert ours.rmse < base.rmse
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DeepSTPredictor().predict(small_history(days=9), 8, 0)
+
+
+class TestDeepSTGC:
+    def test_fit_predict_on_grid_adjacency(self):
+        history = small_history(days=12)
+        grid = GridPartition(NYC_BBOX, rows=4, cols=4)
+        model = DeepSTGCPredictor(grid.adjacency(), epochs=3, validation_days=2)
+        model.fit(history)
+        pred = model.predict(history, 10, 20)
+        assert pred.shape == (16,)
+        assert (pred >= 0).all()
+
+    def test_region_count_mismatch_rejected(self):
+        history = small_history(days=9, rows=4, cols=4)
+        grid = GridPartition(NYC_BBOX, rows=3, cols=3)
+        model = DeepSTGCPredictor(grid.adjacency(), epochs=1)
+        with pytest.raises(ValueError):
+            model.fit(history)
+
+
+class TestEvaluation:
+    def test_scores_well_formed(self):
+        history = small_history(days=8)
+        score = evaluate_predictor(HistoricalAverage().fit(history), history, [6, 7])
+        assert score.rmse >= 0
+        assert score.relative_rmse_pct >= 0
+        assert score.mae >= 0
+        assert score.name == "HA"
+        assert len(score.as_row()) == 3

@@ -1,0 +1,198 @@
+"""Tests of the road-network substrate: graph, shortest paths, builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.geo import GeoPoint, NYC_BBOX
+from repro.roadnet import (
+    RoadGraph,
+    astar,
+    bidirectional_dijkstra,
+    build_grid_network,
+    dijkstra,
+    dijkstra_all,
+)
+from repro.roadnet.shortest_path import is_strongly_connected, path_cost
+from repro.roadnet.travel_time import RoadNetworkCost, StraightLineCost
+
+
+def tiny_graph():
+    g = RoadGraph()
+    pts = [GeoPoint(0.0, 0.0), GeoPoint(0.01, 0.0), GeoPoint(0.02, 0.0), GeoPoint(0.01, 0.01)]
+    for p in pts:
+        g.add_vertex(p)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(0, 3, 5.0)
+    g.add_edge(3, 2, 1.0)
+    return g
+
+
+class TestRoadGraph:
+    def test_counts(self):
+        g = tiny_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_edge_overwrite_not_double_counted(self):
+        g = tiny_graph()
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 4
+        assert g.edge_cost(0, 1) == 2.0
+
+    def test_in_edges_mirror_out_edges(self):
+        g = tiny_graph()
+        assert dict(g.in_edges(2)) == {1: 1.0, 3: 1.0}
+
+    def test_negative_cost_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_bad_vertex_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 99, 1.0)
+
+    def test_nearest_vertex(self):
+        g = tiny_graph()
+        assert g.nearest_vertex(GeoPoint(0.0201, 0.0001)) == 2
+
+
+class TestShortestPaths:
+    def test_dijkstra_picks_cheaper_route(self):
+        g = tiny_graph()
+        cost, path = dijkstra(g, 0, 2)
+        assert cost == 2.0
+        assert path == [0, 1, 2]
+
+    def test_unreachable(self):
+        g = tiny_graph()
+        g.add_vertex(GeoPoint(0.05, 0.05))  # isolated
+        cost, path = dijkstra(g, 0, 4)
+        assert cost == math.inf
+        assert path == []
+
+    def test_source_equals_target(self):
+        g = tiny_graph()
+        assert dijkstra(g, 1, 1) == (0.0, [1])
+        assert bidirectional_dijkstra(g, 1, 1) == (0.0, [1])
+        assert astar(g, 1, 1)[0] == 0.0
+
+    def test_dijkstra_all(self):
+        g = tiny_graph()
+        dist = dijkstra_all(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 5.0}
+
+    def test_path_cost_consistent(self):
+        g = tiny_graph()
+        cost, path = dijkstra(g, 0, 2)
+        assert path_cost(g, path) == pytest.approx(cost)
+
+    def test_all_algorithms_agree_on_grid(self):
+        rng = np.random.default_rng(5)
+        g = build_grid_network(NYC_BBOX, rows=6, cols=6, speed_jitter=0.3, rng=rng)
+        pairs = [(0, 35), (3, 30), (7, 28), (14, 21)]
+        for u, v in pairs:
+            d1, p1 = dijkstra(g, u, v)
+            d2, _ = bidirectional_dijkstra(g, u, v)
+            d3, _ = astar(g, u, v, cost_per_meter=1.0 / (4.0 * 8.0))
+            assert d2 == pytest.approx(d1, rel=1e-9)
+            assert d3 == pytest.approx(d1, rel=1e-9)
+            assert path_cost(g, p1) == pytest.approx(d1, rel=1e-9)
+
+    def test_matches_networkx(self):
+        """Cross-check our Dijkstra against networkx on a random digraph."""
+        rng = np.random.default_rng(17)
+        g = RoadGraph()
+        n = 25
+        for i in range(n):
+            g.add_vertex(GeoPoint(float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1))))
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        for _ in range(120):
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            w = float(rng.uniform(0.1, 10.0))
+            g.add_edge(int(u), int(v), w)
+            nxg.add_edge(int(u), int(v), weight=g.edge_cost(int(u), int(v)))
+        for source in (0, 5):
+            ours = dijkstra_all(g, source)
+            theirs = nx.single_source_dijkstra_path_length(nxg, source)
+            assert set(ours) == set(theirs)
+            for node, d in theirs.items():
+                assert ours[node] == pytest.approx(d, rel=1e-9)
+
+
+class TestBuilders:
+    def test_grid_network_is_strongly_connected(self):
+        g = build_grid_network(NYC_BBOX, rows=5, cols=5)
+        assert is_strongly_connected(g)
+        assert g.num_vertices == 25
+
+    def test_edge_costs_positive(self):
+        g = build_grid_network(NYC_BBOX, rows=4, cols=4, speed_jitter=0.5,
+                               rng=np.random.default_rng(0))
+        for u in g.vertices():
+            for _, cost in g.out_edges(u):
+                assert cost > 0
+
+    def test_diagonals_add_edges(self):
+        plain = build_grid_network(NYC_BBOX, rows=5, cols=5)
+        diag = build_grid_network(
+            NYC_BBOX, rows=5, cols=5, diagonal_fraction=1.0,
+            rng=np.random.default_rng(0),
+        )
+        assert diag.num_edges > plain.num_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_grid_network(NYC_BBOX, rows=1, cols=5)
+        with pytest.raises(ValueError):
+            build_grid_network(NYC_BBOX, rows=5, cols=5, speed_mps=0.0)
+
+
+class TestTravelCostModels:
+    def test_straight_line_time(self):
+        model = StraightLineCost(speed_mps=10.0, metric="euclidean")
+        a, b = GeoPoint(-73.98, 40.75), GeoPoint(-73.97, 40.75)
+        assert model.travel_seconds(a, b) == pytest.approx(
+            model.distance_m(a, b) / 10.0
+        )
+
+    def test_manhattan_longer_than_euclidean(self):
+        man = StraightLineCost(speed_mps=10.0, metric="manhattan")
+        euc = StraightLineCost(speed_mps=10.0, metric="euclidean")
+        a, b = GeoPoint(-73.98, 40.75), GeoPoint(-73.95, 40.72)
+        assert man.travel_seconds(a, b) >= euc.travel_seconds(a, b)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            StraightLineCost(metric="chebyshev")
+
+    def test_road_network_cost_zero_same_point(self):
+        g = build_grid_network(NYC_BBOX, rows=4, cols=4)
+        model = RoadNetworkCost(g)
+        p = g.position(5)
+        assert model.travel_seconds(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_road_network_cost_cached(self):
+        g = build_grid_network(NYC_BBOX, rows=4, cols=4)
+        model = RoadNetworkCost(g)
+        a, b = g.position(0), g.position(15)
+        first = model.travel_seconds(a, b)
+        second = model.travel_seconds(a, b)
+        assert first == second
+        assert len(model._cache) >= 1
+
+    def test_road_network_at_least_access_time(self):
+        g = build_grid_network(NYC_BBOX, rows=4, cols=4, speed_mps=8.0)
+        model = RoadNetworkCost(g, access_speed_mps=8.0)
+        a, b = GeoPoint(-74.0, 40.6), GeoPoint(-73.8, 40.9)
+        straight = StraightLineCost(speed_mps=8.0, metric="euclidean")
+        assert model.travel_seconds(a, b) >= straight.travel_seconds(a, b) * 0.5

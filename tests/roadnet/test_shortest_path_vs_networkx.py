@@ -1,0 +1,113 @@
+"""Cross-validation of the shortest-path algorithms against networkx.
+
+Random weighted digraphs with geographic vertices; all four of our
+implementations must return the networkx reference distance on every
+reachable pair (and agree with each other on unreachable ones).
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import GeoPoint
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.shortest_path import (
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_all,
+)
+
+
+def random_graph(seed, num_vertices, edge_prob):
+    rng = np.random.default_rng(seed)
+    graph = RoadGraph()
+    nxg = nx.DiGraph()
+    positions = rng.uniform(0.0, 0.1, size=(num_vertices, 2))
+    for i in range(num_vertices):
+        graph.add_vertex(GeoPoint(float(positions[i, 0]), float(positions[i, 1])))
+        nxg.add_node(i)
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and rng.random() < edge_prob:
+                cost = float(rng.uniform(1.0, 50.0))
+                graph.add_edge(u, v, cost)
+                nxg.add_edge(u, v, weight=cost)
+    return graph, nxg
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_vertices=st.integers(min_value=2, max_value=14),
+    edge_prob=st.floats(min_value=0.1, max_value=0.7),
+)
+def test_all_algorithms_match_networkx(seed, num_vertices, edge_prob):
+    graph, nxg = random_graph(seed, num_vertices, edge_prob)
+    reference = dict(nx.all_pairs_dijkstra_path_length(nxg, weight="weight"))
+    rng = np.random.default_rng(seed + 1)
+    sources = rng.integers(0, num_vertices, size=min(4, num_vertices))
+    for source in (int(s) for s in sources):
+        ours_all = dijkstra_all(graph, source)
+        for target in range(num_vertices):
+            expected = reference.get(source, {}).get(target)
+            cost_d, path_d = dijkstra(graph, source, target)
+            cost_b, _ = bidirectional_dijkstra(graph, source, target)
+            # Zero heuristic keeps A* exact on arbitrary edge weights.
+            cost_a, _ = astar(graph, source, target, cost_per_meter=0.0)
+            if expected is None:
+                assert math.isinf(cost_d)
+                assert math.isinf(cost_b)
+                assert math.isinf(cost_a)
+                assert target not in ours_all or math.isinf(ours_all[target])
+            else:
+                assert cost_d == pytest.approx(expected)
+                assert cost_b == pytest.approx(expected)
+                assert cost_a == pytest.approx(expected)
+                assert ours_all[target] == pytest.approx(expected)
+                # The returned path actually realises the cost.
+                assert path_d[0] == source and path_d[-1] == target
+                walked = sum(
+                    graph.edge_cost(a, b) for a, b in zip(path_d, path_d[1:])
+                )
+                assert walked == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_astar_with_admissible_heuristic_stays_exact(seed):
+    """With costs >= straight-line-seconds the geometric heuristic is
+    admissible and A* must still return the true shortest path."""
+    rng = np.random.default_rng(seed)
+    graph = RoadGraph()
+    nxg = nx.DiGraph()
+    n = 12
+    speed = 10.0
+    positions = rng.uniform(0.0, 0.05, size=(n, 2))
+    for i in range(n):
+        graph.add_vertex(GeoPoint(float(positions[i, 0]), float(positions[i, 1])))
+        nxg.add_node(i)
+    from repro.geo.distance import equirectangular_m
+
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.4:
+                base = equirectangular_m(graph.position(u), graph.position(v)) / speed
+                cost = base * float(rng.uniform(1.0, 2.0))  # never below crow-flies
+                graph.add_edge(u, v, cost)
+                nxg.add_edge(u, v, weight=cost)
+    reference = dict(nx.all_pairs_dijkstra_path_length(nxg, weight="weight"))
+    for source in range(0, n, 3):
+        for target in range(n):
+            expected = reference.get(source, {}).get(target)
+            cost, _ = astar(
+                graph, source, target, cost_per_meter=1.0 / speed
+            )
+            if expected is None:
+                assert math.isinf(cost)
+            else:
+                assert cost == pytest.approx(expected)

@@ -1,0 +1,124 @@
+"""Tests of the demand sources."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.demand import (
+    CachedDemand,
+    NoisyOracleDemand,
+    OracleDemand,
+    SlotModelDemand,
+    ZeroDemand,
+)
+from repro.sim.entities import Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.1, 0.1)
+GRID = GridPartition(BOX, rows=2, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+
+
+def rider_at(rider_id, t, point):
+    return Rider(
+        rider_id=rider_id,
+        request_time_s=t,
+        pickup=point,
+        dropoff=point.shifted(0.01, 0.01),
+        deadline_s=t + 120,
+        trip_seconds=100.0,
+        revenue=100.0,
+        origin_region=GRID.region_of(point),
+        destination_region=GRID.region_of(point.shifted(0.01, 0.01)),
+    )
+
+
+class TestSlotModelDemand:
+    def test_full_slot_window(self):
+        matrix = np.array([[4.0, 0.0], [8.0, 2.0]])
+        demand = SlotModelDemand(matrix, slot_seconds=100.0)
+        np.testing.assert_allclose(demand.predict(0.0, 100.0), [4.0, 0.0])
+
+    def test_half_slot_window(self):
+        matrix = np.array([[4.0, 0.0], [8.0, 2.0]])
+        demand = SlotModelDemand(matrix, slot_seconds=100.0)
+        np.testing.assert_allclose(demand.predict(0.0, 50.0), [2.0, 0.0])
+
+    def test_straddling_window(self):
+        matrix = np.array([[4.0, 0.0], [8.0, 2.0]])
+        demand = SlotModelDemand(matrix, slot_seconds=100.0)
+        np.testing.assert_allclose(demand.predict(50.0, 100.0), [6.0, 1.0])
+
+    def test_past_end_reuses_last_slot(self):
+        matrix = np.array([[4.0, 0.0], [8.0, 2.0]])
+        demand = SlotModelDemand(matrix, slot_seconds=100.0)
+        np.testing.assert_allclose(demand.predict(250.0, 100.0), [8.0, 2.0])
+
+    def test_negative_predictions_clipped(self):
+        demand = SlotModelDemand(np.array([[-3.0, 1.0]]), slot_seconds=60.0)
+        assert demand.predict(0.0, 60.0)[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotModelDemand(np.zeros(3), 60.0)
+        with pytest.raises(ValueError):
+            SlotModelDemand(np.zeros((2, 2)), 0.0)
+
+
+class TestNoisyOracle:
+    def test_zero_sigma_is_exact(self):
+        riders = [rider_at(i, 10.0 * i, GeoPoint(0.01, 0.01)) for i in range(5)]
+        oracle = OracleDemand(riders, GRID.num_regions)
+        noisy = NoisyOracleDemand(oracle, sigma=0.0, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(
+            noisy.predict(0.0, 100.0), oracle.predict(0.0, 100.0)
+        )
+
+    def test_noise_perturbs_but_preserves_support(self):
+        riders = [rider_at(i, 10.0 * i, GeoPoint(0.01, 0.01)) for i in range(5)]
+        oracle = OracleDemand(riders, GRID.num_regions)
+        noisy = NoisyOracleDemand(oracle, sigma=0.5, rng=np.random.default_rng(0))
+        truth = oracle.predict(0.0, 100.0)
+        pred = noisy.predict(0.0, 100.0)
+        assert (pred[truth == 0] == 0).all()
+        assert not np.allclose(pred, truth)
+
+
+class TestCachedDemand:
+    class _Counting:
+        def __init__(self):
+            self.calls = 0
+            self.num_regions = 2
+
+        def predict(self, start_s, window_s):
+            self.calls += 1
+            return np.array([start_s, window_s])
+
+    def test_same_quantum_shares_one_call(self):
+        inner = self._Counting()
+        cached = CachedDemand(inner, quantum_s=15.0)
+        cached.predict(0.0, 600.0)
+        cached.predict(3.0, 600.0)
+        cached.predict(14.9, 600.0)
+        assert inner.calls == 1
+
+    def test_new_quantum_triggers_call(self):
+        inner = self._Counting()
+        cached = CachedDemand(inner, quantum_s=15.0)
+        cached.predict(0.0, 600.0)
+        cached.predict(15.0, 600.0)
+        assert inner.calls == 2
+
+    def test_quantum_zero_disables(self):
+        inner = self._Counting()
+        cached = CachedDemand(inner, quantum_s=0.0)
+        cached.predict(0.0, 600.0)
+        cached.predict(0.0, 600.0)
+        assert inner.calls == 2
+
+    def test_different_windows_not_conflated(self):
+        inner = self._Counting()
+        cached = CachedDemand(inner, quantum_s=15.0)
+        a = cached.predict(0.0, 600.0)
+        b = cached.predict(0.0, 1200.0)
+        assert a[1] != b[1]

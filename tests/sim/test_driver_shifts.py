@@ -1,0 +1,198 @@
+"""Driver shift lifetimes (the ``T_j`` of §2.4) in the batch engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.schema import TripRecord
+from repro.data.workload import shift_drivers_from_trips
+from repro.dispatch import NearestPolicy
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider, RiderStatus
+
+BOX = BoundingBox(0.0, 0.0, 0.02, 0.02)
+GRID = GridPartition(BOX, rows=1, cols=1)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+CENTRE = GeoPoint(0.01, 0.01)
+
+
+def _rider(rider_id, t, wait=600.0):
+    pickup = CENTRE
+    dropoff = GeoPoint(0.015, 0.01)
+    trip = COST.travel_seconds(pickup, dropoff)
+    return Rider(
+        rider_id=rider_id, request_time_s=t, pickup=pickup, dropoff=dropoff,
+        deadline_s=t + wait, trip_seconds=trip, revenue=trip,
+        origin_region=0, destination_region=0,
+    )
+
+
+def _run(riders, drivers, horizon_s=7200.0):
+    sim = Simulation(
+        riders, drivers, GRID, COST, NearestPolicy(),
+        SimConfig(batch_interval_s=10.0, tc_seconds=600.0, horizon_s=horizon_s),
+    )
+    return sim.run()
+
+
+class TestDriverEntityShifts:
+    def test_defaults_are_open_ended(self):
+        d = Driver(0, CENTRE, 0)
+        assert d.join_time_s == 0.0
+        assert math.isinf(d.leave_time_s)
+        assert math.isinf(d.lifetime_s)
+        assert d.on_shift(0.0) and d.on_shift(1e9)
+
+    def test_on_shift_window_is_half_open(self):
+        d = Driver(0, CENTRE, 0, join_time_s=100.0, leave_time_s=200.0)
+        assert not d.on_shift(99.9)
+        assert d.on_shift(100.0)
+        assert d.on_shift(199.9)
+        assert not d.on_shift(200.0)
+
+    def test_lifetime(self):
+        d = Driver(0, CENTRE, 0, join_time_s=3600.0, leave_time_s=3600.0 * 9)
+        assert d.lifetime_s == pytest.approx(8 * 3600.0)
+
+    def test_inverted_shift_rejected(self):
+        with pytest.raises(ValueError):
+            Driver(0, CENTRE, 0, join_time_s=200.0, leave_time_s=100.0)
+
+
+class TestEngineHonoursShifts:
+    def test_no_assignment_before_join(self):
+        """A lone rider at t=0 with a 10-minute deadline cannot be served
+        by a driver whose shift starts at t=1h."""
+        riders = [_rider(0, 0.0, wait=600.0)]
+        drivers = [
+            Driver(0, CENTRE, 0, join_time_s=3600.0, available_since_s=3600.0)
+        ]
+        result = _run(riders, drivers)
+        assert result.served_orders == 0
+        assert result.riders[0].status is RiderStatus.RENEGED
+
+    def test_assignment_after_join(self):
+        """The same world, but the rider arrives inside the shift."""
+        riders = [_rider(0, 3700.0, wait=600.0)]
+        drivers = [
+            Driver(0, CENTRE, 0, join_time_s=3600.0, available_since_s=3600.0)
+        ]
+        result = _run(riders, drivers)
+        assert result.served_orders == 1
+
+    def test_no_assignment_after_leave(self):
+        riders = [_rider(0, 2000.0, wait=600.0)]
+        drivers = [Driver(0, CENTRE, 0, leave_time_s=1800.0)]
+        result = _run(riders, drivers)
+        assert result.served_orders == 0
+
+    def test_in_flight_delivery_completes_past_leave(self):
+        """A driver assigned just before shift end finishes the ride (and
+        its revenue counts), but takes nothing afterwards."""
+        riders = [_rider(0, 0.0), _rider(1, 400.0, wait=2000.0)]
+        drivers = [Driver(0, CENTRE, 0, leave_time_s=60.0)]
+        result = _run(riders, drivers)
+        assert result.riders[0].status is RiderStatus.SERVED
+        assert result.riders[1].status is RiderStatus.RENEGED
+        assert result.total_revenue == pytest.approx(result.riders[0].revenue)
+
+    def test_shift_change_hands_over_demand(self):
+        """Back-to-back shifts serve a stream spanning both; a single
+        equal-length shift misses the second half."""
+        riders = [_rider(i, 300.0 * i, wait=500.0) for i in range(20)]
+        relay = [
+            Driver(0, CENTRE, 0, join_time_s=0.0, leave_time_s=3000.0),
+            Driver(
+                1, CENTRE, 0,
+                join_time_s=3000.0, leave_time_s=6000.0,
+                available_since_s=3000.0,
+            ),
+        ]
+        solo = [Driver(0, CENTRE, 0, join_time_s=0.0, leave_time_s=3000.0)]
+        served_relay = _run(riders, relay).served_orders
+        served_solo = _run([
+            _rider(i, 300.0 * i, wait=500.0) for i in range(20)
+        ], solo).served_orders
+        assert served_relay > served_solo
+
+    def test_conservation_with_shifts(self):
+        rng = np.random.default_rng(3)
+        riders = [
+            _rider(i, float(rng.uniform(0, 5000.0)), wait=300.0)
+            for i in range(40)
+        ]
+        drivers = [
+            Driver(
+                j, CENTRE, 0,
+                join_time_s=float(rng.uniform(0, 2000.0)),
+                leave_time_s=float(rng.uniform(3000.0, 7000.0)),
+            )
+            for j in range(4)
+        ]
+        result = _run(riders, drivers)
+        assert result.served_orders + result.metrics.reneged_orders == 40
+
+
+class TestShiftWorkloadGenerator:
+    def _trips(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        trips = []
+        for _ in range(n):
+            t = float(rng.uniform(0, 86_400.0))
+            trips.append(
+                TripRecord(
+                    pickup_time_s=t,
+                    pickup=BOX.sample(rng),
+                    dropoff=BOX.sample(rng),
+                )
+            )
+        return trips
+
+    def test_all_shifts_have_requested_length(self):
+        drivers = shift_drivers_from_trips(
+            self._trips(), GRID, 30, np.random.default_rng(1), shift_hours=8.0
+        )
+        assert len(drivers) == 30
+        for d in drivers:
+            assert d.lifetime_s == pytest.approx(8 * 3600.0)
+            assert 0.0 <= d.join_time_s <= 86_400.0 - 8 * 3600.0
+            assert d.region == 0
+            assert d.available_since_s == d.join_time_s
+
+    def test_deterministic_per_seed(self):
+        trips = self._trips()
+        a = shift_drivers_from_trips(trips, GRID, 10, np.random.default_rng(7))
+        b = shift_drivers_from_trips(trips, GRID, 10, np.random.default_rng(7))
+        assert [(d.join_time_s, d.position) for d in a] == [
+            (d.join_time_s, d.position) for d in b
+        ]
+
+    def test_supply_tracks_demand(self):
+        """Shift starts cluster near trip times (within the 1-hour lead)."""
+        rng = np.random.default_rng(11)
+        trips = []
+        for _ in range(300):  # all demand between 8h and 10h
+            t = float(rng.uniform(8 * 3600.0, 10 * 3600.0))
+            trips.append(
+                TripRecord(
+                    pickup_time_s=t, pickup=BOX.sample(rng), dropoff=BOX.sample(rng)
+                )
+            )
+        drivers = shift_drivers_from_trips(
+            trips, GRID, 40, np.random.default_rng(2), shift_hours=8.0
+        )
+        for d in drivers:
+            assert 7 * 3600.0 <= d.join_time_s <= 10 * 3600.0
+
+    def test_rejects_bad_arguments(self):
+        trips = self._trips(5)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            shift_drivers_from_trips(trips, GRID, 0, rng)
+        with pytest.raises(ValueError):
+            shift_drivers_from_trips(trips, GRID, 5, rng, shift_hours=0.0)
+        with pytest.raises(ValueError):
+            shift_drivers_from_trips([], GRID, 5, rng)

@@ -1,0 +1,112 @@
+"""Tests of riders, drivers, and the idle-time recorder."""
+
+import math
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
+from repro.sim.recorder import IdleTimeRecorder
+
+
+def make_rider(rider_id=0, request=0.0, deadline=130.0, trip=300.0):
+    return Rider(
+        rider_id=rider_id,
+        request_time_s=request,
+        pickup=GeoPoint(-73.98, 40.75),
+        dropoff=GeoPoint(-73.95, 40.78),
+        deadline_s=deadline,
+        trip_seconds=trip,
+        revenue=trip,
+        origin_region=1,
+        destination_region=2,
+    )
+
+
+class TestRider:
+    def test_initially_waiting(self):
+        assert make_rider().waiting
+
+    def test_deadline_before_request_rejected(self):
+        with pytest.raises(ValueError):
+            make_rider(request=100.0, deadline=50.0)
+
+    def test_negative_trip_rejected(self):
+        with pytest.raises(ValueError):
+            make_rider(trip=-1.0)
+
+
+class TestDriver:
+    def _driver(self):
+        return Driver(driver_id=0, position=GeoPoint(-73.99, 40.74), region=1)
+
+    def test_assign_release_cycle(self):
+        d = self._driver()
+        r = make_rider()
+        d.assign(r, now_s=10.0, pickup_eta_s=20.0,
+                 dropoff_position=r.dropoff, destination_region=2)
+        assert d.status is DriverStatus.BUSY
+        assert d.busy_until_s == pytest.approx(10.0 + 20.0 + 300.0)
+        assert d.served_orders == 1
+        d.release(now_s=330.0)
+        assert d.available
+        assert d.region == 2
+        assert d.available_since_s == 330.0
+
+    def test_double_assign_rejected(self):
+        d = self._driver()
+        r = make_rider()
+        d.assign(r, 0.0, 5.0, r.dropoff, 2)
+        with pytest.raises(ValueError):
+            d.assign(r, 1.0, 5.0, r.dropoff, 2)
+
+    def test_release_when_available_rejected(self):
+        with pytest.raises(ValueError):
+            self._driver().release(0.0)
+
+    def test_busy_seconds_accumulate(self):
+        d = self._driver()
+        r = make_rider()
+        d.assign(r, 0.0, 10.0, r.dropoff, 2)
+        d.release(310.0)
+        d.assign(make_rider(rider_id=1), 400.0, 5.0, r.dropoff, 2)
+        assert d.busy_seconds_total == pytest.approx(310.0 + 305.0)
+
+
+class TestIdleTimeRecorder:
+    def test_first_assignment_emits_nothing(self):
+        rec = IdleTimeRecorder()
+        rec.on_assignment(0, now_s=10.0, released_at_s=0.0,
+                          destination_region=3, predicted_idle_s=50.0)
+        assert rec.samples == []
+
+    def test_second_assignment_emits_sample(self):
+        rec = IdleTimeRecorder()
+        rec.on_assignment(0, 10.0, 0.0, 3, predicted_idle_s=50.0)
+        # Driver released at t=400 in region 3, reassigned at t=460.
+        rec.on_assignment(0, 460.0, 400.0, 5, predicted_idle_s=70.0)
+        assert len(rec.samples) == 1
+        s = rec.samples[0]
+        assert s.region == 3
+        assert s.predicted_idle_s == 50.0
+        assert s.realized_idle_s == pytest.approx(60.0)
+
+    def test_nan_prediction_never_emits(self):
+        rec = IdleTimeRecorder()
+        rec.on_assignment(0, 10.0, 0.0, 3, predicted_idle_s=math.nan)
+        rec.on_assignment(0, 460.0, 400.0, 5, predicted_idle_s=math.nan)
+        assert rec.samples == []
+
+    def test_censored_final_interval_dropped(self):
+        rec = IdleTimeRecorder()
+        rec.on_assignment(0, 10.0, 0.0, 3, predicted_idle_s=50.0)
+        assert rec.samples == []  # never reassigned
+
+    def test_per_region_means(self):
+        rec = IdleTimeRecorder()
+        rec.on_assignment(0, 10.0, 0.0, 3, 50.0)
+        rec.on_assignment(0, 460.0, 400.0, 3, 80.0)
+        rec.on_assignment(0, 900.0, 800.0, 4, 10.0)
+        means = rec.per_region_means()
+        assert means[3][0] == pytest.approx((50.0 + 80.0) / 2)
+        assert means[3][1] == pytest.approx((60.0 + 100.0) / 2)

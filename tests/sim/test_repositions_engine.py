@@ -1,0 +1,81 @@
+"""Engine-level validation of reposition plans (error paths + effects)."""
+
+import pytest
+
+from repro.dispatch.base import Assignment, DispatchPolicy, Reposition
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.06, 0.03)
+GRID = GridPartition(BOX, rows=1, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+WEST = GeoPoint(0.015, 0.015)
+
+
+class ScriptedPolicy(DispatchPolicy):
+    """Returns fixed repositions once, for poking the engine directly."""
+
+    name = "scripted"
+
+    def __init__(self, repositions):
+        self._repositions = list(repositions)
+        self._fired = False
+
+    def plan_batch(self, snapshot):
+        return []
+
+    def plan_repositions(self, snapshot):
+        if self._fired:
+            return []
+        self._fired = True
+        return self._repositions
+
+
+def run_with(repositions, drivers=None):
+    drivers = drivers or [Driver(0, WEST, 0)]
+    rider = Rider(
+        rider_id=0, request_time_s=0.0, pickup=WEST, dropoff=WEST.shifted(0.002),
+        deadline_s=5000.0, trip_seconds=100.0, revenue=100.0,
+        origin_region=0, destination_region=0,
+    )
+    sim = Simulation(
+        [rider], drivers, GRID, COST, ScriptedPolicy(repositions),
+        SimConfig(batch_interval_s=10.0, tc_seconds=600.0, horizon_s=100.0),
+    )
+    return sim.run()
+
+
+class TestRepositionValidation:
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ValueError, match="unknown driver"):
+            run_with([Reposition(driver_id=99, target_region=1)])
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            run_with([Reposition(driver_id=0, target_region=7)])
+        with pytest.raises(ValueError, match="unknown region"):
+            run_with([Reposition(driver_id=0, target_region=-1)])
+
+    def test_off_shift_driver_rejected(self):
+        driver = Driver(0, WEST, 0, join_time_s=90_000.0,
+                        available_since_s=90_000.0)
+        with pytest.raises(ValueError, match="unavailable"):
+            run_with([Reposition(driver_id=0, target_region=1)], [driver])
+
+    def test_same_region_is_a_noop(self):
+        result = run_with([Reposition(driver_id=0, target_region=0)])
+        assert result.metrics.repositions == 0
+
+    def test_move_relocates_and_occupies_driver(self):
+        result = run_with([Reposition(driver_id=0, target_region=1)])
+        assert result.metrics.repositions == 1
+        driver = result.drivers[0]
+        travel = COST.travel_seconds(WEST, GRID.center_of(1))
+        assert driver.busy_until_s == pytest.approx(travel)
+        assert driver.destination_region == 1
+        assert driver.position == GRID.center_of(1)
+        # Repositioning earns nothing (the scripted policy never assigns).
+        assert result.total_revenue == 0.0
+        assert result.served_orders == 0

@@ -1,0 +1,130 @@
+"""Simulation runs end to end on an explicit road-network cost model.
+
+The big sweeps use the O(1) straight-line cost; these tests pin that the
+engine, the candidate generation and the queueing policies are agnostic to
+the cost model, exactly as the paper's §2 road-network formulation implies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch import NearestPolicy, QueueingPolicy
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet import RoadNetworkCost, StraightLineCost, build_grid_network
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider, RiderStatus
+
+BOX = BoundingBox(-74.00, 40.70, -73.97, 40.73)  # ~2.5 x 3.3 km
+GRID = GridPartition(BOX, rows=2, cols=2)
+SPEED = 10.0
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_grid_network(
+        BOX,
+        rows=10,
+        cols=10,
+        speed_mps=SPEED,
+        speed_jitter=0.2,
+        rng=np.random.default_rng(5),
+    )
+
+
+@pytest.fixture(scope="module")
+def road_cost(network):
+    return RoadNetworkCost(network, access_speed_mps=SPEED)
+
+
+def _workload(cost_model, num_riders=60, num_drivers=6, seed=1):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        t = float(rng.uniform(0.0, 1500.0))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = cost_model.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + 240.0, trip_seconds=trip, revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        drivers.append(Driver(j, position, GRID.region_of(position)))
+    return riders, drivers
+
+
+def _run(cost_model, policy, seed=1):
+    riders, drivers = _workload(cost_model, seed=seed)
+    sim = Simulation(
+        riders, drivers, GRID, cost_model, policy,
+        SimConfig(batch_interval_s=10.0, tc_seconds=600.0, horizon_s=3600.0),
+    )
+    return sim.run()
+
+
+class TestRoadNetworkCostModel:
+    def test_costs_positive_and_roughly_metric(self, road_cost):
+        rng = np.random.default_rng(9)
+        straight = StraightLineCost(speed_mps=SPEED, metric="euclidean")
+        for _ in range(25):
+            a, b = BOX.sample(rng), BOX.sample(rng)
+            cost = road_cost.travel_seconds(a, b)
+            assert cost >= 0.0
+            base = straight.travel_seconds(a, b)
+            if base > 30.0:
+                # Network paths stay within a sane detour envelope.
+                assert 0.7 * base <= cost <= 4.0 * base
+
+    def test_same_point_is_cheap(self, road_cost):
+        p = BOX.sample(np.random.default_rng(2))
+        # Snapping both endpoints to the same vertex leaves only the
+        # (tiny) access legs.
+        assert road_cost.travel_seconds(p, p) < 60.0
+
+    def test_cache_returns_identical_results(self, road_cost):
+        rng = np.random.default_rng(4)
+        a, b = BOX.sample(rng), BOX.sample(rng)
+        assert road_cost.travel_seconds(a, b) == road_cost.travel_seconds(a, b)
+
+
+class TestSimulationOnRoadNetwork:
+    @pytest.mark.parametrize("algo", ["irg", "ls", "short"])
+    def test_queueing_policies_complete(self, road_cost, algo):
+        result = _run(road_cost, QueueingPolicy(algo))
+        served = sum(1 for r in result.riders if r.status is RiderStatus.SERVED)
+        assert served == result.served_orders
+        assert served + result.metrics.reneged_orders == len(result.riders)
+        assert result.served_orders > 0
+
+    def test_nearest_policy_completes(self, road_cost):
+        result = _run(road_cost, NearestPolicy())
+        assert result.served_orders > 0
+
+    def test_no_deadline_violations(self, road_cost):
+        """Every served rider was picked up before their deadline under the
+        network cost (the validity check of Definition 3)."""
+        result = _run(road_cost, QueueingPolicy("irg"))
+        for rider in result.riders:
+            if rider.status is RiderStatus.SERVED:
+                assert rider.pickup_time_s <= rider.deadline_s + 1e-6
+
+    def test_revenue_equals_sum_of_served_trip_costs(self, road_cost):
+        result = _run(road_cost, QueueingPolicy("irg"))
+        expected = sum(
+            r.revenue for r in result.riders if r.status is RiderStatus.SERVED
+        )
+        assert result.total_revenue == pytest.approx(expected)
+
+    def test_straight_line_and_network_agree_on_conservation(self, road_cost):
+        """Same invariants hold under either cost model (model-agnostic
+        engine), even though the outcomes differ."""
+        for cost_model in (StraightLineCost(speed_mps=SPEED), road_cost):
+            result = _run(cost_model, QueueingPolicy("irg"), seed=8)
+            total = result.served_orders + result.metrics.reneged_orders
+            assert total == len(result.riders)

@@ -1,0 +1,156 @@
+"""Property-based invariants of the whole simulation engine.
+
+Random mini-worlds are generated from a seed and run under every policy
+family; the engine must uphold the accounting and validity invariants of
+§2 regardless of the policy's choices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dispatch import (
+    LongTripPolicy,
+    NearestPolicy,
+    QueueingPolicy,
+    RandomPolicy,
+    UpperBoundPolicy,
+)
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider, RiderStatus
+
+BOX = BoundingBox(0.0, 0.0, 0.03, 0.03)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+
+
+def build_world(seed, num_riders, num_drivers, rows, cols, use_shifts):
+    rng = np.random.default_rng(seed)
+    grid = GridPartition(BOX, rows=rows, cols=cols)
+    riders = []
+    for i in range(num_riders):
+        t = float(rng.uniform(0.0, 1600.0))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = COST.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + float(rng.uniform(60.0, 400.0)),
+                trip_seconds=trip, revenue=trip,
+                origin_region=grid.region_of(pickup),
+                destination_region=grid.region_of(dropoff),
+            )
+        )
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        join, leave = 0.0, float("inf")
+        if use_shifts:
+            join = float(rng.uniform(0.0, 600.0))
+            leave = join + float(rng.uniform(800.0, 2400.0))
+        drivers.append(
+            Driver(
+                j, position, grid.region_of(position),
+                available_since_s=join, join_time_s=join, leave_time_s=leave,
+            )
+        )
+    return riders, drivers, grid
+
+
+def make_policy(kind, seed):
+    if kind == "irg":
+        return QueueingPolicy("irg")
+    if kind == "ls":
+        return QueueingPolicy("ls")
+    if kind == "short":
+        return QueueingPolicy("short")
+    if kind == "near":
+        return NearestPolicy()
+    if kind == "ltg":
+        return LongTripPolicy()
+    if kind == "rand":
+        return RandomPolicy(rng=np.random.default_rng(seed))
+    return UpperBoundPolicy()
+
+
+POLICY_KINDS = ("irg", "ls", "short", "near", "ltg", "rand", "upper")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_riders=st.integers(min_value=1, max_value=40),
+    num_drivers=st.integers(min_value=1, max_value=6),
+    rows=st.integers(min_value=1, max_value=3),
+    cols=st.integers(min_value=1, max_value=3),
+    policy_kind=st.sampled_from(POLICY_KINDS),
+    use_shifts=st.booleans(),
+)
+def test_engine_invariants_hold_for_any_world(
+    seed, num_riders, num_drivers, rows, cols, policy_kind, use_shifts
+):
+    riders, drivers, grid = build_world(
+        seed, num_riders, num_drivers, rows, cols, use_shifts
+    )
+    sim = Simulation(
+        riders, drivers, grid, COST, make_policy(policy_kind, seed),
+        SimConfig(batch_interval_s=15.0, tc_seconds=600.0, horizon_s=2400.0),
+    )
+    result = sim.run()
+
+    # 1. Conservation: every rider either served or reneged.
+    served = [r for r in result.riders if r.status is RiderStatus.SERVED]
+    assert len(served) == result.served_orders
+    assert result.served_orders + result.metrics.reneged_orders == len(riders)
+
+    # 2. Revenue equals the sum of served riders' revenues (Eq. 1).
+    assert result.total_revenue == pytest.approx(sum(r.revenue for r in served))
+
+    # 3. Deadline validity (Definition 3) — except UPPER, which by design
+    #    teleports drivers to measure the no-deadhead bound.
+    if policy_kind != "upper":
+        for rider in served:
+            assert rider.pickup_time_s <= rider.deadline_s + 1e-6
+
+    # 4. No driver serves overlapping rides.
+    by_driver = {}
+    for rider in served:
+        by_driver.setdefault(rider.driver_id, []).append(rider)
+    for rides in by_driver.values():
+        rides.sort(key=lambda r: r.assign_time_s)
+        for a, b in zip(rides, rides[1:]):
+            assert b.assign_time_s >= a.dropoff_time_s - 1e-6
+
+    # 5. Shifted drivers never assigned outside their lifetime.
+    if use_shifts:
+        driver_by_id = {d.driver_id: d for d in drivers}
+        for rider in served:
+            driver = driver_by_id[rider.driver_id]
+            assert driver.join_time_s <= rider.assign_time_s < driver.leave_time_s
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy_kind=st.sampled_from(("irg", "near", "rand")),
+)
+def test_simulation_is_deterministic(seed, policy_kind):
+    """Two runs of the same world produce identical outcomes."""
+
+    def run_once():
+        riders, drivers, grid = build_world(seed, 25, 3, 2, 2, False)
+        sim = Simulation(
+            riders, drivers, grid, COST, make_policy(policy_kind, seed),
+            SimConfig(batch_interval_s=15.0, tc_seconds=600.0, horizon_s=2400.0),
+        )
+        result = sim.run()
+        return (
+            result.total_revenue,
+            result.served_orders,
+            tuple(r.driver_id for r in result.riders),
+        )
+
+    assert run_once() == run_once()

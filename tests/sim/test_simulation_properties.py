@@ -1,0 +1,168 @@
+"""Property-based invariants of the simulation engine.
+
+Hypothesis drives random small worlds through the engine under several
+policies and checks conservation laws that must hold regardless of policy
+behaviour: rider accounting, revenue accounting, driver exclusivity, and
+temporal ordering of every rider's lifecycle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dispatch import NearestPolicy, QueueingPolicy, RandomPolicy
+from repro.dispatch.batch_optimal import BatchOptimalPolicy
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider, RiderStatus
+
+BOX = BoundingBox(0.0, 0.0, 0.05, 0.05)
+GRID = GridPartition(BOX, rows=2, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+
+
+def make_world(seed, num_riders, num_drivers, wait_s):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        t = float(rng.uniform(0, 1800))
+        trip = COST.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i,
+                request_time_s=t,
+                pickup=pickup,
+                dropoff=dropoff,
+                deadline_s=t + wait_s,
+                trip_seconds=trip,
+                revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = [
+        Driver(driver_id=j, position=BOX.sample(rng),
+               region=GRID.region_of(BOX.sample(rng)))
+        for j in range(num_drivers)
+    ]
+    return riders, drivers
+
+
+def run_world(policy, seed=0, num_riders=40, num_drivers=4, wait_s=120.0):
+    riders, drivers = make_world(seed, num_riders, num_drivers, wait_s)
+    sim = Simulation(
+        riders, drivers, GRID, COST, policy,
+        SimConfig(batch_interval_s=15.0, tc_seconds=600.0, horizon_s=3600.0),
+    )
+    return sim.run()
+
+
+POLICIES = {
+    "near": lambda: NearestPolicy(),
+    "rand": lambda: RandomPolicy(np.random.default_rng(5)),
+    "irg": lambda: QueueingPolicy("irg"),
+    "ls": lambda: QueueingPolicy("ls"),
+    "short": lambda: QueueingPolicy("short"),
+    "opt": lambda: BatchOptimalPolicy(),
+}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    policy_key=st.sampled_from(sorted(POLICIES)),
+    num_drivers=st.integers(min_value=1, max_value=6),
+    wait_s=st.floats(min_value=30.0, max_value=300.0),
+)
+def test_property_engine_invariants(seed, policy_key, num_drivers, wait_s):
+    result = run_world(
+        POLICIES[policy_key](), seed=seed, num_drivers=num_drivers, wait_s=wait_s
+    )
+
+    served = [r for r in result.riders if r.status is RiderStatus.SERVED]
+    reneged = [r for r in result.riders if r.status is RiderStatus.RENEGED]
+
+    # 1. Rider accounting: every rider is served or reneged by horizon end
+    #    (deadlines are far inside the horizon here).
+    assert len(served) + len(reneged) == len(result.riders)
+    assert result.metrics.served_orders == len(served)
+    assert result.metrics.reneged_orders == len(reneged)
+
+    # 2. Revenue accounting (Eq. 1).
+    assert result.total_revenue == pytest.approx(sum(r.revenue for r in served))
+
+    # 3. Temporal ordering of each served rider's lifecycle, including the
+    #    validity constraint of Definition 3 (pickup before deadline).
+    for rider in served:
+        assert rider.request_time_s <= rider.assign_time_s
+        assert rider.assign_time_s <= rider.pickup_time_s <= rider.deadline_s + 1e-6
+        assert rider.dropoff_time_s == pytest.approx(
+            rider.pickup_time_s + rider.trip_seconds
+        )
+
+    # 4. Driver exclusivity: trips of one driver never overlap in time.
+    by_driver = {}
+    for rider in served:
+        by_driver.setdefault(rider.driver_id, []).append(rider)
+    for trips in by_driver.values():
+        trips.sort(key=lambda r: r.assign_time_s)
+        for a, b in zip(trips, trips[1:]):
+            assert a.dropoff_time_s <= b.assign_time_s + 1e-6
+
+    # 5. Driver busy-time accounting.
+    for driver in result.drivers:
+        own = by_driver.get(driver.driver_id, [])
+        expected_busy = sum(
+            (r.pickup_time_s - r.assign_time_s) + r.trip_seconds for r in own
+        )
+        assert driver.busy_seconds_total == pytest.approx(expected_busy)
+        assert driver.served_orders == len(own)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_property_simulation_deterministic(seed):
+    """Identical worlds and policies yield identical outcomes."""
+    a = run_world(QueueingPolicy("irg"), seed=seed)
+    b = run_world(QueueingPolicy("irg"), seed=seed)
+    assert a.total_revenue == b.total_revenue
+    assert a.served_orders == b.served_orders
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_property_more_patience_never_hurts_near(seed):
+    """For the deadline-feasibility-driven NEAR policy, longer patience can
+    only grow the candidate sets batch by batch; service count should not
+    collapse (weak monotonicity within tolerance)."""
+    short = run_world(NearestPolicy(), seed=seed, wait_s=60.0)
+    long = run_world(NearestPolicy(), seed=seed, wait_s=240.0)
+    assert long.served_orders >= short.served_orders - 2
+
+
+def test_batch_optimal_beats_or_ties_greedy_revenue_per_batch():
+    """On a single batch, OPT-REV's immediate revenue >= any greedy's."""
+    from repro.dispatch.base import BatchSnapshot
+
+    riders, drivers = make_world(3, 12, 3, 240.0)
+    snapshot = BatchSnapshot.with_arrays(
+        predicted_riders=np.full(GRID.num_regions, 3.0),
+        predicted_drivers=np.ones(GRID.num_regions),
+        time_s=0.0,
+        tc_seconds=600.0,
+        waiting_riders=[r for r in riders if r.request_time_s < 1.0] or riders[:6],
+        available_drivers=drivers,
+        grid=GRID,
+        cost_model=COST,
+        pickup_speed_mps=10.0,
+    )
+    rider_revenue = {r.rider_id: r.revenue for r in riders}
+    opt = BatchOptimalPolicy(objective="revenue").plan_batch(snapshot)
+    near = NearestPolicy().plan_batch(snapshot)
+    opt_rev = sum(rider_revenue[a.rider_id] for a in opt)
+    near_rev = sum(rider_revenue[a.rider_id] for a in near)
+    assert opt_rev >= near_rev - 1e-9

@@ -1,0 +1,92 @@
+"""Cross-validation of the statistics substrate against scipy.
+
+The chi-square machinery and Poisson tools are implemented from scratch
+(the paper's Appendix B does its own chi-square bookkeeping); scipy is
+available offline, so every quantity is checked against the reference
+implementation across a parameter sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats.chi_square import (
+    chi_square_critical_value,
+    chi_square_sf,
+    chi_square_statistic,
+)
+from repro.stats.poisson import (
+    poisson_cdf,
+    poisson_interval_probability,
+    poisson_pmf,
+)
+
+
+class TestChiSquareVsScipy:
+    @pytest.mark.parametrize("df", [1, 2, 5, 9, 15, 30, 60])
+    @pytest.mark.parametrize("alpha", [0.10, 0.05, 0.01])
+    def test_critical_values(self, df, alpha):
+        ours = chi_square_critical_value(df, alpha)
+        reference = sps.chi2.ppf(1.0 - alpha, df)
+        assert ours == pytest.approx(reference, rel=1e-6)
+
+    @pytest.mark.parametrize("df", [1, 3, 7, 20])
+    @pytest.mark.parametrize("x", [0.5, 2.0, 7.5, 19.0, 42.0])
+    def test_survival_function(self, df, x):
+        assert chi_square_sf(x, df) == pytest.approx(
+            sps.chi2.sf(x, df), rel=1e-6, abs=1e-12
+        )
+
+    def test_statistic_matches_scipy_chisquare(self):
+        observed = [18, 22, 25, 16, 19]
+        expected = [20.0, 20.0, 20.0, 20.0, 20.0]
+        ours = chi_square_statistic(observed, expected)
+        reference = sps.chisquare(observed, expected).statistic
+        assert ours == pytest.approx(reference)
+
+
+class TestPoissonVsScipy:
+    @pytest.mark.parametrize("lam", [0.3, 1.0, 4.5, 20.0, 120.0])
+    def test_pmf(self, lam):
+        for k in (0, 1, 3, 10, 50, 150):
+            assert poisson_pmf(k, lam) == pytest.approx(
+                sps.poisson.pmf(k, lam), rel=1e-9, abs=1e-300
+            )
+
+    @pytest.mark.parametrize("lam", [0.3, 4.5, 60.0])
+    def test_cdf(self, lam):
+        for k in (0, 2, 8, 40, 100):
+            assert poisson_cdf(k, lam) == pytest.approx(
+                sps.poisson.cdf(k, lam), rel=1e-9
+            )
+
+    def test_interval_probability(self):
+        """The library uses the half-open convention P[lo <= X < hi]."""
+        lam = 7.0
+        ours = poisson_interval_probability(3, 10, lam)
+        reference = sps.poisson.cdf(9, lam) - sps.poisson.cdf(2, lam)
+        assert ours == pytest.approx(reference, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam=st.floats(min_value=0.01, max_value=200.0),
+    k=st.integers(min_value=0, max_value=400),
+)
+def test_property_pmf_matches_scipy(lam, k):
+    assert poisson_pmf(k, lam) == pytest.approx(
+        float(sps.poisson.pmf(k, lam)), rel=1e-7, abs=1e-280
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    df=st.integers(min_value=1, max_value=120),
+    alpha=st.floats(min_value=0.001, max_value=0.2),
+)
+def test_property_critical_value_matches_scipy(df, alpha):
+    assert chi_square_critical_value(df, alpha) == pytest.approx(
+        float(sps.chi2.ppf(1.0 - alpha, df)), rel=1e-5
+    )

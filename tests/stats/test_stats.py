@@ -1,0 +1,200 @@
+"""Tests of the statistics substrate: Poisson, chi-square, metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    bin_counts,
+    chi_square_critical_value,
+    chi_square_goodness_of_fit,
+    equal_width_bins,
+    mae,
+    poisson_cdf,
+    poisson_chi_square_test,
+    poisson_interval_probability,
+    poisson_pmf,
+    relative_rmse,
+    rmse,
+    sample_poisson_process,
+)
+from repro.stats.chi_square import chi_square_sf, chi_square_statistic
+from repro.stats.histograms import poisson_expected_counts
+from repro.stats.metrics import mape
+
+
+class TestPoisson:
+    def test_pmf_matches_scipy(self):
+        for lam in (0.5, 3.0, 20.0):
+            for k in (0, 1, 5, 30):
+                assert poisson_pmf(k, lam) == pytest.approx(
+                    scipy_stats.poisson.pmf(k, lam), rel=1e-9
+                )
+
+    def test_cdf_matches_scipy(self):
+        for lam in (0.5, 7.0):
+            for k in (0, 3, 10):
+                assert poisson_cdf(k, lam) == pytest.approx(
+                    scipy_stats.poisson.cdf(k, lam), rel=1e-9
+                )
+
+    def test_interval_probability(self):
+        lam = 4.0
+        p = poisson_interval_probability(2, 5, lam)
+        expected = sum(poisson_pmf(k, lam) for k in (2, 3, 4))
+        assert p == pytest.approx(expected, rel=1e-9)
+
+    def test_degenerate_rate(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(3, 0.0) == 0.0
+        assert poisson_cdf(5, 0.0) == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -1.0)
+
+    def test_process_sample_count(self):
+        rng = np.random.default_rng(0)
+        times = sample_poisson_process(0.5, 10_000.0, rng)
+        assert len(times) == pytest.approx(5000, rel=0.1)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0 and times.max() < 10_000
+
+    def test_process_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_poisson_process(0.0, 100.0, rng)) == 0
+
+
+class TestChiSquare:
+    def test_statistic_formula(self):
+        stat = chi_square_statistic([10, 20, 30], [15, 15, 30])
+        assert stat == pytest.approx((25 / 15) + (25 / 15))
+
+    def test_sf_matches_scipy(self):
+        for df in (1, 4, 9):
+            for x in (0.5, 3.0, 12.0):
+                assert chi_square_sf(x, df) == pytest.approx(
+                    scipy_stats.chi2.sf(x, df), rel=1e-9
+                )
+
+    def test_critical_values_match_textbook(self):
+        """The paper's Tables 7–8 quote chi2_{r-1}(0.05) values."""
+        assert chi_square_critical_value(6, 0.05) == pytest.approx(12.592, abs=1e-3)
+        assert chi_square_critical_value(5, 0.05) == pytest.approx(11.070, abs=1e-3)
+        assert chi_square_critical_value(4, 0.05) == pytest.approx(9.488, abs=1e-3)
+
+    def test_goodness_of_fit_accepts_exact_match(self):
+        result = chi_square_goodness_of_fit([10, 20, 30], [10, 20, 30])
+        assert result.statistic == 0.0
+        assert not result.reject
+
+    def test_goodness_of_fit_rejects_gross_mismatch(self):
+        result = chi_square_goodness_of_fit([100, 0, 0], [33, 33, 34])
+        assert result.reject
+
+    def test_poisson_samples_pass(self):
+        rng = np.random.default_rng(42)
+        samples = rng.poisson(8.0, size=500).tolist()
+        result = poisson_chi_square_test(samples)
+        assert not result.reject
+
+    def test_uniform_samples_fail(self):
+        """Uniform counts are over-dispersed relative to Poisson."""
+        rng = np.random.default_rng(42)
+        samples = rng.integers(0, 40, size=800).tolist()
+        result = poisson_chi_square_test(samples)
+        assert result.reject
+
+    def test_bimodal_samples_fail(self):
+        """A 5/15 bimodal mix is not Poisson; H0 must be rejected."""
+        samples = [5] * 300 + [15] * 300
+        result = poisson_chi_square_test(samples)
+        assert result.reject
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            poisson_chi_square_test([1, 2, 3])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_chi_square_test([0] * 50)
+
+    def test_expected_positive_required(self):
+        with pytest.raises(ValueError):
+            chi_square_goodness_of_fit([1, 2], [0.0, 3.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lam=st.floats(min_value=2.0, max_value=30.0),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_property_poisson_test_mostly_accepts_true_poisson(lam, seed):
+    """On genuinely Poisson data the test statistic stays moderate.
+
+    (A 5% level rejects true H0 occasionally; we assert the statistic is
+    below twice the critical value, a loose envelope that still catches
+    implementation errors.)
+    """
+    rng = np.random.default_rng(seed)
+    samples = rng.poisson(lam, size=400).tolist()
+    result = poisson_chi_square_test(samples)
+    assert result.statistic < 2.5 * result.critical_value
+
+
+class TestHistograms:
+    def test_equal_width_bins_cover_range(self):
+        bins = equal_width_bins(0.0, 10.0, 3.0)
+        assert bins[0][0] == 0.0
+        assert bins[-1][1] == 10.0
+
+    def test_bin_counts_total(self):
+        bins = equal_width_bins(0, 10, 2)
+        samples = [0, 1, 2, 5, 9, 9.9, 10]
+        counts = bin_counts(samples, bins)
+        assert sum(counts) == len(samples)
+
+    def test_poisson_expected_counts_sum_to_n(self):
+        bins = equal_width_bins(0, 30, 5)
+        expected = poisson_expected_counts(bins, lam=8.0, n=100)
+        assert sum(expected) == pytest.approx(100.0, rel=1e-6)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            equal_width_bins(0, 10, 0)
+        with pytest.raises(ValueError):
+            equal_width_bins(5, 5, 1)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_relative_rmse_percent(self):
+        assert relative_rmse([10.0], [20.0]) == pytest.approx(50.0)
+
+    def test_mape(self):
+        assert mape([9.0, 11.0], [10.0, 10.0]) == pytest.approx(10.0)
+
+    def test_perfect_prediction(self):
+        assert mae([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_zero_truth_rejected_for_relative(self):
+        with pytest.raises(ValueError):
+            relative_rmse([1.0], [0.0])

@@ -1,0 +1,86 @@
+"""Tests of the dependency-free SVG plotter."""
+
+import math
+
+import pytest
+
+from repro.utils.svgplot import grouped_bars, heatmap, line_chart
+
+
+def _is_svg(text: str) -> bool:
+    return text.startswith("<svg") and text.rstrip().endswith("</svg>")
+
+
+class TestLineChart:
+    def test_valid_svg_with_all_elements(self):
+        svg = line_chart(
+            [1, 2, 3],
+            {"NEAR": [10.0, 20.0, 25.0], "IRG": [12.0, 22.0, 27.0]},
+            title="Revenue & friends <>", xlabel="n", ylabel="revenue",
+        )
+        assert _is_svg(svg)
+        assert "polyline" in svg
+        assert svg.count("<circle") == 6  # one marker per point
+        assert "NEAR" in svg and "IRG" in svg
+        assert "&lt;&gt;" in svg  # titles are escaped
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        svg = line_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert _is_svg(svg)
+
+    def test_single_point(self):
+        assert _is_svg(line_chart([3], {"a": [1.0]}))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1.0]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], {})
+
+    def test_distinct_series_get_distinct_colours(self):
+        svg = line_chart([1, 2], {"a": [1, 2], "b": [2, 3]})
+        assert "#0072B2" in svg and "#E69F00" in svg
+
+
+class TestGroupedBars:
+    def test_valid_svg(self):
+        svg = grouped_bars(
+            ["0~5", "5~10"],
+            {"observed": [12, 8], "expected": [11.0, 9.0]},
+            title="Figure 11", ylabel="count",
+        )
+        assert _is_svg(svg)
+        assert svg.count('<rect x="') >= 4  # 2 groups x 2 bins + legend boxes
+
+    def test_mismatched_group_length_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], {"g": [1, 2]})
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars([], {})
+
+    def test_zero_values_ok(self):
+        assert _is_svg(grouped_bars(["a"], {"g": [0.0]}))
+
+
+class TestHeatmap:
+    def test_valid_svg_with_cells(self):
+        svg = heatmap([[1.0, 2.0], [3.0, 4.0]], title="Figure 5")
+        assert _is_svg(svg)
+        assert svg.count("rgb(") >= 4
+
+    def test_nan_cells_rendered_grey(self):
+        svg = heatmap([[1.0, math.nan], [3.0, 4.0]])
+        assert "#eeeeee" in svg
+
+    def test_constant_matrix(self):
+        assert _is_svg(heatmap([[2.0, 2.0]]))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap([])
+        with pytest.raises(ValueError):
+            heatmap([[]])

@@ -1,0 +1,71 @@
+"""Tests of utilities: RNG factory, validation helpers."""
+
+import pytest
+
+from repro.utils import (
+    RngFactory,
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+from repro.utils.validation import require_finite
+
+
+class TestRngFactory:
+    def test_same_stream_reproducible(self):
+        a = RngFactory(7).stream("riders").integers(0, 1000, 5)
+        b = RngFactory(7).stream("riders").integers(0, 1000, 5)
+        assert (a == b).all()
+
+    def test_different_streams_independent(self):
+        factory = RngFactory(7)
+        a = factory.stream("riders").integers(0, 1000, 5)
+        b = factory.stream("drivers").integers(0, 1000, 5)
+        assert not (a == b).all()
+
+    def test_order_independence(self):
+        f1 = RngFactory(3)
+        _ = f1.stream("x")
+        late = f1.stream("y").integers(0, 1000, 4)
+        early = RngFactory(3).stream("y").integers(0, 1000, 4)
+        assert (late == early).all()
+
+    def test_substreams(self):
+        f = RngFactory(1)
+        a = f.substream("region", 0).random()
+        b = f.substream("region", 1).random()
+        assert a != b
+        assert f.substream("region", 0).random() == a
+
+    def test_seed_property(self):
+        assert RngFactory(42).seed == 42
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            require_non_negative(-1e-9, "x")
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.1, "p")
+
+    def test_require_finite(self):
+        assert require_finite(3.0, "x") == 3.0
+        with pytest.raises(ValueError):
+            require_finite(float("inf"), "x")
+        with pytest.raises(ValueError):
+            require_finite(float("nan"), "x")
