@@ -1,0 +1,111 @@
+"""Engine throughput benchmark: seed tick loop vs the array-backed engine.
+
+Times one mid-size simulated day — 40K orders against 1,000 drivers on an
+8x8 grid (between the ``small`` profile's 120 drivers and the paper's 3,000)
+— under IRG with oracle demand, through two engines:
+
+- *seed*: :class:`~repro.sim.engine_reference.ReferenceSimulation` with the
+  scalar candidate backend — the original per-tick full-fleet scans and
+  per-pair Python ETA loop;
+- *vectorized*: the current :class:`~repro.sim.engine.Simulation` —
+  incremental :class:`~repro.sim.fleet.FleetState`, tick skipping, and the
+  broadcast candidate pipeline.
+
+Both runs must produce bit-identical economics (same served orders, same
+revenue); the wall-clock ratio is the engine speedup.  Results are written
+to ``BENCH_engine.json`` at the repo root so future PRs can track the
+performance trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.dispatch.base import set_candidate_backend
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _build_riders_and_drivers,
+    _make_demand,
+    _make_policy,
+)
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.engine_reference import ReferenceSimulation
+
+#: The mid-size day (see module docstring).
+SCENARIO = ExperimentConfig(
+    daily_orders=40_000.0,
+    num_drivers=1_000,
+    grid_rows=8,
+    grid_cols=8,
+    space_scale=0.5,
+)
+
+POLICY = "IRG-R"
+
+
+def _run_engine(engine_cls, backend):
+    config = SimConfig(
+        batch_interval_s=SCENARIO.batch_interval_s,
+        tc_seconds=SCENARIO.tc_seconds,
+        horizon_s=SCENARIO.horizon_s,
+        pickup_speed_mps=SCENARIO.speed_mps,
+    )
+    previous = set_candidate_backend(backend)
+    try:
+        riders, drivers, grid, cost_model = _build_riders_and_drivers(SCENARIO)
+        policy = _make_policy(POLICY, SCENARIO)
+        demand = _make_demand(POLICY, SCENARIO, riders, grid, "deepst")
+        sim = engine_cls(
+            riders, drivers, grid, cost_model, policy, config, demand=demand
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        wall_s = time.perf_counter() - start
+    finally:
+        set_candidate_backend(previous)
+    metrics = result.metrics
+    return {
+        "wall_s": round(wall_s, 3),
+        "batches": len(metrics.batches),
+        "batches_per_s": round(len(metrics.batches) / wall_s, 1),
+        "served_orders": metrics.served_orders,
+        "reneged_orders": metrics.reneged_orders,
+        "total_revenue": metrics.total_revenue,
+    }
+
+
+def test_engine_throughput():
+    """Time both engines; record the trajectory; verify equivalence."""
+    vectorized = _run_engine(Simulation, "vectorized")
+    seed = _run_engine(ReferenceSimulation, "scalar")
+
+    identical = (
+        seed["served_orders"] == vectorized["served_orders"]
+        and seed["total_revenue"] == vectorized["total_revenue"]
+        and seed["reneged_orders"] == vectorized["reneged_orders"]
+    )
+    speedup = seed["wall_s"] / vectorized["wall_s"]
+    payload = {
+        "scenario": {
+            "daily_orders": SCENARIO.daily_orders,
+            "num_drivers": SCENARIO.num_drivers,
+            "grid": f"{SCENARIO.grid_rows}x{SCENARIO.grid_cols}",
+            "space_scale": SCENARIO.space_scale,
+            "batch_interval_s": SCENARIO.batch_interval_s,
+            "horizon_s": SCENARIO.horizon_s,
+            "policy": POLICY,
+        },
+        "seed_engine": seed,
+        "vectorized_engine": vectorized,
+        "speedup": round(speedup, 2),
+        "metrics_bit_identical": identical,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[BENCH_engine] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    # Hard requirements: the refactor must not change the economics, and the
+    # vectorized engine must be decisively faster (the committed JSON shows
+    # the full margin; the assertion keeps head-room for noisy CI boxes).
+    assert identical, "seed and vectorized engines diverged"
+    assert speedup >= 2.0, f"vectorized engine only {speedup:.2f}x faster"

@@ -34,12 +34,23 @@ stale idle ratios.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.queueing import RegionQueue
 
 __all__ = ["RateEstimate", "estimate_rates", "RegionRates"]
+
+#: Cross-batch memo of the queueing-model evaluation.  ``ET`` is a pure
+#: function of ``(lam, mu, beta, K)``, and consecutive batches mostly carry
+#: identical per-region rates (counts move slowly, predictions are
+#: quantised), so one bounded LRU amortises the series evaluations across
+#: the whole simulation instead of once per ``RegionRates`` instance.
+_ET_CACHE: OrderedDict[tuple[float, float, float, int], float] = OrderedDict()
+_ET_CACHE_SIZE = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -111,20 +122,32 @@ class RegionRates:
         }
         if len(lengths) != 1:
             raise ValueError("all per-region count vectors must share a length")
+        if tc_seconds <= 0:
+            raise ValueError(f"tc must be positive, got {tc_seconds}")
         self.num_regions = len(waiting_riders)
         self.tc_seconds = float(tc_seconds)
         self.tc_minutes = float(tc_seconds) / 60.0
         self.beta = float(beta)
-        self._estimates = [
-            estimate_rates(
-                int(waiting_riders[k]),
-                int(available_drivers[k]),
-                float(predicted_riders[k]),
-                float(predicted_drivers[k]),
-                tc_seconds,
-            )
-            for k in range(self.num_regions)
-        ]
+        # Vectorised Eqs. 18–19: same branch and operation order as the
+        # scalar `estimate_rates`, evaluated for every region at once.
+        waiting = np.asarray(waiting_riders).astype(np.int64)
+        available = np.asarray(available_drivers).astype(np.int64)
+        pred_riders = np.asarray(predicted_riders, dtype=float)
+        pred_drivers = np.asarray(predicted_drivers, dtype=float)
+        if (waiting < 0).any() or (available < 0).any():
+            raise ValueError("waiting/available counts must be non-negative")
+        if (pred_riders < 0).any() or (pred_drivers < 0).any():
+            raise ValueError("predicted counts must be non-negative")
+        drivers_cover = waiting <= available
+        self._lam = (
+            np.where(drivers_cover, pred_riders, pred_riders + waiting - available)
+            / self.tc_minutes
+        )
+        self._mu = (
+            np.where(drivers_cover, pred_drivers + available - waiting, pred_drivers)
+            / self.tc_minutes
+        )
+        self._max_drivers = np.ceil(available + pred_drivers).astype(np.int64)
         self._versions = [0] * self.num_regions
         self._et_cache: dict[int, tuple[int, float]] = {}
 
@@ -132,15 +155,15 @@ class RegionRates:
 
     def lam(self, region: int) -> float:
         """Rider arrival rate of ``region`` (per minute, the paper's unit)."""
-        return self._estimates[region].lam
+        return float(self._lam[region])
 
     def mu(self, region: int) -> float:
         """Driver rejoin rate of ``region`` (per minute, the paper's unit)."""
-        return self._estimates[region].mu
+        return float(self._mu[region])
 
     def max_drivers(self, region: int) -> int:
         """Truncation ``K`` of the region's negative queue side."""
-        return self._estimates[region].max_drivers
+        return int(self._max_drivers[region])
 
     def version(self, region: int) -> int:
         """Version counter, bumped by every mutation of the region."""
@@ -156,13 +179,24 @@ class RegionRates:
         cached = self._et_cache.get(region)
         if cached is not None and cached[0] == self._versions[region]:
             return cached[1]
-        est = self._estimates[region]
-        # The queueing model works in minutes (see module docstring); the
-        # dispatch layer compares ET against trip costs in seconds.
-        et_minutes = RegionQueue.expected_idle_time_or_inf(
-            est.lam, est.mu, beta=self.beta, max_drivers=est.max_drivers
+        key = (
+            float(self._lam[region]),
+            float(self._mu[region]),
+            self.beta,
+            int(self._max_drivers[region]),
         )
-        value = et_minutes * 60.0
+        value = _ET_CACHE.get(key)
+        if value is None:
+            # The queueing model works in minutes (see module docstring);
+            # the dispatch layer compares ET against trip costs in seconds.
+            value = 60.0 * RegionQueue.expected_idle_time_or_inf(
+                key[0], key[1], beta=key[2], max_drivers=key[3]
+            )
+            _ET_CACHE[key] = value
+            if len(_ET_CACHE) > _ET_CACHE_SIZE:
+                _ET_CACHE.popitem(last=False)
+        else:
+            _ET_CACHE.move_to_end(key)
         self._et_cache[region] = (self._versions[region], value)
         return value
 
@@ -174,22 +208,19 @@ class RegionRates:
         One extra driver rejoins the destination during the window, so
         ``mu`` rises by ``1/t_c`` and ``K`` by one (§5.1, line 11 of Alg. 2).
         """
-        est = self._estimates[destination_region]
-        self._estimates[destination_region] = RateEstimate(
-            lam=est.lam,
-            mu=est.mu + 1.0 / self.tc_minutes,
-            max_drivers=est.max_drivers + 1,
+        self._mu[destination_region] = (
+            self._mu[destination_region] + 1.0 / self.tc_minutes
         )
+        self._max_drivers[destination_region] += 1
         self._versions[destination_region] += 1
 
     def on_unassignment(self, destination_region: int) -> None:
         """Inverse of :meth:`on_assignment` (used by the local search when a
         driver abandons a rider for a better one)."""
-        est = self._estimates[destination_region]
-        new_mu = max(0.0, est.mu - 1.0 / self.tc_minutes)
-        self._estimates[destination_region] = RateEstimate(
-            lam=est.lam,
-            mu=new_mu,
-            max_drivers=max(0, est.max_drivers - 1),
+        self._mu[destination_region] = max(
+            0.0, self._mu[destination_region] - 1.0 / self.tc_minutes
+        )
+        self._max_drivers[destination_region] = max(
+            0, self._max_drivers[destination_region] - 1
         )
         self._versions[destination_region] += 1

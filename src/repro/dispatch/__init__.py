@@ -16,9 +16,11 @@ interchangeable inside the simulator:
 from repro.dispatch.base import (
     Assignment,
     BatchSnapshot,
+    CandidateSet,
     DispatchPolicy,
     Reposition,
     generate_candidate_pairs,
+    set_candidate_backend,
 )
 from repro.dispatch.long_trip import LongTripPolicy
 from repro.dispatch.nearest import NearestPolicy
@@ -31,8 +33,10 @@ from repro.dispatch.upper_bound import UpperBoundPolicy
 __all__ = [
     "Assignment",
     "BatchSnapshot",
+    "CandidateSet",
     "DispatchPolicy",
     "generate_candidate_pairs",
+    "set_candidate_backend",
     "QueueingPolicy",
     "NearestPolicy",
     "LongTripPolicy",

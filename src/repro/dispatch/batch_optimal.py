@@ -28,12 +28,7 @@ import numpy as np
 
 from repro.core.idle_ratio import idle_ratio
 from repro.core.rates import RegionRates
-from repro.dispatch.base import (
-    Assignment,
-    BatchSnapshot,
-    DispatchPolicy,
-    generate_candidate_pairs,
-)
+from repro.dispatch.base import Assignment, BatchSnapshot, DispatchPolicy
 from repro.matching.hungarian import hungarian_min_cost
 
 __all__ = ["BatchOptimalPolicy"]
@@ -46,6 +41,8 @@ _ASSIGNMENT_REWARD = 10.0
 class BatchOptimalPolicy(DispatchPolicy):
     """Exact per-batch assignment via the Hungarian algorithm."""
 
+    supports_tick_skipping = True
+
     def __init__(self, objective: str = "idle_ratio", beta: float = 0.01):
         if objective not in ("idle_ratio", "revenue"):
             raise ValueError(f"unknown objective {objective!r}")
@@ -55,14 +52,26 @@ class BatchOptimalPolicy(DispatchPolicy):
 
     def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
         """Build the cost matrix over valid pairs and solve exactly."""
-        pairs = generate_candidate_pairs(snapshot)
-        if not pairs:
+        cand = snapshot.candidates()
+        if cand.size == 0:
             return []
 
-        rider_ids = sorted({r.rider_id for r, _, _ in pairs})
-        driver_ids = sorted({d.driver_id for _, d, _ in pairs})
+        pair_rider_ids = snapshot.waiting_ids()[cand.rider_pos]
+        pair_driver_ids = snapshot.available_ids()[cand.driver_pos]
+        rider_ids = np.unique(pair_rider_ids).tolist()
+        driver_ids = np.unique(pair_driver_ids).tolist()
         rider_index = {rid: i for i, rid in enumerate(rider_ids)}
         driver_index = {did: j for j, did in enumerate(driver_ids)}
+        rows = np.fromiter(
+            (rider_index[rid] for rid in pair_rider_ids.tolist()),
+            dtype=np.int64,
+            count=cand.size,
+        )
+        cols = np.fromiter(
+            (driver_index[did] for did in pair_driver_ids.tolist()),
+            dtype=np.int64,
+            count=cand.size,
+        )
 
         rates: RegionRates | None = None
         if self.objective == "idle_ratio":
@@ -78,18 +87,28 @@ class BatchOptimalPolicy(DispatchPolicy):
         cost = np.full((len(rider_ids), len(driver_ids)), math.inf)
         eta_of: dict[tuple[int, int], float] = {}
         idle_of: dict[int, float] = {}
-        for rider, driver, eta in pairs:
-            i = rider_index[rider.rider_id]
-            j = driver_index[driver.driver_id]
-            eta_of[(rider.rider_id, driver.driver_id)] = eta
-            if self.objective == "revenue":
-                # Minimise negative revenue; constant shift keeps costs
-                # comparable but the optimum identical.
-                cost[i, j] = -rider.revenue
-            else:
+        riders = snapshot.waiting_riders
+        if self.objective == "revenue":
+            # Minimise negative revenue; constant shift keeps costs
+            # comparable but the optimum identical.
+            revenues = np.fromiter(
+                (riders[pos].revenue for pos in cand.rider_pos.tolist()),
+                dtype=float,
+                count=cand.size,
+            )
+            cost[rows, cols] = -revenues
+        else:
+            ratios = np.empty(cand.size, dtype=float)
+            for p, pos in enumerate(cand.rider_pos.tolist()):
+                rider = riders[pos]
                 et = rates.expected_idle_time(rider.destination_region)
                 idle_of[rider.rider_id] = et
-                cost[i, j] = idle_ratio(rider.trip_seconds, et, eta) - _ASSIGNMENT_REWARD
+                ratios[p] = idle_ratio(rider.trip_seconds, et, cand.eta_s[p])
+            cost[rows, cols] = ratios - _ASSIGNMENT_REWARD
+        for rid, did, eta in zip(
+            pair_rider_ids.tolist(), pair_driver_ids.tolist(), cand.eta_s.tolist()
+        ):
+            eta_of[(rid, did)] = eta
 
         _, assignment = hungarian_min_cost(cost)
         plan: list[Assignment] = []

@@ -21,6 +21,8 @@ class LongTripPolicy(DispatchPolicy):
     """Long-trip greedy (highest ``alpha * cost(s, e)`` first)."""
 
     name = "LTG"
+    supports_tick_skipping = True
+    assigns_whenever_possible = True
 
     def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
         """Descending-revenue sweep; nearest remaining driver per rider."""

@@ -7,12 +7,7 @@ remaining (rider, driver) combination.
 
 from __future__ import annotations
 
-from repro.dispatch.base import (
-    Assignment,
-    BatchSnapshot,
-    DispatchPolicy,
-    generate_candidate_pairs,
-)
+from repro.dispatch.base import Assignment, BatchSnapshot, DispatchPolicy
 from repro.matching.greedy import greedy_min_weight_matching
 
 __all__ = ["NearestPolicy"]
@@ -22,13 +17,19 @@ class NearestPolicy(DispatchPolicy):
     """Nearest-trip greedy (minimise pickup ETA pair by pair)."""
 
     name = "NEAR"
+    supports_tick_skipping = True
+    assigns_whenever_possible = True
 
     def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
         """Sweep valid pairs in ascending pickup-ETA order."""
-        pairs = generate_candidate_pairs(snapshot)
-        triples = [
-            (rider.rider_id, driver.driver_id, eta) for rider, driver, eta in pairs
-        ]
+        cand = snapshot.candidates()
+        if cand.size == 0:
+            return []
+        rider_ids = snapshot.waiting_ids()[cand.rider_pos]
+        driver_ids = snapshot.available_ids()[cand.driver_pos]
+        triples = list(
+            zip(rider_ids.tolist(), driver_ids.tolist(), cand.eta_s.tolist())
+        )
         selected = greedy_min_weight_matching(triples)
         return [
             Assignment(rider_id=r, driver_id=d, pickup_eta_s=eta)

@@ -9,17 +9,14 @@ back into engine assignments with their ET estimates attached.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
-from repro.core.irg import idle_ratio_greedy
+from repro.core.irg import idle_ratio_greedy_arrays
 from repro.core.local_search import local_search
 from repro.core.rates import RegionRates
 from repro.core.short_greedy import shortest_total_time_greedy
-from repro.dispatch.base import (
-    Assignment,
-    BatchSnapshot,
-    DispatchPolicy,
-    generate_candidate_pairs,
-)
+from repro.dispatch.base import Assignment, BatchSnapshot, DispatchPolicy
 
 __all__ = ["QueueingPolicy"]
 
@@ -42,6 +39,11 @@ class QueueingPolicy(DispatchPolicy):
         Appended to the report name, e.g. ``"-P"`` / ``"-R"`` to mark
         predicted vs real demand, following the paper's labels.
     """
+
+    supports_tick_skipping = True  # no riders → no pairs → no-op batch
+    #: IRG / LS / SHORT all sweep the candidate heap to exhaustion, so a
+    #: non-empty candidate set always yields at least one assignment.
+    assigns_whenever_possible = True
 
     def __init__(
         self,
@@ -67,38 +69,15 @@ class QueueingPolicy(DispatchPolicy):
 
     def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
         """Estimate rates, run the configured algorithm, emit assignments."""
-        raw_pairs = generate_candidate_pairs(
-            snapshot, max_drivers_per_rider=self.max_drivers_per_rider
-        )
-        if not raw_pairs:
+        cand = snapshot.candidates(self.max_drivers_per_rider)
+        if cand.size == 0:
             return []
 
-        riders_by_id = {}
-        drivers_by_id = {}
-        for rider, driver, _ in raw_pairs:
-            riders_by_id[rider.rider_id] = rider
-            drivers_by_id[driver.driver_id] = driver
-
-        batch_riders = [
-            BatchRider(
-                index=rider.rider_id,
-                origin_region=rider.origin_region,
-                destination_region=rider.destination_region,
-                trip_cost_s=rider.trip_seconds,
-                revenue=rider.revenue,
-            )
-            for rider in riders_by_id.values()
-        ]
-        batch_drivers = [
-            BatchDriver(index=driver.driver_id, region=driver.region)
-            for driver in drivers_by_id.values()
-        ]
-        candidates = [
-            CandidatePair(
-                rider=rider.rider_id, driver=driver.driver_id, pickup_eta_s=eta
-            )
-            for rider, driver, eta in raw_pairs
-        ]
+        bundle = snapshot._rider_array_bundle()
+        rider_ids, trip, dest, revenue = bundle[3], bundle[4], bundle[5], bundle[6]
+        origin = bundle[2]
+        driver_ids = snapshot.available_ids()
+        driver_regions = snapshot._driver_region_array()
 
         rates = RegionRates(
             waiting_riders=snapshot.waiting_count_per_region(),
@@ -110,14 +89,63 @@ class QueueingPolicy(DispatchPolicy):
         )
 
         if self.algorithm == "irg":
-            selected = idle_ratio_greedy(
-                batch_riders,
-                batch_drivers,
-                candidates,
+            # Array-native fast path: IRG needs no batch-entity objects.
+            selected = idle_ratio_greedy_arrays(
+                rider_ids[cand.rider_pos],
+                driver_ids[cand.driver_pos],
+                trip[cand.rider_pos],
+                cand.eta_s,
+                dest[cand.rider_pos],
                 rates,
                 include_pickup=self.include_pickup,
             )
-        elif self.algorithm == "ls":
+            return [
+                Assignment(
+                    rider_id=pair.rider,
+                    driver_id=pair.driver,
+                    pickup_eta_s=pair.pickup_eta_s,
+                    predicted_idle_s=pair.predicted_idle_s,
+                )
+                for pair in selected
+            ]
+
+        # `rider_pos` is non-decreasing, so first occurrences mark uniques.
+        r_unique = cand.rider_pos[
+            np.flatnonzero(np.diff(cand.rider_pos, prepend=-1))
+        ]
+        batch_riders = [
+            BatchRider(
+                index=i,
+                origin_region=o,
+                destination_region=dd,
+                trip_cost_s=t,
+                revenue=rv,
+            )
+            for i, o, dd, t, rv in zip(
+                rider_ids[r_unique].tolist(),
+                origin[r_unique].tolist(),
+                dest[r_unique].tolist(),
+                trip[r_unique].tolist(),
+                revenue[r_unique].tolist(),
+            )
+        ]
+        d_unique = np.unique(cand.driver_pos)
+        batch_drivers = [
+            BatchDriver(index=i, region=r)
+            for i, r in zip(
+                driver_ids[d_unique].tolist(), driver_regions[d_unique].tolist()
+            )
+        ]
+        candidates = [
+            CandidatePair(rider=r, driver=d, pickup_eta_s=eta)
+            for r, d, eta in zip(
+                rider_ids[cand.rider_pos].tolist(),
+                driver_ids[cand.driver_pos].tolist(),
+                cand.eta_s.tolist(),
+            )
+        ]
+
+        if self.algorithm == "ls":
             selected = local_search(
                 batch_riders,
                 batch_drivers,

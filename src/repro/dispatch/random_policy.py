@@ -18,6 +18,11 @@ class RandomPolicy(DispatchPolicy):
     """Pick a random valid driver for each rider, in random rider order."""
 
     name = "RAND"
+    #: An empty batch draws nothing from the generator (shuffling an empty
+    #: sequence consumes no state), so skipping it cannot shift the stream;
+    #: with candidates present, the random sweep always commits a pair.
+    supports_tick_skipping = True
+    assigns_whenever_possible = True
 
     def __init__(self, rng: np.random.Generator | None = None):
         self._rng = rng or np.random.default_rng(0)

@@ -16,7 +16,7 @@ net revenue effect.
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from repro.core.rates import RegionRates
 from repro.dispatch.base import (
@@ -25,6 +25,7 @@ from repro.dispatch.base import (
     DispatchPolicy,
     Reposition,
 )
+from repro.roadnet.travel_time import travel_seconds_many
 
 __all__ = ["RebalancingPolicy"]
 
@@ -107,32 +108,35 @@ class RebalancingPolicy(DispatchPolicy):
         # are the strongest evidence their region is oversupplied.
         candidates.sort(key=lambda d: d.available_since_s)
 
+        centers = grid.centers_lonlat()
+        ets = np.fromiter(
+            (rates.expected_idle_time(k) for k in range(grid.num_regions)),
+            dtype=float,
+            count=grid.num_regions,
+        )
+
         repositions: list[Reposition] = []
         for driver in candidates:
             if len(repositions) >= budget:
                 break
             stay = rates.expected_idle_time(driver.region)
-            best_region = driver.region
-            best_total = stay
-            for region in range(grid.num_regions):
-                if region == driver.region:
-                    continue
-                et = rates.expected_idle_time(region)
-                if math.isinf(et):
-                    continue
-                travel = snapshot.cost_model.travel_seconds(
-                    driver.position, grid.center_of(region)
-                )
-                total = travel + et
-                if total < best_total:
-                    best_total = total
-                    best_region = region
-            gain = stay - best_total
-            if best_region != driver.region and gain >= self.min_gain_s:
+            origin = np.broadcast_to(
+                np.array([driver.position.lon, driver.position.lat]),
+                centers.shape,
+            )
+            # travel + ET for every region in one batched cost-model call;
+            # the stay-home region and infinite-ET regions never win (their
+            # totals are inf, and the comparison below is strict).
+            totals = travel_seconds_many(snapshot.cost_model, origin, centers) + ets
+            totals[driver.region] = np.inf
+            best_region = int(np.argmin(totals))
+            best_total = float(totals[best_region])
+            if best_total < stay and stay - best_total >= self.min_gain_s:
                 repositions.append(
                     Reposition(driver_id=driver.driver_id, target_region=best_region)
                 )
                 # The move adds future supply to the target: make it less
                 # attractive for the rest of this batch's candidates.
                 rates.on_assignment(best_region)
+                ets[best_region] = rates.expected_idle_time(best_region)
         return repositions

@@ -20,6 +20,7 @@ class UpperBoundPolicy(DispatchPolicy):
 
     name = "UPPER"
     ignores_pickup_distance = True
+    supports_tick_skipping = True
 
     def plan_batch(self, snapshot: BatchSnapshot) -> list[Assignment]:
         """Pair top-revenue riders with arbitrary available drivers."""

@@ -12,9 +12,18 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.geo.point import GeoPoint
 
-__all__ = ["EARTH_RADIUS_M", "haversine_m", "equirectangular_m", "manhattan_m"]
+__all__ = [
+    "EARTH_RADIUS_M",
+    "haversine_m",
+    "equirectangular_m",
+    "manhattan_m",
+    "equirectangular_m_many",
+    "manhattan_m_many",
+]
 
 EARTH_RADIUS_M = 6_371_000.0
 """Mean Earth radius in metres."""
@@ -52,4 +61,32 @@ def manhattan_m(a: GeoPoint, b: GeoPoint) -> float:
     mean_lat = math.radians((a.lat + b.lat) / 2.0)
     dx = abs(math.radians(b.lon - a.lon)) * math.cos(mean_lat)
     dy = abs(math.radians(b.lat - a.lat))
+    return EARTH_RADIUS_M * (dx + dy)
+
+
+def equirectangular_m_many(a_lonlat: np.ndarray, b_lonlat: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`equirectangular_m` over ``(n, 2)`` lon/lat arrays.
+
+    Element ``i`` equals ``equirectangular_m(a[i], b[i])`` up to one ULP
+    (``np.hypot`` and ``math.hypot`` may round the final step differently).
+    """
+    a = np.asarray(a_lonlat, dtype=float)
+    b = np.asarray(b_lonlat, dtype=float)
+    mean_lat = np.radians((a[:, 1] + b[:, 1]) / 2.0)
+    dx = np.radians(b[:, 0] - a[:, 0]) * np.cos(mean_lat)
+    dy = np.radians(b[:, 1] - a[:, 1])
+    return EARTH_RADIUS_M * np.hypot(dx, dy)
+
+
+def manhattan_m_many(a_lonlat: np.ndarray, b_lonlat: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`manhattan_m` over ``(n, 2)`` lon/lat arrays.
+
+    Performs the scalar formula's operations in the same order on float64,
+    so element ``i`` is bit-identical to ``manhattan_m(a[i], b[i])``.
+    """
+    a = np.asarray(a_lonlat, dtype=float)
+    b = np.asarray(b_lonlat, dtype=float)
+    mean_lat = np.radians((a[:, 1] + b[:, 1]) / 2.0)
+    dx = np.abs(np.radians(b[:, 0] - a[:, 0])) * np.cos(mean_lat)
+    dy = np.abs(np.radians(b[:, 1] - a[:, 1]))
     return EARTH_RADIUS_M * (dx + dy)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import GeoPoint
 
@@ -32,6 +34,8 @@ class GridPartition:
         self.cols = int(cols)
         self._cell_w = bbox.width / cols
         self._cell_h = bbox.height / rows
+        self._cell_size_m: tuple[float, float] | None = None
+        self._centers_lonlat: np.ndarray | None = None
 
     @property
     def num_regions(self) -> int:
@@ -68,6 +72,43 @@ class GridPartition:
             self.bbox.min_lon + (col + 0.5) * self._cell_w,
             self.bbox.min_lat + (row + 0.5) * self._cell_h,
         )
+
+    def cell_size_m(self) -> tuple[float, float]:
+        """Metric ``(width, height)`` of one cell at the box centre (cached).
+
+        Every candidate-generation call needs this to convert a rider's
+        metre reach into a grid-cell radius; the four geodesic distances
+        behind it are computed once per grid instance.
+        """
+        if self._cell_size_m is None:
+            from repro.geo.distance import equirectangular_m
+
+            cell = self.cell_bbox(self.region_of(self.bbox.center))
+            west = cell.center.shifted(dlon=-cell.width / 2)
+            east = cell.center.shifted(dlon=cell.width / 2)
+            south = cell.center.shifted(dlat=-cell.height / 2)
+            north = cell.center.shifted(dlat=cell.height / 2)
+            self._cell_size_m = (
+                equirectangular_m(west, east),
+                equirectangular_m(south, north),
+            )
+        return self._cell_size_m
+
+    def centers_lonlat(self) -> np.ndarray:
+        """``(num_regions, 2)`` lon/lat array of region centres (cached).
+
+        Row ``k`` holds exactly ``center_of(k).as_tuple()``, so array
+        consumers see the same coordinates as :meth:`center_of` callers.
+        """
+        if self._centers_lonlat is None:
+            centers = np.empty((self.num_regions, 2), dtype=float)
+            for k in range(self.num_regions):
+                c = self.center_of(k)
+                centers[k, 0] = c.lon
+                centers[k, 1] = c.lat
+            centers.setflags(write=False)
+            self._centers_lonlat = centers
+        return self._centers_lonlat
 
     def cell_bbox(self, region_id: int) -> BoundingBox:
         """Return the bounding box of a single cell."""

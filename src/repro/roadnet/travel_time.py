@@ -17,12 +17,24 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Protocol
 
-from repro.geo.distance import equirectangular_m, manhattan_m
+import numpy as np
+
+from repro.geo.distance import (
+    equirectangular_m,
+    equirectangular_m_many,
+    manhattan_m,
+    manhattan_m_many,
+)
 from repro.geo.point import GeoPoint
 from repro.roadnet.graph import RoadGraph
 from repro.roadnet.shortest_path import astar
 
-__all__ = ["TravelCostModel", "StraightLineCost", "RoadNetworkCost"]
+__all__ = [
+    "TravelCostModel",
+    "StraightLineCost",
+    "RoadNetworkCost",
+    "travel_seconds_many",
+]
 
 
 class TravelCostModel(Protocol):
@@ -31,6 +43,29 @@ class TravelCostModel(Protocol):
     def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
         """Travel time from ``a`` to ``b`` in seconds."""
         ...  # pragma: no cover - protocol
+
+
+def travel_seconds_many(
+    model: TravelCostModel, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+) -> np.ndarray:
+    """Batched travel times for ``(n, 2)`` lon/lat origin/destination arrays.
+
+    Dispatches to the model's native ``travel_seconds_many`` when it has one
+    (vectorised for the geometric models); otherwise falls back to a scalar
+    loop so any :class:`TravelCostModel` — including user-supplied ones that
+    predate the batched API — keeps working with the vectorised pipeline.
+    """
+    native = getattr(model, "travel_seconds_many", None)
+    if native is not None:
+        return native(a_lonlat, b_lonlat)
+    a = np.asarray(a_lonlat, dtype=float)
+    b = np.asarray(b_lonlat, dtype=float)
+    out = np.empty(len(a), dtype=float)
+    for i in range(len(a)):
+        out[i] = model.travel_seconds(
+            GeoPoint(a[i, 0], a[i, 1]), GeoPoint(b[i, 0], b[i, 1])
+        )
+    return out
 
 
 class StraightLineCost:
@@ -48,14 +83,33 @@ class StraightLineCost:
         self.speed_mps = float(speed_mps)
         self.metric = metric
         self._dist = manhattan_m if metric == "manhattan" else equirectangular_m
+        self._dist_many = (
+            manhattan_m_many if metric == "manhattan" else equirectangular_m_many
+        )
 
     def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
         """Seconds to drive from ``a`` to ``b`` at the constant speed."""
         return self._dist(a, b) / self.speed_mps
 
+    def travel_seconds_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`travel_seconds` over ``(n, 2)`` lon/lat arrays.
+
+        The manhattan metric is bit-identical to the scalar path; the
+        euclidean metric may differ by one ULP (``np.hypot`` rounding).
+        """
+        return self._dist_many(a_lonlat, b_lonlat) / self.speed_mps
+
     def distance_m(self, a: GeoPoint, b: GeoPoint) -> float:
         """Driving distance in metres under the chosen metric."""
         return self._dist(a, b)
+
+    def distance_m_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`distance_m` over ``(n, 2)`` lon/lat arrays."""
+        return self._dist_many(a_lonlat, b_lonlat)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StraightLineCost({self.speed_mps} m/s, {self.metric})"
@@ -98,6 +152,10 @@ class RoadNetworkCost:
             + equirectangular_m(b, self.graph.position(v))
         ) / self.access_speed_mps
         return access + self._network_seconds(u, v)
+
+    # Batched queries go through the module-level `travel_seconds_many`
+    # fallback loop — shortest paths cannot be broadcast, and the
+    # (vertex, vertex) LRU cache already amortises repeated lanes.
 
     def _network_seconds(self, u: int, v: int) -> float:
         key = (u, v)

@@ -6,8 +6,10 @@ drivers travel to pickups and dropoffs and rejoin the pool, and a pluggable
 :class:`~repro.dispatch.base.DispatchPolicy` plans every batch.
 """
 
-from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
 from repro.sim.engine import SimConfig, Simulation, SimulationResult
+from repro.sim.engine_reference import ReferenceSimulation
+from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
+from repro.sim.fleet import FleetState
 from repro.sim.metrics import BatchMetrics, IdleSample
 from repro.sim.recorder import IdleTimeRecorder
 
@@ -16,9 +18,11 @@ __all__ = [
     "RiderStatus",
     "Driver",
     "DriverStatus",
+    "FleetState",
     "SimConfig",
     "Simulation",
     "SimulationResult",
+    "ReferenceSimulation",
     "IdleTimeRecorder",
     "IdleSample",
     "BatchMetrics",

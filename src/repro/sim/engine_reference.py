@@ -1,27 +1,13 @@
-"""The batch-based simulation engine (Algorithm 1 of the paper).
+"""Frozen copy of the seed batch engine (golden reference — do not optimise).
 
-The engine advances wall-clock time in batch steps of ``batch_interval_s``.
-At each tick it:
-
-1. fires the fleet's due events (shift starts/ends, rejoin-window entries),
-2. admits riders whose requests arrived since the previous tick,
-3. reneges waiting riders whose pickup deadlines have passed,
-4. releases drivers whose deliveries completed (recording their rejoin
-   region — the "rejoined active drivers" of §3.1.2),
-5. builds a :class:`~repro.dispatch.base.BatchSnapshot` with the demand
-   prediction for ``[t, t + t_c]`` and the exact upcoming-rejoin counts,
-6. lets the policy plan, validates the plan, and applies it.
-
-Fleet-wide per-tick work is avoided: availability and upcoming-rejoin
-counts come from the incrementally-maintained
-:class:`~repro.sim.fleet.FleetState` instead of per-tick scans, and ticks
-that are provable no-ops — no waiting riders, and a policy that has
-declared ``supports_tick_skipping`` — skip the policy call entirely while
-still appending their :class:`~repro.sim.metrics.BatchMetrics` row, so the
-``metrics.batches`` series keeps one entry per tick exactly as before.
-
-Revenue accounting follows Eq. 1 with ``alpha`` folded into each rider's
-``revenue`` field at generation time.
+This is the pre-``FleetState`` tick loop, kept verbatim so the optimised
+:class:`~repro.sim.engine.Simulation` can be regression-tested against it
+(bit-identical served orders / revenue on fixed-seed scenarios) and so the
+throughput benchmark can measure the end-to-end speedup honestly.  It
+re-scans the full fleet every tick and walks the whole release heap for the
+upcoming-rejoin counts; pair it with
+``repro.dispatch.base.set_candidate_backend("scalar")`` to reproduce the
+seed engine's complete scalar hot path.
 """
 
 from __future__ import annotations
@@ -30,7 +16,6 @@ import heapq
 import math
 import time as _time
 from collections.abc import Sequence
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,69 +23,16 @@ from repro.dispatch.base import BatchSnapshot, DispatchPolicy
 from repro.geo.grid import GridPartition
 from repro.roadnet.travel_time import TravelCostModel
 from repro.sim.demand import DemandSource, OracleDemand
+from repro.sim.engine import _ETA_TOLERANCE_S, SimConfig, SimulationResult
 from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
-from repro.sim.fleet import DriverView, FleetState
 from repro.sim.metrics import BatchMetrics, SimMetrics
 from repro.sim.recorder import IdleTimeRecorder
 
-__all__ = ["SimConfig", "Simulation", "SimulationResult"]
-
-#: Tolerance when re-validating a policy's pickup ETA against the deadline.
-_ETA_TOLERANCE_S = 1e-6
+__all__ = ["ReferenceSimulation"]
 
 
-@dataclass(frozen=True)
-class SimConfig:
-    """Engine parameters (defaults follow Table 2's bold values).
-
-    ``batch_interval_s`` is the paper's ``Delta``; ``tc_seconds`` the
-    scheduling-window length ``t_c``; ``horizon_s`` the simulated period
-    (a whole day in the paper).  ``skip_empty_ticks`` lets the engine skip
-    the policy call on ticks with no waiting riders when the policy has
-    opted in via ``supports_tick_skipping`` (disable to force the
-    policy-every-tick behaviour of the reference loop).
-    """
-
-    batch_interval_s: float = 3.0
-    tc_seconds: float = 20.0 * 60.0
-    horizon_s: float = 24.0 * 3600.0
-    pickup_speed_mps: float = 8.0
-    record_idle_samples: bool = True
-    skip_empty_ticks: bool = True
-
-    def __post_init__(self) -> None:
-        if self.batch_interval_s <= 0:
-            raise ValueError("batch interval must be positive")
-        if self.tc_seconds <= 0:
-            raise ValueError("tc must be positive")
-        if self.horizon_s <= 0:
-            raise ValueError("horizon must be positive")
-        if self.pickup_speed_mps <= 0:
-            raise ValueError("pickup speed must be positive")
-
-
-@dataclass
-class SimulationResult:
-    """Everything a run produces."""
-
-    metrics: SimMetrics
-    riders: list[Rider]
-    drivers: list[Driver]
-    recorder: IdleTimeRecorder
-
-    @property
-    def total_revenue(self) -> float:
-        """Platform revenue (Eq. 1)."""
-        return self.metrics.total_revenue
-
-    @property
-    def served_orders(self) -> int:
-        """Number of riders picked up before their deadlines."""
-        return self.metrics.served_orders
-
-
-class Simulation:
-    """One full run of the batch dispatching loop over a rider trace."""
+class ReferenceSimulation:
+    """The seed engine's batch loop, preserved for equivalence testing."""
 
     def __init__(
         self,
@@ -126,14 +58,6 @@ class Simulation:
             raise ValueError("duplicate rider ids")
         self.demand = demand or OracleDemand(self.riders, grid.num_regions)
         self.recorder = IdleTimeRecorder()
-        self.fleet = FleetState(
-            self.drivers, grid.num_regions, self.config.tc_seconds
-        )
-        self._pos_of_driver = {
-            d.driver_id: i for i, d in enumerate(self.drivers)
-        }
-        # Release times of drivers for idle-interval bookkeeping; a shifted
-        # driver's idle clock starts when the shift does.
         self._released_at: dict[int, float | None] = {
             d.driver_id: d.join_time_s for d in self.drivers
         }
@@ -141,96 +65,44 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Execute every batch tick across the horizon and return results."""
         cfg = self.config
-        fleet = self.fleet
         metrics = SimMetrics(total_orders=len(self.riders))
 
         waiting: dict[int, Rider] = {}
-        waiting_counts = np.zeros(self.grid.num_regions, dtype=np.int64)
         arrival_ptr = 0
         renege_heap: list[tuple[float, int]] = []
         release_heap: list[tuple[float, int]] = []
-
-        # A tick with no waiting riders is a no-op only when the policy has
-        # vouched for it (and truly plans no repositions, which depend on
-        # clock time, not just on batch contents).
-        no_repositions = (
-            type(self.policy).plan_repositions is DispatchPolicy.plan_repositions
-        )
-        policy_skippable = (
-            cfg.skip_empty_ticks
-            and self.policy.supports_tick_skipping
-            and no_repositions
-        )
-        # Stronger proof for greedy candidate matchers: after a batch that
-        # committed nothing, candidate sets only shrink (patience drains,
-        # ETAs are static) until demand or supply is *added*, so every
-        # following batch is a no-op too until then.
-        stranded_skippable = (
-            policy_skippable and self.policy.assigns_whenever_possible
-        )
-        #: False only while a zero-assignment plan provably still stands.
-        maybe_new_pairs = True
 
         num_batches = int(math.floor(cfg.horizon_s / cfg.batch_interval_s)) + 1
         for batch_index in range(num_batches):
             now = batch_index * cfg.batch_interval_s
 
-            # 0. fire shift and rejoin-window events due by `now`.
-            if fleet.advance(now):
-                maybe_new_pairs = True
-
-            # 1. admit new riders (requests up to and including `now`).
             while (
                 arrival_ptr < len(self.riders)
                 and self.riders[arrival_ptr].request_time_s <= now
             ):
                 rider = self.riders[arrival_ptr]
                 waiting[rider.rider_id] = rider
-                waiting_counts[rider.origin_region] += 1
                 heapq.heappush(renege_heap, (rider.deadline_s, rider.rider_id))
                 arrival_ptr += 1
-                maybe_new_pairs = True
 
-            # 2. renege riders whose deadline passed before this tick.
             while renege_heap and renege_heap[0][0] < now:
                 _, rider_id = heapq.heappop(renege_heap)
                 rider = self._rider_by_id[rider_id]
                 if rider.status is RiderStatus.WAITING:
                     rider.status = RiderStatus.RENEGED
                     metrics.reneged_orders += 1
-                    if waiting.pop(rider_id, None) is not None:
-                        waiting_counts[rider.origin_region] -= 1
+                    waiting.pop(rider_id, None)
 
-            # 3. release drivers whose deliveries completed.
             while release_heap and release_heap[0][0] <= now:
                 _, driver_id = heapq.heappop(release_heap)
                 driver = self._driver_by_id[driver_id]
                 driver.release(now)
-                fleet.release(self._pos_of_driver[driver_id], now)
                 self._released_at[driver_id] = now
-                maybe_new_pairs = True
-
-            # 4. skip provable no-op ticks (still recording their metrics):
-            #    nothing to plan, a standing zero-assignment proof, or a
-            #    candidate-based policy with zero drivers on duty.
-            if (not waiting and policy_skippable) or (
-                stranded_skippable
-                and (not maybe_new_pairs or fleet.active_total == 0)
-            ):
-                metrics.batches.append(
-                    BatchMetrics(
-                        time_s=now,
-                        waiting_riders=len(waiting),
-                        available_drivers=fleet.active_total,
-                        assignments=0,
-                        plan_seconds=0.0,
-                    )
-                )
-                continue
 
             waiting_riders = list(waiting.values())
-            avail_pos = fleet.available_indices()
-            available_drivers = DriverView(self.drivers, avail_pos)
+            available_drivers = [
+                d for d in self.drivers if d.available and d.on_shift(now)
+            ]
 
             snapshot = BatchSnapshot(
                 time_s=now,
@@ -240,16 +112,12 @@ class Simulation:
                 predicted_riders_fn=(
                     lambda t=now: self.demand.predict(t, cfg.tc_seconds)
                 ),
-                predicted_drivers_fn=fleet.upcoming_rejoins,
+                predicted_drivers_fn=(
+                    lambda t=now, heap=release_heap: self._upcoming_rejoins(heap, t)
+                ),
                 grid=self.grid,
                 cost_model=self.cost_model,
                 pickup_speed_mps=cfg.pickup_speed_mps,
-                driver_lonlat=fleet.lonlat[avail_pos],
-                driver_regions=fleet.region[avail_pos],
-                driver_ids=fleet.ids[avail_pos],
-                waiting_counts=waiting_counts.copy(),
-                available_counts=fleet.avail_count.copy(),
-                riders_prefiltered=True,  # reneges already pruned expiries
             )
 
             start = _time.perf_counter()
@@ -257,15 +125,11 @@ class Simulation:
             plan_seconds = _time.perf_counter() - start
 
             applied = self._apply_assignments(
-                assignments, waiting, waiting_counts, release_heap, now, metrics
+                assignments, waiting, release_heap, now, metrics
             )
             self._apply_repositions(
                 self.policy.plan_repositions(snapshot), release_heap, now, metrics
             )
-            # Zero assignments from an assigns-whenever-possible policy means
-            # the candidate set was empty; it stays empty until new demand or
-            # supply arrives (see `stranded_skippable` above).
-            maybe_new_pairs = applied > 0
             metrics.batches.append(
                 BatchMetrics(
                     time_s=now,
@@ -276,8 +140,6 @@ class Simulation:
                 )
             )
 
-        # Post-horizon accounting: anyone still waiting with an expired or
-        # in-horizon deadline effectively reneged.
         for rider in waiting.values():
             if rider.status is RiderStatus.WAITING:
                 rider.status = RiderStatus.RENEGED
@@ -301,13 +163,6 @@ class Simulation:
         now: float,
         metrics: SimMetrics,
     ) -> None:
-        """Move idle drivers toward target regions (no revenue).
-
-        The driver drives to the target region's centre, is busy for the
-        travel time, and rejoins the pool there.  Invalid repositions
-        (busy/off-shift driver, unknown region) are rejected loudly — a
-        policy bug, not a runtime condition.
-        """
         for reposition in repositions:
             driver = self._driver_by_id.get(reposition.driver_id)
             if driver is None:
@@ -320,7 +175,7 @@ class Simulation:
             if not 0 <= target < self.grid.num_regions:
                 raise ValueError(f"reposition targets unknown region {target}")
             if target == driver.region:
-                continue  # nothing to do
+                continue
             centre = self.grid.center_of(target)
             travel = self.cost_model.travel_seconds(driver.position, centre)
             driver.status = DriverStatus.BUSY
@@ -328,24 +183,27 @@ class Simulation:
             driver.destination_region = target
             driver.position = centre
             driver.current_rider_id = None
-            self.fleet.reposition(
-                self._pos_of_driver[driver.driver_id],
-                now,
-                driver.busy_until_s,
-                target,
-                centre.lon,
-                centre.lat,
-            )
             self.recorder.on_reposition(driver.driver_id)
             self._released_at[driver.driver_id] = None
             heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
             metrics.repositions += 1
 
+    def _upcoming_rejoins(
+        self, release_heap: list[tuple[float, int]], now: float
+    ) -> np.ndarray:
+        """Exact |D^hat_k| via the original O(heap) walk."""
+        counts = np.zeros(self.grid.num_regions)
+        window_end = now + self.config.tc_seconds
+        for release_time, driver_id in release_heap:
+            driver = self._driver_by_id[driver_id]
+            if release_time <= window_end and driver.on_shift(release_time):
+                counts[driver.destination_region] += 1
+        return counts
+
     def _apply_assignments(
         self,
         assignments: Sequence,
         waiting: dict[int, Rider],
-        waiting_counts: np.ndarray,
         release_heap: list[tuple[float, int]],
         now: float,
         metrics: SimMetrics,
@@ -399,18 +257,9 @@ class Simulation:
                 dropoff_position=rider.dropoff,
                 destination_region=rider.destination_region,
             )
-            self.fleet.assign(
-                self._pos_of_driver[driver.driver_id],
-                now,
-                driver.busy_until_s,
-                rider.destination_region,
-                rider.dropoff.lon,
-                rider.dropoff.lat,
-            )
             self._released_at[driver.driver_id] = None
             heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
             waiting.pop(rider.rider_id)
-            waiting_counts[rider.origin_region] -= 1
 
             metrics.total_revenue += rider.revenue
             metrics.served_orders += 1

@@ -1,0 +1,239 @@
+"""Structure-of-arrays fleet state, maintained incrementally by the engine.
+
+The batch loop of Algorithm 1 runs every ``Delta`` seconds over a whole day
+(~28,800 ticks at the paper's bold parameters), and the original engine paid
+two per-tick full-fleet costs: a Python scan of every driver to find the
+available ones, and a walk of the whole release heap to compute the
+upcoming-rejoin counts ``|D^hat_k|``.  :class:`FleetState` replaces both
+with NumPy arrays plus region-indexed counters that are updated as events
+fire — assign, release, reposition, shift start/end, and rejoin-window
+entry — so a tick's snapshot costs O(changes), not O(fleet).
+
+The :class:`~repro.sim.entities.Driver` objects remain the user-facing
+record (results expose them, policies receive them); the engine is the
+single writer keeping both representations in lockstep.
+
+Event-driven ``|D^hat_k|``: a busy driver with release time ``b`` counts
+toward its destination region exactly while ``now < b <= now + t_c`` and
+the driver is still on shift at ``b``.  Because the scheduling window slides
+forward monotonically, each assignment contributes two events: the driver
+*enters* the window at ``b - t_c`` (counter up) and *leaves* it at release
+``b`` (counter down).  Both are O(log n) heap operations instead of the
+O(busy-fleet) walk per tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sim.entities import Driver
+
+__all__ = ["FleetState", "DriverView"]
+
+
+class DriverView:
+    """Lazy list-like view of ``drivers[pos]`` for an index array.
+
+    The engine hands this to snapshots instead of materialising a new
+    ``list[Driver]`` every tick: policies that only index a few selected
+    drivers (the common case) never pay for the full fleet, while ``len``,
+    iteration, and integer indexing behave exactly like the eager list.
+    """
+
+    __slots__ = ("_drivers", "_pos")
+
+    def __init__(self, drivers: Sequence[Driver], pos: np.ndarray):
+        self._drivers = drivers
+        self._pos = pos
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._drivers[i] for i in self._pos[index].tolist()]
+        return self._drivers[int(self._pos[index])]
+
+    def __iter__(self):
+        drivers = self._drivers
+        return (drivers[i] for i in self._pos.tolist())
+
+
+class FleetState:
+    """NumPy mirror of the driver fleet with incremental region counters.
+
+    Arrays are indexed by *fleet position* — the driver's index in the
+    engine's ``drivers`` list, not its ``driver_id``.
+
+    Attributes
+    ----------
+    lonlat:
+        ``(n, 2)`` driver positions (updated to the eventual dropoff at
+        assignment time, like ``Driver.assign``).
+    region, dest_region:
+        Current region and, for busy drivers, the rejoin region.
+    busy_until, join, leave:
+        Delivery completion time and the shift window ``T_j``.
+    active:
+        Boolean mask of drivers that are available *and* on shift — the
+        exact set the per-tick snapshot needs.
+    avail_count:
+        Per-region counts of active drivers (``|D_k|``).
+    rejoin_counts:
+        Per-region counts of busy drivers rejoining within the current
+        scheduling window (``|D^hat_k|``).
+    """
+
+    def __init__(
+        self, drivers: Sequence[Driver], num_regions: int, tc_seconds: float
+    ):
+        if tc_seconds <= 0:
+            raise ValueError("tc must be positive")
+        n = len(drivers)
+        self.num_regions = int(num_regions)
+        self.tc_seconds = float(tc_seconds)
+        self.ids = np.fromiter((d.driver_id for d in drivers), dtype=np.int64, count=n)
+        self.lonlat = np.empty((n, 2), dtype=float)
+        self.region = np.empty(n, dtype=np.int64)
+        self.dest_region = np.empty(n, dtype=np.int64)
+        self.busy_until = np.empty(n, dtype=float)
+        self.join = np.empty(n, dtype=float)
+        self.leave = np.empty(n, dtype=float)
+        self.is_available = np.empty(n, dtype=bool)
+        self.active = np.zeros(n, dtype=bool)
+        self.avail_count = np.zeros(self.num_regions, dtype=np.int64)
+        self.active_total = 0
+        self.rejoin_counts = np.zeros(self.num_regions, dtype=np.int64)
+        self._rejoin_counted = np.zeros(n, dtype=bool)
+
+        #: (join_time, pos) for initially-available drivers awaiting shift
+        #: start; (leave_time, pos) for active drivers awaiting shift end;
+        #: (busy_until - tc, pos) for busy drivers outside the window.
+        self._activations: list[tuple[float, int]] = []
+        self._deactivations: list[tuple[float, int]] = []
+        self._window_entries: list[tuple[float, int]] = []
+
+        for i, d in enumerate(drivers):
+            self.lonlat[i, 0] = d.position.lon
+            self.lonlat[i, 1] = d.position.lat
+            self.region[i] = d.region
+            self.dest_region[i] = d.destination_region
+            self.busy_until[i] = d.busy_until_s
+            self.join[i] = d.join_time_s
+            self.leave[i] = d.leave_time_s
+            self.is_available[i] = d.available
+            # Initially-busy drivers carry no release event (matching the
+            # reference engine, whose release heap starts empty): they never
+            # rejoin and never count as upcoming supply.
+            if d.available:
+                self._activations.append((d.join_time_s, i))
+        heapq.heapify(self._activations)
+
+    # -- per-tick event processing ------------------------------------------
+
+    def advance(self, now: float) -> bool:
+        """Fire all shift and rejoin-window events due at or before ``now``.
+
+        Must run before the tick's releases so the rejoin counters agree
+        with the reference definition (count ``now < b <= now + t_c``).
+        Returns whether any driver *joined* the active pool (the engine's
+        no-op-tick proof only breaks when supply can grow).
+        """
+        entries = self._window_entries
+        while entries and entries[0][0] <= now:
+            _, i = heapq.heappop(entries)
+            # Still busy by construction: release (at busy_until) cannot
+            # precede window entry (at busy_until - tc).
+            self.rejoin_counts[self.dest_region[i]] += 1
+            self._rejoin_counted[i] = True
+        supply_grew = False
+        activations = self._activations
+        while activations and activations[0][0] <= now:
+            _, i = heapq.heappop(activations)
+            if self.is_available[i] and not self.active[i] and now < self.leave[i]:
+                self._activate(i)
+                supply_grew = True
+        deactivations = self._deactivations
+        while deactivations and deactivations[0][0] <= now:
+            _, i = heapq.heappop(deactivations)
+            if self.active[i]:
+                self._deactivate(i)
+        return supply_grew
+
+    # -- state transitions ---------------------------------------------------
+
+    def assign(
+        self, i: int, now: float, busy_until: float, dest_region: int,
+        lon: float, lat: float,
+    ) -> None:
+        """Driver ``i`` committed to a delivery ending at ``busy_until``."""
+        if self.active[i]:
+            self._deactivate(i)
+        self.is_available[i] = False
+        self.dest_region[i] = dest_region
+        self.busy_until[i] = busy_until
+        self.lonlat[i, 0] = lon
+        self.lonlat[i, 1] = lat
+        if busy_until < self.leave[i]:  # rejoins on shift → future supply
+            if busy_until <= now + self.tc_seconds:
+                self.rejoin_counts[dest_region] += 1
+                self._rejoin_counted[i] = True
+            else:
+                heapq.heappush(
+                    self._window_entries, (busy_until - self.tc_seconds, i)
+                )
+
+    reposition = assign  #: a reposition is an assignment with no rider
+
+    def release(self, i: int, now: float) -> None:
+        """Driver ``i``'s delivery completed: rejoin the pool at the dest."""
+        if self._rejoin_counted[i]:
+            self.rejoin_counts[self.dest_region[i]] -= 1
+            self._rejoin_counted[i] = False
+        self.is_available[i] = True
+        self.region[i] = self.dest_region[i]
+        if now < self.leave[i]:
+            self._activate(i)
+
+    # -- queries -------------------------------------------------------------
+
+    def available_indices(self) -> np.ndarray:
+        """Fleet positions of active drivers, ascending (snapshot order)."""
+        return np.flatnonzero(self.active)
+
+    def upcoming_rejoins(self) -> np.ndarray:
+        """|D^hat| as floats (the snapshot's ``predicted_drivers`` dtype)."""
+        return self.rejoin_counts.astype(float)
+
+    def check_consistency(self, drivers: Sequence[Driver], now: float) -> None:
+        """Assert the arrays agree with the entity objects (test hook)."""
+        for i, d in enumerate(drivers):
+            assert self.is_available[i] == d.available, i
+            expected_active = d.available and d.on_shift(now)
+            assert bool(self.active[i]) == expected_active, i
+            if d.available:
+                assert self.region[i] == d.region, i
+            assert self.lonlat[i, 0] == d.position.lon, i
+            assert self.lonlat[i, 1] == d.position.lat, i
+        active_regions = self.region[self.active]
+        expected_counts = np.bincount(active_regions, minlength=self.num_regions)
+        assert np.array_equal(self.avail_count, expected_counts)
+        assert self.active_total == int(self.active.sum())
+
+    # -- internals -----------------------------------------------------------
+
+    def _activate(self, i: int) -> None:
+        self.active[i] = True
+        self.avail_count[self.region[i]] += 1
+        self.active_total += 1
+        if not math.isinf(self.leave[i]):
+            heapq.heappush(self._deactivations, (self.leave[i], i))
+
+    def _deactivate(self, i: int) -> None:
+        self.active[i] = False
+        self.avail_count[self.region[i]] -= 1
+        self.active_total -= 1

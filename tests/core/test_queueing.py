@@ -202,6 +202,11 @@ def test_property_et_equals_stationary_expectation(lam, mu, beta, k):
     q = RegionQueue(lam=lam, mu=mu, beta=beta, max_drivers=k)
     if q.p0() == 0.0:
         return  # divergent backlog: expectation degenerates to 0 by design
+    if lam > mu and (1.0 - mu / lam) < 1e-9:
+        # The geometric-tail closure below divides by (1-r)^2; as r -> 1 the
+        # reference value loses every significant digit, so the comparison
+        # is meaningless (the balanced case is covered by the other branch).
+        return
     lo = -k if lam <= mu else -2000
     direct = sum(q.conditional_idle_time(n) * q.state_probability(n) for n in range(lo, 1))
     if lam > mu:

@@ -1,0 +1,128 @@
+"""Equivalence of the vectorized candidate pipeline and the scalar reference.
+
+The vectorized backend must enumerate exactly the same (rider, driver) pairs
+in exactly the same order as the retained scalar scan, with ETAs equal to
+1e-9 (bit-identical under the manhattan metric, whose vectorized formula
+performs the same float64 operations in the same order).
+"""
+
+import numpy as np
+import pytest
+
+import repro.dispatch.base as base
+from repro.dispatch.base import generate_candidate_pairs, set_candidate_backend
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.1, 0.08)
+
+
+def random_world(rng, grid, num_riders, num_drivers, expired_fraction=0.2):
+    riders = []
+    for i in range(num_riders):
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        t = 0.0
+        wait = float(rng.uniform(-100.0, 600.0))  # negative => expired rider
+        if rng.random() > expired_fraction:
+            wait = abs(wait)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + max(wait, 0.0) if wait >= 0 else t,
+                trip_seconds=100.0, revenue=100.0,
+                origin_region=grid.region_of(pickup),
+                destination_region=grid.region_of(dropoff),
+            )
+        )
+    drivers = [
+        Driver(j, BOX.sample(rng), grid.region_of(BOX.sample(rng)))
+        for j in range(num_drivers)
+    ]
+    # Region fields must match positions for the CSR bucketing to be honest.
+    for d in drivers:
+        d.region = grid.region_of(d.position)
+    return riders, drivers
+
+
+def snapshot_for(riders, drivers, grid, cost, time_s=10.0):
+    from repro.dispatch.base import BatchSnapshot
+
+    return BatchSnapshot.with_arrays(
+        predicted_riders=np.zeros(grid.num_regions),
+        predicted_drivers=np.zeros(grid.num_regions),
+        time_s=time_s,
+        tc_seconds=600.0,
+        waiting_riders=riders,
+        available_drivers=drivers,
+        grid=grid,
+        cost_model=cost,
+        pickup_speed_mps=9.0,
+    )
+
+
+@pytest.mark.parametrize("metric", ["manhattan", "euclidean"])
+@pytest.mark.parametrize("rows,cols", [(1, 1), (2, 3), (4, 4)])
+@pytest.mark.parametrize("cap", [None, 1, 3])
+def test_backends_agree_on_random_snapshots(metric, rows, cols, cap):
+    rng = np.random.default_rng(rows * 100 + cols * 10 + (cap or 0))
+    grid = GridPartition(BOX, rows=rows, cols=cols)
+    cost = StraightLineCost(speed_mps=9.0, metric=metric)
+    for _ in range(8):
+        num_riders = int(rng.integers(0, 25))
+        num_drivers = int(rng.integers(0, 30))
+        riders, drivers = random_world(rng, grid, num_riders, num_drivers)
+
+        prev = set_candidate_backend("scalar")
+        try:
+            scalar = generate_candidate_pairs(
+                snapshot_for(riders, drivers, grid, cost), cap
+            )
+        finally:
+            set_candidate_backend(prev)
+        vectorized = generate_candidate_pairs(
+            snapshot_for(riders, drivers, grid, cost), cap
+        )
+
+        assert [(r.rider_id, d.driver_id) for r, d, _ in vectorized] == [
+            (r.rider_id, d.driver_id) for r, d, _ in scalar
+        ]
+        s_etas = np.array([eta for _, _, eta in scalar])
+        v_etas = np.array([eta for _, _, eta in vectorized])
+        np.testing.assert_allclose(v_etas, s_etas, rtol=0.0, atol=1e-9)
+        if metric == "manhattan":
+            assert np.array_equal(v_etas, s_etas)  # bit-identical
+
+
+def test_small_and_generic_paths_agree(monkeypatch):
+    """Force each internal path; the CandidateSet must be identical."""
+    rng = np.random.default_rng(42)
+    grid = GridPartition(BOX, rows=4, cols=4)
+    cost = StraightLineCost(speed_mps=9.0, metric="manhattan")
+    riders, drivers = random_world(rng, grid, 12, 20)
+
+    outputs = []
+    # (generic, numpy segments), (generic, python segments), (small path)
+    for small_riders, small_segments in [(0, 0), (0, 10_000), (100, 0)]:
+        monkeypatch.setattr(base, "_SMALL_RIDER_COUNT", small_riders)
+        monkeypatch.setattr(base, "_SMALL_SEGMENT_COUNT", small_segments)
+        cand = snapshot_for(riders, drivers, grid, cost).candidates()
+        outputs.append(cand)
+    first = outputs[0]
+    for other in outputs[1:]:
+        assert np.array_equal(first.rider_pos, other.rider_pos)
+        assert np.array_equal(first.driver_pos, other.driver_pos)
+        assert np.array_equal(first.eta_s, other.eta_s)
+    assert first.size > 0  # the scenario actually exercises the paths
+
+
+def test_candidates_memoised_per_cap():
+    rng = np.random.default_rng(3)
+    grid = GridPartition(BOX, rows=2, cols=2)
+    cost = StraightLineCost(speed_mps=9.0, metric="manhattan")
+    riders, drivers = random_world(rng, grid, 6, 8, expired_fraction=0.0)
+    snap = snapshot_for(riders, drivers, grid, cost)
+    assert snap.candidates() is snap.candidates()
+    assert snap.candidates(2) is snap.candidates(2)
+    assert snap.candidates() is not snap.candidates(2)

@@ -1,0 +1,130 @@
+"""The optimised engine must reproduce the reference loop bit for bit.
+
+:class:`~repro.sim.engine_reference.ReferenceSimulation` is the frozen seed
+tick loop (full-fleet scans, heap-walk rejoin counts, a policy call every
+tick).  On identical fixed-seed worlds the refactored
+:class:`~repro.sim.engine.Simulation` — incremental fleet counters, tick
+skipping, array snapshots — must produce exactly the same economics: same
+revenue (``==``, not approx), same served/reneged counts, same per-rider
+outcomes, and the same per-tick ``BatchMetrics`` series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch import (
+    LongTripPolicy,
+    NearestPolicy,
+    PolarPolicy,
+    QueueingPolicy,
+    RandomPolicy,
+    RebalancingPolicy,
+    UpperBoundPolicy,
+)
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.engine_reference import ReferenceSimulation
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.05, 0.04)
+GRID = GridPartition(BOX, rows=3, cols=3)
+COST = StraightLineCost(speed_mps=9.0, metric="manhattan")
+CONFIG = SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=7200.0,
+                   pickup_speed_mps=9.0)
+
+
+def build_world(seed, num_riders=250, num_drivers=20, use_shifts=True):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        t = float(rng.uniform(0.0, 5400.0))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = COST.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + float(rng.uniform(60.0, 360.0)),
+                trip_seconds=trip, revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        join, leave = 0.0, float("inf")
+        if use_shifts and rng.random() < 0.5:
+            join = float(rng.uniform(0.0, 1800.0))
+            leave = join + float(rng.uniform(1200.0, 4800.0))
+        drivers.append(
+            Driver(
+                j, position, GRID.region_of(position),
+                join_time_s=join, leave_time_s=leave, available_since_s=join,
+            )
+        )
+    return riders, drivers
+
+
+POLICIES = {
+    "NEAR": lambda seed: NearestPolicy(),
+    "LTG": lambda seed: LongTripPolicy(),
+    "RAND": lambda seed: RandomPolicy(rng=np.random.default_rng(seed)),
+    "UPPER": lambda seed: UpperBoundPolicy(),
+    "POLAR": lambda seed: PolarPolicy(),
+    "IRG": lambda seed: QueueingPolicy("irg"),
+    "LS": lambda seed: QueueingPolicy("ls"),
+    "SHORT": lambda seed: QueueingPolicy("short"),
+    "IRG-capped": lambda seed: QueueingPolicy("irg", max_drivers_per_rider=2),
+    "IRG+RB": lambda seed: RebalancingPolicy(QueueingPolicy("irg")),
+}
+
+
+def run(engine_cls, policy_name, seed, config=CONFIG):
+    riders, drivers = build_world(seed)
+    sim = engine_cls(
+        riders, drivers, GRID, COST, POLICIES[policy_name](seed), config
+    )
+    return sim.run()
+
+
+def assert_identical(a, b):
+    assert a.metrics.total_revenue == b.metrics.total_revenue
+    assert a.metrics.served_orders == b.metrics.served_orders
+    assert a.metrics.reneged_orders == b.metrics.reneged_orders
+    assert a.metrics.repositions == b.metrics.repositions
+    for ra, rb in zip(a.riders, b.riders):
+        assert ra.status is rb.status
+        assert ra.driver_id == rb.driver_id
+        assert ra.assign_time_s == rb.assign_time_s
+        assert ra.pickup_time_s == rb.pickup_time_s
+    assert len(a.metrics.batches) == len(b.metrics.batches)
+    for ba, bb in zip(a.metrics.batches, b.metrics.batches):
+        assert ba.time_s == bb.time_s
+        assert ba.waiting_riders == bb.waiting_riders
+        assert ba.available_drivers == bb.available_drivers
+        assert ba.assignments == bb.assignments
+    assert len(a.recorder.samples) == len(b.recorder.samples)
+    for sa, sb in zip(a.recorder.samples, b.recorder.samples):
+        assert sa == sb
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_engine_matches_reference(policy_name):
+    for seed in (11, 23):
+        reference = run(ReferenceSimulation, policy_name, seed)
+        optimised = run(Simulation, policy_name, seed)
+        assert_identical(reference, optimised)
+
+
+def test_tick_skipping_changes_nothing():
+    """skip_empty_ticks on/off must be observationally identical."""
+    no_skip = SimConfig(
+        batch_interval_s=5.0, tc_seconds=900.0, horizon_s=7200.0,
+        pickup_speed_mps=9.0, skip_empty_ticks=False,
+    )
+    for policy_name in ("IRG", "NEAR"):
+        skipping = run(Simulation, policy_name, 31)
+        plain = run(Simulation, policy_name, 31, config=no_skip)
+        assert_identical(skipping, plain)

@@ -1,0 +1,167 @@
+"""Unit and randomized tests of the array-backed fleet state."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.geo import GeoPoint
+from repro.sim.entities import Driver, DriverStatus
+from repro.sim.fleet import DriverView, FleetState
+
+POS = GeoPoint(0.01, 0.01)
+
+
+def make_driver(i, join=0.0, leave=float("inf"), region=0):
+    return Driver(
+        i, POS.shifted(dlon=0.001 * i), region,
+        join_time_s=join, leave_time_s=leave, available_since_s=join,
+    )
+
+
+class TestDriverView:
+    def test_behaves_like_list(self):
+        drivers = [make_driver(i) for i in range(5)]
+        view = DriverView(drivers, np.array([3, 0, 4]))
+        assert len(view) == 3
+        assert view[0] is drivers[3]
+        assert view[-1] is drivers[4]
+        assert [d.driver_id for d in view] == [3, 0, 4]
+        assert view[1:] == [drivers[0], drivers[4]]
+
+    def test_empty(self):
+        view = DriverView([], np.array([], dtype=np.int64))
+        assert len(view) == 0
+        assert list(view) == []
+
+
+class TestFleetStateBasics:
+    def test_initial_activation_and_counts(self):
+        drivers = [
+            make_driver(0, region=0),
+            make_driver(1, join=100.0, region=1),
+            make_driver(2, region=1),
+        ]
+        fleet = FleetState(drivers, num_regions=3, tc_seconds=600.0)
+        fleet.advance(0.0)
+        assert fleet.active_total == 2
+        assert list(fleet.avail_count) == [1, 1, 0]
+        assert list(fleet.available_indices()) == [0, 2]
+        fleet.advance(100.0)
+        assert fleet.active_total == 3
+        assert list(fleet.avail_count) == [1, 2, 0]
+
+    def test_shift_end_deactivates_idle_driver(self):
+        drivers = [make_driver(0, leave=50.0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=600.0)
+        fleet.advance(0.0)
+        assert fleet.active_total == 1
+        fleet.advance(50.0)
+        assert fleet.active_total == 0
+
+    def test_assign_release_cycle_updates_counters(self):
+        drivers = [make_driver(0, region=0)]
+        fleet = FleetState(drivers, num_regions=2, tc_seconds=600.0)
+        fleet.advance(0.0)
+        fleet.assign(0, now=0.0, busy_until=90.0, dest_region=1, lon=0.02, lat=0.02)
+        assert fleet.active_total == 0
+        # Release is inside the scheduling window: counted as upcoming supply.
+        assert list(fleet.rejoin_counts) == [0, 1]
+        fleet.advance(90.0)
+        fleet.release(0, 90.0)
+        assert fleet.active_total == 1
+        assert list(fleet.avail_count) == [0, 1]
+        assert list(fleet.rejoin_counts) == [0, 0]
+        assert fleet.region[0] == 1
+
+    def test_rejoin_beyond_window_enters_later(self):
+        drivers = [make_driver(0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=100.0)
+        fleet.advance(0.0)
+        fleet.assign(0, now=0.0, busy_until=250.0, dest_region=0, lon=0.0, lat=0.0)
+        assert fleet.rejoin_counts[0] == 0  # 250 > 0 + 100
+        fleet.advance(100.0)
+        assert fleet.rejoin_counts[0] == 0  # 250 > 200
+        fleet.advance(150.0)
+        assert fleet.rejoin_counts[0] == 1  # 250 <= 250
+
+    def test_off_shift_rejoin_not_counted(self):
+        drivers = [make_driver(0, leave=100.0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=600.0)
+        fleet.advance(0.0)
+        # Delivery completes after shift end: the driver exits, no supply.
+        fleet.assign(0, now=0.0, busy_until=150.0, dest_region=0, lon=0.0, lat=0.0)
+        assert fleet.rejoin_counts[0] == 0
+        fleet.advance(150.0)
+        fleet.release(0, 150.0)
+        assert fleet.active_total == 0  # past leave: never reactivates
+
+    def test_initially_busy_driver_is_inert(self):
+        busy = make_driver(0)
+        busy.status = DriverStatus.BUSY
+        busy.busy_until_s = 50.0
+        busy.destination_region = 0
+        fleet = FleetState([busy], num_regions=1, tc_seconds=600.0)
+        fleet.advance(0.0)
+        # Matches the reference engine: no release event exists for drivers
+        # that start busy, so they contribute neither supply nor rejoins.
+        assert fleet.active_total == 0
+        assert fleet.rejoin_counts[0] == 0
+
+    def test_invalid_tc_rejected(self):
+        with pytest.raises(ValueError):
+            FleetState([], num_regions=1, tc_seconds=0.0)
+
+
+class TestFleetStateRandomized:
+    def test_counters_match_brute_force(self):
+        """Drive random event sequences; counters must equal recomputation."""
+        rng = np.random.default_rng(7)
+        tc = 120.0
+        num_regions = 4
+        for trial in range(20):
+            n = int(rng.integers(1, 12))
+            drivers = []
+            for i in range(n):
+                join = float(rng.uniform(0, 200)) if rng.random() < 0.5 else 0.0
+                leave = (
+                    join + float(rng.uniform(100, 800))
+                    if rng.random() < 0.5
+                    else float("inf")
+                )
+                drivers.append(
+                    make_driver(i, join=join, leave=leave,
+                                region=int(rng.integers(num_regions)))
+                )
+            fleet = FleetState(drivers, num_regions, tc)
+            release_heap = []
+            busy = {}  # pos -> (busy_until, dest)
+            for tick in range(60):
+                now = tick * 10.0
+                fleet.advance(now)
+                while release_heap and release_heap[0][0] <= now:
+                    _, pos = heapq.heappop(release_heap)
+                    drivers[pos].release(now)
+                    fleet.release(pos, now)
+                    busy.pop(pos)
+                for pos in fleet.available_indices().tolist():
+                    if rng.random() < 0.3:
+                        until = now + float(rng.uniform(5, 400))
+                        dest = int(rng.integers(num_regions))
+                        centre = POS.shifted(dlon=0.001 * dest)
+                        drivers[pos].status = DriverStatus.BUSY
+                        drivers[pos].busy_until_s = until
+                        drivers[pos].destination_region = dest
+                        drivers[pos].position = centre
+                        fleet.assign(pos, now, until, dest, centre.lon, centre.lat)
+                        heapq.heappush(release_heap, (until, pos))
+                        busy[pos] = (until, dest)
+
+                fleet.check_consistency(drivers, now)
+                expected = np.zeros(num_regions, dtype=np.int64)
+                for pos, (until, dest) in busy.items():
+                    if now < until <= now + tc and until < drivers[pos].leave_time_s:
+                        expected[dest] += 1
+                assert np.array_equal(fleet.rejoin_counts, expected), (
+                    trial, tick
+                )
