@@ -12,16 +12,16 @@ Times one mid-size simulated day — 40K orders against 1,000 drivers on an
   broadcast candidate pipeline.
 
 Both runs must produce bit-identical economics (same served orders, same
-revenue); the wall-clock ratio is the engine speedup.  Results are written
-to ``BENCH_engine.json`` at the repo root so future PRs can track the
-performance trajectory.
+revenue); the wall-clock ratio is the engine speedup.  Each run *appends*
+one ``pr``-labelled record to ``BENCH_engine.json`` at the repo root, so
+the performance trajectory accumulates across PRs.
 """
 
 import json
 import time
-from pathlib import Path
 
 from repro.dispatch.base import set_candidate_backend
+from repro.experiments.reporting import append_bench_record
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     _build_riders_and_drivers,
@@ -100,8 +100,7 @@ def test_engine_throughput():
         "speedup": round(speedup, 2),
         "metrics_bit_identical": identical,
     }
-    out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = append_bench_record("BENCH_engine.json", payload)
     print(f"\n[BENCH_engine] -> {out}\n{json.dumps(payload, indent=2)}")
 
     # Hard requirements: the refactor must not change the economics, and the

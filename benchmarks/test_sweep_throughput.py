@@ -1,0 +1,99 @@
+"""Sweep throughput benchmark: serial vs sharded parameter sweeps.
+
+Times one 4-point × 2-policy driver sweep (the shape of the Figure 7
+acceptance scenario) through ``sweep_parameter`` twice — ``jobs=1`` and
+``jobs=4`` — with cold in-memory caches and the disk cache pointed at a
+scratch directory, so both modes really simulate all 8 runs.  Economics
+must be bit-identical; the wall-clock ratio is the sharding speedup, which
+approaches the core count on real hosts (the workers share the pre-built
+world copy-on-write under ``fork``).
+
+Each run appends one ``pr``-labelled record to ``BENCH_sweep.json`` at the
+repo root, alongside ``BENCH_engine.json``'s engine trajectory.  The
+speedup floor is asserted only when the host actually has ≥4 usable cores
+— on smaller CI boxes the record still documents the measured ratio.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import append_bench_record
+from repro.experiments.runner import clear_caches
+from repro.experiments.sweeps import sweep_parameter
+
+#: Half-day mid-size city: large enough that simulation dominates the pool
+#: and world-build overheads, small enough for CI.
+SCENARIO = ExperimentConfig(
+    daily_orders=12_000.0,
+    num_drivers=64,
+    horizon_s=43_200.0,
+)
+
+POLICIES = ("NEAR", "IRG-R")
+JOBS = 4
+
+
+def _timed_sweep(jobs: int):
+    clear_caches()
+    values = SCENARIO.driver_sweep()[:4]
+    start = time.perf_counter()
+    result = sweep_parameter(
+        SCENARIO,
+        "num_drivers",
+        values,
+        policies=POLICIES,
+        jobs=jobs,
+        use_disk_cache=False,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_sweep_throughput():
+    """Time serial vs sharded sweeps; record the trajectory; verify parity."""
+    cores = len(os.sched_getaffinity(0))
+    with tempfile.TemporaryDirectory() as scratch:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = scratch
+        try:
+            serial, serial_s = _timed_sweep(jobs=1)
+            parallel, parallel_s = _timed_sweep(jobs=JOBS)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+
+    identical = (
+        parallel.values == serial.values
+        and parallel.revenue == serial.revenue
+        and parallel.served == serial.served
+    )
+    speedup = serial_s / parallel_s
+    payload = {
+        "scenario": {
+            "daily_orders": SCENARIO.daily_orders,
+            "num_drivers": SCENARIO.num_drivers,
+            "grid": f"{SCENARIO.grid_rows}x{SCENARIO.grid_cols}",
+            "horizon_s": SCENARIO.horizon_s,
+            "sweep": "num_drivers",
+            "points": 4,
+            "policies": list(POLICIES),
+        },
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "jobs": JOBS,
+        "cores": cores,
+        "speedup": round(speedup, 2),
+        "economics_bit_identical": identical,
+    }
+    out = append_bench_record("BENCH_sweep.json", payload)
+    print(f"\n[BENCH_sweep] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    assert identical, "parallel sweep diverged from the serial sweep"
+    if cores >= JOBS:
+        assert speedup >= 2.5, (
+            f"jobs={JOBS} sweep only {speedup:.2f}x faster on {cores} cores"
+        )

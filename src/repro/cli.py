@@ -15,6 +15,14 @@ Subcommands
     parameters can be overridden (``--drivers``, ``--tau``, ``--delta``,
     ``--tc``).
 
+``repro sweep --parameter num_drivers --jobs 4 [--city sprawl ...]``
+    Run a parameter sweep, sharded over a process pool (``--jobs``) and
+    optionally across several catalogued city geometries (repeat
+    ``--city``, or ``--city all``).  Results are bit-identical to the
+    serial path; completed runs land in the cross-process disk cache
+    (``$REPRO_CACHE_DIR``, default ``~/.cache/repro/runs``) so re-sweeps
+    and overlapping sweeps pay once.
+
 ``repro queue --lam 2.0 --mu 1.0 [--beta 0.01] [--k 10]``
     Evaluate the double-sided queueing model at one operating point:
     stationary probabilities and the expected idle time (rates per minute,
@@ -28,6 +36,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.queueing import RegionQueue
+from repro.data.scenarios import scenario_names
 from repro.experiments.artifacts import artifact_names, build_artifact, get_artifact
 from repro.experiments.config import (
     ExperimentConfig,
@@ -72,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render figure artefacts as SVG charts under results/",
     )
+    art.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard the artefact's simulations over N worker processes "
+        "(sets $REPRO_JOBS for the build)",
+    )
 
     simulate = sub.add_parser("simulate", help="run one policy end to end")
     simulate.add_argument(
@@ -97,6 +113,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="demand model for -P variants (ha / lr / gbrt / deepst)",
     )
     simulate.add_argument("--seed", type=int, default=None, help="workload seed")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (sharded, multi-city) parameter sweep"
+    )
+    sweep.add_argument(
+        "--parameter",
+        default="num_drivers",
+        help="ExperimentConfig field to vary (num_drivers, batch_interval_s, "
+        "tc_minutes, base_waiting_s, ...)",
+    )
+    sweep.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated sweep values; defaults to the parameter's "
+        "Table 2 preset row",
+    )
+    sweep.add_argument(
+        "--policies",
+        default="NEAR,IRG-R",
+        help="comma-separated policy names (default NEAR,IRG-R)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default $REPRO_JOBS or 1 = serial)",
+    )
+    sweep.add_argument(
+        "--city",
+        action="append",
+        default=None,
+        help=f"city scenario, repeatable ({', '.join(scenario_names())}); "
+        "'all' sweeps the whole catalogue",
+    )
+    sweep.add_argument("--profile", default=None, help="tiny / small / paper")
+    sweep.add_argument(
+        "--predictor",
+        default="deepst",
+        help="demand model for -P variants (ha / lr / gbrt / deepst)",
+    )
+    sweep.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the cross-process run cache (always simulate)",
+    )
 
     queue = sub.add_parser("queue", help="evaluate the region queueing model")
     queue.add_argument(
@@ -125,6 +186,8 @@ def _cmd_list() -> int:
         print(f"  {name:<10s} [{artifact.kind}]  {artifact.title}")
     print("\nPolicies (repro simulate --policy <name>):")
     print("  " + ", ".join(available_policies()))
+    print("\nCities (repro sweep --city <name>):")
+    print("  " + ", ".join(scenario_names()))
     print("\nProfiles: tiny, small, paper (or set REPRO_SCALE)")
     return 0
 
@@ -143,6 +206,12 @@ def _cmd_artifact(args: argparse.Namespace) -> int:
         return 2
     sim_config = profile_config(args.profile)
     prediction_config = PredictionExperimentConfig()
+    if args.jobs is not None:
+        # The artefact builders resolve $REPRO_JOBS deep in the sweep layer;
+        # exporting here shards every sweep the build performs.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
     for name in names:
         content = build_artifact(
             name, sim_config=sim_config, prediction_config=prediction_config
@@ -228,6 +297,110 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Table 2 preset rows used when ``repro sweep`` gets no ``--values``.
+_SWEEP_PRESETS = {
+    "num_drivers": lambda cfg: cfg.driver_sweep(),
+    "batch_interval_s": lambda cfg: cfg.batch_interval_sweep(),
+    "tc_minutes": lambda cfg: cfg.tc_sweep(),
+    "base_waiting_s": lambda cfg: cfg.waiting_sweep(),
+}
+
+
+def _parse_sweep_values(raw: str) -> list:
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(int(token))
+        except ValueError:
+            values.append(float(token))
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.sweeps import sweep_parameter
+    from repro.utils.textplot import render_series
+
+    config = profile_config(args.profile)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    for policy in policies:
+        base = policy[:-3] if policy.endswith("+RB") else policy
+        if base not in available_policies():
+            print(
+                f"unknown policy {policy!r}; expected one of "
+                f"{', '.join(available_policies())} (optionally with +RB)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.values is not None:
+        try:
+            values = _parse_sweep_values(args.values)
+        except ValueError:
+            print(f"could not parse --values {args.values!r}", file=sys.stderr)
+            return 2
+    elif args.parameter in _SWEEP_PRESETS:
+        values = _SWEEP_PRESETS[args.parameter](config)
+    else:
+        print(
+            f"--values is required for parameter {args.parameter!r} "
+            f"(presets exist for {', '.join(_SWEEP_PRESETS)})",
+            file=sys.stderr,
+        )
+        return 2
+    cities = args.city or [config.city]
+    if "all" in cities:
+        cities = list(scenario_names())
+
+    for city in cities:
+        try:
+            city_config = config.replace(city=city)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        try:
+            result = sweep_parameter(
+                city_config,
+                args.parameter,
+                values,
+                policies=policies,
+                predictor_name=args.predictor,
+                jobs=args.jobs,
+                # The CLI always engages the cross-process cache (even for
+                # --jobs 1) so re-sweeps and overlapping sweeps pay once;
+                # library callers keep legacy serial semantics by default.
+                use_disk_cache=not args.no_disk_cache,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        wall_s = time.perf_counter() - start
+        print(
+            render_series(
+                args.parameter,
+                result.values,
+                result.revenue,
+                title=f"[{city}] total revenue vs {args.parameter}",
+            )
+        )
+        print()
+        print(
+            render_series(
+                args.parameter,
+                result.values,
+                result.served,
+                title=f"[{city}] served orders vs {args.parameter}",
+            )
+        )
+        from repro.experiments.parallel import resolve_jobs
+
+        print(f"\n[{city}] swept {len(values)} x {len(policies)} runs "
+              f"in {wall_s:.2f}s (jobs={resolve_jobs(args.jobs)})\n")
+    return 0
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     if args.lam <= 0:
         print("lam must be positive", file=sys.stderr)
@@ -260,6 +433,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_artifact(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "queue":
         return _cmd_queue(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

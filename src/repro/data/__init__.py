@@ -11,6 +11,7 @@ the whole approach (Example 1).
 
 from repro.data.schema import TripRecord
 from repro.data.nyc_synthetic import CityConfig, DayContext, NycTraceGenerator
+from repro.data.scenarios import CityScenario, get_scenario, scenario_names
 from repro.data.history import HistoryBuilder
 from repro.data.workload import (
     WorkloadConfig,
@@ -23,6 +24,9 @@ __all__ = [
     "CityConfig",
     "DayContext",
     "NycTraceGenerator",
+    "CityScenario",
+    "get_scenario",
+    "scenario_names",
     "HistoryBuilder",
     "WorkloadConfig",
     "riders_from_trips",

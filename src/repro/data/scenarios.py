@@ -1,0 +1,166 @@
+"""City-scenario catalogue: named geometries for multi-city sweeps.
+
+The paper evaluates one NYC-like geometry; the related queueing-network
+studies (Xu & Yan 2025; Zhang et al. 2018) stress that dispatching results
+depend strongly on the city's spatial structure.  Each :class:`CityScenario`
+here is a reusable recipe that turns the workload knobs of
+:class:`~repro.experiments.config.ExperimentConfig` (order volume, grid
+shape) into a full :class:`~repro.data.nyc_synthetic.CityConfig`, so one
+``repro sweep --city`` command can run the same experiment across
+heterogeneous geometries:
+
+- ``nyc`` — the default stylised NYC of the paper's study area (alias of
+  the generator's built-in hotspot mix);
+- ``dense-core`` — a monocentric city: one dominant business core, a tight
+  residential ring, short trips, strong commute directionality;
+- ``polycentric`` — several comparable business centres spread across the
+  map with residential belts between them;
+- ``sprawl`` — weak, dispersed demand: many low-weight residential blobs
+  over a high uniform floor, long trips, weak commute signal.
+
+All scenarios share the NYC bounding box (the grid geometry and the
+``space_scale`` shrinking substitution of DESIGN.md §3 apply unchanged);
+what varies is where intensity mass sits and how trips move it around.
+
+Adding a city
+-------------
+Append a :class:`CityScenario` to :data:`SCENARIOS` with a new name, a
+hotspot tuple (coordinates inside ``NYC_BBOX``), and the demand-shape
+knobs.  ``ExperimentConfig(city="<name>")`` then routes every run — serial
+or parallel — through the new geometry, and the run/world caches key on the
+name automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.nyc_synthetic import CityConfig, Hotspot, _default_hotspots
+from repro.geo.bbox import NYC_BBOX
+
+__all__ = ["CityScenario", "SCENARIOS", "scenario_names", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class CityScenario:
+    """One named city geometry (hotspot layout + demand-shape knobs)."""
+
+    name: str
+    description: str
+    hotspots: tuple[Hotspot, ...]
+    uniform_floor: float = 0.08
+    gravity_scale_m: float = 3_500.0
+    commute_strength: float = 0.55
+
+    def city_config(
+        self, daily_orders: float, rows: int, cols: int
+    ) -> CityConfig:
+        """Materialise this scenario at a workload scale."""
+        return CityConfig(
+            daily_orders=daily_orders,
+            rows=rows,
+            cols=cols,
+            hotspots=self.hotspots,
+            uniform_floor=self.uniform_floor,
+            gravity_scale_m=self.gravity_scale_m,
+            commute_strength=self.commute_strength,
+        )
+
+
+def _span(frac_lon: float, frac_lat: float) -> tuple[float, float]:
+    """(lon, lat) at fractional positions of the NYC bounding box."""
+    lon = NYC_BBOX.min_lon + frac_lon * (NYC_BBOX.max_lon - NYC_BBOX.min_lon)
+    lat = NYC_BBOX.min_lat + frac_lat * (NYC_BBOX.max_lat - NYC_BBOX.min_lat)
+    return lon, lat
+
+
+def _dense_core_hotspots() -> tuple[Hotspot, ...]:
+    core_lon, core_lat = _span(0.45, 0.55)
+    ring = []
+    for frac in ((0.30, 0.70), (0.62, 0.72), (0.30, 0.38), (0.62, 0.38)):
+        lon, lat = _span(*frac)
+        ring.append(Hotspot(lon, lat, 0.020, 1.1, "residential"))
+    return (
+        Hotspot(core_lon, core_lat, 0.016, 5.0, "business"),
+        *ring,
+    )
+
+
+def _polycentric_hotspots() -> tuple[Hotspot, ...]:
+    centres = []
+    for frac in ((0.22, 0.75), (0.75, 0.78), (0.28, 0.25), (0.78, 0.28)):
+        lon, lat = _span(*frac)
+        centres.append(Hotspot(lon, lat, 0.018, 2.0, "business"))
+    belts = []
+    for frac in ((0.50, 0.50), (0.50, 0.85), (0.50, 0.15)):
+        lon, lat = _span(*frac)
+        belts.append(Hotspot(lon, lat, 0.030, 1.2, "residential"))
+    return (*centres, *belts)
+
+
+def _sprawl_hotspots() -> tuple[Hotspot, ...]:
+    blobs = []
+    fracs = (
+        (0.15, 0.20), (0.40, 0.30), (0.70, 0.18), (0.88, 0.45),
+        (0.60, 0.55), (0.25, 0.60), (0.12, 0.85), (0.45, 0.80),
+        (0.80, 0.82),
+    )
+    for i, frac in enumerate(fracs):
+        lon, lat = _span(*frac)
+        kind = "business" if i % 3 == 0 else "residential"
+        blobs.append(Hotspot(lon, lat, 0.040, 0.6, kind))
+    return tuple(blobs)
+
+
+#: The catalogue; ``nyc`` reproduces the generator's built-in defaults
+#: exactly, so existing single-city results are byte-for-byte unchanged.
+SCENARIOS: dict[str, CityScenario] = {
+    s.name: s
+    for s in (
+        CityScenario(
+            name="nyc",
+            description="stylised NYC of the paper (default hotspot mix)",
+            hotspots=_default_hotspots(),
+        ),
+        CityScenario(
+            name="dense-core",
+            description="monocentric: one dominant core, tight ring, short trips",
+            hotspots=_dense_core_hotspots(),
+            uniform_floor=0.04,
+            gravity_scale_m=2_200.0,
+            commute_strength=0.75,
+        ),
+        CityScenario(
+            name="polycentric",
+            description="several comparable centres with residential belts",
+            hotspots=_polycentric_hotspots(),
+            uniform_floor=0.10,
+            gravity_scale_m=4_500.0,
+            commute_strength=0.50,
+        ),
+        CityScenario(
+            name="sprawl",
+            description="dispersed low-density demand, long trips, weak commute",
+            hotspots=_sprawl_hotspots(),
+            uniform_floor=0.35,
+            gravity_scale_m=6_500.0,
+            commute_strength=0.30,
+        ),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All catalogued city names."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> CityScenario:
+    """Look up one scenario; raises ``ValueError`` with the known names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown city scenario {name!r}; expected one of "
+            f"{', '.join(SCENARIOS)}"
+        ) from None

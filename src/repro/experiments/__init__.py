@@ -11,6 +11,11 @@ from repro.experiments.config import (
     PredictionExperimentConfig,
     profile_config,
 )
+from repro.experiments.parallel import (
+    RunRequest,
+    clear_disk_cache,
+    run_policies_parallel,
+)
 from repro.experiments.runner import (
     RunSummary,
     available_policies,
@@ -27,6 +32,9 @@ __all__ = [
     "run_policy",
     "available_policies",
     "clear_caches",
+    "RunRequest",
+    "run_policies_parallel",
+    "clear_disk_cache",
     "SweepResult",
     "sweep_parameter",
 ]

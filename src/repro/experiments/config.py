@@ -37,6 +37,11 @@ class ExperimentConfig:
     seed: int = 7
     test_day_index: int = 28  # a Monday, mirroring the paper's weekday test day
 
+    #: City geometry, by catalogue name (see :mod:`repro.data.scenarios`):
+    #: ``nyc`` (the paper's study area, default), ``dense-core``,
+    #: ``polycentric``, or ``sprawl``.
+    city: str = "nyc"
+
     #: Linear map shrink factor (speed and trip-length scale stay
     #: physical).  Reachability within a pickup deadline depends on drivers
     #: per km²; 0.2 gives 120 drivers over a 24 km² study area the same
@@ -65,6 +70,11 @@ class ExperimentConfig:
     horizon_s: float = 86_400.0
     demand_cache_quantum_s: float = 15.0
 
+    #: Collect per-assignment (predicted, realized) idle samples (Table 3 /
+    #: Figure 6 need them; sweeps don't — disabling slims every cached and
+    #: pickled :class:`~repro.experiments.runner.RunSummary`).
+    record_idle_samples: bool = True
+
     def __post_init__(self) -> None:
         if self.daily_orders <= 0:
             raise ValueError("daily_orders must be positive")
@@ -74,6 +84,9 @@ class ExperimentConfig:
             raise ValueError("tc_minutes must be positive")
         if not 0 < self.space_scale <= 1:
             raise ValueError("space_scale must be in (0, 1]")
+        from repro.data.scenarios import get_scenario
+
+        get_scenario(self.city)  # validate the catalogue name
 
     @property
     def tc_seconds(self) -> float:

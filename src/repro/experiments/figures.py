@@ -83,31 +83,46 @@ def figure6_idle_time_maps(
 # -- Figures 7–10: the four parameter sweeps ------------------------------------------
 
 def figure7_vary_drivers(
-    config: ExperimentConfig, include_upper: bool = True
+    config: ExperimentConfig,
+    include_upper: bool = True,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Revenue and batch time vs number of drivers (Figure 7)."""
     policies = list(PAPER_FIGURE_POLICIES) + (["UPPER"] if include_upper else [])
-    return sweep_parameter(config, "num_drivers", config.driver_sweep(), policies)
+    return sweep_parameter(
+        config, "num_drivers", config.driver_sweep(), policies, jobs=jobs
+    )
 
 
-def figure8_vary_batch_interval(config: ExperimentConfig) -> SweepResult:
+def figure8_vary_batch_interval(
+    config: ExperimentConfig, jobs: int | None = None
+) -> SweepResult:
     """Revenue and batch time vs batch interval Delta (Figure 8)."""
     return sweep_parameter(
-        config, "batch_interval_s", config.batch_interval_sweep(), PAPER_FIGURE_POLICIES
+        config,
+        "batch_interval_s",
+        config.batch_interval_sweep(),
+        PAPER_FIGURE_POLICIES,
+        jobs=jobs,
     )
 
 
-def figure9_vary_time_window(config: ExperimentConfig) -> SweepResult:
+def figure9_vary_time_window(
+    config: ExperimentConfig, jobs: int | None = None
+) -> SweepResult:
     """Revenue and batch time vs scheduling window t_c (Figure 9)."""
     return sweep_parameter(
-        config, "tc_minutes", config.tc_sweep(), PAPER_FIGURE_POLICIES
+        config, "tc_minutes", config.tc_sweep(), PAPER_FIGURE_POLICIES, jobs=jobs
     )
 
 
-def figure10_vary_waiting_time(config: ExperimentConfig) -> SweepResult:
+def figure10_vary_waiting_time(
+    config: ExperimentConfig, jobs: int | None = None
+) -> SweepResult:
     """Revenue and batch time vs base waiting time tau (Figure 10)."""
     return sweep_parameter(
-        config, "base_waiting_s", config.waiting_sweep(), PAPER_FIGURE_POLICIES
+        config, "base_waiting_s", config.waiting_sweep(), PAPER_FIGURE_POLICIES,
+        jobs=jobs,
     )
 
 
@@ -172,22 +187,28 @@ def figure12_driver_histograms(config: PredictionExperimentConfig):
 
 # -- Figure 13: total served orders -----------------------------------------------------
 
-def figure13_served_orders(config: ExperimentConfig) -> dict[str, SweepResult]:
+def figure13_served_orders(
+    config: ExperimentConfig, jobs: int | None = None
+) -> dict[str, SweepResult]:
     """Served-order counts for RAND/NEAR/POLAR/SHORT over all four sweeps."""
     return {
         "num_drivers": sweep_parameter(
-            config, "num_drivers", config.driver_sweep(), PAPER_FIGURE13_POLICIES
+            config, "num_drivers", config.driver_sweep(),
+            PAPER_FIGURE13_POLICIES, jobs=jobs,
         ),
         "tc_minutes": sweep_parameter(
-            config, "tc_minutes", config.tc_sweep(), PAPER_FIGURE13_POLICIES
+            config, "tc_minutes", config.tc_sweep(),
+            PAPER_FIGURE13_POLICIES, jobs=jobs,
         ),
         "batch_interval_s": sweep_parameter(
             config,
             "batch_interval_s",
             config.batch_interval_sweep(),
             PAPER_FIGURE13_POLICIES,
+            jobs=jobs,
         ),
         "base_waiting_s": sweep_parameter(
-            config, "base_waiting_s", config.waiting_sweep(), PAPER_FIGURE13_POLICIES
+            config, "base_waiting_s", config.waiting_sweep(),
+            PAPER_FIGURE13_POLICIES, jobs=jobs,
         ),
     }

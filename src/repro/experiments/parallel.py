@@ -1,0 +1,269 @@
+"""Sharded parallel execution of experiment runs.
+
+Every sweep point is an independent :class:`~repro.sim.engine.Simulation`,
+so the paper's headline artefacts (Figures 7–10/13, Tables 3–4) are
+embarrassingly parallel.  This module fans ``(config, policy, predictor)``
+work units out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+- **Workers** call :func:`~repro.experiments.runner.run_policy` and ship the
+  frozen, picklable :class:`~repro.experiments.runner.RunSummary` back over
+  the pipe.  Each worker process rebuilds its memoised world on first use;
+  on ``fork`` platforms the parent pre-builds the distinct worlds (and any
+  "-P" prediction matrices) first, so children inherit them copy-on-write
+  and pay nothing.
+- **Deduplication** happens up front on the normalised
+  :func:`~repro.experiments.runner.run_cache_key`, so overlapping sweeps
+  (e.g. the shared default point of Figures 7–10) and predictor sweeps over
+  oracle policies simulate once.
+- **A disk cache** (JSON, one file per run, atomic writes) makes results
+  visible *across* processes and invocations: a re-sweep, or a second sweep
+  sharing points with an earlier one, loads summaries instead of
+  simulating.  The location is ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro/runs``); entries key on the full experiment
+  configuration plus a format version, so any parameter change — including
+  the city scenario — misses cleanly.  Delete the directory (or call
+  :func:`clear_disk_cache`) after changing simulation semantics.
+
+Determinism: runs are seeded and single-threaded, so a parallel sweep is
+bit-identical to the serial one — asserted by
+``tests/experiments/test_parallel.py`` and the sweep-throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    RunSummary,
+    _run_cache,
+    build_world,
+    predicted_slot_matrix,
+    run_cache_key,
+    run_policy,
+    uses_prediction,
+    world_cache_key,
+)
+from repro.sim.metrics import IdleSample
+
+__all__ = [
+    "RunRequest",
+    "resolve_jobs",
+    "run_cache_dir",
+    "run_policies_parallel",
+    "clear_disk_cache",
+]
+
+#: Disk-cache format version; bump whenever :class:`RunSummary` or the
+#: simulation semantics change so stale entries miss instead of lying.
+_CACHE_VERSION = 1
+
+
+class RunRequest(NamedTuple):
+    """One work unit: a full simulation of ``policy`` under ``config``."""
+
+    config: ExperimentConfig
+    policy: str
+    predictor: str = "deepst"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker-count resolution: explicit value, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return max(1, int(jobs))
+
+
+# -- disk cache ---------------------------------------------------------------------
+
+def run_cache_dir() -> Path:
+    """Where cross-process run summaries live (``$REPRO_CACHE_DIR`` override)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "runs"
+
+
+def clear_disk_cache() -> int:
+    """Delete every cached run summary; returns how many were removed."""
+    directory = run_cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for entry in directory.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent deletion
+                pass
+    return removed
+
+
+def _canonical(value):
+    """Numeric-type-insensitive form: configs equal in memory (16 == 16.0)
+    must hash to the same disk key."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _disk_key(request: RunRequest) -> str:
+    """Stable content hash of one work unit (predictor-normalised)."""
+    payload = {
+        "version": _CACHE_VERSION,
+        "config": _canonical(dataclasses.asdict(request.config)),
+        "policy": request.policy,
+        "predictor": request.predictor if uses_prediction(request.policy) else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _summary_to_payload(summary: RunSummary) -> dict:
+    payload = dataclasses.asdict(summary)
+    payload["idle_samples"] = [
+        dataclasses.asdict(s) for s in summary.idle_samples
+    ]
+    return payload
+
+
+def _summary_from_payload(payload: dict) -> RunSummary:
+    samples = tuple(IdleSample(**s) for s in payload.pop("idle_samples"))
+    return RunSummary(idle_samples=samples, **payload)
+
+
+def _load_disk(request: RunRequest) -> RunSummary | None:
+    path = run_cache_dir() / f"{_disk_key(request)}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        return _summary_from_payload(payload)
+    except (KeyError, TypeError):  # stale/foreign file: treat as a miss
+        return None
+
+
+def _store_disk(request: RunRequest, summary: RunSummary) -> None:
+    """Best-effort atomic write (temp file + rename) of one summary."""
+    directory = run_cache_dir()
+    tmp_name = None
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(_summary_to_payload(summary), handle)
+        os.replace(tmp_name, directory / f"{_disk_key(request)}.json")
+        tmp_name = None
+    except OSError:  # pragma: no cover - unwritable cache is non-fatal
+        pass
+    finally:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover
+                pass
+
+
+# -- parallel execution -------------------------------------------------------------
+
+def _execute_request(request: RunRequest) -> RunSummary:
+    """Worker entry point: one full simulation (memoised per process)."""
+    return run_policy(request.config, request.policy, request.predictor)
+
+
+def _warm_shared_state(requests: Sequence[RunRequest]) -> None:
+    """Pre-build worlds/predictions the forked workers will inherit.
+
+    Only worthwhile when the pool forks (children share the parent's
+    memoised caches copy-on-write); on spawn platforms each worker
+    rebuilds lazily instead.
+    """
+    if multiprocessing.get_start_method() != "fork":
+        return
+    seen_worlds: set[tuple] = set()
+    seen_predictions: set[tuple] = set()
+    for request in requests:
+        wkey = world_cache_key(request.config)
+        if wkey not in seen_worlds:
+            seen_worlds.add(wkey)
+            build_world(request.config)
+        if uses_prediction(request.policy):
+            pkey = (wkey, request.predictor)
+            if pkey not in seen_predictions:
+                seen_predictions.add(pkey)
+                predicted_slot_matrix(request.config, request.predictor)
+
+
+def run_policies_parallel(
+    requests: Sequence[RunRequest | tuple],
+    jobs: int | None = None,
+    use_disk_cache: bool | None = None,
+) -> list[RunSummary]:
+    """Run every work unit, fanning misses out over a process pool.
+
+    Returns one :class:`RunSummary` per request, in request order.
+    Duplicate units (after predictor normalisation) are simulated once.
+    ``use_disk_cache=None`` resolves to ``$REPRO_DISK_CACHE`` if set
+    (``0``/``1``), else enables the disk cache exactly when the run is
+    parallel (``jobs > 1``) — the serial path then behaves precisely like
+    a plain :func:`~repro.experiments.runner.run_policy` loop.
+    """
+    requests = [RunRequest(*r) for r in requests]
+    jobs = resolve_jobs(jobs)
+    if use_disk_cache is None:
+        env = os.environ.get("REPRO_DISK_CACHE")
+        use_disk_cache = jobs > 1 if env is None else env not in ("0", "false")
+
+    results: dict[tuple, RunSummary] = {}
+    misses: list[RunRequest] = []
+    seen: set[tuple] = set()
+    for request in requests:
+        key = run_cache_key(request.config, request.policy, request.predictor)
+        if key in seen:
+            continue
+        seen.add(key)
+        cached = _run_cache.get(key)
+        if cached is None and use_disk_cache:
+            cached = _load_disk(request)
+            if cached is not None:
+                _run_cache[key] = cached
+        if cached is not None:
+            results[key] = cached
+        else:
+            misses.append(request)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            computed = [_execute_request(request) for request in misses]
+        else:
+            _warm_shared_state(misses)
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(misses))
+            ) as pool:
+                computed = list(pool.map(_execute_request, misses))
+        for request, summary in zip(misses, computed):
+            key = run_cache_key(request.config, request.policy, request.predictor)
+            results[key] = summary
+            _run_cache[key] = summary
+            if use_disk_cache:
+                _store_disk(request, summary)
+
+    return [
+        results[run_cache_key(r.config, r.policy, r.predictor)]
+        for r in requests
+    ]

@@ -1,15 +1,21 @@
-"""Persist rendered tables/figures under ``results/``.
+"""Persist rendered tables/figures under ``results/`` and benchmark history.
 
 Every benchmark writes its artefact here so ``pytest benchmarks/`` leaves a
 full, inspectable record of the reproduced evaluation (EXPERIMENTS.md links
-to these files).
+to these files).  Performance benchmarks additionally append one labelled
+record per run to the repo-root ``BENCH_*.json`` histories via
+:func:`append_bench_record`, so the perf trajectory accumulates across PRs
+instead of overwriting itself.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 from pathlib import Path
 
-__all__ = ["results_dir", "save_result"]
+__all__ = ["results_dir", "save_result", "append_bench_record"]
 
 _RESULTS_DIRNAME = "results"
 
@@ -32,4 +38,64 @@ def save_result(name: str, content: str) -> Path:
     """Write ``content`` to ``results/<name>.txt`` and return the path."""
     path = results_dir() / f"{name}.txt"
     path.write_text(content + "\n")
+    return path
+
+
+# -- append-only benchmark histories -------------------------------------------------
+
+def _repo_root() -> Path:
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "ROADMAP.md").exists() or (parent / ".git").exists():
+            return parent
+    return Path.cwd()  # installed-package fallback
+
+
+def _bench_pr_label() -> str:
+    """Which PR a benchmark record belongs to.
+
+    ``$REPRO_BENCH_PR`` wins (CI sets it); otherwise the current git
+    revision identifies the run, falling back to ``local``.
+    """
+    label = os.environ.get("REPRO_BENCH_PR")
+    if label:
+        return label
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if rev.returncode == 0 and rev.stdout.strip():
+            return rev.stdout.strip()
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        pass  # git missing or hung: fall back to the anonymous label
+    return "local"
+
+
+def append_bench_record(filename: str, record: dict) -> Path:
+    """Append one ``pr``-labelled record to a repo-root benchmark history.
+
+    The file holds a JSON list ordered oldest-first; a legacy single-object
+    file is absorbed as the first entry.  Unparseable content is preserved
+    nowhere — the history restarts — but that only happens if the file was
+    hand-edited into invalid JSON.
+    """
+    path = _repo_root() / filename
+    history: list = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = []
+        if isinstance(existing, list):
+            history = existing
+        elif isinstance(existing, dict):
+            existing.setdefault("pr", "pre-history")
+            history = [existing]
+    entry = dict(record)
+    entry.setdefault("pr", _bench_pr_label())
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
     return path

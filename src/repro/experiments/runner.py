@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.history import CountHistory, HistoryBuilder
-from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator, scaled_city_config
+from repro.data.nyc_synthetic import NycTraceGenerator, scaled_city_config
+from repro.data.scenarios import get_scenario
 from repro.data.workload import (
     WorkloadConfig,
     initial_drivers_from_trips,
@@ -43,6 +44,7 @@ from repro.sim.metrics import IdleSample
 __all__ = [
     "RunSummary",
     "run_policy",
+    "run_cache_key",
     "available_policies",
     "clear_caches",
     "build_world",
@@ -111,9 +113,10 @@ def clear_caches() -> None:
     _run_cache.clear()
 
 
-def build_world(config: ExperimentConfig):
-    """Generator, grid, trips and cost model for ``config`` (memoised)."""
-    key = (
+def world_cache_key(config: ExperimentConfig) -> tuple:
+    """The fields of ``config`` that determine the generated world."""
+    return (
+        config.city,
         config.daily_orders,
         config.seed,
         config.test_day_index,
@@ -122,10 +125,16 @@ def build_world(config: ExperimentConfig):
         config.speed_mps,
         config.space_scale,
     )
+
+
+def build_world(config: ExperimentConfig):
+    """Generator, grid, trips and cost model for ``config`` (memoised)."""
+    key = world_cache_key(config)
     cached = _world_cache.get(key)
     if cached is None:
+        scenario = get_scenario(config.city)
         city = scaled_city_config(
-            CityConfig(
+            scenario.city_config(
                 daily_orders=config.daily_orders,
                 rows=config.grid_rows,
                 cols=config.grid_cols,
@@ -202,11 +211,13 @@ def predicted_slot_matrix(
             f"{sorted(_PREDICTOR_FACTORIES)}"
         )
     key = (
+        config.city,
         config.daily_orders,
         config.seed,
         config.test_day_index,
         config.grid_rows,
         config.grid_cols,
+        config.space_scale,
         predictor_name,
     )
     cached = _prediction_cache.get(key)
@@ -255,11 +266,19 @@ def _make_policy(name: str, config: ExperimentConfig):
     raise ValueError(f"unknown policy {name!r}; expected one of {_POLICY_NAMES}")
 
 
+def uses_prediction(policy_name: str) -> bool:
+    """Whether ``policy_name`` consults the demand predictor at all.
+
+    The "-R" variants and the plain baselines run on :class:`OracleDemand`
+    — their simulations are identical for every predictor, which is why the
+    run cache drops the predictor component from their keys.
+    """
+    name = policy_name[:-3] if policy_name.endswith("+RB") else policy_name
+    return name in ("POLAR", "IRG-P", "LS-P", "SHORT") or name.endswith("-P")
+
+
 def _make_demand(name: str, config: ExperimentConfig, riders, grid, predictor_name: str):
-    if name.endswith("+RB"):
-        name = name[:-3]
-    uses_prediction = name in ("POLAR", "IRG-P", "LS-P", "SHORT") or name.endswith("-P")
-    if uses_prediction:
+    if uses_prediction(name):
         matrix = predicted_slot_matrix(config, predictor_name)
         source = SlotModelDemand(matrix, slot_seconds=30 * 60.0)
     else:
@@ -270,6 +289,21 @@ def _make_demand(name: str, config: ExperimentConfig, riders, grid, predictor_na
 
 
 # -- execution ----------------------------------------------------------------------
+
+def run_cache_key(
+    config: ExperimentConfig, policy_name: str, predictor_name: str = "deepst"
+) -> tuple:
+    """The memoisation key of one run, normalised across predictors.
+
+    Oracle-demand policies (``RAND``, ``NEAR``, ``IRG-R``, …) never consult
+    the predictor, so their key drops the predictor component — a Table-4
+    style predictor sweep pays for each of them exactly once.  The same key
+    addresses the cross-process disk cache of
+    :mod:`repro.experiments.parallel`.
+    """
+    predictor = predictor_name if uses_prediction(policy_name) else None
+    return (config, policy_name, predictor)
+
 
 def run_policy(
     config: ExperimentConfig,
@@ -290,7 +324,7 @@ def run_policy(
             f"unknown policy {policy_name!r}; expected one of {_POLICY_NAMES} "
             f"(optionally suffixed with '+RB')"
         )
-    cache_key = (config, policy_name, predictor_name)
+    cache_key = run_cache_key(config, policy_name, predictor_name)
     if use_cache:
         cached = _run_cache.get(cache_key)
         if cached is not None:
@@ -336,6 +370,7 @@ def _execute(
             tc_seconds=config.tc_seconds,
             horizon_s=config.horizon_s,
             pickup_speed_mps=config.speed_mps,
+            record_idle_samples=config.record_idle_samples,
         ),
         demand=demand,
     )

@@ -2,7 +2,11 @@
 
 A sweep varies exactly one :class:`ExperimentConfig` field across a value
 list and runs every requested policy at every point, collecting total
-revenue, mean per-batch planning time, and served-order counts.
+revenue, mean per-batch planning time, and served-order counts.  Every
+``(point, policy)`` pair is an independent simulation, so the whole grid is
+submitted through :func:`repro.experiments.parallel.run_policies_parallel`
+— ``jobs`` (or ``$REPRO_JOBS``) shards it over a process pool with
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_policy
+from repro.experiments.parallel import RunRequest, run_policies_parallel
 
 __all__ = ["SweepResult", "sweep_parameter", "PAPER_FIGURE_POLICIES"]
 
@@ -60,12 +64,16 @@ def sweep_parameter(
     values: Sequence,
     policies: Sequence[str] = PAPER_FIGURE_POLICIES,
     predictor_name: str = "deepst",
+    jobs: int | None = None,
+    use_disk_cache: bool | None = None,
 ) -> SweepResult:
     """Run ``policies`` across ``values`` of ``parameter``.
 
     ``parameter`` must be a field of :class:`ExperimentConfig` (e.g.
     ``"num_drivers"``, ``"batch_interval_s"``, ``"tc_minutes"``,
-    ``"base_waiting_s"``).
+    ``"base_waiting_s"``).  ``jobs`` shards the grid over a process pool
+    (``None`` defers to ``$REPRO_JOBS``, default serial); results are
+    bit-identical either way.
     """
     if not hasattr(config, parameter):
         raise ValueError(f"ExperimentConfig has no field {parameter!r}")
@@ -74,11 +82,17 @@ def sweep_parameter(
         result.revenue[policy] = []
         result.batch_seconds[policy] = []
         result.served[policy] = []
-    for value in values:
-        point = config.replace(**{parameter: value})
-        for policy in policies:
-            summary = run_policy(point, policy, predictor_name=predictor_name)
-            result.revenue[policy].append(summary.total_revenue)
-            result.batch_seconds[policy].append(summary.mean_batch_seconds)
-            result.served[policy].append(summary.served_orders)
+    requests = [
+        RunRequest(config.replace(**{parameter: value}), policy, predictor_name)
+        for value in values
+        for policy in policies
+    ]
+    summaries = run_policies_parallel(
+        requests, jobs=jobs, use_disk_cache=use_disk_cache
+    )
+    for request, summary in zip(requests, summaries):
+        policy = request.policy
+        result.revenue[policy].append(summary.total_revenue)
+        result.batch_seconds[policy].append(summary.mean_batch_seconds)
+        result.served[policy].append(summary.served_orders)
     return result

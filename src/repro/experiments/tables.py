@@ -12,6 +12,7 @@ import numpy as np
 from repro.data.history import HistoryBuilder
 from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
 from repro.experiments.config import ExperimentConfig, PredictionExperimentConfig
+from repro.experiments.parallel import RunRequest, run_policies_parallel
 from repro.experiments.runner import run_policy
 from repro.prediction import (
     DeepSTPredictor,
@@ -39,6 +40,7 @@ def build_table3(
     config: ExperimentConfig,
     driver_counts: list[int] | None = None,
     policy: str = "IRG-R",
+    jobs: int | None = None,
 ):
     """Idle-time estimation error versus the number of drivers.
 
@@ -48,9 +50,15 @@ def build_table3(
     """
     driver_counts = driver_counts or config.idle_driver_sweep()
     headers = ["#Drivers", "MAE (s)", "RMSE (%)", "Real RMSE (s)", "#Samples"]
+    summaries = run_policies_parallel(
+        [
+            RunRequest(config.replace(num_drivers=n), policy)
+            for n in driver_counts
+        ],
+        jobs=jobs,
+    )
     rows = []
-    for n in driver_counts:
-        summary = run_policy(config.replace(num_drivers=n), policy)
+    for n, summary in zip(driver_counts, summaries):
         predicted = [s.predicted_idle_s for s in summary.idle_samples]
         realized = [s.realized_idle_s for s in summary.idle_samples]
         if len(predicted) < 2 or sum(realized) == 0:
@@ -75,6 +83,7 @@ def build_table4(
     approaches: tuple[str, ...] = ("IRG", "LS", "POLAR"),
     predictors: tuple[str, ...] = ("ha", "lr", "gbrt", "deepst"),
     num_instances: int = 3,
+    jobs: int | None = None,
 ):
     """Mean total revenue of each approach under each demand predictor.
 
@@ -91,6 +100,21 @@ def build_table4(
     instance_configs = [
         config.replace(seed=config.seed + 10 * i) for i in range(num_instances)
     ]
+
+    # Submit the whole (instance × approach × predictor) grid up front; the
+    # per-cell loops below then read the memoised summaries.  Oracle-demand
+    # "-R" rows collapse to one run per instance via the normalised key.
+    requests = []
+    for approach in approaches:
+        pred_name = {"IRG": "IRG-P", "LS": "LS-P", "POLAR": "POLAR"}[approach]
+        real_name = {"IRG": "IRG-R", "LS": "LS-R", "POLAR": "POLAR-R"}[approach]
+        for instance in instance_configs:
+            requests.extend(
+                RunRequest(instance, pred_name, predictor)
+                for predictor in predictors
+            )
+            requests.append(RunRequest(instance, real_name))
+    run_policies_parallel(requests, jobs=jobs)
 
     def mean_revenue(policy_name: str, predictor_name: str = "deepst") -> float:
         total = 0.0

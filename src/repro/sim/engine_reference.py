@@ -183,7 +183,8 @@ class ReferenceSimulation:
             driver.destination_region = target
             driver.position = centre
             driver.current_rider_id = None
-            self.recorder.on_reposition(driver.driver_id)
+            if self.config.record_idle_samples:
+                self.recorder.on_reposition(driver.driver_id)
             self._released_at[driver.driver_id] = None
             heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
             metrics.repositions += 1
@@ -236,14 +237,14 @@ class ReferenceSimulation:
                         f"{rider.rider_id} before the deadline"
                     )
 
-            released_at = self._released_at.get(driver.driver_id)
-            self.recorder.on_assignment(
-                driver_id=driver.driver_id,
-                now_s=now,
-                released_at_s=released_at,
-                destination_region=rider.destination_region,
-                predicted_idle_s=assignment.predicted_idle_s,
-            )
+            if self.config.record_idle_samples:
+                self.recorder.on_assignment(
+                    driver_id=driver.driver_id,
+                    now_s=now,
+                    released_at_s=self._released_at.get(driver.driver_id),
+                    destination_region=rider.destination_region,
+                    predicted_idle_s=assignment.predicted_idle_s,
+                )
 
             rider.status = RiderStatus.SERVED
             rider.assign_time_s = now

@@ -179,7 +179,12 @@ class FleetState:
         self.lonlat[i, 0] = lon
         self.lonlat[i, 1] = lat
         if busy_until < self.leave[i]:  # rejoins on shift → future supply
-            if busy_until <= now + self.tc_seconds:
+            # Window membership is ``now < b <= now + t_c`` (module
+            # docstring): a zero-lead release at or before `now` was never
+            # inside any window and must not be counted.
+            if busy_until <= now:
+                pass
+            elif busy_until <= now + self.tc_seconds:
                 self.rejoin_counts[dest_region] += 1
                 self._rejoin_counted[i] = True
             else:

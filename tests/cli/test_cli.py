@@ -36,6 +36,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["queue", "--lam", "2.0"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.parameter == "num_drivers"
+        assert args.values is None
+        assert args.policies == "NEAR,IRG-R"
+        assert args.jobs is None
+        assert args.city is None
+        assert args.no_disk_cache is False
+
+    def test_sweep_city_repeatable(self):
+        args = build_parser().parse_args(
+            ["sweep", "--city", "nyc", "--city", "sprawl", "--jobs", "4"]
+        )
+        assert args.city == ["nyc", "sprawl"]
+        assert args.jobs == 4
+
 
 class TestListCommand:
     def test_lists_artifacts_and_policies(self, capsys):
@@ -71,6 +87,52 @@ class TestArtifactCommand:
     def test_builds_cheap_artifact(self, capsys):
         assert main(["artifact", "figure5", "--profile", "tiny"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+
+    def test_unknown_policy_is_an_error(self, capsys):
+        code = main(
+            ["sweep", "--profile", "tiny", "--policies", "WAT", "--values", "8"]
+        )
+        assert code == 2
+        assert "WAT" in capsys.readouterr().err
+
+    def test_unknown_city_is_an_error(self, capsys):
+        code = main(
+            ["sweep", "--profile", "tiny", "--city", "atlantis",
+             "--values", "8", "--policies", "NEAR"]
+        )
+        assert code == 2
+        assert "atlantis" in capsys.readouterr().err
+
+    def test_parameter_without_preset_requires_values(self, capsys):
+        assert main(["sweep", "--profile", "tiny", "--parameter", "seed"]) == 2
+        assert "--values" in capsys.readouterr().err
+
+    def test_tiny_sweep_end_to_end(self, capsys):
+        code = main(
+            ["sweep", "--profile", "tiny", "--values", "16,24",
+             "--policies", "NEAR,RAND", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total revenue vs num_drivers" in out
+        assert "served orders vs num_drivers" in out
+        assert "swept 2 x 2 runs" in out
+
+    def test_multi_city_sweep(self, capsys):
+        code = main(
+            ["sweep", "--profile", "tiny", "--values", "16",
+             "--policies", "NEAR", "--city", "nyc", "--city", "dense-core",
+             "--no-disk-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[nyc]" in out and "[dense-core]" in out
 
 
 class TestSimulateCommand:

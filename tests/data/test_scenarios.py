@@ -1,0 +1,87 @@
+"""Tests of the city-scenario catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.data.nyc_synthetic import CityConfig, NycTraceGenerator
+from repro.data.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.geo.bbox import NYC_BBOX
+
+
+class TestCatalogue:
+    def test_required_scenarios_present(self):
+        names = scenario_names()
+        for required in ("nyc", "dense-core", "polycentric", "sprawl"):
+            assert required in names
+
+    def test_unknown_name_rejected_with_catalogue(self):
+        with pytest.raises(ValueError, match="dense-core"):
+            get_scenario("atlantis")
+
+    def test_nyc_scenario_reproduces_generator_defaults(self):
+        """The default city must stay byte-for-byte the paper's study area."""
+        built = get_scenario("nyc").city_config(
+            daily_orders=25_000.0, rows=16, cols=16
+        )
+        assert built == CityConfig(daily_orders=25_000.0, rows=16, cols=16)
+
+    def test_hotspots_inside_study_area(self):
+        for scenario in SCENARIOS.values():
+            for spot in scenario.hotspots:
+                assert NYC_BBOX.min_lon <= spot.lon <= NYC_BBOX.max_lon, (
+                    scenario.name
+                )
+                assert NYC_BBOX.min_lat <= spot.lat <= NYC_BBOX.max_lat, (
+                    scenario.name
+                )
+
+
+class TestGeometryDiversity:
+    @pytest.fixture(scope="class")
+    def intensity_by_city(self):
+        out = {}
+        for name in ("nyc", "dense-core", "polycentric", "sprawl"):
+            config = get_scenario(name).city_config(
+                daily_orders=4_000.0, rows=4, cols=4
+            )
+            generator = NycTraceGenerator(config, seed=3)
+            trips = generator.generate_trips(0)
+            counts = np.zeros(generator.grid.num_regions)
+            for trip in trips:
+                counts[generator.grid.region_of(trip.pickup)] += 1
+            out[name] = counts / counts.sum()
+        return out
+
+    def test_scenarios_produce_distinct_spatial_demand(self, intensity_by_city):
+        names = list(intensity_by_city)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                delta = np.abs(intensity_by_city[a] - intensity_by_city[b])
+                assert delta.sum() > 0.05, (a, b)
+
+    def test_dense_core_concentrates_sprawl_disperses(self, intensity_by_city):
+        # Top region's demand share orders the geometries as designed.
+        peak = {name: v.max() for name, v in intensity_by_city.items()}
+        assert peak["dense-core"] > peak["polycentric"]
+        assert peak["polycentric"] > peak["sprawl"]
+
+
+class TestExperimentConfigIntegration:
+    def test_city_field_validated(self):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ValueError, match="unknown city"):
+            ExperimentConfig(city="atlantis")
+
+    def test_city_changes_generated_world(self):
+        from repro.experiments.config import profile_config
+        from repro.experiments.runner import build_world, clear_caches
+
+        clear_caches()
+        tiny = profile_config("tiny")
+        _, _, nyc_trips, _ = build_world(tiny)
+        _, _, sprawl_trips, _ = build_world(tiny.replace(city="sprawl"))
+        assert len(nyc_trips) != len(sprawl_trips) or any(
+            a.pickup != b.pickup for a, b in zip(nyc_trips, sprawl_trips)
+        )
+        clear_caches()

@@ -86,6 +86,27 @@ class TestRunner:
         assert len(irg.idle_samples) > 0
         assert len(near.idle_samples) == 0
 
+    def test_oracle_policies_share_cache_across_predictors(self, tiny):
+        """RAND/NEAR/-R variants never consult the predictor: one run."""
+        for name in ("NEAR", "RAND", "IRG-R"):
+            a = run_policy(tiny, name, predictor_name="ha")
+            b = run_policy(tiny, name, predictor_name="deepst")
+            assert a is b, name
+
+    def test_prediction_policies_keep_per_predictor_entries(self, tiny):
+        a = run_policy(tiny, "IRG-P", predictor_name="ha")
+        b = run_policy(tiny, "IRG-P", predictor_name="deepst")
+        assert a is not b
+
+    def test_record_idle_samples_flag_honored_end_to_end(self, tiny):
+        enabled = run_policy(tiny, "IRG-R")
+        disabled = run_policy(tiny.replace(record_idle_samples=False), "IRG-R")
+        assert len(enabled.idle_samples) > 0
+        assert disabled.idle_samples == ()
+        # The flag only affects bookkeeping, never the economics.
+        assert disabled.total_revenue == enabled.total_revenue
+        assert disabled.served_orders == enabled.served_orders
+
 
 class TestSweeps:
     def test_sweep_shapes(self, tiny):

@@ -1,0 +1,211 @@
+"""Tests of the sharded parallel runner and the cross-process disk cache."""
+
+import pytest
+
+from repro.experiments import clear_caches, profile_config, sweep_parameter
+from repro.experiments.parallel import (
+    RunRequest,
+    _disk_key,
+    _load_disk,
+    _store_disk,
+    clear_disk_cache,
+    resolve_jobs,
+    run_cache_dir,
+    run_policies_parallel,
+)
+from repro.experiments.runner import RunSummary
+from repro.sim.metrics import IdleSample
+
+POLICIES = ("RAND", "NEAR", "IRG-R")
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Point the disk cache at a scratch dir and start memory-cold."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def quick():
+    """A tiny config shrunk further: determinism runs 12+ simulations."""
+    return profile_config("tiny").replace(horizon_s=3 * 3600.0)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_serial_and_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+
+
+class TestDeterminism:
+    def test_parallel_sweep_economics_bit_identical_to_serial(self, quick):
+        """A --jobs 4 sweep recomputes the serial sweep's economics exactly.
+
+        Revenue/served/batch-count are deterministic (seeded workloads,
+        seeded policies); ``batch_seconds`` is measured wall-clock and can
+        only be bit-identical when both sweeps resolve to the *same* cached
+        runs — covered by the disk-cache test below.
+        """
+        serial = sweep_parameter(
+            quick, "num_drivers", [16, 24], policies=POLICIES,
+            jobs=1, use_disk_cache=False,
+        )
+        clear_caches()
+        parallel = sweep_parameter(
+            quick, "num_drivers", [16, 24], policies=POLICIES,
+            jobs=4, use_disk_cache=False,
+        )
+        assert parallel.values == serial.values
+        for policy in POLICIES:
+            assert parallel.revenue[policy] == serial.revenue[policy]
+            assert parallel.served[policy] == serial.served[policy]
+            assert len(parallel.batch_seconds[policy]) == len(
+                serial.batch_seconds[policy]
+            )
+
+    def test_resweep_through_disk_cache_is_fully_bit_identical(self, quick):
+        """Serial re-sweep resolves to the parallel sweep's cached runs."""
+        parallel = sweep_parameter(
+            quick, "num_drivers", [16, 24], policies=POLICIES,
+            jobs=4, use_disk_cache=True,
+        )
+        clear_caches()  # next invocation stand-in: memory cold, disk warm
+        serial = sweep_parameter(
+            quick, "num_drivers", [16, 24], policies=POLICIES,
+            jobs=1, use_disk_cache=True,
+        )
+        assert serial.values == parallel.values
+        assert serial.revenue == parallel.revenue
+        assert serial.batch_seconds == parallel.batch_seconds
+        assert serial.served == parallel.served
+
+    def test_parallel_multi_city_matches_serial(self, quick):
+        config = quick.replace(city="polycentric")
+        serial = run_policies_parallel(
+            [RunRequest(config, "NEAR")], jobs=1, use_disk_cache=False
+        )[0]
+        clear_caches()
+        parallel = run_policies_parallel(
+            [RunRequest(config, "NEAR"), RunRequest(config, "RAND")],
+            jobs=2,
+            use_disk_cache=False,
+        )[0]
+        assert parallel.total_revenue == serial.total_revenue
+        assert parallel.served_orders == serial.served_orders
+        assert parallel.reneged_orders == serial.reneged_orders
+        assert parallel.idle_samples == serial.idle_samples
+
+
+class TestDeduplication:
+    def test_oracle_predictor_variants_simulate_once(self, quick, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        calls = []
+        real = parallel_mod._execute_request
+
+        def counting(request):
+            calls.append(request)
+            return real(request)
+
+        monkeypatch.setattr(parallel_mod, "_execute_request", counting)
+        summaries = run_policies_parallel(
+            [
+                RunRequest(quick, "NEAR", "ha"),
+                RunRequest(quick, "NEAR", "deepst"),
+                RunRequest(quick, "NEAR", "gbrt"),
+            ],
+            jobs=1,
+            use_disk_cache=False,
+        )
+        assert len(calls) == 1  # oracle demand: predictor is irrelevant
+        assert summaries[0] is summaries[1] is summaries[2]
+
+
+class TestDiskCache:
+    def test_summary_roundtrip(self, quick):
+        request = RunRequest(quick, "IRG-R")
+        summary = RunSummary(
+            policy="IRG-R",
+            total_revenue=123.25,
+            served_orders=10,
+            total_orders=12,
+            reneged_orders=2,
+            mean_batch_seconds=0.002,
+            max_batch_seconds=0.004,
+            idle_samples=(
+                IdleSample(
+                    driver_id=3,
+                    region=1,
+                    released_at_s=60.0,
+                    predicted_idle_s=30.5,
+                    realized_idle_s=28.0,
+                ),
+            ),
+        )
+        _store_disk(request, summary)
+        assert _load_disk(request) == summary
+
+    def test_missing_and_corrupt_entries_are_misses(self, quick):
+        request = RunRequest(quick, "NEAR")
+        assert _load_disk(request) is None
+        run_cache_dir().mkdir(parents=True, exist_ok=True)
+        (run_cache_dir() / f"{_disk_key(request)}.json").write_text("{broken")
+        assert _load_disk(request) is None
+
+    def test_second_invocation_loads_instead_of_simulating(
+        self, quick, monkeypatch
+    ):
+        request = RunRequest(quick, "NEAR")
+        first = run_policies_parallel([request], jobs=1, use_disk_cache=True)[0]
+        clear_caches()  # fresh process stand-in: memory cold, disk warm
+
+        import repro.experiments.runner as runner_mod
+
+        def boom(*args, **kwargs):  # any simulation attempt is a failure
+            raise AssertionError("run was simulated instead of disk-loaded")
+
+        monkeypatch.setattr(runner_mod, "_execute", boom)
+        again = run_policies_parallel([request], jobs=1, use_disk_cache=True)[0]
+        assert again == first
+
+    def test_disk_key_drops_predictor_for_oracle_policies(self, quick):
+        assert _disk_key(RunRequest(quick, "NEAR", "ha")) == _disk_key(
+            RunRequest(quick, "NEAR", "deepst")
+        )
+        assert _disk_key(RunRequest(quick, "IRG-P", "ha")) != _disk_key(
+            RunRequest(quick, "IRG-P", "deepst")
+        )
+
+    def test_disk_key_numeric_type_insensitive(self, quick):
+        """Configs equal in memory (16 == 16.0) share one disk entry."""
+        as_int = quick.replace(batch_interval_s=30)
+        as_float = quick.replace(batch_interval_s=30.0)
+        assert as_int == as_float
+        assert _disk_key(RunRequest(as_int, "NEAR")) == _disk_key(
+            RunRequest(as_float, "NEAR")
+        )
+
+    def test_disk_key_varies_with_city(self, quick):
+        assert _disk_key(RunRequest(quick, "NEAR")) != _disk_key(
+            RunRequest(quick.replace(city="sprawl"), "NEAR")
+        )
+
+    def test_clear_disk_cache(self, quick):
+        run_policies_parallel(
+            [RunRequest(quick, "NEAR")], jobs=1, use_disk_cache=True
+        )
+        assert clear_disk_cache() == 1
+        assert clear_disk_cache() == 0

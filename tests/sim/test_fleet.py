@@ -96,6 +96,43 @@ class TestFleetStateBasics:
         fleet.release(0, 150.0)
         assert fleet.active_total == 0  # past leave: never reactivates
 
+    def test_zero_lead_assignment_not_counted_as_upcoming_supply(self):
+        # The module docstring defines the window as ``now < b <= now + tc``:
+        # an assignment releasing at (or before) `now` was never inside it.
+        drivers = [make_driver(0)]
+        fleet = FleetState(drivers, num_regions=2, tc_seconds=600.0)
+        fleet.advance(100.0)
+        fleet.assign(0, now=100.0, busy_until=100.0, dest_region=1, lon=0.0, lat=0.0)
+        assert list(fleet.rejoin_counts) == [0, 0]
+        # The release must stay balanced (no double decrement).
+        fleet.advance(110.0)
+        fleet.release(0, 110.0)
+        assert list(fleet.rejoin_counts) == [0, 0]
+        assert fleet.active_total == 1
+
+    def test_release_before_now_not_counted(self):
+        drivers = [make_driver(0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=600.0)
+        fleet.advance(50.0)
+        fleet.assign(0, now=50.0, busy_until=20.0, dest_region=0, lon=0.0, lat=0.0)
+        assert fleet.rejoin_counts[0] == 0
+
+    def test_release_exactly_at_window_end_is_counted(self):
+        drivers = [make_driver(0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=600.0)
+        fleet.advance(0.0)
+        fleet.assign(0, now=0.0, busy_until=600.0, dest_region=0, lon=0.0, lat=0.0)
+        assert fleet.rejoin_counts[0] == 1  # b == now + tc: inside (closed end)
+
+    def test_release_exactly_at_shift_end_not_counted(self):
+        drivers = [make_driver(0, leave=300.0)]
+        fleet = FleetState(drivers, num_regions=1, tc_seconds=600.0)
+        fleet.advance(0.0)
+        # on_shift requires t < leave: rejoining exactly at `leave` is off
+        # shift, so the driver is not upcoming supply.
+        fleet.assign(0, now=0.0, busy_until=300.0, dest_region=0, lon=0.0, lat=0.0)
+        assert fleet.rejoin_counts[0] == 0
+
     def test_initially_busy_driver_is_inert(self):
         busy = make_driver(0)
         busy.status = DriverStatus.BUSY
