@@ -1,0 +1,155 @@
+"""Road-network batched-ETA throughput: shared-frontier vs per-pair search.
+
+Times the ETA evaluation of one dispatch-shaped candidate batch on a
+mid-size road graph (72x72 lattice = 5,184 vertices, ~2k (driver, order)
+pairs — every driver is a candidate for every waiting order, the worst case
+the candidate generator can emit) through three backends:
+
+- *per-pair* — the seed behaviour: one great-circle-guided A* per pair via
+  the scalar ``travel_seconds`` API;
+- *per-pair ALT* — the same scalar loop with farthest-point landmark
+  potentials (``ExperimentConfig.roadnet_landmarks``) guiding each search;
+- *batched* — ``travel_seconds_many``: pairs grouped by snapped origin
+  vertex, one multi-target Dijkstra per driver answering every order in
+  the group from a single shared frontier.
+
+All three must return exactly the same seconds (same float64 edge sums
+along the same shortest paths).  Each run appends one ``pr``-labelled
+record to ``BENCH_roadnet.json`` at the repo root, so the road-graph perf
+trajectory accumulates across PRs alongside ``BENCH_engine.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import append_bench_record
+from repro.geo import NYC_BBOX, GeoPoint
+from repro.roadnet import RoadNetworkCost, build_grid_network
+
+#: Graph scale: 72 x 72 = 5,184 vertices (acceptance floor is 5k).
+GRID_ROWS = GRID_COLS = 72
+#: Candidate batch: every (driver, order) pair.
+NUM_DRIVERS = 52
+NUM_ORDERS = 40
+SPEED_MPS = 8.0
+
+SCENARIO = ExperimentConfig()  # supplies the landmark-count knob
+
+
+def build_graph():
+    return build_grid_network(
+        NYC_BBOX,
+        rows=GRID_ROWS,
+        cols=GRID_COLS,
+        speed_mps=SPEED_MPS,
+        speed_jitter=0.25,
+        diagonal_fraction=0.05,
+        rng=np.random.default_rng(12),
+    )
+
+
+def candidate_pairs():
+    """(origins, dests) lon/lat arrays of the full driver x order product."""
+    rng = np.random.default_rng(34)
+    drivers = np.column_stack(
+        [
+            rng.uniform(NYC_BBOX.min_lon, NYC_BBOX.max_lon, NUM_DRIVERS),
+            rng.uniform(NYC_BBOX.min_lat, NYC_BBOX.max_lat, NUM_DRIVERS),
+        ]
+    )
+    pickups = np.column_stack(
+        [
+            rng.uniform(NYC_BBOX.min_lon, NYC_BBOX.max_lon, NUM_ORDERS),
+            rng.uniform(NYC_BBOX.min_lat, NYC_BBOX.max_lat, NUM_ORDERS),
+        ]
+    )
+    pair_driver = np.repeat(np.arange(NUM_DRIVERS), NUM_ORDERS)
+    pair_order = np.tile(np.arange(NUM_ORDERS), NUM_DRIVERS)
+    return drivers[pair_driver], pickups[pair_order]
+
+
+def time_scalar(graph, origins, dests, num_landmarks):
+    model = RoadNetworkCost(
+        graph, access_speed_mps=SPEED_MPS, num_landmarks=num_landmarks
+    )
+    start = time.perf_counter()
+    etas = np.array(
+        [
+            model.travel_seconds(GeoPoint(*a), GeoPoint(*b))
+            for a, b in zip(origins, dests)
+        ]
+    )
+    return time.perf_counter() - start, etas
+
+
+def time_batched(graph, origins, dests):
+    model = RoadNetworkCost(graph, access_speed_mps=SPEED_MPS)
+    start = time.perf_counter()
+    etas = model.travel_seconds_many(origins, dests)
+    return time.perf_counter() - start, etas
+
+
+def test_roadnet_eta_throughput():
+    """Time the three backends; record the trajectory; verify equality."""
+    graph = build_graph()
+    origins, dests = candidate_pairs()
+    num_pairs = len(origins)
+    assert graph.num_vertices >= 5_000
+    assert num_pairs >= 2_000
+
+    preprocess_start = time.perf_counter()
+    RoadNetworkCost(
+        graph,
+        access_speed_mps=SPEED_MPS,
+        num_landmarks=SCENARIO.roadnet_landmarks,
+    )
+    preprocess_s = time.perf_counter() - preprocess_start
+
+    scalar_s, scalar_etas = time_scalar(graph, origins, dests, 0)
+    alt_s, alt_etas = time_scalar(
+        graph, origins, dests, SCENARIO.roadnet_landmarks
+    )
+    batched_s, batched_etas = time_batched(graph, origins, dests)
+
+    identical = np.array_equal(batched_etas, scalar_etas) and np.array_equal(
+        alt_etas, scalar_etas
+    )
+    speedup = scalar_s / batched_s
+    payload = {
+        "scenario": {
+            "graph_vertices": graph.num_vertices,
+            "graph_edges": graph.num_edges,
+            "grid": f"{GRID_ROWS}x{GRID_COLS}",
+            "candidate_pairs": num_pairs,
+            "drivers": NUM_DRIVERS,
+            "orders": NUM_ORDERS,
+            "landmarks": SCENARIO.roadnet_landmarks,
+        },
+        "per_pair_astar": {
+            "wall_s": round(scalar_s, 3),
+            "pairs_per_s": round(num_pairs / scalar_s, 1),
+        },
+        "per_pair_alt_astar": {
+            "wall_s": round(alt_s, 3),
+            "pairs_per_s": round(num_pairs / alt_s, 1),
+            "preprocess_s": round(preprocess_s, 3),
+            "speedup_vs_astar": round(scalar_s / alt_s, 2),
+        },
+        "batched_shared_frontier": {
+            "wall_s": round(batched_s, 3),
+            "pairs_per_s": round(num_pairs / batched_s, 1),
+        },
+        "speedup": round(speedup, 2),
+        "etas_bit_identical": identical,
+    }
+    out = append_bench_record("BENCH_roadnet.json", payload)
+    print(f"\n[BENCH_roadnet] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    # Hard requirements: the batch backend must not change a single ETA and
+    # must be decisively faster than the per-pair loop (the committed JSON
+    # shows the full margin; the floor keeps head-room for noisy CI boxes).
+    assert identical, "batched/ALT ETAs diverged from the per-pair reference"
+    assert speedup >= 3.0, f"batched backend only {speedup:.2f}x faster"

@@ -6,16 +6,24 @@ full network path is available end to end.  This example builds a
 Manhattan-style street lattice with per-edge speed perturbation, runs the
 same morning workload under the straight-line and the shortest-path cost
 models, and reports how the network detours change trip costs and the
-dispatcher's outcome.
+dispatcher's outcome.  The road-network model answers the dispatcher's
+batched ETA queries natively (shared-frontier Dijkstra per snapped origin)
+and prunes candidates with ALT landmark lower bounds
+(``ExperimentConfig.roadnet_landmarks`` sets the landmark count).
 
 Run with::
 
-    python examples/road_network_dispatch.py
+    python examples/road_network_dispatch.py [--quick]
+
+``--quick`` shrinks the workload and network for smoke runs (CI uses it).
 """
+
+import argparse
 
 import numpy as np
 
 from repro.dispatch import NearestPolicy, QueueingPolicy
+from repro.experiments.config import ExperimentConfig
 from repro.geo import BoundingBox, GridPartition
 from repro.roadnet import RoadNetworkCost, StraightLineCost, build_grid_network
 from repro.sim.engine import SimConfig, Simulation
@@ -30,10 +38,11 @@ NUM_DRIVERS = 25
 SPEED_MPS = 8.0
 
 
-def build_workload(cost_model, rng):
+def build_workload(cost_model, rng, num_riders=NUM_RIDERS,
+                   num_drivers=NUM_DRIVERS):
     """Riders with uniform endpoints; trip cost priced by ``cost_model``."""
     riders = []
-    for i in range(NUM_RIDERS):
+    for i in range(num_riders):
         t = float(rng.uniform(0.0, HORIZON_S * 0.9))
         pickup = BOX.sample(rng)
         dropoff = BOX.sample(rng)
@@ -52,50 +61,67 @@ def build_workload(cost_model, rng):
             )
         )
     drivers = [
-        Driver(j, BOX.sample(rng), 0) for j in range(NUM_DRIVERS)
+        Driver(j, BOX.sample(rng), 0) for j in range(num_drivers)
     ]
     for driver in drivers:
         driver.region = GRID.region_of(driver.position)
     return riders, drivers
 
 
-def run(cost_model, policy, seed=42):
+def run(cost_model, policy, num_riders, num_drivers, horizon_s, seed=42):
     rng = np.random.default_rng(seed)
-    riders, drivers = build_workload(cost_model, rng)
+    riders, drivers = build_workload(cost_model, rng, num_riders, num_drivers)
     sim = Simulation(
         riders,
         drivers,
         GRID,
         cost_model,
         policy,
-        SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=HORIZON_S),
+        SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=horizon_s),
     )
     return sim.run()
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workload and network for a CI smoke run",
+    )
+    args = parser.parse_args()
+    lattice = 12 if args.quick else 18
+    num_riders = 120 if args.quick else NUM_RIDERS
+    num_drivers = 12 if args.quick else NUM_DRIVERS
+    horizon_s = HORIZON_S / 2 if args.quick else HORIZON_S
+    num_probes = 15 if args.quick else 40
+
     rng = np.random.default_rng(7)
     network = build_grid_network(
         BOX,
-        rows=18,
-        cols=18,
+        rows=lattice,
+        cols=lattice,
         speed_mps=SPEED_MPS,
         speed_jitter=0.25,
         diagonal_fraction=0.1,
         rng=rng,
     )
+    num_landmarks = ExperimentConfig().roadnet_landmarks
     print(f"road network: {network.num_vertices} vertices, "
-          f"{network.num_edges} directed edges")
+          f"{network.num_edges} directed edges, "
+          f"{num_landmarks} ALT landmarks")
 
     straight = StraightLineCost(speed_mps=SPEED_MPS, metric="euclidean")
-    road = RoadNetworkCost(network, access_speed_mps=SPEED_MPS)
+    road = RoadNetworkCost(
+        network, access_speed_mps=SPEED_MPS, num_landmarks=num_landmarks
+    )
 
     # Detour factors on a probe sample: network paths are typically
     # 1.1-1.6x the crow-flies time (speed jitter can create fast corridors
     # that occasionally dip just below 1).
     probe_rng = np.random.default_rng(3)
     factors = []
-    for _ in range(40):
+    for _ in range(num_probes):
         a, b = BOX.sample(probe_rng), BOX.sample(probe_rng)
         s = straight.travel_seconds(a, b)
         if s > 60.0:  # skip near-coincident pairs
@@ -108,7 +134,9 @@ def main() -> None:
           f"{'served':>7s} {'reneged':>8s}")
     for label, cost_model in (("straight", straight), ("road-net", road)):
         for policy in (NearestPolicy(), QueueingPolicy("irg")):
-            result = run(cost_model, policy)
+            result = run(
+                cost_model, policy, num_riders, num_drivers, horizon_s
+            )
             print(
                 f"{label:<14s} {policy.name:<6s} "
                 f"{result.total_revenue:>10.0f} "

@@ -27,6 +27,12 @@ Subcommands
     Evaluate the double-sided queueing model at one operating point:
     stationary probabilities and the expected idle time (rates per minute,
     following the paper's §4 convention).
+
+``repro cache stats`` / ``repro cache clear``
+    Inspect or empty the cross-process run cache.  Entries are evicted
+    least-recently-used once the cache exceeds ``$REPRO_CACHE_MAX_MB``
+    (default 256 MB), so ``clear`` is only needed after changing
+    simulation semantics.
 """
 
 from __future__ import annotations
@@ -157,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-disk-cache",
         action="store_true",
         help="skip the cross-process run cache (always simulate)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the cross-process run cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="'stats' prints entry count, size, and cap; 'clear' deletes "
+        "every cached run summary",
     )
 
     queue = sub.add_parser("queue", help="evaluate the region queueing model")
@@ -401,6 +417,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import clear_disk_cache, disk_cache_stats
+
+    if args.action == "clear":
+        removed = clear_disk_cache()
+        print(f"removed {removed} cached run summar{'y' if removed == 1 else 'ies'}")
+        return 0
+    stats = disk_cache_stats()
+    cap = stats["max_bytes"]
+    print(f"directory         {stats['directory']}")
+    print(f"entries           {stats['entries']}")
+    print(f"total size        {stats['total_bytes'] / 1_048_576:.2f} MiB")
+    print(
+        "size cap          "
+        + (f"{cap / 1_048_576:.0f} MiB (LRU eviction)" if cap else "disabled")
+    )
+    if stats["entries"]:
+        import datetime
+
+        for label, mtime in (
+            ("oldest entry", stats["oldest_mtime"]),
+            ("newest entry", stats["newest_mtime"]),
+        ):
+            stamp = datetime.datetime.fromtimestamp(mtime).isoformat(
+                sep=" ", timespec="seconds"
+            )
+            print(f"{label:<17s} {stamp}")
+    return 0
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     if args.lam <= 0:
         print("lam must be positive", file=sys.stderr)
@@ -435,6 +481,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "queue":
         return _cmd_queue(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

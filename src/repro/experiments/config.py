@@ -66,6 +66,13 @@ class ExperimentConfig:
     # Queueing model.
     beta: float = 0.01
 
+    #: ALT landmark count for scenarios that price travel on an explicit
+    #: road network (:class:`~repro.roadnet.travel_time.RoadNetworkCost`);
+    #: 0 disables landmark preprocessing.  The straight-line sweeps ignore
+    #: it.  8 farthest-point landmarks bound mid-size grids within a few
+    #: percent of the true cost (see benchmarks/test_roadnet_eta_throughput).
+    roadnet_landmarks: int = 8
+
     # Engine.
     horizon_s: float = 86_400.0
     demand_cache_quantum_s: float = 15.0
@@ -84,6 +91,8 @@ class ExperimentConfig:
             raise ValueError("tc_minutes must be positive")
         if not 0 < self.space_scale <= 1:
             raise ValueError("space_scale must be in (0, 1]")
+        if self.roadnet_landmarks < 0:
+            raise ValueError("roadnet_landmarks must be non-negative")
         from repro.data.scenarios import get_scenario
 
         get_scenario(self.city)  # validate the catalogue name

@@ -21,7 +21,11 @@ work units out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
   simulating.  The location is ``$REPRO_CACHE_DIR`` (default
   ``~/.cache/repro/runs``); entries key on the full experiment
   configuration plus a format version, so any parameter change — including
-  the city scenario — misses cleanly.  Delete the directory (or call
+  the city scenario — misses cleanly.  The cache is size-capped
+  (``$REPRO_CACHE_MAX_MB``, default 256 MB) with least-recently-used
+  eviction — loads touch their entry, stores trim the directory — so
+  entries no longer accumulate forever.  ``repro cache stats`` / ``repro
+  cache clear`` inspect and reset it; delete it (or call
   :func:`clear_disk_cache`) after changing simulation semantics.
 
 Determinism: runs are seeded and single-threaded, so a parallel sweep is
@@ -61,6 +65,8 @@ __all__ = [
     "run_cache_dir",
     "run_policies_parallel",
     "clear_disk_cache",
+    "disk_cache_stats",
+    "disk_cache_max_bytes",
 ]
 
 #: Disk-cache format version; bump whenever :class:`RunSummary` or the
@@ -93,6 +99,21 @@ def run_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "runs"
 
 
+#: Default size cap of the disk cache (``$REPRO_CACHE_MAX_MB`` overrides).
+_DEFAULT_CACHE_MAX_MB = 256
+
+
+def disk_cache_max_bytes() -> int:
+    """The cache size cap in bytes; ``$REPRO_CACHE_MAX_MB <= 0`` disables it."""
+    try:
+        max_mb = float(os.environ.get("REPRO_CACHE_MAX_MB", _DEFAULT_CACHE_MAX_MB))
+    except ValueError:
+        max_mb = _DEFAULT_CACHE_MAX_MB
+    if max_mb <= 0:
+        return 0
+    return int(max_mb * 1024 * 1024)
+
+
 def clear_disk_cache() -> int:
     """Delete every cached run summary; returns how many were removed."""
     directory = run_cache_dir()
@@ -104,6 +125,68 @@ def clear_disk_cache() -> int:
                 removed += 1
             except OSError:  # pragma: no cover - concurrent deletion
                 pass
+    return removed
+
+
+def disk_cache_stats() -> dict:
+    """Entry count / byte totals of the disk cache (for ``repro cache stats``)."""
+    directory = run_cache_dir()
+    entries = 0
+    total_bytes = 0
+    oldest = newest = None
+    if directory.is_dir():
+        for entry in directory.glob("*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:  # pragma: no cover - concurrent deletion
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            mtime = stat.st_mtime
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+    return {
+        "directory": str(directory),
+        "entries": entries,
+        "total_bytes": total_bytes,
+        "max_bytes": disk_cache_max_bytes(),
+        "oldest_mtime": oldest,
+        "newest_mtime": newest,
+    }
+
+
+def _evict_lru(directory: Path, max_bytes: int) -> int:
+    """Remove least-recently-used entries until the cache fits ``max_bytes``.
+
+    Recency is file mtime: loads touch their entry on every hit, so a
+    frequently re-swept configuration survives while one-off runs age out.
+    Returns how many entries were evicted.
+    """
+    entries = []
+    try:
+        for entry in directory.glob("*.json"):
+            try:
+                entries.append((entry, entry.stat()))
+            except OSError:  # entry deleted concurrently: skip it
+                continue
+    except OSError:  # pragma: no cover - cache dir vanished
+        return 0
+    total = sum(stat.st_size for _, stat in entries)
+    if total <= max_bytes:
+        return 0
+    entries.sort(key=lambda pair: pair[1].st_mtime)
+    removed = 0
+    # Never evict the most recent entry: a cap smaller than one summary
+    # must not delete the run that was just stored.
+    for entry, stat in entries[:-1]:
+        if total <= max_bytes:
+            break
+        try:
+            entry.unlink()
+        except OSError:  # pragma: no cover - concurrent deletion
+            continue
+        total -= stat.st_size
+        removed += 1
     return removed
 
 
@@ -153,13 +236,24 @@ def _load_disk(request: RunRequest) -> RunSummary | None:
     except (OSError, ValueError):
         return None
     try:
-        return _summary_from_payload(payload)
+        summary = _summary_from_payload(payload)
     except (KeyError, TypeError):  # stale/foreign file: treat as a miss
         return None
+    try:
+        os.utime(path)  # mark recently-used for LRU eviction
+    except OSError:  # pragma: no cover - concurrent deletion
+        pass
+    return summary
 
 
 def _store_disk(request: RunRequest, summary: RunSummary) -> None:
-    """Best-effort atomic write (temp file + rename) of one summary."""
+    """Best-effort atomic write (temp file + rename) of one summary.
+
+    After the write the cache is trimmed back under its size cap
+    (:func:`disk_cache_max_bytes`), evicting least-recently-used entries —
+    without this, entries key on the full configuration and accumulate
+    forever.
+    """
     directory = run_cache_dir()
     tmp_name = None
     try:
@@ -169,6 +263,9 @@ def _store_disk(request: RunRequest, summary: RunSummary) -> None:
             json.dump(_summary_to_payload(summary), handle)
         os.replace(tmp_name, directory / f"{_disk_key(request)}.json")
         tmp_name = None
+        max_bytes = disk_cache_max_bytes()
+        if max_bytes > 0:
+            _evict_lru(directory, max_bytes)
     except OSError:  # pragma: no cover - unwritable cache is non-fatal
         pass
     finally:

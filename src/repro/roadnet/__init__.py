@@ -5,12 +5,16 @@ edges (§2).  The experiments convert between travel distance and travel time
 through a constant speed.  This package provides:
 
 - :class:`RoadGraph` — adjacency-list weighted digraph keyed by vertex id,
-  with geographic vertex positions;
-- Dijkstra / bidirectional Dijkstra / A* shortest paths;
+  with geographic vertex positions and vectorised nearest-vertex snapping;
+- Dijkstra / multi-target (shared frontier) Dijkstra / bidirectional
+  Dijkstra / A* / ALT-guided A* shortest paths;
+- :class:`Landmarks` — ALT (A*, landmarks, triangle inequality) lower
+  bounds with farthest-point landmark selection;
 - a Manhattan-style grid network builder covering a bounding box;
 - :class:`RoadNetworkCost` and :class:`StraightLineCost` travel-cost
   providers implementing a common ``TravelCostModel`` protocol used by the
-  simulator.
+  simulator; the road-network model answers batched queries natively by
+  grouping pairs per snapped origin vertex.
 """
 
 from repro.roadnet.graph import RoadGraph
@@ -19,8 +23,10 @@ from repro.roadnet.shortest_path import (
     bidirectional_dijkstra,
     dijkstra,
     dijkstra_all,
+    multi_target_dijkstra,
 )
 from repro.roadnet.builders import build_grid_network
+from repro.roadnet.landmarks import Landmarks, alt_astar, select_landmarks_farthest
 from repro.roadnet.travel_time import (
     RoadNetworkCost,
     StraightLineCost,
@@ -31,8 +37,12 @@ __all__ = [
     "RoadGraph",
     "dijkstra",
     "dijkstra_all",
+    "multi_target_dijkstra",
     "bidirectional_dijkstra",
     "astar",
+    "alt_astar",
+    "Landmarks",
+    "select_landmarks_farthest",
     "build_grid_network",
     "TravelCostModel",
     "StraightLineCost",

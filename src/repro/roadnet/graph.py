@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
 from repro.geo.point import GeoPoint
 
 __all__ = ["RoadGraph"]
@@ -28,6 +30,7 @@ class RoadGraph:
         self._out: list[dict[int, float]] = []
         self._in: list[dict[int, float]] = []
         self._num_edges = 0
+        self._pos_array: np.ndarray | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -36,6 +39,7 @@ class RoadGraph:
         self._positions.append(position)
         self._out.append({})
         self._in.append({})
+        self._pos_array = None  # invalidate the cached lon/lat matrix
         return len(self._positions) - 1
 
     def add_edge(self, u: int, v: int, cost: float) -> None:
@@ -95,21 +99,56 @@ class RoadGraph:
         """Iterate all vertex ids."""
         return iter(range(self.num_vertices))
 
-    def nearest_vertex(self, point: GeoPoint) -> int:
-        """Vertex whose position is closest to ``point`` (linear scan).
+    def positions_lonlat(self) -> np.ndarray:
+        """``(V, 2)`` lon/lat matrix of every vertex position (memoised).
 
-        Builders that need many lookups should build their own spatial index;
-        the simulator snaps each trip endpoint once, so a scan is fine at the
-        network sizes used here.
+        The array is rebuilt lazily after :meth:`add_vertex`; callers must
+        not mutate it.
+        """
+        if self._pos_array is None or len(self._pos_array) != self.num_vertices:
+            arr = np.empty((self.num_vertices, 2), dtype=float)
+            for i, pos in enumerate(self._positions):
+                arr[i, 0] = pos.lon
+                arr[i, 1] = pos.lat
+            self._pos_array = arr
+        return self._pos_array
+
+    def nearest_vertex(self, point: GeoPoint) -> int:
+        """Vertex whose position is closest to ``point``.
+
+        A vectorised argmin over the memoised position matrix; ties break
+        toward the lowest vertex id, matching the original linear scan.
         """
         if self.num_vertices == 0:
             raise ValueError("graph has no vertices")
-        best, best_d = 0, float("inf")
-        for u, pos in enumerate(self._positions):
-            d = (pos.lon - point.lon) ** 2 + (pos.lat - point.lat) ** 2
-            if d < best_d:
-                best, best_d = u, d
-        return best
+        pos = self.positions_lonlat()
+        dlon = pos[:, 0] - point.lon
+        dlat = pos[:, 1] - point.lat
+        return int(np.argmin(dlon * dlon + dlat * dlat))
+
+    def nearest_vertex_many(self, lonlat: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`nearest_vertex` over an ``(n, 2)`` lon/lat array.
+
+        Each row is snapped independently; element ``i`` equals
+        ``nearest_vertex(GeoPoint(*lonlat[i]))`` exactly (same float64
+        operations, same first-minimum tie-break).
+        """
+        if self.num_vertices == 0:
+            raise ValueError("graph has no vertices")
+        queries = np.asarray(lonlat, dtype=float)
+        pos = self.positions_lonlat()
+        out = np.empty(len(queries), dtype=np.int64)
+        # Chunked (chunk, V) broadcasts cap each float64 scratch matrix at
+        # ~2 MB regardless of batch size.
+        chunk = max(1, 262_144 // max(1, self.num_vertices))
+        for start in range(0, len(queries), chunk):
+            q = queries[start : start + chunk]
+            dlon = q[:, 0, None] - pos[None, :, 0]
+            dlat = q[:, 1, None] - pos[None, :, 1]
+            out[start : start + chunk] = np.argmin(
+                dlon * dlon + dlat * dlat, axis=1
+            )
+        return out
 
     def _check_vertex(self, u: int) -> None:
         if not 0 <= u < len(self._positions):

@@ -1,19 +1,33 @@
 """Shortest-path algorithms over :class:`~repro.roadnet.graph.RoadGraph`.
 
-Provides plain Dijkstra (single target and all targets), bidirectional
-Dijkstra, and A* with a great-circle heuristic.  All return ``(cost, path)``
-with ``cost = inf`` and an empty path when the target is unreachable.
+Provides plain Dijkstra (single target, many targets, and all targets),
+bidirectional Dijkstra, and A* with a great-circle heuristic.  Single-pair
+algorithms return ``(cost, path)`` with ``cost = inf`` and an empty path
+when the target is unreachable.
+
+:func:`multi_target_dijkstra` is the workhorse of the batched ETA backend
+(:meth:`~repro.roadnet.travel_time.RoadNetworkCost.travel_seconds_many`):
+candidate generation groups many (driver, pickup) pairs by their snapped
+origin vertex, and one shared frontier expansion answers the whole group,
+terminating as soon as every requested target is settled.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Iterable
 
 from repro.geo.distance import equirectangular_m
 from repro.roadnet.graph import RoadGraph
 
-__all__ = ["dijkstra", "dijkstra_all", "bidirectional_dijkstra", "astar"]
+__all__ = [
+    "dijkstra",
+    "dijkstra_all",
+    "multi_target_dijkstra",
+    "bidirectional_dijkstra",
+    "astar",
+]
 
 _INF = float("inf")
 
@@ -40,20 +54,67 @@ def dijkstra(graph: RoadGraph, source: int, target: int) -> tuple[float, list[in
     return _INF, []
 
 
-def dijkstra_all(graph: RoadGraph, source: int) -> dict[int, float]:
-    """Costs from ``source`` to every reachable vertex."""
+def dijkstra_all(
+    graph: RoadGraph, source: int, reverse: bool = False
+) -> dict[int, float]:
+    """Costs from ``source`` to every reachable vertex.
+
+    With ``reverse=True`` edges are traversed backwards, yielding the cost
+    *to* ``source`` from every vertex — what ALT landmark preprocessing
+    needs on a directed network.
+    """
     dist = {source: 0.0}
     heap = [(0.0, source)]
     while heap:
         d, u = heapq.heappop(heap)
         if d > dist.get(u, _INF):
             continue
-        for v, w in graph.out_edges(u):
+        edges = graph.in_edges(u) if reverse else graph.out_edges(u)
+        for v, w in edges:
             nd = d + w
             if nd < dist.get(v, _INF):
                 dist[v] = nd
                 heapq.heappush(heap, (nd, v))
     return dist
+
+
+def multi_target_dijkstra(
+    graph: RoadGraph, source: int, targets: Iterable[int]
+) -> dict[int, float]:
+    """Costs from ``source`` to each of ``targets`` via one shared frontier.
+
+    Expands a single Dijkstra search and stops as soon as every requested
+    target is settled, so a group of k targets costs one partial graph
+    traversal instead of k.  Unreachable targets map to ``inf``.  Costs are
+    bit-identical to per-pair :func:`dijkstra` (both accumulate the same
+    edge sums along the shortest path).
+    """
+    remaining = set(targets)
+    out: dict[int, float] = {}
+    if source in remaining:
+        out[source] = 0.0
+        remaining.discard(source)
+    if not remaining:
+        return out
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, _INF):
+            continue
+        if u in remaining:
+            out[u] = d
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    for t in remaining:
+        out[t] = _INF
+    return out
 
 
 def bidirectional_dijkstra(

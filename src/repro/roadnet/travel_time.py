@@ -8,18 +8,22 @@ simulator talks to one of two interchangeable implementations:
   a constant speed.  This is the default for the large experiment sweeps: it
   is O(1) per query and matches the paper's grid-region granularity.
 - :class:`RoadNetworkCost` — shortest-path seconds on an explicit
-  :class:`~repro.roadnet.graph.RoadGraph`, with endpoint snapping and an LRU
-  cache over (vertex, vertex) queries.
+  :class:`~repro.roadnet.graph.RoadGraph`, with endpoint snapping, LRU
+  caches over snaps and (vertex, vertex) queries, a native batch path
+  (shared-frontier multi-target Dijkstra per snapped origin), and optional
+  ALT landmark lower bounds for goal-directed A* and candidate pruning.
 """
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Protocol
 
 import numpy as np
 
 from repro.geo.distance import (
+    EARTH_RADIUS_M,
     equirectangular_m,
     equirectangular_m_many,
     manhattan_m,
@@ -27,7 +31,8 @@ from repro.geo.distance import (
 )
 from repro.geo.point import GeoPoint
 from repro.roadnet.graph import RoadGraph
-from repro.roadnet.shortest_path import astar
+from repro.roadnet.landmarks import Landmarks, alt_astar
+from repro.roadnet.shortest_path import astar, multi_target_dijkstra
 
 __all__ = [
     "TravelCostModel",
@@ -51,8 +56,9 @@ def travel_seconds_many(
     """Batched travel times for ``(n, 2)`` lon/lat origin/destination arrays.
 
     Dispatches to the model's native ``travel_seconds_many`` when it has one
-    (vectorised for the geometric models); otherwise falls back to a scalar
-    loop so any :class:`TravelCostModel` — including user-supplied ones that
+    (vectorised for the geometric models, shared-frontier shortest paths
+    for the road-network model); otherwise falls back to a scalar loop so
+    any :class:`TravelCostModel` — including user-supplied ones that
     predate the batched API — keeps working with the vectorised pipeline.
     """
     native = getattr(model, "travel_seconds_many", None)
@@ -118,10 +124,29 @@ class StraightLineCost:
 class RoadNetworkCost:
     """Shortest-path travel seconds over an explicit road graph.
 
-    Endpoints are snapped to their nearest network vertex; results are
-    memoised in a bounded LRU cache keyed by the snapped vertex pair.
-    Off-network legs (point to snapped vertex) are charged at the straight-
-    line speed so costs stay strictly positive for distinct points.
+    Endpoints are snapped to their nearest network vertex (memoised in a
+    bounded point → vertex cache); pair costs are memoised in a bounded LRU
+    cache keyed by the snapped vertex pair.  Off-network legs (point to
+    snapped vertex) are charged at the straight-line speed so costs stay
+    strictly positive for distinct points.
+
+    Two query paths share those caches:
+
+    - :meth:`travel_seconds` — single-pair A*, guided by ALT landmark
+      potentials when ``num_landmarks > 0`` (tighter than the great-circle
+      bound, so far fewer expansions) and by the great-circle bound
+      otherwise;
+    - :meth:`travel_seconds_many` — the native batch path: pairs are
+      grouped by snapped origin vertex and each group is answered by one
+      shared-frontier :func:`~repro.roadnet.shortest_path.multi_target_dijkstra`
+      that terminates once every target in the group is settled.  Results
+      are bit-identical to the scalar path (same float64 edge sums along
+      the same shortest paths, same access-leg arithmetic).
+
+    :meth:`eta_lower_bound_many` additionally exposes the admissible ALT /
+    great-circle lower bound so dispatch candidate generation can discard
+    pairs whose bound already exceeds the pickup deadline without running
+    any shortest-path search.
     """
 
     def __init__(
@@ -129,11 +154,14 @@ class RoadNetworkCost:
         graph: RoadGraph,
         access_speed_mps: float = 8.0,
         cache_size: int = 65536,
+        num_landmarks: int = 0,
     ):
         if graph.num_vertices == 0:
             raise ValueError("road graph has no vertices")
         if access_speed_mps <= 0:
             raise ValueError("access speed must be positive")
+        if num_landmarks < 0:
+            raise ValueError("num_landmarks must be non-negative")
         self.graph = graph
         self.access_speed_mps = float(access_speed_mps)
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
@@ -142,20 +170,146 @@ class RoadNetworkCost:
         # using access speed keeps A* admissible for jitter >= -75% (builders
         # clip speed at 25% of base, so 1/(4*speed) is safe).
         self._heuristic_cost_per_meter = 1.0 / (4.0 * self.access_speed_mps)
+        #: ALT landmark tables (None when ``num_landmarks == 0``), built at
+        #: construction time so every query benefits.
+        self.landmarks: Landmarks | None = (
+            Landmarks.build(graph, num_landmarks) if num_landmarks else None
+        )
+        self._snap_cache: OrderedDict[tuple[float, float], int] = OrderedDict()
+        self._snap_cache_size = 65536
+        self._pot_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._pot_cache_size = 256
+
+    # -- snapping ----------------------------------------------------------
+
+    def _snap(self, point: GeoPoint) -> int:
+        """Nearest network vertex of ``point`` (memoised per coordinate)."""
+        key = (point.lon, point.lat)
+        cached = self._snap_cache.get(key)
+        if cached is not None:
+            self._snap_cache.move_to_end(key)
+            return cached
+        vertex = self.graph.nearest_vertex(point)
+        self._snap_cache[key] = vertex
+        if len(self._snap_cache) > self._snap_cache_size:
+            self._snap_cache.popitem(last=False)
+        return vertex
+
+    def _snap_many(self, lonlat: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_snap` over an ``(n, 2)`` lon/lat array."""
+        out = np.empty(len(lonlat), dtype=np.int64)
+        miss_rows: list[int] = []
+        cache = self._snap_cache
+        for i in range(len(lonlat)):
+            key = (lonlat[i, 0], lonlat[i, 1])
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)
+                out[i] = cached
+            else:
+                miss_rows.append(i)
+        if miss_rows:
+            rows = np.array(miss_rows, dtype=np.int64)
+            snapped = self.graph.nearest_vertex_many(lonlat[rows])
+            out[rows] = snapped
+            for i, vertex in zip(miss_rows, snapped.tolist()):
+                cache[(lonlat[i, 0], lonlat[i, 1])] = vertex
+            while len(cache) > self._snap_cache_size:
+                cache.popitem(last=False)
+        return out
+
+    def _access_m(self, points: np.ndarray, vertex_pos: np.ndarray) -> np.ndarray:
+        """Metres from each point to its snapped vertex, bit-identical to
+        :func:`~repro.geo.distance.equirectangular_m`.
+
+        Runs the scalar formula's ``math`` operations per element rather
+        than their NumPy counterparts: NumPy does not guarantee that its
+        transcendentals (``cos``, ``hypot``) round identically to libm on
+        every build (e.g. SVML-dispatched wheels), and the batched path's
+        exactness contract must not depend on the runner's NumPy.  The
+        loop is O(n) arithmetic — noise next to the shortest-path work.
+        """
+        hyp = np.fromiter(
+            (
+                math.hypot(
+                    math.radians(vlon - plon)
+                    * math.cos(math.radians((plat + vlat) / 2.0)),
+                    math.radians(vlat - plat),
+                )
+                for plon, plat, vlon, vlat in zip(
+                    points[:, 0].tolist(),
+                    points[:, 1].tolist(),
+                    vertex_pos[:, 0].tolist(),
+                    vertex_pos[:, 1].tolist(),
+                )
+            ),
+            dtype=float,
+            count=len(points),
+        )
+        return EARTH_RADIUS_M * hyp
+
+    # -- queries -----------------------------------------------------------
 
     def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
         """Seconds from ``a`` to ``b`` via the network (plus access legs)."""
-        u = self.graph.nearest_vertex(a)
-        v = self.graph.nearest_vertex(b)
+        u = self._snap(a)
+        v = self._snap(b)
         access = (
             equirectangular_m(a, self.graph.position(u))
             + equirectangular_m(b, self.graph.position(v))
         ) / self.access_speed_mps
         return access + self._network_seconds(u, v)
 
-    # Batched queries go through the module-level `travel_seconds_many`
-    # fallback loop — shortest paths cannot be broadcast, and the
-    # (vertex, vertex) LRU cache already amortises repeated lanes.
+    def travel_seconds_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`travel_seconds` over ``(n, 2)`` lon/lat arrays.
+
+        Misses in the pair cache are grouped by origin vertex and each
+        group runs one shared-frontier multi-target Dijkstra; element ``i``
+        is bit-identical to ``travel_seconds(a[i], b[i])``.
+        """
+        a = np.asarray(a_lonlat, dtype=float)
+        b = np.asarray(b_lonlat, dtype=float)
+        if len(a) == 0:
+            return np.empty(0, dtype=float)
+        us = self._snap_many(a)
+        vs = self._snap_many(b)
+        pos = self.graph.positions_lonlat()
+        access = (
+            self._access_m(a, pos[us]) + self._access_m(b, pos[vs])
+        ) / self.access_speed_mps
+        return access + self._network_seconds_many(us, vs)
+
+    def eta_lower_bound_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Admissible lower bound on :meth:`travel_seconds_many`'s answers.
+
+        ``max(ALT landmark bound, great-circle bound)`` on the network leg
+        plus the exact access legs — never above the true cost (up to
+        float64 rounding), and orders of magnitude cheaper than a search.
+        Callers pruning against a deadline should allow a small slack for
+        the rounding (see ``repro.dispatch.base``).
+        """
+        a = np.asarray(a_lonlat, dtype=float)
+        b = np.asarray(b_lonlat, dtype=float)
+        if len(a) == 0:
+            return np.empty(0, dtype=float)
+        us = self._snap_many(a)
+        vs = self._snap_many(b)
+        pos = self.graph.positions_lonlat()
+        access = (
+            equirectangular_m_many(a, pos[us]) + equirectangular_m_many(b, pos[vs])
+        ) / self.access_speed_mps
+        net_lb = (
+            equirectangular_m_many(pos[us], pos[vs]) * self._heuristic_cost_per_meter
+        )
+        if self.landmarks is not None:
+            net_lb = np.maximum(net_lb, self.landmarks.lower_bound_many(us, vs))
+        return access + net_lb
+
+    # -- shortest-path backends --------------------------------------------
 
     def _network_seconds(self, u: int, v: int) -> float:
         key = (u, v)
@@ -163,11 +317,54 @@ class RoadNetworkCost:
         if cached is not None:
             self._cache.move_to_end(key)
             return cached
-        cost, _ = astar(self.graph, u, v, self._heuristic_cost_per_meter)
+        if self.landmarks is not None:
+            cost, _ = alt_astar(
+                self.graph, u, v, self.landmarks, potentials=self._potentials(v)
+            )
+        else:
+            cost, _ = astar(self.graph, u, v, self._heuristic_cost_per_meter)
+        self._store_pair(key, cost)
+        return cost
+
+    def _network_seconds_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        out = np.empty(len(us), dtype=float)
+        miss_by_origin: dict[int, list[int]] = {}
+        cache = self._cache
+        us_list = us.tolist()
+        vs_list = vs.tolist()
+        for i, (u, v) in enumerate(zip(us_list, vs_list)):
+            cached = cache.get((u, v))
+            if cached is not None:
+                cache.move_to_end((u, v))
+                out[i] = cached
+            else:
+                miss_by_origin.setdefault(u, []).append(i)
+        for u, rows in miss_by_origin.items():
+            targets = {vs_list[i] for i in rows}
+            costs = multi_target_dijkstra(self.graph, u, targets)
+            for i in rows:
+                v = vs_list[i]
+                out[i] = costs[v]
+                self._store_pair((u, v), costs[v])
+        return out
+
+    def _store_pair(self, key: tuple[int, int], cost: float) -> None:
         self._cache[key] = cost
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
-        return cost
+
+    def _potentials(self, target: int) -> np.ndarray:
+        """Memoised ALT potential vector for one query target."""
+        cached = self._pot_cache.get(target)
+        if cached is not None:
+            self._pot_cache.move_to_end(target)
+            return cached
+        pot = self.landmarks.potentials_to(target)
+        self._pot_cache[target] = pot
+        if len(self._pot_cache) > self._pot_cache_size:
+            self._pot_cache.popitem(last=False)
+        return pot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RoadNetworkCost({self.graph!r})"
+        landmarks = self.landmarks.num_landmarks if self.landmarks else 0
+        return f"RoadNetworkCost({self.graph!r}, landmarks={landmarks})"

@@ -135,6 +135,50 @@ class TestSweepCommand:
         assert "[nyc]" in out and "[dense-core]" in out
 
 
+class TestCacheCommand:
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "wat"])
+
+    def test_stats_on_empty_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "runs") in out
+        assert "entries           0" in out
+        assert "LRU eviction" in out
+
+    def test_stats_reports_cap_disabled(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        assert main(["cache", "stats"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_clear_removes_entries(self, tmp_path, monkeypatch, capsys):
+        cache_dir = tmp_path / "runs"
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "a.json").write_text("{}")
+        (cache_dir / "b.json").write_text("{}")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.json")) == []
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_stats_counts_entries(self, tmp_path, monkeypatch, capsys):
+        cache_dir = tmp_path / "runs"
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "a.json").write_text("x" * 2048)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries           1" in out
+        assert "oldest entry" in out and "newest entry" in out
+
+
 class TestSimulateCommand:
     def test_unknown_policy_is_an_error(self, capsys):
         assert main(["simulate", "--policy", "WAT", "--profile", "tiny"]) == 2

@@ -6,9 +6,12 @@ from repro.experiments import clear_caches, profile_config, sweep_parameter
 from repro.experiments.parallel import (
     RunRequest,
     _disk_key,
+    _evict_lru,
     _load_disk,
     _store_disk,
     clear_disk_cache,
+    disk_cache_max_bytes,
+    disk_cache_stats,
     resolve_jobs,
     run_cache_dir,
     run_policies_parallel,
@@ -209,3 +212,78 @@ class TestDiskCache:
         )
         assert clear_disk_cache() == 1
         assert clear_disk_cache() == 0
+
+
+def _fake_entry(name: str, size: int, mtime: float) -> None:
+    import os
+
+    path = run_cache_dir() / f"{name}.json"
+    path.write_text("x" * size)
+    os.utime(path, (mtime, mtime))
+
+
+class TestDiskCacheEviction:
+    def test_cap_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert disk_cache_max_bytes() == 256 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1.5")
+        assert disk_cache_max_bytes() == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        assert disk_cache_max_bytes() == 0  # disabled
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "bogus")
+        assert disk_cache_max_bytes() == 256 * 1024 * 1024
+
+    def test_evicts_oldest_first_until_under_cap(self):
+        run_cache_dir().mkdir(parents=True, exist_ok=True)
+        _fake_entry("old", 400, mtime=1_000.0)
+        _fake_entry("mid", 400, mtime=2_000.0)
+        _fake_entry("new", 400, mtime=3_000.0)
+        assert _evict_lru(run_cache_dir(), max_bytes=900) == 1
+        names = {p.stem for p in run_cache_dir().glob("*.json")}
+        assert names == {"mid", "new"}
+
+    def test_no_eviction_under_cap(self):
+        run_cache_dir().mkdir(parents=True, exist_ok=True)
+        _fake_entry("only", 100, mtime=1_000.0)
+        assert _evict_lru(run_cache_dir(), max_bytes=10_000) == 0
+        assert disk_cache_stats()["entries"] == 1
+
+    def test_store_trims_cache_to_cap(self, quick, monkeypatch):
+        """A store over the cap evicts the least-recently-used entries."""
+        run_cache_dir().mkdir(parents=True, exist_ok=True)
+        _fake_entry("stale-a", 2_000, mtime=1_000.0)
+        _fake_entry("stale-b", 2_000, mtime=2_000.0)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", str(3_000 / (1024 * 1024)))
+        request = RunRequest(quick, "NEAR")
+        summary = run_policies_parallel(
+            [request], jobs=1, use_disk_cache=True
+        )[0]
+        # The fresh entry survives; the oldest fakes were evicted to fit.
+        assert _load_disk(request) == summary
+        assert not (run_cache_dir() / "stale-a.json").exists()
+
+    def test_load_refreshes_recency(self, quick):
+        """A hit touches its entry so re-swept configs outlive one-offs."""
+        import os
+
+        run_policies_parallel(
+            [RunRequest(quick, "NEAR")], jobs=1, use_disk_cache=True
+        )
+        (entry,) = run_cache_dir().glob("*.json")
+        os.utime(entry, (1_000.0, 1_000.0))
+        assert _load_disk(RunRequest(quick, "NEAR")) is not None
+        assert entry.stat().st_mtime > 1_000.0
+
+    def test_stats_counts_entries_and_bytes(self):
+        stats = disk_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+        run_cache_dir().mkdir(parents=True, exist_ok=True)
+        _fake_entry("a", 120, mtime=1_000.0)
+        _fake_entry("b", 80, mtime=2_000.0)
+        stats = disk_cache_stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == 200
+        assert stats["oldest_mtime"] == 1_000.0
+        assert stats["newest_mtime"] == 2_000.0
+        assert stats["directory"] == str(run_cache_dir())

@@ -1,0 +1,153 @@
+"""Scalar-vs-batched road-network ETA equivalence.
+
+The batched backend (snap cache + per-origin shared-frontier Dijkstra) must
+return *exactly* the scalar reference's seconds — same float64 edge sums
+along the same shortest paths, same access-leg arithmetic — on randomized
+jittered graphs, with and without ALT landmarks, hot or cold caches.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, NYC_BBOX
+from repro.roadnet import RoadNetworkCost, build_grid_network
+from repro.roadnet.travel_time import travel_seconds_many
+
+SPEED = 8.0
+
+
+def jittered_network(seed, rows=8, cols=8):
+    rng = np.random.default_rng(seed)
+    return build_grid_network(
+        NYC_BBOX,
+        rows=rows,
+        cols=cols,
+        speed_mps=SPEED,
+        speed_jitter=0.3,
+        diagonal_fraction=0.1,
+        rng=rng,
+    )
+
+
+def sample_pairs(seed, n):
+    rng = np.random.default_rng(seed)
+    lon = rng.uniform(NYC_BBOX.min_lon, NYC_BBOX.max_lon, (2, n))
+    lat = rng.uniform(NYC_BBOX.min_lat, NYC_BBOX.max_lat, (2, n))
+    a = np.column_stack([lon[0], lat[0]])
+    b = np.column_stack([lon[1], lat[1]])
+    return a, b
+
+
+def scalar_reference(cost, a, b):
+    return np.array(
+        [
+            cost.travel_seconds(GeoPoint(*pa), GeoPoint(*pb))
+            for pa, pb in zip(a, b)
+        ]
+    )
+
+
+class TestBatchedEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        pair_seed=st.integers(0, 10_000),
+        num_landmarks=st.sampled_from([0, 4]),
+    )
+    def test_batched_equals_scalar_exactly(
+        self, graph_seed, pair_seed, num_landmarks
+    ):
+        graph = jittered_network(graph_seed, rows=6, cols=6)
+        a, b = sample_pairs(pair_seed, 40)
+        batched_model = RoadNetworkCost(graph, num_landmarks=num_landmarks)
+        scalar_model = RoadNetworkCost(graph, num_landmarks=num_landmarks)
+        batched = batched_model.travel_seconds_many(a, b)
+        scalar = scalar_reference(scalar_model, a, b)
+        assert np.array_equal(batched, scalar)
+
+    def test_alt_and_plain_astar_agree(self):
+        graph = jittered_network(11)
+        a, b = sample_pairs(12, 60)
+        plain = scalar_reference(RoadNetworkCost(graph), a, b)
+        alt = scalar_reference(RoadNetworkCost(graph, num_landmarks=6), a, b)
+        assert np.array_equal(plain, alt)
+
+    def test_hot_cache_returns_same_values(self):
+        """A second batched call (fully cached) must be bit-identical."""
+        graph = jittered_network(13)
+        a, b = sample_pairs(14, 50)
+        model = RoadNetworkCost(graph, num_landmarks=4)
+        cold = model.travel_seconds_many(a, b)
+        hot = model.travel_seconds_many(a, b)
+        assert np.array_equal(cold, hot)
+
+    def test_scalar_then_batched_shares_pair_cache(self):
+        """Scalar A* results seed the pair cache the batch path reads."""
+        graph = jittered_network(15)
+        a, b = sample_pairs(16, 30)
+        model = RoadNetworkCost(graph)
+        scalar = scalar_reference(model, a, b)
+        batched = model.travel_seconds_many(a, b)
+        assert np.array_equal(batched, scalar)
+
+    def test_duplicate_and_coincident_pairs(self):
+        graph = jittered_network(17)
+        a, b = sample_pairs(18, 10)
+        a = np.vstack([a, a[:3], a[:1]])
+        b = np.vstack([b, b[:3], a[:1]])  # last pair: origin == destination
+        model = RoadNetworkCost(graph)
+        reference = RoadNetworkCost(graph)
+        assert np.array_equal(
+            model.travel_seconds_many(a, b), scalar_reference(reference, a, b)
+        )
+
+    def test_empty_batch(self):
+        graph = jittered_network(19)
+        model = RoadNetworkCost(graph)
+        out = model.travel_seconds_many(
+            np.empty((0, 2), dtype=float), np.empty((0, 2), dtype=float)
+        )
+        assert out.shape == (0,)
+
+    def test_module_dispatcher_uses_native_batch(self):
+        """`travel_seconds_many(model, ...)` routes to the native backend."""
+        graph = jittered_network(21)
+        a, b = sample_pairs(22, 20)
+        model = RoadNetworkCost(graph)
+        reference = RoadNetworkCost(graph)
+        assert np.array_equal(
+            travel_seconds_many(model, a, b), scalar_reference(reference, a, b)
+        )
+
+
+class TestLowerBoundForPruning:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 10_000),
+        pair_seed=st.integers(0, 10_000),
+        num_landmarks=st.sampled_from([0, 4]),
+    )
+    def test_eta_lower_bound_admissible(
+        self, graph_seed, pair_seed, num_landmarks
+    ):
+        graph = jittered_network(graph_seed, rows=6, cols=6)
+        a, b = sample_pairs(pair_seed, 40)
+        model = RoadNetworkCost(graph, num_landmarks=num_landmarks)
+        bounds = model.eta_lower_bound_many(a, b)
+        exact = model.travel_seconds_many(a, b)
+        assert np.all(bounds <= exact + 1e-6 * np.maximum(1.0, exact))
+
+    def test_landmark_bound_tightens_geometric_bound(self):
+        graph = jittered_network(23)
+        a, b = sample_pairs(24, 80)
+        plain = RoadNetworkCost(graph)
+        alt = RoadNetworkCost(graph, num_landmarks=8)
+        loose = plain.eta_lower_bound_many(a, b)
+        tight = alt.eta_lower_bound_many(a, b)
+        exact = alt.travel_seconds_many(a, b)
+        # Both admissible; the landmark bound must be strictly tighter on
+        # average and close to the truth on jittered grids.
+        assert np.all(tight >= loose - 1e-9)
+        assert (tight / exact).mean() > 0.8
+        assert (tight / exact).mean() > (loose / exact).mean()

@@ -1,0 +1,216 @@
+"""ALT landmark lower bounds and the shared-frontier multi-target Dijkstra.
+
+Property tests (hypothesis drives the graph seeds and query pairs):
+
+- the ALT bound is admissible — never above the true shortest-path cost;
+- :func:`alt_astar` returns exactly the Dijkstra cost;
+- :func:`multi_target_dijkstra` answers every target bit-identically to a
+  per-target Dijkstra, including unreachable targets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, NYC_BBOX
+from repro.roadnet import (
+    Landmarks,
+    RoadGraph,
+    alt_astar,
+    build_grid_network,
+    dijkstra,
+    dijkstra_all,
+    multi_target_dijkstra,
+    select_landmarks_farthest,
+)
+
+
+def jittered_grid(seed, rows=9, cols=9):
+    rng = np.random.default_rng(seed)
+    return build_grid_network(
+        NYC_BBOX,
+        rows=rows,
+        cols=cols,
+        speed_jitter=0.3,
+        diagonal_fraction=0.15,
+        rng=rng,
+    )
+
+
+class TestMultiTargetDijkstra:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    def test_matches_per_target_dijkstra_exactly(self, seed, data):
+        graph = jittered_grid(seed, rows=6, cols=6)
+        n = graph.num_vertices
+        source = data.draw(st.integers(0, n - 1))
+        targets = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=12)
+        )
+        costs = multi_target_dijkstra(graph, source, targets)
+        assert set(costs) == set(targets)
+        for target in set(targets):
+            expected, _ = dijkstra(graph, source, target)
+            assert costs[target] == expected
+
+    def test_source_among_targets(self):
+        graph = jittered_grid(1)
+        costs = multi_target_dijkstra(graph, 7, [7, 3])
+        assert costs[7] == 0.0
+        assert costs[3] == dijkstra(graph, 7, 3)[0]
+
+    def test_unreachable_target_is_inf(self):
+        graph = jittered_grid(2)
+        isolated = graph.add_vertex(GeoPoint(0.0, 0.0))
+        costs = multi_target_dijkstra(graph, 0, [isolated, 5])
+        assert costs[isolated] == float("inf")
+        assert costs[5] == dijkstra(graph, 0, 5)[0]
+
+    def test_early_termination_shares_one_frontier(self):
+        """Settled-target early exit must not truncate other answers."""
+        graph = jittered_grid(3)
+        near, far = 1, graph.num_vertices - 1
+        costs = multi_target_dijkstra(graph, 0, [near, far])
+        assert costs[near] == dijkstra(graph, 0, near)[0]
+        assert costs[far] == dijkstra(graph, 0, far)[0]
+
+
+class TestLandmarks:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    def test_lower_bound_admissible_on_sampled_pairs(self, seed, data):
+        graph = jittered_grid(seed, rows=7, cols=7)
+        landmarks = Landmarks.build(graph, 4)
+        n = graph.num_vertices
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=1,
+                max_size=15,
+            )
+        )
+        us = np.array([u for u, _ in pairs], dtype=np.int64)
+        vs = np.array([v for _, v in pairs], dtype=np.int64)
+        bounds = landmarks.lower_bound_many(us, vs)
+        for (u, v), bound in zip(pairs, bounds.tolist()):
+            true, _ = dijkstra(graph, u, v)
+            # Allow float64 rounding noise on the triangle-inequality terms.
+            assert bound <= true + 1e-6 * max(1.0, true)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    def test_alt_astar_is_exact(self, seed, data):
+        graph = jittered_grid(seed, rows=7, cols=7)
+        landmarks = Landmarks.build(graph, 4)
+        n = graph.num_vertices
+        u = data.draw(st.integers(0, n - 1))
+        v = data.draw(st.integers(0, n - 1))
+        expected_cost, expected_path = dijkstra(graph, u, v)
+        cost, path = alt_astar(graph, u, v, landmarks)
+        assert cost == expected_cost
+        assert path == expected_path
+
+    def test_bound_zero_for_identical_endpoints(self):
+        graph = jittered_grid(4)
+        landmarks = Landmarks.build(graph, 3)
+        ids = np.arange(graph.num_vertices, dtype=np.int64)
+        assert np.all(landmarks.lower_bound_many(ids, ids) == 0.0)
+
+    def test_farthest_point_selection_spreads(self):
+        graph = jittered_grid(5, rows=8, cols=8)
+        chosen = select_landmarks_farthest(graph, 5)
+        assert len(chosen) == len(set(chosen)) == 5
+        # Landmarks should be pairwise far apart: the minimum pairwise
+        # network distance must beat a random-vertex baseline.
+        spread = min(
+            dijkstra(graph, a, b)[0]
+            for i, a in enumerate(chosen)
+            for b in chosen[i + 1 :]
+        )
+        rng = np.random.default_rng(0)
+        baseline = np.mean(
+            [
+                dijkstra(
+                    graph,
+                    int(rng.integers(graph.num_vertices)),
+                    int(rng.integers(graph.num_vertices)),
+                )[0]
+                for _ in range(20)
+            ]
+        )
+        assert spread > 0.5 * baseline
+
+    def test_count_clamped_to_vertex_count(self):
+        graph = RoadGraph()
+        a = graph.add_vertex(GeoPoint(0.0, 0.0))
+        b = graph.add_vertex(GeoPoint(0.01, 0.0))
+        graph.add_bidirectional_edge(a, b, 1.0)
+        landmarks = Landmarks.build(graph, 10)
+        assert landmarks.num_landmarks == 2
+
+    def test_zero_landmarks_bound_is_zero(self):
+        graph = jittered_grid(6)
+        landmarks = Landmarks([], np.empty((0, graph.num_vertices)),
+                              np.empty((0, graph.num_vertices)))
+        us = np.array([0, 1], dtype=np.int64)
+        vs = np.array([2, 3], dtype=np.int64)
+        assert np.all(landmarks.lower_bound_many(us, vs) == 0.0)
+
+    def test_unreachable_entries_never_inflate_bound(self):
+        graph = jittered_grid(7, rows=5, cols=5)
+        isolated = graph.add_vertex(GeoPoint(-80.0, 30.0))
+        landmarks = Landmarks.build(graph, 3)
+        # Any pair involving the isolated vertex has d = inf from/to every
+        # landmark; the bound must degrade to 0, not overflow to inf.
+        us = np.array([isolated, 0], dtype=np.int64)
+        vs = np.array([0, isolated], dtype=np.int64)
+        bounds = landmarks.lower_bound_many(us, vs)
+        assert np.all(np.isfinite(bounds))
+
+    def test_mismatched_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Landmarks([0], np.zeros((1, 4)), np.zeros((2, 4)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_alt_astar_exact_on_one_way_graphs(self, seed):
+        """Regression: directed graphs that are not strongly connected.
+
+        Vertices that cannot reach a landmark make the inf-masked potential
+        *inconsistent* (admissible only); a closed-set A* could settle a
+        vertex via a non-optimal path and return too large a cost.  The
+        stale-entry/re-expansion search must stay exact on every pair.
+        """
+        rng = np.random.default_rng(seed)
+        graph = RoadGraph()
+        n = 7
+        for _ in range(n):
+            graph.add_vertex(
+                GeoPoint(float(rng.uniform(0, 0.1)), float(rng.uniform(0, 0.1)))
+            )
+        for _ in range(12):
+            u, v = (int(x) for x in rng.integers(n, size=2))
+            if u != v:
+                graph.add_edge(u, v, float(rng.uniform(1, 10)))
+        landmark = int(rng.integers(n))
+
+        def row(reverse):
+            out = np.full(n, float("inf"))
+            for vertex, cost in dijkstra_all(
+                graph, landmark, reverse=reverse
+            ).items():
+                out[vertex] = cost
+            return out
+
+        landmarks = Landmarks(
+            [landmark], row(reverse=False)[None, :], row(reverse=True)[None, :]
+        )
+        for u in range(n):
+            for v in range(n):
+                assert alt_astar(graph, u, v, landmarks)[0] == dijkstra(
+                    graph, u, v
+                )[0]

@@ -1,0 +1,126 @@
+"""Engine regression on a road-graph scenario, pinned against the scalar path.
+
+The batched road-network backend (shared-frontier Dijkstra, ALT pruning,
+snap cache) must leave the simulation's economics untouched: the vectorized
+engine with the batched backend produces the same served orders, revenue,
+and assignment stream as
+
+- the vectorized engine with the *scalar* candidate backend (per-pair A*
+  ETAs), and
+- the frozen seed engine (:class:`ReferenceSimulation`) with the scalar
+  backend.
+
+Workloads reuse fresh entity lists per run (the engines mutate riders and
+drivers in place) but share one road graph; cost-model instances are
+separate per run so each path genuinely recomputes its ETAs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch import NearestPolicy, QueueingPolicy
+from repro.dispatch.base import set_candidate_backend
+from repro.experiments.config import ExperimentConfig
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet import RoadNetworkCost, build_grid_network
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.engine_reference import ReferenceSimulation
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(-74.00, 40.70, -73.96, 40.73)
+GRID = GridPartition(BOX, rows=3, cols=3)
+SPEED = 8.0
+CONFIG = SimConfig(batch_interval_s=10.0, tc_seconds=600.0, horizon_s=5400.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_grid_network(
+        BOX,
+        rows=14,
+        cols=14,
+        speed_mps=SPEED,
+        speed_jitter=0.25,
+        diagonal_fraction=0.1,
+        rng=np.random.default_rng(8),
+    )
+
+
+def make_workload(cost_model, num_riders=150, num_drivers=12, seed=4):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        t = float(rng.uniform(0.0, CONFIG.horizon_s * 0.8))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = cost_model.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + 300.0, trip_seconds=trip, revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        drivers.append(Driver(j, position, GRID.region_of(position)))
+    return riders, drivers
+
+
+def run_once(network, engine_cls, backend, policy_factory, num_landmarks):
+    cost_model = RoadNetworkCost(
+        network, access_speed_mps=SPEED, num_landmarks=num_landmarks
+    )
+    riders, drivers = make_workload(cost_model)
+    previous = set_candidate_backend(backend)
+    try:
+        sim = engine_cls(
+            riders, drivers, GRID, cost_model, policy_factory(), CONFIG
+        )
+        result = sim.run()
+    finally:
+        set_candidate_backend(previous)
+    metrics = result.metrics
+    assignments = tuple(
+        (r.rider_id, r.driver_id, r.assign_time_s)
+        for r in sorted(riders, key=lambda r: r.rider_id)
+        if r.driver_id is not None
+    )
+    return {
+        "served": metrics.served_orders,
+        "reneged": metrics.reneged_orders,
+        "revenue": metrics.total_revenue,
+        "assignments": assignments,
+    }
+
+
+@pytest.mark.parametrize(
+    "policy_factory", [NearestPolicy, lambda: QueueingPolicy("irg")],
+    ids=["NEAR", "IRG"],
+)
+def test_batched_backend_matches_scalar_backend(network, policy_factory):
+    batched = run_once(network, Simulation, "vectorized", policy_factory,
+                       num_landmarks=6)
+    scalar = run_once(network, Simulation, "scalar", policy_factory,
+                      num_landmarks=0)
+    assert batched == scalar
+
+
+def test_vectorized_engine_matches_seed_engine_on_road_graph(network):
+    vectorized = run_once(network, Simulation, "vectorized", NearestPolicy,
+                          num_landmarks=6)
+    seed = run_once(network, ReferenceSimulation, "scalar", NearestPolicy,
+                    num_landmarks=0)
+    assert vectorized == seed
+
+
+def test_experiment_config_landmark_knob_builds_model(network):
+    """`ExperimentConfig.roadnet_landmarks` wires through to the cost model."""
+    config = ExperimentConfig(roadnet_landmarks=3)
+    model = RoadNetworkCost(network, num_landmarks=config.roadnet_landmarks)
+    assert model.landmarks is not None
+    assert model.landmarks.num_landmarks == 3
+    with pytest.raises(ValueError):
+        ExperimentConfig(roadnet_landmarks=-1)
