@@ -9,9 +9,13 @@ import numpy as np
 
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
 from repro.core.irg import idle_ratio_greedy
-from repro.core.local_search import local_search
+from repro.core.local_search import local_search, local_search_arrays
 from repro.core.queueing import RegionQueue
 from repro.core.rates import RegionRates
+from repro.core.short_greedy import (
+    shortest_total_time_greedy,
+    shortest_total_time_greedy_arrays,
+)
 from repro.matching.hungarian import hungarian_min_cost
 
 
@@ -66,6 +70,54 @@ def test_bench_local_search_batch(benchmark):
 
     def run():
         return local_search(riders, drivers, pairs, _rates(), max_sweeps=16)
+
+    selected = benchmark(run)
+    assert len(selected) > 0
+
+
+def _flat_instance(riders, pairs):
+    rider_by = {r.index: r for r in riders}
+    return (
+        np.array([p.rider for p in pairs], dtype=np.int64),
+        np.array([p.driver for p in pairs], dtype=np.int64),
+        np.array([rider_by[p.rider].trip_cost_s for p in pairs], dtype=float),
+        np.array([p.pickup_eta_s for p in pairs], dtype=float),
+        np.array(
+            [rider_by[p.rider].destination_region for p in pairs], dtype=np.int64
+        ),
+    )
+
+
+def test_bench_local_search_arrays_batch(benchmark):
+    """The same LS batch through the array-native kernel."""
+    riders, drivers, pairs = _batch_instance()
+    flat = _flat_instance(riders, pairs)
+
+    def run():
+        return local_search_arrays(*flat, _rates(), max_sweeps=16)
+
+    selected = benchmark(run)
+    assert len(selected) > 0
+
+
+def test_bench_short_batch(benchmark):
+    """One rush-hour-sized SHORT batch (scalar reference)."""
+    riders, drivers, pairs = _batch_instance()
+
+    def run():
+        return shortest_total_time_greedy(riders, drivers, pairs, _rates())
+
+    selected = benchmark(run)
+    assert len(selected) > 0
+
+
+def test_bench_short_arrays_batch(benchmark):
+    """The same SHORT batch through the array-native kernel."""
+    riders, drivers, pairs = _batch_instance()
+    flat = _flat_instance(riders, pairs)
+
+    def run():
+        return shortest_total_time_greedy_arrays(*flat, _rates())
 
     selected = benchmark(run)
     assert len(selected) > 0

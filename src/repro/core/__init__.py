@@ -12,9 +12,16 @@ from repro.core.queueing import (
 from repro.core.rates import RegionRates, estimate_rates
 from repro.core.idle_ratio import idle_ratio
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
-from repro.core.irg import idle_ratio_greedy
-from repro.core.local_search import local_search
-from repro.core.short_greedy import shortest_total_time_greedy
+from repro.core.irg import idle_ratio_greedy, idle_ratio_greedy_arrays
+from repro.core.local_search import (
+    LocalSearchResult,
+    local_search,
+    local_search_arrays,
+)
+from repro.core.short_greedy import (
+    shortest_total_time_greedy,
+    shortest_total_time_greedy_arrays,
+)
 
 __all__ = [
     "RegionQueue",
@@ -28,6 +35,10 @@ __all__ = [
     "BatchDriver",
     "CandidatePair",
     "idle_ratio_greedy",
+    "idle_ratio_greedy_arrays",
+    "LocalSearchResult",
     "local_search",
+    "local_search_arrays",
     "shortest_total_time_greedy",
+    "shortest_total_time_greedy_arrays",
 ]

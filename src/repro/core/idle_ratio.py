@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["idle_ratio", "short_total_time"]
+import numpy as np
+
+__all__ = [
+    "idle_ratio",
+    "idle_ratio_many",
+    "short_total_time",
+    "short_total_time_many",
+]
 
 
 def idle_ratio(
@@ -50,6 +57,26 @@ def idle_ratio(
     return non_earning / denom
 
 
+def idle_ratio_many(
+    trip_cost_s: np.ndarray, expected_idle_s: np.ndarray, pickup_eta_s: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`idle_ratio` over aligned per-pair arrays.
+
+    Same operation order as the scalar form — ``non_earning = ET + eta``
+    then ``non_earning / (trip + non_earning)`` — so each element is
+    bit-identical to a per-pair :func:`idle_ratio` call.  Inputs are
+    pre-validated by the entity and rates layers, so the scalar form's
+    negativity checks are skipped.
+    """
+    non_earning = expected_idle_s + pickup_eta_s
+    denom = trip_cost_s + non_earning
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = non_earning / denom
+    ratio[np.isinf(expected_idle_s)] = 1.0
+    ratio[denom == 0.0] = 0.0
+    return ratio
+
+
 def short_total_time(
     trip_cost_s: float, expected_idle_s: float, pickup_eta_s: float = 0.0
 ) -> float:
@@ -65,4 +92,16 @@ def short_total_time(
         raise ValueError(f"idle time must be non-negative, got {expected_idle_s}")
     if pickup_eta_s < 0:
         raise ValueError(f"pickup eta must be non-negative, got {pickup_eta_s}")
+    return trip_cost_s + expected_idle_s + pickup_eta_s
+
+
+def short_total_time_many(
+    trip_cost_s: np.ndarray, expected_idle_s: np.ndarray, pickup_eta_s: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`short_total_time` over aligned per-pair arrays.
+
+    ``(trip + ET) + eta`` in the scalar form's association order, so each
+    element is bit-identical to a per-pair call; ``inf`` idle times
+    propagate exactly as in the scalar form.
+    """
     return trip_cost_s + expected_idle_s + pickup_eta_s

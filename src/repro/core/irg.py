@@ -26,28 +26,14 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
-from repro.core.idle_ratio import idle_ratio
+from repro.core.idle_ratio import idle_ratio, idle_ratio_many
 from repro.core.rates import RegionRates
 
-__all__ = ["idle_ratio_greedy", "idle_ratio_greedy_arrays"]
-
-
-def _initial_ratios(
-    trip: np.ndarray, et: np.ndarray, eta: np.ndarray
-) -> np.ndarray:
-    """Vectorised :func:`~repro.core.idle_ratio.idle_ratio` over pair arrays.
-
-    Same operation order as the scalar form, so the initial heap keys are
-    bit-identical to per-pair evaluation (inputs are pre-validated by the
-    entity and rates layers).
-    """
-    non_earning = et + eta
-    denom = trip + non_earning
-    with np.errstate(invalid="ignore", divide="ignore"):
-        ratio = non_earning / denom
-    ratio[np.isinf(et)] = 1.0
-    ratio[denom == 0.0] = 0.0
-    return ratio
+__all__ = [
+    "idle_ratio_greedy",
+    "idle_ratio_greedy_arrays",
+    "greedy_select_indices",
+]
 
 
 def idle_ratio_greedy(
@@ -121,6 +107,40 @@ def idle_ratio_greedy_arrays(
     the same :class:`SelectedPair` list (same order, same values) as
     :func:`idle_ratio_greedy` over the equivalent object pairs.
     """
+    # Only the selected pairs (≤ min(riders, drivers), usually far fewer
+    # than n) need Python values; the core already holds full list mirrors.
+    return [
+        SelectedPair(
+            rider=int(rider_ids[tiebreak]),
+            driver=int(driver_ids[tiebreak]),
+            pickup_eta_s=float(pickup_eta_s[tiebreak]),
+            predicted_idle_s=predicted_idle,
+        )
+        for tiebreak, predicted_idle in greedy_select_indices(
+            rider_ids, driver_ids, trip_cost_s, pickup_eta_s,
+            destination_region, rates, include_pickup,
+        )
+    ]
+
+
+def greedy_select_indices(
+    rider_ids: np.ndarray,
+    driver_ids: np.ndarray,
+    trip_cost_s: np.ndarray,
+    pickup_eta_s: np.ndarray,
+    destination_region: np.ndarray,
+    rates: RegionRates,
+    include_pickup: bool = True,
+) -> list[tuple[int, float]]:
+    """The greedy core over pair indices: Algorithm 2 without pair objects.
+
+    Returns ``(pair_index, predicted_idle_s)`` tuples in selection order,
+    where ``predicted_idle_s`` is the destination's ET at selection time.
+    ``rates`` is mutated exactly as by :func:`idle_ratio_greedy_arrays`;
+    the array-native local search seeds from this form directly (Alg. 3
+    line 1) so the initial assignment never round-trips through
+    :class:`~repro.core.batch_types.SelectedPair` objects.
+    """
     n = len(rider_ids)
     # Heap entries: (idle_ratio, tiebreak, region_version_at_eval).  The
     # tiebreak makes ordering deterministic for equal ratios.  Initial keys
@@ -132,7 +152,9 @@ def idle_ratio_greedy_arrays(
     for region in np.unique(destination_region).tolist():
         et_by_region[region] = rates.expected_idle_time(region)
         version_by_region[region] = rates.version(region)
-    ratios = _initial_ratios(trip_cost_s, et_by_region[destination_region], eta_key)
+    ratios = idle_ratio_many(
+        trip_cost_s, et_by_region[destination_region], eta_key
+    )
     heap: list[tuple[float, int, int]] = list(
         zip(
             ratios.tolist(),
@@ -146,13 +168,12 @@ def idle_ratio_greedy_arrays(
     rider_l = rider_ids.tolist()
     driver_l = driver_ids.tolist()
     trip_l = trip_cost_s.tolist()
-    eta_l = pickup_eta_s.tolist()
     eta_key_l = eta_key.tolist()
     dest_l = destination_region.tolist()
 
     taken_riders: set[int] = set()
     taken_drivers: set[int] = set()
-    selected: list[SelectedPair] = []
+    selected: list[tuple[int, float]] = []
 
     while heap:
         ratio, tiebreak, seen_version = heapq.heappop(heap)
@@ -170,12 +191,5 @@ def idle_ratio_greedy_arrays(
         taken_riders.add(rider_l[tiebreak])
         taken_drivers.add(driver_l[tiebreak])
         rates.on_assignment(dest)
-        selected.append(
-            SelectedPair(
-                rider=rider_l[tiebreak],
-                driver=driver_l[tiebreak],
-                pickup_eta_s=eta_l[tiebreak],
-                predicted_idle_s=predicted_idle,
-            )
-        )
+        selected.append((tiebreak, predicted_idle))
     return selected

@@ -4,24 +4,68 @@ Starts from any assignment (Algorithm 2's by default) and repeatedly
 replaces a driver's rider with an unassigned valid rider of strictly smaller
 idle ratio, until a full sweep makes no replacement.  Lemma 5.1 shows the
 process converges; we additionally cap the number of sweeps (``max_sweeps``,
-the ``L_max`` of the complexity analysis) as a defensive bound.
+the ``L_max`` of the complexity analysis) as a defensive bound.  A cap hit
+mid-improvement is surfaced: the returned :class:`LocalSearchResult` carries
+``converged=False`` and a warning is logged, so a truncated batch can never
+masquerade as a converged one.
 
 Replacing rider ``r`` by ``r'`` for driver ``d`` moves the future driver
 contribution from ``dest(r)`` to ``dest(r')``: ``mu(dest(r))`` drops by
 ``1/t_c`` and ``mu(dest(r'))`` rises by ``1/t_c``, which is what makes the
 search escape the greedy's myopia.
+
+Two entry points share the semantics: :func:`local_search` is the scalar
+per-pair reference over the batch-entity objects, and
+:func:`local_search_arrays` the array-native port consuming the flat CSR
+pair arrays the vectorised candidate pipeline already builds — per-driver
+candidate slices are gathered once, each sweep evaluates a driver's
+replacement ratios with one vectorised
+:func:`~repro.core.idle_ratio.idle_ratio_many` call, and the
+``RegionRates`` mu-feedback is applied by region id.  Both produce
+bit-identical assignments (same swaps, same tie-breaking, same exit
+refresh of ``predicted_idle_s`` against the final rates).
 """
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
-from repro.core.idle_ratio import idle_ratio
-from repro.core.irg import idle_ratio_greedy
+from repro.core.idle_ratio import idle_ratio, idle_ratio_many
+from repro.core.irg import greedy_select_indices, idle_ratio_greedy
 from repro.core.rates import RegionRates
 
-__all__ = ["local_search"]
+__all__ = ["LocalSearchResult", "local_search", "local_search_arrays"]
+
+_LOG = logging.getLogger(__name__)
+
+
+class LocalSearchResult(list):
+    """The converged assignment, plus convergence metadata.
+
+    A plain ``list`` of :class:`~repro.core.batch_types.SelectedPair` (a
+    drop-in for every existing caller) carrying one extra attribute:
+    ``converged`` is True when the final sweep made no replacement —
+    Lemma 5.1's fixed point was actually reached — and False when the
+    defensive ``max_sweeps`` cap cut the search off mid-improvement.
+    """
+
+    __slots__ = ("converged",)
+
+    def __init__(self, pairs: Sequence[SelectedPair] = (), converged: bool = True):
+        super().__init__(pairs)
+        self.converged = converged
+
+
+def _warn_cap_hit(max_sweeps: int) -> None:
+    _LOG.warning(
+        "local search stopped at max_sweeps=%d while still improving; "
+        "returning a non-converged assignment",
+        max_sweeps,
+    )
 
 
 def local_search(
@@ -32,8 +76,8 @@ def local_search(
     initial: Sequence[SelectedPair] | None = None,
     max_sweeps: int = 64,
     include_pickup: bool = True,
-) -> list[SelectedPair]:
-    """Run one batch of Algorithm 3.
+) -> LocalSearchResult:
+    """Run one batch of Algorithm 3 (scalar per-pair reference).
 
     Parameters
     ----------
@@ -48,9 +92,10 @@ def local_search(
 
     Returns
     -------
-    The converged assignment.  ``predicted_idle_s`` of each pair is
-    refreshed to the final rates so downstream idle-time accounting reflects
-    what the algorithm believed when it finished.
+    The converged assignment (``converged=False`` and a logged warning when
+    the sweep cap was hit mid-improvement).  ``predicted_idle_s`` of each
+    pair is refreshed to the final rates so downstream idle-time accounting
+    reflects what the algorithm believed when it finished.
     """
     if initial is None:
         current = list(
@@ -73,6 +118,7 @@ def local_search(
     assigned_rider_of: dict[int, int] = {sp.driver: sp.rider for sp in current}
     assigned_riders: set[int] = {sp.rider for sp in current}
 
+    converged = False
     for _ in range(max_sweeps):
         improved = False
         for driver, rider_idx in list(assigned_rider_of.items()):
@@ -113,9 +159,12 @@ def local_search(
                 assigned_riders.add(best_candidate)
                 improved = True
         if not improved:
+            converged = True
             break
+    if not converged:
+        _warn_cap_hit(max_sweeps)
 
-    result = []
+    result = LocalSearchResult(converged=converged)
     for driver, rider_idx in assigned_rider_of.items():
         pair = pair_lookup[(rider_idx, driver)]
         rider = rider_by_index[rider_idx]
@@ -125,6 +174,137 @@ def local_search(
                 driver=driver,
                 pickup_eta_s=pair.pickup_eta_s,
                 predicted_idle_s=rates.expected_idle_time(rider.destination_region),
+            )
+        )
+    return result
+
+
+def local_search_arrays(
+    rider_ids: np.ndarray,
+    driver_ids: np.ndarray,
+    trip_cost_s: np.ndarray,
+    pickup_eta_s: np.ndarray,
+    destination_region: np.ndarray,
+    rates: RegionRates,
+    initial: Sequence[SelectedPair] | None = None,
+    max_sweeps: int = 64,
+    include_pickup: bool = True,
+) -> LocalSearchResult:
+    """Algorithm 3 over flat per-pair arrays (the array pipeline's entry).
+
+    Arrays are aligned: element ``t`` describes one candidate pair, in the
+    canonical enumeration order of the candidate generator; ``(rider,
+    driver)`` combinations must be unique (Definition 3).  Returns the same
+    :class:`LocalSearchResult` (same pairs, same order, same values, same
+    ``converged`` flag) as :func:`local_search` over the equivalent object
+    batch.
+
+    Per sweep, a driver's replacement candidates are one CSR slice of pair
+    indices; their idle ratios are evaluated in a single vectorised call
+    against a dense per-region ET table that is refreshed only for the two
+    regions each swap mutates.
+    """
+    n = len(rider_ids)
+    if n == 0:
+        return LocalSearchResult(converged=True)
+
+    eta_key = pickup_eta_s if include_pickup else np.zeros(n, dtype=float)
+    rider_l = rider_ids.tolist()
+    driver_l = driver_ids.tolist()
+    eta_l = pickup_eta_s.tolist()
+    dest_l = destination_region.tolist()
+
+    # Dense rider ids (two pair rows naming the same rider must share one
+    # "assigned" slot) and a per-driver CSR of pair indices in pair order —
+    # the array form of the scalar path's ``riders_of_driver`` lists.
+    _, r_local = np.unique(rider_ids, return_inverse=True)
+    d_uniq, d_local = np.unique(driver_ids, return_inverse=True)
+    pair_order = np.argsort(d_local, kind="stable")
+    counts = np.bincount(d_local, minlength=len(d_uniq))
+    indptr = np.empty(len(d_uniq) + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    # Position of each pair within its driver's slice (to read the current
+    # pair's ratio out of the vectorised slice evaluation).
+    pos_within = np.empty(n, dtype=np.int64)
+    pos_within[pair_order] = np.arange(n) - np.repeat(indptr[:-1], counts)
+
+    r_local_l = r_local.tolist()
+    d_local_l = d_local.tolist()
+    indptr_l = indptr.tolist()
+    pos_within_l = pos_within.tolist()
+
+    # Alg. 3 line 1: seed from Algorithm 2 (mutating `rates`, exactly like
+    # the scalar path) unless the caller supplies a starting assignment.
+    if initial is None:
+        chosen = [
+            t
+            for t, _ in greedy_select_indices(
+                rider_ids, driver_ids, trip_cost_s, pickup_eta_s,
+                destination_region, rates, include_pickup,
+            )
+        ]
+    else:
+        pair_at: dict[tuple[int, int], int] = {
+            (rider_l[t], driver_l[t]): t for t in range(n)
+        }
+        chosen = [pair_at[(sp.rider, sp.driver)] for sp in initial]
+
+    assigned = np.zeros(int(r_local.max()) + 1, dtype=bool)
+    for t in chosen:
+        assigned[r_local_l[t]] = True
+
+    # Dense ET table over the destination regions in play, kept current by
+    # refreshing exactly the two regions each swap mutates.
+    et_by_region = np.empty(rates.num_regions, dtype=float)
+    for region in np.unique(destination_region).tolist():
+        et_by_region[region] = rates.expected_idle_time(region)
+
+    converged = False
+    for _ in range(max_sweeps):
+        improved = False
+        for k in range(len(chosen)):
+            t_cur = chosen[k]
+            d = d_local_l[t_cur]
+            cand = pair_order[indptr_l[d] : indptr_l[d + 1]]
+            ratios = idle_ratio_many(
+                trip_cost_s[cand],
+                et_by_region[destination_region[cand]],
+                eta_key[cand],
+            )
+            current_ratio = ratios[pos_within_l[t_cur]]
+            # Assigned riders (including the driver's own) are not swap
+            # targets; masking them with +inf reproduces the scalar skip.
+            ratios[assigned[r_local[cand]]] = np.inf
+            j = int(np.argmin(ratios))
+            # argmin returns the first occurrence of the minimum — the same
+            # winner as the scalar path's first-strict-improvement scan.
+            if ratios[j] < current_ratio:
+                t_new = int(cand[j])
+                old_dest = dest_l[t_cur]
+                new_dest = dest_l[t_new]
+                rates.on_unassignment(old_dest)
+                rates.on_assignment(new_dest)
+                et_by_region[old_dest] = rates.expected_idle_time(old_dest)
+                et_by_region[new_dest] = rates.expected_idle_time(new_dest)
+                assigned[r_local_l[t_cur]] = False
+                assigned[r_local_l[t_new]] = True
+                chosen[k] = t_new
+                improved = True
+        if not improved:
+            converged = True
+            break
+    if not converged:
+        _warn_cap_hit(max_sweeps)
+
+    result = LocalSearchResult(converged=converged)
+    for t in chosen:
+        result.append(
+            SelectedPair(
+                rider=rider_l[t],
+                driver=driver_l[t],
+                pickup_eta_s=eta_l[t],
+                predicted_idle_s=rates.expected_idle_time(dest_l[t]),
             )
         )
     return result

@@ -7,6 +7,14 @@ rider as quickly as possible.
 
 Structurally identical to Algorithm 2 (same lazy-key heap, same
 ``mu``-feedback on the destination region); only the priority key differs.
+
+Two entry points share the greedy core: :func:`shortest_total_time_greedy`
+is the scalar per-pair reference over the batch-entity objects (retained
+for equivalence testing), while :func:`shortest_total_time_greedy_arrays`
+consumes the flat per-pair arrays of the vectorised candidate pipeline —
+initial keys are evaluated in bulk (ET once per distinct destination, the
+key formula broadcast over all pairs), then the same lazy-key heap runs
+over array indices.  Both produce bit-identical selections.
 """
 
 from __future__ import annotations
@@ -14,11 +22,13 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
-from repro.core.idle_ratio import short_total_time
+from repro.core.idle_ratio import short_total_time, short_total_time_many
 from repro.core.rates import RegionRates
 
-__all__ = ["shortest_total_time_greedy"]
+__all__ = ["shortest_total_time_greedy", "shortest_total_time_greedy_arrays"]
 
 
 def shortest_total_time_greedy(
@@ -78,6 +88,82 @@ def shortest_total_time_greedy(
                 rider=pair.rider,
                 driver=pair.driver,
                 pickup_eta_s=pair.pickup_eta_s,
+                predicted_idle_s=predicted_idle,
+            )
+        )
+    return selected
+
+
+def shortest_total_time_greedy_arrays(
+    rider_ids: np.ndarray,
+    driver_ids: np.ndarray,
+    trip_cost_s: np.ndarray,
+    pickup_eta_s: np.ndarray,
+    destination_region: np.ndarray,
+    rates: RegionRates,
+    include_pickup: bool = True,
+) -> list[SelectedPair]:
+    """SHORT over flat per-pair arrays (the array pipeline's entry).
+
+    Arrays are aligned: element ``t`` describes one candidate pair.  The
+    caller vouches that every referenced region index is valid.  Returns
+    the same :class:`SelectedPair` list (same order, same values) as
+    :func:`shortest_total_time_greedy` over the equivalent object pairs.
+    """
+    n = len(rider_ids)
+    # Heap entries: (short_total_time, tiebreak, region_version_at_eval);
+    # the tiebreak (pair index) mirrors the scalar path's enumerate order,
+    # so equal keys pop identically.
+    eta_key = pickup_eta_s if include_pickup else np.zeros(n, dtype=float)
+    et_by_region = np.empty(rates.num_regions, dtype=float)
+    version_by_region = np.empty(rates.num_regions, dtype=np.int64)
+    for region in np.unique(destination_region).tolist():
+        et_by_region[region] = rates.expected_idle_time(region)
+        version_by_region[region] = rates.version(region)
+    keys = short_total_time_many(
+        trip_cost_s, et_by_region[destination_region], eta_key
+    )
+    heap: list[tuple[float, int, int]] = list(
+        zip(
+            keys.tolist(),
+            range(n),
+            version_by_region[destination_region].tolist(),
+        )
+    )
+    heapq.heapify(heap)
+
+    rider_l = rider_ids.tolist()
+    driver_l = driver_ids.tolist()
+    trip_l = trip_cost_s.tolist()
+    eta_l = pickup_eta_s.tolist()
+    eta_key_l = eta_key.tolist()
+    dest_l = destination_region.tolist()
+
+    taken_riders: set[int] = set()
+    taken_drivers: set[int] = set()
+    selected: list[SelectedPair] = []
+
+    while heap:
+        key, tiebreak, seen_version = heapq.heappop(heap)
+        if rider_l[tiebreak] in taken_riders or driver_l[tiebreak] in taken_drivers:
+            continue
+        dest = dest_l[tiebreak]
+        if rates.version(dest) != seen_version:
+            # Stale: the destination's mu changed since this key was computed.
+            fresh = short_total_time(
+                trip_l[tiebreak], rates.expected_idle_time(dest), eta_key_l[tiebreak]
+            )
+            heapq.heappush(heap, (fresh, tiebreak, rates.version(dest)))
+            continue
+        predicted_idle = rates.expected_idle_time(dest)
+        taken_riders.add(rider_l[tiebreak])
+        taken_drivers.add(driver_l[tiebreak])
+        rates.on_assignment(dest)
+        selected.append(
+            SelectedPair(
+                rider=rider_l[tiebreak],
+                driver=driver_l[tiebreak],
+                pickup_eta_s=eta_l[tiebreak],
                 predicted_idle_s=predicted_idle,
             )
         )

@@ -2,9 +2,22 @@
 
 This is the glue between the simulator and :mod:`repro.core`: it converts a
 :class:`~repro.dispatch.base.BatchSnapshot` into the core algorithms' batch
-types, estimates per-region rates from the snapshot's counts and predictions
-(Eqs. 18–19), runs the selected algorithm, and converts the selected pairs
-back into engine assignments with their ET estimates attached.
+arrays, estimates per-region rates from the snapshot's counts and
+predictions (Eqs. 18–19), runs the selected algorithm, and converts the
+selected pairs back into engine assignments with their ET estimates
+attached.
+
+All three algorithms run array-native by default — the CSR candidate
+arrays the snapshot already built flow straight into
+:func:`~repro.core.irg.idle_ratio_greedy_arrays`,
+:func:`~repro.core.local_search.local_search_arrays`, and
+:func:`~repro.core.short_greedy.shortest_total_time_greedy_arrays` without
+ever materialising ``BatchRider``/``CandidatePair`` objects.  Under the
+``"scalar"`` candidate backend (see
+:func:`~repro.dispatch.base.set_candidate_backend`) the policy instead
+builds the batch-entity objects and runs the retained scalar reference
+implementations, so backend equivalence tests and the seed benchmark
+exercise the per-pair path end to end.
 """
 
 from __future__ import annotations
@@ -12,11 +25,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
-from repro.core.irg import idle_ratio_greedy_arrays
-from repro.core.local_search import local_search
+from repro.core.irg import idle_ratio_greedy, idle_ratio_greedy_arrays
+from repro.core.local_search import local_search, local_search_arrays
 from repro.core.rates import RegionRates
-from repro.core.short_greedy import shortest_total_time_greedy
-from repro.dispatch.base import Assignment, BatchSnapshot, DispatchPolicy
+from repro.core.short_greedy import (
+    shortest_total_time_greedy,
+    shortest_total_time_greedy_arrays,
+)
+from repro.dispatch.base import (
+    Assignment,
+    BatchSnapshot,
+    DispatchPolicy,
+    candidate_backend,
+)
 
 __all__ = ["QueueingPolicy"]
 
@@ -73,12 +94,6 @@ class QueueingPolicy(DispatchPolicy):
         if cand.size == 0:
             return []
 
-        bundle = snapshot._rider_array_bundle()
-        rider_ids, trip, dest, revenue = bundle[3], bundle[4], bundle[5], bundle[6]
-        origin = bundle[2]
-        driver_ids = snapshot.available_ids()
-        driver_regions = snapshot._driver_region_array()
-
         rates = RegionRates(
             waiting_riders=snapshot.waiting_count_per_region(),
             available_drivers=snapshot.available_count_per_region(),
@@ -88,26 +103,56 @@ class QueueingPolicy(DispatchPolicy):
             beta=self.beta,
         )
 
+        if candidate_backend() == "scalar":
+            selected = self._plan_scalar(snapshot, cand, rates)
+        else:
+            selected = self._plan_arrays(snapshot, cand, rates)
+
+        return [
+            Assignment(
+                rider_id=pair.rider,
+                driver_id=pair.driver,
+                pickup_eta_s=pair.pickup_eta_s,
+                predicted_idle_s=pair.predicted_idle_s,
+            )
+            for pair in selected
+        ]
+
+    # -- backends ------------------------------------------------------------
+
+    def _plan_arrays(self, snapshot: BatchSnapshot, cand, rates: RegionRates):
+        """Array-native fast path: no batch-entity objects at all."""
+        bundle = snapshot._rider_array_bundle()
+        rider_ids, trip, dest = bundle[3], bundle[4], bundle[5]
+        pair_args = (
+            rider_ids[cand.rider_pos],
+            snapshot.available_ids()[cand.driver_pos],
+            trip[cand.rider_pos],
+            cand.eta_s,
+            dest[cand.rider_pos],
+            rates,
+        )
         if self.algorithm == "irg":
-            # Array-native fast path: IRG needs no batch-entity objects.
-            selected = idle_ratio_greedy_arrays(
-                rider_ids[cand.rider_pos],
-                driver_ids[cand.driver_pos],
-                trip[cand.rider_pos],
-                cand.eta_s,
-                dest[cand.rider_pos],
-                rates,
+            return idle_ratio_greedy_arrays(
+                *pair_args, include_pickup=self.include_pickup
+            )
+        if self.algorithm == "ls":
+            return local_search_arrays(
+                *pair_args,
+                max_sweeps=self.ls_max_sweeps,
                 include_pickup=self.include_pickup,
             )
-            return [
-                Assignment(
-                    rider_id=pair.rider,
-                    driver_id=pair.driver,
-                    pickup_eta_s=pair.pickup_eta_s,
-                    predicted_idle_s=pair.predicted_idle_s,
-                )
-                for pair in selected
-            ]
+        return shortest_total_time_greedy_arrays(
+            *pair_args, include_pickup=self.include_pickup
+        )
+
+    def _plan_scalar(self, snapshot: BatchSnapshot, cand, rates: RegionRates):
+        """The retained per-pair reference path (scalar backend only)."""
+        bundle = snapshot._rider_array_bundle()
+        rider_ids, trip, dest, revenue = bundle[3], bundle[4], bundle[5], bundle[6]
+        origin = bundle[2]
+        driver_ids = snapshot.available_ids()
+        driver_regions = snapshot._driver_region_array()
 
         # `rider_pos` is non-decreasing, so first occurrences mark uniques.
         r_unique = cand.rider_pos[
@@ -145,8 +190,16 @@ class QueueingPolicy(DispatchPolicy):
             )
         ]
 
+        if self.algorithm == "irg":
+            return idle_ratio_greedy(
+                batch_riders,
+                batch_drivers,
+                candidates,
+                rates,
+                include_pickup=self.include_pickup,
+            )
         if self.algorithm == "ls":
-            selected = local_search(
+            return local_search(
                 batch_riders,
                 batch_drivers,
                 candidates,
@@ -154,21 +207,10 @@ class QueueingPolicy(DispatchPolicy):
                 max_sweeps=self.ls_max_sweeps,
                 include_pickup=self.include_pickup,
             )
-        else:
-            selected = shortest_total_time_greedy(
-                batch_riders,
-                batch_drivers,
-                candidates,
-                rates,
-                include_pickup=self.include_pickup,
-            )
-
-        return [
-            Assignment(
-                rider_id=pair.rider,
-                driver_id=pair.driver,
-                pickup_eta_s=pair.pickup_eta_s,
-                predicted_idle_s=pair.predicted_idle_s,
-            )
-            for pair in selected
-        ]
+        return shortest_total_time_greedy(
+            batch_riders,
+            batch_drivers,
+            candidates,
+            rates,
+            include_pickup=self.include_pickup,
+        )

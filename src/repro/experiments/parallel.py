@@ -51,6 +51,7 @@ from repro.experiments.runner import (
     RunSummary,
     _run_cache,
     build_world,
+    normalized_run_config,
     predicted_slot_matrix,
     run_cache_key,
     run_policy,
@@ -205,10 +206,19 @@ def _canonical(value):
 
 
 def _disk_key(request: RunRequest) -> str:
-    """Stable content hash of one work unit (predictor-normalised)."""
+    """Stable content hash of one work unit.
+
+    Normalised exactly like the in-memory
+    :func:`~repro.experiments.runner.run_cache_key`: the predictor is
+    dropped for oracle-demand policies and result-invariant config knobs
+    (``roadnet_landmarks``) are pinned, so equivalent runs share one disk
+    entry.
+    """
     payload = {
         "version": _CACHE_VERSION,
-        "config": _canonical(dataclasses.asdict(request.config)),
+        "config": _canonical(
+            dataclasses.asdict(normalized_run_config(request.config))
+        ),
         "policy": request.policy,
         "predictor": request.predictor if uses_prediction(request.policy) else None,
     }

@@ -45,6 +45,7 @@ __all__ = [
     "RunSummary",
     "run_policy",
     "run_cache_key",
+    "normalized_run_config",
     "available_policies",
     "clear_caches",
     "build_world",
@@ -290,6 +291,18 @@ def _make_demand(name: str, config: ExperimentConfig, riders, grid, predictor_na
 
 # -- execution ----------------------------------------------------------------------
 
+def normalized_run_config(config: ExperimentConfig) -> ExperimentConfig:
+    """``config`` with result-invariant knobs pinned to their defaults.
+
+    ``roadnet_landmarks`` only steers *how* road-network ETAs are computed
+    — the batched/ALT/scalar backends are proven bit-identical for every
+    landmark count (and the straight-line sweeps ignore the knob entirely)
+    — so two configs differing only there describe the same simulation and
+    must share one cache entry instead of forking into redundant misses.
+    """
+    return config.replace(roadnet_landmarks=ExperimentConfig.roadnet_landmarks)
+
+
 def run_cache_key(
     config: ExperimentConfig, policy_name: str, predictor_name: str = "deepst"
 ) -> tuple:
@@ -297,12 +310,13 @@ def run_cache_key(
 
     Oracle-demand policies (``RAND``, ``NEAR``, ``IRG-R``, …) never consult
     the predictor, so their key drops the predictor component — a Table-4
-    style predictor sweep pays for each of them exactly once.  The same key
-    addresses the cross-process disk cache of
-    :mod:`repro.experiments.parallel`.
+    style predictor sweep pays for each of them exactly once.  Result-
+    invariant config knobs are likewise pinned (see
+    :func:`normalized_run_config`).  The same key addresses the
+    cross-process disk cache of :mod:`repro.experiments.parallel`.
     """
     predictor = predictor_name if uses_prediction(policy_name) else None
-    return (config, policy_name, predictor)
+    return (normalized_run_config(config), policy_name, predictor)
 
 
 def run_policy(

@@ -137,6 +137,9 @@ class Simulation:
         self._released_at: dict[int, float | None] = {
             d.driver_id: d.join_time_s for d in self.drivers
         }
+        # Scratch buffer mapping fleet positions to snapshot positions when
+        # translating the fleet's incremental CSR (see `run`).
+        self._snapshot_rank = np.empty(len(self.drivers), dtype=np.int64)
 
     def run(self) -> SimulationResult:
         """Execute every batch tick across the horizon and return results."""
@@ -232,6 +235,15 @@ class Simulation:
             avail_pos = fleet.available_indices()
             available_drivers = DriverView(self.drivers, avail_pos)
 
+            # The fleet's incremental buckets list *fleet* positions grouped
+            # by region; one O(active) scatter+gather maps them to snapshot
+            # positions — no per-tick argsort (identical to the snapshot's
+            # own stable-argsort fallback).
+            order_fleet, csr_indptr = fleet.available_csr()
+            rank = self._snapshot_rank
+            rank[avail_pos] = np.arange(len(avail_pos), dtype=np.int64)
+            csr_order = rank[order_fleet]
+
             snapshot = BatchSnapshot(
                 time_s=now,
                 tc_seconds=cfg.tc_seconds,
@@ -249,6 +261,7 @@ class Simulation:
                 driver_ids=fleet.ids[avail_pos],
                 waiting_counts=waiting_counts.copy(),
                 available_counts=fleet.avail_count.copy(),
+                driver_csr=(csr_order, csr_indptr),
                 riders_prefiltered=True,  # reneges already pruned expiries
             )
 

@@ -20,6 +20,18 @@ forward monotonically, each assignment contributes two events: the driver
 *enters* the window at ``b - t_c`` (counter up) and *leaves* it at release
 ``b`` (counter down).  Both are O(log n) heap operations instead of the
 O(busy-fleet) walk per tick.
+
+Incremental CSR bucketing: the dispatch layer consumes the available fleet
+grouped by region (one contiguous slice per region — the candidate
+generator's ring scan).  Instead of argsorting the available drivers every
+tick, :meth:`FleetState.available_csr` maintains a sorted array of
+``region * n + position`` composite keys: every activate/deactivate event
+records a ±1 delta, and the next snapshot folds the accumulated deltas into
+the sorted array with one batched ``searchsorted`` + ``delete``/``insert``
+compaction — O(changes · log fleet + fleet) straight C memmove, replacing
+the former per-tick O(fleet · log fleet) argsort.  The key order (region
+ascending, fleet position ascending within a region) is exactly the stable
+argsort's, so the CSR is bit-identical to the per-snapshot computation.
 """
 
 from __future__ import annotations
@@ -117,6 +129,13 @@ class FleetState:
         self._deactivations: list[tuple[float, int]] = []
         self._window_entries: list[tuple[float, int]] = []
 
+        #: Sorted ``region * n + position`` keys of the active drivers, plus
+        #: the pending ±1 membership deltas since the last compaction (see
+        #: the module docstring).  A driver that toggles active twice between
+        #: snapshots cancels back to a zero delta and is dropped.
+        self._bucket_keys = np.empty(0, dtype=np.int64)
+        self._bucket_delta: dict[int, int] = {}
+
         for i, d in enumerate(drivers):
             self.lonlat[i, 0] = d.position.lon
             self.lonlat[i, 1] = d.position.lat
@@ -210,6 +229,48 @@ class FleetState:
         """Fleet positions of active drivers, ascending (snapshot order)."""
         return np.flatnonzero(self.active)
 
+    def available_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(order_fleet, indptr)`` region-bucketed view of active drivers.
+
+        ``order_fleet`` lists *fleet positions* grouped by region (ascending
+        position within a region — the stable-argsort order);
+        ``indptr[k]:indptr[k+1]`` slices region ``k``'s drivers.  Built
+        incrementally: pending activate/deactivate deltas are folded into
+        the sorted key array (O(changes · log fleet) search + one C-level
+        compaction), and ``indptr`` is the running ``avail_count`` cumsum —
+        no per-tick argsort.
+        """
+        self._flush_bucket_deltas()
+        stride = len(self.active)
+        order_fleet = (
+            self._bucket_keys % stride if stride else self._bucket_keys
+        )
+        indptr = np.empty(self.num_regions + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(self.avail_count, out=indptr[1:])
+        return order_fleet, indptr
+
+    def _flush_bucket_deltas(self) -> None:
+        delta = self._bucket_delta
+        if not delta:
+            return
+        removes = sorted(k for k, v in delta.items() if v < 0)
+        adds = sorted(k for k, v in delta.items() if v > 0)
+        delta.clear()
+        keys = self._bucket_keys
+        if removes:
+            keys = np.delete(keys, np.searchsorted(keys, removes))
+        if adds:
+            keys = np.insert(keys, np.searchsorted(keys, adds), adds)
+        self._bucket_keys = keys
+
+    def _bucket_bump(self, key: int, step: int) -> None:
+        new = self._bucket_delta.get(key, 0) + step
+        if new:
+            self._bucket_delta[key] = new
+        else:
+            del self._bucket_delta[key]
+
     def upcoming_rejoins(self) -> np.ndarray:
         """|D^hat| as floats (the snapshot's ``predicted_drivers`` dtype)."""
         return self.rejoin_counts.astype(float)
@@ -228,17 +289,26 @@ class FleetState:
         expected_counts = np.bincount(active_regions, minlength=self.num_regions)
         assert np.array_equal(self.avail_count, expected_counts)
         assert self.active_total == int(self.active.sum())
+        order_fleet, indptr = self.available_csr()
+        pos = np.flatnonzero(self.active)
+        expected_order = pos[np.argsort(self.region[pos], kind="stable")]
+        assert np.array_equal(order_fleet, expected_order)
+        assert np.array_equal(indptr[1:], np.cumsum(expected_counts))
 
     # -- internals -----------------------------------------------------------
 
     def _activate(self, i: int) -> None:
         self.active[i] = True
-        self.avail_count[self.region[i]] += 1
+        region = int(self.region[i])
+        self.avail_count[region] += 1
         self.active_total += 1
+        self._bucket_bump(region * len(self.active) + i, +1)
         if not math.isinf(self.leave[i]):
             heapq.heappush(self._deactivations, (self.leave[i], i))
 
     def _deactivate(self, i: int) -> None:
         self.active[i] = False
-        self.avail_count[self.region[i]] -= 1
+        region = int(self.region[i])
+        self.avail_count[region] -= 1
         self.active_total -= 1
+        self._bucket_bump(region * len(self.active) + i, -1)

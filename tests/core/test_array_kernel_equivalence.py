@@ -1,0 +1,213 @@
+"""Array-native LS / SHORT kernels must match the scalar references bit for bit.
+
+The scalar per-pair implementations (``local_search``,
+``shortest_total_time_greedy``) are the golden references; the array
+entry points consume the same batch flattened into per-pair arrays and
+must return identical :class:`~repro.core.batch_types.SelectedPair`
+lists — same pairs, same selection/sweep order, same float values
+(``==``, never approx), the same final-rates ``predicted_idle_s``
+refresh, and the same ``converged`` flag.  Randomised batches are drawn
+with heavy value collisions (tiny choice sets for trip costs and ETAs)
+so tie-breaking order is exercised, not just the generic case.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
+from repro.core.irg import idle_ratio_greedy, idle_ratio_greedy_arrays
+from repro.core.local_search import local_search, local_search_arrays
+from repro.core.rates import RegionRates
+from repro.core.short_greedy import (
+    shortest_total_time_greedy,
+    shortest_total_time_greedy_arrays,
+)
+
+#: Few distinct values → frequent exact key ties → the tie-break paths run.
+TRIP_CHOICES = (0.0, 120.0, 120.0, 480.0, 900.0)
+ETA_CHOICES = (0.0, 5.0, 30.0)
+
+
+@st.composite
+def batches(draw):
+    num_regions = draw(st.integers(1, 4))
+    num_riders = draw(st.integers(1, 12))
+    num_drivers = draw(st.integers(1, 8))
+    riders = [
+        BatchRider(
+            index=100 + i,
+            origin_region=draw(st.integers(0, num_regions - 1)),
+            destination_region=draw(st.integers(0, num_regions - 1)),
+            trip_cost_s=draw(st.sampled_from(TRIP_CHOICES)),
+            revenue=1.0,
+        )
+        for i in range(num_riders)
+    ]
+    drivers = [
+        BatchDriver(index=500 + j, region=draw(st.integers(0, num_regions - 1)))
+        for j in range(num_drivers)
+    ]
+    pairs = [
+        CandidatePair(
+            rider=r.index,
+            driver=d.index,
+            pickup_eta_s=draw(st.sampled_from(ETA_CHOICES)),
+        )
+        for r in riders
+        for d in drivers
+        if draw(st.booleans())
+    ]
+    rates_args = dict(
+        waiting_riders=[draw(st.integers(0, 3)) for _ in range(num_regions)],
+        available_drivers=[draw(st.integers(0, 2)) for _ in range(num_regions)],
+        predicted_riders=[
+            draw(st.sampled_from((0.0, 0.5, 4.0, 12.0))) for _ in range(num_regions)
+        ],
+        predicted_drivers=[
+            draw(st.sampled_from((0.0, 1.0, 3.0))) for _ in range(num_regions)
+        ],
+        tc_seconds=1200.0,
+        beta=0.05,
+    )
+    include_pickup = draw(st.booleans())
+    return riders, drivers, pairs, rates_args, include_pickup
+
+
+def _flatten(riders, pairs):
+    rider_by = {r.index: r for r in riders}
+    rider_ids = np.array([p.rider for p in pairs], dtype=np.int64)
+    driver_ids = np.array([p.driver for p in pairs], dtype=np.int64)
+    trip = np.array([rider_by[p.rider].trip_cost_s for p in pairs], dtype=float)
+    eta = np.array([p.pickup_eta_s for p in pairs], dtype=float)
+    dest = np.array(
+        [rider_by[p.rider].destination_region for p in pairs], dtype=np.int64
+    )
+    return rider_ids, driver_ids, trip, eta, dest
+
+
+def assert_pairs_identical(scalar, arrays):
+    assert len(scalar) == len(arrays)
+    for a, b in zip(scalar, arrays):
+        assert a.rider == b.rider
+        assert a.driver == b.driver
+        assert a.pickup_eta_s == b.pickup_eta_s
+        assert a.predicted_idle_s == b.predicted_idle_s  # exact, not approx
+
+
+@settings(max_examples=120, deadline=None)
+@given(batches())
+def test_local_search_arrays_equivalent(batch):
+    riders, drivers, pairs, rates_args, include_pickup = batch
+    scalar = local_search(
+        riders, drivers, pairs, RegionRates(**rates_args),
+        max_sweeps=16, include_pickup=include_pickup,
+    )
+    rates_arr = RegionRates(**rates_args)
+    arrays = local_search_arrays(
+        *_flatten(riders, pairs), rates_arr,
+        max_sweeps=16, include_pickup=include_pickup,
+    )
+    assert_pairs_identical(scalar, arrays)
+    assert scalar.converged == arrays.converged
+
+
+@settings(max_examples=120, deadline=None)
+@given(batches())
+def test_local_search_arrays_equivalent_with_initial(batch):
+    """Seeding both paths from the same explicit assignment (Alg. 3's
+    ``initial`` contract: rates already reflect it)."""
+    riders, drivers, pairs, rates_args, include_pickup = batch
+    rider_by = {r.index: r for r in riders}
+
+    def greedy_initial(rates):
+        # A deliberately myopic starting point: first pair per free
+        # rider/driver in enumeration order.
+        taken_r, taken_d, initial = set(), set(), []
+        for p in pairs:
+            if p.rider in taken_r or p.driver in taken_d:
+                continue
+            taken_r.add(p.rider)
+            taken_d.add(p.driver)
+            rates.on_assignment(rider_by[p.rider].destination_region)
+            initial.append(
+                SelectedPair(
+                    rider=p.rider, driver=p.driver,
+                    pickup_eta_s=p.pickup_eta_s, predicted_idle_s=0.0,
+                )
+            )
+        return initial
+
+    rates_s = RegionRates(**rates_args)
+    scalar = local_search(
+        riders, drivers, pairs, rates_s, initial=greedy_initial(rates_s),
+        max_sweeps=16, include_pickup=include_pickup,
+    )
+    rates_a = RegionRates(**rates_args)
+    arrays = local_search_arrays(
+        *_flatten(riders, pairs), rates_a, initial=greedy_initial(rates_a),
+        max_sweeps=16, include_pickup=include_pickup,
+    )
+    assert_pairs_identical(scalar, arrays)
+    assert scalar.converged == arrays.converged
+
+
+@settings(max_examples=120, deadline=None)
+@given(batches())
+def test_short_greedy_arrays_equivalent(batch):
+    riders, drivers, pairs, rates_args, include_pickup = batch
+    scalar = shortest_total_time_greedy(
+        riders, drivers, pairs, RegionRates(**rates_args),
+        include_pickup=include_pickup,
+    )
+    arrays = shortest_total_time_greedy_arrays(
+        *_flatten(riders, pairs), RegionRates(**rates_args),
+        include_pickup=include_pickup,
+    )
+    assert_pairs_identical(scalar, arrays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batches())
+def test_irg_arrays_equivalent(batch):
+    """The pre-existing IRG pair (object path delegates to arrays) stays
+    covered by the same randomized harness."""
+    riders, drivers, pairs, rates_args, include_pickup = batch
+    scalar = idle_ratio_greedy(
+        riders, drivers, pairs, RegionRates(**rates_args),
+        include_pickup=include_pickup,
+    )
+    arrays = idle_ratio_greedy_arrays(
+        *_flatten(riders, pairs), RegionRates(**rates_args),
+        include_pickup=include_pickup,
+    )
+    assert_pairs_identical(scalar, arrays)
+
+
+def test_final_rates_mutations_identical():
+    """Both LS paths leave `rates` itself in the same state (the policy
+    reads ET off the mutated rates after the batch)."""
+    rng = np.random.default_rng(5)
+    riders = [
+        BatchRider(100 + i, int(rng.integers(3)), int(rng.integers(3)),
+                   float(rng.choice(TRIP_CHOICES)), 1.0)
+        for i in range(10)
+    ]
+    drivers = [BatchDriver(500 + j, int(rng.integers(3))) for j in range(5)]
+    pairs = [
+        CandidatePair(r.index, d.index, float(rng.choice(ETA_CHOICES)))
+        for r in riders for d in drivers if rng.random() < 0.6
+    ]
+    args = dict(
+        waiting_riders=[1, 0, 2], available_drivers=[0, 1, 0],
+        predicted_riders=[6.0, 0.5, 11.0], predicted_drivers=[1.0, 2.0, 0.0],
+        tc_seconds=1200.0, beta=0.05,
+    )
+    rates_s = RegionRates(**args)
+    local_search(riders, drivers, pairs, rates_s, max_sweeps=16)
+    rates_a = RegionRates(**args)
+    local_search_arrays(*_flatten(riders, pairs), rates_a, max_sweeps=16)
+    for k in range(3):
+        assert rates_s.mu(k) == rates_a.mu(k)
+        assert rates_s.version(k) == rates_a.version(k)
+        assert rates_s.expected_idle_time(k) == rates_a.expected_idle_time(k)

@@ -136,3 +136,62 @@ class TestLocalSearch:
     def test_empty_input(self):
         rates = fresh_rates([1.0], [1.0])
         assert local_search([], [], [], rates) == []
+
+
+class TestConvergenceReporting:
+    """A cap-hit batch must be reported as non-converged (not silently
+    returned as if Lemma 5.1's fixed point had been reached)."""
+
+    def improving_batch(self):
+        riders = [
+            BatchRider(0, 0, 1, 120.0, 120.0),
+            BatchRider(1, 0, 0, 900.0, 900.0),
+        ]
+        drivers = [BatchDriver(0, 0)]
+        pairs = [CandidatePair(0, 0, 5.0), CandidatePair(1, 0, 5.0)]
+        rates = fresh_rates([20.0, 0.5], [0.5, 2.0])
+        initial = [SelectedPair(rider=0, driver=0, pickup_eta_s=5.0,
+                                predicted_idle_s=0.0)]
+        rates.on_assignment(riders[0].destination_region)
+        return riders, drivers, pairs, rates, initial
+
+    def test_cap_hit_reports_non_converged(self, caplog):
+        """max_sweeps=1 stops right after an improving sweep: the search
+        cannot prove a fixed point, so converged must be False."""
+        riders, drivers, pairs, rates, initial = self.improving_batch()
+        with caplog.at_level("WARNING", logger="repro.core.local_search"):
+            out = local_search(
+                riders, drivers, pairs, rates, initial=initial, max_sweeps=1
+            )
+        assert out.converged is False
+        assert any("max_sweeps" in r.message for r in caplog.records)
+        # The truncated assignment is still returned (the swap happened).
+        assert out[0].rider == 1
+
+    def test_full_convergence_reports_converged(self, caplog):
+        """With room for the no-improvement sweep, the flag is True and no
+        warning is logged."""
+        riders, drivers, pairs, rates, initial = self.improving_batch()
+        with caplog.at_level("WARNING", logger="repro.core.local_search"):
+            out = local_search(
+                riders, drivers, pairs, rates, initial=initial, max_sweeps=2
+            )
+        assert out.converged is True
+        assert not caplog.records
+        assert out[0].rider == 1
+
+    def test_array_path_reports_cap_hit_identically(self, caplog):
+        import numpy as np
+
+        from repro.core.local_search import local_search_arrays
+
+        riders, drivers, pairs, rates, initial = self.improving_batch()
+        with caplog.at_level("WARNING", logger="repro.core.local_search"):
+            out = local_search_arrays(
+                np.array([0, 1]), np.array([0, 0]),
+                np.array([120.0, 900.0]), np.array([5.0, 5.0]),
+                np.array([1, 0]), rates, initial=initial, max_sweeps=1,
+            )
+        assert out.converged is False
+        assert any("max_sweeps" in r.message for r in caplog.records)
+        assert out[0].rider == 1

@@ -16,7 +16,7 @@ from repro.experiments.parallel import (
     run_cache_dir,
     run_policies_parallel,
 )
-from repro.experiments.runner import RunSummary
+from repro.experiments.runner import RunSummary, run_cache_key
 from repro.sim.metrics import IdleSample
 
 POLICIES = ("RAND", "NEAR", "IRG-R")
@@ -205,6 +205,41 @@ class TestDiskCache:
         assert _disk_key(RunRequest(quick, "NEAR")) != _disk_key(
             RunRequest(quick.replace(city="sprawl"), "NEAR")
         )
+
+    def test_landmark_count_does_not_fork_cache_keys(self, quick):
+        """`roadnet_landmarks` is result-invariant (batched/ALT/scalar ETAs
+        are bit-identical), so configs differing only there must share one
+        cache entry — in memory and on disk — instead of re-simulating."""
+        few = quick.replace(roadnet_landmarks=0)
+        many = quick.replace(roadnet_landmarks=16)
+        assert run_cache_key(few, "NEAR") == run_cache_key(many, "NEAR")
+        assert _disk_key(RunRequest(few, "NEAR")) == _disk_key(
+            RunRequest(many, "NEAR")
+        )
+        # End to end: the second request resolves from the first's entry
+        # without simulating again.
+        first = run_policies_parallel(
+            [RunRequest(few, "NEAR")], jobs=1, use_disk_cache=True
+        )[0]
+        clear_caches()  # drop the in-memory layer; keep the disk entry
+        import repro.experiments.runner as runner_mod
+
+        original = runner_mod._execute
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "landmark-only config change re-simulated instead of "
+                "hitting the shared cache entry"
+            )
+
+        runner_mod._execute = boom
+        try:
+            again = run_policies_parallel(
+                [RunRequest(many, "NEAR")], jobs=1, use_disk_cache=True
+            )[0]
+        finally:
+            runner_mod._execute = original
+        assert again == first
 
     def test_clear_disk_cache(self, quick):
         run_policies_parallel(

@@ -150,6 +150,39 @@ class TestFleetStateBasics:
             FleetState([], num_regions=1, tc_seconds=0.0)
 
 
+class TestIncrementalBuckets:
+    def test_csr_matches_argsort_reference(self):
+        drivers = [make_driver(i, region=i % 3) for i in range(7)]
+        fleet = FleetState(drivers, num_regions=3, tc_seconds=600.0)
+        fleet.advance(0.0)
+        order, indptr = fleet.available_csr()
+        # region 0: positions 0,3,6 — region 1: 1,4 — region 2: 2,5
+        assert order.tolist() == [0, 3, 6, 1, 4, 2, 5]
+        assert indptr.tolist() == [0, 3, 5, 7]
+
+    def test_deltas_accumulate_across_unflushed_ticks(self):
+        """Many events between snapshots fold into one correct compaction,
+        including activate→deactivate cancellations."""
+        rng = np.random.default_rng(3)
+        drivers = [make_driver(i, region=int(rng.integers(4))) for i in range(10)]
+        fleet = FleetState(drivers, num_regions=4, tc_seconds=600.0)
+        fleet.advance(0.0)
+        fleet.available_csr()  # materialise the initial buckets
+        # A flurry of events with no snapshot in between: two assignments,
+        # one of which releases into a new region and is re-assigned again.
+        fleet.assign(2, now=0.0, busy_until=50.0, dest_region=3, lon=0.0, lat=0.0)
+        fleet.assign(5, now=0.0, busy_until=40.0, dest_region=0, lon=0.0, lat=0.0)
+        fleet.advance(50.0)
+        fleet.release(5, 50.0)
+        fleet.release(2, 50.0)
+        fleet.assign(2, now=50.0, busy_until=80.0, dest_region=1, lon=0.0, lat=0.0)
+        order, indptr = fleet.available_csr()
+        pos = np.flatnonzero(fleet.active)
+        expected = pos[np.argsort(fleet.region[pos], kind="stable")]
+        assert np.array_equal(order, expected)
+        assert indptr.tolist() == [0, *np.cumsum(fleet.avail_count).tolist()]
+
+
 class TestFleetStateRandomized:
     def test_counters_match_brute_force(self):
         """Drive random event sequences; counters must equal recomputation."""

@@ -1,0 +1,110 @@
+"""Per-policy audit of the engine's tick-skipping opt-in flags.
+
+``supports_tick_skipping`` / ``assigns_whenever_possible`` let the engine
+prove whole ticks away; a policy carrying a flag it does not honour would
+silently skip assignable ticks.  This audit runs **every policy the
+experiment runner can register** (all registry names plus a rebalancing
+wrapper) three ways on the same fixed-seed world —
+
+- the optimised engine with tick skipping enabled (flags honoured),
+- the optimised engine with ``skip_empty_ticks=False`` (flags ignored),
+- the frozen seed loop (``ReferenceSimulation``, no skipping at all)
+
+— and asserts all three produce identical economics, per-rider outcomes,
+and per-tick batch series.  A mis-flagged policy diverges between the
+first run and the other two, so it can never land silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _make_policy, available_policies
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.engine_reference import ReferenceSimulation
+from repro.sim.entities import Driver, Rider
+
+BOX = BoundingBox(0.0, 0.0, 0.05, 0.04)
+GRID = GridPartition(BOX, rows=3, cols=3)
+COST = StraightLineCost(speed_mps=9.0, metric="manhattan")
+SKIP = SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=5400.0,
+                 pickup_speed_mps=9.0, skip_empty_ticks=True)
+NO_SKIP = SimConfig(batch_interval_s=5.0, tc_seconds=900.0, horizon_s=5400.0,
+                    pickup_speed_mps=9.0, skip_empty_ticks=False)
+
+#: The full registry plus one rebalancing wrapper (stateful repositions are
+#: the trickiest case for the no-op-tick proof).
+AUDITED = tuple(available_policies()) + ("IRG-R+RB", "NEAR+RB")
+
+#: The registry's beta/seed knobs are all `_make_policy` reads.
+POLICY_CONFIG = ExperimentConfig()
+
+
+def build_world(seed, num_riders=200, num_drivers=16):
+    rng = np.random.default_rng(seed)
+    riders = []
+    for i in range(num_riders):
+        t = float(rng.uniform(0.0, 4000.0))
+        pickup = BOX.sample(rng)
+        dropoff = BOX.sample(rng)
+        trip = COST.travel_seconds(pickup, dropoff)
+        riders.append(
+            Rider(
+                rider_id=i, request_time_s=t, pickup=pickup, dropoff=dropoff,
+                deadline_s=t + float(rng.uniform(60.0, 360.0)),
+                trip_seconds=trip, revenue=trip,
+                origin_region=GRID.region_of(pickup),
+                destination_region=GRID.region_of(dropoff),
+            )
+        )
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        join, leave = 0.0, float("inf")
+        if rng.random() < 0.5:
+            join = float(rng.uniform(0.0, 1500.0))
+            leave = join + float(rng.uniform(1200.0, 4000.0))
+        drivers.append(
+            Driver(
+                j, position, GRID.region_of(position),
+                join_time_s=join, leave_time_s=leave, available_since_s=join,
+            )
+        )
+    return riders, drivers
+
+
+def run(engine_cls, policy_name, config):
+    riders, drivers = build_world(seed=17)
+    policy = _make_policy(policy_name, POLICY_CONFIG)
+    return engine_cls(riders, drivers, GRID, COST, policy, config).run()
+
+
+def assert_identical(a, b):
+    assert a.metrics.total_revenue == b.metrics.total_revenue
+    assert a.metrics.served_orders == b.metrics.served_orders
+    assert a.metrics.reneged_orders == b.metrics.reneged_orders
+    assert a.metrics.repositions == b.metrics.repositions
+    for ra, rb in zip(a.riders, b.riders):
+        assert ra.status is rb.status
+        assert ra.driver_id == rb.driver_id
+        assert ra.assign_time_s == rb.assign_time_s
+    assert len(a.metrics.batches) == len(b.metrics.batches)
+    for ba, bb in zip(a.metrics.batches, b.metrics.batches):
+        assert ba.time_s == bb.time_s
+        assert ba.waiting_riders == bb.waiting_riders
+        assert ba.available_drivers == bb.available_drivers
+        assert ba.assignments == bb.assignments
+    assert len(a.recorder.samples) == len(b.recorder.samples)
+    for sa, sb in zip(a.recorder.samples, b.recorder.samples):
+        assert sa == sb
+
+
+@pytest.mark.parametrize("policy_name", AUDITED)
+def test_tick_skipping_flags_are_honest(policy_name):
+    skipping = run(Simulation, policy_name, SKIP)
+    plain = run(Simulation, policy_name, NO_SKIP)
+    reference = run(ReferenceSimulation, policy_name, NO_SKIP)
+    assert_identical(skipping, plain)
+    assert_identical(skipping, reference)
