@@ -11,12 +11,20 @@ the candidate generator can emit) through three backends:
   potentials (``ExperimentConfig.roadnet_landmarks``) guiding each search;
 - *batched* — ``travel_seconds_many``: pairs grouped by snapped origin
   vertex, one multi-target Dijkstra per driver answering every order in
-  the group from a single shared frontier.
+  the group from a single shared frontier;
+- *batched bounded* — ``travel_seconds_bounded``: the same grouping under
+  dispatch-shaped deadline budgets, with the ALT-pruned
+  ``multi_target_dijkstra_bounded`` (global early stop once the frontier
+  exceeds every live deadline, plus landmark-bound skipping of
+  provably-hopeless relaxations).
 
-All three must return exactly the same seconds (same float64 edge sums
-along the same shortest paths).  Each run appends one ``pr``-labelled
-record to ``BENCH_roadnet.json`` at the repo root, so the road-graph perf
-trajectory accumulates across PRs alongside ``BENCH_engine.json``.
+The first three must return exactly the same seconds (same float64 edge
+sums along the same shortest paths); the bounded backend must match them
+bit-for-bit on every within-deadline pair and may only drop (``inf``)
+pairs whose true ETA misses the deadline.  Each run appends one
+``pr``-labelled record to ``BENCH_roadnet.json`` at the repo root, so the
+road-graph perf trajectory accumulates across PRs alongside
+``BENCH_engine.json``.
 """
 
 import json
@@ -92,6 +100,15 @@ def time_batched(graph, origins, dests):
     return time.perf_counter() - start, etas
 
 
+def time_bounded(graph, origins, dests, budgets, num_landmarks):
+    model = RoadNetworkCost(
+        graph, access_speed_mps=SPEED_MPS, num_landmarks=num_landmarks
+    )
+    start = time.perf_counter()
+    etas = model.travel_seconds_bounded(origins, dests, budgets)
+    return time.perf_counter() - start, etas
+
+
 def test_roadnet_eta_throughput():
     """Time the three backends; record the trajectory; verify equality."""
     graph = build_graph()
@@ -113,6 +130,24 @@ def test_roadnet_eta_throughput():
         graph, origins, dests, SCENARIO.roadnet_landmarks
     )
     batched_s, batched_etas = time_batched(graph, origins, dests)
+
+    # Dispatch-shaped deadlines: the 40th percentile ETA as the patience,
+    # so a realistic majority of candidate pairs is provably infeasible
+    # and both prunes (global stop + landmark skip) genuinely engage.
+    budgets = np.full(num_pairs, float(np.quantile(scalar_etas, 0.4)))
+    bounded_s, bounded_etas = time_bounded(
+        graph, origins, dests, budgets, SCENARIO.roadnet_landmarks
+    )
+    within = scalar_etas <= budgets
+    bounded_consistent = np.array_equal(
+        bounded_etas[within], scalar_etas[within]
+    ) and bool(
+        (
+            np.isinf(bounded_etas[~within])
+            | (bounded_etas[~within] == scalar_etas[~within])
+        ).all()
+    )
+    pruned_pairs = int(np.isinf(bounded_etas).sum())
 
     identical = np.array_equal(batched_etas, scalar_etas) and np.array_equal(
         alt_etas, scalar_etas
@@ -142,8 +177,17 @@ def test_roadnet_eta_throughput():
             "wall_s": round(batched_s, 3),
             "pairs_per_s": round(num_pairs / batched_s, 1),
         },
+        "batched_bounded_alt": {
+            "wall_s": round(bounded_s, 3),
+            "pairs_per_s": round(num_pairs / bounded_s, 1),
+            "deadline_s": round(float(budgets[0]), 1),
+            "within_deadline_pairs": int(within.sum()),
+            "pruned_pairs": pruned_pairs,
+            "speedup_vs_batched": round(batched_s / bounded_s, 2),
+        },
         "speedup": round(speedup, 2),
         "etas_bit_identical": identical,
+        "bounded_bit_identical_within_deadline": bounded_consistent,
     }
     out = append_bench_record("BENCH_roadnet.json", payload)
     print(f"\n[BENCH_roadnet] -> {out}\n{json.dumps(payload, indent=2)}")
@@ -153,3 +197,9 @@ def test_roadnet_eta_throughput():
     # shows the full margin; the floor keeps head-room for noisy CI boxes).
     assert identical, "batched/ALT ETAs diverged from the per-pair reference"
     assert speedup >= 3.0, f"batched backend only {speedup:.2f}x faster"
+    # The deadline-bounded backend must be bit-identical on every pair that
+    # meets its deadline and must genuinely prune the rest; its speedup
+    # over the unbounded frontier is recorded (no floor — it includes the
+    # one-off landmark preprocessing and varies with the deadline mix).
+    assert bounded_consistent, "bounded ETAs diverged within the deadline"
+    assert pruned_pairs > 0, "deadline budgets never engaged the prune"

@@ -12,6 +12,11 @@ Each run appends one ``pr``-labelled record to ``BENCH_sweep.json`` at the
 repo root, alongside ``BENCH_engine.json``'s engine trajectory.  The
 speedup floor is asserted only when the host actually has ≥4 usable cores
 — on smaller CI boxes the record still documents the measured ratio.
+
+A second benchmark sweeps the same shape priced on the scenario's road
+graph (``cost_model="roadnet"``) — the cost-model layer's throughput
+story: serial vs sharded parity (forked workers inherit the landmark
+tables copy-on-write) and the road-graph sweep's own points/s trajectory.
 """
 
 import json
@@ -35,13 +40,23 @@ SCENARIO = ExperimentConfig(
 POLICIES = ("NEAR", "IRG-R")
 JOBS = 4
 
+#: The road-graph sweep: smaller than the straight-line scenario (every
+#: ETA is a shortest-path search) but past the 7 A.M. boundary so the
+#: lattice, landmarks, and congestion machinery all run.
+ROADNET_SCENARIO = ExperimentConfig(
+    daily_orders=6_000.0,
+    num_drivers=48,
+    horizon_s=43_200.0,
+    cost_model="roadnet",
+)
 
-def _timed_sweep(jobs: int):
+
+def _timed_sweep(jobs: int, scenario: ExperimentConfig = SCENARIO, points: int = 4):
     clear_caches()
-    values = SCENARIO.driver_sweep()[:4]
+    values = scenario.driver_sweep()[:points]
     start = time.perf_counter()
     result = sweep_parameter(
-        SCENARIO,
+        scenario,
         "num_drivers",
         values,
         policies=POLICIES,
@@ -97,3 +112,53 @@ def test_sweep_throughput():
         assert speedup >= 2.5, (
             f"jobs={JOBS} sweep only {speedup:.2f}x faster on {cores} cores"
         )
+
+
+def test_roadnet_sweep_throughput():
+    """Time a road-graph-priced sweep; record it; verify sharded parity."""
+    cores = len(os.sched_getaffinity(0))
+    with tempfile.TemporaryDirectory() as scratch:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = scratch
+        try:
+            serial, serial_s = _timed_sweep(
+                jobs=1, scenario=ROADNET_SCENARIO, points=2
+            )
+            parallel, parallel_s = _timed_sweep(
+                jobs=JOBS, scenario=ROADNET_SCENARIO, points=2
+            )
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+
+    identical = (
+        parallel.values == serial.values
+        and parallel.revenue == serial.revenue
+        and parallel.served == serial.served
+    )
+    runs = 2 * len(POLICIES)
+    payload = {
+        "scenario": {
+            "daily_orders": ROADNET_SCENARIO.daily_orders,
+            "num_drivers": ROADNET_SCENARIO.num_drivers,
+            "grid": f"{ROADNET_SCENARIO.grid_rows}x{ROADNET_SCENARIO.grid_cols}",
+            "horizon_s": ROADNET_SCENARIO.horizon_s,
+            "cost_model": ROADNET_SCENARIO.cost_model,
+            "sweep": "num_drivers",
+            "points": 2,
+            "policies": list(POLICIES),
+        },
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "runs_per_s_serial": round(runs / serial_s, 3),
+        "jobs": JOBS,
+        "cores": cores,
+        "speedup": round(serial_s / parallel_s, 2),
+        "economics_bit_identical": identical,
+    }
+    out = append_bench_record("BENCH_sweep.json", payload)
+    print(f"\n[BENCH_sweep:roadnet] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    assert identical, "parallel roadnet sweep diverged from the serial sweep"

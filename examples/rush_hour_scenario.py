@@ -3,19 +3,28 @@
 Recreates the paper's Example 1 at small scale: a morning commute pushes
 demand from residential regions toward business regions, so drivers who
 drop riders off in the right places are re-engaged quickly while others
-strand.  The script compares NEAR (pickup-distance only) against IRG
-(idle-ratio, destination-aware) during the 7–10 A.M. window and prints the
-per-region idle-time picture behind the difference.
+strand.  Since the cost-model layer became config-driven, the example runs
+on the real thing — ``cost_model="roadnet_tod"`` prices every trip and
+pickup on the scenario's street lattice under its time-of-day congestion
+profile, so the 7–10 A.M. window is not just busier but *slower* (the
+congested core's edges carry the rush-hour multiplier).  The script
+compares NEAR (pickup-distance only) against IRG (idle-ratio,
+destination-aware) during that window and prints the per-region idle-time
+picture behind the difference.
 
 Run with::
 
-    python examples/rush_hour_scenario.py
+    python examples/rush_hour_scenario.py [--straight-line]
+
+``--straight-line`` switches back to the constant-speed approximation for
+an A/B feel of what congestion-aware pricing changes.
 """
 
+import argparse
 from collections import defaultdict
 
 from repro.experiments import ExperimentConfig
-from repro.experiments.runner import run_policy_full
+from repro.experiments.runner import build_world, run_policy_full
 from repro.sim.entities import RiderStatus
 
 
@@ -32,7 +41,20 @@ def hourly_service(riders, hours=range(6, 11)):
 
 
 def main() -> None:
-    config = ExperimentConfig(num_drivers=80)  # scarce supply: choices matter
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--straight-line",
+        action="store_true",
+        help="price on the constant-speed model instead of roadnet_tod",
+    )
+    args = parser.parse_args()
+    cost_model = "straight_line" if args.straight_line else "roadnet_tod"
+    # Scarce supply (choices matter), priced through the config-driven
+    # cost-model layer — no hand-built world.
+    config = ExperimentConfig(num_drivers=80, cost_model=cost_model)
+
+    _, _, _, priced = build_world(config)
+    print(f"cost model: {priced!r}")
 
     print("Running NEAR (nearest-trip baseline)...")
     near = run_policy_full(config, "NEAR")
@@ -54,7 +76,8 @@ def main() -> None:
         print(f"  region {region:2d}: predicted {pred:7.1f}   realized {real:7.1f}")
 
     gain = (irg.total_revenue / near.total_revenue - 1.0) * 100.0
-    print(f"\nIRG revenue gain over NEAR at n={config.num_drivers}: {gain:+.2f}%")
+    print(f"\nIRG revenue gain over NEAR at n={config.num_drivers} "
+          f"({cost_model}): {gain:+.2f}%")
 
 
 if __name__ == "__main__":

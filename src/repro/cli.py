@@ -45,6 +45,7 @@ from repro.core.queueing import RegionQueue
 from repro.data.scenarios import scenario_names
 from repro.experiments.artifacts import artifact_names, build_artifact, get_artifact
 from repro.experiments.config import (
+    COST_MODEL_NAMES,
     ExperimentConfig,
     PredictionExperimentConfig,
     profile_config,
@@ -94,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the artefact's simulations over N worker processes "
         "(sets $REPRO_JOBS for the build)",
     )
+    art.add_argument(
+        "--cost-model",
+        default=None,
+        choices=COST_MODEL_NAMES,
+        help="travel-cost model for every simulation of the build "
+        "(default: the profile's, i.e. straight_line)",
+    )
 
     simulate = sub.add_parser("simulate", help="run one policy end to end")
     simulate.add_argument(
@@ -119,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="demand model for -P variants (ha / lr / gbrt / deepst)",
     )
     simulate.add_argument("--seed", type=int, default=None, help="workload seed")
+    simulate.add_argument(
+        "--cost-model",
+        default=None,
+        choices=COST_MODEL_NAMES,
+        help="travel-cost model (straight_line / roadnet / roadnet_tod)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a (sharded, multi-city) parameter sweep"
@@ -158,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--predictor",
         default="deepst",
         help="demand model for -P variants (ha / lr / gbrt / deepst)",
+    )
+    sweep.add_argument(
+        "--cost-model",
+        default=None,
+        choices=COST_MODEL_NAMES,
+        help="travel-cost model: straight_line (default), roadnet "
+        "(scenario street lattice), or roadnet_tod (lattice with the "
+        "scenario's rush-hour congestion profile)",
     )
     sweep.add_argument(
         "--no-disk-cache",
@@ -204,6 +226,8 @@ def _cmd_list() -> int:
     print("  " + ", ".join(available_policies()))
     print("\nCities (repro sweep --city <name>):")
     print("  " + ", ".join(scenario_names()))
+    print("\nCost models (repro sweep --cost-model <name>):")
+    print("  " + ", ".join(COST_MODEL_NAMES))
     print("\nProfiles: tiny, small, paper (or set REPRO_SCALE)")
     return 0
 
@@ -221,6 +245,8 @@ def _cmd_artifact(args: argparse.Namespace) -> int:
         )
         return 2
     sim_config = profile_config(args.profile)
+    if args.cost_model is not None:
+        sim_config = sim_config.replace(cost_model=args.cost_model)
     prediction_config = PredictionExperimentConfig()
     if args.jobs is not None:
         # The artefact builders resolve $REPRO_JOBS deep in the sweep layer;
@@ -288,6 +314,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         overrides["tc_minutes"] = args.tc
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.cost_model is not None:
+        overrides["cost_model"] = args.cost_model
     if overrides:
         config = config.replace(**overrides)
     base_policy = (
@@ -340,6 +368,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.utils.textplot import render_series
 
     config = profile_config(args.profile)
+    if args.cost_model is not None:
+        config = config.replace(cost_model=args.cost_model)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     for policy in policies:
         base = policy[:-3] if policy.endswith("+RB") else policy
@@ -393,12 +423,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         wall_s = time.perf_counter() - start
+        # Default straight-line output stays byte-identical; road-network
+        # sweeps label their panels so mixed terminals read unambiguously.
+        label = (
+            city
+            if city_config.cost_model == "straight_line"
+            else f"{city}:{city_config.cost_model}"
+        )
         print(
             render_series(
                 args.parameter,
                 result.values,
                 result.revenue,
-                title=f"[{city}] total revenue vs {args.parameter}",
+                title=f"[{label}] total revenue vs {args.parameter}",
             )
         )
         print()
@@ -407,12 +444,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 args.parameter,
                 result.values,
                 result.served,
-                title=f"[{city}] served orders vs {args.parameter}",
+                title=f"[{label}] served orders vs {args.parameter}",
             )
         )
         from repro.experiments.parallel import resolve_jobs
 
-        print(f"\n[{city}] swept {len(values)} x {len(policies)} runs "
+        print(f"\n[{label}] swept {len(values)} x {len(policies)} runs "
               f"in {wall_s:.2f}s (jobs={resolve_jobs(args.jobs)})\n")
     return 0
 

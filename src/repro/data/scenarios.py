@@ -33,17 +33,51 @@ name automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.data.nyc_synthetic import CityConfig, Hotspot, _default_hotspots
 from repro.geo.bbox import NYC_BBOX
+from repro.roadnet.travel_time import CongestionPeriod
 
-__all__ = ["CityScenario", "SCENARIOS", "scenario_names", "get_scenario"]
+__all__ = [
+    "CityScenario",
+    "DEFAULT_CONGESTION",
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+]
+
+
+def _congestion(
+    morning: float,
+    evening: float,
+    core_morning: float,
+    core_evening: float,
+    midday: float = 1.05,
+) -> tuple[CongestionPeriod, ...]:
+    """A stylised weekday profile: free-flow night, two rush peaks."""
+    return (
+        CongestionPeriod(0.0, 7.0, 1.0),
+        CongestionPeriod(7.0, 10.0, morning, core_morning),
+        CongestionPeriod(10.0, 16.0, midday),
+        CongestionPeriod(16.0, 19.0, evening, core_evening),
+        CongestionPeriod(19.0, 24.0, 1.0),
+    )
+
+
+#: The profile used when a scenario declares none explicitly.
+DEFAULT_CONGESTION = _congestion(1.25, 1.30, 1.55, 1.65)
 
 
 @dataclass(frozen=True)
 class CityScenario:
-    """One named city geometry (hotspot layout + demand-shape knobs)."""
+    """One named city geometry (hotspot layout + demand-shape knobs).
+
+    The ``roadnet_*`` knobs describe the scenario's deterministic street
+    lattice (built over the experiment's — possibly ``space_scale``-shrunk —
+    bounding box by :mod:`repro.experiments.cost_models`); ``congestion``
+    is its time-of-day rush-hour profile for ``cost_model="roadnet_tod"``.
+    """
 
     name: str
     description: str
@@ -51,6 +85,18 @@ class CityScenario:
     uniform_floor: float = 0.08
     gravity_scale_m: float = 3_500.0
     commute_strength: float = 0.55
+
+    #: Street-lattice resolution and texture (see
+    #: :func:`repro.roadnet.builders.build_grid_network`).
+    roadnet_rows: int = 20
+    roadnet_cols: int = 20
+    roadnet_speed_jitter: float = 0.2
+    roadnet_diagonal_fraction: float = 0.05
+
+    #: Time-of-day congestion profile (contiguous cover of the day).
+    congestion: tuple[CongestionPeriod, ...] = field(
+        default=DEFAULT_CONGESTION
+    )
 
     def city_config(
         self, daily_orders: float, rows: int, cols: int
@@ -129,6 +175,11 @@ SCENARIOS: dict[str, CityScenario] = {
             uniform_floor=0.04,
             gravity_scale_m=2_200.0,
             commute_strength=0.75,
+            # Dense street grid around one CBD; rush hour hits the core hard.
+            roadnet_rows=24,
+            roadnet_cols=24,
+            roadnet_diagonal_fraction=0.02,
+            congestion=_congestion(1.35, 1.40, 1.85, 1.95, midday=1.10),
         ),
         CityScenario(
             name="polycentric",
@@ -137,6 +188,9 @@ SCENARIOS: dict[str, CityScenario] = {
             uniform_floor=0.10,
             gravity_scale_m=4_500.0,
             commute_strength=0.50,
+            # Several cores share the load, so peaks are broad but milder.
+            roadnet_diagonal_fraction=0.08,
+            congestion=_congestion(1.25, 1.28, 1.50, 1.55),
         ),
         CityScenario(
             name="sprawl",
@@ -145,6 +199,12 @@ SCENARIOS: dict[str, CityScenario] = {
             uniform_floor=0.35,
             gravity_scale_m=6_500.0,
             commute_strength=0.30,
+            # Coarse arterial lattice with shortcuts; congestion stays mild.
+            roadnet_rows=16,
+            roadnet_cols=16,
+            roadnet_speed_jitter=0.3,
+            roadnet_diagonal_fraction=0.12,
+            congestion=_congestion(1.12, 1.15, 1.25, 1.28, midday=1.02),
         ),
     )
 }

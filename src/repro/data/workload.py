@@ -52,12 +52,21 @@ def riders_from_trips(
     config: WorkloadConfig,
     rng: np.random.Generator,
 ) -> list[Rider]:
-    """Materialise riders with deadlines, trip costs, and revenues."""
+    """Materialise riders with deadlines, trip costs, and revenues.
+
+    Clock-carrying cost models (time-of-day congestion) price each trip at
+    its request time, so a rush-hour order carries rush-hour trip seconds
+    and revenue — the simulation later freezes ``trip_seconds`` exactly as
+    the paper does (the fare is fixed when the order is posted).
+    """
     riders = []
     noise = rng.uniform(
         config.waiting_noise_lo_s, config.waiting_noise_hi_s, size=len(trips)
     )
+    set_time = getattr(cost_model, "set_time", None)
     for i, trip in enumerate(trips):
+        if set_time is not None:
+            set_time(trip.pickup_time_s)
         trip_seconds = cost_model.travel_seconds(trip.pickup, trip.dropoff)
         riders.append(
             Rider(

@@ -7,10 +7,12 @@ simulation; ``sweep_parameter`` drives the Figure 7–10/13 sweeps; the
 """
 
 from repro.experiments.config import (
+    COST_MODEL_NAMES,
     ExperimentConfig,
     PredictionExperimentConfig,
     profile_config,
 )
+from repro.experiments.cost_models import build_cost_model
 from repro.experiments.parallel import (
     RunRequest,
     clear_disk_cache,
@@ -25,9 +27,11 @@ from repro.experiments.runner import (
 from repro.experiments.sweeps import SweepResult, sweep_parameter
 
 __all__ = [
+    "COST_MODEL_NAMES",
     "ExperimentConfig",
     "PredictionExperimentConfig",
     "profile_config",
+    "build_cost_model",
     "RunSummary",
     "run_policy",
     "available_policies",

@@ -19,7 +19,16 @@ import dataclasses
 import os
 from dataclasses import dataclass
 
-__all__ = ["ExperimentConfig", "PredictionExperimentConfig", "profile_config"]
+__all__ = [
+    "COST_MODEL_NAMES",
+    "ExperimentConfig",
+    "PredictionExperimentConfig",
+    "profile_config",
+]
+
+#: Valid values of :attr:`ExperimentConfig.cost_model`, in documentation
+#: order (the factory in :mod:`repro.experiments.cost_models` builds them).
+COST_MODEL_NAMES = ("straight_line", "roadnet", "roadnet_tod")
 
 
 @dataclass(frozen=True)
@@ -41,6 +50,15 @@ class ExperimentConfig:
     #: ``nyc`` (the paper's study area, default), ``dense-core``,
     #: ``polycentric``, or ``sprawl``.
     city: str = "nyc"
+
+    #: How travel is priced (see :mod:`repro.experiments.cost_models`):
+    #: ``"straight_line"`` (default — distance / constant speed, the paper's
+    #: large-sweep approximation), ``"roadnet"`` (shortest-path seconds over
+    #: the scenario's deterministic street lattice), or ``"roadnet_tod"``
+    #: (the road network under the scenario's time-of-day congestion
+    #: profile — rush-hour edges slow down, per-slot ALT landmark tables
+    #: keep pruning admissible).
+    cost_model: str = "straight_line"
 
     #: Linear map shrink factor (speed and trip-length scale stay
     #: physical).  Reachability within a pickup deadline depends on drivers
@@ -93,6 +111,11 @@ class ExperimentConfig:
             raise ValueError("space_scale must be in (0, 1]")
         if self.roadnet_landmarks < 0:
             raise ValueError("roadnet_landmarks must be non-negative")
+        if self.cost_model not in COST_MODEL_NAMES:
+            raise ValueError(
+                f"unknown cost model {self.cost_model!r}; expected one of "
+                f"{', '.join(COST_MODEL_NAMES)}"
+            )
         from repro.data.scenarios import get_scenario
 
         get_scenario(self.city)  # validate the catalogue name

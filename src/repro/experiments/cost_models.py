@@ -1,0 +1,144 @@
+"""Cost-model factory: config → priced travel-cost model, per scenario.
+
+The paper defines travel cost on a road network ``G = <V, E>`` (§2) but
+prices its large sweeps with the constant-speed approximation for
+throughput.  This module makes that choice a first-class, config-driven
+layer: :func:`build_cost_model` turns ``ExperimentConfig.cost_model`` into
+the priced model every run uses —
+
+- ``"straight_line"`` — the historical default, byte-identical to what
+  :func:`~repro.experiments.runner.build_world` always built;
+- ``"roadnet"`` — shortest-path seconds over the scenario's deterministic
+  street lattice (one :func:`~repro.roadnet.builders.build_grid_network`
+  per city, seeded from the scenario name, covering the experiment's —
+  possibly ``space_scale``-shrunk — bounding box), with
+  ``ExperimentConfig.roadnet_landmarks`` ALT landmarks;
+- ``"roadnet_tod"`` — the same lattice under the scenario's time-of-day
+  congestion profile: a :class:`~repro.roadnet.travel_time.TimeVaryingRoadNetworkCost`
+  whose rush-hour slots slow the congested core (edges whose endpoints sit
+  near the city's business hotspots) harder than the periphery, with
+  per-slot landmark tables so every ALT bound stays admissible within its
+  slot.
+
+Everything downstream keys on the choice: ``build_world`` memoises per
+``cost_model``, the run/disk caches hash the config field, and sweeps /
+artefacts / the CLI thread it through untouched.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.data.nyc_synthetic import CityConfig
+from repro.data.scenarios import CityScenario
+from repro.experiments.config import COST_MODEL_NAMES, ExperimentConfig
+from repro.geo.distance import EARTH_RADIUS_M, equirectangular_m_many
+from repro.geo.grid import GridPartition
+from repro.roadnet.builders import build_grid_network
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.travel_time import (
+    RoadNetworkCost,
+    StraightLineCost,
+    TimeVaryingRoadNetworkCost,
+    TravelCostModel,
+)
+
+__all__ = [
+    "COST_MODEL_NAMES",
+    "build_cost_model",
+    "scenario_road_graph",
+    "congestion_core_mask",
+]
+
+#: A vertex belongs to the congested core when it lies within this many
+#: hotspot standard deviations of a business hotspot's centre.
+_CORE_RADIUS_SIGMAS = 2.0
+
+_DEG_TO_M = math.pi / 180.0 * EARTH_RADIUS_M
+
+
+def _scenario_seed(name: str) -> int:
+    """Deterministic, process-independent seed for a scenario's lattice."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def scenario_road_graph(
+    scenario: CityScenario, grid: GridPartition, speed_mps: float
+) -> RoadGraph:
+    """The scenario's deterministic street lattice over ``grid.bbox``.
+
+    Identical inputs produce bit-identical graphs: the per-edge speed
+    jitter and diagonal shortcuts draw from a generator seeded by the
+    scenario *name*, so every process — serial runner, forked sweep
+    worker, a re-run next week — prices the same network.
+    """
+    return build_grid_network(
+        grid.bbox,
+        rows=scenario.roadnet_rows,
+        cols=scenario.roadnet_cols,
+        speed_mps=speed_mps,
+        speed_jitter=scenario.roadnet_speed_jitter,
+        diagonal_fraction=scenario.roadnet_diagonal_fraction,
+        rng=np.random.default_rng(_scenario_seed(scenario.name)),
+    )
+
+
+def congestion_core_mask(graph: RoadGraph, city: CityConfig) -> np.ndarray:
+    """Boolean ``(V,)`` mask of vertices inside the congested core.
+
+    A vertex is "core" when it sits within ``2 sigma`` of any *business*
+    hotspot of the (already ``space_scale``-scaled) city — the places the
+    rush-hour profile's ``core_multiplier`` slows hardest.  Scenarios
+    without business hotspots get an empty core (uniform congestion).
+    """
+    positions = graph.positions_lonlat()
+    mask = np.zeros(graph.num_vertices, dtype=bool)
+    for spot in city.hotspots:
+        if spot.kind != "business":
+            continue
+        radius_m = _CORE_RADIUS_SIGMAS * spot.sigma_deg * _DEG_TO_M
+        centre = np.broadcast_to((spot.lon, spot.lat), positions.shape)
+        mask |= equirectangular_m_many(positions, centre) <= radius_m
+    return mask
+
+
+def build_cost_model(
+    config: ExperimentConfig,
+    scenario: CityScenario,
+    city: CityConfig,
+    grid: GridPartition,
+) -> TravelCostModel:
+    """Build the priced travel-cost model ``config.cost_model`` names.
+
+    ``city`` and ``grid`` come from the generated world (after
+    ``space_scale`` shrinking), so the lattice and the congestion core
+    follow the same geometry the workload lives on.  Callers memoise per
+    world key — landmark preprocessing and per-slot graph scaling run once
+    per ``(scenario, scale, cost model)`` combination.
+    """
+    name = config.cost_model
+    if name == "straight_line":
+        return StraightLineCost(speed_mps=config.speed_mps)
+    if name == "roadnet":
+        graph = scenario_road_graph(scenario, grid, config.speed_mps)
+        return RoadNetworkCost(
+            graph,
+            access_speed_mps=config.speed_mps,
+            num_landmarks=config.roadnet_landmarks,
+        )
+    if name == "roadnet_tod":
+        graph = scenario_road_graph(scenario, grid, config.speed_mps)
+        return TimeVaryingRoadNetworkCost(
+            graph,
+            periods=scenario.congestion,
+            core_mask=congestion_core_mask(graph, city),
+            access_speed_mps=config.speed_mps,
+            num_landmarks=config.roadnet_landmarks,
+        )
+    raise ValueError(
+        f"unknown cost model {name!r}; expected one of "
+        f"{', '.join(COST_MODEL_NAMES)}"
+    )  # pragma: no cover - ExperimentConfig validates first

@@ -21,7 +21,9 @@ work units out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
   simulating.  The location is ``$REPRO_CACHE_DIR`` (default
   ``~/.cache/repro/runs``); entries key on the full experiment
   configuration plus a format version, so any parameter change — including
-  the city scenario — misses cleanly.  The cache is size-capped
+  the city scenario and the cost model — misses cleanly (the default
+  ``straight_line`` cost model is dropped from the hash so pre-cost-model
+  entries stay addressable).  The cache is size-capped
   (``$REPRO_CACHE_MAX_MB``, default 256 MB) with least-recently-used
   eviction — loads touch their entry, stores trim the directory — so
   entries no longer accumulate forever.  ``repro cache stats`` / ``repro
@@ -214,11 +216,18 @@ def _disk_key(request: RunRequest) -> str:
     (``roadnet_landmarks``) are pinned, so equivalent runs share one disk
     entry.
     """
+    config_dict = _canonical(
+        dataclasses.asdict(normalized_run_config(request.config))
+    )
+    if config_dict.get("cost_model") == "straight_line":
+        # Straight-line runs hashed configs without the field before the
+        # cost-model layer existed; dropping the default keeps every
+        # pre-existing disk entry addressable.  Road-network configs keep
+        # the field and fork cleanly.
+        del config_dict["cost_model"]
     payload = {
         "version": _CACHE_VERSION,
-        "config": _canonical(
-            dataclasses.asdict(normalized_run_config(request.config))
-        ),
+        "config": config_dict,
         "policy": request.policy,
         "predictor": request.predictor if uses_prediction(request.policy) else None,
     }

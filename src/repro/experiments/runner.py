@@ -30,13 +30,13 @@ from repro.dispatch import (
     UpperBoundPolicy,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.cost_models import build_cost_model
 from repro.prediction import (
     DeepSTPredictor,
     GBRTPredictor,
     HistoricalAverage,
     LinearRegressionPredictor,
 )
-from repro.roadnet.travel_time import StraightLineCost
 from repro.sim.demand import CachedDemand, OracleDemand, SlotModelDemand
 from repro.sim.engine import SimConfig, Simulation, SimulationResult
 from repro.sim.metrics import IdleSample
@@ -115,7 +115,17 @@ def clear_caches() -> None:
 
 
 def world_cache_key(config: ExperimentConfig) -> tuple:
-    """The fields of ``config`` that determine the generated world."""
+    """The fields of ``config`` that determine the generated world.
+
+    ``roadnet_landmarks`` participates only when the cost model actually
+    prices on the road network: it never changes simulated *results* (the
+    batched/ALT/scalar backends are bit-identical, which is why
+    :func:`normalized_run_config` pins it out of the run/disk keys), but
+    the memoised world object genuinely embeds the landmark tables — a
+    landmark ablation through the runner must get the model it asked for,
+    not whichever count happened to build first.  Straight-line worlds
+    ignore the knob and share one entry.
+    """
     return (
         config.city,
         config.daily_orders,
@@ -125,11 +135,24 @@ def world_cache_key(config: ExperimentConfig) -> tuple:
         config.grid_cols,
         config.speed_mps,
         config.space_scale,
+        config.cost_model,
+        (
+            config.roadnet_landmarks
+            if config.cost_model != "straight_line"
+            else None
+        ),
     )
 
 
 def build_world(config: ExperimentConfig):
-    """Generator, grid, trips and cost model for ``config`` (memoised)."""
+    """Generator, grid, trips and cost model for ``config`` (memoised).
+
+    The cost model comes from the config-driven factory
+    (:func:`repro.experiments.cost_models.build_cost_model`): straight-line
+    by default, the scenario's deterministic street lattice under
+    ``cost_model="roadnet"``, or the lattice with the scenario's rush-hour
+    congestion profile under ``"roadnet_tod"``.
+    """
     key = world_cache_key(config)
     cached = _world_cache.get(key)
     if cached is None:
@@ -145,7 +168,9 @@ def build_world(config: ExperimentConfig):
         )
         generator = NycTraceGenerator(city, seed=config.seed)
         trips = generator.generate_trips(config.test_day_index)
-        cost_model = StraightLineCost(speed_mps=config.speed_mps)
+        cost_model = build_cost_model(
+            config, scenario, generator.config, generator.grid
+        )
         cached = (generator, generator.grid, trips, cost_model)
         _world_cache[key] = cached
     return cached

@@ -24,12 +24,15 @@ from repro.roadnet.shortest_path import (
     dijkstra,
     dijkstra_all,
     multi_target_dijkstra,
+    multi_target_dijkstra_bounded,
 )
 from repro.roadnet.builders import build_grid_network
 from repro.roadnet.landmarks import Landmarks, alt_astar, select_landmarks_farthest
 from repro.roadnet.travel_time import (
+    CongestionPeriod,
     RoadNetworkCost,
     StraightLineCost,
+    TimeVaryingRoadNetworkCost,
     TravelCostModel,
 )
 
@@ -38,6 +41,7 @@ __all__ = [
     "dijkstra",
     "dijkstra_all",
     "multi_target_dijkstra",
+    "multi_target_dijkstra_bounded",
     "bidirectional_dijkstra",
     "astar",
     "alt_astar",
@@ -47,4 +51,6 @@ __all__ = [
     "TravelCostModel",
     "StraightLineCost",
     "RoadNetworkCost",
+    "CongestionPeriod",
+    "TimeVaryingRoadNetworkCost",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "dijkstra",
     "dijkstra_all",
     "multi_target_dijkstra",
+    "multi_target_dijkstra_bounded",
     "bidirectional_dijkstra",
     "astar",
 ]
@@ -107,6 +108,74 @@ def multi_target_dijkstra(
             remaining.discard(u)
             if not remaining:
                 break
+        for v, w in graph.out_edges(u):
+            nd = d + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    for t in remaining:
+        out[t] = _INF
+    return out
+
+
+def multi_target_dijkstra_bounded(
+    graph: RoadGraph,
+    source: int,
+    budgets: dict[int, float],
+    min_potential=None,
+    slack: float = 0.0,
+) -> dict[int, float]:
+    """Deadline-bounded :func:`multi_target_dijkstra` with ALT pruning.
+
+    ``budgets`` maps each target to the largest cost the caller still cares
+    about (a dispatch deadline).  Two provably-safe prunes cut the shared
+    frontier expansion:
+
+    - **global stop** — Dijkstra pops costs in non-decreasing order, so once
+      the popped cost exceeds every remaining target's budget no remaining
+      target can settle within its budget; the search ends;
+    - **landmark skip** — with ``min_potential`` (a ``(V,)`` admissible
+      lower bound on the cost from each vertex to the *nearest* target,
+      e.g. the element-wise min of :meth:`Landmarks.potentials_to` vectors),
+      a popped vertex whose ``cost + min_potential`` already exceeds every
+      live budget is not relaxed: any remaining target reached through it
+      would miss its own budget.
+
+    Targets that settle are **bit-identical** to the unpruned search (both
+    accumulate the same edge sums along the same shortest paths, and a
+    target with true cost within its budget always settles before either
+    prune can trigger).  Targets cut off by a prune — whose true cost
+    provably exceeds their budget — map to ``inf`` instead of their exact
+    cost, so callers must not cache those entries as distances.  ``slack``
+    (non-negative) loosens only the landmark skip, absorbing the float64
+    rounding noise of the potential (see ``repro.dispatch.base``).
+    """
+    remaining = dict(budgets)
+    out: dict[int, float] = {}
+    if source in remaining:
+        out[source] = 0.0
+        del remaining[source]
+    if not remaining:
+        return out
+    max_budget = max(remaining.values())
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, _INF):
+            continue
+        if d > max_budget:
+            break
+        if u in remaining:
+            out[u] = d
+            del remaining[u]
+            if not remaining:
+                break
+            max_budget = max(remaining.values())
+        if min_potential is not None and d + float(min_potential[u]) > (
+            max_budget + slack
+        ):
+            continue
         for v, w in graph.out_edges(u):
             nd = d + w
             if nd < dist.get(v, _INF):

@@ -16,8 +16,10 @@ simulator talks to one of two interchangeable implementations:
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
@@ -32,14 +34,26 @@ from repro.geo.distance import (
 from repro.geo.point import GeoPoint
 from repro.roadnet.graph import RoadGraph
 from repro.roadnet.landmarks import Landmarks, alt_astar
-from repro.roadnet.shortest_path import astar, multi_target_dijkstra
+from repro.roadnet.shortest_path import (
+    astar,
+    multi_target_dijkstra,
+    multi_target_dijkstra_bounded,
+)
 
 __all__ = [
     "TravelCostModel",
     "StraightLineCost",
     "RoadNetworkCost",
+    "CongestionPeriod",
+    "TimeVaryingRoadNetworkCost",
     "travel_seconds_many",
 ]
+
+#: Slack added to deadline budgets inside the bounded batch path: ALT
+#: potentials are admissible in exact arithmetic but float64 rounding can
+#: push a bound a hair above the true cost, and a within-deadline pair must
+#: never be pruned (mirrors ``repro.dispatch.base._PRUNE_SLACK_S``).
+_BOUND_SLACK_S = 1e-6
 
 
 class TravelCostModel(Protocol):
@@ -121,6 +135,30 @@ class StraightLineCost:
         return f"StraightLineCost({self.speed_mps} m/s, {self.metric})"
 
 
+def _max_edge_speed_mps(graph: RoadGraph) -> float:
+    """Fastest edge of ``graph`` in great-circle metres per cost second.
+
+    An admissible travel-time lower bound per metre of displacement is
+    ``1 / max_speed``: every path covers at least the straight-line
+    distance, and no metre of it can be driven faster than the fastest
+    edge.  Zero-cost edges yield ``inf`` (no distance-based prune is
+    sound then).
+    """
+    best = 0.0
+    for u in graph.vertices():
+        pu = graph.position(u)
+        for v, cost in graph.out_edges(u):
+            meters = equirectangular_m(pu, graph.position(v))
+            if meters <= 0.0:
+                continue
+            if cost <= 0.0:
+                return float("inf")
+            speed = meters / cost
+            if speed > best:
+                best = speed
+    return best
+
+
 class RoadNetworkCost:
     """Shortest-path travel seconds over an explicit road graph.
 
@@ -166,10 +204,25 @@ class RoadNetworkCost:
         self.access_speed_mps = float(access_speed_mps)
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self._cache_size = int(cache_size)
-        # Heuristic admissibility: network edges are seconds at >= min speed;
-        # using access speed keeps A* admissible for jitter >= -75% (builders
-        # clip speed at 25% of base, so 1/(4*speed) is safe).
-        self._heuristic_cost_per_meter = 1.0 / (4.0 * self.access_speed_mps)
+        max_edge_speed = _max_edge_speed_mps(graph)
+        # Heuristic admissibility: no metre of any network path can be
+        # driven faster than the fastest edge, so 1/max_edge_speed seconds
+        # per great-circle metre under-estimates every path.  The 1%
+        # headroom absorbs the equirectangular projection's deviation from
+        # a true metric (~0.1% over city-sized boxes), keeping A* exact
+        # and the dispatch prune safe on *any* graph — including ones
+        # whose edges beat the access speed many times over.
+        self._heuristic_cost_per_meter = (
+            1.0 / (1.01 * max_edge_speed) if 0.0 < max_edge_speed < math.inf
+            else 0.0
+        )
+        #: Fastest effective speed anywhere in the model (m/s): the max
+        #: over edges of great-circle-metres / cost, floored at the access
+        #: speed.  Candidate generation sizes its reach disc with this —
+        #: jittered networks carry edges faster than the nominal speed, and
+        #: pruning regions with the nominal speed would drop pairs that
+        #: Definition 3 admits (the disc must bound *every* pickup).
+        self.max_speed_mps = max(max_edge_speed, self.access_speed_mps)
         #: ALT landmark tables (None when ``num_landmarks == 0``), built at
         #: construction time so every query benefits.
         self.landmarks: Landmarks | None = (
@@ -248,6 +301,23 @@ class RoadNetworkCost:
         )
         return EARTH_RADIUS_M * hyp
 
+    def _snap_pairs(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared batch prologue: snapped vertex ids and exact access legs.
+
+        Both exact batch paths (:meth:`travel_seconds_many`,
+        :meth:`travel_seconds_bounded`) must run the identical snapping and
+        access arithmetic or their bit-exactness contract silently forks.
+        """
+        us = self._snap_many(a)
+        vs = self._snap_many(b)
+        pos = self.graph.positions_lonlat()
+        access = (
+            self._access_m(a, pos[us]) + self._access_m(b, pos[vs])
+        ) / self.access_speed_mps
+        return us, vs, access
+
     # -- queries -----------------------------------------------------------
 
     def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
@@ -273,13 +343,76 @@ class RoadNetworkCost:
         b = np.asarray(b_lonlat, dtype=float)
         if len(a) == 0:
             return np.empty(0, dtype=float)
-        us = self._snap_many(a)
-        vs = self._snap_many(b)
-        pos = self.graph.positions_lonlat()
-        access = (
-            self._access_m(a, pos[us]) + self._access_m(b, pos[vs])
-        ) / self.access_speed_mps
+        us, vs, access = self._snap_pairs(a, b)
         return access + self._network_seconds_many(us, vs)
+
+    def travel_seconds_bounded(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray, budget_s: np.ndarray
+    ) -> np.ndarray:
+        """Batched travel seconds under per-pair deadline budgets.
+
+        Element ``i`` is bit-identical to :meth:`travel_seconds_many`'s
+        answer whenever that answer is within ``budget_s[i]`` (or already
+        sits in the pair cache); pairs whose true cost provably exceeds
+        their budget may come back ``inf`` instead.  Misses still group by
+        snapped origin, but each group runs the deadline-bounded
+        :func:`~repro.roadnet.shortest_path.multi_target_dijkstra_bounded`
+        — the frontier stops once the popped cost exceeds every live
+        budget, and with landmark tables it also skips relaxing vertices
+        whose ALT bound to the nearest target misses every deadline.
+        Bounded (``inf``) answers are never stored in the pair cache.
+        """
+        a = np.asarray(a_lonlat, dtype=float)
+        b = np.asarray(b_lonlat, dtype=float)
+        budget = np.asarray(budget_s, dtype=float)
+        if len(a) == 0:
+            return np.empty(0, dtype=float)
+        us, vs, access = self._snap_pairs(a, b)
+        net_budget = (budget - access).tolist()
+        net = np.empty(len(a), dtype=float)
+        miss_by_origin: dict[int, list[int]] = {}
+        cache = self._cache
+        us_list = us.tolist()
+        vs_list = vs.tolist()
+        inf = float("inf")
+        for i, (u, v) in enumerate(zip(us_list, vs_list)):
+            cached = cache.get((u, v))
+            if cached is not None:
+                cache.move_to_end((u, v))
+                net[i] = cached
+            elif net_budget[i] < 0.0:
+                # The exact access legs alone already exceed the budget, so
+                # the true cost does too — no search needed.
+                net[i] = inf
+            else:
+                miss_by_origin.setdefault(u, []).append(i)
+        for u, rows in miss_by_origin.items():
+            budgets: dict[int, float] = {}
+            for i in rows:
+                v = vs_list[i]
+                nb = net_budget[i]
+                prev = budgets.get(v)
+                if prev is None or nb > prev:
+                    budgets[v] = nb
+            min_potential = (
+                self._min_potential(list(budgets))
+                if self.landmarks is not None
+                else None
+            )
+            costs = multi_target_dijkstra_bounded(
+                self.graph,
+                u,
+                budgets,
+                min_potential=min_potential,
+                slack=_BOUND_SLACK_S,
+            )
+            for i in rows:
+                v = vs_list[i]
+                cost = costs[v]
+                net[i] = cost
+                if math.isfinite(cost):
+                    self._store_pair((u, v), cost)
+        return access + net
 
     def eta_lower_bound_many(
         self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
@@ -353,6 +486,18 @@ class RoadNetworkCost:
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
 
+    def _min_potential(self, targets: list[int]) -> np.ndarray:
+        """Element-wise min of the targets' ALT potential vectors.
+
+        An admissible lower bound on the cost from every vertex to its
+        *nearest* target — what the deadline-bounded multi-target search
+        needs to skip provably-hopeless relaxations.
+        """
+        pots = [self._potentials(t) for t in targets]
+        if len(pots) == 1:
+            return pots[0]
+        return np.minimum.reduce(pots)
+
     def _potentials(self, target: int) -> np.ndarray:
         """Memoised ALT potential vector for one query target."""
         cached = self._pot_cache.get(target)
@@ -368,3 +513,191 @@ class RoadNetworkCost:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         landmarks = self.landmarks.num_landmarks if self.landmarks else 0
         return f"RoadNetworkCost({self.graph!r}, landmarks={landmarks})"
+
+
+@dataclass(frozen=True)
+class CongestionPeriod:
+    """One time-of-day window with its edge-cost multipliers.
+
+    ``multiplier`` scales every edge's travel seconds during the window
+    (``> 1`` = congestion); ``core_multiplier`` applies instead to edges
+    whose both endpoints sit inside the congested core (e.g. near business
+    hotspots), so rush hour slows the CBD harder than the periphery and
+    shortest paths genuinely re-route around it.
+    """
+
+    start_hour: float
+    end_hour: float
+    multiplier: float = 1.0
+    core_multiplier: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_hour < self.end_hour <= 24.0:
+            raise ValueError(
+                f"period hours must satisfy 0 <= start < end <= 24, got "
+                f"[{self.start_hour}, {self.end_hour})"
+            )
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self.core_multiplier is not None and self.core_multiplier <= 0:
+            raise ValueError("core_multiplier must be positive")
+
+    @property
+    def effective_core_multiplier(self) -> float:
+        """The core multiplier, defaulting to the uniform one."""
+        return (
+            self.multiplier
+            if self.core_multiplier is None
+            else self.core_multiplier
+        )
+
+
+def _scaled_graph(
+    graph: RoadGraph,
+    factor: float,
+    core_factor: float,
+    core_mask: np.ndarray | None,
+) -> RoadGraph:
+    """Copy ``graph`` with every edge cost scaled by its period factor."""
+    scaled = RoadGraph()
+    for u in graph.vertices():
+        scaled.add_vertex(graph.position(u))
+    for u in graph.vertices():
+        u_core = core_mask is not None and bool(core_mask[u])
+        for v, cost in graph.out_edges(u):
+            in_core = u_core and bool(core_mask[v])
+            scaled.add_edge(u, v, cost * (core_factor if in_core else factor))
+    return scaled
+
+
+class TimeVaryingRoadNetworkCost:
+    """Road-network travel cost under a time-of-day congestion profile.
+
+    The profile is a contiguous cover of the 24-hour day by
+    :class:`CongestionPeriod` windows.  Each *distinct* multiplier pair
+    materialises one scaled copy of the base graph wrapped in its own
+    :class:`RoadNetworkCost` — per-slot pair/snap caches and, when
+    ``num_landmarks > 0``, per-slot ALT landmark tables built on the scaled
+    edges, so every lower bound (A* guidance, dispatch pruning, bounded
+    multi-target search) stays admissible within its slot.  Periods sharing
+    a multiplier pair share one priced model (the free-flow night and
+    late-evening windows always do), so the shipped five-period profiles
+    pay for three or four landmark builds, not one per period.
+
+    The model is a clock-carrying :class:`TravelCostModel`: callers select
+    the active slot with :meth:`set_time` and every query then prices on
+    that slot's graph.  The simulation engines do this automatically —
+    :class:`~repro.dispatch.base.BatchSnapshot` advances the clock to the
+    batch time on construction, and the workload builder prices each trip
+    at its request time — so a single instance serves a whole simulated
+    day.
+    """
+
+    def __init__(
+        self,
+        graph: RoadGraph,
+        periods: tuple[CongestionPeriod, ...],
+        core_mask: np.ndarray | None = None,
+        access_speed_mps: float = 8.0,
+        cache_size: int = 65536,
+        num_landmarks: int = 0,
+    ):
+        periods = tuple(periods)
+        if not periods:
+            raise ValueError("need at least one congestion period")
+        if periods[0].start_hour != 0.0 or periods[-1].end_hour != 24.0:
+            raise ValueError("periods must cover [0, 24) hours")
+        for prev, nxt in zip(periods, periods[1:]):
+            if prev.end_hour != nxt.start_hour:
+                raise ValueError(
+                    f"periods must be contiguous: [{prev.start_hour}, "
+                    f"{prev.end_hour}) is not followed by {nxt.start_hour}"
+                )
+        if core_mask is not None:
+            core_mask = np.asarray(core_mask, dtype=bool)
+            if len(core_mask) != graph.num_vertices:
+                raise ValueError("core_mask must have one entry per vertex")
+        self.graph = graph
+        self.periods = periods
+        self.core_mask = core_mask
+        self.access_speed_mps = float(access_speed_mps)
+        self._starts = [p.start_hour for p in periods]
+        models_by_key: dict[tuple[float, float], RoadNetworkCost] = {}
+        self._period_models: list[RoadNetworkCost] = []
+        for period in periods:
+            key = (period.multiplier, period.effective_core_multiplier)
+            model = models_by_key.get(key)
+            if model is None:
+                scaled = (
+                    graph
+                    if key == (1.0, 1.0)
+                    else _scaled_graph(graph, key[0], key[1], core_mask)
+                )
+                model = RoadNetworkCost(
+                    scaled,
+                    access_speed_mps=access_speed_mps,
+                    cache_size=cache_size,
+                    num_landmarks=num_landmarks,
+                )
+                models_by_key[key] = model
+            self._period_models.append(model)
+        self.num_priced_models = len(models_by_key)
+        #: The fastest speed across *all* slots — the reach disc must stay
+        #: sound whichever congestion period a batch lands in.
+        self.max_speed_mps = max(
+            model.max_speed_mps for model in self._period_models
+        )
+        self.now_s = 0.0
+        self._active = self._period_models[0]
+
+    # -- clock -------------------------------------------------------------
+
+    def period_index(self, now_s: float) -> int:
+        """Index of the period containing simulation time ``now_s``."""
+        hour = (now_s / 3600.0) % 24.0
+        return bisect.bisect_right(self._starts, hour) - 1
+
+    def set_time(self, now_s: float) -> None:
+        """Select the congestion slot for simulation time ``now_s``.
+
+        Times beyond one day wrap (the profile is a daily cycle).  Engines
+        call this through the :class:`~repro.dispatch.base.BatchSnapshot`
+        construction hook; it is idempotent and cheap.
+        """
+        self.now_s = float(now_s)
+        self._active = self._period_models[self.period_index(now_s)]
+
+    def active_model(self) -> RoadNetworkCost:
+        """The priced model of the current slot (after :meth:`set_time`)."""
+        return self._active
+
+    # -- delegated queries --------------------------------------------------
+
+    def travel_seconds(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Seconds from ``a`` to ``b`` on the current slot's network."""
+        return self._active.travel_seconds(a, b)
+
+    def travel_seconds_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`travel_seconds` on the current slot's network."""
+        return self._active.travel_seconds_many(a_lonlat, b_lonlat)
+
+    def travel_seconds_bounded(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray, budget_s: np.ndarray
+    ) -> np.ndarray:
+        """Deadline-bounded batch query on the current slot's network."""
+        return self._active.travel_seconds_bounded(a_lonlat, b_lonlat, budget_s)
+
+    def eta_lower_bound_many(
+        self, a_lonlat: np.ndarray, b_lonlat: np.ndarray
+    ) -> np.ndarray:
+        """Admissible ETA lower bound on the current slot's network."""
+        return self._active.eta_lower_bound_many(a_lonlat, b_lonlat)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeVaryingRoadNetworkCost({self.graph!r}, "
+            f"{len(self.periods)} periods, "
+            f"{self.num_priced_models} priced models)"
+        )

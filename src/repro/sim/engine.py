@@ -167,9 +167,16 @@ class Simulation:
         # Stronger proof for greedy candidate matchers: after a batch that
         # committed nothing, candidate sets only shrink (patience drains,
         # ETAs are static) until demand or supply is *added*, so every
-        # following batch is a no-op too until then.
+        # following batch is a no-op too until then.  Clock-carrying cost
+        # models (time-of-day congestion) void the "ETAs are static" half:
+        # a congestion-easing slot boundary can turn an infeasible pair
+        # feasible with no new rider or driver, so stranded ticks must be
+        # observed.  (The empty-tick skip above survives — no waiting
+        # riders means no candidate pairs at any travel time.)
         stranded_skippable = (
-            policy_skippable and self.policy.assigns_whenever_possible
+            policy_skippable
+            and self.policy.assigns_whenever_possible
+            and getattr(self.cost_model, "set_time", None) is None
         )
         #: False only while a zero-assignment plan provably still stands.
         maybe_new_pairs = True

@@ -43,7 +43,20 @@ class TestParser:
         assert args.policies == "NEAR,IRG-R"
         assert args.jobs is None
         assert args.city is None
+        assert args.cost_model is None
         assert args.no_disk_cache is False
+
+    def test_cost_model_choices(self):
+        for command in ("sweep", "artifact", "simulate"):
+            tail = ["table3"] if command == "artifact" else []
+            args = build_parser().parse_args(
+                [command, *tail, "--cost-model", "roadnet_tod"]
+            )
+            assert args.cost_model == "roadnet_tod"
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    [command, *tail, "--cost-model", "teleport"]
+                )
 
     def test_sweep_city_repeatable(self):
         args = build_parser().parse_args(
@@ -133,6 +146,18 @@ class TestSweepCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "[nyc]" in out and "[dense-core]" in out
+
+    def test_roadnet_sweep_end_to_end(self, capsys):
+        """A Figure-7-style sweep priced on the scenario's road graph."""
+        code = main(
+            ["sweep", "--profile", "tiny", "--values", "16",
+             "--policies", "NEAR", "--cost-model", "roadnet",
+             "--no-disk-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[nyc:roadnet] total revenue vs num_drivers" in out
+        assert "[nyc:roadnet] swept 1 x 1 runs" in out
 
 
 class TestCacheCommand:

@@ -126,3 +126,64 @@ def test_candidates_memoised_per_cap():
     assert snap.candidates() is snap.candidates()
     assert snap.candidates(2) is snap.candidates(2)
     assert snap.candidates() is not snap.candidates(2)
+
+
+def test_reach_disc_and_lower_bound_respect_fast_network_edges():
+    """Edges faster than the nominal pickup speed must not lose pairs to
+    either prune: the driver below sits outside the ``pickup_speed_mps``
+    disc yet reaches the rider inside the deadline over a 40 m/s edge, so
+    the reach disc must widen to the model's ``max_speed_mps`` — and the
+    great-circle ETA lower bound must price metres at that speed too (a
+    bound assuming a slower ceiling would exceed the true ETA and the
+    vectorized backend would prune what the scalar backend admits)."""
+    from repro.roadnet import RoadGraph, RoadNetworkCost
+
+    box = BoundingBox(0.0, 0.0, 0.08, 0.02)
+    grid = GridPartition(box, rows=1, cols=4)
+    pickup = GeoPoint(0.01, 0.01)   # centre of cell 0
+    far = GeoPoint(0.07, 0.01)      # centre of cell 3
+
+    graph = RoadGraph()
+    a = graph.add_vertex(pickup)
+    b = graph.add_vertex(far)
+    from repro.geo.distance import equirectangular_m
+
+    meters = equirectangular_m(pickup, far)
+    graph.add_bidirectional_edge(a, b, meters / 40.0)  # 40 m/s expressway
+    cost = RoadNetworkCost(graph, access_speed_mps=8.0)
+    assert cost.max_speed_mps == pytest.approx(40.0)
+
+    # True ETA ~ meters/40 ~ 167 s; the 200 s deadline admits it with
+    # little slack, so an inadmissible lower bound (e.g. metres priced at
+    # 4x the access speed = 32 m/s -> ~209 s) would wrongly prune it.
+    deadline = 200.0
+    eta = cost.travel_seconds(far, pickup)
+    assert eta <= deadline
+    assert float(
+        cost.eta_lower_bound_many(
+            np.array([[far.lon, far.lat]]), np.array([[pickup.lon, pickup.lat]])
+        )[0]
+    ) <= eta
+
+    rider = Rider(
+        rider_id=0, request_time_s=0.0, pickup=pickup, dropoff=far,
+        deadline_s=deadline, trip_seconds=100.0, revenue=100.0,
+        origin_region=grid.region_of(pickup),
+        destination_region=grid.region_of(far),
+    )
+    driver = Driver(0, far, grid.region_of(far))
+    # Nominal 9 m/s x 200 s = 1800 m reach: cell 3 (>4400 m away) is out.
+    assert 9.0 * deadline < meters
+
+    for backend in ("vectorized", "scalar"):
+        prev = set_candidate_backend(backend)
+        try:
+            pairs = generate_candidate_pairs(
+                snapshot_for([rider], [driver], grid, cost, time_s=0.0)
+            )
+        finally:
+            set_candidate_backend(prev)
+        assert [(r.rider_id, d.driver_id) for r, d, _ in pairs] == [(0, 0)], (
+            f"{backend} backend pruned a feasible fast-edge pair"
+        )
+        assert pairs[0][2] == eta <= deadline

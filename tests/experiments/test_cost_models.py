@@ -1,0 +1,143 @@
+"""Tests of the config-driven cost-model factory layer."""
+
+import pytest
+
+from repro.data.nyc_synthetic import CityConfig, Hotspot
+from repro.data.scenarios import get_scenario
+from repro.experiments.config import COST_MODEL_NAMES, ExperimentConfig
+from repro.experiments.cost_models import (
+    congestion_core_mask,
+    scenario_road_graph,
+)
+from repro.experiments.runner import (
+    build_world,
+    clear_caches,
+    run_cache_key,
+    world_cache_key,
+)
+from repro.roadnet import (
+    RoadNetworkCost,
+    StraightLineCost,
+    TimeVaryingRoadNetworkCost,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentConfig(
+        daily_orders=2_000.0,
+        num_drivers=16,
+        horizon_s=2 * 3600.0,
+        space_scale=0.1,
+        grid_rows=3,
+        grid_cols=3,
+    )
+
+
+class TestConfigField:
+    def test_default_and_validation(self):
+        assert ExperimentConfig().cost_model == "straight_line"
+        for name in COST_MODEL_NAMES:
+            assert ExperimentConfig(cost_model=name).cost_model == name
+        with pytest.raises(ValueError):
+            ExperimentConfig(cost_model="teleport")
+
+
+class TestFactory:
+    def test_straight_line_is_the_historical_default(self, tiny):
+        _, _, _, model = build_world(tiny)
+        assert isinstance(model, StraightLineCost)
+        assert model.speed_mps == tiny.speed_mps
+        assert model.metric == "manhattan"
+
+    def test_roadnet_builds_scenario_lattice_with_config_landmarks(self, tiny):
+        config = tiny.replace(cost_model="roadnet", roadnet_landmarks=5)
+        _, grid, _, model = build_world(config)
+        scenario = get_scenario(config.city)
+        assert isinstance(model, RoadNetworkCost)
+        assert model.graph.num_vertices == (
+            scenario.roadnet_rows * scenario.roadnet_cols
+        )
+        assert model.landmarks.num_landmarks == 5
+        assert model.access_speed_mps == config.speed_mps
+        # The lattice covers the (space_scale-shrunk) study box.
+        pos = model.graph.positions_lonlat()
+        assert pos[:, 0].min() == pytest.approx(grid.bbox.min_lon)
+        assert pos[:, 0].max() == pytest.approx(grid.bbox.max_lon)
+
+    def test_roadnet_tod_carries_scenario_profile_and_core(self, tiny):
+        config = tiny.replace(cost_model="roadnet_tod")
+        _, _, _, model = build_world(config)
+        scenario = get_scenario(config.city)
+        assert isinstance(model, TimeVaryingRoadNetworkCost)
+        assert model.periods == scenario.congestion
+        # NYC has business hotspots, so some — not all — vertices are core.
+        assert 0 < int(model.core_mask.sum()) < model.graph.num_vertices
+
+    def test_scenario_graph_is_deterministic(self, tiny):
+        scenario = get_scenario("nyc")
+        _, grid, _, _ = build_world(tiny)
+        first = scenario_road_graph(scenario, grid, tiny.speed_mps)
+        second = scenario_road_graph(scenario, grid, tiny.speed_mps)
+        assert first.num_vertices == second.num_vertices
+        assert first.num_edges == second.num_edges
+        for u in first.vertices():
+            assert dict(first.out_edges(u)) == dict(second.out_edges(u))
+
+    def test_scenarios_produce_distinct_lattices(self, tiny):
+        _, grid, _, _ = build_world(tiny)
+        nyc = scenario_road_graph(get_scenario("nyc"), grid, tiny.speed_mps)
+        sprawl = scenario_road_graph(
+            get_scenario("sprawl"), grid, tiny.speed_mps
+        )
+        assert nyc.num_vertices != sprawl.num_vertices
+
+    def test_core_mask_empty_without_business_hotspots(self, tiny):
+        _, grid, _, _ = build_world(tiny)
+        graph = scenario_road_graph(get_scenario("nyc"), grid, tiny.speed_mps)
+        residential = CityConfig(
+            bbox=grid.bbox,
+            hotspots=(
+                Hotspot(grid.bbox.center.lon, grid.bbox.center.lat, 0.01, 1.0,
+                        "residential"),
+            ),
+        )
+        assert congestion_core_mask(graph, residential).sum() == 0
+
+
+class TestCaching:
+    def test_world_cache_key_and_memoisation_fork_on_cost_model(self, tiny):
+        roadnet = tiny.replace(cost_model="roadnet")
+        tod = tiny.replace(cost_model="roadnet_tod")
+        keys = {world_cache_key(c) for c in (tiny, roadnet, tod)}
+        assert len(keys) == 3
+        assert build_world(tiny)[3] is not build_world(roadnet)[3]
+        # Same config hits the same memoised world (trips and model shared).
+        assert build_world(roadnet)[3] is build_world(roadnet)[3]
+
+    def test_run_cache_key_includes_cost_model(self, tiny):
+        assert run_cache_key(tiny, "NEAR") != run_cache_key(
+            tiny.replace(cost_model="roadnet"), "NEAR"
+        )
+
+    def test_landmark_knob_forks_worlds_but_shares_runs(self, tiny):
+        """The memoised world embeds the landmark tables, so a landmark
+        ablation must get the model it asked for — while run/disk keys
+        keep sharing entries (the knob never changes results)."""
+        few = tiny.replace(cost_model="roadnet", roadnet_landmarks=0)
+        many = tiny.replace(cost_model="roadnet", roadnet_landmarks=3)
+        assert world_cache_key(few) != world_cache_key(many)
+        assert build_world(few)[3].landmarks is None
+        assert build_world(many)[3].landmarks.num_landmarks == 3
+        assert run_cache_key(few, "NEAR") == run_cache_key(many, "NEAR")
+        # Straight-line worlds ignore the knob and share one entry.
+        assert world_cache_key(
+            tiny.replace(roadnet_landmarks=0)
+        ) == world_cache_key(tiny.replace(roadnet_landmarks=16))

@@ -206,6 +206,62 @@ class TestDiskCache:
             RunRequest(quick.replace(city="sprawl"), "NEAR")
         )
 
+    def test_disk_key_varies_with_cost_model(self, quick):
+        keys = {
+            _disk_key(RunRequest(quick.replace(cost_model=name), "NEAR"))
+            for name in ("straight_line", "roadnet", "roadnet_tod")
+        }
+        assert len(keys) == 3
+
+    def test_disk_key_varies_with_congestion_profile(self, quick):
+        """Each city carries its own rush-hour profile (and lattice), so a
+        tod run's disk key forks per city — the congestion profile
+        participates in the key through the scenario name."""
+        nyc = quick.replace(cost_model="roadnet_tod")
+        sprawl = nyc.replace(city="sprawl")
+        assert _disk_key(RunRequest(nyc, "NEAR")) != _disk_key(
+            RunRequest(sprawl, "NEAR")
+        )
+
+    def test_straight_line_disk_key_matches_pre_cost_model_format(self, quick):
+        """Adding the ``cost_model`` field must not orphan existing disk
+        entries: the default straight-line key hashes the exact payload the
+        pre-cost-model format hashed (config dict without the field)."""
+        import dataclasses
+        import hashlib
+        import json
+
+        from repro.experiments.parallel import _CACHE_VERSION, _canonical
+        from repro.experiments.runner import normalized_run_config
+
+        legacy_config = _canonical(
+            dataclasses.asdict(normalized_run_config(quick))
+        )
+        assert legacy_config.pop("cost_model") == "straight_line"
+        legacy_payload = {
+            "version": _CACHE_VERSION,
+            "config": legacy_config,
+            "policy": "NEAR",
+            "predictor": None,
+        }
+        blob = json.dumps(legacy_payload, sort_keys=True, default=str)
+        assert (
+            _disk_key(RunRequest(quick, "NEAR"))
+            == hashlib.sha256(blob.encode()).hexdigest()
+        )
+
+    def test_landmark_count_shares_entries_under_roadnet_pricing(self, quick):
+        """`roadnet_landmarks` stays result-invariant when the run actually
+        prices on the road network (batched/ALT/scalar ETAs are proven
+        bit-identical), so landmark-only changes share one key while the
+        cost model itself still forks."""
+        few = quick.replace(cost_model="roadnet", roadnet_landmarks=0)
+        many = quick.replace(cost_model="roadnet", roadnet_landmarks=16)
+        assert run_cache_key(few, "NEAR") == run_cache_key(many, "NEAR")
+        assert _disk_key(RunRequest(few, "NEAR")) == _disk_key(
+            RunRequest(many, "NEAR")
+        )
+
     def test_landmark_count_does_not_fork_cache_keys(self, quick):
         """`roadnet_landmarks` is result-invariant (batched/ALT/scalar ETAs
         are bit-identical), so configs differing only there must share one

@@ -1,0 +1,165 @@
+"""Tests of the deadline-bounded, ALT-pruned multi-target Dijkstra."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.roadnet import (
+    Landmarks,
+    RoadNetworkCost,
+    build_grid_network,
+    multi_target_dijkstra,
+    multi_target_dijkstra_bounded,
+)
+
+BOX = BoundingBox(-74.00, 40.70, -73.95, 40.74)
+SPEED = 8.0
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_grid_network(
+        BOX,
+        rows=12,
+        cols=12,
+        speed_mps=SPEED,
+        speed_jitter=0.25,
+        diagonal_fraction=0.1,
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.fixture(scope="module")
+def landmarks(graph):
+    return Landmarks.build(graph, 4)
+
+
+def min_potential(landmarks, targets):
+    return np.minimum.reduce([landmarks.potentials_to(t) for t in targets])
+
+
+def check_bounded_consistency(graph, source, budgets, pot=None):
+    """Settled targets bit-identical; pruned targets provably over budget."""
+    exact = multi_target_dijkstra(graph, source, set(budgets))
+    bounded = multi_target_dijkstra_bounded(
+        graph, source, budgets, min_potential=pot
+    )
+    assert set(bounded) == set(budgets)
+    pruned = 0
+    for target, budget in budgets.items():
+        if np.isinf(bounded[target]) and np.isfinite(exact[target]):
+            pruned += 1
+            assert exact[target] > budget, (
+                f"pruned target {target} was within budget "
+                f"({exact[target]} <= {budget})"
+            )
+        else:
+            assert bounded[target] == exact[target]
+        if exact[target] <= budget:
+            assert bounded[target] == exact[target], (
+                f"within-budget target {target} must settle bit-identically"
+            )
+    return pruned
+
+
+class TestBoundedSearch:
+    def test_generous_budgets_match_unpruned_exactly(self, graph, landmarks):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            source = int(rng.integers(graph.num_vertices))
+            targets = rng.choice(graph.num_vertices, size=8, replace=False)
+            budgets = {int(t): 1e12 for t in targets}
+            pot = min_potential(landmarks, list(budgets))
+            assert check_bounded_consistency(graph, source, budgets, pot) == 0
+
+    def test_tight_budgets_prune_but_stay_consistent(self, graph, landmarks):
+        rng = np.random.default_rng(1)
+        pruned_total = 0
+        for _ in range(25):
+            source = int(rng.integers(graph.num_vertices))
+            targets = rng.choice(graph.num_vertices, size=10, replace=False)
+            exact = multi_target_dijkstra(graph, source, set(int(t) for t in targets))
+            finite = [c for c in exact.values() if np.isfinite(c)]
+            scale = np.median(finite) if finite else 100.0
+            budgets = {
+                int(t): float(rng.uniform(0.2, 1.5) * scale) for t in targets
+            }
+            pot = min_potential(landmarks, list(budgets))
+            pruned_total += check_bounded_consistency(graph, source, budgets, pot)
+        assert pruned_total > 0, "tight budgets never exercised the prune"
+
+    def test_without_potential_only_the_global_stop_applies(self, graph):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            source = int(rng.integers(graph.num_vertices))
+            targets = rng.choice(graph.num_vertices, size=6, replace=False)
+            budgets = {int(t): float(rng.uniform(20.0, 400.0)) for t in targets}
+            check_bounded_consistency(graph, source, budgets, pot=None)
+
+    def test_source_as_target_and_exact_budget_boundary(self, graph):
+        out = multi_target_dijkstra_bounded(graph, 5, {5: 0.0})
+        assert out == {5: 0.0}
+        # A target whose true cost equals its budget exactly must settle.
+        exact = multi_target_dijkstra(graph, 0, {30})
+        out = multi_target_dijkstra_bounded(graph, 0, {30: exact[30]})
+        assert out[30] == exact[30]
+
+
+class TestTravelSecondsBounded:
+    def _pairs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, n),
+                rng.uniform(BOX.min_lat, BOX.max_lat, n),
+            ]
+        )
+        b = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, n),
+                rng.uniform(BOX.min_lat, BOX.max_lat, n),
+            ]
+        )
+        return a, b
+
+    @pytest.mark.parametrize("num_landmarks", [0, 4])
+    def test_bounded_batch_consistent_with_exact_batch(
+        self, graph, num_landmarks
+    ):
+        a, b = self._pairs(120, seed=9)
+        exact = RoadNetworkCost(
+            graph, access_speed_mps=SPEED, num_landmarks=num_landmarks
+        ).travel_seconds_many(a, b)
+        rng = np.random.default_rng(10)
+        budgets = exact * rng.uniform(0.5, 1.5, size=len(exact))
+        model = RoadNetworkCost(
+            graph, access_speed_mps=SPEED, num_landmarks=num_landmarks
+        )
+        bounded = model.travel_seconds_bounded(a, b, budgets)
+        within = exact <= budgets
+        assert np.array_equal(bounded[within], exact[within])
+        over = ~within
+        # Over-budget pairs are inf (pruned) or the exact value (cache/settled
+        # along the way) — never a wrong finite number.
+        finite_over = over & np.isfinite(bounded)
+        assert np.array_equal(bounded[finite_over], exact[finite_over])
+        assert (np.isinf(bounded[over]) | finite_over[over]).all()
+
+    def test_cache_is_never_poisoned_by_pruned_pairs(self, graph):
+        a, b = self._pairs(40, seed=13)
+        model = RoadNetworkCost(graph, access_speed_mps=SPEED, num_landmarks=4)
+        exact_reference = RoadNetworkCost(
+            graph, access_speed_mps=SPEED
+        ).travel_seconds_many(a, b)
+        # First pass with too-small (but searchable) budgets prunes inside
+        # the shared-frontier expansion...
+        model.travel_seconds_bounded(a, b, exact_reference * 0.6)
+        # ...yet a later exact query must still return true costs.
+        assert np.array_equal(model.travel_seconds_many(a, b), exact_reference)
+
+    def test_warm_cache_returns_exact_even_over_budget(self, graph):
+        a, b = self._pairs(30, seed=17)
+        model = RoadNetworkCost(graph, access_speed_mps=SPEED)
+        exact = model.travel_seconds_many(a, b)  # warms the pair cache
+        bounded = model.travel_seconds_bounded(a, b, np.zeros(len(a)))
+        assert np.array_equal(bounded, exact)

@@ -1,0 +1,237 @@
+"""Tests of the time-of-day congested road-network cost model."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint
+from repro.roadnet import (
+    CongestionPeriod,
+    RoadNetworkCost,
+    TimeVaryingRoadNetworkCost,
+    build_grid_network,
+)
+from repro.roadnet.travel_time import _scaled_graph
+
+BOX = BoundingBox(-74.00, 40.70, -73.96, 40.73)
+SPEED = 8.0
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_grid_network(
+        BOX,
+        rows=8,
+        cols=8,
+        speed_mps=SPEED,
+        speed_jitter=0.2,
+        diagonal_fraction=0.1,
+        rng=np.random.default_rng(5),
+    )
+
+
+def day_profile():
+    return (
+        CongestionPeriod(0.0, 7.0, 1.0),
+        CongestionPeriod(7.0, 10.0, 1.3, 1.7),
+        CongestionPeriod(10.0, 16.0, 1.05),
+        CongestionPeriod(16.0, 19.0, 1.3, 1.7),
+        CongestionPeriod(19.0, 24.0, 1.0),
+    )
+
+
+def core_mask(graph):
+    # Congest the south-west quadrant of the box.
+    pos = graph.positions_lonlat()
+    mid = BOX.center
+    return (pos[:, 0] <= mid.lon) & (pos[:, 1] <= mid.lat)
+
+
+class TestCongestionPeriod:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionPeriod(8.0, 8.0, 1.2)
+        with pytest.raises(ValueError):
+            CongestionPeriod(-1.0, 5.0, 1.2)
+        with pytest.raises(ValueError):
+            CongestionPeriod(20.0, 25.0, 1.2)
+        with pytest.raises(ValueError):
+            CongestionPeriod(0.0, 24.0, 0.0)
+        with pytest.raises(ValueError):
+            CongestionPeriod(0.0, 24.0, 1.0, core_multiplier=-2.0)
+
+    def test_core_multiplier_defaults_to_uniform(self):
+        assert CongestionPeriod(0.0, 24.0, 1.2).effective_core_multiplier == 1.2
+        assert (
+            CongestionPeriod(0.0, 24.0, 1.2, 1.9).effective_core_multiplier
+            == 1.9
+        )
+
+
+class TestProfileValidation:
+    def test_must_cover_full_day(self, graph):
+        with pytest.raises(ValueError):
+            TimeVaryingRoadNetworkCost(graph, ())
+        with pytest.raises(ValueError):
+            TimeVaryingRoadNetworkCost(
+                graph, (CongestionPeriod(0.0, 23.0, 1.0),)
+            )
+        with pytest.raises(ValueError):
+            TimeVaryingRoadNetworkCost(
+                graph,
+                (
+                    CongestionPeriod(0.0, 8.0, 1.0),
+                    CongestionPeriod(9.0, 24.0, 1.0),  # gap at [8, 9)
+                ),
+            )
+
+    def test_core_mask_must_match_vertices(self, graph):
+        with pytest.raises(ValueError):
+            TimeVaryingRoadNetworkCost(
+                graph,
+                (CongestionPeriod(0.0, 24.0, 1.0),),
+                core_mask=np.ones(3, dtype=bool),
+            )
+
+
+class TestClock:
+    def test_period_selection_and_wrap(self, graph):
+        model = TimeVaryingRoadNetworkCost(graph, day_profile())
+        assert model.period_index(0.0) == 0
+        assert model.period_index(6.99 * 3600) == 0
+        assert model.period_index(7.0 * 3600) == 1
+        assert model.period_index(12 * 3600) == 2
+        assert model.period_index(18 * 3600) == 3
+        assert model.period_index(23 * 3600) == 4
+        # A second simulated day wraps onto the same daily cycle.
+        assert model.period_index(24 * 3600 + 8 * 3600) == 1
+
+    def test_set_time_switches_the_active_model(self, graph):
+        model = TimeVaryingRoadNetworkCost(graph, day_profile())
+        model.set_time(2 * 3600.0)
+        night = model.active_model()
+        model.set_time(8 * 3600.0)
+        rush = model.active_model()
+        assert rush is not night
+        # Morning and evening rush share one priced model (same multipliers).
+        model.set_time(17 * 3600.0)
+        assert model.active_model() is rush
+
+    def test_period_models_deduplicate(self, graph):
+        model = TimeVaryingRoadNetworkCost(graph, day_profile())
+        # night==late-evening and morning==evening rush collapse: 3 models.
+        assert model.num_priced_models == 3
+
+
+class TestPricing:
+    def test_rush_hour_is_slower_and_night_matches_static(self, graph):
+        mask = core_mask(graph)
+        model = TimeVaryingRoadNetworkCost(
+            graph, day_profile(), core_mask=mask, access_speed_mps=SPEED
+        )
+        static = RoadNetworkCost(graph, access_speed_mps=SPEED)
+        rng = np.random.default_rng(11)
+        pairs = [
+            (BOX.sample(rng), BOX.sample(rng)) for _ in range(25)
+        ]
+        model.set_time(3 * 3600.0)  # free-flow night
+        night = [model.travel_seconds(a, b) for a, b in pairs]
+        expected = [static.travel_seconds(a, b) for a, b in pairs]
+        assert night == expected  # multiplier 1.0 reuses the base graph
+        model.set_time(8 * 3600.0)  # morning rush
+        rush = [model.travel_seconds(a, b) for a, b in pairs]
+        assert all(r >= n for r, n in zip(rush, night))
+        assert any(r > n for r, n in zip(rush, night))
+
+    def test_rush_queries_match_a_static_model_on_the_scaled_graph(self, graph):
+        """Every delegated query is bit-identical to a plain
+        :class:`RoadNetworkCost` built directly on the period's scaled
+        edges — the time-varying wrapper adds slot selection, nothing
+        else."""
+        mask = core_mask(graph)
+        model = TimeVaryingRoadNetworkCost(
+            graph,
+            day_profile(),
+            core_mask=mask,
+            access_speed_mps=SPEED,
+            num_landmarks=4,
+        )
+        scaled = _scaled_graph(graph, 1.3, 1.7, mask)
+        reference = RoadNetworkCost(
+            scaled, access_speed_mps=SPEED, num_landmarks=4
+        )
+        rng = np.random.default_rng(23)
+        a = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, 40),
+                rng.uniform(BOX.min_lat, BOX.max_lat, 40),
+            ]
+        )
+        b = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, 40),
+                rng.uniform(BOX.min_lat, BOX.max_lat, 40),
+            ]
+        )
+        model.set_time(8 * 3600.0)
+        assert np.array_equal(
+            model.travel_seconds_many(a, b), reference.travel_seconds_many(a, b)
+        )
+        assert np.array_equal(
+            model.eta_lower_bound_many(a, b),
+            reference.eta_lower_bound_many(a, b),
+        )
+        scalar = model.travel_seconds(GeoPoint(*a[0]), GeoPoint(*b[0]))
+        assert scalar == reference.travel_seconds(GeoPoint(*a[0]), GeoPoint(*b[0]))
+
+    def test_batch_snapshot_construction_sets_the_clock(self, graph):
+        """Every engine builds a BatchSnapshot per batch; its construction
+        hook must advance clock-carrying cost models to the batch time so
+        candidate ETAs, assignment validation, and repositions all price
+        on the batch's congestion slot."""
+        from repro.dispatch.base import BatchSnapshot
+        from repro.geo import GridPartition
+
+        model = TimeVaryingRoadNetworkCost(graph, day_profile())
+        model.set_time(2 * 3600.0)
+        grid = GridPartition(BOX, rows=2, cols=2)
+        BatchSnapshot.with_arrays(
+            predicted_riders=np.zeros(grid.num_regions),
+            predicted_drivers=np.zeros(grid.num_regions),
+            time_s=8.5 * 3600.0,
+            tc_seconds=600.0,
+            waiting_riders=[],
+            available_drivers=[],
+            grid=grid,
+            cost_model=model,
+            pickup_speed_mps=SPEED,
+        )
+        assert model.now_s == 8.5 * 3600.0
+        assert model.active_model() is model._period_models[1]
+
+    def test_lower_bound_admissible_within_every_slot(self, graph):
+        mask = core_mask(graph)
+        model = TimeVaryingRoadNetworkCost(
+            graph,
+            day_profile(),
+            core_mask=mask,
+            access_speed_mps=SPEED,
+            num_landmarks=4,
+        )
+        rng = np.random.default_rng(7)
+        a = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, 30),
+                rng.uniform(BOX.min_lat, BOX.max_lat, 30),
+            ]
+        )
+        b = np.column_stack(
+            [
+                rng.uniform(BOX.min_lon, BOX.max_lon, 30),
+                rng.uniform(BOX.min_lat, BOX.max_lat, 30),
+            ]
+        )
+        for hour in (3.0, 8.0, 12.0, 17.0, 22.0):
+            model.set_time(hour * 3600.0)
+            bound = model.eta_lower_bound_many(a, b)
+            exact = model.travel_seconds_many(a, b)
+            assert np.all(bound <= exact + 1e-6), f"inadmissible at {hour}h"

@@ -1,0 +1,196 @@
+"""Config-path regression: roadnet-priced runs are engine/backend invariant.
+
+The cost-model layer must not open any gap between the execution paths: a
+run priced by ``cost_model="roadnet"`` / ``"roadnet_tod"`` — built through
+the real :func:`~repro.experiments.runner.build_world` factory path, not a
+hand-assembled graph — produces bit-identical economics and assignment
+streams under
+
+- the vectorized engine with the batched (deadline-bounded, ALT-pruned)
+  candidate backend,
+- the vectorized engine with the ``"scalar"`` per-pair reference backend,
+- the frozen seed engine (:class:`ReferenceSimulation`) with the scalar
+  backend.
+
+The horizon crosses the 7 A.M. rush boundary so the time-of-day model
+genuinely switches congestion slots mid-run.
+"""
+
+import pytest
+
+from repro.dispatch.base import set_candidate_backend
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _build_riders_and_drivers,
+    _make_policy,
+    clear_caches,
+)
+from repro.sim.demand import OracleDemand
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.engine_reference import ReferenceSimulation
+
+#: Small but real: 2k orders/day over a 3x3 grid, horizon past the 7 A.M.
+#: rush boundary so ``roadnet_tod`` changes slots mid-run.
+CONFIG = ExperimentConfig(
+    daily_orders=2_000.0,
+    num_drivers=16,
+    horizon_s=9 * 3600.0,
+    batch_interval_s=10.0,
+    space_scale=0.1,
+    grid_rows=3,
+    grid_cols=3,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def run_once(config, engine_cls, backend, policy_name):
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    policy = _make_policy(policy_name, config)
+    demand = OracleDemand(riders, grid.num_regions)
+    previous = set_candidate_backend(backend)
+    try:
+        sim = engine_cls(
+            riders,
+            drivers,
+            grid,
+            cost_model,
+            policy,
+            SimConfig(
+                batch_interval_s=config.batch_interval_s,
+                tc_seconds=config.tc_seconds,
+                horizon_s=config.horizon_s,
+                pickup_speed_mps=config.speed_mps,
+            ),
+            demand=demand,
+        )
+        result = sim.run()
+    finally:
+        set_candidate_backend(previous)
+    metrics = result.metrics
+    assignments = tuple(
+        (r.rider_id, r.driver_id, r.assign_time_s, r.pickup_time_s)
+        for r in sorted(riders, key=lambda r: r.rider_id)
+        if r.driver_id is not None
+    )
+    return {
+        "served": metrics.served_orders,
+        "reneged": metrics.reneged_orders,
+        "revenue": metrics.total_revenue,
+        "assignments": assignments,
+    }
+
+
+@pytest.mark.parametrize("cost_model", ["roadnet", "roadnet_tod"])
+@pytest.mark.parametrize("policy", ["NEAR", "IRG-R"])
+def test_vectorized_scalar_and_seed_engine_agree(cost_model, policy):
+    config = CONFIG.replace(cost_model=cost_model)
+    vectorized = run_once(config, Simulation, "vectorized", policy)
+    scalar = run_once(config, Simulation, "scalar", policy)
+    reference = run_once(config, ReferenceSimulation, "scalar", policy)
+    assert vectorized == scalar
+    assert vectorized == reference
+    assert vectorized["served"] > 0  # the scenario actually dispatches
+
+
+def test_stranded_tick_skipping_observes_congestion_easing():
+    """A congestion-easing slot boundary can make a stranded pair feasible
+    with no new rider or driver, so the engine must not skip stranded
+    ticks under a clock-carrying cost model.
+
+    One rider, one driver: at request time the rush multiplier makes the
+    pickup miss the deadline, but the patience window spans the boundary
+    into free flow, where the pickup fits easily.  A skipping engine that
+    assumed static ETAs would never re-plan (nothing arrives, nothing is
+    released) and the rider would renege.
+    """
+    import numpy as np
+
+    from repro.dispatch import NearestPolicy
+    from repro.geo import BoundingBox, GridPartition
+    from repro.roadnet import (
+        CongestionPeriod,
+        TimeVaryingRoadNetworkCost,
+        build_grid_network,
+    )
+    from repro.sim.entities import Driver, Rider
+
+    box = BoundingBox(-74.00, 40.70, -73.985, 40.715)
+    grid = GridPartition(box, rows=2, cols=2)
+    graph = build_grid_network(box, rows=2, cols=2, speed_mps=8.0)
+    periods = (
+        CongestionPeriod(0.0, 1.0, 10.0),  # crawling first hour
+        CongestionPeriod(1.0, 24.0, 1.0),  # free flow after
+    )
+    model = TimeVaryingRoadNetworkCost(graph, periods, access_speed_mps=8.0)
+
+    # Endpoints sit exactly on lattice vertices (no access legs).
+    driver_pos = graph.position(0)
+    pickup = graph.position(3)
+    dropoff = graph.position(1)
+    model.set_time(0.0)
+    assert model.travel_seconds(driver_pos, pickup) > 1200.0  # rush: misses
+    model.set_time(3600.0)
+    free_eta = model.travel_seconds(driver_pos, pickup)
+    assert free_eta < 900.0  # free flow: fits
+
+    def build():
+        rider = Rider(
+            rider_id=0,
+            request_time_s=3300.0,  # 55 min — 20 min patience spans 60 min
+            pickup=pickup,
+            dropoff=dropoff,
+            deadline_s=4500.0,
+            trip_seconds=600.0,
+            revenue=600.0,
+            origin_region=grid.region_of(pickup),
+            destination_region=grid.region_of(dropoff),
+        )
+        driver = Driver(0, driver_pos, grid.region_of(driver_pos))
+        return [rider], [driver]
+
+    config = SimConfig(
+        batch_interval_s=30.0,
+        tc_seconds=600.0,
+        horizon_s=2 * 3600.0,
+        pickup_speed_mps=8.0,
+    )
+    results = {}
+    for name, engine_cls in (
+        ("vectorized", Simulation),
+        ("reference", ReferenceSimulation),
+    ):
+        riders, drivers = build()
+        res = engine_cls(
+            riders, drivers, grid, model, NearestPolicy(), config
+        ).run()
+        results[name] = (
+            res.metrics.served_orders,
+            res.metrics.total_revenue,
+            riders[0].assign_time_s,
+        )
+    assert results["vectorized"] == results["reference"]
+    served, _, assign_time = results["vectorized"]
+    assert served == 1, "the easing boundary never got a chance to match"
+    assert assign_time is not None and assign_time >= 3600.0
+    assert np.isfinite(results["vectorized"][1])
+
+
+def test_tod_diverges_from_static_roadnet_after_rush():
+    """The congestion profile must change the simulation (the horizon
+    crosses 7 A.M.), otherwise the tod path silently prices free-flow."""
+    static = run_once(
+        CONFIG.replace(cost_model="roadnet"), Simulation, "vectorized", "NEAR"
+    )
+    tod = run_once(
+        CONFIG.replace(cost_model="roadnet_tod"),
+        Simulation,
+        "vectorized",
+        "NEAR",
+    )
+    assert static != tod
