@@ -3,11 +3,19 @@
 Starts from any assignment (Algorithm 2's by default) and repeatedly
 replaces a driver's rider with an unassigned valid rider of strictly smaller
 idle ratio, until a full sweep makes no replacement.  Lemma 5.1 shows the
-process converges; we additionally cap the number of sweeps (``max_sweeps``,
-the ``L_max`` of the complexity analysis) as a defensive bound.  A cap hit
-mid-improvement is surfaced: the returned :class:`LocalSearchResult` carries
-``converged=False`` and a warning is logged, so a truncated batch can never
-masquerade as a converged one.
+process converges under fixed rates — but the ``mu`` feedback below makes
+each swap move the very idle times the ratios are computed from, and on
+tie-heavy batches the sweep state can enter a *cycle*: every sweep swaps
+"improvingly" against the rates it momentarily sees, yet the assignment
+set revisits an earlier configuration and would spin forever.  The sweep
+loop therefore keeps a seen-state set (the assignment is the full search
+state: region deltas — and hence the rates — are a function of it): a
+revisited state terminates the search deterministically with
+``converged=True``, because no further *net* improvement is possible.  The
+``max_sweeps`` cap (the ``L_max`` of the complexity analysis) remains as a
+defensive bound; a cap hit mid-improvement is surfaced — the returned
+:class:`LocalSearchResult` carries ``converged=False`` and a warning is
+logged, so a truncated batch can never masquerade as a converged one.
 
 Replacing rider ``r`` by ``r'`` for driver ``d`` moves the future driver
 contribution from ``dest(r)`` to ``dest(r')``: ``mu(dest(r))`` drops by
@@ -48,8 +56,10 @@ class LocalSearchResult(list):
 
     A plain ``list`` of :class:`~repro.core.batch_types.SelectedPair` (a
     drop-in for every existing caller) carrying one extra attribute:
-    ``converged`` is True when the final sweep made no replacement —
-    Lemma 5.1's fixed point was actually reached — and False when the
+    ``converged`` is True when the search terminated deterministically —
+    the final sweep made no replacement (Lemma 5.1's fixed point) or the
+    sweep state revisited an earlier configuration (a tie cycle, from
+    which no net improvement is ever possible) — and False when the
     defensive ``max_sweeps`` cap cut the search off mid-improvement.
     """
 
@@ -118,6 +128,12 @@ def local_search(
     assigned_rider_of: dict[int, int] = {sp.driver: sp.rider for sp in current}
     assigned_riders: set[int] = {sp.rider for sp in current}
 
+    # The assignment set is the full search state (the rates are a pure
+    # function of it), so a revisited sweep-end state proves a tie cycle:
+    # the sweep order is fixed, hence the search would repeat forever.
+    seen_states: set[frozenset[tuple[int, int]]] = {
+        frozenset(assigned_rider_of.items())
+    }
     converged = False
     for _ in range(max_sweeps):
         improved = False
@@ -161,6 +177,11 @@ def local_search(
         if not improved:
             converged = True
             break
+        state = frozenset(assigned_rider_of.items())
+        if state in seen_states:
+            converged = True
+            break
+        seen_states.add(state)
     if not converged:
         _warn_cap_hit(max_sweeps)
 
@@ -260,6 +281,11 @@ def local_search_arrays(
     for region in np.unique(destination_region).tolist():
         et_by_region[region] = rates.expected_idle_time(region)
 
+    # Cycle detection, mirroring the scalar path: ``chosen`` holds pair
+    # indices, and (rider, driver) combinations are unique, so a frozenset
+    # of pair indices is bijective with the scalar path's assignment set —
+    # both entry points detect the same revisit at the same sweep.
+    seen_states: set[frozenset[int]] = {frozenset(chosen)}
     converged = False
     for _ in range(max_sweeps):
         improved = False
@@ -294,6 +320,11 @@ def local_search_arrays(
         if not improved:
             converged = True
             break
+        state = frozenset(chosen)
+        if state in seen_states:
+            converged = True
+            break
+        seen_states.add(state)
     if not converged:
         _warn_cap_hit(max_sweeps)
 

@@ -35,6 +35,7 @@ class GridPartition:
         self._cell_w = bbox.width / cols
         self._cell_h = bbox.height / rows
         self._cell_size_m: tuple[float, float] | None = None
+        self._cell_gap_m: tuple[float, float] | None = None
         self._centers_lonlat: np.ndarray | None = None
 
     @property
@@ -93,6 +94,62 @@ class GridPartition:
                 equirectangular_m(south, north),
             )
         return self._cell_size_m
+
+    def cell_gap_m(self) -> tuple[float, float]:
+        """Conservative metric ``(width, height)`` of one full cell gap.
+
+        Lower bounds, valid anywhere in the box: two points separated by
+        ``k`` whole cell widths (heights) are at least ``k * width``
+        (``k * height``) metres apart along that axis under the
+        equirectangular metric.  The height bound is exact (metres per
+        degree of latitude are constant); the width bound evaluates
+        ``cos(lat)`` at the box's extreme latitude, where a degree of
+        longitude is narrowest.  Candidate pruning uses these to discard
+        whole regions that no admissible pair can straddle (cached).
+        """
+        if self._cell_gap_m is None:
+            import math
+
+            from repro.geo.distance import EARTH_RADIUS_M
+
+            extreme_lat = max(abs(self.bbox.min_lat), abs(self.bbox.max_lat))
+            self._cos_floor = math.cos(math.radians(min(extreme_lat, 90.0)))
+            self._cell_gap_m = (
+                EARTH_RADIUS_M * math.radians(self._cell_w) * self._cos_floor,
+                EARTH_RADIUS_M * math.radians(self._cell_h),
+            )
+        return self._cell_gap_m
+
+    def edge_gaps_m(
+        self, region_id: int, lon: float, lat: float
+    ) -> tuple[float, float, float, float]:
+        """Conservative metric gaps from a point to its cell's four edges.
+
+        Returns ``(west, east, south, north)`` distances in metres from
+        ``(lon, lat)`` — a point mapped to ``region_id`` — to each edge of
+        that cell, never overestimating the equirectangular distance to
+        anything beyond the edge (longitude gaps use the box's narrowest
+        metres-per-degree; off-box points clamped into a border cell floor
+        at zero).  With :meth:`cell_gap_m` these bound the distance to any
+        point in any other cell, which is what lets candidate generation
+        prune a reach disc's unreachable corner regions.
+        """
+        import math
+
+        from repro.geo.distance import EARTH_RADIUS_M
+
+        self.cell_gap_m()  # ensure the cached cos floor exists
+        row, col = divmod(region_id, self.cols)
+        lon_w = self.bbox.min_lon + col * self._cell_w
+        lat_s = self.bbox.min_lat + row * self._cell_h
+        to_m = EARTH_RADIUS_M * math.pi / 180.0
+        lon_m = to_m * self._cos_floor
+        return (
+            max(0.0, (lon - lon_w) * lon_m),
+            max(0.0, (lon_w + self._cell_w - lon) * lon_m),
+            max(0.0, (lat - lat_s) * to_m),
+            max(0.0, (lat_s + self._cell_h - lat) * to_m),
+        )
 
     def centers_lonlat(self) -> np.ndarray:
         """``(num_regions, 2)`` lon/lat array of region centres (cached).

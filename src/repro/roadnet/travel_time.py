@@ -102,6 +102,11 @@ class StraightLineCost:
             raise ValueError(f"unknown metric {metric!r}")
         self.speed_mps = float(speed_mps)
         self.metric = metric
+        #: Geometry of this model's ETA lower bound: under ``"manhattan"``,
+        #: ``manhattan_m(a, b) / reach_speed`` never exceeds the ETA, so
+        #: candidate generation may prune reach discs as L1 diamonds
+        #: instead of the metric-agnostic axis-aligned squares.
+        self.reach_metric = metric
         self._dist = manhattan_m if metric == "manhattan" else equirectangular_m
         self._dist_many = (
             manhattan_m_many if metric == "manhattan" else equirectangular_m_many

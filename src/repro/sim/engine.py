@@ -39,7 +39,7 @@ from repro.geo.grid import GridPartition
 from repro.roadnet.travel_time import TravelCostModel
 from repro.sim.demand import DemandSource, OracleDemand
 from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
-from repro.sim.fleet import DriverView, FleetState
+from repro.sim.fleet import ActiveDriverView, FleetState
 from repro.sim.metrics import BatchMetrics, SimMetrics
 from repro.sim.recorder import IdleTimeRecorder
 
@@ -58,7 +58,10 @@ class SimConfig:
     (a whole day in the paper).  ``skip_empty_ticks`` lets the engine skip
     the policy call on ticks with no waiting riders when the policy has
     opted in via ``supports_tick_skipping`` (disable to force the
-    policy-every-tick behaviour of the reference loop).
+    policy-every-tick behaviour of the reference loop).  ``profile_phases``
+    accumulates per-phase wall time (event drain / snapshot build / plan /
+    apply) into ``SimMetrics.phase_seconds`` — two extra clock reads per
+    tick when on, a single boolean test when off.
     """
 
     batch_interval_s: float = 3.0
@@ -67,6 +70,7 @@ class SimConfig:
     pickup_speed_mps: float = 8.0
     record_idle_samples: bool = True
     skip_empty_ticks: bool = True
+    profile_phases: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_interval_s <= 0:
@@ -137,9 +141,6 @@ class Simulation:
         self._released_at: dict[int, float | None] = {
             d.driver_id: d.join_time_s for d in self.drivers
         }
-        # Scratch buffer mapping fleet positions to snapshot positions when
-        # translating the fleet's incremental CSR (see `run`).
-        self._snapshot_rank = np.empty(len(self.drivers), dtype=np.int64)
 
     def run(self) -> SimulationResult:
         """Execute every batch tick across the horizon and return results."""
@@ -159,6 +160,19 @@ class Simulation:
         no_repositions = (
             type(self.policy).plan_repositions is DispatchPolicy.plan_repositions
         )
+        # Reposition-planning policies re-read the snapshot *after* this
+        # batch's assignments were applied; the position-stable snapshot
+        # aliases live fleet aggregates, so those policies get them frozen
+        # (copied / materialised) at build time instead.  Everyone else
+        # reads the snapshot only inside `plan_batch` — before any apply —
+        # and can safely share the live arrays.
+        seal_snapshots = not no_repositions
+        profile = cfg.profile_phases
+        phase_seconds = metrics.phase_seconds
+        if profile:
+            for phase in ("event_drain", "snapshot_build", "plan", "apply"):
+                phase_seconds.setdefault(phase, 0.0)
+        t_events = 0.0
         policy_skippable = (
             cfg.skip_empty_ticks
             and self.policy.supports_tick_skipping
@@ -184,6 +198,8 @@ class Simulation:
         num_batches = int(math.floor(cfg.horizon_s / cfg.batch_interval_s)) + 1
         for batch_index in range(num_batches):
             now = batch_index * cfg.batch_interval_s
+            if profile:
+                t_tick = _time.perf_counter()
 
             # 0. fire shift and rejoin-window events due by `now`.
             if fleet.advance(now):
@@ -220,6 +236,10 @@ class Simulation:
                 self._released_at[driver_id] = now
                 maybe_new_pairs = True
 
+            if profile:
+                t_events = _time.perf_counter()
+                phase_seconds["event_drain"] += t_events - t_tick
+
             # 4. skip provable no-op ticks (still recording their metrics):
             #    nothing to plan, a standing zero-assignment proof, or a
             #    candidate-based policy with zero drivers on duty.
@@ -238,18 +258,20 @@ class Simulation:
                 )
                 continue
 
+            # Position-stable snapshot: the fleet's persistent arrays are
+            # exposed directly (views, not gathers) and candidate positions
+            # are *fleet* positions served by the incrementally-maintained
+            # per-region buckets — building it costs O(events since the
+            # last planned batch), never O(fleet).
             waiting_riders = list(waiting.values())
-            avail_pos = fleet.available_indices()
-            available_drivers = DriverView(self.drivers, avail_pos)
-
-            # The fleet's incremental buckets list *fleet* positions grouped
-            # by region; one O(active) scatter+gather maps them to snapshot
-            # positions — no per-tick argsort (identical to the snapshot's
-            # own stable-argsort fallback).
-            order_fleet, csr_indptr = fleet.available_csr()
-            rank = self._snapshot_rank
-            rank[avail_pos] = np.arange(len(avail_pos), dtype=np.int64)
-            csr_order = rank[order_fleet]
+            n_active = fleet.active_total
+            available_drivers = ActiveDriverView(self.drivers, fleet)
+            snap_waiting_counts = waiting_counts
+            snap_avail_counts = fleet.avail_count
+            if seal_snapshots:
+                available_drivers.freeze()
+                snap_waiting_counts = waiting_counts.copy()
+                snap_avail_counts = fleet.avail_count.copy()
 
             snapshot = BatchSnapshot(
                 time_s=now,
@@ -263,14 +285,20 @@ class Simulation:
                 grid=self.grid,
                 cost_model=self.cost_model,
                 pickup_speed_mps=cfg.pickup_speed_mps,
-                driver_lonlat=fleet.lonlat[avail_pos],
-                driver_regions=fleet.region[avail_pos],
-                driver_ids=fleet.ids[avail_pos],
-                waiting_counts=waiting_counts.copy(),
-                available_counts=fleet.avail_count.copy(),
-                driver_csr=(csr_order, csr_indptr),
+                driver_lonlat=fleet.lonlat,
+                driver_regions=fleet.region,
+                driver_ids=fleet.ids,
+                waiting_counts=snap_waiting_counts,
+                available_counts=snap_avail_counts,
+                driver_buckets=fleet.region_buckets(),
+                driver_lookup=self.drivers,
+                num_available=n_active,
                 riders_prefiltered=True,  # reneges already pruned expiries
             )
+
+            if profile:
+                t_snap = _time.perf_counter()
+                phase_seconds["snapshot_build"] += t_snap - t_events
 
             start = _time.perf_counter()
             assignments = self.policy.plan_batch(snapshot)
@@ -290,11 +318,16 @@ class Simulation:
                 BatchMetrics(
                     time_s=now,
                     waiting_riders=len(waiting_riders),
-                    available_drivers=len(available_drivers),
+                    available_drivers=n_active,
                     assignments=applied,
                     plan_seconds=plan_seconds,
                 )
             )
+            if profile:
+                phase_seconds["plan"] += plan_seconds
+                phase_seconds["apply"] += (
+                    _time.perf_counter() - start - plan_seconds
+                )
 
         # Post-horizon accounting: anyone still waiting with an expired or
         # in-horizon deadline effectively reneged.

@@ -21,17 +21,21 @@ forward monotonically, each assignment contributes two events: the driver
 ``b`` (counter down).  Both are O(log n) heap operations instead of the
 O(busy-fleet) walk per tick.
 
-Incremental CSR bucketing: the dispatch layer consumes the available fleet
-grouped by region (one contiguous slice per region — the candidate
-generator's ring scan).  Instead of argsorting the available drivers every
-tick, :meth:`FleetState.available_csr` maintains a sorted array of
-``region * n + position`` composite keys: every activate/deactivate event
-records a ±1 delta, and the next snapshot folds the accumulated deltas into
-the sorted array with one batched ``searchsorted`` + ``delete``/``insert``
-compaction — O(changes · log fleet + fleet) straight C memmove, replacing
-the former per-tick O(fleet · log fleet) argsort.  The key order (region
-ascending, fleet position ascending within a region) is exactly the stable
-argsort's, so the CSR is bit-identical to the per-snapshot computation.
+Incremental region buckets: the dispatch layer consumes the available
+fleet grouped by region (the candidate generator's ring scan).  Instead of
+argsorting the available drivers every tick, :meth:`FleetState.
+region_buckets` maintains one sorted array of fleet positions *per
+region*: every activate/deactivate event records a ±1 delta keyed on
+``region * n + position``, and the next snapshot folds the accumulated
+deltas into only the touched regions' arrays with a per-region
+``searchsorted`` + ``delete``/``insert`` compaction — O(events · log
+bucket + touched-bucket memmove), independent of fleet size.  (The older
+flat composite-key layout compacted one fleet-sized array, an O(fleet)
+memmove on every eventful tick — the last per-tick fleet-sized term at
+million-driver scale.)  The bucket order (region ascending, fleet position
+ascending within a region) is exactly the stable argsort's, so the
+concatenated CSR form (:meth:`FleetState.available_csr`) stays
+bit-identical to the per-snapshot computation.
 """
 
 from __future__ import annotations
@@ -44,7 +48,9 @@ import numpy as np
 
 from repro.sim.entities import Driver
 
-__all__ = ["FleetState", "DriverView"]
+__all__ = ["FleetState", "DriverView", "ActiveDriverView"]
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
 
 
 class DriverView:
@@ -73,6 +79,55 @@ class DriverView:
     def __iter__(self):
         drivers = self._drivers
         return (drivers[i] for i in self._pos.tolist())
+
+
+class ActiveDriverView:
+    """List-like view of the fleet's *active* drivers, resolved lazily.
+
+    The engine hands one of these to every snapshot instead of running
+    ``flatnonzero`` over the whole fleet per tick: ``len`` reads the O(1)
+    ``active_total`` counter, and the position array materialises only when
+    a policy actually iterates or indexes the view (the scalar backend,
+    UPPER, the rebalancing wrapper).  Candidate-driven policies never pay
+    for it.
+
+    The view is *live* until :meth:`freeze` pins it: positions resolve
+    against the fleet state at first access.  The engine freezes it at
+    snapshot build for policies that re-read the snapshot after assignments
+    were applied (reposition planners), preserving batch-time semantics.
+    """
+
+    __slots__ = ("_drivers", "_fleet", "_pos")
+
+    def __init__(self, drivers: Sequence[Driver], fleet: "FleetState"):
+        self._drivers = drivers
+        self._fleet = fleet
+        self._pos: np.ndarray | None = None
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Ascending fleet positions of the active drivers (materialised)."""
+        if self._pos is None:
+            self._pos = self._fleet.available_indices()
+        return self._pos
+
+    def freeze(self) -> None:
+        """Materialise now, so later fleet mutations no longer show."""
+        _ = self.positions
+
+    def __len__(self) -> int:
+        if self._pos is not None:
+            return len(self._pos)
+        return self._fleet.active_total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._drivers[i] for i in self.positions[index].tolist()]
+        return self._drivers[int(self.positions[index])]
+
+    def __iter__(self):
+        drivers = self._drivers
+        return (drivers[i] for i in self.positions.tolist())
 
 
 class FleetState:
@@ -129,11 +184,12 @@ class FleetState:
         self._deactivations: list[tuple[float, int]] = []
         self._window_entries: list[tuple[float, int]] = []
 
-        #: Sorted ``region * n + position`` keys of the active drivers, plus
-        #: the pending ±1 membership deltas since the last compaction (see
-        #: the module docstring).  A driver that toggles active twice between
+        #: Per-region sorted fleet-position arrays of the active drivers,
+        #: plus the pending ±1 membership deltas (keyed ``region * n +
+        #: position``) since the last compaction (see the module
+        #: docstring).  A driver that toggles active twice between
         #: snapshots cancels back to a zero delta and is dropped.
-        self._bucket_keys = np.empty(0, dtype=np.int64)
+        self._buckets: list[np.ndarray] = [_EMPTY_POSITIONS] * self.num_regions
         self._bucket_delta: dict[int, int] = {}
 
         for i, d in enumerate(drivers):
@@ -145,12 +201,18 @@ class FleetState:
             self.join[i] = d.join_time_s
             self.leave[i] = d.leave_time_s
             self.is_available[i] = d.available
-            # Initially-busy drivers carry no release event (matching the
-            # reference engine, whose release heap starts empty): they never
-            # rejoin and never count as upcoming supply.
-            if d.available:
-                self._activations.append((d.join_time_s, i))
-        heapq.heapify(self._activations)
+        # Initially-busy drivers carry no release event (matching the
+        # reference engine, whose release heap starts empty): they never
+        # rejoin and never count as upcoming supply.  The available
+        # drivers' shift starts stay in these flat arrays until the first
+        # :meth:`advance`, which bulk-activates the due ones vectorised
+        # (see :meth:`_bulk_activate`) and heapifies only the remainder
+        # into ``_activations`` — a million-driver fleet joining at the
+        # simulation start never pays per-driver heap traffic.
+        avail = self.is_available
+        self._initial_join_pos = np.flatnonzero(avail).astype(np.int64)
+        self._initial_join_times = self.join[avail]
+        self._primed = False
 
     # -- per-tick event processing ------------------------------------------
 
@@ -170,6 +232,8 @@ class FleetState:
             self.rejoin_counts[self.dest_region[i]] += 1
             self._rejoin_counted[i] = True
         supply_grew = False
+        if not self._primed:
+            supply_grew = self._bulk_activate(now)
         activations = self._activations
         while activations and activations[0][0] <= now:
             _, i = heapq.heappop(activations)
@@ -229,21 +293,39 @@ class FleetState:
         """Fleet positions of active drivers, ascending (snapshot order)."""
         return np.flatnonzero(self.active)
 
+    def region_buckets(self) -> list[np.ndarray]:
+        """Per-region sorted fleet positions of the active drivers.
+
+        ``region_buckets()[k]`` lists region ``k``'s active drivers by
+        ascending fleet position (the stable-argsort order).  Maintained
+        incrementally: pending activate/deactivate deltas are folded into
+        only the touched regions' arrays (O(events · log bucket) search
+        plus per-bucket compaction), so a tick's cost is independent of
+        fleet size.
+
+        The returned list and its arrays stay valid — unmutated — until
+        the *next* flush (the next tick's snapshot build): events occurring
+        after this call accumulate as deltas without touching the arrays,
+        so a snapshot's buckets keep reflecting batch state even while the
+        engine applies that batch's assignments.
+        """
+        self._flush_bucket_deltas()
+        return self._buckets
+
     def available_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """``(order_fleet, indptr)`` region-bucketed view of active drivers.
 
-        ``order_fleet`` lists *fleet positions* grouped by region (ascending
-        position within a region — the stable-argsort order);
-        ``indptr[k]:indptr[k+1]`` slices region ``k``'s drivers.  Built
-        incrementally: pending activate/deactivate deltas are folded into
-        the sorted key array (O(changes · log fleet) search + one C-level
-        compaction), and ``indptr`` is the running ``avail_count`` cumsum —
-        no per-tick argsort.
+        The concatenated form of :meth:`region_buckets` — ``order_fleet``
+        lists *fleet positions* grouped by region and
+        ``indptr[k]:indptr[k+1]`` slices region ``k``'s drivers, with
+        ``indptr`` the running ``avail_count`` cumsum.  O(active) for the
+        concatenation; the engine's hot path consumes the per-region
+        buckets directly and only tests and consistency checks take this
+        flattened view.
         """
-        self._flush_bucket_deltas()
-        stride = len(self.active)
+        buckets = self.region_buckets()
         order_fleet = (
-            self._bucket_keys % stride if stride else self._bucket_keys
+            np.concatenate(buckets) if buckets else _EMPTY_POSITIONS
         )
         indptr = np.empty(self.num_regions + 1, dtype=np.int64)
         indptr[0] = 0
@@ -254,15 +336,23 @@ class FleetState:
         delta = self._bucket_delta
         if not delta:
             return
-        removes = sorted(k for k, v in delta.items() if v < 0)
-        adds = sorted(k for k, v in delta.items() if v > 0)
+        n = len(self.active)
+        by_region: dict[int, tuple[list[int], list[int]]] = {}
+        for key, v in delta.items():
+            region, pos = divmod(key, n)
+            adds, removes = by_region.setdefault(region, ([], []))
+            (adds if v > 0 else removes).append(pos)
         delta.clear()
-        keys = self._bucket_keys
-        if removes:
-            keys = np.delete(keys, np.searchsorted(keys, removes))
-        if adds:
-            keys = np.insert(keys, np.searchsorted(keys, adds), adds)
-        self._bucket_keys = keys
+        buckets = self._buckets
+        for region, (adds, removes) in by_region.items():
+            arr = buckets[region]
+            if removes:
+                removes.sort()
+                arr = np.delete(arr, np.searchsorted(arr, removes))
+            if adds:
+                adds.sort()
+                arr = np.insert(arr, np.searchsorted(arr, adds), adds)
+            buckets[region] = arr
 
     def _bucket_bump(self, key: int, step: int) -> None:
         new = self._bucket_delta.get(key, 0) + step
@@ -312,3 +402,68 @@ class FleetState:
         self.avail_count[region] -= 1
         self.active_total -= 1
         self._bucket_bump(region * len(self.active) + i, -1)
+
+    def _bulk_activate(self, now: float) -> bool:
+        """Vectorised shift-start flood for the first :meth:`advance` call.
+
+        A 100K–1M-driver fleet typically joins en masse at the simulation
+        start; popping one heap entry per driver would stall the first
+        tick for seconds of Python-loop work.  This path filters the due
+        initial joins with array ops, applies the per-event loop's exact
+        eligibility rule, merges the new members straight into the region
+        buckets (bypassing the per-driver delta dict), and heapifies only
+        the not-yet-due joins into the ordinary activation heap.  Returns
+        whether any driver joined the active pool.
+        """
+        self._primed = True
+        times = self._initial_join_times
+        pos = self._initial_join_pos
+        self._initial_join_times = self._initial_join_pos = None
+        due = times <= now
+        later = ~due
+        if later.any():
+            remaining = list(zip(times[later].tolist(), pos[later].tolist()))
+            remaining.extend(self._activations)
+            heapq.heapify(remaining)
+            self._activations = remaining
+        if not due.any():
+            return False
+
+        cand = pos[due]
+        eligible = (
+            self.is_available[cand] & ~self.active[cand] & (now < self.leave[cand])
+        )
+        idx = cand[eligible]
+        if idx.size == 0:
+            return False
+        self.active[idx] = True
+        self.active_total += int(idx.size)
+        regions = self.region[idx]
+        self.avail_count += np.bincount(regions, minlength=self.num_regions)
+        # Settle any pending deltas first, then splice each touched
+        # region's newcomers in with one searchsorted + insert.  Like the
+        # flush, this *replaces* bucket arrays rather than mutating them,
+        # so arrays handed to an earlier snapshot stay intact.
+        self._flush_bucket_deltas()
+        order = np.lexsort((idx, regions))
+        sorted_pos = idx[order]
+        sorted_regions = regions[order]
+        bounds = np.searchsorted(
+            sorted_regions, np.arange(self.num_regions + 1)
+        )
+        buckets = self._buckets
+        for k in np.unique(sorted_regions).tolist():
+            new = sorted_pos[bounds[k] : bounds[k + 1]]
+            arr = buckets[k]
+            if len(arr):
+                arr = np.insert(arr, np.searchsorted(arr, new), new)
+            else:
+                arr = new.copy()
+            buckets[k] = arr
+        finite = ~np.isinf(self.leave[idx])
+        if finite.any():
+            self._deactivations.extend(
+                zip(self.leave[idx[finite]].tolist(), idx[finite].tolist())
+            )
+            heapq.heapify(self._deactivations)
+        return True

@@ -45,6 +45,10 @@ class SimMetrics:
     repositions: int = 0
     batches: list[BatchMetrics] = field(default_factory=list)
     idle_samples: list[IdleSample] = field(default_factory=list)
+    #: Cumulative wall time per engine phase (``event_drain`` /
+    #: ``snapshot_build`` / ``plan`` / ``apply``), populated only when the
+    #: run had ``SimConfig.profile_phases`` on; empty otherwise.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def service_rate(self) -> float:

@@ -195,3 +195,80 @@ class TestConvergenceReporting:
         assert out.converged is False
         assert any("max_sweeps" in r.message for r in caplog.records)
         assert out[0].rider == 1
+
+
+class TestTieCycleTermination:
+    """Tie-heavy batches where the mu feedback makes the sweep state revisit
+    an earlier assignment must terminate via cycle detection with
+    ``converged=True`` — before the fix they burned every sweep and reported
+    a cap hit, even though no net improvement was possible."""
+
+    def cycling_batch(self, seed):
+        """A random dense batch known (per seed) to cycle under plain sweeps."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        trips = [120.0, 600.0]
+        riders = [
+            BatchRider(
+                i,
+                int(rng.integers(3)),
+                int(rng.integers(3)),
+                float(trips[int(rng.integers(2))]),
+                float(trips[int(rng.integers(2))]),
+            )
+            for i in range(8)
+        ]
+        drivers = [BatchDriver(j, int(rng.integers(3))) for j in range(3)]
+        pairs = [
+            CandidatePair(i, j, float(rng.integers(1, 3)))
+            for i in range(8)
+            for j in range(3)
+            if rng.random() < 0.8
+        ]
+        pred_r = [float(rng.integers(1, 20)) for _ in range(3)]
+        pred_d = [float(rng.integers(0, 4)) for _ in range(3)]
+        return riders, drivers, pairs, pred_r, pred_d
+
+    @pytest.mark.parametrize("seed", [13, 22, 34, 35, 37])
+    def test_cycle_detected_and_reported_converged(self, seed, caplog):
+        riders, drivers, pairs, pred_r, pred_d = self.cycling_batch(seed)
+        rates = fresh_rates(pred_r, pred_d)
+        with caplog.at_level("WARNING", logger="repro.core.local_search"):
+            out = local_search(riders, drivers, pairs, rates, max_sweeps=256)
+        assert out.converged is True
+        assert not caplog.records
+        # Still a valid matching.
+        assert len({p.rider for p in out}) == len(out)
+        assert len({p.driver for p in out}) == len(out)
+        valid = {(p.rider, p.driver) for p in pairs}
+        assert all((p.rider, p.driver) in valid for p in out)
+
+    @pytest.mark.parametrize("seed", [13, 22, 34, 35, 37])
+    def test_array_path_detects_same_cycle(self, seed):
+        import numpy as np
+
+        from repro.core.local_search import local_search_arrays
+
+        riders, drivers, pairs, pred_r, pred_d = self.cycling_batch(seed)
+        rider_by_index = {r.index: r for r in riders}
+        out_scalar = local_search(
+            riders, drivers, pairs, fresh_rates(pred_r, pred_d), max_sweeps=256
+        )
+        out_arrays = local_search_arrays(
+            np.array([p.rider for p in pairs]),
+            np.array([p.driver for p in pairs]),
+            np.array([rider_by_index[p.rider].trip_cost_s for p in pairs]),
+            np.array([p.pickup_eta_s for p in pairs]),
+            np.array([rider_by_index[p.rider].destination_region for p in pairs]),
+            fresh_rates(pred_r, pred_d),
+            max_sweeps=256,
+        )
+        assert out_arrays.converged is True
+        assert out_scalar.converged is True
+        assert [(p.rider, p.driver) for p in out_scalar] == [
+            (p.rider, p.driver) for p in out_arrays
+        ]
+        assert [p.predicted_idle_s for p in out_scalar] == pytest.approx(
+            [p.predicted_idle_s for p in out_arrays]
+        )

@@ -187,3 +187,134 @@ def test_reach_disc_and_lower_bound_respect_fast_network_edges():
             f"{backend} backend pruned a feasible fast-edge pair"
         )
         assert pairs[0][2] == eta <= deadline
+
+
+def buckets_for(drivers, grid):
+    """Per-region sorted position buckets, as the fleet layout supplies."""
+    regions = np.array([d.region for d in drivers], dtype=np.int64)
+    return [
+        np.flatnonzero(regions == k).astype(np.int64)
+        for k in range(grid.num_regions)
+    ]
+
+
+def snapshot_with_buckets(riders, drivers, grid, cost, time_s=10.0):
+    from repro.dispatch.base import BatchSnapshot
+
+    return BatchSnapshot.with_arrays(
+        predicted_riders=np.zeros(grid.num_regions),
+        predicted_drivers=np.zeros(grid.num_regions),
+        time_s=time_s,
+        tc_seconds=600.0,
+        waiting_riders=riders,
+        available_drivers=drivers,
+        grid=grid,
+        cost_model=cost,
+        pickup_speed_mps=9.0,
+        driver_buckets=buckets_for(drivers, grid),
+    )
+
+
+#: A box straddling 59-60N, where a longitude degree is half an equatorial
+#: one — stresses the cos floor in the diamond prune's width bound.
+HIGH_LAT_BOX = BoundingBox(10.0, 59.0, 10.2, 59.16)
+
+
+@pytest.mark.parametrize("metric", ["manhattan", "euclidean"])
+@pytest.mark.parametrize("box", [BOX, HIGH_LAT_BOX])
+@pytest.mark.parametrize("force_generic", [False, True])
+def test_bucket_path_matches_scalar(metric, box, force_generic, monkeypatch):
+    """The bucket scan (diamond-pruned under manhattan) equals the scalar
+    full scan pair-for-pair: the prune may only skip buckets whose every
+    driver the ETA filter would reject anyway."""
+    if force_generic:
+        monkeypatch.setattr(base, "_SMALL_RIDER_COUNT", 0)
+    rng = np.random.default_rng(7 if force_generic else 11)
+    grid = GridPartition(box, rows=6, cols=6)
+    cost = StraightLineCost(speed_mps=9.0, metric=metric)
+    global BOX
+    prev_box = BOX
+    BOX = box  # random_world samples from the module box
+    try:
+        for _ in range(6):
+            riders, drivers = random_world(
+                rng, grid, int(rng.integers(1, 20)), int(rng.integers(1, 40))
+            )
+            # Short patience => radius-1 discs, where only the exact
+            # point-to-edge gaps can prune anything.
+            for r in riders:
+                r.deadline_s = 10.0 + float(rng.uniform(0.0, 200.0))
+
+            prev = set_candidate_backend("scalar")
+            try:
+                scalar = generate_candidate_pairs(
+                    snapshot_for(riders, drivers, grid, cost)
+                )
+            finally:
+                set_candidate_backend(prev)
+            bucketed = generate_candidate_pairs(
+                snapshot_with_buckets(riders, drivers, grid, cost)
+            )
+            assert [(r.rider_id, d.driver_id) for r, d, _ in bucketed] == [
+                (r.rider_id, d.driver_id) for r, d, _ in scalar
+            ]
+            np.testing.assert_allclose(
+                [e for _, _, e in bucketed],
+                [e for _, _, e in scalar],
+                rtol=0.0,
+                atol=1e-9,
+            )
+    finally:
+        BOX = prev_box
+
+
+@pytest.mark.parametrize("force_generic", [False, True])
+def test_diamond_prune_skips_unreachable_corners(force_generic, monkeypatch):
+    """The prune must actually engage: with one driver per cell and a reach
+    shorter than the corner gap, the manhattan bucket path evaluates
+    strictly fewer ETAs than the square scan — for the same output."""
+    if force_generic:
+        monkeypatch.setattr(base, "_SMALL_RIDER_COUNT", 0)
+    grid = GridPartition(BOX, rows=5, cols=5)
+    cost = StraightLineCost(speed_mps=9.0, metric="manhattan")
+    center = grid.cell_bbox(grid.region_id(2, 2)).center
+    rider = Rider(
+        rider_id=0, request_time_s=0.0, pickup=center, dropoff=center,
+        deadline_s=10.0 + grid.cell_size_m()[0] * 1.2 / 9.0,
+        trip_seconds=100.0, revenue=100.0,
+        origin_region=grid.region_of(center),
+        destination_region=grid.region_of(center),
+    )
+    drivers = []
+    for k in range(grid.num_regions):
+        pos = grid.cell_bbox(k).center
+        drivers.append(Driver(k, pos, k))
+
+    def counting(cost_model):
+        calls = []
+        native = type(cost_model).travel_seconds_many
+
+        def spy(a_lonlat, b_lonlat):
+            calls.append(len(np.asarray(a_lonlat)))
+            return native(cost_model, a_lonlat, b_lonlat)
+
+        cost_model.travel_seconds_many = spy
+        return calls
+
+    square_cost = StraightLineCost(speed_mps=9.0, metric="manhattan")
+    square_cost.reach_metric = None  # disable the prune, keep the metric
+    diamond_calls = counting(cost)
+    square_calls = counting(square_cost)
+
+    pruned = snapshot_with_buckets([rider], drivers, grid, cost).candidates()
+    square = snapshot_with_buckets(
+        [rider], drivers, grid, square_cost
+    ).candidates()
+
+    assert np.array_equal(pruned.rider_pos, square.rider_pos)
+    assert np.array_equal(pruned.driver_pos, square.driver_pos)
+    assert np.array_equal(pruned.eta_s, square.eta_s)
+    assert pruned.size > 0
+    assert sum(diamond_calls) < sum(square_calls), (
+        "diamond prune evaluated as many pairs as the square scan"
+    )

@@ -88,3 +88,68 @@ def test_property_region_of_total_and_in_range(lon, lat, rows, cols):
     # The point lies within (or on the border of) its cell.
     assert cell.min_lon - 1e-9 <= lon <= cell.max_lon + 1e-9
     assert cell.min_lat - 1e-9 <= lat <= cell.max_lat + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    p_lon=st.floats(min_value=-74.05, max_value=-73.75),
+    p_lat=st.floats(min_value=40.56, max_value=40.94),
+    q_lon=st.floats(min_value=-74.05, max_value=-73.75),
+    q_lat=st.floats(min_value=40.56, max_value=40.94),
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+)
+def test_property_cell_gap_bound_is_conservative(
+    p_lon, p_lat, q_lon, q_lat, rows, cols
+):
+    """The dispatch reach-prune bound — point-to-edge gaps plus whole-cell
+    gaps — never exceeds the true manhattan distance to any other point
+    (``q`` may fall slightly off-box: clamped regions must stay safe)."""
+    from repro.geo.distance import manhattan_m
+
+    grid = GridPartition(NYC_BBOX, rows=rows, cols=cols)
+    p = GeoPoint(p_lon, p_lat)
+    q = GeoPoint(q_lon, q_lat)
+    p_region = grid.region_of(p)
+    q_region = grid.region_of(q)
+    gap_w, gap_h = grid.cell_gap_m()
+    west, east, south, north = grid.edge_gaps_m(p_region, p.lon, p.lat)
+    p_row, p_col = grid.row_col(p_region)
+    q_row, q_col = grid.row_col(q_region)
+
+    dr = q_row - p_row
+    if dr > 0:
+        lat_gap = north + (dr - 1) * gap_h
+    elif dr < 0:
+        lat_gap = south + (-dr - 1) * gap_h
+    else:
+        lat_gap = 0.0
+    dc = q_col - p_col
+    if dc > 0:
+        lon_gap = east + (dc - 1) * gap_w
+    elif dc < 0:
+        lon_gap = west + (-dc - 1) * gap_w
+    else:
+        lon_gap = 0.0
+
+    # Same comparison slack as the dispatch prune.
+    assert lat_gap + lon_gap <= manhattan_m(p, q) * (1.0 + 1e-9) + 1e-9
+
+
+def test_cell_gap_never_exceeds_cell_size():
+    for rows, cols in [(1, 1), (4, 7), (16, 16)]:
+        grid = GridPartition(NYC_BBOX, rows=rows, cols=cols)
+        gap_w, gap_h = grid.cell_gap_m()
+        size_w, size_h = grid.cell_size_m()
+        assert 0.0 < gap_w <= size_w
+        assert 0.0 < gap_h <= size_h * (1.0 + 1e-12)
+
+
+def test_edge_gaps_clamp_off_box_points():
+    grid = GridPartition(NYC_BBOX, rows=4, cols=4)
+    # A point west and south of the box clamps into the corner cell; the
+    # gaps toward the box interior stay exact, those "behind" floor at 0.
+    region = grid.region_of(GeoPoint(-75.0, 40.0))
+    west, east, south, north = grid.edge_gaps_m(region, -75.0, 40.0)
+    assert west == 0.0 and south == 0.0
+    assert east > 0.0 and north > 0.0

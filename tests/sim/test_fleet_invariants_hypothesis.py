@@ -1,0 +1,147 @@
+"""Hypothesis-driven invariants of the incremental fleet structures.
+
+Random event sequences — shift starts/ends (via ``advance``), assignments,
+repositions, and releases — are applied to a :class:`FleetState`, and the
+incrementally-maintained structures (per-region buckets / CSR order,
+``avail_count``, ``active_total``, ``rejoin_counts``) are compared against
+a from-scratch rebuild from the plain per-driver arrays.  Some ticks check
+after *every* event (exercising single-delta flushes), others only at the
+tick boundary (exercising batched deltas, including activate/deactivate
+pairs that must cancel to a zero delta).
+"""
+
+import heapq
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint
+from repro.sim.entities import Driver
+from repro.sim.fleet import FleetState
+
+POS = GeoPoint(0.01, 0.01)
+NUM_REGIONS = 4
+TC = 50.0
+
+
+def assert_matches_rebuild(
+    fleet: FleetState, now: float, zero_lead: set[int]
+) -> None:
+    """Incremental counters/buckets must equal a rebuild from raw arrays.
+
+    ``zero_lead`` holds drivers whose assignment completed at or before its
+    own commit time (``busy_until <= now`` at :meth:`FleetState.assign`) —
+    the one case not reconstructible from the arrays alone: such a driver
+    was never inside any scheduling window, so it must never be counted.
+    """
+    active = fleet.active
+    assert fleet.active_total == int(active.sum())
+
+    expected_counts = np.bincount(
+        fleet.region[active], minlength=fleet.num_regions
+    )
+    assert np.array_equal(fleet.avail_count, expected_counts)
+
+    buckets = fleet.region_buckets()
+    assert len(buckets) == fleet.num_regions
+    for k in range(fleet.num_regions):
+        expected = np.flatnonzero(active & (fleet.region == k))
+        assert np.array_equal(buckets[k], expected), (k, now)
+
+    order_fleet, indptr = fleet.available_csr()
+    pos = np.flatnonzero(active)
+    expected_order = pos[np.argsort(fleet.region[pos], kind="stable")]
+    assert np.array_equal(order_fleet, expected_order)
+    assert np.array_equal(indptr[1:], np.cumsum(expected_counts))
+
+    # Rejoin window |D^hat_k|: busy drivers whose window has opened
+    # (``b <= now + t_c``) and that rejoin before their shift ends.  A
+    # driver with ``b <= now`` still pending release stays counted until
+    # the release drains — matching the engine's advance-then-release tick
+    # order.  (All drivers here start available, so the initially-busy
+    # carve-out never applies.)
+    expected_rejoins = np.zeros(fleet.num_regions, dtype=np.int64)
+    for i in range(len(active)):
+        b = fleet.busy_until[i]
+        if (
+            not fleet.is_available[i]
+            and b <= now + fleet.tc_seconds
+            and b < fleet.leave[i]
+            and i not in zero_lead
+        ):
+            expected_rejoins[fleet.dest_region[i]] += 1
+    assert np.array_equal(fleet.rejoin_counts, expected_rejoins), now
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.integers(0, NUM_REGIONS - 1),               # home region
+            st.integers(0, 20),                            # join time
+            st.one_of(st.none(), st.integers(1, 90)),      # shift length
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    data=st.data(),
+)
+def test_incremental_structures_match_rebuild(specs, data):
+    drivers = [
+        Driver(
+            i,
+            POS.shifted(dlon=0.001 * i),
+            region,
+            join_time_s=float(join),
+            leave_time_s=float("inf") if length is None else float(join + length),
+            available_since_s=float(join),
+        )
+        for i, (region, join, length) in enumerate(specs)
+    ]
+    fleet = FleetState(drivers, num_regions=NUM_REGIONS, tc_seconds=TC)
+
+    releases: list[tuple[float, int]] = []
+    zero_lead: set[int] = set()
+    now = 0.0
+    for _ in range(data.draw(st.integers(3, 10), label="ticks")):
+        now += float(data.draw(st.integers(1, 15), label="dt"))
+        per_event = data.draw(st.booleans(), label="check_each_event")
+
+        # Engine tick order: shift/window events first, then releases.
+        fleet.advance(now)
+        if per_event:
+            assert_matches_rebuild(fleet, now, zero_lead)
+        while releases and releases[0][0] <= now:
+            _, i = heapq.heappop(releases)
+            fleet.release(i, now)
+            zero_lead.discard(i)
+            if per_event:
+                assert_matches_rebuild(fleet, now, zero_lead)
+
+        # Assign or reposition a random prefix of the active drivers.
+        active = np.flatnonzero(fleet.active).tolist()
+        n_acts = data.draw(st.integers(0, len(active)), label="n_acts")
+        for i in active[:n_acts]:
+            lead = data.draw(st.integers(0, 80), label="lead")
+            dest = data.draw(st.integers(0, NUM_REGIONS - 1), label="dest")
+            commit = (
+                fleet.reposition
+                if data.draw(st.booleans(), label="is_reposition")
+                else fleet.assign
+            )
+            commit(
+                i,
+                now=now,
+                busy_until=now + lead,
+                dest_region=dest,
+                lon=0.02,
+                lat=0.02,
+            )
+            heapq.heappush(releases, (now + lead, i))
+            if lead == 0:
+                zero_lead.add(i)
+            if per_event:
+                assert_matches_rebuild(fleet, now, zero_lead)
+
+        assert_matches_rebuild(fleet, now, zero_lead)
