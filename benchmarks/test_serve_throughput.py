@@ -1,0 +1,85 @@
+"""Serving throughput benchmark: the live dispatch stack, measured.
+
+Boots the full online stack in-process — :class:`DispatchService` over the
+tickable stepper, the asyncio HTTP server on a background thread — and
+replays one nyc scenario day through it in lockstep over real HTTP: the
+load generator posts each batch window's requests, fires the window tick,
+and repeats as fast as the server absorbs them.  That measures the serving
+stack end to end (HTTP parse, JSON, service locking, stepper tick), not
+the policy in isolation.
+
+Each run *appends* one ``pr``-labelled record to ``BENCH_serve.json`` at
+the repo root — sustained requests/sec, p50/p99 assignment latency, tick
+percentiles — so the serving-performance trajectory accumulates across
+PRs, mirroring ``BENCH_engine.json`` for the offline engine.
+"""
+
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import append_bench_record
+from repro.experiments.runner import clear_caches
+from repro.serve.loadgen import replay_workload
+from repro.serve.server import start_server_in_thread
+from repro.serve.service import DispatchService
+
+#: One nyc day at the small profile's fleet scale: enough request volume
+#: to make the percentiles meaningful, small enough to keep the benchmark
+#: inside a couple of minutes on a laptop.
+SCENARIO = ExperimentConfig(
+    city="nyc",
+    daily_orders=25_000.0,
+    num_drivers=120,
+    batch_interval_s=10.0,
+    horizon_s=6 * 3600.0,
+)
+
+#: Sanity floor only — this interleaves HTTP round-trips with planning, so
+#: the committed JSON carries the real margin, the assertion just catches
+#: a serving-stack collapse.
+_MIN_REQUESTS_PER_S = 50.0
+
+
+def test_serve_throughput():
+    clear_caches()
+    service = DispatchService.from_config(SCENARIO, "NEAR")
+    workload = [
+        r for r in service.workload if r.request_time_s <= SCENARIO.horizon_s
+    ]
+    with start_server_in_thread(service) as handle:
+        report = replay_workload(
+            handle.host,
+            handle.port,
+            workload,
+            batch_interval_s=SCENARIO.batch_interval_s,
+            speedup=0.0,
+            horizon_s=SCENARIO.horizon_s,
+        )
+        status = service.status()
+
+    payload = {
+        "scenario": {
+            "city": SCENARIO.city,
+            "daily_orders": SCENARIO.daily_orders,
+            "num_drivers": SCENARIO.num_drivers,
+            "batch_interval_s": SCENARIO.batch_interval_s,
+            "horizon_s": SCENARIO.horizon_s,
+            "policy": "NEAR",
+            "mode": "lockstep-http",
+        },
+        **report.to_payload(),
+        "tick_wall_max_ms": round(status["tick_wall_ms"]["max"], 3),
+        "phase_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in status["phase_seconds"].items()
+        },
+    }
+    out = append_bench_record("BENCH_serve.json", payload)
+    print(f"\n[BENCH_serve] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    assert report.requests_sent == len(workload) > 0
+    assert report.assigned > 0, "the serving stack committed no assignments"
+    assert report.unresolved == 0, "requests left unresolved after the horizon"
+    assert report.requests_per_s >= _MIN_REQUESTS_PER_S, (
+        f"serving throughput collapsed: {report.requests_per_s:.1f} req/s"
+    )

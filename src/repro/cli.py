@@ -23,6 +23,21 @@ Subcommands
     (``$REPRO_CACHE_DIR``, default ``~/.cache/repro/runs``) so re-sweeps
     and overlapping sweeps pay once.
 
+``repro serve --policy NEAR --port 8355 [--speedup 60] [--batch-interval 3]``
+    Run the online dispatch server: ride requests stream in over HTTP,
+    accumulate into the paper's batch windows, and are assigned by the
+    selected policy on each window boundary.  ``--speedup`` maps wall time
+    onto simulation time (the ticker fires every ``Delta / speedup`` wall
+    seconds; 0 disables it — the clock then only advances via
+    ``POST /tick``, for lockstep drivers).
+
+``repro loadgen [--embedded] [--speedup 0] [--duration 3600] [--max-requests N]``
+    Replay the scenario's workload against a dispatch server (or
+    ``--embedded``: boot one in-process first) and report sustained
+    requests/sec, per-tick latency, and assignment-latency percentiles,
+    appending the measurement to the ``BENCH_serve.json`` history
+    (``--no-bench`` to skip).
+
 ``repro queue --lam 2.0 --mu 1.0 [--beta 0.01] [--k 10]``
     Evaluate the double-sided queueing model at one operating point:
     stationary probabilities and the expected idle time (rates per minute,
@@ -187,6 +202,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cross-process run cache (always simulate)",
     )
 
+    serve = sub.add_parser("serve", help="run the online dispatch server")
+    serve.add_argument(
+        "--policy",
+        default="NEAR",
+        help=f"one of {', '.join(available_policies())}; append +RB for "
+        "queueing-guided rebalancing",
+    )
+    serve.add_argument("--profile", default=None, help="tiny / small / paper")
+    serve.add_argument(
+        "--city",
+        default=None,
+        help=f"city scenario ({', '.join(scenario_names())})",
+    )
+    serve.add_argument(
+        "--cost-model",
+        default=None,
+        choices=COST_MODEL_NAMES,
+        help="travel-cost model (straight_line / roadnet / roadnet_tod)",
+    )
+    serve.add_argument(
+        "--batch-interval",
+        type=float,
+        default=None,
+        help="batch window Delta in seconds (default: the profile's)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8355, help="listen port (0 = pick free)"
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=60.0,
+        help="wall-clock acceleration of the batch ticker: one window every "
+        "Delta/speedup wall seconds (0 = advance only via POST /tick)",
+    )
+    serve.add_argument(
+        "--predictor",
+        default="deepst",
+        help="demand model for -P variants (ha / lr / gbrt / deepst)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay the scenario workload against a server"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen.add_argument(
+        "--port", type=int, default=8355, help="server port (ignored with --embedded)"
+    )
+    loadgen.add_argument(
+        "--embedded",
+        action="store_true",
+        help="boot an in-process server for this config first (CI smoke mode)",
+    )
+    loadgen.add_argument(
+        "--speedup",
+        type=float,
+        default=0.0,
+        help="replay pace as a multiple of real time "
+        "(0 = lockstep: drive /tick as fast as the server absorbs)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="replay only requests inside [0, duration) simulation seconds",
+    )
+    loadgen.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="cap the number of replayed requests (earliest first)",
+    )
+    loadgen.add_argument(
+        "--min-assignments",
+        type=int,
+        default=1,
+        help="exit non-zero unless at least this many assignments committed",
+    )
+    loadgen.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="do not append the measurement to BENCH_serve.json",
+    )
+    loadgen.add_argument(
+        "--policy", default="NEAR", help="policy for the workload/server config"
+    )
+    loadgen.add_argument("--profile", default=None, help="tiny / small / paper")
+    loadgen.add_argument("--city", default=None, help="city scenario")
+    loadgen.add_argument(
+        "--cost-model", default=None, choices=COST_MODEL_NAMES,
+        help="travel-cost model",
+    )
+    loadgen.add_argument(
+        "--batch-interval", type=float, default=None,
+        help="batch window Delta in seconds",
+    )
+    loadgen.add_argument(
+        "--predictor", default="deepst",
+        help="demand model for -P variants",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the cross-process run cache"
     )
@@ -229,6 +346,10 @@ def _cmd_list() -> int:
     print("\nCost models (repro sweep --cost-model <name>):")
     print("  " + ", ".join(COST_MODEL_NAMES))
     print("\nProfiles: tiny, small, paper (or set REPRO_SCALE)")
+    print(
+        "\nServing: 'repro serve' runs the online dispatch server; "
+        "'repro loadgen' replays the scenario workload against it."
+    )
     return 0
 
 
@@ -454,6 +575,148 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace) -> ExperimentConfig | None:
+    """Build the serve/loadgen world config; ``None`` after printing an error.
+
+    Goes through :func:`profile_config` + ``ExperimentConfig.replace`` so
+    city, cost-model, and batch-interval overrides hit the same validation
+    as every offline experiment.
+    """
+    base = args.policy[:-3] if args.policy.endswith("+RB") else args.policy
+    if base not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; expected one of "
+            f"{', '.join(available_policies())} (optionally with +RB)",
+            file=sys.stderr,
+        )
+        return None
+    config = profile_config(args.profile)
+    overrides = {}
+    if args.city is not None:
+        overrides["city"] = args.city
+    if args.cost_model is not None:
+        overrides["cost_model"] = args.cost_model
+    if args.batch_interval is not None:
+        overrides["batch_interval_s"] = args.batch_interval
+    try:
+        return config.replace(**overrides) if overrides else config
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import DispatchServer
+    from repro.serve.service import DispatchService
+
+    if args.speedup < 0:
+        print("--speedup must be >= 0 (0 = tick only via POST /tick)", file=sys.stderr)
+        return 2
+    config = _serve_config(args)
+    if config is None:
+        return 2
+    service = DispatchService.from_config(
+        config, args.policy, predictor_name=args.predictor
+    )
+    tick_interval = (
+        config.batch_interval_s / args.speedup if args.speedup > 0 else None
+    )
+    server = DispatchServer(
+        service, host=args.host, port=args.port, tick_interval_s=tick_interval
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {args.policy} on http://{server.host}:{server.port}")
+        print(
+            f"  city={config.city} cost_model={config.cost_model} "
+            f"Delta={config.batch_interval_s:g}s "
+            + (
+                f"ticker={tick_interval * 1e3:.1f}ms wall/window "
+                f"(speedup {args.speedup:g}x)"
+                if tick_interval
+                else "ticker=off (POST /tick to advance)"
+            )
+        )
+        print("  endpoints: POST /requests /tick /finalize /shutdown; "
+              "GET /status /assignments /requests/<id>")
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import replay_workload
+
+    if args.min_assignments < 0:
+        print("--min-assignments must be >= 0", file=sys.stderr)
+        return 2
+    config = _serve_config(args)
+    if config is None:
+        return 2
+    from repro.experiments.runner import build_serve_world
+
+    riders, *_ = build_serve_world(config, args.policy, args.predictor)
+
+    handle = None
+    if args.embedded:
+        from repro.serve.server import start_server_in_thread
+        from repro.serve.service import DispatchService
+
+        service = DispatchService.from_config(
+            config, args.policy, predictor_name=args.predictor
+        )
+        tick_interval = (
+            config.batch_interval_s / args.speedup if args.speedup > 0 else None
+        )
+        handle = start_server_in_thread(service, tick_interval_s=tick_interval)
+        host, port = handle.host, handle.port
+        print(f"embedded server on http://{host}:{port}")
+    else:
+        host, port = args.host, args.port
+
+    try:
+        report = replay_workload(
+            host,
+            port,
+            riders,
+            batch_interval_s=config.batch_interval_s,
+            speedup=args.speedup,
+            duration_s=args.duration,
+            max_requests=args.max_requests,
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+    print(report.render())
+
+    if not args.no_bench:
+        from repro.experiments.reporting import append_bench_record
+
+        record = {
+            "benchmark": "serve_loadgen",
+            "city": config.city,
+            "profile": args.profile or "default",
+            **report.to_payload(),
+        }
+        path = append_bench_record("BENCH_serve.json", record)
+        print(f"\n[appended to {path}]")
+    if report.assigned < args.min_assignments:
+        print(
+            f"FAIL: {report.assigned} assignments < "
+            f"--min-assignments {args.min_assignments}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import clear_disk_cache, disk_cache_stats
 
@@ -518,6 +781,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "queue":

@@ -49,6 +49,7 @@ __all__ = [
     "available_policies",
     "clear_caches",
     "build_world",
+    "build_serve_world",
     "predicted_slot_matrix",
 ]
 
@@ -188,6 +189,30 @@ def _build_riders_and_drivers(config: ExperimentConfig):
     riders = riders_from_trips(trips, grid, cost_model, workload, rider_rng)
     drivers = initial_drivers_from_trips(trips, grid, config.num_drivers, driver_rng)
     return riders, drivers, grid, cost_model
+
+
+def build_serve_world(
+    config: ExperimentConfig, policy_name: str, predictor_name: str = "deepst"
+):
+    """Everything the online dispatch service needs for ``config``.
+
+    Returns ``(riders, drivers, grid, cost_model, policy, demand)``: the
+    scenario's full rider workload (the stream a load generator replays —
+    and, for the oracle-demand "-R" variants, the demand source's trace),
+    the initial driver fleet, and the policy/demand pair exactly as
+    :func:`run_policy` would build them, so a live server over a replayed
+    stream is the same simulation as the offline run.
+    """
+    base_name = policy_name[:-3] if policy_name.endswith("+RB") else policy_name
+    if base_name not in _POLICY_NAMES:
+        raise ValueError(
+            f"unknown policy {policy_name!r}; expected one of {_POLICY_NAMES} "
+            f"(optionally suffixed with '+RB')"
+        )
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    policy = _make_policy(policy_name, config)
+    demand = _make_demand(policy_name, config, riders, grid, predictor_name)
+    return riders, drivers, grid, cost_model, policy, demand
 
 
 # -- prediction for the "-P" variants ---------------------------------------------

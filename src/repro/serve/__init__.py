@@ -1,0 +1,27 @@
+"""Online dispatch service: the paper's batch loop as a live server.
+
+The batch-window formulation of MRVD is inherently a service loop —
+accumulate ride requests for ``Delta`` seconds, then assign.  This package
+serves it: :mod:`repro.serve.service` buckets incoming requests into batch
+windows and fires the :class:`~repro.sim.stepper.SimulationStepper` on
+each window boundary, :mod:`repro.serve.server` exposes that over a
+dependency-free asyncio HTTP front end, and :mod:`repro.serve.loadgen`
+replays a scenario's workload against it at configurable multiples of
+real time, reporting sustained requests/sec and assignment latency into
+the append-only ``BENCH_serve.json`` history.
+"""
+
+from repro.serve.service import DispatchService, rider_from_payload, rider_to_payload
+from repro.serve.server import DispatchServer, ServerHandle, start_server_in_thread
+from repro.serve.loadgen import LoadgenReport, replay_workload
+
+__all__ = [
+    "DispatchService",
+    "DispatchServer",
+    "ServerHandle",
+    "LoadgenReport",
+    "replay_workload",
+    "rider_from_payload",
+    "rider_to_payload",
+    "start_server_in_thread",
+]

@@ -1,0 +1,308 @@
+"""Load generator: replay a scenario workload against the dispatch server.
+
+Replays a rider trace over HTTP, either
+
+- **paced** (``speedup > 0``): each request is posted when its
+  ``request_time_s / speedup`` of wall time has elapsed, against a server
+  whose wall-clock ticker advances batch windows at the matching rate — a
+  scaled-real-time soak; or
+- **lockstep** (``speedup == 0``): the generator itself drives the batch
+  clock — post window ``k``'s requests, fire ``POST /tick``, repeat — as
+  fast as the server can absorb, which measures sustained requests/sec
+  and makes the run deterministic (the e2e tests and CI smoke use this;
+  it reproduces the offline replay exactly).
+
+After the stream ends the generator drains: it keeps ticking (or waiting,
+when paced) until every submitted request reached a terminal state or its
+deadline provably passed.  The report carries client-side throughput plus
+the server's own tick and assignment-latency percentiles, ready to append
+to the ``BENCH_serve.json`` history.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time as _time
+from dataclasses import asdict, dataclass
+
+from repro.sim.entities import Rider
+
+__all__ = ["LoadgenReport", "ServeClient", "replay_workload"]
+
+
+class ServeClient:
+    """A keep-alive JSON client for the dispatch server."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+
+    def request(self, method: str, path: str, payload=None) -> dict:
+        body = None if payload is None else json.dumps(payload)
+        try:
+            self._conn.request(method, path, body=body)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, OSError):
+            # One reconnect: the server may have idled the connection out.
+            self._conn.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._conn.request(method, path, body=body)
+            response = self._conn.getresponse()
+            data = response.read()
+        parsed = json.loads(data) if data else {}
+        if response.status >= 400:
+            raise RuntimeError(
+                f"{method} {path} -> {response.status}: {parsed.get('error', data)}"
+            )
+        return parsed
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """What one replay measured (see module docstring)."""
+
+    requests_sent: int
+    wall_s: float
+    requests_per_s: float
+    speedup: float
+    lockstep: bool
+    ticks: int
+    assigned: int
+    reneged: int
+    unresolved: int
+    assignment_latency_p50_s: float
+    assignment_latency_p99_s: float
+    tick_wall_p50_ms: float
+    tick_wall_p99_ms: float
+    batch_interval_s: float
+    policy: str
+
+    def to_payload(self) -> dict:
+        """JSON-safe form for ``BENCH_serve.json`` records."""
+        return {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in asdict(self).items()
+        }
+
+    def render(self) -> str:
+        """Human summary for the CLI."""
+        return "\n".join(
+            [
+                f"requests sent     {self.requests_sent}"
+                + (f" (speedup {self.speedup:g}x)" if not self.lockstep else " (lockstep)"),
+                f"wall time         {self.wall_s:.2f}s"
+                f"  ({self.requests_per_s:.1f} req/s sustained)",
+                f"batch ticks       {self.ticks} x {self.batch_interval_s:g}s windows",
+                f"assigned          {self.assigned}",
+                f"reneged           {self.reneged}",
+                f"unresolved        {self.unresolved}",
+                f"assignment p50    {1e3 * self.assignment_latency_p50_s:.2f} ms",
+                f"assignment p99    {1e3 * self.assignment_latency_p99_s:.2f} ms",
+                f"tick p50          {self.tick_wall_p50_ms:.2f} ms",
+                f"tick p99          {self.tick_wall_p99_ms:.2f} ms",
+            ]
+        )
+
+
+def _window_batches(
+    riders: list[Rider], batch_interval_s: float
+) -> list[tuple[int, list[Rider]]]:
+    """Group riders by the batch index that first considers them.
+
+    Window ``k`` (tick time ``k * Delta``) admits requests with
+    ``request_time_s <= k * Delta``, matching the offline engine.
+    """
+    ordered = sorted(riders, key=lambda r: (r.request_time_s, r.rider_id))
+    batches: list[tuple[int, list[Rider]]] = []
+    for rider in ordered:
+        index = max(0, -(-rider.request_time_s // batch_interval_s))  # ceil
+        index = int(index)
+        if batches and batches[-1][0] == index:
+            batches[-1][1].append(rider)
+        else:
+            batches.append((index, [rider]))
+    return batches
+
+
+def replay_workload(
+    host: str,
+    port: int,
+    riders: list[Rider],
+    batch_interval_s: float,
+    speedup: float = 0.0,
+    duration_s: float | None = None,
+    max_requests: int | None = None,
+    drain_timeout_s: float = 60.0,
+    horizon_s: float | None = None,
+) -> LoadgenReport:
+    """Replay ``riders`` against a running server and measure it.
+
+    ``duration_s`` truncates the stream to requests inside
+    ``[0, duration_s)`` of simulation time; ``max_requests`` caps the count
+    (earliest first).  ``speedup == 0`` selects lockstep mode (the
+    generator drives ``/tick``); positive values pace submissions at that
+    multiple of real time and expect the server to tick itself.
+
+    ``horizon_s`` (lockstep only) reproduces the *offline* engine's tick
+    schedule exactly: after the stream ends, the batch clock is advanced
+    through every boundary in ``[0, horizon_s]`` — no further — and the
+    service is finalized, so the server's assignment log equals the
+    offline :class:`~repro.sim.engine.Simulation` run of the same stream.
+    """
+    if speedup < 0:
+        raise ValueError("speedup must be >= 0 (0 = lockstep)")
+    if horizon_s is not None and speedup != 0.0:
+        raise ValueError("horizon_s requires lockstep mode (speedup=0)")
+    stream = sorted(riders, key=lambda r: (r.request_time_s, r.rider_id))
+    if horizon_s is not None:
+        stream = [r for r in stream if r.request_time_s <= horizon_s]
+    if duration_s is not None:
+        stream = [r for r in stream if r.request_time_s < duration_s]
+    if max_requests is not None:
+        stream = stream[:max_requests]
+    if not stream:
+        raise ValueError("no requests to replay (empty or over-truncated stream)")
+
+    client = ServeClient(host, port)
+    sent = 0
+    started = _time.perf_counter()
+    try:
+        if speedup == 0.0:
+            sent = _replay_lockstep(client, stream, batch_interval_s)
+        else:
+            sent = _replay_paced(client, stream, speedup)
+        submit_wall_s = _time.perf_counter() - started
+        if horizon_s is not None:
+            _tick_through_horizon(client, horizon_s, batch_interval_s)
+            client.request("POST", "/finalize")
+        else:
+            _drain(client, stream, batch_interval_s, speedup, drain_timeout_s)
+        status = client.request("GET", "/status")
+    finally:
+        client.close()
+
+    assigned = status["assignment_latency_s"]["count"]
+    reneged = status["reneged_orders"]
+    unresolved = status["waiting"] + status["pending"]
+    return LoadgenReport(
+        requests_sent=sent,
+        wall_s=submit_wall_s,
+        requests_per_s=sent / submit_wall_s if submit_wall_s > 0 else 0.0,
+        speedup=speedup,
+        lockstep=speedup == 0.0,
+        ticks=status["ticks"],
+        assigned=assigned,
+        reneged=reneged,
+        unresolved=unresolved,
+        assignment_latency_p50_s=status["assignment_latency_s"]["p50"],
+        assignment_latency_p99_s=status["assignment_latency_s"]["p99"],
+        tick_wall_p50_ms=status["tick_wall_ms"]["p50"],
+        tick_wall_p99_ms=status["tick_wall_ms"]["p99"],
+        batch_interval_s=batch_interval_s,
+        policy=status["policy"],
+    )
+
+
+def _replay_lockstep(
+    client: ServeClient, stream: list[Rider], batch_interval_s: float
+) -> int:
+    from repro.serve.service import rider_to_payload
+
+    sent = 0
+    next_tick_index = 0
+    for window_index, batch in _window_batches(stream, batch_interval_s):
+        if window_index > next_tick_index:
+            # Catch the batch clock up through the empty windows in one go.
+            client.request(
+                "POST", "/tick", {"count": window_index - next_tick_index}
+            )
+            next_tick_index = window_index
+        client.request(
+            "POST", "/requests", [rider_to_payload(r) for r in batch]
+        )
+        client.request("POST", "/tick")
+        next_tick_index += 1
+        sent += len(batch)
+    return sent
+
+
+def _replay_paced(client: ServeClient, stream: list[Rider], speedup: float) -> int:
+    from repro.serve.service import rider_to_payload
+
+    sent = 0
+    start = _time.perf_counter()
+    index = 0
+    while index < len(stream):
+        due_wall = start + stream[index].request_time_s / speedup
+        delay = due_wall - _time.perf_counter()
+        if delay > 0:
+            _time.sleep(delay)
+        # Everything due by now ships as one POST.
+        now_sim = (_time.perf_counter() - start) * speedup
+        batch = []
+        while index < len(stream) and stream[index].request_time_s <= now_sim:
+            batch.append(stream[index])
+            index += 1
+        if not batch:  # clock granularity: ship at least the due request
+            batch.append(stream[index])
+            index += 1
+        client.request(
+            "POST", "/requests", [rider_to_payload(r) for r in batch]
+        )
+        sent += len(batch)
+    return sent
+
+
+def _tick_through_horizon(
+    client: ServeClient, horizon_s: float, batch_interval_s: float
+) -> None:
+    """Advance the batch clock through every boundary of ``[0, horizon]``."""
+    from repro.sim.stepper import num_batches_for_horizon
+
+    num_batches = num_batches_for_horizon(horizon_s, batch_interval_s)
+    status = client.request("GET", "/status")
+    remaining = num_batches - status["next_batch_index"]
+    if remaining > 0:
+        client.request("POST", "/tick", {"count": remaining})
+
+
+def _drain(
+    client: ServeClient,
+    stream: list[Rider],
+    batch_interval_s: float,
+    speedup: float,
+    timeout_s: float,
+) -> None:
+    """Advance the batch clock until every submitted request is terminal.
+
+    Bounded by the stream's latest deadline: once the clock passes it, any
+    still-waiting request reneges at the next tick, so the loop provably
+    terminates without a wall-clock timeout in lockstep mode.
+    """
+    max_deadline = max(r.deadline_s for r in stream)
+    deadline_wall = _time.perf_counter() + timeout_s
+    while _time.perf_counter() <= deadline_wall:
+        status = client.request("GET", "/status")
+        if status["waiting"] == 0 and status["pending"] == 0:
+            return
+        sim_time = status["sim_time_s"]
+        if speedup == 0.0:
+            # Once the batch clock passes the last deadline the next tick
+            # reneges every remaining waiter, so this terminates.
+            if sim_time is not None and sim_time > max_deadline:
+                client.request("POST", "/tick")
+            else:
+                client.request("POST", "/tick", {"count": 16})
+        else:
+            if sim_time is not None and sim_time > max_deadline:
+                return  # the server's own ticker has passed every deadline
+            _time.sleep(min(0.05, batch_interval_s / speedup))

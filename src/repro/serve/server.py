@@ -1,0 +1,317 @@
+"""A dependency-free asyncio HTTP front end over :class:`DispatchService`.
+
+Stdlib only: ``asyncio.start_server`` plus a minimal HTTP/1.1 handler with
+keep-alive (the load generator reuses one connection for thousands of
+requests).  Endpoints:
+
+- ``POST /requests`` — submit one ride request (JSON object) or a batch
+  (JSON list); responds with the accepted count and the window that will
+  first consider them.
+- ``POST /tick`` — fire batch-window ticks (body ``{"count": n}``,
+  default 1).  Exposed for lockstep load generation and tests; live
+  deployments run the built-in wall-clock ticker instead.
+- ``POST /finalize`` — post-horizon accounting (idempotent).
+- ``GET /status`` — clock, queue depths, totals, per-phase profile
+  (``phase_seconds``), tick and assignment-latency percentiles.
+- ``GET /assignments`` — every committed assignment in commit order.
+- ``GET /requests/<id>`` — one request's lifecycle.
+- ``POST /shutdown`` — stop the server.
+
+With ``tick_interval_s`` set, a background task fires one batch tick per
+interval of *wall* time — the paper's ``Delta`` divided by the server's
+speedup — so the service advances in real (accelerated) time while
+requests stream in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections.abc import Callable
+
+from repro.serve.service import DispatchService
+
+__all__ = ["DispatchServer", "ServerHandle", "start_server_in_thread"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class DispatchServer:
+    """Serve a :class:`DispatchService` over HTTP on an asyncio loop."""
+
+    def __init__(
+        self,
+        service: DispatchService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval_s: float | None = None,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.tick_interval_s = tick_interval_s
+        self._server: asyncio.AbstractServer | None = None
+        self._ticker: asyncio.Task | None = None
+        self._stopping: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks a free port)."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.tick_interval_s:
+            self._ticker = asyncio.create_task(self._tick_loop())
+
+    async def serve_until_stopped(self) -> None:
+        """Serve requests until ``/shutdown`` (or :meth:`stop`) fires."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        async with self._server:
+            await self._stopping.wait()
+        if self._ticker is not None:
+            self._ticker.cancel()
+        # Keep-alive connections may still sit in their read loops; cancel
+        # them so the event loop closes without orphaned handler tasks.
+        current = asyncio.current_task()
+        handlers = [t for t in asyncio.all_tasks() if t is not current]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+
+    def stop(self) -> None:
+        """Request shutdown (safe to call from a handler)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _tick_loop(self) -> None:
+        """Fire one batch tick per wall interval, absorbing drift."""
+        assert self.tick_interval_s
+        loop = asyncio.get_running_loop()
+        next_fire = loop.time() + self.tick_interval_s
+        while True:
+            delay = next_fire - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            # Ticks are cheap relative to the interval at serving scale;
+            # run in a worker thread anyway so a heavy planning batch
+            # never stalls request intake on the event loop.
+            await asyncio.to_thread(self.service.tick)
+            next_fire += self.tick_interval_s
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, headers = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                try:
+                    status, payload = await self._route(method, path, body)
+                except _HTTPError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except ValueError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                data = json.dumps(payload).encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                        "\r\n"
+                    ).encode()
+                )
+                writer.write(data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown cancels idle keep-alive readers; end the task
+            # cleanly so the streams machinery logs nothing.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,  # task cancelled during shutdown
+                ConnectionResetError,
+                BrokenPipeError,
+            ):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise asyncio.IncompleteReadError(line, None)
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body, headers
+
+    async def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        service = self.service
+
+        def parse_body(default):
+            if not body:
+                return default
+            try:
+                return json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise _HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+        if method == "GET":
+            if path == "/status":
+                return 200, await asyncio.to_thread(service.status)
+            if path == "/assignments":
+                return 200, {
+                    "assignments": await asyncio.to_thread(service.assignments)
+                }
+            if path.startswith("/requests/"):
+                raw_id = path.rsplit("/", 1)[1]
+                try:
+                    rider_id = int(raw_id)
+                except ValueError as exc:
+                    raise _HTTPError(400, f"bad rider id {raw_id!r}") from exc
+                found = await asyncio.to_thread(service.request_status, rider_id)
+                if found is None:
+                    raise _HTTPError(404, f"unknown rider {rider_id}")
+                return 200, found
+        elif method == "POST":
+            if path == "/requests":
+                payload = parse_body(None)
+                if payload is None:
+                    raise _HTTPError(400, "missing request body")
+                return 200, await asyncio.to_thread(service.submit, payload)
+            if path == "/tick":
+                payload = parse_body({})
+                count = int(payload.get("count", 1)) if isinstance(payload, dict) else 1
+                return 200, await asyncio.to_thread(service.tick, count)
+            if path == "/finalize":
+                return 200, await asyncio.to_thread(service.finalize)
+            if path == "/shutdown":
+                self.stop()
+                return 200, {"stopping": True}
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, embedded loadgen)."""
+
+    def __init__(
+        self,
+        server: DispatchServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def service(self) -> DispatchService:
+        return self._server.service
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._server.stop)
+            self._thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_in_thread(
+    service: DispatchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tick_interval_s: float | None = None,
+    on_started: Callable[[DispatchServer], None] | None = None,
+) -> ServerHandle:
+    """Boot a :class:`DispatchServer` on a daemon thread; returns its handle.
+
+    The call blocks until the socket is bound, so ``handle.port`` is valid
+    immediately (``port=0`` picks a free port).
+    """
+    server = DispatchServer(
+        service, host=host, port=port, tick_interval_s=tick_interval_s
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # bind failure: surface to the caller
+            failure.append(exc)
+            started.set()
+            return
+        if on_started is not None:
+            on_started(server)
+        started.set()
+        try:
+            loop.run_until_complete(server.serve_until_stopped())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

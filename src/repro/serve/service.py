@@ -1,0 +1,341 @@
+"""The online dispatch service: batch windows over a live request stream.
+
+:class:`DispatchService` wraps a :class:`~repro.sim.stepper.SimulationStepper`
+with the service-side bookkeeping a live front end needs: thread-safe
+request intake (requests are bucketed into the paper's batch windows by
+their ``request_time_s``; one that arrives after its window closed joins
+the next batch), explicit window ticks on the ``Delta`` grid, per-request
+assignment records with wall-clock latency, and a status/stats view that
+surfaces the stepper's per-phase profiling.
+
+The service speaks simulation time internally — the HTTP layer (or the
+load generator) decides how fast wall time maps onto it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time as _time
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_serve_world
+from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
+from repro.sim.entities import Rider, RiderStatus
+from repro.sim.stepper import SimConfig, SimulationStepper
+
+__all__ = [
+    "AssignmentRecord",
+    "DispatchService",
+    "rider_from_payload",
+    "rider_to_payload",
+]
+
+
+def rider_to_payload(rider: Rider) -> dict:
+    """JSON-safe wire form of one ride request."""
+    return {
+        "rider_id": rider.rider_id,
+        "request_time_s": rider.request_time_s,
+        "pickup": [rider.pickup.lon, rider.pickup.lat],
+        "dropoff": [rider.dropoff.lon, rider.dropoff.lat],
+        "deadline_s": rider.deadline_s,
+        "trip_seconds": rider.trip_seconds,
+        "revenue": rider.revenue,
+        "origin_region": rider.origin_region,
+        "destination_region": rider.destination_region,
+    }
+
+
+def rider_from_payload(payload: dict, grid: GridPartition) -> Rider:
+    """Parse one ride-request payload; regions default to grid lookup."""
+    try:
+        pickup = GeoPoint(*(float(c) for c in payload["pickup"]))
+        dropoff = GeoPoint(*(float(c) for c in payload["dropoff"]))
+        origin = payload.get("origin_region")
+        destination = payload.get("destination_region")
+        return Rider(
+            rider_id=int(payload["rider_id"]),
+            request_time_s=float(payload["request_time_s"]),
+            pickup=pickup,
+            dropoff=dropoff,
+            deadline_s=float(payload["deadline_s"]),
+            trip_seconds=float(payload["trip_seconds"]),
+            revenue=float(payload["revenue"]),
+            origin_region=(
+                int(origin) if origin is not None else grid.region_of(pickup)
+            ),
+            destination_region=(
+                int(destination)
+                if destination is not None
+                else grid.region_of(dropoff)
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed ride request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """One committed pair plus its service-side wall latency."""
+
+    rider_id: int
+    driver_id: int
+    assign_time_s: float
+    pickup_eta_s: float
+    pickup_time_s: float
+    #: Wall seconds between request submission and the assigning tick
+    #: (``None`` for requests not submitted through the service, e.g.
+    #: preloaded workloads).
+    latency_wall_s: float | None
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class DispatchService:
+    """Thread-safe online dispatch over the tickable simulation core."""
+
+    def __init__(
+        self,
+        stepper: SimulationStepper,
+        workload: list[Rider] | None = None,
+        horizon_s: float | None = None,
+    ):
+        self.stepper = stepper
+        #: The scenario's full rider trace (what a load generator replays);
+        #: informational — nothing is ingested until submitted.
+        self.workload = workload or []
+        self.horizon_s = horizon_s
+        self._lock = threading.Lock()
+        self._submitted_wall: dict[int, float] = {}
+        self._assignments: dict[int, AssignmentRecord] = {}
+        self._assignment_order: list[int] = []
+        self._latencies_s: list[float] = []
+        self._tick_wall_s: list[float] = []
+        self._reneged = 0
+        self._received = 0
+        self._started_wall = _time.perf_counter()
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig,
+        policy_name: str,
+        predictor_name: str = "deepst",
+        profile_phases: bool = True,
+    ) -> "DispatchService":
+        """Build a service for ``config`` via the standard world factory.
+
+        The driver fleet, cost model, policy, and demand source are exactly
+        what :func:`repro.experiments.runner.run_policy` would build, so a
+        replayed stream through this service is the offline simulation.
+        """
+        riders, drivers, grid, cost_model, policy, demand = build_serve_world(
+            config, policy_name, predictor_name
+        )
+        stepper = SimulationStepper(
+            drivers,
+            grid,
+            cost_model,
+            policy,
+            SimConfig(
+                batch_interval_s=config.batch_interval_s,
+                tc_seconds=config.tc_seconds,
+                horizon_s=config.horizon_s,
+                pickup_speed_mps=config.speed_mps,
+                record_idle_samples=config.record_idle_samples,
+                profile_phases=profile_phases,
+            ),
+            demand=demand,
+        )
+        return cls(stepper, workload=riders, horizon_s=config.horizon_s)
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(self, payloads: list[dict] | dict) -> dict:
+        """Ingest one request (or a batch) into its batch window.
+
+        Returns the accepted count and the window that will first consider
+        the request(s).  A request whose window already ticked joins the
+        next one — the stepper guarantees it is never dropped.
+        """
+        if isinstance(payloads, dict):
+            payloads = [payloads]
+        grid = self.stepper.grid
+        riders = [rider_from_payload(p, grid) for p in payloads]
+        wall = _time.perf_counter()
+        with self._lock:
+            accepted = self.stepper.ingest(riders)
+            for rider in riders:
+                self._submitted_wall[rider.rider_id] = wall
+            self._received += accepted
+            return {
+                "accepted": accepted,
+                "next_batch_index": self.stepper.next_batch_index,
+                "next_batch_time_s": self.stepper.next_batch_time(),
+            }
+
+    def submit_riders(self, riders: list[Rider]) -> dict:
+        """In-process intake of already-built riders (tests, embedding)."""
+        return self.submit([rider_to_payload(r) for r in riders])
+
+    # -- ticking -------------------------------------------------------------
+
+    def tick(self, count: int = 1) -> dict:
+        """Fire ``count`` batch-window ticks on the ``Delta`` grid."""
+        if count < 1:
+            raise ValueError("tick count must be >= 1")
+        assignments = 0
+        reneged = 0
+        with self._lock:
+            for _ in range(count):
+                start = _time.perf_counter()
+                outcome = self.stepper.step()
+                tick_wall = _time.perf_counter() - start
+                self._tick_wall_s.append(tick_wall)
+                self._reneged += outcome.reneged
+                reneged += outcome.reneged
+                assignments += len(outcome.assignments)
+                for applied in outcome.assignments:
+                    submitted = self._submitted_wall.get(applied.rider_id)
+                    latency = None
+                    if submitted is not None:
+                        latency = max(0.0, start + tick_wall - submitted)
+                        self._latencies_s.append(latency)
+                    record = AssignmentRecord(
+                        rider_id=applied.rider_id,
+                        driver_id=applied.driver_id,
+                        assign_time_s=applied.assign_time_s,
+                        pickup_eta_s=applied.pickup_eta_s,
+                        pickup_time_s=applied.pickup_time_s,
+                        latency_wall_s=latency,
+                    )
+                    self._assignments[applied.rider_id] = record
+                    self._assignment_order.append(applied.rider_id)
+            return {
+                "ticks": count,
+                "time_s": self.stepper.time_s,
+                "assignments": assignments,
+                "reneged": reneged,
+                "waiting": self.stepper.waiting_count,
+                "pending": self.stepper.pending_count,
+            }
+
+    def finalize(self) -> dict:
+        """Run the stepper's post-horizon accounting (idempotent)."""
+        with self._lock:
+            metrics = self.stepper.finalize()
+            return {
+                "served_orders": metrics.served_orders,
+                "reneged_orders": metrics.reneged_orders,
+                "total_orders": metrics.total_orders,
+                "total_revenue": metrics.total_revenue,
+            }
+
+    # -- queries -------------------------------------------------------------
+
+    def request_status(self, rider_id: int) -> dict | None:
+        """Lifecycle view of one request (``None`` if never submitted)."""
+        with self._lock:
+            rider = self.stepper.rider(rider_id)
+            if rider is None:
+                return None
+            payload = {
+                "rider_id": rider_id,
+                "status": rider.status.value,
+                "request_time_s": rider.request_time_s,
+                "deadline_s": rider.deadline_s,
+            }
+            record = self._assignments.get(rider_id)
+            if record is not None:
+                payload.update(
+                    driver_id=record.driver_id,
+                    assign_time_s=record.assign_time_s,
+                    pickup_eta_s=record.pickup_eta_s,
+                    pickup_time_s=record.pickup_time_s,
+                    latency_wall_s=record.latency_wall_s,
+                )
+            return payload
+
+    def assignments(self) -> list[dict]:
+        """Every committed assignment, in commit order."""
+        with self._lock:
+            out = []
+            for rider_id in self._assignment_order:
+                record = self._assignments[rider_id]
+                out.append(
+                    {
+                        "rider_id": record.rider_id,
+                        "driver_id": record.driver_id,
+                        "assign_time_s": record.assign_time_s,
+                        "pickup_eta_s": record.pickup_eta_s,
+                        "pickup_time_s": record.pickup_time_s,
+                        "latency_wall_s": record.latency_wall_s,
+                    }
+                )
+            return out
+
+    def status(self) -> dict:
+        """Service health: clock, queue depths, totals, and phase profile."""
+        with self._lock:
+            metrics = self.stepper.metrics
+            latencies = sorted(self._latencies_s)
+            ticks = sorted(self._tick_wall_s)
+            return {
+                "policy": getattr(self.stepper.policy, "name", type(self.stepper.policy).__name__),
+                "batch_interval_s": self.stepper.config.batch_interval_s,
+                "sim_time_s": self.stepper.time_s,
+                "next_batch_index": self.stepper.next_batch_index,
+                "uptime_wall_s": _time.perf_counter() - self._started_wall,
+                "requests_received": self._received,
+                "waiting": self.stepper.waiting_count,
+                "pending": self.stepper.pending_count,
+                "active_drivers": self.stepper.fleet.active_total,
+                "served_orders": metrics.served_orders,
+                "reneged_orders": metrics.reneged_orders,
+                "total_revenue": metrics.total_revenue,
+                "repositions": metrics.repositions,
+                #: The stepper accumulates these identically for offline
+                #: replays and serve-mode ticks (SimConfig.profile_phases).
+                "phase_seconds": dict(metrics.phase_seconds),
+                "ticks": len(self._tick_wall_s),
+                "tick_wall_ms": {
+                    "p50": 1e3 * _percentile(ticks, 0.50),
+                    "p99": 1e3 * _percentile(ticks, 0.99),
+                    "max": 1e3 * (ticks[-1] if ticks else 0.0),
+                },
+                "assignment_latency_s": {
+                    "count": len(latencies),
+                    "p50": _percentile(latencies, 0.50),
+                    "p99": _percentile(latencies, 0.99),
+                    "max": latencies[-1] if latencies else 0.0,
+                },
+            }
+
+    def resolved(self) -> bool:
+        """Whether every submitted request reached a terminal state."""
+        with self._lock:
+            if self.stepper.pending_count or self.stepper.waiting_count:
+                return False
+            return True
+
+    def unresolved_deadline_s(self) -> float | None:
+        """Latest deadline among not-yet-terminal requests (drain bound)."""
+        with self._lock:
+            deadlines = [
+                rider.deadline_s
+                for rider in map(self.stepper.rider, self._submitted_wall)
+                if rider is not None and rider.status is RiderStatus.WAITING
+            ]
+            pending = self.stepper.pending_count
+        if pending:
+            return None  # unknown until admitted; caller keeps ticking
+        return max(deadlines, default=None)

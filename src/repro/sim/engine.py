@@ -1,24 +1,13 @@
 """The batch-based simulation engine (Algorithm 1 of the paper).
 
-The engine advances wall-clock time in batch steps of ``batch_interval_s``.
-At each tick it:
-
-1. fires the fleet's due events (shift starts/ends, rejoin-window entries),
-2. admits riders whose requests arrived since the previous tick,
-3. reneges waiting riders whose pickup deadlines have passed,
-4. releases drivers whose deliveries completed (recording their rejoin
-   region — the "rejoined active drivers" of §3.1.2),
-5. builds a :class:`~repro.dispatch.base.BatchSnapshot` with the demand
-   prediction for ``[t, t + t_c]`` and the exact upcoming-rejoin counts,
-6. lets the policy plan, validates the plan, and applies it.
-
-Fleet-wide per-tick work is avoided: availability and upcoming-rejoin
-counts come from the incrementally-maintained
-:class:`~repro.sim.fleet.FleetState` instead of per-tick scans, and ticks
-that are provable no-ops — no waiting riders, and a policy that has
-declared ``supports_tick_skipping`` — skip the policy call entirely while
-still appending their :class:`~repro.sim.metrics.BatchMetrics` row, so the
-``metrics.batches`` series keeps one entry per tick exactly as before.
+:class:`Simulation` is a thin *offline replay driver* over the tickable
+core in :mod:`repro.sim.stepper`: it preloads a full rider trace into a
+:class:`~repro.sim.stepper.SimulationStepper`, steps every batch boundary
+of the horizon in order, and finalizes.  All batch semantics — event
+drains, rider admission/reneging, snapshot construction, skip-tick proofs,
+plan validation, apply, per-phase profiling — live in the stepper, which
+the online service in :mod:`repro.serve` drives one window at a time over
+the very same code path.
 
 Revenue accounting follows Eq. 1 with ``alpha`` folded into each rider's
 ``revenue`` field at generation time.
@@ -26,61 +15,24 @@ Revenue accounting follows Eq. 1 with ``alpha`` folded into each rider's
 
 from __future__ import annotations
 
-import heapq
-import math
-import time as _time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.dispatch.base import BatchSnapshot, DispatchPolicy
+from repro.dispatch.base import DispatchPolicy
 from repro.geo.grid import GridPartition
 from repro.roadnet.travel_time import TravelCostModel
 from repro.sim.demand import DemandSource, OracleDemand
-from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
-from repro.sim.fleet import ActiveDriverView, FleetState
-from repro.sim.metrics import BatchMetrics, SimMetrics
+from repro.sim.entities import Driver, Rider
+from repro.sim.metrics import SimMetrics
 from repro.sim.recorder import IdleTimeRecorder
+from repro.sim.stepper import (
+    _ETA_TOLERANCE_S,  # noqa: F401  (re-exported for engine_reference)
+    SimConfig,
+    SimulationStepper,
+    num_batches_for_horizon,
+)
 
 __all__ = ["SimConfig", "Simulation", "SimulationResult"]
-
-#: Tolerance when re-validating a policy's pickup ETA against the deadline.
-_ETA_TOLERANCE_S = 1e-6
-
-
-@dataclass(frozen=True)
-class SimConfig:
-    """Engine parameters (defaults follow Table 2's bold values).
-
-    ``batch_interval_s`` is the paper's ``Delta``; ``tc_seconds`` the
-    scheduling-window length ``t_c``; ``horizon_s`` the simulated period
-    (a whole day in the paper).  ``skip_empty_ticks`` lets the engine skip
-    the policy call on ticks with no waiting riders when the policy has
-    opted in via ``supports_tick_skipping`` (disable to force the
-    policy-every-tick behaviour of the reference loop).  ``profile_phases``
-    accumulates per-phase wall time (event drain / snapshot build / plan /
-    apply) into ``SimMetrics.phase_seconds`` — two extra clock reads per
-    tick when on, a single boolean test when off.
-    """
-
-    batch_interval_s: float = 3.0
-    tc_seconds: float = 20.0 * 60.0
-    horizon_s: float = 24.0 * 3600.0
-    pickup_speed_mps: float = 8.0
-    record_idle_samples: bool = True
-    skip_empty_ticks: bool = True
-    profile_phases: bool = False
-
-    def __post_init__(self) -> None:
-        if self.batch_interval_s <= 0:
-            raise ValueError("batch interval must be positive")
-        if self.tc_seconds <= 0:
-            raise ValueError("tc must be positive")
-        if self.horizon_s <= 0:
-            raise ValueError("horizon must be positive")
-        if self.pickup_speed_mps <= 0:
-            raise ValueError("pickup speed must be positive")
 
 
 @dataclass
@@ -121,352 +73,33 @@ class Simulation:
         self.cost_model = cost_model
         self.policy = policy
         self.riders = sorted(riders, key=lambda r: (r.request_time_s, r.rider_id))
-        self.drivers = list(drivers)
-        self._driver_by_id = {d.driver_id: d for d in self.drivers}
-        self._rider_by_id = {r.rider_id: r for r in self.riders}
-        if len(self._driver_by_id) != len(self.drivers):
-            raise ValueError("duplicate driver ids")
-        if len(self._rider_by_id) != len(self.riders):
-            raise ValueError("duplicate rider ids")
         self.demand = demand or OracleDemand(self.riders, grid.num_regions)
-        self.recorder = IdleTimeRecorder()
-        self.fleet = FleetState(
-            self.drivers, grid.num_regions, self.config.tc_seconds
+        self.stepper = SimulationStepper(
+            drivers,
+            grid,
+            cost_model,
+            policy,
+            self.config,
+            demand=self.demand,
         )
-        self._pos_of_driver = {
-            d.driver_id: i for i, d in enumerate(self.drivers)
-        }
-        # Release times of drivers for idle-interval bookkeeping; a shifted
-        # driver's idle clock starts when the shift does.
-        self._released_at: dict[int, float | None] = {
-            d.driver_id: d.join_time_s for d in self.drivers
-        }
+        self.stepper.ingest(self.riders)
+        self.drivers = self.stepper.drivers
+        self.fleet = self.stepper.fleet
+        self.recorder = self.stepper.recorder
 
     def run(self) -> SimulationResult:
         """Execute every batch tick across the horizon and return results."""
         cfg = self.config
-        fleet = self.fleet
-        metrics = SimMetrics(total_orders=len(self.riders))
-
-        waiting: dict[int, Rider] = {}
-        waiting_counts = np.zeros(self.grid.num_regions, dtype=np.int64)
-        arrival_ptr = 0
-        renege_heap: list[tuple[float, int]] = []
-        release_heap: list[tuple[float, int]] = []
-
-        # A tick with no waiting riders is a no-op only when the policy has
-        # vouched for it (and truly plans no repositions, which depend on
-        # clock time, not just on batch contents).
-        no_repositions = (
-            type(self.policy).plan_repositions is DispatchPolicy.plan_repositions
+        step = self.stepper.step
+        num_batches = num_batches_for_horizon(
+            cfg.horizon_s, cfg.batch_interval_s
         )
-        # Reposition-planning policies re-read the snapshot *after* this
-        # batch's assignments were applied; the position-stable snapshot
-        # aliases live fleet aggregates, so those policies get them frozen
-        # (copied / materialised) at build time instead.  Everyone else
-        # reads the snapshot only inside `plan_batch` — before any apply —
-        # and can safely share the live arrays.
-        seal_snapshots = not no_repositions
-        profile = cfg.profile_phases
-        phase_seconds = metrics.phase_seconds
-        if profile:
-            for phase in ("event_drain", "snapshot_build", "plan", "apply"):
-                phase_seconds.setdefault(phase, 0.0)
-        t_events = 0.0
-        policy_skippable = (
-            cfg.skip_empty_ticks
-            and self.policy.supports_tick_skipping
-            and no_repositions
-        )
-        # Stronger proof for greedy candidate matchers: after a batch that
-        # committed nothing, candidate sets only shrink (patience drains,
-        # ETAs are static) until demand or supply is *added*, so every
-        # following batch is a no-op too until then.  Clock-carrying cost
-        # models (time-of-day congestion) void the "ETAs are static" half:
-        # a congestion-easing slot boundary can turn an infeasible pair
-        # feasible with no new rider or driver, so stranded ticks must be
-        # observed.  (The empty-tick skip above survives — no waiting
-        # riders means no candidate pairs at any travel time.)
-        stranded_skippable = (
-            policy_skippable
-            and self.policy.assigns_whenever_possible
-            and getattr(self.cost_model, "set_time", None) is None
-        )
-        #: False only while a zero-assignment plan provably still stands.
-        maybe_new_pairs = True
-
-        num_batches = int(math.floor(cfg.horizon_s / cfg.batch_interval_s)) + 1
         for batch_index in range(num_batches):
-            now = batch_index * cfg.batch_interval_s
-            if profile:
-                t_tick = _time.perf_counter()
-
-            # 0. fire shift and rejoin-window events due by `now`.
-            if fleet.advance(now):
-                maybe_new_pairs = True
-
-            # 1. admit new riders (requests up to and including `now`).
-            while (
-                arrival_ptr < len(self.riders)
-                and self.riders[arrival_ptr].request_time_s <= now
-            ):
-                rider = self.riders[arrival_ptr]
-                waiting[rider.rider_id] = rider
-                waiting_counts[rider.origin_region] += 1
-                heapq.heappush(renege_heap, (rider.deadline_s, rider.rider_id))
-                arrival_ptr += 1
-                maybe_new_pairs = True
-
-            # 2. renege riders whose deadline passed before this tick.
-            while renege_heap and renege_heap[0][0] < now:
-                _, rider_id = heapq.heappop(renege_heap)
-                rider = self._rider_by_id[rider_id]
-                if rider.status is RiderStatus.WAITING:
-                    rider.status = RiderStatus.RENEGED
-                    metrics.reneged_orders += 1
-                    if waiting.pop(rider_id, None) is not None:
-                        waiting_counts[rider.origin_region] -= 1
-
-            # 3. release drivers whose deliveries completed.
-            while release_heap and release_heap[0][0] <= now:
-                _, driver_id = heapq.heappop(release_heap)
-                driver = self._driver_by_id[driver_id]
-                driver.release(now)
-                fleet.release(self._pos_of_driver[driver_id], now)
-                self._released_at[driver_id] = now
-                maybe_new_pairs = True
-
-            if profile:
-                t_events = _time.perf_counter()
-                phase_seconds["event_drain"] += t_events - t_tick
-
-            # 4. skip provable no-op ticks (still recording their metrics):
-            #    nothing to plan, a standing zero-assignment proof, or a
-            #    candidate-based policy with zero drivers on duty.
-            if (not waiting and policy_skippable) or (
-                stranded_skippable
-                and (not maybe_new_pairs or fleet.active_total == 0)
-            ):
-                metrics.batches.append(
-                    BatchMetrics(
-                        time_s=now,
-                        waiting_riders=len(waiting),
-                        available_drivers=fleet.active_total,
-                        assignments=0,
-                        plan_seconds=0.0,
-                    )
-                )
-                continue
-
-            # Position-stable snapshot: the fleet's persistent arrays are
-            # exposed directly (views, not gathers) and candidate positions
-            # are *fleet* positions served by the incrementally-maintained
-            # per-region buckets — building it costs O(events since the
-            # last planned batch), never O(fleet).
-            waiting_riders = list(waiting.values())
-            n_active = fleet.active_total
-            available_drivers = ActiveDriverView(self.drivers, fleet)
-            snap_waiting_counts = waiting_counts
-            snap_avail_counts = fleet.avail_count
-            if seal_snapshots:
-                available_drivers.freeze()
-                snap_waiting_counts = waiting_counts.copy()
-                snap_avail_counts = fleet.avail_count.copy()
-
-            snapshot = BatchSnapshot(
-                time_s=now,
-                tc_seconds=cfg.tc_seconds,
-                waiting_riders=waiting_riders,
-                available_drivers=available_drivers,
-                predicted_riders_fn=(
-                    lambda t=now: self.demand.predict(t, cfg.tc_seconds)
-                ),
-                predicted_drivers_fn=fleet.upcoming_rejoins,
-                grid=self.grid,
-                cost_model=self.cost_model,
-                pickup_speed_mps=cfg.pickup_speed_mps,
-                driver_lonlat=fleet.lonlat,
-                driver_regions=fleet.region,
-                driver_ids=fleet.ids,
-                waiting_counts=snap_waiting_counts,
-                available_counts=snap_avail_counts,
-                driver_buckets=fleet.region_buckets(),
-                driver_lookup=self.drivers,
-                num_available=n_active,
-                riders_prefiltered=True,  # reneges already pruned expiries
-            )
-
-            if profile:
-                t_snap = _time.perf_counter()
-                phase_seconds["snapshot_build"] += t_snap - t_events
-
-            start = _time.perf_counter()
-            assignments = self.policy.plan_batch(snapshot)
-            plan_seconds = _time.perf_counter() - start
-
-            applied = self._apply_assignments(
-                assignments, waiting, waiting_counts, release_heap, now, metrics
-            )
-            self._apply_repositions(
-                self.policy.plan_repositions(snapshot), release_heap, now, metrics
-            )
-            # Zero assignments from an assigns-whenever-possible policy means
-            # the candidate set was empty; it stays empty until new demand or
-            # supply arrives (see `stranded_skippable` above).
-            maybe_new_pairs = applied > 0
-            metrics.batches.append(
-                BatchMetrics(
-                    time_s=now,
-                    waiting_riders=len(waiting_riders),
-                    available_drivers=n_active,
-                    assignments=applied,
-                    plan_seconds=plan_seconds,
-                )
-            )
-            if profile:
-                phase_seconds["plan"] += plan_seconds
-                phase_seconds["apply"] += (
-                    _time.perf_counter() - start - plan_seconds
-                )
-
-        # Post-horizon accounting: anyone still waiting with an expired or
-        # in-horizon deadline effectively reneged.
-        for rider in waiting.values():
-            if rider.status is RiderStatus.WAITING:
-                rider.status = RiderStatus.RENEGED
-                metrics.reneged_orders += 1
-
-        if self.config.record_idle_samples:
-            metrics.idle_samples = self.recorder.samples
+            step(batch_index * cfg.batch_interval_s)
+        metrics = self.stepper.finalize()
         return SimulationResult(
             metrics=metrics,
             riders=self.riders,
             drivers=self.drivers,
             recorder=self.recorder,
         )
-
-    # -- internals -----------------------------------------------------------
-
-    def _apply_repositions(
-        self,
-        repositions: Sequence,
-        release_heap: list[tuple[float, int]],
-        now: float,
-        metrics: SimMetrics,
-    ) -> None:
-        """Move idle drivers toward target regions (no revenue).
-
-        The driver drives to the target region's centre, is busy for the
-        travel time, and rejoins the pool there.  Invalid repositions
-        (busy/off-shift driver, unknown region) are rejected loudly — a
-        policy bug, not a runtime condition.
-        """
-        for reposition in repositions:
-            driver = self._driver_by_id.get(reposition.driver_id)
-            if driver is None:
-                raise ValueError(f"reposition references unknown driver: {reposition}")
-            if not (driver.available and driver.on_shift(now)):
-                raise ValueError(
-                    f"policy repositioned unavailable driver {driver.driver_id}"
-                )
-            target = reposition.target_region
-            if not 0 <= target < self.grid.num_regions:
-                raise ValueError(f"reposition targets unknown region {target}")
-            if target == driver.region:
-                continue  # nothing to do
-            centre = self.grid.center_of(target)
-            travel = self.cost_model.travel_seconds(driver.position, centre)
-            driver.status = DriverStatus.BUSY
-            driver.busy_until_s = now + travel
-            driver.destination_region = target
-            driver.position = centre
-            driver.current_rider_id = None
-            self.fleet.reposition(
-                self._pos_of_driver[driver.driver_id],
-                now,
-                driver.busy_until_s,
-                target,
-                centre.lon,
-                centre.lat,
-            )
-            if self.config.record_idle_samples:
-                self.recorder.on_reposition(driver.driver_id)
-            self._released_at[driver.driver_id] = None
-            heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
-            metrics.repositions += 1
-
-    def _apply_assignments(
-        self,
-        assignments: Sequence,
-        waiting: dict[int, Rider],
-        waiting_counts: np.ndarray,
-        release_heap: list[tuple[float, int]],
-        now: float,
-        metrics: SimMetrics,
-    ) -> int:
-        applied = 0
-        for assignment in assignments:
-            rider = self._rider_by_id.get(assignment.rider_id)
-            driver = self._driver_by_id.get(assignment.driver_id)
-            if rider is None or driver is None:
-                raise ValueError(
-                    f"assignment references unknown rider/driver: {assignment}"
-                )
-            if rider.rider_id not in waiting or rider.status is not RiderStatus.WAITING:
-                raise ValueError(
-                    f"policy assigned rider {rider.rider_id} who is not waiting"
-                )
-            if not driver.available:
-                raise ValueError(
-                    f"policy assigned busy driver {driver.driver_id}"
-                )
-
-            if self.policy.ignores_pickup_distance:
-                eta = 0.0
-            else:
-                eta = self.cost_model.travel_seconds(driver.position, rider.pickup)
-                if now + eta > rider.deadline_s + _ETA_TOLERANCE_S:
-                    raise ValueError(
-                        f"policy produced an invalid pair: driver "
-                        f"{driver.driver_id} cannot reach rider "
-                        f"{rider.rider_id} before the deadline"
-                    )
-
-            if self.config.record_idle_samples:
-                self.recorder.on_assignment(
-                    driver_id=driver.driver_id,
-                    now_s=now,
-                    released_at_s=self._released_at.get(driver.driver_id),
-                    destination_region=rider.destination_region,
-                    predicted_idle_s=assignment.predicted_idle_s,
-                )
-
-            rider.status = RiderStatus.SERVED
-            rider.assign_time_s = now
-            rider.pickup_time_s = now + eta
-            rider.dropoff_time_s = now + eta + rider.trip_seconds
-            rider.driver_id = driver.driver_id
-            driver.assign(
-                rider,
-                now_s=now,
-                pickup_eta_s=eta,
-                dropoff_position=rider.dropoff,
-                destination_region=rider.destination_region,
-            )
-            self.fleet.assign(
-                self._pos_of_driver[driver.driver_id],
-                now,
-                driver.busy_until_s,
-                rider.destination_region,
-                rider.dropoff.lon,
-                rider.dropoff.lat,
-            )
-            self._released_at[driver.driver_id] = None
-            heapq.heappush(release_heap, (driver.busy_until_s, driver.driver_id))
-            waiting.pop(rider.rider_id)
-            waiting_counts[rider.origin_region] -= 1
-
-            metrics.total_revenue += rider.revenue
-            metrics.served_orders += 1
-            applied += 1
-        return applied

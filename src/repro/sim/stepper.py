@@ -1,0 +1,637 @@
+"""The tickable simulation core: one batch step at a time.
+
+:class:`SimulationStepper` owns every piece of loop-carried state of the
+batch dispatching loop (Algorithm 1) — waiting riders, the renege and
+release heaps, the pending-arrival queue, the skip-tick proofs, and the
+per-phase profiling — and exposes it as a stepping API:
+
+- :meth:`SimulationStepper.ingest` registers ride requests (in any order;
+  a request whose batch window already closed simply joins the next batch
+  — it is never silently dropped);
+- :meth:`SimulationStepper.step` advances the world through exactly one
+  batch tick at a given clock time and returns a :class:`BatchOutcome`
+  (the applied assignments, reneges, repositions, and timing);
+- :meth:`SimulationStepper.advance_to` steps every batch boundary due by a
+  target time (the replay driver's and the server's shared clock walk);
+- :meth:`SimulationStepper.finalize` performs the post-horizon accounting
+  and returns the accumulated :class:`~repro.sim.metrics.SimMetrics`.
+
+:class:`~repro.sim.engine.Simulation` is a thin offline replay driver over
+this core (ingest the whole trace, step every boundary, finalize); the
+online service in :mod:`repro.serve` drives the *same* core one window at
+a time as requests stream in, which is what makes "live server" and
+"offline replay" provably the same simulation.
+
+Each tick:
+
+1. fires the fleet's due events (shift starts/ends, rejoin-window entries),
+2. admits pending riders whose requests arrived up to and including now,
+3. reneges waiting riders whose pickup deadlines have passed,
+4. releases drivers whose deliveries completed (recording their rejoin
+   region — the "rejoined active drivers" of §3.1.2),
+5. builds a :class:`~repro.dispatch.base.BatchSnapshot` with the demand
+   prediction for ``[t, t + t_c]`` and the exact upcoming-rejoin counts,
+6. lets the policy plan, validates the plan, and applies it.
+
+Fleet-wide per-tick work is avoided: availability and upcoming-rejoin
+counts come from the incrementally-maintained
+:class:`~repro.sim.fleet.FleetState` instead of per-tick scans, and ticks
+that are provable no-ops — no waiting riders, and a policy that has
+declared ``supports_tick_skipping`` — skip the policy call entirely while
+still appending their :class:`~repro.sim.metrics.BatchMetrics` row, so the
+``metrics.batches`` series keeps one entry per tick exactly as before.
+
+Revenue accounting follows Eq. 1 with ``alpha`` folded into each rider's
+``revenue`` field at generation time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dispatch.base import BatchSnapshot, DispatchPolicy
+from repro.geo.grid import GridPartition
+from repro.roadnet.travel_time import TravelCostModel
+from repro.sim.demand import DemandSource
+from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
+from repro.sim.fleet import ActiveDriverView, FleetState
+from repro.sim.metrics import BatchMetrics, SimMetrics
+from repro.sim.recorder import IdleTimeRecorder
+
+__all__ = [
+    "AppliedAssignment",
+    "BatchOutcome",
+    "SimConfig",
+    "SimulationStepper",
+]
+
+#: Tolerance when re-validating a policy's pickup ETA against the deadline.
+_ETA_TOLERANCE_S = 1e-6
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine parameters (defaults follow Table 2's bold values).
+
+    ``batch_interval_s`` is the paper's ``Delta``; ``tc_seconds`` the
+    scheduling-window length ``t_c``; ``horizon_s`` the simulated period
+    (a whole day in the paper).  ``skip_empty_ticks`` lets the engine skip
+    the policy call on ticks with no waiting riders when the policy has
+    opted in via ``supports_tick_skipping`` (disable to force the
+    policy-every-tick behaviour of the reference loop).  ``profile_phases``
+    accumulates per-phase wall time (event drain / snapshot build / plan /
+    apply) into ``SimMetrics.phase_seconds`` — two extra clock reads per
+    tick when on, a single boolean test when off.  The accounting lives in
+    the stepper, so offline replays and serve-mode ticks are profiled
+    identically.
+    """
+
+    batch_interval_s: float = 3.0
+    tc_seconds: float = 20.0 * 60.0
+    horizon_s: float = 24.0 * 3600.0
+    pickup_speed_mps: float = 8.0
+    record_idle_samples: bool = True
+    skip_empty_ticks: bool = True
+    profile_phases: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_interval_s <= 0:
+            raise ValueError("batch interval must be positive")
+        if self.tc_seconds <= 0:
+            raise ValueError("tc must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if self.pickup_speed_mps <= 0:
+            raise ValueError("pickup speed must be positive")
+
+
+@dataclass(frozen=True)
+class AppliedAssignment:
+    """One committed (rider, driver) pair, as applied by the engine."""
+
+    rider_id: int
+    driver_id: int
+    assign_time_s: float
+    pickup_eta_s: float
+    pickup_time_s: float
+    dropoff_time_s: float
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one batch tick did (the serve layer's per-window answer).
+
+    ``skipped`` marks ticks proven to be no-ops (no policy call was made);
+    their :class:`~repro.sim.metrics.BatchMetrics` row is still recorded.
+    """
+
+    time_s: float
+    waiting_riders: int
+    available_drivers: int
+    assignments: tuple[AppliedAssignment, ...]
+    reneged: int
+    repositions: int
+    plan_seconds: float
+    skipped: bool
+
+
+class SimulationStepper:
+    """All loop-carried state of the batch loop, advanced one tick at a time.
+
+    ``demand`` must be supplied explicitly: unlike the offline
+    :class:`~repro.sim.engine.Simulation` (which defaults to an oracle over
+    its preloaded trace), a stepper does not know its future riders.
+    """
+
+    def __init__(
+        self,
+        drivers: Sequence[Driver],
+        grid: GridPartition,
+        cost_model: TravelCostModel,
+        policy: DispatchPolicy,
+        config: SimConfig | None = None,
+        demand: DemandSource | None = None,
+        recorder: IdleTimeRecorder | None = None,
+    ):
+        if demand is None:
+            raise ValueError("SimulationStepper requires an explicit demand source")
+        self.config = config or SimConfig()
+        self.grid = grid
+        self.cost_model = cost_model
+        self.policy = policy
+        self.demand = demand
+        self.drivers = list(drivers)
+        self._driver_by_id = {d.driver_id: d for d in self.drivers}
+        if len(self._driver_by_id) != len(self.drivers):
+            raise ValueError("duplicate driver ids")
+        self.recorder = recorder or IdleTimeRecorder()
+        self.fleet = FleetState(
+            self.drivers, grid.num_regions, self.config.tc_seconds
+        )
+        self._pos_of_driver = {
+            d.driver_id: i for i, d in enumerate(self.drivers)
+        }
+        # Release times of drivers for idle-interval bookkeeping; a shifted
+        # driver's idle clock starts when the shift does.
+        self._released_at: dict[int, float | None] = {
+            d.driver_id: d.join_time_s for d in self.drivers
+        }
+
+        self.metrics = SimMetrics(total_orders=0)
+        self._rider_by_id: dict[int, Rider] = {}
+        #: Ingested but not-yet-admitted requests, ordered by
+        #: ``(request_time_s, rider_id)`` — the admission order of the
+        #: offline replay.  A heap (not a sorted list + pointer) so requests
+        #: may arrive out of order: one whose window already closed pops at
+        #: the very next tick.
+        self._pending: list[tuple[float, int, Rider]] = []
+        self._waiting: dict[int, Rider] = {}
+        self._waiting_counts = np.zeros(grid.num_regions, dtype=np.int64)
+        self._renege_heap: list[tuple[float, int]] = []
+        self._release_heap: list[tuple[float, int]] = []
+
+        # A tick with no waiting riders is a no-op only when the policy has
+        # vouched for it (and truly plans no repositions, which depend on
+        # clock time, not just on batch contents).
+        no_repositions = (
+            type(policy).plan_repositions is DispatchPolicy.plan_repositions
+        )
+        # Reposition-planning policies re-read the snapshot *after* this
+        # batch's assignments were applied; the position-stable snapshot
+        # aliases live fleet aggregates, so those policies get them frozen
+        # (copied / materialised) at build time instead.  Everyone else
+        # reads the snapshot only inside `plan_batch` — before any apply —
+        # and can safely share the live arrays.
+        self._seal_snapshots = not no_repositions
+        self._profile = self.config.profile_phases
+        if self._profile:
+            for phase in ("event_drain", "snapshot_build", "plan", "apply"):
+                self.metrics.phase_seconds.setdefault(phase, 0.0)
+        self._policy_skippable = (
+            self.config.skip_empty_ticks
+            and policy.supports_tick_skipping
+            and no_repositions
+        )
+        # Stronger proof for greedy candidate matchers: after a batch that
+        # committed nothing, candidate sets only shrink (patience drains,
+        # ETAs are static) until demand or supply is *added*, so every
+        # following batch is a no-op too until then.  Clock-carrying cost
+        # models (time-of-day congestion) void the "ETAs are static" half:
+        # a congestion-easing slot boundary can turn an infeasible pair
+        # feasible with no new rider or driver, so stranded ticks must be
+        # observed.  (The empty-tick skip above survives — no waiting
+        # riders means no candidate pairs at any travel time.)
+        self._stranded_skippable = (
+            self._policy_skippable
+            and policy.assigns_whenever_possible
+            and getattr(cost_model, "set_time", None) is None
+        )
+        #: False only while a zero-assignment plan provably still stands.
+        self._maybe_new_pairs = True
+
+        self._next_batch_index = 0
+        self._last_step_s: float | None = None
+        self._finalized = False
+
+    # -- clock bookkeeping ---------------------------------------------------
+
+    @property
+    def next_batch_index(self) -> int:
+        """Index of the next not-yet-stepped batch tick."""
+        return self._next_batch_index
+
+    def next_batch_time(self) -> float:
+        """Clock time of the next batch boundary on the ``Delta`` grid."""
+        return self._next_batch_index * self.config.batch_interval_s
+
+    @property
+    def time_s(self) -> float | None:
+        """The last stepped clock time (``None`` before the first tick)."""
+        return self._last_step_s
+
+    # -- request intake ------------------------------------------------------
+
+    def ingest(self, riders: Iterable[Rider]) -> int:
+        """Register ride requests for admission at their batch windows.
+
+        Requests may arrive in any order relative to the clock: one whose
+        ``request_time_s`` precedes the last stepped tick is admitted at
+        the *next* tick (late requests join the next batch, they are never
+        dropped).  Returns the number of requests ingested; a duplicate
+        rider id raises.
+        """
+        count = 0
+        for rider in riders:
+            rider_id = rider.rider_id
+            if rider_id in self._rider_by_id:
+                raise ValueError("duplicate rider ids")
+            self._rider_by_id[rider_id] = rider
+            heapq.heappush(
+                self._pending, (rider.request_time_s, rider_id, rider)
+            )
+            count += 1
+        self.metrics.total_orders += count
+        return count
+
+    def rider(self, rider_id: int) -> Rider | None:
+        """The registered rider for ``rider_id`` (``None`` if unknown)."""
+        return self._rider_by_id.get(rider_id)
+
+    @property
+    def waiting_count(self) -> int:
+        """Riders currently admitted and waiting for a driver."""
+        return len(self._waiting)
+
+    @property
+    def pending_count(self) -> int:
+        """Ingested riders not yet admitted to a batch."""
+        return len(self._pending)
+
+    # -- stepping ------------------------------------------------------------
+
+    def advance_to(self, t: float) -> list[BatchOutcome]:
+        """Step every batch boundary due by ``t`` (inclusive) in order."""
+        outcomes = []
+        while self.next_batch_time() <= t:
+            outcomes.append(self.step(self.next_batch_time()))
+        return outcomes
+
+    def step(self, now: float | None = None) -> BatchOutcome:
+        """Advance the world through exactly one batch tick at ``now``.
+
+        ``now`` defaults to the next boundary on the ``Delta`` grid and
+        must increase strictly across calls.
+        """
+        if self._finalized:
+            raise RuntimeError("stepper already finalized")
+        if now is None:
+            now = self.next_batch_time()
+        last = self._last_step_s
+        if last is not None and now <= last:
+            raise ValueError(
+                f"step times must be strictly increasing: {now} after {last}"
+            )
+        self._last_step_s = now
+        self._next_batch_index += 1
+
+        cfg = self.config
+        fleet = self.fleet
+        metrics = self.metrics
+        waiting = self._waiting
+        waiting_counts = self._waiting_counts
+        pending = self._pending
+        renege_heap = self._renege_heap
+        release_heap = self._release_heap
+        profile = self._profile
+        phase_seconds = metrics.phase_seconds
+        maybe_new_pairs = self._maybe_new_pairs
+        reneged = 0
+        t_events = 0.0
+        if profile:
+            t_tick = _time.perf_counter()
+
+        # 0. fire shift and rejoin-window events due by `now`.
+        if fleet.advance(now):
+            maybe_new_pairs = True
+
+        # 1. admit new riders (requests up to and including `now`).
+        while pending and pending[0][0] <= now:
+            _, _, rider = heapq.heappop(pending)
+            waiting[rider.rider_id] = rider
+            waiting_counts[rider.origin_region] += 1
+            heapq.heappush(renege_heap, (rider.deadline_s, rider.rider_id))
+            maybe_new_pairs = True
+
+        # 2. renege riders whose deadline passed before this tick.
+        while renege_heap and renege_heap[0][0] < now:
+            _, rider_id = heapq.heappop(renege_heap)
+            rider = self._rider_by_id[rider_id]
+            if rider.status is RiderStatus.WAITING:
+                rider.status = RiderStatus.RENEGED
+                metrics.reneged_orders += 1
+                reneged += 1
+                if waiting.pop(rider_id, None) is not None:
+                    waiting_counts[rider.origin_region] -= 1
+
+        # 3. release drivers whose deliveries completed.
+        while release_heap and release_heap[0][0] <= now:
+            _, driver_id = heapq.heappop(release_heap)
+            driver = self._driver_by_id[driver_id]
+            driver.release(now)
+            fleet.release(self._pos_of_driver[driver_id], now)
+            self._released_at[driver_id] = now
+            maybe_new_pairs = True
+
+        if profile:
+            t_events = _time.perf_counter()
+            phase_seconds["event_drain"] += t_events - t_tick
+
+        # 4. skip provable no-op ticks (still recording their metrics):
+        #    nothing to plan, a standing zero-assignment proof, or a
+        #    candidate-based policy with zero drivers on duty.
+        if (not waiting and self._policy_skippable) or (
+            self._stranded_skippable
+            and (not maybe_new_pairs or fleet.active_total == 0)
+        ):
+            self._maybe_new_pairs = maybe_new_pairs
+            metrics.batches.append(
+                BatchMetrics(
+                    time_s=now,
+                    waiting_riders=len(waiting),
+                    available_drivers=fleet.active_total,
+                    assignments=0,
+                    plan_seconds=0.0,
+                )
+            )
+            return BatchOutcome(
+                time_s=now,
+                waiting_riders=len(waiting),
+                available_drivers=fleet.active_total,
+                assignments=(),
+                reneged=reneged,
+                repositions=0,
+                plan_seconds=0.0,
+                skipped=True,
+            )
+
+        # Position-stable snapshot: the fleet's persistent arrays are
+        # exposed directly (views, not gathers) and candidate positions
+        # are *fleet* positions served by the incrementally-maintained
+        # per-region buckets — building it costs O(events since the
+        # last planned batch), never O(fleet).
+        waiting_riders = list(waiting.values())
+        n_active = fleet.active_total
+        available_drivers = ActiveDriverView(self.drivers, fleet)
+        snap_waiting_counts = waiting_counts
+        snap_avail_counts = fleet.avail_count
+        if self._seal_snapshots:
+            available_drivers.freeze()
+            snap_waiting_counts = waiting_counts.copy()
+            snap_avail_counts = fleet.avail_count.copy()
+
+        snapshot = BatchSnapshot(
+            time_s=now,
+            tc_seconds=cfg.tc_seconds,
+            waiting_riders=waiting_riders,
+            available_drivers=available_drivers,
+            predicted_riders_fn=(
+                lambda t=now: self.demand.predict(t, cfg.tc_seconds)
+            ),
+            predicted_drivers_fn=fleet.upcoming_rejoins,
+            grid=self.grid,
+            cost_model=self.cost_model,
+            pickup_speed_mps=cfg.pickup_speed_mps,
+            driver_lonlat=fleet.lonlat,
+            driver_regions=fleet.region,
+            driver_ids=fleet.ids,
+            waiting_counts=snap_waiting_counts,
+            available_counts=snap_avail_counts,
+            driver_buckets=fleet.region_buckets(),
+            driver_lookup=self.drivers,
+            num_available=n_active,
+            riders_prefiltered=True,  # reneges already pruned expiries
+        )
+
+        if profile:
+            t_snap = _time.perf_counter()
+            phase_seconds["snapshot_build"] += t_snap - t_events
+
+        start = _time.perf_counter()
+        assignments = self.policy.plan_batch(snapshot)
+        plan_seconds = _time.perf_counter() - start
+
+        applied = self._apply_assignments(assignments, now)
+        repositions = self._apply_repositions(
+            self.policy.plan_repositions(snapshot), now
+        )
+        # Zero assignments from an assigns-whenever-possible policy means
+        # the candidate set was empty; it stays empty until new demand or
+        # supply arrives (see `_stranded_skippable` above).
+        self._maybe_new_pairs = len(applied) > 0
+        metrics.batches.append(
+            BatchMetrics(
+                time_s=now,
+                waiting_riders=len(waiting_riders),
+                available_drivers=n_active,
+                assignments=len(applied),
+                plan_seconds=plan_seconds,
+            )
+        )
+        if profile:
+            phase_seconds["plan"] += plan_seconds
+            phase_seconds["apply"] += (
+                _time.perf_counter() - start - plan_seconds
+            )
+        return BatchOutcome(
+            time_s=now,
+            waiting_riders=len(waiting_riders),
+            available_drivers=n_active,
+            assignments=tuple(applied),
+            reneged=reneged,
+            repositions=repositions,
+            plan_seconds=plan_seconds,
+            skipped=False,
+        )
+
+    def finalize(self) -> SimMetrics:
+        """Post-horizon accounting; idempotent, returns the run metrics.
+
+        Anyone still waiting with an expired or in-horizon deadline
+        effectively reneged.
+        """
+        if self._finalized:
+            return self.metrics
+        self._finalized = True
+        for rider in self._waiting.values():
+            if rider.status is RiderStatus.WAITING:
+                rider.status = RiderStatus.RENEGED
+                self.metrics.reneged_orders += 1
+        self._waiting.clear()
+        self._waiting_counts[:] = 0
+        if self.config.record_idle_samples:
+            self.metrics.idle_samples = self.recorder.samples
+        return self.metrics
+
+    # -- internals -----------------------------------------------------------
+
+    def _apply_repositions(self, repositions: Sequence, now: float) -> int:
+        """Move idle drivers toward target regions (no revenue).
+
+        The driver drives to the target region's centre, is busy for the
+        travel time, and rejoins the pool there.  Invalid repositions
+        (busy/off-shift driver, unknown region) are rejected loudly — a
+        policy bug, not a runtime condition.
+        """
+        applied = 0
+        metrics = self.metrics
+        for reposition in repositions:
+            driver = self._driver_by_id.get(reposition.driver_id)
+            if driver is None:
+                raise ValueError(f"reposition references unknown driver: {reposition}")
+            if not (driver.available and driver.on_shift(now)):
+                raise ValueError(
+                    f"policy repositioned unavailable driver {driver.driver_id}"
+                )
+            target = reposition.target_region
+            if not 0 <= target < self.grid.num_regions:
+                raise ValueError(f"reposition targets unknown region {target}")
+            if target == driver.region:
+                continue  # nothing to do
+            centre = self.grid.center_of(target)
+            travel = self.cost_model.travel_seconds(driver.position, centre)
+            driver.status = DriverStatus.BUSY
+            driver.busy_until_s = now + travel
+            driver.destination_region = target
+            driver.position = centre
+            driver.current_rider_id = None
+            self.fleet.reposition(
+                self._pos_of_driver[driver.driver_id],
+                now,
+                driver.busy_until_s,
+                target,
+                centre.lon,
+                centre.lat,
+            )
+            if self.config.record_idle_samples:
+                self.recorder.on_reposition(driver.driver_id)
+            self._released_at[driver.driver_id] = None
+            heapq.heappush(
+                self._release_heap, (driver.busy_until_s, driver.driver_id)
+            )
+            metrics.repositions += 1
+            applied += 1
+        return applied
+
+    def _apply_assignments(
+        self, assignments: Sequence, now: float
+    ) -> list[AppliedAssignment]:
+        applied: list[AppliedAssignment] = []
+        waiting = self._waiting
+        metrics = self.metrics
+        for assignment in assignments:
+            rider = self._rider_by_id.get(assignment.rider_id)
+            driver = self._driver_by_id.get(assignment.driver_id)
+            if rider is None or driver is None:
+                raise ValueError(
+                    f"assignment references unknown rider/driver: {assignment}"
+                )
+            if rider.rider_id not in waiting or rider.status is not RiderStatus.WAITING:
+                raise ValueError(
+                    f"policy assigned rider {rider.rider_id} who is not waiting"
+                )
+            if not driver.available:
+                raise ValueError(
+                    f"policy assigned busy driver {driver.driver_id}"
+                )
+
+            if self.policy.ignores_pickup_distance:
+                eta = 0.0
+            else:
+                eta = self.cost_model.travel_seconds(driver.position, rider.pickup)
+                if now + eta > rider.deadline_s + _ETA_TOLERANCE_S:
+                    raise ValueError(
+                        f"policy produced an invalid pair: driver "
+                        f"{driver.driver_id} cannot reach rider "
+                        f"{rider.rider_id} before the deadline"
+                    )
+
+            if self.config.record_idle_samples:
+                self.recorder.on_assignment(
+                    driver_id=driver.driver_id,
+                    now_s=now,
+                    released_at_s=self._released_at.get(driver.driver_id),
+                    destination_region=rider.destination_region,
+                    predicted_idle_s=assignment.predicted_idle_s,
+                )
+
+            rider.status = RiderStatus.SERVED
+            rider.assign_time_s = now
+            rider.pickup_time_s = now + eta
+            rider.dropoff_time_s = now + eta + rider.trip_seconds
+            rider.driver_id = driver.driver_id
+            driver.assign(
+                rider,
+                now_s=now,
+                pickup_eta_s=eta,
+                dropoff_position=rider.dropoff,
+                destination_region=rider.destination_region,
+            )
+            self.fleet.assign(
+                self._pos_of_driver[driver.driver_id],
+                now,
+                driver.busy_until_s,
+                rider.destination_region,
+                rider.dropoff.lon,
+                rider.dropoff.lat,
+            )
+            self._released_at[driver.driver_id] = None
+            heapq.heappush(
+                self._release_heap, (driver.busy_until_s, driver.driver_id)
+            )
+            waiting.pop(rider.rider_id)
+            self._waiting_counts[rider.origin_region] -= 1
+
+            metrics.total_revenue += rider.revenue
+            metrics.served_orders += 1
+            applied.append(
+                AppliedAssignment(
+                    rider_id=rider.rider_id,
+                    driver_id=driver.driver_id,
+                    assign_time_s=now,
+                    pickup_eta_s=eta,
+                    pickup_time_s=rider.pickup_time_s,
+                    dropoff_time_s=rider.dropoff_time_s,
+                )
+            )
+        return applied
+
+
+def num_batches_for_horizon(horizon_s: float, batch_interval_s: float) -> int:
+    """Tick count of a full replay: one per boundary in ``[0, horizon]``."""
+    return int(math.floor(horizon_s / batch_interval_s)) + 1

@@ -58,6 +58,36 @@ class TestParser:
                     [command, *tail, "--cost-model", "teleport"]
                 )
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.policy == "NEAR"
+        assert args.port == 8355
+        assert args.speedup == 60.0
+        assert args.batch_interval is None
+        assert args.city is None
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--policy", "IRG-R", "--city", "sprawl",
+             "--cost-model", "roadnet", "--batch-interval", "5",
+             "--port", "0", "--speedup", "0"]
+        )
+        assert args.policy == "IRG-R"
+        assert args.city == "sprawl"
+        assert args.cost_model == "roadnet"
+        assert args.batch_interval == 5.0
+        assert args.port == 0
+        assert args.speedup == 0.0
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.speedup == 0.0
+        assert args.embedded is False
+        assert args.duration is None
+        assert args.max_requests is None
+        assert args.no_bench is False
+        assert args.min_assignments == 1
+
     def test_sweep_city_repeatable(self):
         args = build_parser().parse_args(
             ["sweep", "--city", "nyc", "--city", "sprawl", "--jobs", "4"]
@@ -72,6 +102,12 @@ class TestListCommand:
         out = capsys.readouterr().out
         for token in ("table3", "figure13", "LS-R", "POLAR", "tiny"):
             assert token in out
+
+    def test_mentions_serve_and_loadgen(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve" in out
+        assert "repro loadgen" in out
 
 
 class TestQueueCommand:
@@ -202,6 +238,65 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert "entries           1" in out
         assert "oldest entry" in out and "newest entry" in out
+
+
+class TestServeAndLoadgenCommands:
+    def test_serve_unknown_policy_is_an_error(self, capsys):
+        assert main(["serve", "--policy", "WAT", "--profile", "tiny"]) == 2
+        assert "WAT" in capsys.readouterr().err
+
+    def test_serve_unknown_city_is_an_error(self, capsys):
+        code = main(["serve", "--profile", "tiny", "--city", "atlantis"])
+        assert code == 2
+        assert "atlantis" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_speedup(self, capsys):
+        code = main(["serve", "--profile", "tiny", "--speedup", "-1"])
+        assert code == 2
+        assert "--speedup" in capsys.readouterr().err
+
+    def test_loadgen_unknown_policy_is_an_error(self, capsys):
+        assert main(["loadgen", "--policy", "WAT", "--profile", "tiny"]) == 2
+        assert "WAT" in capsys.readouterr().err
+
+    def test_embedded_loadgen_end_to_end(self, capsys):
+        """The CI smoke path: boot a server in-process, replay, report."""
+        code = main(
+            ["loadgen", "--embedded", "--profile", "tiny", "--policy", "NEAR",
+             "--speedup", "0", "--max-requests", "120", "--no-bench"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "embedded server on http://" in out
+        assert "requests sent     120 (lockstep)" in out
+        assert "assignment p99" in out
+
+    def test_embedded_loadgen_min_assignments_gate(self, capsys):
+        code = main(
+            ["loadgen", "--embedded", "--profile", "tiny", "--policy", "NEAR",
+             "--speedup", "0", "--max-requests", "40", "--no-bench",
+             "--min-assignments", "1000000"]
+        )
+        assert code == 1
+        assert "--min-assignments" in capsys.readouterr().err
+
+    def test_loadgen_appends_bench_record(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import reporting
+
+        monkeypatch.setattr(reporting, "_repo_root", lambda: tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_PR", "test-pr")
+        code = main(
+            ["loadgen", "--embedded", "--profile", "tiny", "--policy", "NEAR",
+             "--speedup", "0", "--max-requests", "40"]
+        )
+        assert code == 0
+        import json
+
+        history = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert history[-1]["pr"] == "test-pr"
+        assert history[-1]["benchmark"] == "serve_loadgen"
+        assert history[-1]["requests_sent"] == 40
+        assert "appended to" in capsys.readouterr().out
 
 
 class TestSimulateCommand:

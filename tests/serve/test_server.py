@@ -1,0 +1,176 @@
+"""End-to-end: the live server is the offline simulation, exactly.
+
+An in-process :class:`~repro.serve.server.DispatchServer` is booted on a
+background thread, the scenario's workload is replayed over real HTTP in
+lockstep through the offline tick schedule, and the server's assignment
+log must equal what :func:`~repro.experiments.runner.run_policy_full`
+computes for the same config — same pairs, same times, same economics.
+Plus the service-layer semantics the HTTP surface promises: late requests
+join the next batch, unknown riders 404, and ``/status`` exposes the
+stepper's per-phase profile.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_caches, run_policy_full
+from repro.serve.loadgen import replay_workload
+from repro.serve.server import start_server_in_thread
+from repro.serve.service import DispatchService
+
+CONFIG = ExperimentConfig(
+    daily_orders=2_000.0,
+    num_drivers=16,
+    horizon_s=4 * 3600.0,
+    batch_interval_s=10.0,
+    space_scale=0.1,
+    grid_rows=3,
+    grid_cols=3,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _get(host, port, path):
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(host, port, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=body, method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.mark.parametrize("policy_name", ["NEAR", "IRG-R"])
+def test_served_assignments_equal_offline_replay(policy_name):
+    offline = run_policy_full(CONFIG, policy_name)
+    offline_pairs = [
+        (r.rider_id, r.driver_id, r.assign_time_s, r.pickup_time_s)
+        for r in sorted(offline.riders, key=lambda r: r.rider_id)
+        if r.driver_id is not None
+    ]
+
+    service = DispatchService.from_config(CONFIG, policy_name)
+    with start_server_in_thread(service) as handle:
+        report = replay_workload(
+            handle.host,
+            handle.port,
+            service.workload,
+            batch_interval_s=CONFIG.batch_interval_s,
+            speedup=0.0,
+            horizon_s=CONFIG.horizon_s,
+        )
+        _, served = _get(handle.host, handle.port, "/assignments")
+
+    online_pairs = sorted(
+        (a["rider_id"], a["driver_id"], a["assign_time_s"], a["pickup_time_s"])
+        for a in served["assignments"]
+    )
+    assert online_pairs == offline_pairs
+    assert report.assigned == offline.metrics.served_orders
+    assert report.reneged == offline.metrics.reneged_orders
+    # Every request submitted over HTTP got a measured assignment latency.
+    assert report.assignment_latency_p99_s > 0.0
+    assert report.unresolved == 0
+
+
+def test_status_and_request_lifecycle_over_http():
+    service = DispatchService.from_config(CONFIG, "NEAR")
+    workload = sorted(
+        service.workload, key=lambda r: (r.request_time_s, r.rider_id)
+    )
+    with start_server_in_thread(service) as handle:
+        host, port = handle.host, handle.port
+
+        status, body = _get(host, port, "/status")
+        assert status == 200
+        assert body["policy"] == "NEAR"
+        assert body["batch_interval_s"] == CONFIG.batch_interval_s
+        assert body["sim_time_s"] is None  # nothing ticked yet
+
+        first = workload[0]
+        code, accepted = _post(
+            host, port, "/requests",
+            [
+                {
+                    "rider_id": first.rider_id,
+                    "request_time_s": first.request_time_s,
+                    "pickup": [first.pickup.lon, first.pickup.lat],
+                    "dropoff": [first.dropoff.lon, first.dropoff.lat],
+                    "deadline_s": first.deadline_s,
+                    "trip_seconds": first.trip_seconds,
+                    "revenue": first.revenue,
+                }
+            ],
+        )
+        assert code == 200 and accepted["accepted"] == 1
+
+        # Tick through the rider's window: it gets assigned (idle fleet).
+        _post(host, port, "/tick", {"count": accepted["next_batch_index"] + 2})
+        code, lifecycle = _get(host, port, f"/requests/{first.rider_id}")
+        assert code == 200
+        assert lifecycle["status"] == "served"
+        assert lifecycle["driver_id"] is not None
+        assert lifecycle["latency_wall_s"] >= 0.0
+
+        code, _ = _get(host, port, "/requests/999999")
+        assert code == 404
+
+        # The stepper profiles serve-mode ticks; /status surfaces it.
+        _, body = _get(host, port, "/status")
+        assert set(body["phase_seconds"]) >= {
+            "event_drain", "snapshot_build", "plan", "apply",
+        }
+        assert body["ticks"] >= 1
+        assert body["served_orders"] == 1
+
+
+def test_late_request_over_http_joins_next_batch():
+    service = DispatchService.from_config(CONFIG, "NEAR")
+    workload = sorted(
+        service.workload, key=lambda r: (r.request_time_s, r.rider_id)
+    )
+    with start_server_in_thread(service) as handle:
+        host, port = handle.host, handle.port
+        # Advance the clock well past the first requests' windows...
+        _post(host, port, "/tick", {"count": 30})
+        _, status = _get(host, port, "/status")
+        assert status["sim_time_s"] == 290.0
+
+        # ...then submit a request whose window is long gone.
+        late = workload[0]
+        assert late.request_time_s < 290.0
+        _, accepted = _post(
+            host, port, "/requests",
+            {
+                "rider_id": late.rider_id,
+                "request_time_s": late.request_time_s,
+                "pickup": [late.pickup.lon, late.pickup.lat],
+                "dropoff": [late.dropoff.lon, late.dropoff.lat],
+                "deadline_s": late.deadline_s + 600.0,
+                "trip_seconds": late.trip_seconds,
+                "revenue": late.revenue,
+            },
+        )
+        # It joins the *next* batch (index 30, t=300) — never dropped.
+        assert accepted["next_batch_index"] == 30
+        _post(host, port, "/tick")
+        _, lifecycle = _get(host, port, f"/requests/{late.rider_id}")
+        assert lifecycle["status"] == "served"
+        assert lifecycle["assign_time_s"] == 300.0

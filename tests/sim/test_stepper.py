@@ -1,0 +1,294 @@
+"""The tickable stepper must be the offline replay, bit for bit.
+
+:class:`~repro.sim.engine.Simulation` is now a thin driver over
+:class:`~repro.sim.stepper.SimulationStepper`; these tests pin the
+contract that makes the online service trustworthy:
+
+- driving a stepper *serve-style* — requests ingested incrementally as
+  their windows open, one explicit ``step()`` per batch boundary — equals
+  ``Simulation.run()`` on the same trace exactly (economics, per-rider
+  outcomes, per-tick series), across policies and candidate backends;
+- late or out-of-order requests join the next batch and are never
+  dropped;
+- ``advance_to`` is the same clock walk as stepping each boundary;
+- per-phase profiling accumulates in the stepper, so serve ticks and
+  offline replays are profiled identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch import NearestPolicy
+from repro.dispatch.base import set_candidate_backend
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _build_riders_and_drivers,
+    _make_policy,
+    clear_caches,
+)
+from repro.geo import BoundingBox, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.sim.demand import OracleDemand
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.entities import Driver, Rider, RiderStatus
+from repro.sim.stepper import SimulationStepper, num_batches_for_horizon
+
+CONFIG = ExperimentConfig(
+    daily_orders=2_000.0,
+    num_drivers=16,
+    horizon_s=4 * 3600.0,
+    batch_interval_s=10.0,
+    space_scale=0.1,
+    grid_rows=3,
+    grid_cols=3,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _sim_config(config, **overrides):
+    params = dict(
+        batch_interval_s=config.batch_interval_s,
+        tc_seconds=config.tc_seconds,
+        horizon_s=config.horizon_s,
+        pickup_speed_mps=config.speed_mps,
+    )
+    params.update(overrides)
+    return SimConfig(**params)
+
+
+def run_offline(config, policy_name):
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    sim = Simulation(
+        riders,
+        drivers,
+        grid,
+        cost_model,
+        _make_policy(policy_name, config),
+        _sim_config(config),
+        demand=OracleDemand(riders, grid.num_regions),
+    )
+    return sim.run()
+
+
+def run_serve_style(config, policy_name):
+    """Drive a bare stepper the way the online service does.
+
+    Requests are ingested just before the batch boundary that first
+    considers them (not preloaded), and every boundary is stepped
+    explicitly — no ``Simulation`` in the loop.
+    """
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    stepper = SimulationStepper(
+        drivers,
+        grid,
+        cost_model,
+        _make_policy(policy_name, config),
+        _sim_config(config),
+        demand=OracleDemand(riders, grid.num_regions),
+    )
+    stream = sorted(riders, key=lambda r: (r.request_time_s, r.rider_id))
+    cursor = 0
+    delta = config.batch_interval_s
+    for batch_index in range(num_batches_for_horizon(config.horizon_s, delta)):
+        now = batch_index * delta
+        due = cursor
+        while due < len(stream) and stream[due].request_time_s <= now:
+            due += 1
+        if due > cursor:
+            stepper.ingest(stream[cursor:due])
+            cursor = due
+        stepper.step(now)
+    if cursor < len(stream):
+        # The beyond-horizon tail: offline preloads it (it counts toward
+        # total_orders but is never admitted); stream it too.
+        stepper.ingest(stream[cursor:])
+    metrics = stepper.finalize()
+    return metrics, riders, stepper
+
+
+def assert_equivalent(offline, serve_metrics, serve_riders, stepper):
+    assert serve_metrics.total_revenue == offline.metrics.total_revenue
+    assert serve_metrics.served_orders == offline.metrics.served_orders
+    assert serve_metrics.reneged_orders == offline.metrics.reneged_orders
+    assert serve_metrics.repositions == offline.metrics.repositions
+    assert serve_metrics.total_orders == offline.metrics.total_orders
+    offline_riders = {r.rider_id: r for r in offline.riders}
+    for rider in serve_riders:
+        other = offline_riders[rider.rider_id]
+        assert rider.status is other.status
+        assert rider.driver_id == other.driver_id
+        assert rider.assign_time_s == other.assign_time_s
+        assert rider.pickup_time_s == other.pickup_time_s
+    assert len(serve_metrics.batches) == len(offline.metrics.batches)
+    for ba, bb in zip(serve_metrics.batches, offline.metrics.batches):
+        assert ba.time_s == bb.time_s
+        assert ba.waiting_riders == bb.waiting_riders
+        assert ba.available_drivers == bb.available_drivers
+        assert ba.assignments == bb.assignments
+    assert stepper.recorder.samples == offline.recorder.samples
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+@pytest.mark.parametrize("policy_name", ["NEAR", "IRG-R", "LS-R"])
+def test_serve_style_stepper_equals_offline_run(policy_name, backend):
+    previous = set_candidate_backend(backend)
+    try:
+        offline = run_offline(CONFIG, policy_name)
+        serve_metrics, serve_riders, stepper = run_serve_style(
+            CONFIG, policy_name
+        )
+    finally:
+        set_candidate_backend(previous)
+    assert_equivalent(offline, serve_metrics, serve_riders, stepper)
+    assert serve_metrics.served_orders > 0  # the world is non-degenerate
+
+
+def test_advance_to_is_the_same_clock_walk():
+    offline = run_offline(CONFIG, "NEAR")
+    riders, drivers, grid, cost_model = _build_riders_and_drivers(CONFIG)
+    stepper = SimulationStepper(
+        drivers,
+        grid,
+        cost_model,
+        _make_policy("NEAR", CONFIG),
+        _sim_config(CONFIG),
+        demand=OracleDemand(riders, grid.num_regions),
+    )
+    stepper.ingest(riders)
+    outcomes = stepper.advance_to(CONFIG.horizon_s)
+    metrics = stepper.finalize()
+    assert len(outcomes) == num_batches_for_horizon(
+        CONFIG.horizon_s, CONFIG.batch_interval_s
+    )
+    assert_equivalent(offline, metrics, riders, stepper)
+    assert sum(len(o.assignments) for o in outcomes) == metrics.served_orders
+    assert sum(o.repositions for o in outcomes) == metrics.repositions
+
+
+# -- a tiny hand-built world for intake-semantics tests ----------------------
+
+BOX = BoundingBox(0.0, 0.0, 0.05, 0.04)
+GRID = GridPartition(BOX, rows=2, cols=2)
+COST = StraightLineCost(speed_mps=9.0, metric="manhattan")
+
+
+def make_stepper(num_drivers=3, **config_overrides):
+    rng = np.random.default_rng(7)
+    drivers = []
+    for j in range(num_drivers):
+        position = BOX.sample(rng)
+        drivers.append(
+            Driver(j, position, GRID.region_of(position))
+        )
+    params = dict(
+        batch_interval_s=5.0, tc_seconds=900.0, horizon_s=3600.0,
+        pickup_speed_mps=9.0,
+    )
+    params.update(config_overrides)
+    return SimulationStepper(
+        drivers,
+        GRID,
+        COST,
+        NearestPolicy(),
+        SimConfig(**params),
+        demand=OracleDemand([], GRID.num_regions),
+    ), drivers
+
+
+def make_rider(rider_id, request_time_s, patience_s=600.0):
+    pickup = BOX.sample(np.random.default_rng(100 + rider_id))
+    dropoff = BOX.sample(np.random.default_rng(200 + rider_id))
+    trip = COST.travel_seconds(pickup, dropoff)
+    return Rider(
+        rider_id=rider_id, request_time_s=request_time_s,
+        pickup=pickup, dropoff=dropoff,
+        deadline_s=request_time_s + patience_s,
+        trip_seconds=trip, revenue=trip,
+        origin_region=GRID.region_of(pickup),
+        destination_region=GRID.region_of(dropoff),
+    )
+
+
+class TestLateIngestion:
+    def test_late_request_joins_next_batch(self):
+        """A request whose window already ticked is admitted next tick."""
+        stepper, _ = make_stepper()
+        stepper.advance_to(50.0)  # the clock is now well past t=10
+        late = make_rider(0, request_time_s=10.0)
+        stepper.ingest([late])
+        assert stepper.pending_count == 1
+        outcome = stepper.step()  # t=55: the very next batch window
+        assert stepper.pending_count == 0
+        # Admitted and immediately assigned (drivers were all idle).
+        assert [a.rider_id for a in outcome.assignments] == [0]
+        assert late.status is RiderStatus.SERVED
+        assert late.assign_time_s == outcome.time_s
+
+    def test_expired_request_reneges_rather_than_vanishing(self):
+        """Even a past-deadline request is accounted, never dropped."""
+        stepper, _ = make_stepper()
+        stepper.advance_to(1000.0)
+        expired = make_rider(1, request_time_s=10.0, patience_s=60.0)
+        stepper.ingest([expired])
+        assert stepper.metrics.total_orders == 1
+        # Admitted at t=1005 and reneged by the same tick's renege drain
+        # (the deadline passed long before the window opened).
+        stepper.step()
+        assert expired.status is RiderStatus.RENEGED
+        assert stepper.metrics.reneged_orders == 1
+        assert stepper.waiting_count == 0
+
+    def test_out_of_order_ingestion_admits_in_request_order(self):
+        stepper, _ = make_stepper(num_drivers=0)
+        stepper.ingest([make_rider(5, 12.0)])
+        stepper.ingest([make_rider(3, 4.0)])
+        stepper.advance_to(15.0)
+        # Both admitted; with no drivers they simply wait.
+        assert stepper.waiting_count == 2
+        assert stepper.pending_count == 0
+
+    def test_duplicate_rider_id_raises(self):
+        stepper, _ = make_stepper()
+        stepper.ingest([make_rider(9, 0.0)])
+        with pytest.raises(ValueError, match="duplicate rider ids"):
+            stepper.ingest([make_rider(9, 5.0)])
+
+
+class TestStepperContract:
+    def test_step_times_must_strictly_increase(self):
+        stepper, _ = make_stepper()
+        stepper.step(10.0)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            stepper.step(10.0)
+
+    def test_requires_explicit_demand(self):
+        with pytest.raises(ValueError, match="demand"):
+            SimulationStepper([], GRID, COST, NearestPolicy(), SimConfig())
+
+    def test_finalize_is_idempotent_and_reneges_waiters(self):
+        stepper, _ = make_stepper(num_drivers=0)
+        stepper.ingest([make_rider(2, 0.0)])
+        stepper.step(0.0)
+        first = stepper.finalize()
+        assert first.reneged_orders == 1
+        assert stepper.finalize() is first
+        with pytest.raises(RuntimeError, match="finalized"):
+            stepper.step()
+
+    def test_profile_phases_accumulate_in_stepper(self):
+        """Serve-mode ticks profile exactly like offline replays."""
+        stepper, _ = make_stepper(profile_phases=True)
+        assert set(stepper.metrics.phase_seconds) == {
+            "event_drain", "snapshot_build", "plan", "apply",
+        }
+        stepper.ingest([make_rider(0, 0.0), make_rider(1, 3.0)])
+        stepper.advance_to(30.0)
+        phases = stepper.metrics.phase_seconds
+        assert all(v >= 0.0 for v in phases.values())
+        assert phases["plan"] > 0.0  # at least one planned (unskipped) tick
