@@ -8,10 +8,14 @@ and repeats as fast as the server absorbs them.  That measures the serving
 stack end to end (HTTP parse, JSON, service locking, stepper tick), not
 the policy in isolation.
 
-Each run *appends* one ``pr``-labelled record to ``BENCH_serve.json`` at
-the repo root — sustained requests/sec, p50/p99 assignment latency, tick
-percentiles — so the serving-performance trajectory accumulates across
-PRs, mirroring ``BENCH_engine.json`` for the offline engine.
+The day is run twice: once bare and once with the write-ahead log attached
+(``fsync=batch``, the serving default), so the cost of durability is a
+number in the history rather than folklore.  Each run *appends* one
+``pr``-labelled record to ``BENCH_serve.json`` at the repo root —
+sustained requests/sec, p50/p99 assignment latency, tick percentiles, and
+``wal_on``/``wal_overhead_pct`` on the durable run — so the
+serving-performance trajectory accumulates across PRs, mirroring
+``BENCH_engine.json`` for the offline engine.
 """
 
 import json
@@ -39,24 +43,37 @@ SCENARIO = ExperimentConfig(
 #: a serving-stack collapse.
 _MIN_REQUESTS_PER_S = 50.0
 
+#: The WAL writes one small JSON frame per request batch and per tick;
+#: with ``fsync=batch`` the only hard flushes ride the tick commits, so
+#: durability should cost a sliver, not a collapse.  Generous ceiling for
+#: shared CI runners and their unpredictable filesystems.
+_MAX_WAL_OVERHEAD_PCT = 60.0
 
-def test_serve_throughput():
-    clear_caches()
-    service = DispatchService.from_config(SCENARIO, "NEAR")
+
+def _run_day(wal_path=None):
+    service = DispatchService.from_config(
+        SCENARIO, "NEAR", wal_path=wal_path, wal_fsync="batch"
+    )
     workload = [
         r for r in service.workload if r.request_time_s <= SCENARIO.horizon_s
     ]
-    with start_server_in_thread(service) as handle:
-        report = replay_workload(
-            handle.host,
-            handle.port,
-            workload,
-            batch_interval_s=SCENARIO.batch_interval_s,
-            speedup=0.0,
-            horizon_s=SCENARIO.horizon_s,
-        )
-        status = service.status()
+    try:
+        with start_server_in_thread(service) as handle:
+            report = replay_workload(
+                handle.host,
+                handle.port,
+                workload,
+                batch_interval_s=SCENARIO.batch_interval_s,
+                speedup=0.0,
+                horizon_s=SCENARIO.horizon_s,
+            )
+            status = service.status()
+    finally:
+        service.close()
+    return len(workload), report, status
 
+
+def _payload(report, status, mode):
     payload = {
         "scenario": {
             "city": SCENARIO.city,
@@ -65,7 +82,7 @@ def test_serve_throughput():
             "batch_interval_s": SCENARIO.batch_interval_s,
             "horizon_s": SCENARIO.horizon_s,
             "policy": "NEAR",
-            "mode": "lockstep-http",
+            "mode": mode,
         },
         **report.to_payload(),
         "tick_wall_max_ms": round(status["tick_wall_ms"]["max"], 3),
@@ -74,12 +91,46 @@ def test_serve_throughput():
             for name, seconds in status["phase_seconds"].items()
         },
     }
+    if status["wal"] is not None:
+        payload["fsync"] = status["wal"]["fsync"]
+        payload["wal_bytes"] = status["wal"]["bytes_appended"]
+        payload["wal_fsyncs"] = status["wal"]["fsyncs"]
+    return payload
+
+
+def test_serve_throughput(tmp_path):
+    clear_caches()
+    sent, report, status = _run_day()
+    payload = _payload(report, status, "lockstep-http")
     out = append_bench_record("BENCH_serve.json", payload)
     print(f"\n[BENCH_serve] -> {out}\n{json.dumps(payload, indent=2)}")
 
-    assert report.requests_sent == len(workload) > 0
+    assert report.requests_sent == sent > 0
     assert report.assigned > 0, "the serving stack committed no assignments"
     assert report.unresolved == 0, "requests left unresolved after the horizon"
     assert report.requests_per_s >= _MIN_REQUESTS_PER_S, (
         f"serving throughput collapsed: {report.requests_per_s:.1f} req/s"
+    )
+
+    # The same day again with durability on: the WAL's cost, quantified.
+    wal_sent, wal_report, wal_status = _run_day(
+        wal_path=tmp_path / "dispatch.wal"
+    )
+    overhead_pct = 100.0 * (
+        1.0 - wal_report.requests_per_s / report.requests_per_s
+    )
+    wal_payload = _payload(wal_report, wal_status, "lockstep-http")
+    wal_payload["wal_overhead_pct"] = round(overhead_pct, 2)
+    out = append_bench_record("BENCH_serve.json", wal_payload)
+    print(f"[BENCH_serve] -> {out}\n{json.dumps(wal_payload, indent=2)}")
+
+    assert wal_report.wal_on and not report.wal_on
+    assert wal_report.requests_sent == wal_sent == sent
+    # Logging must not change the day itself, only its durability.
+    assert wal_report.assigned == report.assigned
+    assert wal_report.reneged == report.reneged
+    assert overhead_pct <= _MAX_WAL_OVERHEAD_PCT, (
+        f"write-ahead logging cost {overhead_pct:.1f}% of serving "
+        f"throughput ({report.requests_per_s:.1f} -> "
+        f"{wal_report.requests_per_s:.1f} req/s)"
     )

@@ -1,0 +1,235 @@
+"""Durability smoke: kill -9 a live dispatch server, recover, demand bit identity.
+
+The CI-grade version of the recovery unit tests, with a real process
+boundary:
+
+1. Run the reference day — an embedded, uninterrupted server — and keep
+   its assignment log and economics.
+2. Launch ``repro serve --wal-dir ... --speedup 0`` as a subprocess and
+   drive the same workload over HTTP in lockstep.
+3. ``SIGKILL`` the server mid-day (no shutdown hook runs, exactly like a
+   crashed host), relaunch it with ``--recover`` on the same port, and
+   let the client's retry/backoff path carry the replay across the
+   restart.
+4. Tick through the horizon, finalize, and assert the recovered day's
+   assignment log and economics equal the uninterrupted run bit for bit.
+
+Exit status 0 on identity, 1 on any divergence (with a diff summary).
+
+Usage::
+
+    PYTHONPATH=src python scripts/durability_smoke.py --requests 300
+"""
+
+import argparse
+import http.client
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.experiments.config import profile_config
+from repro.serve.loadgen import ServeClient, _window_batches
+from repro.serve.server import start_server_in_thread
+from repro.serve.service import DispatchService, rider_to_payload
+from repro.sim.stepper import num_batches_for_horizon
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def sim_rows(assignments: list[dict]) -> list[tuple]:
+    """Assignment log minus wall-clock latency (not reproducible state)."""
+    return [
+        (
+            a["rider_id"],
+            a["driver_id"],
+            a["assign_time_s"],
+            a["pickup_eta_s"],
+            a["pickup_time_s"],
+        )
+        for a in assignments
+    ]
+
+
+def launch_server(args, port: int, wal_dir: str, recover: bool) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--profile",
+        args.profile,
+        "--policy",
+        args.policy,
+        "--speedup",
+        "0",
+        "--port",
+        str(port),
+        "--wal-dir",
+        wal_dir,
+        "--fsync",
+        args.fsync,
+    ]
+    if recover:
+        command.append("--recover")
+    return subprocess.Popen(command, env={**os.environ, "PYTHONPATH": "src"})
+
+
+def wait_ready(port: int, proc: subprocess.Popen, timeout_s: float = 120.0) -> None:
+    """Poll /status until the server answers (world build takes a while)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited during startup (rc={proc.returncode})")
+        probe = ServeClient("127.0.0.1", port, timeout_s=2.0, max_retries=0)
+        try:
+            probe.request("GET", "/status")
+            return
+        except (OSError, http.client.HTTPException):
+            time.sleep(0.2)
+        finally:
+            probe.close()
+    raise SystemExit(f"server on port {port} not ready after {timeout_s:.0f}s")
+
+
+def reference_run(config, args, stream):
+    """The never-crashed day, embedded in-process: the ground truth."""
+    service = DispatchService.from_config(config, args.policy)
+    with start_server_in_thread(service) as handle:
+        client = ServeClient(handle.host, handle.port)
+        try:
+            drive(client, config, stream)
+        finally:
+            client.close()
+        assignments = service.assignments()
+        status = service.status()
+    return sim_rows(assignments), economics(status)
+
+
+def economics(status: dict) -> dict:
+    return {
+        "served_orders": status["served_orders"],
+        "reneged_orders": status["reneged_orders"],
+        "total_revenue": status["total_revenue"],
+    }
+
+
+def drive(client, config, stream, on_batch=None) -> None:
+    """Lockstep replay plus horizon drain and finalize (idempotent ops
+    only, so it is safe to carry across a server restart)."""
+    batches = _window_batches(stream, config.batch_interval_s)
+    for position, (window, batch) in enumerate(batches):
+        if on_batch is not None:
+            on_batch(position)
+        if window > 0:
+            client.request("POST", "/tick", {"until_index": window})
+        client.request(
+            "POST", "/requests", [rider_to_payload(r) for r in batch]
+        )
+        client.request("POST", "/tick", {"until_index": window + 1})
+    total = num_batches_for_horizon(config.horizon_s, config.batch_interval_s)
+    client.request("POST", "/tick", {"until_index": total})
+    client.request("POST", "/finalize")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--policy", default="NEAR")
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--fsync", default="batch")
+    parser.add_argument(
+        "--kill-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of the request batches to serve before the SIGKILL",
+    )
+    args = parser.parse_args()
+
+    config = profile_config(args.profile)
+    workload = DispatchService.from_config(config, args.policy).workload
+    stream = sorted(workload, key=lambda r: (r.request_time_s, r.rider_id))
+    stream = stream[: args.requests]
+    print(f"workload: {len(stream)} requests over "
+          f"{stream[-1].request_time_s - stream[0].request_time_s:.0f}s of sim time")
+
+    print("[1/3] reference run (embedded, uninterrupted)...")
+    ref_rows, ref_econ = reference_run(config, args, stream)
+    print(f"      {len(ref_rows)} assignments, {ref_econ}")
+
+    wal_dir = tempfile.mkdtemp(prefix="durability-smoke-")
+    port = free_port()
+    print(f"[2/3] crashy run: repro serve on port {port}, wal at {wal_dir}")
+    proc = launch_server(args, port, wal_dir, recover=False)
+    state = {"proc": proc}
+    try:
+        wait_ready(port, proc)
+        # Generous retry budget: the client must survive the restart gap.
+        client = ServeClient("127.0.0.1", port, max_retries=40, max_backoff_s=2.0)
+        num_batches = len(_window_batches(stream, config.batch_interval_s))
+        kill_at = max(1, int(num_batches * args.kill_fraction))
+
+        def on_batch(position: int) -> None:
+            if position != kill_at:
+                return
+            print(f"      SIGKILL after batch {position}/{num_batches}")
+            state["proc"].send_signal(signal.SIGKILL)
+            state["proc"].wait()
+            print("      relaunching with --recover on the same port...")
+            state["proc"] = launch_server(args, port, wal_dir, recover=True)
+            wait_ready(port, state["proc"])
+
+        try:
+            drive(client, config, stream, on_batch=on_batch)
+            status = client.request("GET", "/status")
+            assignments = client.request("GET", "/assignments")["assignments"]
+            reconnects = client.reconnects
+        finally:
+            client.close()
+    finally:
+        if state["proc"].poll() is None:
+            state["proc"].kill()
+            state["proc"].wait()
+
+    recovered = status.get("recovered")
+    if recovered is None:
+        print("FAIL: server never reported a recovery (kill landed too late?)")
+        return 1
+    print(f"      recovered: {recovered['ticks']} ticks / "
+          f"{recovered['requests']} requests replayed from the log; "
+          f"client reconnects: {reconnects}")
+
+    print("[3/3] comparing recovered day against the uninterrupted day...")
+    rows = sim_rows(assignments)
+    econ = economics(status)
+    failures = []
+    if rows != ref_rows:
+        common = sum(1 for a, b in zip(rows, ref_rows) if a == b)
+        failures.append(
+            f"assignment logs diverge: {len(rows)} vs {len(ref_rows)} rows, "
+            f"first {common} identical"
+        )
+    if econ != ref_econ:
+        failures.append(f"economics diverge: {econ} vs {ref_econ}")
+    if reconnects == 0:
+        failures.append(
+            "client never reconnected — the kill did not interrupt serving"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {len(rows)} assignments and final economics are bit-identical "
+          "across the kill -9 / --recover boundary")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

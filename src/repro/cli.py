@@ -29,7 +29,18 @@ Subcommands
     selected policy on each window boundary.  ``--speedup`` maps wall time
     onto simulation time (the ticker fires every ``Delta / speedup`` wall
     seconds; 0 disables it — the clock then only advances via
-    ``POST /tick``, for lockstep drivers).
+    ``POST /tick``, for lockstep drivers).  ``--wal-dir DIR`` makes the
+    day durable: every accepted request, tick, and committed assignment
+    is written ahead to ``DIR/dispatch.wal`` (``--fsync`` picks the
+    always / batch / never durability-vs-throughput point), and after a
+    crash ``--recover`` replays the log through a fresh service and
+    resumes serving mid-day.
+
+``repro recover --wal-dir DIR --policy NEAR [--profile tiny]``
+    Replay a write-ahead log offline (read-only — the log is not
+    modified unless a torn tail from a crash mid-write is truncated) and
+    print what a recovery would restore: records replayed, requests,
+    ticks, assignments, economics.
 
 ``repro loadgen [--embedded] [--speedup 0] [--duration 3600] [--max-requests N]``
     Replay the scenario's workload against a dispatch server (or
@@ -66,6 +77,7 @@ from repro.experiments.config import (
     profile_config,
 )
 from repro.experiments.runner import available_policies, run_policy
+from repro.serve.wal import FSYNC_POLICIES as WAL_FSYNC_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -243,6 +255,59 @@ def build_parser() -> argparse.ArgumentParser:
         default="deepst",
         help="demand model for -P variants (ha / lr / gbrt / deepst)",
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead log directory: log every accepted request, tick, "
+        "and committed assignment to <dir>/dispatch.wal so the day "
+        "survives a crash",
+    )
+    serve.add_argument(
+        "--fsync",
+        default="batch",
+        choices=WAL_FSYNC_POLICIES,
+        help="WAL durability: 'always' fsyncs every record, 'batch' "
+        "(default) fsyncs at tick commits, 'never' relies on buffered "
+        "writes",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="replay <wal-dir>/dispatch.wal through a fresh service before "
+        "serving: resume a crashed day exactly where its log ends",
+    )
+
+    recover = sub.add_parser(
+        "recover", help="replay a dispatch write-ahead log and report it"
+    )
+    recover.add_argument(
+        "--wal-dir",
+        required=True,
+        help="directory holding dispatch.wal (as given to repro serve)",
+    )
+    recover.add_argument(
+        "--policy", default="NEAR", help="policy the logged server ran"
+    )
+    recover.add_argument("--profile", default=None, help="tiny / small / paper")
+    recover.add_argument("--city", default=None, help="city scenario")
+    recover.add_argument(
+        "--cost-model", default=None, choices=COST_MODEL_NAMES,
+        help="travel-cost model",
+    )
+    recover.add_argument(
+        "--batch-interval", type=float, default=None,
+        help="batch window Delta in seconds",
+    )
+    recover.add_argument(
+        "--predictor", default="deepst",
+        help="demand model for -P variants",
+    )
+    recover.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovery report, final status, and assignment log "
+        "as one JSON object (for scripts and CI)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="replay the scenario workload against a server"
@@ -303,6 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--predictor", default="deepst",
         help="demand model for -P variants",
     )
+    loadgen.add_argument(
+        "--wal-dir",
+        default=None,
+        help="(with --embedded) attach a write-ahead log to the embedded "
+        "server, measuring serving throughput with durability on",
+    )
+    loadgen.add_argument(
+        "--fsync",
+        default="batch",
+        choices=WAL_FSYNC_POLICIES,
+        help="WAL durability policy for --wal-dir (always / batch / never)",
+    )
+    loadgen.add_argument(
+        "--max-tick-gap",
+        type=float,
+        default=None,
+        help="exit non-zero if the server's max wall gap between ticks "
+        "exceeded this many seconds (starvation guard for paced soaks)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the cross-process run cache"
@@ -347,8 +431,10 @@ def _cmd_list() -> int:
     print("  " + ", ".join(COST_MODEL_NAMES))
     print("\nProfiles: tiny, small, paper (or set REPRO_SCALE)")
     print(
-        "\nServing: 'repro serve' runs the online dispatch server; "
-        "'repro loadgen' replays the scenario workload against it."
+        "\nServing: 'repro serve' runs the online dispatch server "
+        "(--wal-dir for a durable, crash-recoverable day); 'repro loadgen' "
+        "replays the scenario workload against it; 'repro recover' replays "
+        "a write-ahead log and reports what it restores."
     )
     return 0
 
@@ -605,21 +691,60 @@ def _serve_config(args: argparse.Namespace) -> ExperimentConfig | None:
         return None
 
 
+def _wal_path(wal_dir: str):
+    from pathlib import Path
+
+    return Path(wal_dir) / "dispatch.wal"
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve.server import DispatchServer
     from repro.serve.service import DispatchService
+    from repro.serve.wal import WalError
 
     if args.speedup < 0:
         print("--speedup must be >= 0 (0 = tick only via POST /tick)", file=sys.stderr)
         return 2
+    if args.recover and args.wal_dir is None:
+        print("--recover requires --wal-dir", file=sys.stderr)
+        return 2
     config = _serve_config(args)
     if config is None:
         return 2
-    service = DispatchService.from_config(
-        config, args.policy, predictor_name=args.predictor
-    )
+    if args.recover:
+        wal_path = _wal_path(args.wal_dir)
+        if not wal_path.exists():
+            print(f"no write-ahead log at {wal_path}", file=sys.stderr)
+            return 2
+        try:
+            service, report = DispatchService.recover(
+                wal_path,
+                config,
+                args.policy,
+                predictor_name=args.predictor,
+                fsync=args.fsync,
+            )
+        except WalError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+    else:
+        try:
+            service = DispatchService.from_config(
+                config,
+                args.policy,
+                predictor_name=args.predictor,
+                wal_path=(
+                    _wal_path(args.wal_dir) if args.wal_dir is not None else None
+                ),
+                wal_fsync=args.fsync,
+            )
+        except WalError as exc:
+            # A non-empty log without --recover: refuse to fork the day.
+            print(str(exc), file=sys.stderr)
+            return 2
     tick_interval = (
         config.batch_interval_s / args.speedup if args.speedup > 0 else None
     )
@@ -640,6 +765,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else "ticker=off (POST /tick to advance)"
             )
         )
+        if args.wal_dir is not None:
+            print(
+                f"  wal={_wal_path(args.wal_dir)} fsync={args.fsync}"
+                + (" (recovered)" if args.recover else "")
+            )
         print("  endpoints: POST /requests /tick /finalize /shutdown; "
               "GET /status /assignments /requests/<id>")
         await server.serve_until_stopped()
@@ -648,6 +778,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.service import DispatchService
+    from repro.serve.wal import WalError
+
+    config = _serve_config(args)
+    if config is None:
+        return 2
+    wal_path = _wal_path(args.wal_dir)
+    if not wal_path.exists():
+        print(f"no write-ahead log at {wal_path}", file=sys.stderr)
+        return 2
+    try:
+        service, report = DispatchService.recover(
+            wal_path,
+            config,
+            args.policy,
+            predictor_name=args.predictor,
+            resume=False,
+        )
+    except WalError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    status = service.status()
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "report": report.to_payload(),
+                    "status": {
+                        key: status[key]
+                        for key in (
+                            "policy",
+                            "sim_time_s",
+                            "next_batch_index",
+                            "requests_received",
+                            "waiting",
+                            "pending",
+                            "served_orders",
+                            "reneged_orders",
+                            "total_revenue",
+                        )
+                    },
+                    "assignments": service.assignments(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(report.render())
+    print(f"waiting           {status['waiting']} (+{status['pending']} pending)")
+    print(f"served orders     {status['served_orders']}")
+    print(f"total revenue     {status['total_revenue']:.1f}")
     return 0
 
 
@@ -656,6 +845,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     if args.min_assignments < 0:
         print("--min-assignments must be >= 0", file=sys.stderr)
+        return 2
+    if args.wal_dir is not None and not args.embedded:
+        print("--wal-dir requires --embedded (the server owns its WAL)", file=sys.stderr)
         return 2
     config = _serve_config(args)
     if config is None:
@@ -670,14 +862,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         from repro.serve.service import DispatchService
 
         service = DispatchService.from_config(
-            config, args.policy, predictor_name=args.predictor
+            config,
+            args.policy,
+            predictor_name=args.predictor,
+            wal_path=(
+                _wal_path(args.wal_dir) if args.wal_dir is not None else None
+            ),
+            wal_fsync=args.fsync,
         )
         tick_interval = (
             config.batch_interval_s / args.speedup if args.speedup > 0 else None
         )
         handle = start_server_in_thread(service, tick_interval_s=tick_interval)
         host, port = handle.host, handle.port
-        print(f"embedded server on http://{host}:{port}")
+        print(
+            f"embedded server on http://{host}:{port}"
+            + (
+                f" (wal={_wal_path(args.wal_dir)} fsync={args.fsync})"
+                if args.wal_dir is not None
+                else ""
+            )
+        )
     else:
         host, port = args.host, args.port
 
@@ -694,6 +899,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     finally:
         if handle is not None:
             handle.stop()
+            handle.service.close()
     print(report.render())
 
     if not args.no_bench:
@@ -705,12 +911,24 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "profile": args.profile or "default",
             **report.to_payload(),
         }
+        if args.wal_dir is not None:
+            record["fsync"] = args.fsync
         path = append_bench_record("BENCH_serve.json", record)
         print(f"\n[appended to {path}]")
     if report.assigned < args.min_assignments:
         print(
             f"FAIL: {report.assigned} assignments < "
             f"--min-assignments {args.min_assignments}",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_tick_gap is not None
+        and report.tick_gap_max_ms > 1e3 * args.max_tick_gap
+    ):
+        print(
+            f"FAIL: max tick gap {report.tick_gap_max_ms / 1e3:.3f}s > "
+            f"--max-tick-gap {args.max_tick_gap:g}s (tick starvation)",
             file=sys.stderr,
         )
         return 1
@@ -783,6 +1001,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     if args.command == "cache":

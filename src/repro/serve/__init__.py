@@ -9,19 +9,44 @@ dependency-free asyncio HTTP front end, and :mod:`repro.serve.loadgen`
 replays a scenario's workload against it at configurable multiples of
 real time, reporting sustained requests/sec and assignment latency into
 the append-only ``BENCH_serve.json`` history.
+
+:mod:`repro.serve.wal` adds the durability layer: a write-ahead log of
+every accepted request, tick, and committed assignment, with
+:meth:`DispatchService.recover` rebuilding a mid-day service from the log
+after a crash (``repro serve --wal-dir ... [--recover]``).
 """
 
-from repro.serve.service import DispatchService, rider_from_payload, rider_to_payload
+from repro.serve.service import (
+    DispatchService,
+    RecoveryReport,
+    rider_from_payload,
+    rider_to_payload,
+)
 from repro.serve.server import DispatchServer, ServerHandle, start_server_in_thread
 from repro.serve.loadgen import LoadgenReport, replay_workload
+from repro.serve.wal import (
+    WalCorruptionError,
+    WalError,
+    WalReplayError,
+    WriteAheadLog,
+    read_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "DispatchService",
     "DispatchServer",
-    "ServerHandle",
     "LoadgenReport",
+    "RecoveryReport",
+    "ServerHandle",
+    "WalCorruptionError",
+    "WalError",
+    "WalReplayError",
+    "WriteAheadLog",
+    "read_wal",
     "replay_workload",
     "rider_from_payload",
     "rider_to_payload",
     "start_server_in_thread",
+    "truncate_torn_tail",
 ]

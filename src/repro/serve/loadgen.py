@@ -32,29 +32,58 @@ __all__ = ["LoadgenReport", "ServeClient", "replay_workload"]
 
 
 class ServeClient:
-    """A keep-alive JSON client for the dispatch server."""
+    """A keep-alive JSON client for the dispatch server.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+    Connection failures are retried with exponential backoff (up to
+    ``max_retries`` reconnect attempts per request), so a paced client
+    rides through a server restart instead of dying on the first reset.
+    Retries are safe because the server's mutating surface is idempotent:
+    ``POST /requests`` dedupes on rider id and lockstep ticks address the
+    batch clock absolutely (``until_index``), so resending an operation
+    whose response was lost cannot double-apply it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        max_retries: int = 8,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+    ):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.reconnects = 0
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
 
     def request(self, method: str, path: str, payload=None) -> dict:
         body = None if payload is None else json.dumps(payload)
-        try:
-            self._conn.request(method, path, body=body)
-            response = self._conn.getresponse()
-            data = response.read()
-        except (http.client.HTTPException, OSError):
-            # One reconnect: the server may have idled the connection out.
-            self._conn.close()
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout_s
-            )
-            self._conn.request(method, path, body=body)
-            response = self._conn.getresponse()
-            data = response.read()
+        attempt = 0
+        while True:
+            try:
+                self._conn.request(method, path, body=body)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError):
+                # Reconnect and retry: the server may have idled the
+                # connection out — or be restarting after a crash.
+                self._conn.close()
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+                if attempt >= self.max_retries:
+                    raise
+                _time.sleep(
+                    min(self.max_backoff_s, self.backoff_s * (2**attempt))
+                )
+                attempt += 1
+                self.reconnects += 1
         parsed = json.loads(data) if data else {}
         if response.status >= 400:
             raise RuntimeError(
@@ -83,6 +112,15 @@ class LoadgenReport:
     assignment_latency_p99_s: float
     tick_wall_p50_ms: float
     tick_wall_p99_ms: float
+    #: Wall gap between consecutive server ticks (starvation signal for
+    #: paced soaks: a healthy ticker keeps the max near ``Delta/speedup``).
+    tick_gap_p50_ms: float
+    tick_gap_max_ms: float
+    #: Client reconnect attempts that were needed (a restarted or flaky
+    #: server shows up here; 0 on a clean run).
+    reconnects: int
+    #: Whether the server ran with a write-ahead log attached.
+    wal_on: bool
     batch_interval_s: float
     policy: str
 
@@ -109,6 +147,9 @@ class LoadgenReport:
                 f"assignment p99    {1e3 * self.assignment_latency_p99_s:.2f} ms",
                 f"tick p50          {self.tick_wall_p50_ms:.2f} ms",
                 f"tick p99          {self.tick_wall_p99_ms:.2f} ms",
+                f"tick gap max      {self.tick_gap_max_ms:.2f} ms",
+                f"wal               {'on' if self.wal_on else 'off'}"
+                + (f"  (reconnects {self.reconnects})" if self.reconnects else ""),
             ]
         )
 
@@ -207,6 +248,10 @@ def replay_workload(
         assignment_latency_p99_s=status["assignment_latency_s"]["p99"],
         tick_wall_p50_ms=status["tick_wall_ms"]["p50"],
         tick_wall_p99_ms=status["tick_wall_ms"]["p99"],
+        tick_gap_p50_ms=status["tick_gap_wall_ms"]["p50"],
+        tick_gap_max_ms=status["tick_gap_wall_ms"]["max"],
+        reconnects=client.reconnects,
+        wal_on=status.get("wal") is not None,
         batch_interval_s=batch_interval_s,
         policy=status["policy"],
     )
@@ -217,20 +262,20 @@ def _replay_lockstep(
 ) -> int:
     from repro.serve.service import rider_to_payload
 
+    # Ticks are addressed absolutely (`until_index`), never relatively:
+    # the server answers idempotently, so a retry after a lost response —
+    # including across a crash-and-recover restart — cannot double-tick.
     sent = 0
-    next_tick_index = 0
     for window_index, batch in _window_batches(stream, batch_interval_s):
-        if window_index > next_tick_index:
+        if window_index > 0:
             # Catch the batch clock up through the empty windows in one go.
             client.request(
-                "POST", "/tick", {"count": window_index - next_tick_index}
+                "POST", "/tick", {"until_index": window_index}
             )
-            next_tick_index = window_index
         client.request(
             "POST", "/requests", [rider_to_payload(r) for r in batch]
         )
-        client.request("POST", "/tick")
-        next_tick_index += 1
+        client.request("POST", "/tick", {"until_index": window_index + 1})
         sent += len(batch)
     return sent
 
@@ -269,10 +314,7 @@ def _tick_through_horizon(
     from repro.sim.stepper import num_batches_for_horizon
 
     num_batches = num_batches_for_horizon(horizon_s, batch_interval_s)
-    status = client.request("GET", "/status")
-    remaining = num_batches - status["next_batch_index"]
-    if remaining > 0:
-        client.request("POST", "/tick", {"count": remaining})
+    client.request("POST", "/tick", {"until_index": num_batches})
 
 
 def _drain(
@@ -297,11 +339,14 @@ def _drain(
         sim_time = status["sim_time_s"]
         if speedup == 0.0:
             # Once the batch clock passes the last deadline the next tick
-            # reneges every remaining waiter, so this terminates.
-            if sim_time is not None and sim_time > max_deadline:
-                client.request("POST", "/tick")
-            else:
-                client.request("POST", "/tick", {"count": 16})
+            # reneges every remaining waiter, so this terminates.  Ticks
+            # stay absolutely addressed (idempotent) even here.
+            ahead = 1 if sim_time is not None and sim_time > max_deadline else 16
+            client.request(
+                "POST",
+                "/tick",
+                {"until_index": status["next_batch_index"] + ahead},
+            )
         else:
             if sim_time is not None and sim_time > max_deadline:
                 return  # the server's own ticker has passed every deadline

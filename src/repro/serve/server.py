@@ -8,8 +8,11 @@ requests).  Endpoints:
   (JSON list); responds with the accepted count and the window that will
   first consider them.
 - ``POST /tick`` — fire batch-window ticks (body ``{"count": n}``,
-  default 1).  Exposed for lockstep load generation and tests; live
-  deployments run the built-in wall-clock ticker instead.
+  default 1, or ``{"until_index": k}`` to advance the clock *to* batch
+  ``k`` — idempotent, so a client retrying a lost response across a
+  server restart cannot double-advance the day).  Exposed for lockstep
+  load generation and tests; live deployments run the built-in
+  wall-clock ticker instead.
 - ``POST /finalize`` — post-horizon accounting (idempotent).
 - ``GET /status`` — clock, queue depths, totals, per-phase profile
   (``phase_seconds``), tick and assignment-latency percentiles.
@@ -223,6 +226,10 @@ class DispatchServer:
                 return 200, await asyncio.to_thread(service.submit, payload)
             if path == "/tick":
                 payload = parse_body({})
+                if isinstance(payload, dict) and "until_index" in payload:
+                    return 200, await asyncio.to_thread(
+                        service.tick_until, int(payload["until_index"])
+                    )
                 count = int(payload.get("count", 1)) if isinstance(payload, dict) else 1
                 return 200, await asyncio.to_thread(service.tick, count)
             if path == "/finalize":

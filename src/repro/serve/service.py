@@ -10,10 +10,22 @@ surfaces the stepper's per-phase profiling.
 
 The service speaks simulation time internally — the HTTP layer (or the
 load generator) decides how fast wall time maps onto it.
+
+With a :class:`~repro.serve.wal.WriteAheadLog` attached, every accepted
+request batch, every tick (with its committed assignments), and the final
+accounting are logged before the caller is acknowledged, and
+:meth:`DispatchService.recover` rebuilds a mid-day service from the log
+alone: the same world is built from the config, the logged ingest/tick
+sequence is replayed through a fresh stepper, and each replayed tick's
+assignments are checked bit-for-bit against what the log recorded.
+Request intake is idempotent (a rider id already known is counted as a
+duplicate, not an error), so a client retrying through a server restart —
+and the recovery replay itself — never double-ingests.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
 import time as _time
@@ -23,12 +35,19 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_serve_world
 from repro.geo.grid import GridPartition
 from repro.geo.point import GeoPoint
+from repro.serve.wal import (
+    WalError,
+    WalReplayError,
+    WriteAheadLog,
+    truncate_torn_tail,
+)
 from repro.sim.entities import Rider, RiderStatus
-from repro.sim.stepper import SimConfig, SimulationStepper
+from repro.sim.stepper import BatchOutcome, SimConfig, SimulationStepper
 
 __all__ = [
     "AssignmentRecord",
     "DispatchService",
+    "RecoveryReport",
     "rider_from_payload",
     "rider_to_payload",
 ]
@@ -100,6 +119,80 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+def _config_fingerprint(
+    config: ExperimentConfig, policy_name: str, predictor_name: str
+) -> dict:
+    """What pins a WAL to the world that wrote it.
+
+    The stepper is deterministic given the config-built world plus the
+    ingest/tick sequence, so replaying a log against a *different* config
+    would silently produce a different day; the fingerprint makes that a
+    loud error instead.
+    """
+    return {
+        "policy": policy_name,
+        "predictor": predictor_name,
+        "config": dataclasses.asdict(config),
+    }
+
+
+def _assignment_row(applied) -> list:
+    """JSON-safe row logged (and checked on replay) per committed pair."""
+    return [
+        applied.rider_id,
+        applied.driver_id,
+        applied.assign_time_s,
+        applied.pickup_eta_s,
+        applied.pickup_time_s,
+        applied.dropoff_time_s,
+    ]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DispatchService.recover` rebuilt from the log."""
+
+    wal_path: str
+    records: int
+    requests: int
+    ticks: int
+    assignments: int
+    reneged: int
+    sim_time_s: float | None
+    finalized: bool
+    #: Bytes of torn tail dropped before replay (0 for a clean log).
+    torn_bytes: int
+    #: Whether the recovered service re-attached the log for appending.
+    resumed: bool
+
+    def to_payload(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        """Human summary for the CLI."""
+        lines = [
+            f"recovered from    {self.wal_path}",
+            f"records replayed  {self.records}"
+            + (
+                f" (torn tail truncated: {self.torn_bytes} bytes)"
+                if self.torn_bytes
+                else ""
+            ),
+            f"requests restored {self.requests}",
+            f"ticks replayed    {self.ticks}"
+            + (
+                f" (sim clock {self.sim_time_s:g}s)"
+                if self.sim_time_s is not None
+                else ""
+            ),
+            f"assignments       {self.assignments}",
+            f"reneged           {self.reneged}",
+            f"finalized         {'yes' if self.finalized else 'no'}",
+            f"log resumed       {'yes' if self.resumed else 'no (read-only replay)'}",
+        ]
+        return "\n".join(lines)
+
+
 class DispatchService:
     """Thread-safe online dispatch over the tickable simulation core."""
 
@@ -120,9 +213,16 @@ class DispatchService:
         self._assignment_order: list[int] = []
         self._latencies_s: list[float] = []
         self._tick_wall_s: list[float] = []
+        self._tick_stamps_wall: list[float] = []
         self._reneged = 0
         self._received = 0
+        self._duplicates = 0
         self._started_wall = _time.perf_counter()
+        self._wal: WriteAheadLog | None = None
+        self._fingerprint: dict | None = None
+        self._finalize_logged = False
+        self._recovering = False
+        self._recovery: RecoveryReport | None = None
 
     @classmethod
     def from_config(
@@ -131,12 +231,19 @@ class DispatchService:
         policy_name: str,
         predictor_name: str = "deepst",
         profile_phases: bool = True,
+        wal_path=None,
+        wal_fsync: str = "batch",
     ) -> "DispatchService":
         """Build a service for ``config`` via the standard world factory.
 
         The driver fleet, cost model, policy, and demand source are exactly
         what :func:`repro.experiments.runner.run_policy` would build, so a
         replayed stream through this service is the offline simulation.
+
+        ``wal_path`` attaches a write-ahead log (created if missing; a
+        ``meta`` fingerprint record is written to a fresh log).  To resume
+        an *existing* log use :meth:`recover` instead — appending to a
+        non-empty log without replaying it first raises.
         """
         riders, drivers, grid, cost_model, policy, demand = build_serve_world(
             config, policy_name, predictor_name
@@ -156,7 +263,167 @@ class DispatchService:
             ),
             demand=demand,
         )
-        return cls(stepper, workload=riders, horizon_s=config.horizon_s)
+        service = cls(stepper, workload=riders, horizon_s=config.horizon_s)
+        service._fingerprint = _config_fingerprint(
+            config, policy_name, predictor_name
+        )
+        if wal_path is not None:
+            service.attach_wal(WriteAheadLog(wal_path, fsync=wal_fsync))
+        return service
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_wal(self, wal: WriteAheadLog) -> None:
+        """Log every future durable event to ``wal``.
+
+        A fresh (empty) log gets the service's ``meta`` fingerprint record;
+        attaching a non-empty log is refused unless its records were just
+        replayed into this very service (the :meth:`recover` path) —
+        blindly appending to unreplayed history would fork the day.
+        """
+        with self._lock:
+            if self._wal is not None:
+                raise WalError("service already has a write-ahead log attached")
+            existing = wal.path.stat().st_size if wal.path.exists() else 0
+            if existing and self._recovery is None:
+                raise WalError(
+                    f"refusing to append to non-empty log {wal.path} without "
+                    "recovery; use DispatchService.recover() (or repro serve "
+                    "--recover) to replay it first"
+                )
+            self._wal = wal
+            if existing == 0:
+                wal.append(
+                    {"type": "meta", "fingerprint": self._fingerprint},
+                    commit=True,
+                )
+
+    def close(self) -> None:
+        """Flush and close the attached write-ahead log (if any)."""
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+
+    @classmethod
+    def recover(
+        cls,
+        wal_path,
+        config: ExperimentConfig,
+        policy_name: str,
+        predictor_name: str = "deepst",
+        profile_phases: bool = True,
+        fsync: str = "batch",
+        resume: bool = True,
+    ) -> "tuple[DispatchService, RecoveryReport]":
+        """Rebuild a mid-day service by replaying its write-ahead log.
+
+        A torn tail (crash mid-write) is truncated in place before replay;
+        corruption anywhere else raises
+        :class:`~repro.serve.wal.WalCorruptionError`.  The log's ``meta``
+        fingerprint must match ``config``/``policy_name``/
+        ``predictor_name``, and every replayed tick's assignments are
+        compared bit-for-bit against what the log recorded — any
+        divergence raises :class:`~repro.serve.wal.WalReplayError` rather
+        than resuming a forked history.
+
+        With ``resume`` (default) the log is re-attached for appending, so
+        the recovered service continues the same file; ``resume=False``
+        gives a read-only reconstruction (``repro recover``).
+        """
+        result = truncate_torn_tail(wal_path)
+        service = cls.from_config(
+            config,
+            policy_name,
+            predictor_name=predictor_name,
+            profile_phases=profile_phases,
+        )
+        records = result.records
+        if records and records[0].get("type") != "meta":
+            raise WalError(f"log {wal_path} does not start with a meta record")
+        if records:
+            logged = records[0].get("fingerprint")
+            expected = service._fingerprint
+            if logged != expected:
+                mismatched = sorted(
+                    key
+                    for key in set(logged or {}) | set(expected or {})
+                    if (logged or {}).get(key) != (expected or {}).get(key)
+                )
+                raise WalError(
+                    f"log {wal_path} was written by a different world "
+                    f"(fingerprint mismatch in: {', '.join(mismatched)})"
+                )
+        requests = ticks = assignments = 0
+        finalized = False
+        service._recovering = True
+        try:
+            for position, record in enumerate(records[1:], start=1):
+                kind = record.get("type")
+                if kind == "request":
+                    requests += service._replay_request(record)
+                elif kind == "tick":
+                    assignments += service._replay_tick(record, position)
+                    ticks += 1
+                elif kind == "finalize":
+                    service.finalize()
+                    finalized = True
+                else:
+                    raise WalError(
+                        f"unknown record type {kind!r} at position {position}"
+                    )
+        finally:
+            service._recovering = False
+        service._finalize_logged = finalized
+        report = RecoveryReport(
+            wal_path=str(wal_path),
+            records=len(records),
+            requests=requests,
+            ticks=ticks,
+            assignments=assignments,
+            reneged=service.stepper.metrics.reneged_orders,
+            sim_time_s=service.stepper.time_s,
+            finalized=finalized,
+            torn_bytes=result.torn_bytes,
+            resumed=resume,
+        )
+        service._recovery = report
+        if resume:
+            service.attach_wal(WriteAheadLog(wal_path, fsync=fsync))
+        return service, report
+
+    def _replay_request(self, record: dict) -> int:
+        """Re-ingest one logged request batch (idempotent on rider ids).
+
+        Bypasses :meth:`submit` so no wall-clock latency is invented for
+        requests that were actually submitted before the crash.
+        """
+        grid = self.stepper.grid
+        riders = [rider_from_payload(p, grid) for p in record["riders"]]
+        fresh = [r for r in riders if self.stepper.rider(r.rider_id) is None]
+        count = self.stepper.ingest(fresh) if fresh else 0
+        self._received += count
+        return count
+
+    def _replay_tick(self, record: dict, position: int) -> int:
+        """Re-fire one logged tick and verify it commits what the log says."""
+        outcome = self._tick_once()
+        if (outcome.batch_index, outcome.time_s) != (
+            record["index"],
+            record["time_s"],
+        ):
+            raise WalReplayError(
+                f"tick record {position}: replay fired batch "
+                f"{outcome.batch_index} at t={outcome.time_s} but the log "
+                f"recorded batch {record['index']} at t={record['time_s']}"
+            )
+        replayed = [_assignment_row(a) for a in outcome.assignments]
+        if replayed != record["assignments"]:
+            raise WalReplayError(
+                f"tick record {position} (t={record['time_s']}): replayed "
+                f"assignments diverge from the log — logged "
+                f"{record['assignments']!r}, replayed {replayed!r}"
+            )
+        return len(replayed)
 
     # -- intake --------------------------------------------------------------
 
@@ -166,6 +433,12 @@ class DispatchService:
         Returns the accepted count and the window that will first consider
         the request(s).  A request whose window already ticked joins the
         next one — the stepper guarantees it is never dropped.
+
+        Intake is idempotent: a rider id the service already knows is
+        counted under ``duplicates`` and otherwise ignored, so a client
+        retrying a request whose acknowledgement was lost (e.g. across a
+        server restart) cannot double-ingest.  With a WAL attached, the
+        accepted requests are logged before the caller is acknowledged.
         """
         if isinstance(payloads, dict):
             payloads = [payloads]
@@ -173,12 +446,32 @@ class DispatchService:
         riders = [rider_from_payload(p, grid) for p in payloads]
         wall = _time.perf_counter()
         with self._lock:
-            accepted = self.stepper.ingest(riders)
+            fresh: list[Rider] = []
+            batch_ids = set()
             for rider in riders:
+                if (
+                    rider.rider_id in batch_ids
+                    or self.stepper.rider(rider.rider_id) is not None
+                ):
+                    continue
+                batch_ids.add(rider.rider_id)
+                fresh.append(rider)
+            accepted = self.stepper.ingest(fresh) if fresh else 0
+            duplicates = len(riders) - len(fresh)
+            self._duplicates += duplicates
+            for rider in fresh:
                 self._submitted_wall[rider.rider_id] = wall
             self._received += accepted
+            if self._wal is not None and fresh:
+                self._wal.append(
+                    {
+                        "type": "request",
+                        "riders": [rider_to_payload(r) for r in fresh],
+                    }
+                )
             return {
                 "accepted": accepted,
+                "duplicates": duplicates,
                 "next_batch_index": self.stepper.next_batch_index,
                 "next_batch_time_s": self.stepper.next_batch_time(),
             }
@@ -193,46 +486,91 @@ class DispatchService:
         """Fire ``count`` batch-window ticks on the ``Delta`` grid."""
         if count < 1:
             raise ValueError("tick count must be >= 1")
+        with self._lock:
+            return self._tick_n(count)
+
+    def tick_until(self, index: int) -> dict:
+        """Advance the batch clock so ``next_batch_index`` reaches ``index``.
+
+        Idempotent (unlike :meth:`tick`): a clock already at or past
+        ``index`` fires nothing, so a client retrying a lost tick response
+        cannot double-advance the day.
+        """
+        with self._lock:
+            return self._tick_n(max(0, index - self.stepper.next_batch_index))
+
+    def _tick_n(self, count: int) -> dict:
+        """Fire ``count`` ticks (callers hold the lock; 0 is a no-op)."""
         assignments = 0
         reneged = 0
-        with self._lock:
-            for _ in range(count):
-                start = _time.perf_counter()
-                outcome = self.stepper.step()
-                tick_wall = _time.perf_counter() - start
-                self._tick_wall_s.append(tick_wall)
-                self._reneged += outcome.reneged
-                reneged += outcome.reneged
-                assignments += len(outcome.assignments)
-                for applied in outcome.assignments:
-                    submitted = self._submitted_wall.get(applied.rider_id)
-                    latency = None
-                    if submitted is not None:
-                        latency = max(0.0, start + tick_wall - submitted)
-                        self._latencies_s.append(latency)
-                    record = AssignmentRecord(
-                        rider_id=applied.rider_id,
-                        driver_id=applied.driver_id,
-                        assign_time_s=applied.assign_time_s,
-                        pickup_eta_s=applied.pickup_eta_s,
-                        pickup_time_s=applied.pickup_time_s,
-                        latency_wall_s=latency,
-                    )
-                    self._assignments[applied.rider_id] = record
-                    self._assignment_order.append(applied.rider_id)
-            return {
-                "ticks": count,
-                "time_s": self.stepper.time_s,
-                "assignments": assignments,
-                "reneged": reneged,
-                "waiting": self.stepper.waiting_count,
-                "pending": self.stepper.pending_count,
-            }
+        for _ in range(count):
+            outcome = self._tick_once()
+            assignments += len(outcome.assignments)
+            reneged += outcome.reneged
+        return {
+            "ticks": count,
+            "time_s": self.stepper.time_s,
+            "next_batch_index": self.stepper.next_batch_index,
+            "assignments": assignments,
+            "reneged": reneged,
+            "waiting": self.stepper.waiting_count,
+            "pending": self.stepper.pending_count,
+        }
+
+    def _tick_once(self) -> BatchOutcome:
+        """One batch tick: step, record latencies, log the commit.
+
+        Recovery replay reuses this path (single-threaded, before serving
+        starts) with ``_recovering`` set, which skips the wall-clock
+        bookkeeping — replayed ticks are not serving measurements — and
+        has no WAL attached yet, so nothing is re-logged.
+        """
+        start = _time.perf_counter()
+        outcome = self.stepper.step()
+        tick_wall = _time.perf_counter() - start
+        recovering = self._recovering
+        if not recovering:
+            self._tick_wall_s.append(tick_wall)
+            self._tick_stamps_wall.append(start)
+        self._reneged += outcome.reneged
+        for applied in outcome.assignments:
+            latency = None
+            if not recovering:
+                submitted = self._submitted_wall.get(applied.rider_id)
+                if submitted is not None:
+                    latency = max(0.0, start + tick_wall - submitted)
+                    self._latencies_s.append(latency)
+            record = AssignmentRecord(
+                rider_id=applied.rider_id,
+                driver_id=applied.driver_id,
+                assign_time_s=applied.assign_time_s,
+                pickup_eta_s=applied.pickup_eta_s,
+                pickup_time_s=applied.pickup_time_s,
+                latency_wall_s=latency,
+            )
+            self._assignments[applied.rider_id] = record
+            self._assignment_order.append(applied.rider_id)
+        if self._wal is not None:
+            self._wal.append(
+                {
+                    "type": "tick",
+                    "index": outcome.batch_index,
+                    "time_s": outcome.time_s,
+                    "assignments": [
+                        _assignment_row(a) for a in outcome.assignments
+                    ],
+                },
+                commit=True,
+            )
+        return outcome
 
     def finalize(self) -> dict:
         """Run the stepper's post-horizon accounting (idempotent)."""
         with self._lock:
             metrics = self.stepper.finalize()
+            if self._wal is not None and not self._finalize_logged:
+                self._wal.append({"type": "finalize"}, commit=True)
+                self._finalize_logged = True
             return {
                 "served_orders": metrics.served_orders,
                 "reneged_orders": metrics.reneged_orders,
@@ -289,6 +627,15 @@ class DispatchService:
             metrics = self.stepper.metrics
             latencies = sorted(self._latencies_s)
             ticks = sorted(self._tick_wall_s)
+            # Wall gaps between consecutive tick starts: the starvation
+            # signal for paced soaks (a blocked event loop shows up here
+            # long before anything else degrades).
+            gaps = sorted(
+                b - a
+                for a, b in zip(
+                    self._tick_stamps_wall, self._tick_stamps_wall[1:]
+                )
+            )
             return {
                 "policy": getattr(self.stepper.policy, "name", type(self.stepper.policy).__name__),
                 "batch_interval_s": self.stepper.config.batch_interval_s,
@@ -312,12 +659,24 @@ class DispatchService:
                     "p99": 1e3 * _percentile(ticks, 0.99),
                     "max": 1e3 * (ticks[-1] if ticks else 0.0),
                 },
+                "tick_gap_wall_ms": {
+                    "p50": 1e3 * _percentile(gaps, 0.50),
+                    "p99": 1e3 * _percentile(gaps, 0.99),
+                    "max": 1e3 * (gaps[-1] if gaps else 0.0),
+                },
                 "assignment_latency_s": {
                     "count": len(latencies),
                     "p50": _percentile(latencies, 0.50),
                     "p99": _percentile(latencies, 0.99),
                     "max": latencies[-1] if latencies else 0.0,
                 },
+                "duplicate_requests": self._duplicates,
+                "wal": self._wal.stats() if self._wal is not None else None,
+                "recovered": (
+                    self._recovery.to_payload()
+                    if self._recovery is not None
+                    else None
+                ),
             }
 
     def resolved(self) -> bool:

@@ -1,0 +1,208 @@
+"""Write-ahead log for the dispatch service: a live day that survives a crash.
+
+The WAL is a flat file of length-prefixed, checksummed JSON records::
+
+    [4-byte LE payload length][4-byte LE CRC32 of payload][payload bytes]
+
+The service appends one record per durable event — the config fingerprint
+when the log is created (``meta``), every accepted request batch
+(``request``), every batch-window tick with its committed assignments
+(``tick``), and the post-horizon accounting (``finalize``).  Replaying the
+records through a fresh :class:`~repro.serve.service.DispatchService`
+reconstructs the exact mid-day state: the stepper is deterministic given
+the ingest/step sequence, and the logged assignments double as a
+bit-identity check on the replay.
+
+Three fsync policies trade durability for append cost:
+
+- ``always`` — flush + ``fsync`` every record.  Survives power loss; every
+  acknowledged request is on stable storage before the client hears back.
+- ``batch`` (default) — flush every record to the OS (survives a killed
+  *process*, e.g. ``kill -9``), ``fsync`` only at tick commits (bounded
+  loss on a machine crash: at most one batch window).
+- ``never`` — buffered writes, flushed on close.  Fastest; a crashed
+  process loses whatever the stdio buffer still held.
+
+A crash can tear the final record mid-write.  :func:`read_wal` therefore
+treats an incomplete or checksum-failing record *at the physical end of
+the file* as a torn tail — the intact prefix is returned and
+:func:`truncate_torn_tail` drops the tail so appends continue from a clean
+boundary.  A checksum failure with intact bytes *after* it is real
+corruption (bit rot, concurrent writers) and raises
+:class:`WalCorruptionError` — never silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalCorruptionError",
+    "WalError",
+    "WalReadResult",
+    "WalReplayError",
+    "WriteAheadLog",
+    "read_wal",
+    "truncate_torn_tail",
+]
+
+#: Valid values of :attr:`WriteAheadLog.fsync` (see module docstring).
+FSYNC_POLICIES = ("always", "batch", "never")
+
+_HEADER = struct.Struct("<II")
+
+
+class WalError(Exception):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptionError(WalError):
+    """A checksum-failing record with intact records after it.
+
+    Torn *tails* are expected (a crash mid-write) and handled by
+    truncation; corruption in the middle of the log means the history
+    itself is unreliable, so recovery refuses to guess.
+    """
+
+
+class WalReplayError(WalError):
+    """Replaying the log diverged from the assignments it recorded.
+
+    The stepper is deterministic, so this means the log was produced by a
+    different world (config/policy/code mismatch) — resuming would
+    silently fork the day's history.
+    """
+
+
+class WriteAheadLog:
+    """Appender for the record format above (one writer per file)."""
+
+    def __init__(self, path: str | Path, fsync: str = "batch"):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{', '.join(FSYNC_POLICIES)}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._records = 0
+        self._bytes = 0
+        self._fsyncs = 0
+
+    def append(self, record: dict, commit: bool = False) -> None:
+        """Append one record; ``commit`` marks a durability point.
+
+        Under the ``batch`` policy only commit records are fsynced (the
+        service marks tick and finalize records); ``always`` fsyncs every
+        record and ``never`` fsyncs none.
+        """
+        payload = json.dumps(record, separators=(",", ":")).encode()
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(frame)
+        if self.fsync == "always" or (self.fsync == "batch" and commit):
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._fsyncs += 1
+        elif self.fsync == "batch":
+            # To the OS but not the platter: survives a killed process.
+            self._file.flush()
+        self._records += 1
+        self._bytes += len(frame)
+
+    def flush(self) -> None:
+        """Push buffered frames to the OS (no fsync)."""
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def stats(self) -> dict:
+        """JSON-safe counters for ``GET /status`` and bench records."""
+        return {
+            "path": str(self.path),
+            "fsync": self.fsync,
+            "records_appended": self._records,
+            "bytes_appended": self._bytes,
+            "file_bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "fsyncs": self._fsyncs,
+        }
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class WalReadResult:
+    """What one pass over a log file found."""
+
+    records: list[dict]
+    #: Byte offset just past the last intact record (where a resumed
+    #: writer should continue).
+    clean_bytes: int
+    #: Bytes of torn tail beyond ``clean_bytes`` (0 for a clean log).
+    torn_bytes: int
+
+
+def read_wal(path: str | Path) -> WalReadResult:
+    """Read every intact record, tolerating a torn tail.
+
+    Raises :class:`WalCorruptionError` for a bad record that is *not* the
+    physical tail of the file (see module docstring), and
+    ``FileNotFoundError`` if the log does not exist.  An empty file is a
+    valid empty log.
+    """
+    data = Path(path).read_bytes()
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            break  # torn: incomplete header
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn: payload cut short (or a garbled tail length)
+        payload = data[start:end]
+        record = None
+        if zlib.crc32(payload) == crc:
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                record = None
+        if record is None:
+            if end == total:
+                break  # torn: the final record died mid-overwrite
+            raise WalCorruptionError(
+                f"corrupt record at byte {offset} of {path} with "
+                f"{total - end} intact bytes after it"
+            )
+        records.append(record)
+        offset = end
+    return WalReadResult(records, offset, total - offset)
+
+
+def truncate_torn_tail(path: str | Path) -> WalReadResult:
+    """Drop a torn tail in place so appends resume from a clean boundary.
+
+    Returns the same :class:`WalReadResult` as :func:`read_wal` (with
+    ``torn_bytes`` reporting what was cut); raises on mid-log corruption.
+    """
+    result = read_wal(path)
+    if result.torn_bytes:
+        with open(path, "r+b") as handle:
+            handle.truncate(result.clean_bytes)
+    return result

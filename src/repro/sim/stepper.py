@@ -129,8 +129,12 @@ class BatchOutcome:
 
     ``skipped`` marks ticks proven to be no-ops (no policy call was made);
     their :class:`~repro.sim.metrics.BatchMetrics` row is still recorded.
+    ``batch_index`` is the 0-based position of this tick in the stepper's
+    step sequence — the replay coordinate a write-ahead log records, so a
+    recovery can re-fire exactly the logged tick and nothing else.
     """
 
+    batch_index: int
     time_s: float
     waiting_riders: int
     available_drivers: int
@@ -390,6 +394,7 @@ class SimulationStepper:
                 )
             )
             return BatchOutcome(
+                batch_index=self._next_batch_index - 1,
                 time_s=now,
                 waiting_riders=len(waiting),
                 available_drivers=fleet.active_total,
@@ -469,6 +474,7 @@ class SimulationStepper:
                 _time.perf_counter() - start - plan_seconds
             )
         return BatchOutcome(
+            batch_index=self._next_batch_index - 1,
             time_s=now,
             waiting_riders=len(waiting_riders),
             available_drivers=n_active,

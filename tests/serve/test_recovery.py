@@ -1,0 +1,313 @@
+"""Crash recovery: a recovered service is the never-crashed service.
+
+The scenario under test is the durability story end to end: run a day
+with a write-ahead log, "crash" mid-day (abandon the service without a
+clean shutdown — with ``fsync=batch`` every record is already past the
+process), rebuild with :meth:`DispatchService.recover`, finish the day,
+and demand *bit identity* with an uninterrupted run — same assignment
+log, same economics, same per-batch series.  Plus the refusal modes:
+torn tails truncate, mid-log corruption and fingerprint mismatches are
+hard errors, and a tampered history is caught by the replay check.
+"""
+
+import shutil
+import struct
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_caches
+from repro.serve.service import DispatchService
+from repro.serve.wal import (
+    WalCorruptionError,
+    WalError,
+    WalReplayError,
+    WriteAheadLog,
+    read_wal,
+)
+
+CONFIG = ExperimentConfig(
+    daily_orders=2_000.0,
+    num_drivers=16,
+    horizon_s=2 * 3600.0,
+    batch_interval_s=10.0,
+    space_scale=0.1,
+    grid_rows=3,
+    grid_cols=3,
+)
+POLICY = "NEAR"
+HORIZON_WINDOWS = int(CONFIG.horizon_s // CONFIG.batch_interval_s)
+CRASH_WINDOW = HORIZON_WINDOWS // 2
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _by_window(workload):
+    out = {}
+    for rider in workload:
+        window = int(rider.request_time_s // CONFIG.batch_interval_s)
+        out.setdefault(window, []).append(rider)
+    return out
+
+
+def drive(service, until_window):
+    """Lockstep day: submit each window's requests, then tick it closed.
+
+    Starts from wherever the service's batch clock is, so the same helper
+    drives a fresh day and resumes a recovered one.
+    """
+    by_window = _by_window(service.workload)
+    for window in range(service.stepper.next_batch_index, until_window):
+        riders = by_window.get(window)
+        if riders:
+            service.submit_riders(riders)
+        service.tick_until(window + 1)
+
+
+def finish(service):
+    """Drive through the horizon, drain, and return the final economics."""
+    drive(service, HORIZON_WINDOWS)
+    while not service.resolved():
+        service.tick()
+    return service.finalize()
+
+
+def sim_rows(service):
+    """Assignment log projected onto its simulation-domain fields.
+
+    ``latency_wall_s`` is deliberately excluded: wall latency is a serving
+    measurement, not reproducible state, and recovery restores it as None.
+    """
+    return [
+        (
+            a["rider_id"],
+            a["driver_id"],
+            a["assign_time_s"],
+            a["pickup_eta_s"],
+            a["pickup_time_s"],
+        )
+        for a in service.assignments()
+    ]
+
+
+def batch_series(service):
+    return [
+        (b.time_s, b.waiting_riders, b.available_drivers, b.assignments)
+        for b in service.stepper.metrics.batches
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The uninterrupted day, no WAL: the ground truth to recover to."""
+    service = DispatchService.from_config(CONFIG, POLICY)
+    economics = finish(service)
+    assert economics["served_orders"] > 0
+    return {
+        "economics": economics,
+        "rows": sim_rows(service),
+        "series": batch_series(service),
+    }
+
+
+@pytest.fixture(scope="module")
+def midday(tmp_path_factory):
+    """A WAL abandoned mid-day, as a ``kill -9`` at window CRASH_WINDOW
+    would leave it (``fsync=batch``: every record already flushed, no
+    clean shutdown)."""
+    wal_path = tmp_path_factory.mktemp("midday") / "dispatch.wal"
+    service = DispatchService.from_config(CONFIG, POLICY, wal_path=wal_path)
+    drive(service, CRASH_WINDOW)
+    rows = sim_rows(service)
+    assert rows, "crash point must land after some assignments"
+    # No close(), no finalize: the process just stops existing.
+    return {"wal": wal_path, "rows": rows}
+
+
+def _copy(midday, tmp_path):
+    path = tmp_path / "dispatch.wal"
+    shutil.copy(midday["wal"], path)
+    return path
+
+
+def _rewrite(records, path):
+    """Write a record list as a fresh, well-formed log (for tampering)."""
+    with WriteAheadLog(path, fsync="never") as wal:
+        for record in records:
+            wal.append(record)
+    return path
+
+
+def test_recover_midday_and_finish_is_bit_identical(midday, baseline, tmp_path):
+    wal_path = _copy(midday, tmp_path)
+    service, report = DispatchService.recover(wal_path, CONFIG, POLICY)
+
+    assert report.ticks == CRASH_WINDOW
+    assert report.torn_bytes == 0
+    assert report.requests > 0
+    assert not report.finalized
+    assert report.resumed
+    assert report.assignments == len(midday["rows"])
+    # The rebuilt state is exactly the crashed service's state.
+    assert sim_rows(service) == midday["rows"]
+    assert service.stepper.next_batch_index == CRASH_WINDOW
+
+    status = service.status()
+    assert status["recovered"]["ticks"] == CRASH_WINDOW
+    assert status["wal"]["path"] == str(wal_path)
+
+    # Finish the day: recovered == never-crashed, bit for bit.
+    economics = finish(service)
+    assert economics == baseline["economics"]
+    assert sim_rows(service) == baseline["rows"]
+    assert batch_series(service) == baseline["series"]
+
+    # finalize() is idempotent in the log too: exactly one record.
+    service.finalize()
+    service.close()
+    records = read_wal(wal_path).records
+    assert sum(r["type"] == "finalize" for r in records) == 1
+
+    # The resumed log now holds the whole day and recovers again.
+    replayed, second = DispatchService.recover(
+        wal_path, CONFIG, POLICY, resume=False
+    )
+    assert second.finalized
+    assert not second.resumed
+    assert sim_rows(replayed) == baseline["rows"]
+    assert replayed.finalize() == baseline["economics"]
+
+
+def test_torn_tail_is_truncated_before_replay(midday, tmp_path):
+    wal_path = _copy(midday, tmp_path)
+    with open(wal_path, "ab") as handle:
+        # A frame whose payload never made it to disk.
+        handle.write(struct.pack("<II", 512, 0) + b"partial")
+
+    service, report = DispatchService.recover(
+        wal_path, CONFIG, POLICY, resume=False
+    )
+    assert report.torn_bytes == 15
+    assert report.ticks == CRASH_WINDOW
+    assert sim_rows(service) == midday["rows"]
+    # The truncation is physical: the file itself is clean again.
+    assert read_wal(wal_path).torn_bytes == 0
+
+
+def test_midlog_corruption_refuses_recovery(midday, tmp_path):
+    wal_path = _copy(midday, tmp_path)
+    data = bytearray(wal_path.read_bytes())
+    first_len = struct.unpack_from("<I", data, 0)[0]
+    data[8 + first_len + 8] ^= 0xFF  # second record's first payload byte
+    wal_path.write_bytes(bytes(data))
+
+    with pytest.raises(WalCorruptionError):
+        DispatchService.recover(wal_path, CONFIG, POLICY)
+
+
+def test_fingerprint_mismatch_refuses_recovery(midday, tmp_path):
+    wal_path = _copy(midday, tmp_path)
+    with pytest.raises(WalError, match="fingerprint mismatch"):
+        DispatchService.recover(wal_path, CONFIG, "IRG-R")
+    import dataclasses
+
+    other = dataclasses.replace(CONFIG, num_drivers=CONFIG.num_drivers + 1)
+    with pytest.raises(WalError, match="fingerprint mismatch"):
+        DispatchService.recover(wal_path, other, POLICY)
+
+
+def test_tampered_assignment_is_a_replay_error(midday, tmp_path):
+    records = read_wal(midday["wal"]).records
+    tampered = []
+    done = False
+    for record in records:
+        if not done and record.get("type") == "tick" and record["assignments"]:
+            record = dict(record)
+            rows = [list(row) for row in record["assignments"]]
+            rows[0][1] += 1  # a driver the policy did not pick
+            record["assignments"] = rows
+            done = True
+        tampered.append(record)
+    assert done
+    wal_path = _rewrite(tampered, tmp_path / "tampered.wal")
+
+    with pytest.raises(WalReplayError, match="diverge"):
+        DispatchService.recover(wal_path, CONFIG, POLICY)
+
+
+def test_duplicate_request_records_replay_idempotently(midday, tmp_path):
+    """A client retry that got logged twice must not double-ingest."""
+    records = read_wal(midday["wal"]).records
+    doubled = []
+    for record in records:
+        doubled.append(record)
+        if record.get("type") == "request" and len(doubled) < 10:
+            doubled.append(record)  # replay the ack-lost retry verbatim
+    assert len(doubled) > len(records)
+    wal_path = _rewrite(doubled, tmp_path / "doubled.wal")
+
+    service, report = DispatchService.recover(
+        wal_path, CONFIG, POLICY, resume=False
+    )
+    assert report.ticks == CRASH_WINDOW
+    assert sim_rows(service) == midday["rows"]
+
+
+def test_empty_log_recovers_to_a_fresh_day(tmp_path):
+    wal_path = tmp_path / "dispatch.wal"
+    wal_path.touch()
+    service, report = DispatchService.recover(wal_path, CONFIG, POLICY)
+    assert report.records == 0 and report.requests == 0 and report.ticks == 0
+
+    drive(service, 3)
+    service.close()
+    records = read_wal(wal_path).records
+    assert records[0]["type"] == "meta"
+    assert sum(r["type"] == "tick" for r in records) == 3
+
+
+def test_fsync_never_survives_a_clean_close(tmp_path):
+    wal_path = tmp_path / "dispatch.wal"
+    service = DispatchService.from_config(
+        CONFIG, POLICY, wal_path=wal_path, wal_fsync="never"
+    )
+    drive(service, 60)
+    rows = sim_rows(service)
+    service.close()  # `never` only guarantees durability on close
+
+    recovered, report = DispatchService.recover(
+        wal_path, CONFIG, POLICY, resume=False, fsync="never"
+    )
+    assert report.ticks == 60
+    assert sim_rows(recovered) == rows
+
+
+def test_attach_refuses_unreplayed_history(midday, tmp_path):
+    wal_path = _copy(midday, tmp_path)
+    with pytest.raises(WalError, match="without recovery"):
+        DispatchService.from_config(CONFIG, POLICY, wal_path=wal_path)
+
+
+def test_submit_is_idempotent_on_rider_ids():
+    service = DispatchService.from_config(CONFIG, POLICY)
+    rider = sorted(service.workload, key=lambda r: r.request_time_s)[0]
+    first = service.submit_riders([rider])
+    assert first["accepted"] == 1 and first["duplicates"] == 0
+    again = service.submit_riders([rider, rider])
+    assert again["accepted"] == 0 and again["duplicates"] == 2
+    assert service.status()["duplicate_requests"] == 2
+    assert service.status()["requests_received"] == 1
+
+
+def test_tick_until_is_idempotent():
+    service = DispatchService.from_config(CONFIG, POLICY)
+    result = service.tick_until(5)
+    assert result["ticks"] == 5 and result["next_batch_index"] == 5
+    retry = service.tick_until(5)
+    assert retry["ticks"] == 0 and retry["next_batch_index"] == 5
+    assert service.tick_until(3)["ticks"] == 0  # never rewinds

@@ -141,6 +141,48 @@ def test_status_and_request_lifecycle_over_http():
         assert body["served_orders"] == 1
 
 
+def test_retry_safe_http_surface(tmp_path):
+    """The two mutations a reconnecting client retries — submit and tick —
+    are idempotent over HTTP, and /status surfaces the WAL it logs to."""
+    service = DispatchService.from_config(
+        CONFIG, "NEAR", wal_path=tmp_path / "dispatch.wal"
+    )
+    workload = sorted(service.workload, key=lambda r: r.request_time_s)
+    try:
+        with start_server_in_thread(service) as handle:
+            host, port = handle.host, handle.port
+
+            # Absolute tick addressing: a retried tick cannot double-fire.
+            _, first = _post(host, port, "/tick", {"until_index": 4})
+            assert first["ticks"] == 4 and first["next_batch_index"] == 4
+            _, retry = _post(host, port, "/tick", {"until_index": 4})
+            assert retry["ticks"] == 0 and retry["next_batch_index"] == 4
+
+            # A resubmitted request is acknowledged, never double-ingested.
+            rider = workload[0]
+            payload = {
+                "rider_id": rider.rider_id,
+                "request_time_s": rider.request_time_s,
+                "pickup": [rider.pickup.lon, rider.pickup.lat],
+                "dropoff": [rider.dropoff.lon, rider.dropoff.lat],
+                "deadline_s": rider.deadline_s,
+                "trip_seconds": rider.trip_seconds,
+                "revenue": rider.revenue,
+            }
+            code, accepted = _post(host, port, "/requests", payload)
+            assert code == 200 and accepted["accepted"] == 1
+            code, resent = _post(host, port, "/requests", payload)
+            assert code == 200
+            assert resent["accepted"] == 0 and resent["duplicates"] == 1
+
+            _, status = _get(host, port, "/status")
+            assert status["duplicate_requests"] == 1
+            # meta + 4 empty ticks + 1 request record (dupe not re-logged).
+            assert status["wal"]["records_appended"] == 6
+    finally:
+        service.close()
+
+
 def test_late_request_over_http_joins_next_batch():
     service = DispatchService.from_config(CONFIG, "NEAR")
     workload = sorted(

@@ -1,0 +1,159 @@
+"""The write-ahead log record format: framing, checksums, torn tails.
+
+Pure file-format tests — no simulation world is built.  The contract under
+test: every intact record reads back exactly; a crash mid-write tears only
+the *tail*, which is detected and truncated; corruption anywhere else is a
+hard error, never a silent skip.
+"""
+
+import struct
+
+import pytest
+
+from repro.serve.wal import (
+    FSYNC_POLICIES,
+    WalCorruptionError,
+    WriteAheadLog,
+    read_wal,
+    truncate_torn_tail,
+)
+
+RECORDS = [
+    {"type": "meta", "fingerprint": {"policy": "NEAR", "seed": 7}},
+    {"type": "request", "riders": [{"rider_id": 1, "request_time_s": 3.5}]},
+    {"type": "tick", "index": 0, "time_s": 0.0, "assignments": []},
+    {"type": "tick", "index": 1, "time_s": 10.0, "assignments": [[1, 4, 10.0, 2.5, 12.5, 60.0]]},
+    {"type": "finalize"},
+]
+
+
+def write_log(path, records, fsync="batch"):
+    with WriteAheadLog(path, fsync=fsync) as wal:
+        for record in records:
+            wal.append(record, commit=record.get("type") == "tick")
+    return path
+
+
+def test_round_trip_all_fsync_policies(tmp_path):
+    for policy in FSYNC_POLICIES:
+        path = write_log(tmp_path / f"{policy}.wal", RECORDS, fsync=policy)
+        result = read_wal(path)
+        assert result.records == RECORDS
+        assert result.torn_bytes == 0
+        assert result.clean_bytes == path.stat().st_size
+
+
+def test_fsync_counters(tmp_path):
+    wal = WriteAheadLog(tmp_path / "a.wal", fsync="always")
+    wal.append({"type": "meta"})
+    wal.append({"type": "tick"}, commit=True)
+    assert wal.stats()["fsyncs"] == 2
+    wal.close()
+
+    wal = WriteAheadLog(tmp_path / "b.wal", fsync="batch")
+    wal.append({"type": "meta"})
+    wal.append({"type": "tick"}, commit=True)
+    assert wal.stats()["fsyncs"] == 1  # only the commit record
+    wal.close()
+
+    wal = WriteAheadLog(tmp_path / "c.wal", fsync="never")
+    wal.append({"type": "tick"}, commit=True)
+    assert wal.stats()["fsyncs"] == 0
+    wal.close()
+    assert read_wal(tmp_path / "c.wal").records == [{"type": "tick"}]
+
+
+def test_unknown_fsync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError, match="fsync"):
+        WriteAheadLog(tmp_path / "x.wal", fsync="sometimes")
+
+
+def test_empty_log_is_valid(tmp_path):
+    path = tmp_path / "empty.wal"
+    path.touch()
+    result = read_wal(path)
+    assert result.records == [] and result.clean_bytes == 0
+    assert result.torn_bytes == 0
+
+
+def test_missing_log_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_wal(tmp_path / "nope.wal")
+
+
+@pytest.mark.parametrize("cut", [1, 4, 7, 9])
+def test_torn_tail_truncates_to_last_intact_record(tmp_path, cut):
+    """A crash mid-write leaves a partial final frame: header cut short
+    (cut < 8) or payload cut short — every case truncates to the intact
+    prefix."""
+    path = write_log(tmp_path / "torn.wal", RECORDS)
+    clean = read_wal(path).clean_bytes
+    data = path.read_bytes()
+    # Re-append the first record, then cut `cut` bytes into the new frame.
+    partial = data[: clean] + data[: cut]
+    path.write_bytes(partial)
+
+    result = read_wal(path)
+    assert result.records == RECORDS
+    assert result.torn_bytes == cut
+
+    repaired = truncate_torn_tail(path)
+    assert repaired.torn_bytes == cut
+    assert path.stat().st_size == clean
+    # Appends resume cleanly after the repair.
+    with WriteAheadLog(path) as wal:
+        wal.append({"type": "tick", "index": 99})
+    assert read_wal(path).records == RECORDS + [{"type": "tick", "index": 99}]
+
+
+def test_checksum_flip_in_final_record_is_a_torn_tail(tmp_path):
+    path = write_log(tmp_path / "flip.wal", RECORDS)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a payload byte of the last record
+    path.write_bytes(bytes(data))
+
+    result = read_wal(path)
+    assert result.records == RECORDS[:-1]
+    assert result.torn_bytes > 0
+    truncate_torn_tail(path)
+    assert read_wal(path).records == RECORDS[:-1]
+
+
+def test_corrupt_middle_record_is_a_hard_error(tmp_path):
+    path = write_log(tmp_path / "mid.wal", RECORDS)
+    data = bytearray(path.read_bytes())
+    # Find the second record's payload start and flip a byte there.
+    first_len = struct.unpack_from("<I", data, 0)[0]
+    second_payload_start = 8 + first_len + 8
+    data[second_payload_start] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+    with pytest.raises(WalCorruptionError, match="intact bytes after"):
+        read_wal(path)
+    with pytest.raises(WalCorruptionError):
+        truncate_torn_tail(path)
+    # The file is untouched: corruption is never repaired by guessing.
+    assert path.read_bytes() == bytes(data)
+
+
+def test_garbled_tail_length_reads_as_torn(tmp_path):
+    """A garbled length field in the final header makes the payload run
+    past EOF — indistinguishable from a torn write, so it truncates."""
+    path = write_log(tmp_path / "len.wal", RECORDS)
+    clean = read_wal(path).clean_bytes
+    with open(path, "ab") as handle:
+        handle.write(struct.pack("<II", 1 << 30, 0) + b"short")
+
+    result = read_wal(path)
+    assert result.records == RECORDS
+    assert result.clean_bytes == clean
+
+
+def test_stats_shape(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal", fsync="batch")
+    wal.append({"type": "meta"})
+    stats = wal.stats()
+    assert stats["records_appended"] == 1
+    assert stats["bytes_appended"] == stats["file_bytes"] > 0
+    assert stats["fsync"] == "batch"
+    wal.close()
