@@ -8,12 +8,14 @@ and repeats as fast as the server absorbs them.  That measures the serving
 stack end to end (HTTP parse, JSON, service locking, stepper tick), not
 the policy in isolation.
 
-The day is run twice: once bare and once with the write-ahead log attached
-(``fsync=batch``, the serving default), so the cost of durability is a
-number in the history rather than folklore.  Each run *appends* one
-``pr``-labelled record to ``BENCH_serve.json`` at the repo root —
-sustained requests/sec, p50/p99 assignment latency, tick percentiles, and
-``wal_on``/``wal_overhead_pct`` on the durable run — so the
+The day is run three times: once bare, once with the write-ahead log
+attached (``fsync=batch``, the serving default), and once through a
+4-shard router-fronted stack, so the cost of durability *and* of the
+sharding indirection are numbers in the history rather than folklore.
+Each run *appends* one ``pr``-labelled record to ``BENCH_serve.json`` at
+the repo root — sustained requests/sec, p50/p99 assignment latency, tick
+percentiles, ``wal_on``/``wal_overhead_pct`` on the durable run, and
+``shards``/``shard_overhead_pct`` on the sharded one — so the
 serving-performance trajectory accumulates across PRs, mirroring
 ``BENCH_engine.json`` for the offline engine.
 """
@@ -24,6 +26,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import append_bench_record
 from repro.experiments.runner import clear_caches
 from repro.serve.loadgen import replay_workload
+from repro.serve.router import build_sharded_stack
 from repro.serve.server import start_server_in_thread
 from repro.serve.service import DispatchService
 
@@ -49,6 +52,15 @@ _MIN_REQUESTS_PER_S = 50.0
 #: shared CI runners and their unpredictable filesystems.
 _MAX_WAL_OVERHEAD_PCT = 60.0
 
+#: How many shard workers the sharded leg runs behind the router.
+_NUM_SHARDS = 4
+
+#: Sharding pays an extra HTTP hop plus a barriered broadcast per tick;
+#: on a single core (CI runners, laptops in power-save) the N workers
+#: also contend for the CPU, so the bound only guards against collapse —
+#: parallel speedups are for multi-core boxes to show in the history.
+_MIN_SHARDED_FRACTION = 0.15
+
 
 def _run_day(wal_path=None):
     service = DispatchService.from_config(
@@ -70,6 +82,28 @@ def _run_day(wal_path=None):
             status = service.status()
     finally:
         service.close()
+    return len(workload), report, status
+
+
+def _run_sharded_day(num_shards):
+    """The same day through a router over ``num_shards`` workers."""
+    from repro.experiments.runner import build_serve_world
+
+    # The full day's riders — each worker's own workload is only its band.
+    riders, *_ = build_serve_world(SCENARIO, "NEAR")
+    workload = [r for r in riders if r.request_time_s <= SCENARIO.horizon_s]
+    stack = build_sharded_stack(SCENARIO, "NEAR", num_shards)
+    with stack:
+        with start_server_in_thread(stack.router) as handle:
+            report = replay_workload(
+                handle.host,
+                handle.port,
+                workload,
+                batch_interval_s=SCENARIO.batch_interval_s,
+                speedup=0.0,
+                horizon_s=SCENARIO.horizon_s,
+            )
+            status = stack.router.status()
     return len(workload), report, status
 
 
@@ -133,4 +167,26 @@ def test_serve_throughput(tmp_path):
         f"write-ahead logging cost {overhead_pct:.1f}% of serving "
         f"throughput ({report.requests_per_s:.1f} -> "
         f"{wal_report.requests_per_s:.1f} req/s)"
+    )
+
+    # The same day once more, through the 4-shard router-fronted stack.
+    shard_sent, shard_report, shard_status = _run_sharded_day(_NUM_SHARDS)
+    shard_payload = _payload(shard_report, shard_status, "sharded-lockstep-http")
+    shard_payload["shards"] = _NUM_SHARDS
+    shard_payload["shard_overhead_pct"] = round(
+        100.0 * (1.0 - shard_report.requests_per_s / report.requests_per_s), 2
+    )
+    out = append_bench_record("BENCH_serve.json", shard_payload)
+    print(f"[BENCH_serve] -> {out}\n{json.dumps(shard_payload, indent=2)}")
+
+    assert shard_report.requests_sent == shard_sent == sent
+    assert shard_report.assigned > 0, "the sharded stack committed nothing"
+    assert shard_report.unresolved == 0
+    assert (
+        shard_report.requests_per_s
+        >= _MIN_SHARDED_FRACTION * report.requests_per_s
+    ), (
+        f"sharding collapsed serving throughput: "
+        f"{report.requests_per_s:.1f} -> {shard_report.requests_per_s:.1f} "
+        f"req/s across {_NUM_SHARDS} shards"
     )

@@ -14,16 +14,26 @@ boundary:
 4. Tick through the horizon, finalize, and assert the recovered day's
    assignment log and economics equal the uninterrupted run bit for bit.
 
+With ``--shards N`` the same story runs against a region-sharded
+deployment: N ``repro serve --shard-index i`` worker subprocesses, each
+with its own WAL, behind an in-process :class:`ShardRouter`.  One worker
+is SIGKILLed mid-day and relaunched with ``--recover`` *without* waiting
+for it — the router's decorrelated-jitter retries must carry the
+lockstep broadcast across the whole recovery gap — and the merged day
+must equal an uninterrupted run of the same sharded stack bit for bit.
+
 Exit status 0 on identity, 1 on any divergence (with a diff summary).
 
 Usage::
 
     PYTHONPATH=src python scripts/durability_smoke.py --requests 300
+    PYTHONPATH=src python scripts/durability_smoke.py --requests 300 --shards 3
 """
 
 import argparse
 import http.client
 import os
+import random
 import signal
 import socket
 import subprocess
@@ -32,7 +42,7 @@ import tempfile
 import time
 
 from repro.experiments.config import profile_config
-from repro.serve.loadgen import ServeClient, _window_batches
+from repro.serve.loadgen import ServeClient, _window_batches, decorrelated_backoff
 from repro.serve.server import start_server_in_thread
 from repro.serve.service import DispatchService, rider_to_payload
 from repro.sim.stepper import num_batches_for_horizon
@@ -85,6 +95,8 @@ def launch_server(args, port: int, wal_dir: str, recover: bool) -> subprocess.Po
 def wait_ready(port: int, proc: subprocess.Popen, timeout_s: float = 120.0) -> None:
     """Poll /status until the server answers (world build takes a while)."""
     deadline = time.monotonic() + timeout_s
+    rng = random.Random()
+    delay = 0.0
     while time.monotonic() < deadline:
         if proc.poll() is not None:
             raise SystemExit(f"server exited during startup (rc={proc.returncode})")
@@ -93,7 +105,10 @@ def wait_ready(port: int, proc: subprocess.Popen, timeout_s: float = 120.0) -> N
             probe.request("GET", "/status")
             return
         except (OSError, http.client.HTTPException):
-            time.sleep(0.2)
+            # Jittered like the client's own retry path, so N parallel
+            # shard-worker waits do not hammer in lockstep.
+            delay = decorrelated_backoff(rng, 0.2, delay, 1.0)
+            time.sleep(delay)
         finally:
             probe.close()
     raise SystemExit(f"server on port {port} not ready after {timeout_s:.0f}s")
@@ -139,12 +154,189 @@ def drive(client, config, stream, on_batch=None) -> None:
     client.request("POST", "/finalize")
 
 
+def launch_worker(
+    args, port: int, wal_dir: str, index: int, recover: bool
+) -> subprocess.Popen:
+    """One ``repro serve --shard-index`` worker subprocess."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--profile",
+        args.profile,
+        "--policy",
+        args.policy,
+        "--port",
+        str(port),
+        "--wal-dir",
+        wal_dir,
+        "--fsync",
+        args.fsync,
+        "--shards",
+        str(args.shards),
+        "--shard-index",
+        str(index),
+    ]
+    if recover:
+        command.append("--recover")
+    return subprocess.Popen(command, env={**os.environ, "PYTHONPATH": "src"})
+
+
+def sharded_reference_run(config, args, stream):
+    """The never-crashed sharded day, fully in-process: the ground truth."""
+    from repro.serve.router import build_sharded_stack
+
+    with build_sharded_stack(config, args.policy, args.shards) as stack:
+        with start_server_in_thread(stack.router) as handle:
+            client = ServeClient(handle.host, handle.port)
+            try:
+                drive(client, config, stream)
+            finally:
+                client.close()
+            assignments = stack.router.assignments()
+            status = stack.router.status()
+    return sim_rows(assignments), economics(status)
+
+
+def run_sharded(args, config, stream) -> int:
+    """Kill one shard worker of N mid-day; the router rides through."""
+    from repro.experiments.runner import build_serve_world
+    from repro.serve.router import ShardEndpoint, ShardRouter
+    from repro.serve.shard import ShardPlan
+
+    print(f"[1/3] reference run ({args.shards}-shard, uninterrupted)...")
+    ref_rows, ref_econ = sharded_reference_run(config, args, stream)
+    print(f"      {len(ref_rows)} assignments, {ref_econ}")
+
+    wal_dir = tempfile.mkdtemp(prefix="durability-smoke-shards-")
+    ports = [free_port() for _ in range(args.shards)]
+    print(
+        f"[2/3] crashy run: {args.shards} shard workers on ports "
+        f"{ports}, wal under {wal_dir}"
+    )
+    procs = [
+        launch_worker(args, ports[index], wal_dir, index, recover=False)
+        for index in range(args.shards)
+    ]
+    victim = args.shards // 2  # a middle band, never demand-free
+    router = None
+    try:
+        for index, proc in enumerate(procs):
+            wait_ready(ports[index], proc)
+        plan = ShardPlan.from_shape(
+            config.grid_rows, config.grid_cols, args.shards
+        )
+        _, _, grid, *_ = build_serve_world(config, args.policy)
+        # Generous retry budget: the broadcast to the killed worker must
+        # survive its entire recovery (world rebuild + WAL replay).
+        router = ShardRouter(
+            plan,
+            grid,
+            [
+                ShardEndpoint(index=index, host="127.0.0.1", port=port)
+                for index, port in enumerate(ports)
+            ],
+            client_max_retries=120,
+            client_max_backoff_s=2.0,
+        )
+        num_batches = len(_window_batches(stream, config.batch_interval_s))
+        kill_at = max(1, int(num_batches * args.kill_fraction))
+
+        def on_batch(position: int) -> None:
+            if position != kill_at:
+                return
+            print(
+                f"      SIGKILL shard {victim} after batch "
+                f"{position}/{num_batches}"
+            )
+            procs[victim].send_signal(signal.SIGKILL)
+            procs[victim].wait()
+            print(
+                "      relaunching with --recover — NOT waiting for it; "
+                "the router's retries must carry the gap..."
+            )
+            procs[victim] = launch_worker(
+                args, ports[victim], wal_dir, victim, recover=True
+            )
+
+        with start_server_in_thread(router) as handle:
+            client = ServeClient(
+                handle.host, handle.port, timeout_s=180.0, max_retries=4
+            )
+            try:
+                drive(client, config, stream, on_batch=on_batch)
+                status = client.request("GET", "/status")
+                assignments = client.request("GET", "/assignments")[
+                    "assignments"
+                ]
+            finally:
+                client.close()
+        reconnects = router._clients[victim].reconnects
+    finally:
+        if router is not None:
+            router.close()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    recovered = status.get("recovered")
+    recovered_victim = recovered[victim] if recovered else None
+    if recovered_victim is None:
+        print(
+            f"FAIL: shard {victim} never reported a recovery "
+            "(kill landed too late?)"
+        )
+        return 1
+    print(
+        f"      shard {victim} recovered: {recovered_victim['ticks']} ticks / "
+        f"{recovered_victim['requests']} requests replayed from its WAL; "
+        f"router reconnects to it: {reconnects}"
+    )
+
+    print("[3/3] comparing merged crashy day against the uninterrupted day...")
+    rows = sim_rows(assignments)
+    econ = economics(status)
+    failures = []
+    if rows != ref_rows:
+        common = sum(1 for a, b in zip(rows, ref_rows) if a == b)
+        failures.append(
+            f"assignment logs diverge: {len(rows)} vs {len(ref_rows)} rows, "
+            f"first {common} identical"
+        )
+    if econ != ref_econ:
+        failures.append(f"economics diverge: {econ} vs {ref_econ}")
+    if reconnects == 0:
+        failures.append(
+            "router never reconnected to the victim — the kill did not "
+            "interrupt serving"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: {len(rows)} merged assignments and final economics are "
+        f"bit-identical across the shard-{victim} kill -9 / --recover "
+        "boundary"
+    )
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=300)
     parser.add_argument("--policy", default="NEAR")
     parser.add_argument("--profile", default="tiny")
     parser.add_argument("--fsync", default="batch")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the sharded variant: N worker subprocesses behind a "
+        "router, kill one of them mid-day",
+    )
     parser.add_argument(
         "--kill-fraction",
         type=float,
@@ -159,6 +351,9 @@ def main() -> int:
     stream = stream[: args.requests]
     print(f"workload: {len(stream)} requests over "
           f"{stream[-1].request_time_s - stream[0].request_time_s:.0f}s of sim time")
+
+    if args.shards > 1:
+        return run_sharded(args, config, stream)
 
     print("[1/3] reference run (embedded, uninterrupted)...")
     ref_rows, ref_econ = reference_run(config, args, stream)

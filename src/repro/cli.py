@@ -34,7 +34,14 @@ Subcommands
     is written ahead to ``DIR/dispatch.wal`` (``--fsync`` picks the
     always / batch / never durability-vs-throughput point), and after a
     crash ``--recover`` replays the log through a fresh service and
-    resumes serving mid-day.
+    resumes serving mid-day.  ``--shards N`` shards the deployment by
+    region band: N in-process workers (each with its own WAL under
+    ``DIR/shard-<i>/``) behind a router that routes requests by pickup
+    region, broadcasts the batch clock in lockstep, and merges fleet-wide
+    views; ``--rebalance`` migrates idle drivers toward starved shards
+    after each tick.  For multi-process deployments, ``--shard-index i``
+    runs one standalone worker and ``--shard-ports p0,p1,...`` runs the
+    router over already-running workers.
 
 ``repro recover --wal-dir DIR --policy NEAR [--profile tiny]``
     Replay a write-ahead log offline (read-only — the log is not
@@ -274,7 +281,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover",
         action="store_true",
         help="replay <wal-dir>/dispatch.wal through a fresh service before "
-        "serving: resume a crashed day exactly where its log ends",
+        "serving: resume a crashed day exactly where its log ends "
+        "(with --shards: each shard replays <wal-dir>/shard-<i>/dispatch.wal)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the deployment into N contiguous region bands, one "
+        "worker (and one WAL) per band, behind a lockstep router",
+    )
+    serve.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        help="run one standalone shard worker (band i of --shards) instead "
+        "of the full embedded stack; a router must drive its ticks",
+    )
+    serve.add_argument(
+        "--shard-ports",
+        default=None,
+        help="comma-separated ports (or host:port pairs) of already-running "
+        "shard workers; runs only the router over them",
+    )
+    serve.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="migrate idle drivers from surplus shards to starved ones "
+        "after each tick round (requires --shards > 1)",
+    )
+    serve.add_argument(
+        "--rebalance-max-moves",
+        type=int,
+        default=8,
+        help="cap on driver migrations per rebalancing round",
     )
 
     recover = sub.add_parser(
@@ -386,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit non-zero if the server's max wall gap between ticks "
         "exceeded this many seconds (starvation guard for paced soaks)",
+    )
+    loadgen.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="(with --embedded) boot an N-shard stack — router in front of "
+        "N workers — and load against the router",
     )
 
     cache = sub.add_parser(
@@ -697,6 +744,227 @@ def _wal_path(wal_dir: str):
     return Path(wal_dir) / "dispatch.wal"
 
 
+def _run_dispatch_server(server, banner_lines, on_close) -> int:
+    """Serve until shutdown/SIGINT, printing the banner once bound."""
+    import asyncio
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port}")
+        for line in banner_lines:
+            print(f"  {line}")
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        on_close()
+    return 0
+
+
+def _shard_wal_path(wal_dir, index: int):
+    from pathlib import Path
+
+    shard_dir = Path(wal_dir) / f"shard-{index}"
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    return shard_dir / "dispatch.wal"
+
+
+def _serve_shard_worker(args: argparse.Namespace, config) -> int:
+    """One standalone shard worker: band ``--shard-index`` of ``--shards``.
+
+    Workers never tick themselves — the router owns the batch clock —
+    so ``--speedup`` is ignored here.
+    """
+    from repro.serve.server import DispatchServer
+    from repro.serve.service import DispatchService
+    from repro.serve.shard import ShardPlan
+    from repro.serve.wal import WalError
+
+    if not 0 <= args.shard_index < args.shards:
+        print(
+            f"--shard-index must be in [0, {args.shards}) (got {args.shard_index})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = ShardPlan.from_shape(
+            config.grid_rows, config.grid_cols, args.shards
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    wal_path = (
+        _shard_wal_path(args.wal_dir, args.shard_index)
+        if args.wal_dir is not None
+        else None
+    )
+    try:
+        if args.recover and wal_path is not None and wal_path.exists():
+            service, report = DispatchService.recover(
+                wal_path,
+                config,
+                args.policy,
+                predictor_name=args.predictor,
+                fsync=args.fsync,
+                shard_plan=plan,
+                shard_index=args.shard_index,
+            )
+            print(report.render())
+        else:
+            service = DispatchService.from_config(
+                config,
+                args.policy,
+                predictor_name=args.predictor,
+                wal_path=wal_path,
+                wal_fsync=args.fsync,
+                shard_plan=plan,
+                shard_index=args.shard_index,
+            )
+    except WalError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    lo, hi = plan.region_range(args.shard_index)
+    server = DispatchServer(service, host=args.host, port=args.port)
+    return _run_dispatch_server(
+        server,
+        [
+            f"shard {args.shard_index}/{args.shards} of {args.policy}: "
+            f"regions [{lo}, {hi}) of {plan.num_regions}",
+            "ticker=off (a shard router must drive /tick)",
+        ]
+        + (
+            [f"wal={wal_path} fsync={args.fsync}"]
+            if wal_path is not None
+            else []
+        ),
+        service.close,
+    )
+
+
+def _serve_shard_router(args: argparse.Namespace, config) -> int:
+    """The router alone, over already-running shard workers."""
+    from repro.experiments.runner import build_serve_world
+    from repro.serve.router import ShardEndpoint, ShardRouter
+    from repro.serve.server import DispatchServer
+    from repro.serve.shard import ShardPlan
+
+    endpoints = []
+    for index, spec in enumerate(args.shard_ports.split(",")):
+        host, _, port = spec.strip().rpartition(":")
+        try:
+            endpoints.append(
+                ShardEndpoint(
+                    index=index, host=host or "127.0.0.1", port=int(port)
+                )
+            )
+        except ValueError:
+            print(f"bad --shard-ports entry {spec!r}", file=sys.stderr)
+            return 2
+    if args.shards != len(endpoints) and args.shards != 1:
+        print(
+            f"--shards {args.shards} does not match "
+            f"{len(endpoints)} --shard-ports entries",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = ShardPlan.from_shape(
+            config.grid_rows, config.grid_cols, len(endpoints)
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _, _, grid, *_ = build_serve_world(config, args.policy, args.predictor)
+    try:
+        router = ShardRouter(
+            plan,
+            grid,
+            endpoints,
+            rebalance=args.rebalance,
+            rebalance_max_moves=args.rebalance_max_moves,
+        )
+    except (ConnectionError, OSError, RuntimeError) as exc:
+        print(f"cannot reach shard workers: {exc}", file=sys.stderr)
+        return 1
+    tick_interval = (
+        config.batch_interval_s / args.speedup if args.speedup > 0 else None
+    )
+    server = DispatchServer(
+        router, host=args.host, port=args.port, tick_interval_s=tick_interval
+    )
+    return _run_dispatch_server(
+        server,
+        [
+            f"router over {len(endpoints)} external shard workers: "
+            + ", ".join(f"{e.host}:{e.port}" for e in endpoints),
+            f"rebalance={'on' if args.rebalance else 'off'} "
+            + (
+                f"ticker={tick_interval * 1e3:.1f}ms wall/window "
+                f"(speedup {args.speedup:g}x)"
+                if tick_interval
+                else "ticker=off (POST /tick to advance)"
+            ),
+        ],
+        router.close,
+    )
+
+
+def _serve_sharded_stack(args: argparse.Namespace, config) -> int:
+    """The embedded N-shard deployment: workers + router in one process."""
+    from repro.serve.router import build_sharded_stack
+    from repro.serve.server import DispatchServer
+    from repro.serve.wal import WalError
+
+    try:
+        stack = build_sharded_stack(
+            config,
+            args.policy,
+            args.shards,
+            predictor_name=args.predictor,
+            wal_dir=args.wal_dir,
+            fsync=args.fsync,
+            recover=args.recover,
+            rebalance=args.rebalance,
+            rebalance_max_moves=args.rebalance_max_moves,
+        )
+    except (WalError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    for report in stack.reports:
+        if report is not None:
+            print(report.render())
+    tick_interval = (
+        config.batch_interval_s / args.speedup if args.speedup > 0 else None
+    )
+    server = DispatchServer(
+        stack.router,
+        host=args.host,
+        port=args.port,
+        tick_interval_s=tick_interval,
+    )
+    banner = [
+        f"{args.shards}-shard {args.policy} stack, workers on ports "
+        + ", ".join(str(e.port) for e in stack.router.endpoints),
+        f"city={config.city} Delta={config.batch_interval_s:g}s "
+        f"rebalance={'on' if args.rebalance else 'off'} "
+        + (
+            f"ticker={tick_interval * 1e3:.1f}ms wall/window "
+            f"(speedup {args.speedup:g}x)"
+            if tick_interval
+            else "ticker=off (POST /tick to advance)"
+        ),
+    ]
+    if args.wal_dir is not None:
+        banner.append(
+            f"wal={args.wal_dir}/shard-<i>/dispatch.wal fsync={args.fsync}"
+            + (" (recovered)" if args.recover else "")
+        )
+    return _run_dispatch_server(server, banner, stack.close)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -710,9 +978,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.recover and args.wal_dir is None:
         print("--recover requires --wal-dir", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.rebalance and args.shards < 2 and args.shard_ports is None:
+        print("--rebalance requires --shards > 1", file=sys.stderr)
+        return 2
     config = _serve_config(args)
     if config is None:
         return 2
+    if args.shard_index is not None:
+        return _serve_shard_worker(args, config)
+    if args.shard_ports is not None:
+        return _serve_shard_router(args, config)
+    if args.shards > 1:
+        return _serve_sharded_stack(args, config)
     if args.recover:
         wal_path = _wal_path(args.wal_dir)
         if not wal_path.exists():
@@ -849,6 +1129,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.wal_dir is not None and not args.embedded:
         print("--wal-dir requires --embedded (the server owns its WAL)", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and not args.embedded:
+        print(
+            "--shards requires --embedded (point a plain loadgen at a "
+            "router started with `repro serve --shards N` instead)",
+            file=sys.stderr,
+        )
+        return 2
     config = _serve_config(args)
     if config is None:
         return 2
@@ -857,32 +1147,61 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     riders, *_ = build_serve_world(config, args.policy, args.predictor)
 
     handle = None
+    stack = None
     if args.embedded:
         from repro.serve.server import start_server_in_thread
         from repro.serve.service import DispatchService
 
-        service = DispatchService.from_config(
-            config,
-            args.policy,
-            predictor_name=args.predictor,
-            wal_path=(
-                _wal_path(args.wal_dir) if args.wal_dir is not None else None
-            ),
-            wal_fsync=args.fsync,
-        )
         tick_interval = (
             config.batch_interval_s / args.speedup if args.speedup > 0 else None
         )
-        handle = start_server_in_thread(service, tick_interval_s=tick_interval)
-        host, port = handle.host, handle.port
-        print(
-            f"embedded server on http://{host}:{port}"
-            + (
-                f" (wal={_wal_path(args.wal_dir)} fsync={args.fsync})"
-                if args.wal_dir is not None
-                else ""
+        if args.shards > 1:
+            from repro.serve.router import build_sharded_stack
+
+            stack = build_sharded_stack(
+                config,
+                args.policy,
+                args.shards,
+                predictor_name=args.predictor,
+                wal_dir=args.wal_dir,
+                fsync=args.fsync,
             )
-        )
+            handle = start_server_in_thread(
+                stack.router, tick_interval_s=tick_interval
+            )
+            host, port = handle.host, handle.port
+            print(
+                f"embedded {args.shards}-shard router on http://{host}:{port} "
+                f"(workers on ports "
+                + ", ".join(str(e.port) for e in stack.router.endpoints)
+                + ")"
+                + (
+                    f" (wal={args.wal_dir}/shard-<i>/dispatch.wal "
+                    f"fsync={args.fsync})"
+                    if args.wal_dir is not None
+                    else ""
+                )
+            )
+        else:
+            service = DispatchService.from_config(
+                config,
+                args.policy,
+                predictor_name=args.predictor,
+                wal_path=(
+                    _wal_path(args.wal_dir) if args.wal_dir is not None else None
+                ),
+                wal_fsync=args.fsync,
+            )
+            handle = start_server_in_thread(service, tick_interval_s=tick_interval)
+            host, port = handle.host, handle.port
+            print(
+                f"embedded server on http://{host}:{port}"
+                + (
+                    f" (wal={_wal_path(args.wal_dir)} fsync={args.fsync})"
+                    if args.wal_dir is not None
+                    else ""
+                )
+            )
     else:
         host, port = args.host, args.port
 
@@ -899,6 +1218,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     finally:
         if handle is not None:
             handle.stop()
+        if stack is not None:
+            stack.close()  # router + shard servers + shard services
+        elif handle is not None:
             handle.service.close()
     print(report.render())
 
@@ -911,6 +1233,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "profile": args.profile or "default",
             **report.to_payload(),
         }
+        if args.shards > 1:
+            record["shards"] = args.shards
         if args.wal_dir is not None:
             record["fsync"] = args.fsync
         path = append_bench_record("BENCH_serve.json", record)

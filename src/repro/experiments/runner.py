@@ -192,7 +192,11 @@ def _build_riders_and_drivers(config: ExperimentConfig):
 
 
 def build_serve_world(
-    config: ExperimentConfig, policy_name: str, predictor_name: str = "deepst"
+    config: ExperimentConfig,
+    policy_name: str,
+    predictor_name: str = "deepst",
+    shard_plan=None,
+    shard_index: int | None = None,
 ):
     """Everything the online dispatch service needs for ``config``.
 
@@ -202,6 +206,12 @@ def build_serve_world(
     the initial driver fleet, and the policy/demand pair exactly as
     :func:`run_policy` would build them, so a live server over a replayed
     stream is the same simulation as the offline run.
+
+    With a ``shard_plan`` (:class:`repro.serve.shard.ShardPlan`) and
+    ``shard_index``, the world is sliced to that shard's region band:
+    riders by origin region, the initial fleet by starting region (order
+    preserved, driver ids global), demand over the sliced trace.  The
+    grid stays the *full* grid so region ids remain fleet-wide.
     """
     base_name = policy_name[:-3] if policy_name.endswith("+RB") else policy_name
     if base_name not in _POLICY_NAMES:
@@ -210,6 +220,19 @@ def build_serve_world(
             f"(optionally suffixed with '+RB')"
         )
     riders, drivers, grid, cost_model = _build_riders_and_drivers(config)
+    if shard_plan is not None:
+        if shard_index is None:
+            raise ValueError("shard_plan given without shard_index")
+        if (shard_plan.rows, shard_plan.cols) != (grid.rows, grid.cols):
+            raise ValueError(
+                f"shard plan is for a {shard_plan.rows}x{shard_plan.cols} "
+                f"grid; config builds {grid.rows}x{grid.cols}"
+            )
+        lo, hi = shard_plan.region_range(shard_index)
+        riders = [r for r in riders if lo <= r.origin_region < hi]
+        drivers = [d for d in drivers if lo <= d.region < hi]
+    elif shard_index is not None:
+        raise ValueError("shard_index given without shard_plan")
     policy = _make_policy(policy_name, config)
     demand = _make_demand(policy_name, config, riders, grid, predictor_name)
     return riders, drivers, grid, cost_model, policy, demand

@@ -11,9 +11,17 @@ real time, reporting sustained requests/sec and assignment latency into
 the append-only ``BENCH_serve.json`` history.
 
 :mod:`repro.serve.wal` adds the durability layer: a write-ahead log of
-every accepted request, tick, and committed assignment, with
-:meth:`DispatchService.recover` rebuilding a mid-day service from the log
-after a crash (``repro serve --wal-dir ... [--recover]``).
+every accepted request, driver event, tick, and committed assignment,
+with :meth:`DispatchService.recover` rebuilding a mid-day service from
+the log after a crash (``repro serve --wal-dir ... [--recover]``).
+
+:mod:`repro.serve.shard` and :mod:`repro.serve.router` scale the service
+horizontally: a :class:`ShardPlan` bands the region grid into N
+contiguous shards, one worker (and one WAL) per band, with a
+:class:`ShardRouter` in front that routes requests by pickup region,
+broadcasts the batch clock in lockstep, merges fleet-wide views, and
+optionally rebalances idle drivers across shard boundaries through the
+driver wire events (``repro serve --shards N``).
 """
 
 from repro.serve.service import (
@@ -23,7 +31,20 @@ from repro.serve.service import (
     rider_to_payload,
 )
 from repro.serve.server import DispatchServer, ServerHandle, start_server_in_thread
-from repro.serve.loadgen import LoadgenReport, replay_workload
+from repro.serve.loadgen import (
+    LoadgenReport,
+    ServeClient,
+    decorrelated_backoff,
+    replay_workload,
+)
+from repro.serve.router import (
+    ShardEndpoint,
+    ShardRouter,
+    ShardedStack,
+    build_sharded_stack,
+    merge_statuses,
+)
+from repro.serve.shard import ShardPlan, shard_local_workload
 from repro.serve.wal import (
     WalCorruptionError,
     WalError,
@@ -38,15 +59,24 @@ __all__ = [
     "DispatchServer",
     "LoadgenReport",
     "RecoveryReport",
+    "ServeClient",
     "ServerHandle",
+    "ShardEndpoint",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedStack",
     "WalCorruptionError",
     "WalError",
     "WalReplayError",
     "WriteAheadLog",
+    "build_sharded_stack",
+    "decorrelated_backoff",
+    "merge_statuses",
     "read_wal",
     "replay_workload",
     "rider_from_payload",
     "rider_to_payload",
+    "shard_local_workload",
     "start_server_in_thread",
     "truncate_torn_tail",
 ]

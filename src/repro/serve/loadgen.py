@@ -23,24 +23,41 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time as _time
 from dataclasses import asdict, dataclass
 
 from repro.sim.entities import Rider
 
-__all__ = ["LoadgenReport", "ServeClient", "replay_workload"]
+__all__ = ["LoadgenReport", "ServeClient", "decorrelated_backoff", "replay_workload"]
+
+
+def decorrelated_backoff(
+    rng: random.Random, base_s: float, prev_s: float, cap_s: float
+) -> float:
+    """Next retry delay under decorrelated jitter.
+
+    ``uniform(base, 3 * prev)`` capped at ``cap`` and floored at ``base``
+    (pass ``prev_s=0`` for the first retry).  Unlike pure exponential
+    backoff, concurrent clients that lost the same server — N shard
+    clients after a worker restart, the durability smoke's retry loop —
+    spread out instead of reconnecting in synchronized waves.
+    """
+    high = max(base_s, min(cap_s, 3.0 * (prev_s if prev_s > 0 else base_s)))
+    return rng.uniform(base_s, high)
 
 
 class ServeClient:
     """A keep-alive JSON client for the dispatch server.
 
-    Connection failures are retried with exponential backoff (up to
-    ``max_retries`` reconnect attempts per request), so a paced client
+    Connection failures are retried with decorrelated-jitter backoff (up
+    to ``max_retries`` reconnect attempts per request), so a paced client
     rides through a server restart instead of dying on the first reset.
     Retries are safe because the server's mutating surface is idempotent:
-    ``POST /requests`` dedupes on rider id and lockstep ticks address the
-    batch clock absolutely (``until_index``), so resending an operation
-    whose response was lost cannot double-apply it.
+    ``POST /requests`` dedupes on rider id, ``POST /drivers`` on
+    ``(event, driver_id, time_s)``, and lockstep ticks address the batch
+    clock absolutely (``until_index``), so resending an operation whose
+    response was lost cannot double-apply it.
     """
 
     def __init__(
@@ -51,6 +68,7 @@ class ServeClient:
         max_retries: int = 8,
         backoff_s: float = 0.05,
         max_backoff_s: float = 1.0,
+        backoff_rng: random.Random | None = None,
     ):
         self.host = host
         self.port = port
@@ -59,11 +77,21 @@ class ServeClient:
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
         self.reconnects = 0
+        #: Seedable for tests; fresh entropy per client otherwise (the
+        #: whole point is that two clients do not share a schedule).
+        self._backoff_rng = backoff_rng if backoff_rng is not None else random.Random()
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+
+    def next_backoff(self, prev_s: float) -> float:
+        """Delay before the next reconnect attempt (see module helper)."""
+        return decorrelated_backoff(
+            self._backoff_rng, self.backoff_s, prev_s, self.max_backoff_s
+        )
 
     def request(self, method: str, path: str, payload=None) -> dict:
         body = None if payload is None else json.dumps(payload)
         attempt = 0
+        delay = 0.0
         while True:
             try:
                 self._conn.request(method, path, body=body)
@@ -79,9 +107,8 @@ class ServeClient:
                 )
                 if attempt >= self.max_retries:
                     raise
-                _time.sleep(
-                    min(self.max_backoff_s, self.backoff_s * (2**attempt))
-                )
+                delay = self.next_backoff(delay)
+                _time.sleep(delay)
                 attempt += 1
                 self.reconnects += 1
         parsed = json.loads(data) if data else {}

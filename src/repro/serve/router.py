@@ -1,0 +1,663 @@
+"""A region-sharding router over N dispatch shard workers.
+
+:class:`ShardRouter` presents the same surface as
+:class:`~repro.serve.service.DispatchService` (submit / submit_drivers /
+tick / tick_until / finalize / status / assignments / request_status /
+drivers), so the stock :class:`~repro.serve.server.DispatchServer` can
+serve a sharded deployment unchanged.  Behind that surface it
+
+- routes ``POST /requests`` to the shard owning the pickup's region
+  (contiguous region-id bands, one integer comparison per request);
+- fans ``/tick`` out as a *barriered broadcast* with absolute batch
+  addressing (``until_index``), so every shard advances through the same
+  boundaries in lockstep — and a shard that crashed and recovered simply
+  re-joins the broadcast, since ticks are idempotent;
+- merges ``/status``, ``/assignments``, and finalize economics into
+  fleet-wide views, pooling the *raw* per-shard latency samples so the
+  merged percentiles are true percentiles (an average of per-shard p99s
+  is not a p99);
+- optionally rebalances supply after each tick round: shards whose
+  waiting queues exceed their idle supply receive idle drivers from
+  shards with surplus, as a donor ``leave`` plus recipient ``join`` wire
+  event pair timed at the next batch boundary — so migrations are
+  WAL-logged on both sides and replay like any other event.
+
+Per-shard clients retry with decorrelated-jitter backoff, so the router
+rides through a worker restart (the durability smoke kills one mid-day)
+without synchronized reconnect waves.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
+from repro.serve.loadgen import ServeClient
+from repro.serve.service import _percentile
+from repro.serve.shard import ShardPlan
+
+__all__ = ["ShardEndpoint", "ShardRouter", "merge_statuses"]
+
+
+@dataclass(frozen=True)
+class ShardEndpoint:
+    """Where one shard worker listens."""
+
+    index: int
+    host: str
+    port: int
+
+
+def _pooled(samples_by_shard: list[list[float]]) -> list[float]:
+    pooled: list[float] = []
+    for samples in samples_by_shard:
+        pooled.extend(samples)
+    pooled.sort()
+    return pooled
+
+
+def merge_statuses(statuses: list[dict], include_samples: bool = False) -> dict:
+    """Fold per-shard ``/status?samples=1`` payloads into a fleet view.
+
+    Counters sum; clocks take the lockstep consensus (``min`` for the
+    batch clock, so a straggler is never skipped); percentile fields are
+    recomputed from the pooled raw samples — merging the per-shard
+    percentiles themselves would understate every tail.
+    """
+    if not statuses:
+        raise ValueError("no shard statuses to merge")
+    for i, status in enumerate(statuses):
+        if "samples" not in status:
+            raise ValueError(f"shard {i} status has no samples to merge")
+    latencies = _pooled([s["samples"]["assignment_latency_s"] for s in statuses])
+    ticks = _pooled([s["samples"]["tick_wall_s"] for s in statuses])
+    gaps = _pooled([s["samples"]["tick_gap_wall_s"] for s in statuses])
+    phase_seconds: dict[str, float] = {}
+    for status in statuses:
+        for phase, seconds in status["phase_seconds"].items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+    waiting_by_region: dict[int, int] = {}
+    for status in statuses:
+        for region, count in status["waiting_by_region"].items():
+            region = int(region)  # JSON object keys arrive as strings
+            waiting_by_region[region] = waiting_by_region.get(region, 0) + count
+    driver_events = {
+        key: sum(s["driver_events"][key] for s in statuses)
+        for key in statuses[0]["driver_events"]
+    }
+    wal_stats = [s.get("wal") for s in statuses]
+    recovered = [s.get("recovered") for s in statuses]
+    # None until the first tick; the lockstep consensus clock is only
+    # defined once every shard has ticked.
+    sim_times = [s["sim_time_s"] for s in statuses]
+    merged = {
+        "policy": statuses[0]["policy"],
+        "batch_interval_s": statuses[0]["batch_interval_s"],
+        "sim_time_s": (
+            None if any(t is None for t in sim_times) else min(sim_times)
+        ),
+        "next_batch_index": min(s["next_batch_index"] for s in statuses),
+        "uptime_wall_s": max(s["uptime_wall_s"] for s in statuses),
+        "requests_received": sum(s["requests_received"] for s in statuses),
+        "waiting": sum(s["waiting"] for s in statuses),
+        "pending": sum(s["pending"] for s in statuses),
+        "active_drivers": sum(s["active_drivers"] for s in statuses),
+        "served_orders": sum(s["served_orders"] for s in statuses),
+        "reneged_orders": sum(s["reneged_orders"] for s in statuses),
+        "total_revenue": sum(s["total_revenue"] for s in statuses),
+        "repositions": sum(s["repositions"] for s in statuses),
+        "phase_seconds": phase_seconds,
+        "ticks": max(s["ticks"] for s in statuses),
+        "tick_wall_ms": {
+            "p50": 1e3 * _percentile(ticks, 0.50),
+            "p99": 1e3 * _percentile(ticks, 0.99),
+            "max": 1e3 * (ticks[-1] if ticks else 0.0),
+        },
+        "tick_gap_wall_ms": {
+            "p50": 1e3 * _percentile(gaps, 0.50),
+            "p99": 1e3 * _percentile(gaps, 0.99),
+            "max": 1e3 * (gaps[-1] if gaps else 0.0),
+        },
+        "assignment_latency_s": {
+            "count": len(latencies),
+            "p50": _percentile(latencies, 0.50),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "duplicate_requests": sum(s["duplicate_requests"] for s in statuses),
+        "waiting_by_region": waiting_by_region,
+        "driver_events": driver_events,
+        "wal": wal_stats if any(w is not None for w in wal_stats) else None,
+        "recovered": (
+            recovered if any(r is not None for r in recovered) else None
+        ),
+    }
+    if include_samples:
+        merged["samples"] = {
+            "assignment_latency_s": latencies,
+            "tick_wall_s": ticks,
+            "tick_gap_wall_s": gaps,
+        }
+    return merged
+
+
+class ShardRouter:
+    """Route, broadcast, merge — and optionally rebalance — over N shards.
+
+    Duck-types the :class:`DispatchService` surface the HTTP server
+    exposes, so ``DispatchServer(ShardRouter(...))`` serves a sharded
+    deployment on the same wire protocol as a single worker.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        grid: GridPartition,
+        endpoints: list[ShardEndpoint],
+        rebalance: bool = False,
+        rebalance_max_moves: int = 8,
+        min_shift_remaining_s: float = 0.0,
+        client_timeout_s: float = 30.0,
+        client_max_retries: int = 12,
+        client_max_backoff_s: float = 2.0,
+    ):
+        if len(endpoints) != plan.num_shards:
+            raise ValueError(
+                f"plan has {plan.num_shards} shards but {len(endpoints)} "
+                "endpoints were given"
+            )
+        if (grid.rows, grid.cols) != (plan.rows, plan.cols):
+            raise ValueError(
+                f"plan is for a {plan.rows}x{plan.cols} grid, "
+                f"got {grid.rows}x{grid.cols}"
+            )
+        self.plan = plan
+        self.grid = grid
+        self.endpoints = list(endpoints)
+        self.rebalance = rebalance
+        self.rebalance_max_moves = rebalance_max_moves
+        self.min_shift_remaining_s = min_shift_remaining_s
+        #: Driver migrations committed so far (leave+join event pairs).
+        self.migrations = 0
+        self._last_rebalance_index: int | None = None
+        self._lock = threading.RLock()
+        # Generous retry budget: the router must ride through a shard
+        # worker being killed and recovered mid-day, retrying through the
+        # gap with jittered backoff.
+        self._clients = [
+            ServeClient(
+                e.host,
+                e.port,
+                timeout_s=client_timeout_s,
+                max_retries=client_max_retries,
+                max_backoff_s=client_max_backoff_s,
+            )
+            for e in self.endpoints
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self._clients)),
+            thread_name_prefix="shard-router",
+        )
+        #: Last known owner shard per driver id (seeded by joins and
+        #: migrations routed through this router; probed on demand).
+        self._owner: dict[int, int] = {}
+        self._batch_interval_s = None
+        with self._lock:
+            statuses = self._broadcast(
+                lambda c: c.request("GET", "/status")
+            )
+            self._batch_interval_s = statuses[0]["batch_interval_s"]
+            self._next_batch_index = min(
+                s["next_batch_index"] for s in statuses
+            )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _broadcast(self, call) -> list:
+        """Run ``call(client)`` on every shard concurrently; all-or-raise."""
+        futures = [self._pool.submit(call, client) for client in self._clients]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            self._pool.shutdown(wait=True)
+            for client in self._clients:
+                client.close()
+
+    def shard_of_payload(self, payload: dict) -> int:
+        """The shard owning one ride-request payload's pickup."""
+        origin = payload.get("origin_region")
+        if origin is None:
+            lon, lat = (float(c) for c in payload["pickup"])
+            origin = self.grid.region_of(GeoPoint(lon, lat))
+        return self.plan.shard_of_region(int(origin))
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(self, payloads: list[dict] | dict) -> dict:
+        """Route each request to the shard owning its pickup region."""
+        if isinstance(payloads, dict):
+            payloads = [payloads]
+        by_shard: dict[int, list[dict]] = {}
+        for payload in payloads:
+            by_shard.setdefault(self.shard_of_payload(payload), []).append(
+                payload
+            )
+        with self._lock:
+            futures = {
+                shard: self._pool.submit(
+                    self._clients[shard].request, "POST", "/requests", batch
+                )
+                for shard, batch in by_shard.items()
+            }
+            responses = {shard: f.result() for shard, f in futures.items()}
+        return {
+            "accepted": sum(r["accepted"] for r in responses.values()),
+            "duplicates": sum(r["duplicates"] for r in responses.values()),
+            "next_batch_index": max(
+                r["next_batch_index"] for r in responses.values()
+            ),
+            "next_batch_time_s": max(
+                r["next_batch_time_s"] for r in responses.values()
+            ),
+        }
+
+    def _owner_shard(self, driver_id: int) -> int:
+        """Which shard currently holds ``driver_id`` (probes on a miss)."""
+        cached = self._owner.get(driver_id)
+        if cached is not None:
+            return cached
+        listings = self._broadcast(
+            lambda c: c.request("GET", "/drivers")["drivers"]
+        )
+        for shard, listing in enumerate(listings):
+            for entry in listing:
+                self._owner.setdefault(entry["driver_id"], shard)
+        try:
+            return self._owner[driver_id]
+        except KeyError:
+            raise ValueError(f"no shard knows driver {driver_id}") from None
+
+    def submit_drivers(self, events: list[dict] | dict) -> dict:
+        """Route driver wire events: joins by position, the rest by owner."""
+        if isinstance(events, dict):
+            events = [events]
+        with self._lock:
+            by_shard: dict[int, list[dict]] = {}
+            for event in events:
+                if event.get("event") == "join":
+                    lon, lat = (float(c) for c in event["position"])
+                    shard = self.plan.shard_of_region(
+                        self.grid.region_of(GeoPoint(lon, lat))
+                    )
+                    self._owner[int(event["driver_id"])] = shard
+                else:
+                    shard = self._owner_shard(int(event["driver_id"]))
+                by_shard.setdefault(shard, []).append(event)
+            futures = {
+                shard: self._pool.submit(
+                    self._clients[shard].request, "POST", "/drivers", batch
+                )
+                for shard, batch in by_shard.items()
+            }
+            responses = {shard: f.result() for shard, f in futures.items()}
+        return {
+            "accepted": sum(r["accepted"] for r in responses.values()),
+            "duplicates": sum(r["duplicates"] for r in responses.values()),
+            "pending_driver_events": sum(
+                r["pending_driver_events"] for r in responses.values()
+            ),
+            "next_batch_index": max(
+                r["next_batch_index"] for r in responses.values()
+            ),
+            "next_batch_time_s": max(
+                r["next_batch_time_s"] for r in responses.values()
+            ),
+        }
+
+    # -- ticking -------------------------------------------------------------
+
+    def tick(self, count: int = 1) -> dict:
+        """Advance every shard ``count`` boundaries past the router clock."""
+        if count < 1:
+            raise ValueError("tick count must be >= 1")
+        with self._lock:
+            return self._tick_until_locked(self._next_batch_index + count)
+
+    def tick_until(self, index: int) -> dict:
+        """Barriered lockstep broadcast of an absolute batch target.
+
+        Idempotent at every shard, so a shard that already reached
+        ``index`` (e.g. one that just recovered its WAL past the others)
+        fires nothing and simply waits at the barrier.
+        """
+        with self._lock:
+            return self._tick_until_locked(index)
+
+    def _tick_until_locked(self, index: int) -> dict:
+        responses = self._broadcast(
+            lambda c: c.request("POST", "/tick", {"until_index": index})
+        )
+        self._next_batch_index = max(
+            self._next_batch_index,
+            min(r["next_batch_index"] for r in responses),
+        )
+        if self.rebalance:
+            self._rebalance_locked()
+        return {
+            "ticks": max(r["ticks"] for r in responses),
+            "time_s": min(r["time_s"] for r in responses),
+            "next_batch_index": self._next_batch_index,
+            "assignments": sum(r["assignments"] for r in responses),
+            "reneged": sum(r["reneged"] for r in responses),
+            "waiting": sum(r["waiting"] for r in responses),
+            "pending": sum(r["pending"] for r in responses),
+        }
+
+    def finalize(self) -> dict:
+        with self._lock:
+            responses = self._broadcast(
+                lambda c: c.request("POST", "/finalize")
+            )
+        return {
+            "served_orders": sum(r["served_orders"] for r in responses),
+            "reneged_orders": sum(r["reneged_orders"] for r in responses),
+            "total_orders": sum(r["total_orders"] for r in responses),
+            "total_revenue": sum(r["total_revenue"] for r in responses),
+        }
+
+    # -- cross-shard rebalancing ---------------------------------------------
+
+    def _rebalance_locked(self) -> int:
+        """Migrate idle drivers from surplus shards to starved ones.
+
+        Pressure is read from the shards themselves: a shard whose
+        waiting queue exceeds its idle supply is a recipient; one with
+        idle drivers beyond its own queue is a donor.  Each move is a
+        donor ``leave`` plus a recipient ``join`` at the *next* batch
+        boundary, aimed at the recipient's deepest waiting region — so
+        the migration takes effect exactly when the next window plans,
+        identically on both shards' clocks, and lands in both WALs.
+
+        One round per batch boundary: an idempotent tick broadcast that
+        fired no new windows (the clock did not advance) must not re-send
+        the previous round's events.
+        """
+        if self._last_rebalance_index == self._next_batch_index:
+            return 0
+        self._last_rebalance_index = self._next_batch_index
+        statuses = self._broadcast(lambda c: c.request("GET", "/status"))
+        idle_lists = self._broadcast(
+            lambda c: c.request("GET", "/drivers?idle=1")["drivers"]
+        )
+        t_next = self._next_batch_index * self._batch_interval_s
+        waiting = [s["waiting"] for s in statuses]
+        eligible: list[list[dict]] = []
+        for listing in idle_lists:
+            eligible.append(
+                [
+                    d
+                    for d in listing
+                    if d["leave_time_s"] is None
+                    or d["leave_time_s"] > t_next + self.min_shift_remaining_s
+                ]
+            )
+        surplus = [max(0, len(e) - w) for e, w in zip(eligible, waiting)]
+        deficit = [max(0, w - len(e)) for e, w in zip(eligible, waiting)]
+        moves: list[tuple[int, int, dict]] = []
+        while len(moves) < self.rebalance_max_moves:
+            recipient = max(range(len(deficit)), key=deficit.__getitem__)
+            if deficit[recipient] == 0:
+                break
+            donor = max(range(len(surplus)), key=surplus.__getitem__)
+            if surplus[donor] == 0 or donor == recipient:
+                break
+            driver = eligible[donor].pop(0)
+            surplus[donor] -= 1
+            deficit[recipient] -= 1
+            moves.append((donor, recipient, driver))
+        if not moves:
+            return 0
+        leaves: dict[int, list[dict]] = {}
+        joins: dict[int, list[dict]] = {}
+        for donor, recipient, driver in moves:
+            target_region = self._target_region(statuses[recipient], recipient)
+            center = self.grid.center_of(target_region)
+            leaves.setdefault(donor, []).append(
+                {
+                    "event": "leave",
+                    "driver_id": driver["driver_id"],
+                    "time_s": t_next,
+                }
+            )
+            joins.setdefault(recipient, []).append(
+                {
+                    "event": "join",
+                    "driver_id": driver["driver_id"],
+                    "time_s": t_next,
+                    "position": [center.lon, center.lat],
+                    "leave_time_s": driver["leave_time_s"],
+                }
+            )
+            self._owner[driver["driver_id"]] = recipient
+        # Leaves commit before joins: if the router dies between the two
+        # fan-outs, a driver is briefly missing — never double-counted.
+        futures = [
+            self._pool.submit(
+                self._clients[shard].request, "POST", "/drivers", batch
+            )
+            for shard, batch in leaves.items()
+        ]
+        for f in futures:
+            f.result()
+        futures = [
+            self._pool.submit(
+                self._clients[shard].request, "POST", "/drivers", batch
+            )
+            for shard, batch in joins.items()
+        ]
+        for f in futures:
+            f.result()
+        self.migrations += len(moves)
+        return len(moves)
+
+    def _target_region(self, status: dict, shard: int) -> int:
+        """The recipient's deepest waiting region (band centre fallback)."""
+        waiting_by_region = {
+            int(region): count
+            for region, count in status["waiting_by_region"].items()
+        }
+        if waiting_by_region:
+            return max(
+                waiting_by_region, key=lambda r: (waiting_by_region[r], -r)
+            )
+        lo, hi = self.plan.region_range(shard)
+        return (lo + hi - 1) // 2
+
+    # -- queries -------------------------------------------------------------
+
+    def status(self, include_samples: bool = False) -> dict:
+        with self._lock:
+            statuses = self._broadcast(
+                lambda c: c.request("GET", "/status?samples=1")
+            )
+        merged = merge_statuses(statuses, include_samples=include_samples)
+        merged["sharding"] = {
+            "shards": self.plan.num_shards,
+            "plan": self.plan.to_payload(),
+            "rebalance": self.rebalance,
+            "migrations": self.migrations,
+            "per_shard": [
+                {
+                    "index": self.endpoints[i].index,
+                    "port": self.endpoints[i].port,
+                    "waiting": s["waiting"],
+                    "active_drivers": s["active_drivers"],
+                    "served_orders": s["served_orders"],
+                    "reneged_orders": s["reneged_orders"],
+                    "requests_received": s["requests_received"],
+                }
+                for i, s in enumerate(statuses)
+            ],
+        }
+        return merged
+
+    def assignments(self) -> list[dict]:
+        """The fleet-wide assignment log in canonical merged order.
+
+        Shard logs are each in commit order; the merge sorts by
+        ``(assign_time_s, rider_id)``, which is a total order (rider ids
+        are unique) and independent of the shard count — the basis of
+        the N-shard-equals-1-shard bit-identity checks.
+        """
+        with self._lock:
+            per_shard = self._broadcast(
+                lambda c: c.request("GET", "/assignments")["assignments"]
+            )
+        merged = [row for rows in per_shard for row in rows]
+        merged.sort(key=lambda row: (row["assign_time_s"], row["rider_id"]))
+        return merged
+
+    def request_status(self, rider_id: int) -> dict | None:
+        def probe(client: ServeClient):
+            try:
+                return client.request("GET", f"/requests/{rider_id}")
+            except RuntimeError:
+                return None  # 404 on this shard
+
+        with self._lock:
+            results = self._broadcast(probe)
+        for result in results:
+            if result is not None:
+                return result
+        return None
+
+    def drivers(self, idle_only: bool = False, limit: int | None = None) -> list[dict]:
+        query = "/drivers?idle=1" if idle_only else "/drivers"
+        with self._lock:
+            listings = self._broadcast(
+                lambda c: c.request("GET", query)["drivers"]
+            )
+        merged = [entry for listing in listings for entry in listing]
+        return merged if limit is None else merged[:limit]
+
+
+@dataclass
+class ShardedStack:
+    """An in-process sharded deployment: N workers, their servers, a router."""
+
+    router: ShardRouter
+    plan: ShardPlan
+    services: list
+    handles: list
+    #: Per-shard :class:`RecoveryReport` (None for fresh workers).
+    reports: list
+
+    def close(self) -> None:
+        self.router.close()
+        for handle in self.handles:
+            handle.stop()
+        for service in self.services:
+            service.close()
+
+    def __enter__(self) -> "ShardedStack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def build_sharded_stack(
+    config,
+    policy_name: str,
+    num_shards: int,
+    predictor_name: str = "deepst",
+    profile_phases: bool = True,
+    wal_dir=None,
+    fsync: str = "batch",
+    recover: bool = False,
+    rebalance: bool = False,
+    rebalance_max_moves: int = 8,
+    host: str = "127.0.0.1",
+) -> ShardedStack:
+    """Boot ``num_shards`` in-process shard workers behind a router.
+
+    Each worker is a full :class:`DispatchService` over the shard's slice
+    of the fleet, served on its own daemon-thread HTTP server (port 0 =
+    ephemeral), with its own WAL at ``wal_dir/shard-<i>/dispatch.wal``
+    when ``wal_dir`` is given.  ``recover=True`` replays any existing
+    shard WAL before serving (fresh shards start clean).  Workers never
+    tick themselves — the router is the only batch-clock driver, which is
+    what keeps the shards in lockstep.
+    """
+    from pathlib import Path
+
+    from repro.serve.server import start_server_in_thread
+    from repro.serve.service import DispatchService
+
+    plan = ShardPlan.from_shape(config.grid_rows, config.grid_cols, num_shards)
+    services: list = []
+    handles: list = []
+    endpoints: list[ShardEndpoint] = []
+    reports: list = []
+    try:
+        for index in range(num_shards):
+            wal_path = None
+            if wal_dir is not None:
+                shard_dir = Path(wal_dir) / f"shard-{index}"
+                shard_dir.mkdir(parents=True, exist_ok=True)
+                wal_path = shard_dir / "dispatch.wal"
+            if recover and wal_path is not None and wal_path.exists():
+                service, report = DispatchService.recover(
+                    wal_path,
+                    config,
+                    policy_name,
+                    predictor_name=predictor_name,
+                    profile_phases=profile_phases,
+                    fsync=fsync,
+                    shard_plan=plan,
+                    shard_index=index,
+                )
+                reports.append(report)
+            else:
+                service = DispatchService.from_config(
+                    config,
+                    policy_name,
+                    predictor_name=predictor_name,
+                    profile_phases=profile_phases,
+                    wal_path=wal_path,
+                    wal_fsync=fsync,
+                    shard_plan=plan,
+                    shard_index=index,
+                )
+                reports.append(None)
+            services.append(service)
+            handle = start_server_in_thread(service, host=host)
+            handles.append(handle)
+            endpoints.append(
+                ShardEndpoint(index=index, host=host, port=handle.port)
+            )
+        grid = services[0].stepper.grid
+        router = ShardRouter(
+            plan,
+            grid,
+            endpoints,
+            rebalance=rebalance,
+            rebalance_max_moves=rebalance_max_moves,
+        )
+    except BaseException:
+        for handle in handles:
+            handle.stop()
+        for service in services:
+            service.close()
+        raise
+    return ShardedStack(
+        router=router,
+        plan=plan,
+        services=services,
+        handles=handles,
+        reports=reports,
+    )

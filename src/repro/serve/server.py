@@ -13,10 +13,18 @@ requests).  Endpoints:
   server restart cannot double-advance the day).  Exposed for lockstep
   load generation and tests; live deployments run the built-in
   wall-clock ticker instead.
+- ``POST /drivers`` — submit driver wire events (join / leave /
+  relocate), one JSON object or a batch; idempotent on
+  ``(event, driver_id, time_s)``.  The shard router's cross-shard
+  migrations ride this endpoint.
 - ``POST /finalize`` — post-horizon accounting (idempotent).
 - ``GET /status`` — clock, queue depths, totals, per-phase profile
-  (``phase_seconds``), tick and assignment-latency percentiles.
+  (``phase_seconds``), tick and assignment-latency percentiles;
+  ``?samples=1`` adds the raw samples behind the percentiles (what the
+  shard router pools for fleet-wide percentiles).
 - ``GET /assignments`` — every committed assignment in commit order.
+- ``GET /drivers`` — wire-form fleet snapshot; ``?idle=1`` keeps only
+  on-shift unassigned drivers (migration donors), ``?limit=K`` caps it.
 - ``GET /requests/<id>`` — one request's lifecycle.
 - ``POST /shutdown`` — stop the server.
 
@@ -31,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import urllib.parse
 from collections.abc import Callable
 
 from repro.serve.service import DispatchService
@@ -190,8 +199,25 @@ class DispatchServer:
         return method, path, body, headers
 
     async def _route(self, method: str, path: str, body: bytes):
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, raw_query = path.partition("?")
+        path = path.rstrip("/") or "/"
+        query = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(raw_query).items()
+        }
         service = self.service
+
+        def query_flag(name: str) -> bool:
+            return query.get(name, "0").lower() not in ("", "0", "false", "no")
+
+        def query_int(name: str) -> int | None:
+            raw = query.get(name)
+            if raw is None:
+                return None
+            try:
+                return int(raw)
+            except ValueError as exc:
+                raise _HTTPError(400, f"bad {name} {raw!r}") from exc
 
         def parse_body(default):
             if not body:
@@ -203,10 +229,20 @@ class DispatchServer:
 
         if method == "GET":
             if path == "/status":
-                return 200, await asyncio.to_thread(service.status)
+                return 200, await asyncio.to_thread(
+                    service.status, query_flag("samples")
+                )
             if path == "/assignments":
                 return 200, {
                     "assignments": await asyncio.to_thread(service.assignments)
+                }
+            if path == "/drivers":
+                return 200, {
+                    "drivers": await asyncio.to_thread(
+                        service.drivers,
+                        query_flag("idle"),
+                        query_int("limit"),
+                    )
                 }
             if path.startswith("/requests/"):
                 raw_id = path.rsplit("/", 1)[1]
@@ -224,6 +260,13 @@ class DispatchServer:
                 if payload is None:
                     raise _HTTPError(400, "missing request body")
                 return 200, await asyncio.to_thread(service.submit, payload)
+            if path == "/drivers":
+                payload = parse_body(None)
+                if payload is None:
+                    raise _HTTPError(400, "missing request body")
+                return 200, await asyncio.to_thread(
+                    service.submit_drivers, payload
+                )
             if path == "/tick":
                 payload = parse_body({})
                 if isinstance(payload, dict) and "until_index" in payload:

@@ -164,6 +164,8 @@ class RecoveryReport:
     torn_bytes: int
     #: Whether the recovered service re-attached the log for appending.
     resumed: bool
+    #: Driver wire events (join/leave/relocate) re-queued from the log.
+    driver_events: int = 0
 
     def to_payload(self) -> dict:
         return dataclasses.asdict(self)
@@ -186,6 +188,7 @@ class RecoveryReport:
                 else ""
             ),
             f"assignments       {self.assignments}",
+            f"driver events     {self.driver_events}",
             f"reneged           {self.reneged}",
             f"finalized         {'yes' if self.finalized else 'no'}",
             f"log resumed       {'yes' if self.resumed else 'no (read-only replay)'}",
@@ -217,6 +220,14 @@ class DispatchService:
         self._reneged = 0
         self._received = 0
         self._duplicates = 0
+        #: Idempotency keys for driver wire events: a client retrying a
+        #: lost acknowledgement must not double-apply a join or migration.
+        self._driver_event_keys: set[tuple] = set()
+        self._driver_events_received = 0
+        self._driver_event_duplicates = 0
+        #: Set by :meth:`from_config` for shard workers (None otherwise).
+        self.shard_plan = None
+        self.shard_index: int | None = None
         self._started_wall = _time.perf_counter()
         self._wal: WriteAheadLog | None = None
         self._fingerprint: dict | None = None
@@ -233,6 +244,8 @@ class DispatchService:
         profile_phases: bool = True,
         wal_path=None,
         wal_fsync: str = "batch",
+        shard_plan=None,
+        shard_index: int | None = None,
     ) -> "DispatchService":
         """Build a service for ``config`` via the standard world factory.
 
@@ -244,9 +257,18 @@ class DispatchService:
         ``meta`` fingerprint record is written to a fresh log).  To resume
         an *existing* log use :meth:`recover` instead — appending to a
         non-empty log without replaying it first raises.
+
+        ``shard_plan``/``shard_index`` build one shard worker of a
+        region-sharded deployment: the fleet is sliced to the shard's
+        region band and the shard topology joins the WAL fingerprint, so
+        recovery refuses a log written under a different plan.
         """
         riders, drivers, grid, cost_model, policy, demand = build_serve_world(
-            config, policy_name, predictor_name
+            config,
+            policy_name,
+            predictor_name,
+            shard_plan=shard_plan,
+            shard_index=shard_index,
         )
         stepper = SimulationStepper(
             drivers,
@@ -267,6 +289,16 @@ class DispatchService:
         service._fingerprint = _config_fingerprint(
             config, policy_name, predictor_name
         )
+        if shard_plan is not None:
+            service.shard_plan = shard_plan
+            service.shard_index = shard_index
+            # Part of the fingerprint: a shard WAL replayed under a
+            # different topology (or into the unsharded service) must be
+            # refused, not silently re-dispatched over the wrong fleet.
+            service._fingerprint["shard"] = {
+                "plan": shard_plan.to_payload(),
+                "index": shard_index,
+            }
         if wal_path is not None:
             service.attach_wal(WriteAheadLog(wal_path, fsync=wal_fsync))
         return service
@@ -314,6 +346,8 @@ class DispatchService:
         profile_phases: bool = True,
         fsync: str = "batch",
         resume: bool = True,
+        shard_plan=None,
+        shard_index: int | None = None,
     ) -> "tuple[DispatchService, RecoveryReport]":
         """Rebuild a mid-day service by replaying its write-ahead log.
 
@@ -336,6 +370,8 @@ class DispatchService:
             policy_name,
             predictor_name=predictor_name,
             profile_phases=profile_phases,
+            shard_plan=shard_plan,
+            shard_index=shard_index,
         )
         records = result.records
         if records and records[0].get("type") != "meta":
@@ -353,7 +389,7 @@ class DispatchService:
                     f"log {wal_path} was written by a different world "
                     f"(fingerprint mismatch in: {', '.join(mismatched)})"
                 )
-        requests = ticks = assignments = 0
+        requests = ticks = assignments = driver_events = 0
         finalized = False
         service._recovering = True
         try:
@@ -361,6 +397,8 @@ class DispatchService:
                 kind = record.get("type")
                 if kind == "request":
                     requests += service._replay_request(record)
+                elif kind == "drivers":
+                    driver_events += service._replay_drivers(record)
                 elif kind == "tick":
                     assignments += service._replay_tick(record, position)
                     ticks += 1
@@ -385,6 +423,7 @@ class DispatchService:
             finalized=finalized,
             torn_bytes=result.torn_bytes,
             resumed=resume,
+            driver_events=driver_events,
         )
         service._recovery = report
         if resume:
@@ -479,6 +518,77 @@ class DispatchService:
     def submit_riders(self, riders: list[Rider]) -> dict:
         """In-process intake of already-built riders (tests, embedding)."""
         return self.submit([rider_to_payload(r) for r in riders])
+
+    @staticmethod
+    def _driver_event_key(event: dict) -> tuple:
+        return (
+            str(event.get("event")),
+            int(event["driver_id"]),
+            float(event["time_s"]),
+        )
+
+    def submit_drivers(self, events: list[dict] | dict) -> dict:
+        """Ingest driver wire events (join / leave / relocate).
+
+        Each event names a kind, a ``driver_id``, and an effective
+        ``time_s``; joins and relocates carry ``position`` (``[lon,
+        lat]``), joins optionally a ``leave_time_s``.  Events apply at
+        the head of the first tick at or after their time, through the
+        fleet's event heaps — the supply-side twin of :meth:`submit`.
+
+        Intake is idempotent on ``(kind, driver_id, time_s)`` so retried
+        batches cannot double-apply a join or a migration; malformed
+        batches are rejected atomically (nothing queued).  With a WAL
+        attached, accepted events are logged before acknowledgement and
+        :meth:`recover` re-queues them in order.
+        """
+        if isinstance(events, dict):
+            events = [events]
+        with self._lock:
+            fresh: list[dict] = []
+            batch_keys = set()
+            try:
+                for event in events:
+                    key = self._driver_event_key(event)
+                    if key in batch_keys or key in self._driver_event_keys:
+                        continue
+                    batch_keys.add(key)
+                    fresh.append(dict(event))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"malformed driver event batch: {exc}") from exc
+            accepted = self.stepper.ingest_drivers(fresh) if fresh else 0
+            self._driver_event_keys.update(batch_keys)
+            duplicates = len(events) - len(fresh)
+            self._driver_events_received += accepted
+            self._driver_event_duplicates += duplicates
+            if self._wal is not None and fresh:
+                self._wal.append({"type": "drivers", "events": fresh})
+            return {
+                "accepted": accepted,
+                "duplicates": duplicates,
+                "pending_driver_events": self.stepper.pending_driver_events,
+                "next_batch_index": self.stepper.next_batch_index,
+                "next_batch_time_s": self.stepper.next_batch_time(),
+            }
+
+    def _replay_drivers(self, record: dict) -> int:
+        """Re-queue one logged driver-event batch (idempotent on keys)."""
+        fresh = [
+            event
+            for event in record["events"]
+            if self._driver_event_key(event) not in self._driver_event_keys
+        ]
+        count = self.stepper.ingest_drivers(fresh) if fresh else 0
+        self._driver_event_keys.update(
+            self._driver_event_key(e) for e in fresh
+        )
+        self._driver_events_received += count
+        return count
+
+    def drivers(self, idle_only: bool = False, limit: int | None = None) -> list[dict]:
+        """Wire-form fleet snapshot (``idle_only`` for migration donors)."""
+        with self._lock:
+            return self.stepper.driver_listing(idle_only=idle_only, limit=limit)
 
     # -- ticking -------------------------------------------------------------
 
@@ -621,8 +731,14 @@ class DispatchService:
                 )
             return out
 
-    def status(self) -> dict:
-        """Service health: clock, queue depths, totals, and phase profile."""
+    def status(self, include_samples: bool = False) -> dict:
+        """Service health: clock, queue depths, totals, and phase profile.
+
+        ``include_samples`` adds the raw (sorted) latency and tick-gap
+        samples behind the percentile fields — the shard router merges
+        fleet-wide percentiles from pooled per-shard samples, because an
+        average of per-shard percentiles is not a percentile.
+        """
         with self._lock:
             metrics = self.stepper.metrics
             latencies = sorted(self._latencies_s)
@@ -636,7 +752,7 @@ class DispatchService:
                     self._tick_stamps_wall, self._tick_stamps_wall[1:]
                 )
             )
-            return {
+            payload = {
                 "policy": getattr(self.stepper.policy, "name", type(self.stepper.policy).__name__),
                 "batch_interval_s": self.stepper.config.batch_interval_s,
                 "sim_time_s": self.stepper.time_s,
@@ -671,6 +787,22 @@ class DispatchService:
                     "max": latencies[-1] if latencies else 0.0,
                 },
                 "duplicate_requests": self._duplicates,
+                "waiting_by_region": self.stepper.waiting_by_region(),
+                "driver_events": {
+                    "accepted": self._driver_events_received,
+                    "duplicates": self._driver_event_duplicates,
+                    "applied": self.stepper.driver_events_applied,
+                    "skipped": self.stepper.driver_events_skipped,
+                    "pending": self.stepper.pending_driver_events,
+                },
+                "shard": (
+                    {
+                        "index": self.shard_index,
+                        "plan": self.shard_plan.to_payload(),
+                    }
+                    if self.shard_plan is not None
+                    else None
+                ),
                 "wal": self._wal.stats() if self._wal is not None else None,
                 "recovered": (
                     self._recovery.to_payload()
@@ -678,6 +810,13 @@ class DispatchService:
                     else None
                 ),
             }
+            if include_samples:
+                payload["samples"] = {
+                    "assignment_latency_s": latencies,
+                    "tick_wall_s": ticks,
+                    "tick_gap_wall_s": gaps,
+                }
+            return payload
 
     def resolved(self) -> bool:
         """Whether every submitted request reached a terminal state."""

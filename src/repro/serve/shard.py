@@ -1,0 +1,215 @@
+"""Region sharding for the dispatch service.
+
+The paper's queueing framework is per-region by construction, which makes
+the region grid the natural shard key for scaling the live service
+horizontally: a :class:`ShardPlan` cuts the grid's rows into ``N``
+contiguous latitude bands, one dispatch worker per band, each with its
+own WAL.  Row-major region ids make every band a *contiguous* region-id
+range, so routing a request is one integer comparison.
+
+Bit-identity across shard counts needs the dispatch problem itself to
+decompose: a rider must never be reachable, within their patience, by a
+driver stationed in another band.  :func:`shard_local_workload` enforces
+that by construction — it tightens each rider's deadline strictly below
+the travel time from their pickup to the nearest band boundary (and
+squeezes dropoffs into the pickup's band so drivers are released where
+they started).  Under any cost model whose travel time is lower-bounded
+by pure-latitude separation (the straight-line models), out-of-band
+drivers are then *exactly* infeasible, greedy matching decomposes band
+by band, and the merged N-shard assignment log is bit-identical to the
+1-shard run over the same transformed trace.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
+from repro.sim.entities import Rider
+
+__all__ = ["ShardPlan", "shard_local_workload"]
+
+#: Fraction of the pickup-to-boundary travel time a shard-local rider is
+#: allowed to wait.  Strictly below 1 so out-of-band drivers miss the
+#: deadline by a margin far larger than the dispatcher's pruning slack.
+_EDGE_MARGIN = 0.9
+
+#: Absolute extra tightening (seconds) below the margined edge cost.
+_EDGE_SLACK_S = 1e-3
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of a grid's rows into contiguous shard bands.
+
+    ``row_bounds`` has ``num_shards + 1`` entries; shard ``i`` owns grid
+    rows ``[row_bounds[i], row_bounds[i + 1])`` and therefore the
+    contiguous region-id range ``[row_bounds[i] * cols,
+    row_bounds[i + 1] * cols)``.  The plan is persisted in every shard
+    WAL's meta record so recovery can refuse a mismatched topology.
+    """
+
+    rows: int
+    cols: int
+    row_bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        bounds = tuple(int(b) for b in self.row_bounds)
+        object.__setattr__(self, "row_bounds", bounds)
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != self.rows:
+            raise ValueError(
+                f"row_bounds must run from 0 to rows={self.rows}: {bounds}"
+            )
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"row_bounds must be strictly increasing: {bounds}")
+
+    @classmethod
+    def from_grid(cls, grid: GridPartition, num_shards: int) -> "ShardPlan":
+        """Evenly band ``grid``'s rows into ``num_shards`` shards."""
+        return cls.from_shape(grid.rows, grid.cols, num_shards)
+
+    @classmethod
+    def from_shape(cls, rows: int, cols: int, num_shards: int) -> "ShardPlan":
+        if not 1 <= num_shards <= rows:
+            raise ValueError(
+                f"need 1 <= shards <= grid rows ({rows}), got {num_shards}"
+            )
+        bounds = tuple(round(i * rows / num_shards) for i in range(num_shards + 1))
+        return cls(rows=rows, cols=cols, row_bounds=bounds)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.row_bounds) - 1
+
+    @property
+    def num_regions(self) -> int:
+        return self.rows * self.cols
+
+    def shard_of_region(self, region: int) -> int:
+        """The shard owning ``region`` (row-major region id)."""
+        if not 0 <= region < self.num_regions:
+            raise ValueError(
+                f"region {region} outside grid of {self.num_regions} regions"
+            )
+        return bisect_right(self.row_bounds, region // self.cols) - 1
+
+    def shard_rows(self, shard: int) -> tuple[int, int]:
+        """Half-open grid-row range ``[lo, hi)`` owned by ``shard``."""
+        self._check_shard(shard)
+        return self.row_bounds[shard], self.row_bounds[shard + 1]
+
+    def region_range(self, shard: int) -> tuple[int, int]:
+        """Half-open region-id range ``[lo, hi)`` owned by ``shard``."""
+        lo, hi = self.shard_rows(shard)
+        return lo * self.cols, hi * self.cols
+
+    def regions_of(self, shard: int) -> range:
+        lo, hi = self.region_range(shard)
+        return range(lo, hi)
+
+    def band_lat_bounds(self, shard: int, grid: GridPartition) -> tuple[float, float]:
+        """Latitude interval ``[lat_lo, lat_hi]`` of ``shard``'s band."""
+        if (grid.rows, grid.cols) != (self.rows, self.cols):
+            raise ValueError(
+                f"plan is for a {self.rows}x{self.cols} grid, "
+                f"got {grid.rows}x{grid.cols}"
+            )
+        lo, hi = self.shard_rows(shard)
+        cell_h = grid.bbox.height / self.rows
+        return (
+            grid.bbox.min_lat + lo * cell_h,
+            grid.bbox.min_lat + hi * cell_h,
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-safe form, embedded in each shard WAL's meta record."""
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "row_bounds": list(self.row_bounds),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardPlan":
+        try:
+            return cls(
+                rows=int(payload["rows"]),
+                cols=int(payload["cols"]),
+                row_bounds=tuple(int(b) for b in payload["row_bounds"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed shard plan payload: {payload!r}") from exc
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} outside plan of {self.num_shards}")
+
+
+def shard_local_workload(
+    riders: Iterable[Rider],
+    grid: GridPartition,
+    plan: ShardPlan,
+    cost_model,
+) -> list[Rider]:
+    """Transform a rider trace so dispatch decomposes across shard bands.
+
+    Two per-rider rewrites, both deterministic:
+
+    - the patience (deadline minus request time) is capped at
+      ``0.9 x`` the travel time from the pickup straight to the nearest
+      *interior* band boundary, minus a millisecond — so every driver
+      stationed in another band misses the deadline by construction
+      (travel time is at least the pure-latitude leg to the boundary);
+    - the dropoff latitude is squeezed just inside the pickup's band, so
+      the serving driver is released in the shard that dispatched it.
+
+    Riders whose tightened patience is non-positive (pickups essentially
+    on a boundary) are dropped.  The same transformed list must be
+    replayed against every shard count being compared — the transform
+    defines the workload, it is not applied per topology.
+    """
+    if (grid.rows, grid.cols) != (plan.rows, plan.cols):
+        raise ValueError(
+            f"plan is for a {plan.rows}x{plan.cols} grid, "
+            f"got {grid.rows}x{grid.cols}"
+        )
+    cell_h = grid.bbox.height / plan.rows
+    nudge = cell_h * 1e-6
+    out: list[Rider] = []
+    for rider in riders:
+        shard = plan.shard_of_region(rider.origin_region)
+        lo_row, hi_row = plan.shard_rows(shard)
+        lat_lo = grid.bbox.min_lat + lo_row * cell_h
+        lat_hi = grid.bbox.min_lat + hi_row * cell_h
+        pickup = rider.pickup
+        edge_eta = math.inf
+        if lo_row > 0:
+            edge_eta = cost_model.travel_seconds(pickup, GeoPoint(pickup.lon, lat_lo))
+        if hi_row < plan.rows:
+            edge_eta = min(
+                edge_eta,
+                cost_model.travel_seconds(pickup, GeoPoint(pickup.lon, lat_hi)),
+            )
+        patience = rider.deadline_s - rider.request_time_s
+        if math.isfinite(edge_eta):
+            patience = min(patience, _EDGE_MARGIN * edge_eta - _EDGE_SLACK_S)
+        if patience <= 0:
+            continue
+        dropoff_lat = min(max(rider.dropoff.lat, lat_lo + nudge), lat_hi - nudge)
+        dropoff = GeoPoint(rider.dropoff.lon, dropoff_lat)
+        out.append(
+            replace(
+                rider,
+                deadline_s=rider.request_time_s + patience,
+                dropoff=dropoff,
+                trip_seconds=cost_model.travel_seconds(pickup, dropoff),
+                destination_region=grid.region_of(dropoff),
+            )
+        )
+    return out

@@ -244,7 +244,14 @@ class FleetState:
         while deactivations and deactivations[0][0] <= now:
             _, i = heapq.heappop(deactivations)
             if self.active[i]:
-                self._deactivate(i)
+                if self.leave[i] <= now:
+                    self._deactivate(i)
+                elif not math.isinf(self.leave[i]):
+                    # Stale entry: the shift end moved later (a rejoin wire
+                    # event) after this entry was pushed.  Re-arm at the
+                    # current leave time — strictly after `now`, so the
+                    # loop terminates.  An open-ended shift needs no entry.
+                    heapq.heappush(deactivations, (self.leave[i], i))
         return supply_grew
 
     # -- state transitions ---------------------------------------------------
@@ -286,6 +293,88 @@ class FleetState:
         self.region[i] = self.dest_region[i]
         if now < self.leave[i]:
             self._activate(i)
+
+    # -- driver wire events (join / leave / relocate) ------------------------
+
+    def add_driver(self, driver: Driver) -> int:
+        """Grow the fleet by one driver; returns its fleet position.
+
+        The engine calls this for a first-class *join* wire event.  Bucket
+        deltas are flushed first because their keys encode the (changing)
+        fleet size; the arrays then grow by one row each.  Activation rides
+        the ordinary event machinery: the join time is queued exactly like
+        an initial driver's shift start, so the next :meth:`advance` at or
+        after it activates the newcomer.
+        """
+        self._flush_bucket_deltas()  # delta keys are region * n + pos
+        i = len(self.active)
+        self.ids = np.append(self.ids, driver.driver_id)
+        self.lonlat = np.vstack(
+            [self.lonlat, [[driver.position.lon, driver.position.lat]]]
+        )
+        self.region = np.append(self.region, driver.region)
+        self.dest_region = np.append(self.dest_region, driver.destination_region)
+        self.busy_until = np.append(self.busy_until, driver.busy_until_s)
+        self.join = np.append(self.join, driver.join_time_s)
+        self.leave = np.append(self.leave, driver.leave_time_s)
+        self.is_available = np.append(self.is_available, driver.available)
+        self.active = np.append(self.active, False)
+        self._rejoin_counted = np.append(self._rejoin_counted, False)
+        if driver.available:
+            if self._primed:
+                heapq.heappush(self._activations, (driver.join_time_s, i))
+            else:
+                self._initial_join_pos = np.append(
+                    self._initial_join_pos, i
+                )
+                self._initial_join_times = np.append(
+                    self._initial_join_times, driver.join_time_s
+                )
+        return i
+
+    def set_leave(self, i: int, leave_time_s: float) -> None:
+        """Re-bound driver ``i``'s shift end (a *leave* wire event).
+
+        An active driver gets a deactivation queued at the new end; a busy
+        driver simply won't rejoin once released (``release`` checks the
+        leave time).  :meth:`advance` guards against entries made stale by
+        a later rejoin extending the shift again.
+        """
+        self.leave[i] = leave_time_s
+        if self.active[i] and not math.isinf(leave_time_s):
+            heapq.heappush(self._deactivations, (leave_time_s, i))
+
+    def rejoin_driver(
+        self, i: int, now: float, lon: float, lat: float, region: int,
+        leave_time_s: float,
+    ) -> None:
+        """Re-admit a previously-left driver at a new position (*join*).
+
+        Only valid for a driver that is available but off-shift (left, or
+        never activated); the caller re-validates against the entity state.
+        """
+        self.lonlat[i, 0] = lon
+        self.lonlat[i, 1] = lat
+        self.region[i] = region
+        self.leave[i] = leave_time_s
+        heapq.heappush(self._activations, (now, i))
+
+    def relocate(self, i: int, lon: float, lat: float, region: int) -> None:
+        """Teleport available driver ``i`` (a *relocate* wire event).
+
+        Active drivers move between region buckets/counters; an available
+        but off-shift driver just has its coordinates updated.
+        """
+        old_region = int(self.region[i])
+        self.lonlat[i, 0] = lon
+        self.lonlat[i, 1] = lat
+        self.region[i] = region
+        if self.active[i] and region != old_region:
+            n = len(self.active)
+            self.avail_count[old_region] -= 1
+            self.avail_count[region] += 1
+            self._bucket_bump(old_region * n + i, -1)
+            self._bucket_bump(region * n + i, +1)
 
     # -- queries -------------------------------------------------------------
 

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.dispatch.base import BatchSnapshot, DispatchPolicy
 from repro.geo.grid import GridPartition
+from repro.geo.point import GeoPoint
 from repro.roadnet.travel_time import TravelCostModel
 from repro.sim.demand import DemandSource
 from repro.sim.entities import Driver, DriverStatus, Rider, RiderStatus
@@ -67,9 +68,13 @@ from repro.sim.recorder import IdleTimeRecorder
 __all__ = [
     "AppliedAssignment",
     "BatchOutcome",
+    "DRIVER_EVENT_KINDS",
     "SimConfig",
     "SimulationStepper",
 ]
+
+#: Wire-event kinds accepted by :meth:`SimulationStepper.ingest_drivers`.
+DRIVER_EVENT_KINDS = ("join", "leave", "relocate")
 
 #: Tolerance when re-validating a policy's pickup ETA against the deadline.
 _ETA_TOLERANCE_S = 1e-6
@@ -200,6 +205,20 @@ class SimulationStepper:
         self._renege_heap: list[tuple[float, int]] = []
         self._release_heap: list[tuple[float, int]] = []
 
+        #: Driver wire events (join / leave / relocate), ordered by
+        #: ``(time_s, ingest sequence)`` and applied at the head of the
+        #: first tick at or after their time — the supply-side analogue of
+        #: the pending-rider heap.
+        self._driver_events: list[tuple[float, int, dict]] = []
+        self._driver_event_seq = 0
+        self._pending_join_ids: set[int] = set()
+        self.driver_events_applied = 0
+        #: Events that arrived but could not take effect (a join for a
+        #: driver already on duty, a relocate for a mid-trip driver).
+        #: Dropped quietly — busyness at apply time is not knowable at
+        #: submit time — but counted so the service can surface them.
+        self.driver_events_skipped = 0
+
         # A tick with no waiting riders is a no-op only when the policy has
         # vouched for it (and truly plans no repositions, which depend on
         # clock time, not just on batch contents).
@@ -287,6 +306,187 @@ class SimulationStepper:
         """The registered rider for ``rider_id`` (``None`` if unknown)."""
         return self._rider_by_id.get(rider_id)
 
+    # -- driver wire events --------------------------------------------------
+
+    def knows_driver(self, driver_id: int) -> bool:
+        """Whether ``driver_id`` is in the fleet or has a queued join."""
+        return driver_id in self._driver_by_id or driver_id in self._pending_join_ids
+
+    def ingest_drivers(self, events: Iterable[dict]) -> int:
+        """Queue driver wire events (join / leave / relocate).
+
+        Each event is a dict with ``event`` (one of
+        :data:`DRIVER_EVENT_KINDS`), ``driver_id``, ``time_s``, plus
+        ``position`` (``[lon, lat]``, join/relocate) and an optional
+        ``leave_time_s`` (join).  Events apply at the first tick at or
+        after their time, *before* the fleet's shift events fire, so a
+        join at ``t`` is assignable at the very tick that admits riders
+        of window ``t``.  Malformed events and leave/relocate for a
+        driver this stepper has never heard of raise ``ValueError``;
+        whether an event can actually take effect (e.g. a relocate of a
+        driver who turns out to be mid-trip) is decided at apply time.
+        """
+        # Validate the whole batch before queueing any of it, so a raise
+        # leaves the event heap untouched (the service can reject a bad
+        # wire batch atomically and a retry cannot half-apply it).
+        validated: list[tuple[float, int, str, dict]] = []
+        will_join = set(self._pending_join_ids)
+        for event in events:
+            kind = event.get("event")
+            if kind not in DRIVER_EVENT_KINDS:
+                raise ValueError(
+                    f"unknown driver event {kind!r}; expected one of "
+                    f"{DRIVER_EVENT_KINDS}"
+                )
+            try:
+                driver_id = int(event["driver_id"])
+                time_s = float(event["time_s"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"malformed driver event: {event!r}") from exc
+            if not math.isfinite(time_s) or time_s < 0:
+                raise ValueError(f"driver event time must be finite and >= 0: {event!r}")
+            if kind in ("join", "relocate"):
+                position = event.get("position")
+                if (
+                    not isinstance(position, (list, tuple))
+                    or len(position) != 2
+                ):
+                    raise ValueError(
+                        f"driver {kind} event needs position [lon, lat]: {event!r}"
+                    )
+            if kind == "join":
+                leave_raw = event.get("leave_time_s")
+                if leave_raw is not None and float(leave_raw) <= time_s:
+                    raise ValueError(
+                        f"driver join leave_time_s must exceed time_s: {event!r}"
+                    )
+                will_join.add(driver_id)
+            elif driver_id not in self._driver_by_id and driver_id not in will_join:
+                raise ValueError(
+                    f"driver {kind} event references unknown driver {driver_id}"
+                )
+            validated.append((time_s, driver_id, kind, dict(event)))
+        for time_s, driver_id, kind, event in validated:
+            if kind == "join":
+                self._pending_join_ids.add(driver_id)
+            heapq.heappush(
+                self._driver_events, (time_s, self._driver_event_seq, event)
+            )
+            self._driver_event_seq += 1
+        return len(validated)
+
+    @property
+    def pending_driver_events(self) -> int:
+        """Queued driver wire events not yet applied to the fleet."""
+        return len(self._driver_events)
+
+    def waiting_by_region(self) -> dict[int, int]:
+        """Sparse ``{region: waiting riders}`` for regions with a queue."""
+        counts = self._waiting_counts
+        (nonzero,) = np.nonzero(counts)
+        return {int(r): int(counts[r]) for r in nonzero}
+
+    def driver_listing(
+        self, idle_only: bool = False, limit: int | None = None
+    ) -> list[dict]:
+        """Wire-form snapshot of the fleet (the router's migration source).
+
+        ``idle_only`` keeps drivers who are on shift and unassigned right
+        now — the ones a cross-shard migration may move without touching
+        an in-flight trip.
+        """
+        fleet = self.fleet
+        out: list[dict] = []
+        for driver in self.drivers:
+            pos = self._pos_of_driver[driver.driver_id]
+            on_shift = bool(fleet.active[pos])
+            idle = on_shift and bool(fleet.is_available[pos])
+            if idle_only and not idle:
+                continue
+            leave = float(fleet.leave[pos])
+            out.append(
+                {
+                    "driver_id": driver.driver_id,
+                    "position": [
+                        float(fleet.lonlat[pos, 0]),
+                        float(fleet.lonlat[pos, 1]),
+                    ],
+                    "region": int(fleet.region[pos]),
+                    "on_shift": on_shift,
+                    "idle": idle,
+                    # None = open-ended shift (inf is not JSON-safe).
+                    "leave_time_s": None if math.isinf(leave) else leave,
+                }
+            )
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def _apply_driver_events(self, now: float) -> bool:
+        """Apply all driver events due at or before ``now``; True if any."""
+        heap = self._driver_events
+        applied_any = False
+        while heap and heap[0][0] <= now:
+            time_s, _, event = heapq.heappop(heap)
+            kind = event["event"]
+            driver_id = int(event["driver_id"])
+            driver = self._driver_by_id.get(driver_id)
+            if kind == "join":
+                self._pending_join_ids.discard(driver_id)
+                leave_time_s = float(event.get("leave_time_s") or math.inf)
+                lon, lat = (float(c) for c in event["position"])
+                position = GeoPoint(lon, lat)
+                region = self.grid.region_of(position)
+                if driver is None:
+                    driver = Driver(
+                        driver_id=driver_id,
+                        position=position,
+                        region=region,
+                        status=DriverStatus.AVAILABLE,
+                        available_since_s=time_s,
+                        join_time_s=time_s,
+                        leave_time_s=leave_time_s,
+                    )
+                    self.drivers.append(driver)
+                    self._driver_by_id[driver_id] = driver
+                    pos = self.fleet.add_driver(driver)
+                    self._pos_of_driver[driver_id] = pos
+                    self._released_at[driver_id] = time_s
+                elif driver.available and driver.leave_time_s <= time_s:
+                    # A re-join of a driver who left earlier (the router's
+                    # cross-shard migrations round-trip through this).
+                    driver.position = position
+                    driver.region = region
+                    driver.leave_time_s = leave_time_s
+                    driver.available_since_s = time_s
+                    self.fleet.rejoin_driver(
+                        self._pos_of_driver[driver_id],
+                        time_s, lon, lat, region, leave_time_s,
+                    )
+                    self._released_at[driver_id] = time_s
+                else:
+                    self.driver_events_skipped += 1  # already on duty
+                    continue
+            elif kind == "leave":
+                if driver is None:
+                    self.driver_events_skipped += 1  # join never applied
+                    continue
+                driver.leave_time_s = time_s
+                self.fleet.set_leave(self._pos_of_driver[driver_id], time_s)
+            else:  # relocate
+                if driver is None or not driver.available:
+                    self.driver_events_skipped += 1  # unknown or mid-trip
+                    continue
+                lon, lat = (float(c) for c in event["position"])
+                driver.position = GeoPoint(lon, lat)
+                driver.region = self.grid.region_of(driver.position)
+                self.fleet.relocate(
+                    self._pos_of_driver[driver_id], lon, lat, driver.region
+                )
+            self.driver_events_applied += 1
+            applied_any = True
+        return applied_any
+
     @property
     def waiting_count(self) -> int:
         """Riders currently admitted and waiting for a driver."""
@@ -340,7 +540,11 @@ class SimulationStepper:
         if profile:
             t_tick = _time.perf_counter()
 
-        # 0. fire shift and rejoin-window events due by `now`.
+        # 0. apply driver wire events, then fire shift and rejoin-window
+        #    events due by `now`.  Wire events go first so a join at `t`
+        #    lands its activation before the event drain that admits it.
+        if self._driver_events and self._apply_driver_events(now):
+            maybe_new_pairs = True
         if fleet.advance(now):
             maybe_new_pairs = True
 

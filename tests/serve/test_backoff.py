@@ -1,0 +1,80 @@
+"""Decorrelated-jitter retry backoff for :class:`ServeClient`.
+
+The old backoff was a bare exponential with no jitter: every client that
+lost the same server slept the same schedule and reconnected in
+synchronized waves.  The replacement draws ``uniform(base, 3 * prev)``
+capped at the ceiling — these tests pin the bounds, the ramp, the cap,
+and that distinct clients really do get distinct schedules.
+"""
+
+import random
+
+from repro.serve.loadgen import ServeClient, decorrelated_backoff
+
+BASE = 0.05
+CAP = 1.0
+
+
+def test_delays_stay_within_bounds():
+    rng = random.Random(1234)
+    prev = 0.0
+    for _ in range(500):
+        delay = decorrelated_backoff(rng, BASE, prev, CAP)
+        assert BASE <= delay <= CAP
+        prev = delay
+
+
+def test_first_retry_is_bounded_by_three_times_base():
+    rng = random.Random(7)
+    for _ in range(200):
+        assert BASE <= decorrelated_backoff(rng, BASE, 0.0, CAP) <= 3 * BASE
+
+
+def test_ramp_is_bounded_by_three_times_previous():
+    rng = random.Random(99)
+    prev = BASE
+    for _ in range(200):
+        delay = decorrelated_backoff(rng, BASE, prev, CAP)
+        assert delay <= max(BASE, min(CAP, 3.0 * prev))
+        prev = delay
+
+
+def test_cap_binds_even_for_huge_previous_delay():
+    rng = random.Random(5)
+    for _ in range(100):
+        assert decorrelated_backoff(rng, BASE, 1e9, CAP) <= CAP
+
+
+def test_seeded_rng_gives_a_deterministic_schedule():
+    def schedule(seed):
+        rng = random.Random(seed)
+        prev, out = 0.0, []
+        for _ in range(16):
+            prev = decorrelated_backoff(rng, BASE, prev, CAP)
+            out.append(prev)
+        return out
+
+    assert schedule(42) == schedule(42)
+    assert schedule(42) != schedule(43)
+
+
+def test_clients_do_not_share_a_schedule():
+    """Two clients retrying concurrently must spread out, not march in
+    lockstep — the decorrelation that motivates the jitter."""
+
+    def client_schedule(seed):
+        client = ServeClient(
+            "127.0.0.1", 1, backoff_rng=random.Random(seed)
+        )
+        prev, out = 0.0, []
+        for _ in range(8):
+            prev = client.next_backoff(prev)
+            out.append(prev)
+        client.close()
+        return out
+
+    a = client_schedule(1)
+    b = client_schedule(2)
+    assert a != b
+    for delay in a + b:
+        assert BASE <= delay <= CAP

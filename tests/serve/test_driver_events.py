@@ -1,0 +1,340 @@
+"""First-class driver wire events: join / leave / relocate.
+
+Supply-side changes ride the same event machinery as ride requests — a
+heap of ``(time_s, seq, event)`` drained at the head of the first tick at
+or after each event's time.  These tests pin the stepper semantics
+(validation, application order, rejoin, skip accounting, fleet
+consistency) and the service layer on top (idempotent ``POST /drivers``,
+WAL logging, replay on recovery).
+"""
+
+import math
+
+import pytest
+
+from repro.dispatch import NearestPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_caches
+from repro.geo import BoundingBox, GeoPoint, GridPartition
+from repro.roadnet.travel_time import StraightLineCost
+from repro.serve.service import DispatchService
+from repro.sim.demand import OracleDemand
+from repro.sim.engine import SimConfig
+from repro.sim.entities import Driver, Rider
+from repro.sim.stepper import SimulationStepper
+
+BOX = BoundingBox(0.0, 0.0, 0.02, 0.02)
+GRID = GridPartition(BOX, rows=2, cols=2)
+COST = StraightLineCost(speed_mps=10.0, metric="euclidean")
+CENTRE = GeoPoint(0.005, 0.005)  # region 0
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _rider(rider_id, t, wait=600.0):
+    pickup = CENTRE
+    dropoff = GeoPoint(0.015, 0.005)
+    trip = COST.travel_seconds(pickup, dropoff)
+    return Rider(
+        rider_id=rider_id, request_time_s=t, pickup=pickup, dropoff=dropoff,
+        deadline_s=t + wait, trip_seconds=trip, revenue=trip,
+        origin_region=0, destination_region=1,
+    )
+
+
+def _stepper(drivers, riders=()):
+    return SimulationStepper(
+        drivers,
+        GRID,
+        COST,
+        NearestPolicy(),
+        SimConfig(batch_interval_s=10.0, tc_seconds=600.0, horizon_s=3600.0),
+        demand=OracleDemand(list(riders), GRID.num_regions),
+    )
+
+
+class TestStepperIngest:
+    def test_events_apply_at_their_tick_not_before(self):
+        stepper = _stepper([])
+        assert stepper.ingest_drivers(
+            [
+                {
+                    "event": "join",
+                    "driver_id": 1,
+                    "time_s": 25.0,
+                    "position": [0.005, 0.005],
+                }
+            ]
+        ) == 1
+        stepper.step(0.0)
+        stepper.step(10.0)
+        stepper.step(20.0)
+        assert stepper.driver_events_applied == 0
+        assert stepper.pending_driver_events == 1
+        stepper.step(30.0)
+        assert stepper.driver_events_applied == 1
+        assert stepper.pending_driver_events == 0
+        listing = stepper.driver_listing()
+        assert [d["driver_id"] for d in listing] == [1]
+        assert listing[0]["on_shift"] and listing[0]["idle"]
+
+    def test_rejected_batch_leaves_the_heap_untouched(self):
+        """Validation is all-or-nothing: one bad event rejects the batch."""
+        stepper = _stepper([])
+        good = {
+            "event": "join",
+            "driver_id": 1,
+            "time_s": 0.0,
+            "position": [0.005, 0.005],
+        }
+        with pytest.raises(ValueError):
+            stepper.ingest_drivers(
+                [good, {"event": "leave", "driver_id": 99, "time_s": 5.0}]
+            )
+        assert stepper.pending_driver_events == 0
+
+    def test_leave_of_pending_join_is_accepted(self):
+        """A leave may reference a driver whose join is still queued."""
+        stepper = _stepper([])
+        accepted = stepper.ingest_drivers(
+            [
+                {
+                    "event": "join",
+                    "driver_id": 5,
+                    "time_s": 0.0,
+                    "position": [0.005, 0.005],
+                },
+                {"event": "leave", "driver_id": 5, "time_s": 30.0},
+            ]
+        )
+        assert accepted == 2
+        stepper.step(0.0)
+        assert stepper.driver_listing()[0]["leave_time_s"] is None
+        stepper.step(30.0)
+        assert stepper.driver_events_applied == 2
+        assert stepper.driver_listing()[0]["on_shift"] is False
+
+    def test_join_with_inverted_shift_is_rejected(self):
+        stepper = _stepper([])
+        with pytest.raises(ValueError):
+            stepper.ingest_drivers(
+                [
+                    {
+                        "event": "join",
+                        "driver_id": 1,
+                        "time_s": 100.0,
+                        "leave_time_s": 50.0,
+                        "position": [0.005, 0.005],
+                    }
+                ]
+            )
+
+    def test_unknown_event_kind_is_rejected(self):
+        stepper = _stepper([])
+        with pytest.raises(ValueError):
+            stepper.ingest_drivers(
+                [{"event": "teleport", "driver_id": 1, "time_s": 0.0}]
+            )
+
+    def test_relocate_moves_an_idle_driver_between_regions(self):
+        driver = Driver(1, CENTRE, 0)
+        stepper = _stepper([driver])
+        stepper.ingest_drivers(
+            [
+                {
+                    "event": "relocate",
+                    "driver_id": 1,
+                    "time_s": 10.0,
+                    "position": [0.015, 0.015],
+                }
+            ]
+        )
+        stepper.step(0.0)
+        assert stepper.driver_listing()[0]["region"] == 0
+        stepper.step(10.0)
+        entry = stepper.driver_listing()[0]
+        assert entry["region"] == GRID.region_of(GeoPoint(0.015, 0.015))
+        assert stepper.driver_events_applied == 1
+        stepper.fleet.check_consistency(stepper.drivers, 10.0)
+
+    def test_relocate_of_busy_driver_is_skipped(self):
+        driver = Driver(1, CENTRE, 0)
+        stepper = _stepper([driver], [_rider(0, 0.0)])
+        stepper.ingest([_rider(0, 0.0)])
+        stepper.step(0.0)  # rider assigned; driver now mid-trip
+        stepper.ingest_drivers(
+            [
+                {
+                    "event": "relocate",
+                    "driver_id": 1,
+                    "time_s": 10.0,
+                    "position": [0.015, 0.015],
+                }
+            ]
+        )
+        stepper.step(10.0)
+        assert stepper.driver_events_applied == 0
+        assert stepper.driver_events_skipped == 1
+
+    def test_joined_driver_serves_riders(self):
+        """A wire-joined driver is indistinguishable from an initial one."""
+        stepper = _stepper([], [_rider(0, 30.0)])
+        stepper.ingest_drivers(
+            [
+                {
+                    "event": "join",
+                    "driver_id": 42,
+                    "time_s": 0.0,
+                    "position": [CENTRE.lon, CENTRE.lat],
+                }
+            ]
+        )
+        stepper.ingest([_rider(0, 30.0)])
+        for k in range(6):
+            stepper.step(k * 10.0)
+        assert stepper.metrics.served_orders + len(stepper._waiting) >= 1
+        rider = stepper.rider(0)
+        assert rider.driver_id == 42
+
+    def test_migration_round_trip_rejoins_the_same_driver(self):
+        """leave → join of the same id re-arms the shift (the router's
+        cross-shard migration applied to one shard's donor side)."""
+        driver = Driver(1, CENTRE, 0)
+        stepper = _stepper([driver])
+        stepper.ingest_drivers(
+            [
+                {"event": "leave", "driver_id": 1, "time_s": 20.0},
+                {
+                    "event": "join",
+                    "driver_id": 1,
+                    "time_s": 40.0,
+                    "position": [0.015, 0.015],
+                },
+            ]
+        )
+        stepper.step(20.0)
+        assert stepper.driver_listing()[0]["on_shift"] is False
+        stepper.step(40.0)
+        entry = stepper.driver_listing()[0]
+        assert entry["on_shift"] is True
+        assert entry["region"] == GRID.region_of(GeoPoint(0.015, 0.015))
+        assert math.isinf(stepper.drivers[0].leave_time_s) or (
+            stepper.drivers[0].leave_time_s > 40.0
+        )
+        assert stepper.driver_events_applied == 2
+        assert stepper.driver_events_skipped == 0
+        stepper.fleet.check_consistency(stepper.drivers, 40.0)
+
+    def test_join_of_on_duty_driver_is_skipped(self):
+        driver = Driver(1, CENTRE, 0)
+        stepper = _stepper([driver])
+        stepper.ingest_drivers(
+            [
+                {
+                    "event": "join",
+                    "driver_id": 1,
+                    "time_s": 10.0,
+                    "position": [0.015, 0.015],
+                }
+            ]
+        )
+        stepper.step(10.0)
+        assert stepper.driver_events_applied == 0
+        assert stepper.driver_events_skipped == 1
+        # The still-on-duty driver keeps its original position.
+        assert stepper.driver_listing()[0]["region"] == 0
+
+
+SERVICE_CONFIG = ExperimentConfig(
+    daily_orders=2_000.0,
+    num_drivers=16,
+    horizon_s=3_600.0,
+    batch_interval_s=10.0,
+    space_scale=0.1,
+    grid_rows=3,
+    grid_cols=3,
+)
+
+
+def _join(driver_id, t, lon, lat, leave=None):
+    event = {
+        "event": "join",
+        "driver_id": driver_id,
+        "time_s": t,
+        "position": [lon, lat],
+    }
+    if leave is not None:
+        event["leave_time_s"] = leave
+    return event
+
+
+class TestServiceLayer:
+    def test_submit_drivers_is_idempotent(self):
+        service = DispatchService.from_config(SERVICE_CONFIG, "NEAR")
+        try:
+            grid = service.stepper.grid
+            centre = grid.center_of(4)
+            event = _join(9_001, 0.0, centre.lon, centre.lat)
+            first = service.submit_drivers(event)
+            assert (first["accepted"], first["duplicates"]) == (1, 0)
+            again = service.submit_drivers(event)
+            assert (again["accepted"], again["duplicates"]) == (0, 1)
+            assert service.status()["driver_events"]["pending"] == 1
+        finally:
+            service.close()
+
+    def test_malformed_event_is_a_value_error(self):
+        service = DispatchService.from_config(SERVICE_CONFIG, "NEAR")
+        try:
+            with pytest.raises(ValueError, match="malformed driver event"):
+                service.submit_drivers({"event": "join", "driver_id": 1})
+        finally:
+            service.close()
+
+    def test_driver_events_are_wal_logged_and_replayed(self, tmp_path):
+        wal_path = tmp_path / "dispatch.wal"
+        service = DispatchService.from_config(
+            SERVICE_CONFIG, "NEAR", wal_path=wal_path, wal_fsync="never"
+        )
+        grid = service.stepper.grid
+        centre = grid.center_of(4)
+        service.submit_drivers(
+            [
+                _join(9_001, 0.0, centre.lon, centre.lat),
+                {
+                    "event": "relocate",
+                    "driver_id": 9_001,
+                    "time_s": 20.0,
+                    "position": [centre.lon, centre.lat],
+                },
+                {"event": "leave", "driver_id": 9_001, "time_s": 40.0},
+            ]
+        )
+        service.tick(6)  # through t = 50 s: all three events applied
+        before = service.status()["driver_events"]
+        assert before["applied"] == 3
+        listing = {d["driver_id"]: d for d in service.drivers()}
+        service.close()
+
+        recovered, report = DispatchService.recover(
+            wal_path, SERVICE_CONFIG, "NEAR", fsync="never"
+        )
+        try:
+            assert report.driver_events == 3
+            after = recovered.status()["driver_events"]
+            assert after["applied"] == before["applied"]
+            assert after["pending"] == before["pending"]
+            replayed = {d["driver_id"]: d for d in recovered.drivers()}
+            assert replayed == listing
+            # Replay is idempotent against double-submission too.
+            again = recovered.submit_drivers(
+                _join(9_001, 0.0, centre.lon, centre.lat)
+            )
+            assert (again["accepted"], again["duplicates"]) == (0, 1)
+        finally:
+            recovered.close()

@@ -1,0 +1,454 @@
+"""Region-sharded dispatch: N workers behind a router equal one worker.
+
+The load-bearing claims, each proven over real HTTP against in-process
+shard stacks:
+
+- the :class:`~repro.serve.shard.ShardPlan` bands the grid into
+  contiguous region-id ranges and round-trips through its wire payload;
+- a 4-shard day (rebalancing off) produces a merged assignment log
+  bit-identical to the 1-shard day for the same shard-local workload —
+  same pairs, same times, same per-rider economics;
+- killing one shard worker mid-day and recovering it from its own WAL
+  preserves that identity (the router's absolute tick addressing lets
+  the recovered worker simply re-join the lockstep broadcast);
+- recovery refuses a WAL written under a different shard plan;
+- with rebalancing on, a skewed hot-band workload sees a strictly lower
+  max per-shard queue depth than with it off, and the migrations
+  round-trip through both shards' WALs.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_serve_world, clear_caches
+from repro.serve.loadgen import _window_batches
+from repro.serve.router import build_sharded_stack
+from repro.serve.service import DispatchService, rider_to_payload
+from repro.serve.shard import ShardPlan, shard_local_workload
+from repro.serve.wal import WalError
+from repro.sim.entities import Rider
+from repro.sim.stepper import num_batches_for_horizon
+
+CONFIG = ExperimentConfig(
+    daily_orders=8_000.0,
+    num_drivers=60,
+    horizon_s=2 * 3600.0,
+    batch_interval_s=10.0,
+)
+
+NUM_SHARDS = 4
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_serve_world(CONFIG, "NEAR")
+
+
+@pytest.fixture(scope="module")
+def workload(world):
+    """The day's riders made shard-local, so cross-band pairs are
+    infeasible and the greedy matching decomposes across bands."""
+    riders, _, grid, cost_model, _, _ = world
+    plan = ShardPlan.from_grid(grid, NUM_SHARDS)
+    local = shard_local_workload(riders, grid, plan, cost_model)
+    local = [r for r in local if r.request_time_s < CONFIG.horizon_s]
+    assert len(local) > 300  # the transform must not gut the day
+    return local
+
+
+def _strip(row: dict) -> dict:
+    """Drop the wall-clock field; everything else must be bit-identical."""
+    return {k: v for k, v in row.items() if k != "latency_wall_s"}
+
+
+def _run_day(stack, riders, max_depth=False):
+    """Drive a full lockstep day through a stack's router."""
+    router = stack.router
+    horizon_batches = num_batches_for_horizon(
+        CONFIG.horizon_s, CONFIG.batch_interval_s
+    )
+    deepest = 0
+    for window, batch in _window_batches(riders, CONFIG.batch_interval_s):
+        if window > 0:
+            router.tick_until(window)
+        router.submit([rider_to_payload(r) for r in batch])
+        router.tick_until(window + 1)
+        if max_depth:
+            status = router.status()
+            deepest = max(
+                deepest,
+                max(s["waiting"] for s in status["sharding"]["per_shard"]),
+            )
+    router.tick_until(horizon_batches)
+    final = router.finalize()
+    return {
+        "assignments": [_strip(r) for r in router.assignments()],
+        "final": final,
+        "status": router.status(),
+        "max_depth": deepest,
+    }
+
+
+def _canonical_revenue(assignments, riders) -> float:
+    """Summation-order-free economics: fsum over sorted assigned riders."""
+    revenue = {r.rider_id: r.revenue for r in riders}
+    return math.fsum(
+        revenue[row["rider_id"]]
+        for row in sorted(assignments, key=lambda r: r["rider_id"])
+    )
+
+
+# -- ShardPlan -----------------------------------------------------------
+
+
+class TestShardPlan:
+    def test_bands_are_contiguous_and_cover_the_grid(self):
+        plan = ShardPlan.from_shape(7, 5, 3)
+        ranges = [plan.region_range(s) for s in range(plan.num_shards)]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == plan.num_regions == 35
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo  # no gap, no overlap
+        for region in range(plan.num_regions):
+            shard = plan.shard_of_region(region)
+            lo, hi = plan.region_range(shard)
+            assert lo <= region < hi
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan.from_shape(4, 4, 1)
+        assert plan.region_range(0) == (0, 16)
+        assert all(plan.shard_of_region(r) == 0 for r in range(16))
+
+    def test_more_shards_than_rows_is_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardPlan.from_shape(3, 8, 4)
+
+    def test_payload_round_trip(self):
+        plan = ShardPlan.from_shape(10, 6, 4)
+        clone = ShardPlan.from_payload(plan.to_payload())
+        assert clone == plan
+
+    def test_bad_bounds_are_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlan(rows=4, cols=4, row_bounds=(0, 2, 2, 4))
+        with pytest.raises(ValueError):
+            ShardPlan(rows=4, cols=4, row_bounds=(1, 4))
+
+
+def test_shard_local_workload_is_exactly_infeasible_across_bands(world):
+    riders, _, grid, cost_model, _, _ = world
+    plan = ShardPlan.from_grid(grid, NUM_SHARDS)
+    local = shard_local_workload(riders, grid, plan, cost_model)
+    for rider in local[:500]:
+        shard = plan.shard_of_region(rider.origin_region)
+        assert plan.shard_of_region(rider.destination_region) == shard
+        # No out-of-band driver can beat the tightened deadline: the
+        # patience is capped below the ETA to the nearest band boundary.
+        lat_lo, lat_hi = plan.band_lat_bounds(shard, grid)
+        assert lat_lo <= rider.dropoff.lat <= lat_hi
+
+
+# -- 4-shard vs 1-shard bit-identity over real HTTP ----------------------
+
+
+@pytest.fixture(scope="module")
+def one_shard_day(workload):
+    with build_sharded_stack(CONFIG, "NEAR", 1) as stack:
+        return _run_day(stack, workload)
+
+
+def test_four_shards_equal_one_shard(workload, one_shard_day):
+    with build_sharded_stack(CONFIG, "NEAR", NUM_SHARDS) as stack:
+        four = _run_day(stack, workload)
+    one = one_shard_day
+    assert four["assignments"] == one["assignments"]
+    assert len(four["assignments"]) > 0
+    for key in ("served_orders", "reneged_orders", "total_orders"):
+        assert four["final"][key] == one["final"][key]
+    # Per-shard float summation reorders the revenue sum; compare the
+    # canonical summation-order-free figure instead of the raw total.
+    assert four["final"]["total_revenue"] == pytest.approx(
+        one["final"]["total_revenue"]
+    )
+    for key in ("requests_received", "served_orders", "reneged_orders"):
+        assert four["status"][key] == one["status"][key]
+
+
+def test_merged_revenue_matches_canonical_sum(workload, one_shard_day):
+    canonical = _canonical_revenue(one_shard_day["assignments"], workload)
+    assert one_shard_day["final"]["total_revenue"] == pytest.approx(canonical)
+
+
+def test_kill_and_recover_one_shard_preserves_identity(
+    tmp_path, workload, one_shard_day
+):
+    """Kill shard 1 mid-day, recover it from its own WAL, finish the day."""
+    from repro.serve.server import start_server_in_thread
+
+    wal_dir = tmp_path / "wal"
+    stack = build_sharded_stack(
+        CONFIG, "NEAR", NUM_SHARDS, wal_dir=wal_dir, fsync="never"
+    )
+    victim = 1
+    horizon_batches = num_batches_for_horizon(
+        CONFIG.horizon_s, CONFIG.batch_interval_s
+    )
+    windows = list(_window_batches(workload, CONFIG.batch_interval_s))
+    kill_at = windows[len(windows) // 2][0]
+    killed = False
+    try:
+        router = stack.router
+        for window, batch in windows:
+            if not killed and window >= kill_at:
+                # Kill: stop the worker's server and drop its in-memory
+                # state; everything it knew survives only in its WAL.
+                port = stack.handles[victim].port
+                stack.handles[victim].stop()
+                stack.services[victim].close()
+                service, report = DispatchService.recover(
+                    wal_dir / f"shard-{victim}" / "dispatch.wal",
+                    CONFIG,
+                    "NEAR",
+                    fsync="never",
+                    shard_plan=stack.plan,
+                    shard_index=victim,
+                )
+                assert report.requests > 0
+                assert report.ticks > 0
+                stack.services[victim] = service
+                stack.handles[victim] = start_server_in_thread(
+                    service, port=port
+                )
+                killed = True
+            if window > 0:
+                router.tick_until(window)
+            router.submit([rider_to_payload(r) for r in batch])
+            router.tick_until(window + 1)
+        router.tick_until(horizon_batches)
+        final = router.finalize()
+        assignments = [_strip(r) for r in router.assignments()]
+    finally:
+        stack.close()
+    assert killed
+    assert assignments == one_shard_day["assignments"]
+    for key in ("served_orders", "reneged_orders", "total_orders"):
+        assert final[key] == one_shard_day["final"][key]
+
+
+def test_recover_refuses_mismatched_shard_plan(tmp_path, workload):
+    wal_dir = tmp_path / "wal"
+    with build_sharded_stack(
+        CONFIG, "NEAR", NUM_SHARDS, wal_dir=wal_dir, fsync="never"
+    ) as stack:
+        stack.router.submit(
+            [rider_to_payload(r) for r in workload[:5]]
+        )
+        stack.router.tick_until(2)
+    wal_path = wal_dir / "shard-0" / "dispatch.wal"
+    plan = ShardPlan.from_shape(CONFIG.grid_rows, CONFIG.grid_cols, NUM_SHARDS)
+    # Wrong shard index within the right plan.
+    with pytest.raises(WalError, match="fingerprint mismatch"):
+        DispatchService.recover(
+            wal_path, CONFIG, "NEAR", shard_plan=plan, shard_index=1
+        )
+    # Right index, differently banded plan.
+    other = ShardPlan.from_shape(CONFIG.grid_rows, CONFIG.grid_cols, 2)
+    with pytest.raises(WalError, match="fingerprint mismatch"):
+        DispatchService.recover(
+            wal_path, CONFIG, "NEAR", shard_plan=other, shard_index=0
+        )
+    # Unsharded recovery of a sharded log is refused too.
+    with pytest.raises(WalError, match="fingerprint mismatch"):
+        DispatchService.recover(wal_path, CONFIG, "NEAR")
+
+
+# -- cross-shard rebalancing ---------------------------------------------
+
+
+REBALANCE_CONFIG = ExperimentConfig(
+    daily_orders=8_000.0,
+    num_drivers=80,
+    horizon_s=1_800.0,
+    batch_interval_s=20.0,
+)
+
+
+def _hot_band_workload():
+    """Synthetic steady demand aimed at the band with the fewest drivers.
+
+    The hot shard's own supply is exhausted within minutes; only
+    cross-shard migration can keep its queue shallow.
+    """
+    _, drivers, grid, cost_model, _, _ = build_serve_world(
+        REBALANCE_CONFIG, "NEAR"
+    )
+    plan = ShardPlan.from_grid(grid, NUM_SHARDS)
+    counts = [0] * NUM_SHARDS
+    for driver in drivers:
+        counts[plan.shard_of_region(driver.region)] += 1
+    hot = min(range(NUM_SHARDS), key=counts.__getitem__)
+    regions = list(plan.regions_of(hot))
+    centers = [grid.center_of(r) for r in regions]
+    riders = []
+    for i in range(450):  # one every 4 s for 30 min
+        t = i * 4.0
+        a, b = centers[i % len(centers)], centers[(i + 1) % len(centers)]
+        riders.append(
+            Rider(
+                rider_id=10_000_000 + i,
+                request_time_s=t,
+                pickup=a,
+                dropoff=b,
+                deadline_s=t + 600.0,
+                trip_seconds=cost_model.travel_seconds(a, b),
+                revenue=5.0,
+                origin_region=regions[i % len(regions)],
+                destination_region=regions[(i + 1) % len(regions)],
+            )
+        )
+    return riders
+
+
+def _run_rebalance_day(riders, rebalance, wal_dir=None):
+    stack = build_sharded_stack(
+        REBALANCE_CONFIG,
+        "NEAR",
+        NUM_SHARDS,
+        rebalance=rebalance,
+        rebalance_max_moves=16,
+        wal_dir=wal_dir,
+        fsync="never",
+    )
+    horizon_batches = num_batches_for_horizon(
+        REBALANCE_CONFIG.horizon_s, REBALANCE_CONFIG.batch_interval_s
+    )
+    with stack:
+        router = stack.router
+        deepest = 0
+        for window, batch in _window_batches(
+            riders, REBALANCE_CONFIG.batch_interval_s
+        ):
+            if window > 0:
+                router.tick_until(window)
+            router.submit([rider_to_payload(r) for r in batch])
+            router.tick_until(window + 1)
+            status = router.status()
+            deepest = max(
+                deepest,
+                max(s["waiting"] for s in status["sharding"]["per_shard"]),
+            )
+        router.tick_until(horizon_batches)
+        final = router.finalize()
+        status = router.status()
+        return {
+            "max_depth": deepest,
+            "migrations": router.migrations,
+            "final": final,
+            "driver_events": status["driver_events"],
+        }
+
+
+def test_rebalancing_strictly_lowers_max_queue_depth(tmp_path):
+    riders = _hot_band_workload()
+    off = _run_rebalance_day(riders, rebalance=False)
+    on = _run_rebalance_day(riders, rebalance=True, wal_dir=tmp_path / "wal")
+    assert off["migrations"] == 0
+    assert on["migrations"] > 0
+    assert on["max_depth"] < off["max_depth"]
+    assert on["final"]["served_orders"] > off["final"]["served_orders"]
+    # Every migration is a donor leave plus a recipient join, all applied.
+    assert on["driver_events"]["applied"] >= 2 * on["migrations"]
+    assert on["driver_events"]["pending"] == 0
+
+    # The migrations round-trip through the per-shard WALs: recovering
+    # every shard replays them and lands on the same fleet state.
+    plan = ShardPlan.from_shape(
+        REBALANCE_CONFIG.grid_rows, REBALANCE_CONFIG.grid_cols, NUM_SHARDS
+    )
+    replayed_events = 0
+    recovered_served = 0
+    for index in range(NUM_SHARDS):
+        service, report = DispatchService.recover(
+            tmp_path / "wal" / f"shard-{index}" / "dispatch.wal",
+            REBALANCE_CONFIG,
+            "NEAR",
+            resume=False,
+            shard_plan=plan,
+            shard_index=index,
+        )
+        replayed_events += report.driver_events
+        recovered_served += service.stepper.metrics.served_orders
+        service.close()
+    assert replayed_events >= 2 * on["migrations"]
+    assert recovered_served == on["final"]["served_orders"]
+
+
+def test_rebalance_respects_move_cap():
+    riders = _hot_band_workload()[:120]
+    stack = build_sharded_stack(
+        REBALANCE_CONFIG,
+        "NEAR",
+        NUM_SHARDS,
+        rebalance=True,
+        rebalance_max_moves=2,
+    )
+    with stack:
+        router = stack.router
+        router.submit([rider_to_payload(r) for r in riders])
+        previous = 0
+        for window in (1, 2, 3):  # one rebalance round per tick call
+            router.tick_until(window)
+            assert router.migrations - previous <= 2
+            previous = router.migrations
+
+
+def test_router_routes_driver_events_by_owner(workload):
+    with build_sharded_stack(CONFIG, "NEAR", NUM_SHARDS) as stack:
+        router = stack.router
+        grid = router.grid
+        # Join a driver into shard 2's band, then leave it — the leave
+        # carries no position, so the router must find the owner.
+        lo, _ = stack.plan.region_range(2)
+        center = grid.center_of(lo)
+        joined = router.submit_drivers(
+            {
+                "event": "join",
+                "driver_id": 999_001,
+                "time_s": 0.0,
+                "position": [center.lon, center.lat],
+            }
+        )
+        assert joined["accepted"] == 1
+        router.tick_until(1)
+        listing = {
+            d["driver_id"] for d in stack.services[2].drivers()
+        }
+        assert 999_001 in listing
+        left = router.submit_drivers(
+            {"event": "leave", "driver_id": 999_001, "time_s": 15.0}
+        )
+        assert left["accepted"] == 1
+        router.tick_until(3)  # the t = 20 s step drains the leave
+        status = router.status()
+        assert status["driver_events"]["applied"] >= 2
+
+
+def test_request_status_probes_all_shards(workload):
+    rider = dataclasses.replace(workload[0], rider_id=123_456_789)
+    with build_sharded_stack(CONFIG, "NEAR", NUM_SHARDS) as stack:
+        router = stack.router
+        router.submit(rider_to_payload(rider))
+        found = router.request_status(rider.rider_id)
+        assert found is not None
+        assert found["rider_id"] == rider.rider_id
+        assert router.request_status(987_654_321) is None

@@ -1,0 +1,233 @@
+"""Merged ``/status`` semantics: true percentiles, not averaged ones.
+
+The router pools the raw per-shard samples and recomputes every
+percentile block, because a percentile of percentiles is not a
+percentile.  The hypothesis property pins the algebra: however a sample
+set is partitioned across shards, the merged status equals the status of
+the pooled set.  A crafted two-shard case shows the naive
+average-of-percentiles giving a different (wrong) answer, and an
+end-to-end check confirms a live router reports exactly the pooled
+figures of its workers.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_serve_world, clear_caches
+from repro.serve.router import build_sharded_stack, merge_statuses
+from repro.serve.service import _percentile, rider_to_payload
+
+COUNTER_KEYS = (
+    "requests_received",
+    "waiting",
+    "pending",
+    "active_drivers",
+    "served_orders",
+    "reneged_orders",
+    "repositions",
+    "duplicate_requests",
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _status(
+    latencies,
+    ticks=(),
+    counters=None,
+    next_batch_index=0,
+    waiting_by_region=None,
+):
+    """A minimal but complete single-shard ``/status?samples=1`` payload."""
+    latencies = sorted(latencies)
+    ticks = sorted(ticks)
+    status = {
+        "policy": "NEAR",
+        "batch_interval_s": 10.0,
+        "sim_time_s": next_batch_index * 10.0,
+        "next_batch_index": next_batch_index,
+        "uptime_wall_s": 1.0,
+        "total_revenue": 0.0,
+        "phase_seconds": {"matching": 0.5},
+        "ticks": next_batch_index,
+        "tick_wall_ms": {
+            "p50": 1e3 * _percentile(ticks, 0.50),
+            "p99": 1e3 * _percentile(ticks, 0.99),
+            "max": 1e3 * (ticks[-1] if ticks else 0.0),
+        },
+        "tick_gap_wall_ms": {"p50": 0.0, "p99": 0.0, "max": 0.0},
+        "assignment_latency_s": {
+            "count": len(latencies),
+            "p50": _percentile(latencies, 0.50),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "waiting_by_region": waiting_by_region or {},
+        "driver_events": {
+            "accepted": 0,
+            "duplicates": 0,
+            "applied": 0,
+            "skipped": 0,
+            "pending": 0,
+        },
+        "shard": None,
+        "samples": {
+            "assignment_latency_s": latencies,
+            "tick_wall_s": ticks,
+            "tick_gap_wall_s": [],
+        },
+    }
+    for key in COUNTER_KEYS:
+        status[key] = (counters or {}).get(key, 0)
+    return status
+
+
+@st.composite
+def partitioned_samples(draw):
+    """A pooled sample set and an arbitrary partition of it into shards."""
+    samples = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e4,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    num_shards = draw(st.integers(min_value=1, max_value=5))
+    owners = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_shards - 1),
+            min_size=len(samples),
+            max_size=len(samples),
+        )
+    )
+    parts = [[] for _ in range(num_shards)]
+    for sample, owner in zip(samples, owners):
+        parts[owner].append(sample)
+    return samples, parts
+
+
+@settings(deadline=None, max_examples=200)
+@given(partitioned_samples())
+def test_merged_percentiles_are_partition_invariant(case):
+    pooled, parts = case
+    statuses = [_status(part, next_batch_index=i) for i, part in enumerate(parts)]
+    merged = merge_statuses(statuses)
+    reference = _status(pooled)["assignment_latency_s"]
+    assert merged["assignment_latency_s"] == reference
+    assert merged["next_batch_index"] == 0  # lockstep consensus is min
+    assert merged["ticks"] == len(parts) - 1
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    partitioned_samples(),
+    st.lists(
+        st.tuples(
+            st.sampled_from(COUNTER_KEYS), st.integers(min_value=0, max_value=50)
+        ),
+        max_size=20,
+    ),
+)
+def test_merged_counters_sum(case, increments):
+    _, parts = case
+    counters = [dict.fromkeys(COUNTER_KEYS, 0) for _ in parts]
+    for i, (key, value) in enumerate(increments):
+        counters[i % len(parts)][key] += value
+    statuses = [
+        _status(part, counters=c) for part, c in zip(parts, counters)
+    ]
+    merged = merge_statuses(statuses)
+    for key in COUNTER_KEYS:
+        assert merged[key] == sum(c[key] for c in counters)
+
+
+def test_average_of_percentiles_would_be_wrong():
+    """The canonical counterexample: one fast shard, one slow shard.
+
+    Averaging the two per-shard p99s lands far from the true fleet p99;
+    pooling the samples does not.
+    """
+    fast = [0.1] * 99 + [0.2]
+    slow = [10.0] * 10
+    merged = merge_statuses([_status(fast), _status(slow)])
+    pooled = sorted(fast + slow)
+    true_p99 = _percentile(pooled, 0.99)
+    averaged_p99 = (
+        _percentile(sorted(fast), 0.99) + _percentile(sorted(slow), 0.99)
+    ) / 2.0
+    assert merged["assignment_latency_s"]["p99"] == true_p99
+    assert true_p99 == 10.0
+    assert averaged_p99 != true_p99  # ≈ 5.1: understates the tail 2x
+
+
+def test_waiting_by_region_merges_sparse_maps():
+    a = _status([], waiting_by_region={"0": 2, "5": 1})
+    b = _status([], waiting_by_region={"5": 3, "8": 4})
+    merged = merge_statuses([a, b])
+    assert merged["waiting_by_region"] == {0: 2, 5: 4, 8: 4}
+
+
+def test_statuses_without_samples_are_refused():
+    status = _status([1.0])
+    del status["samples"]
+    with pytest.raises(ValueError, match="samples"):
+        merge_statuses([status])
+    with pytest.raises(ValueError, match="no shard statuses"):
+        merge_statuses([])
+
+
+def test_live_router_status_equals_pooled_worker_samples():
+    """A real 3-shard stack reports exactly its workers' pooled figures."""
+    config = ExperimentConfig(
+        daily_orders=2_000.0,
+        num_drivers=16,
+        horizon_s=1_800.0,
+        batch_interval_s=10.0,
+        space_scale=0.1,
+        grid_rows=3,
+        grid_cols=3,
+    )
+    riders, _, _, _, _, _ = build_serve_world(config, "NEAR")
+    riders = [r for r in riders if r.request_time_s < 600.0]
+    with build_sharded_stack(config, "NEAR", 3) as stack:
+        router = stack.router
+        router.submit([rider_to_payload(r) for r in riders])
+        router.tick_until(60)
+        merged = router.status()
+        pooled = sorted(
+            sample
+            for service in stack.services
+            for sample in service.status(True)["samples"][
+                "assignment_latency_s"
+            ]
+        )
+        assert merged["assignment_latency_s"]["count"] == len(pooled)
+        assert len(pooled) > 0
+        assert merged["assignment_latency_s"]["p50"] == _percentile(
+            pooled, 0.50
+        )
+        assert merged["assignment_latency_s"]["p99"] == _percentile(
+            pooled, 0.99
+        )
+        assert merged["assignment_latency_s"]["max"] == pooled[-1]
+        assert merged["served_orders"] == sum(
+            s.status()["served_orders"] for s in stack.services
+        )
+        assert math.isclose(
+            merged["total_revenue"],
+            sum(s.status()["total_revenue"] for s in stack.services),
+        )
