@@ -18,7 +18,13 @@ revenue); the wall-clock ratio is the engine speedup.  Each policy
 *appends* one ``pr``-labelled record to ``BENCH_engine.json`` at the repo
 root, so the performance trajectory accumulates across PRs.
 
-A second benchmark (:func:`test_fleet_scaling`) sweeps the fleet from 10K
+A second benchmark (:func:`test_ls_sweep_stress`) pits the two Local
+Search sweep modes against each other on a rider-rich high-churn day
+where the LS inner loop dominates ``plan_policy`` time, proving the
+speculative batch sweep's win on the phase profile while re-checking
+bit-identical economics end to end.
+
+A third (:func:`test_fleet_scaling`) sweeps the fleet from 10K
 to 1M drivers at constant driver density and fixed demand, phase-profiles
 every tick, and asserts the per-batch tick cost stays nearly flat — the
 position-stable snapshot layout makes a tick O(events + batch size),
@@ -34,6 +40,7 @@ import time
 import pytest
 
 from repro.dispatch.base import set_candidate_backend
+from repro.dispatch.queueing_policy import QueueingPolicy
 from repro.experiments.reporting import append_bench_record
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
@@ -125,6 +132,144 @@ def test_engine_throughput(policy_name, floor):
     # the full margin; the assertion keeps head-room for noisy CI boxes).
     assert identical, "seed and vectorized engines diverged"
     assert speedup >= floor, f"vectorized engine only {speedup:.2f}x faster"
+
+
+# -- LS sweep stress: speculative vs sequential policy time -------------------------
+
+#: A rider-rich, high-churn half hour tuned so most of the fleet is
+#: re-assigned every batch: short trips (small city), short patience (the
+#: waiting pool stays dense and tie-heavy), arrivals far above capacity.
+#: That makes the Local Search sweep — not the candidate pipeline — the
+#: dominant ``plan_policy`` cost, which is exactly the loop the speculative
+#: batch sweep vectorises.  CI's smoke step trims via
+#: ``REPRO_LS_STRESS_HORIZON_S``.
+_LS_STRESS_HORIZON_S = float(os.environ.get("REPRO_LS_STRESS_HORIZON_S", "1800"))
+_LS_STRESS_REPEATS = int(os.environ.get("REPRO_LS_STRESS_REPEATS", "3"))
+_LS_STRESS_ORDERS = float(os.environ.get("REPRO_LS_STRESS_ORDERS", "2000000"))
+
+#: Trimmed runs (CI smoke) exercise the full measurement pipeline but skip
+#: the speedup floor: with the workload cut down the sweep no longer
+#: dominates ``plan_policy`` and the margin drowns in box noise.
+_LS_STRESS_TRIMMED = any(
+    f"REPRO_LS_STRESS_{knob}" in os.environ
+    for knob in ("HORIZON_S", "REPEATS", "ORDERS")
+)
+
+LS_STRESS_SCENARIO = ExperimentConfig(
+    daily_orders=_LS_STRESS_ORDERS,
+    num_drivers=2_400,
+    grid_rows=6,
+    grid_cols=6,
+    space_scale=0.2,
+    batch_interval_s=30.0,
+    horizon_s=_LS_STRESS_HORIZON_S,
+    base_waiting_s=120.0,
+)
+
+
+def _run_ls_stress(sweep: str) -> dict:
+    """One phase-profiled LS-R run of the stress scenario under ``sweep``."""
+    scenario = LS_STRESS_SCENARIO
+    config = SimConfig(
+        batch_interval_s=scenario.batch_interval_s,
+        tc_seconds=scenario.tc_seconds,
+        horizon_s=scenario.horizon_s,
+        pickup_speed_mps=scenario.speed_mps,
+        profile_phases=True,
+    )
+    previous = set_candidate_backend("vectorized")
+    try:
+        riders, drivers, grid, cost_model = _build_riders_and_drivers(scenario)
+        policy = QueueingPolicy(
+            "ls", beta=scenario.beta, name_suffix="-R", ls_sweep=sweep
+        )
+        demand = _make_demand("LS-R", scenario, riders, grid, "deepst")
+        sim = Simulation(
+            riders, drivers, grid, cost_model, policy, config, demand=demand
+        )
+        gc.collect()
+        gc.freeze()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = sim.run()
+            wall_s = time.perf_counter() - start
+        finally:
+            gc.enable()
+            gc.unfreeze()
+            gc.collect()
+    finally:
+        set_candidate_backend(previous)
+    metrics = result.metrics
+    return {
+        "wall_s": round(wall_s, 3),
+        "plan_policy_s": round(metrics.phase_seconds["plan_policy"], 3),
+        "plan_candidates_s": round(metrics.phase_seconds["plan_candidates"], 3),
+        "served_orders": metrics.served_orders,
+        "reneged_orders": metrics.reneged_orders,
+        "total_revenue": metrics.total_revenue,
+    }
+
+
+def test_ls_sweep_stress():
+    """The speculative sweep must cut ``plan_policy`` time on the stress day.
+
+    Both sweep modes run the identical scenario interleaved,
+    ``_LS_STRESS_REPEATS`` times each; economics must be bit-identical on
+    every run (the modes are proven equivalent — this re-checks it end to
+    end), and the per-mode *minimum* ``plan_policy`` is compared: ambient
+    contention can inflate (never deflate) a measurement, so the minimum is
+    the truest kernel cost on a shared box.
+    """
+    runs: dict[str, list[dict]] = {"sequential": [], "speculative": []}
+    for _ in range(_LS_STRESS_REPEATS):
+        for sweep in runs:
+            runs[sweep].append(_run_ls_stress(sweep))
+
+    baseline = runs["sequential"][0]
+    for sweep, reps in runs.items():
+        for rep in reps:
+            identical = (
+                rep["served_orders"] == baseline["served_orders"]
+                and rep["reneged_orders"] == baseline["reneged_orders"]
+                and rep["total_revenue"] == baseline["total_revenue"]
+            )
+            assert identical, f"{sweep} diverged from sequential economics"
+
+    best = {
+        sweep: min(reps, key=lambda r: r["plan_policy_s"])
+        for sweep, reps in runs.items()
+    }
+    speedup = (
+        best["sequential"]["plan_policy_s"] / best["speculative"]["plan_policy_s"]
+    )
+    payload = {
+        "scenario": {
+            "benchmark": "ls_stress",
+            "daily_orders": LS_STRESS_SCENARIO.daily_orders,
+            "num_drivers": LS_STRESS_SCENARIO.num_drivers,
+            "grid": f"{LS_STRESS_SCENARIO.grid_rows}x{LS_STRESS_SCENARIO.grid_cols}",
+            "space_scale": LS_STRESS_SCENARIO.space_scale,
+            "horizon_s": _LS_STRESS_HORIZON_S,
+            "policy": "LS-R",
+        },
+        "repeats": _LS_STRESS_REPEATS,
+        "sequential": best["sequential"],
+        "speculative": best["speculative"],
+        "speedup": round(speedup, 2),
+        "metrics_bit_identical": True,
+    }
+    out = append_bench_record("BENCH_engine.json", payload)
+    print(f"\n[BENCH_engine] -> {out}\n{json.dumps(payload, indent=2)}")
+
+    # The committed JSON shows the full margin; the assertion only demands
+    # the speculative sweep not lose, with head-room for noisy CI boxes —
+    # and only on the full-size scenario, where the sweep dominates.
+    assert _LS_STRESS_TRIMMED or speedup >= 1.0, (
+        f"speculative sweep slower than sequential: "
+        f"{best['speculative']['plan_policy_s']}s vs "
+        f"{best['sequential']['plan_policy_s']}s"
+    )
 
 
 # -- fleet scaling: O(events + batch) ticks ----------------------------------------

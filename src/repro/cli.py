@@ -61,6 +61,12 @@ Subcommands
     stationary probabilities and the expected idle time (rates per minute,
     following the paper's §4 convention).
 
+``repro bench [--json]``
+    Print the per-PR benchmark trajectories accumulated in the four
+    repo-root ``BENCH_*.json`` histories (policy speedups, roadnet
+    speedup, serve req/s, sweep speedup) as compact tables — the
+    machine-readable form behind them via ``--json``.
+
 ``repro cache stats`` / ``repro cache clear``
     Inspect or empty the cross-process run cache.  Entries are evicted
     least-recently-used once the cache exceeds ``$REPRO_CACHE_MAX_MB``
@@ -443,6 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("stats", "clear"),
         help="'stats' prints entry count, size, and cap; 'clear' deletes "
         "every cached run summary",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="show the per-PR benchmark trajectories"
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the trajectories as JSON instead of tables",
     )
 
     queue = sub.add_parser("queue", help="evaluate the region queueing model")
@@ -1289,6 +1305,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import bench_trajectories
+
+    trajectories = bench_trajectories()
+    if args.as_json:
+        import json
+
+        print(json.dumps(trajectories, indent=2))
+        return 0
+    printed = False
+    for name, table in trajectories.items():
+        columns, rows = table["columns"], table["rows"]
+        if not rows:
+            continue
+        if printed:
+            print()
+        printed = True
+        print(f"{name} (BENCH_{name}.json, {len(rows)} PRs)")
+        widths = [max(len("pr"), *(len(r["pr"]) for r in rows))]
+        widths += [
+            max(len(c), *(len(_bench_cell(r.get(c))) for r in rows))
+            for c in columns
+        ]
+        header = ["pr"] + columns
+        print("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            cells = [row["pr"].ljust(widths[0])] + [
+                _bench_cell(row.get(c)).rjust(w)
+                for c, w in zip(columns, widths[1:])
+            ]
+            print("  " + "  ".join(cells))
+    if not printed:
+        print("no benchmark histories found (run pytest benchmarks/ first)")
+    return 0
+
+
+def _bench_cell(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,.2f}" if value < 1000 else f"{value:,.0f}"
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     if args.lam <= 0:
         print("lam must be positive", file=sys.stderr)
@@ -1331,6 +1389,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "queue":
         return _cmd_queue(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
 from repro.core.idle_ratio import idle_ratio, idle_ratio_many
 from repro.core.rates import RegionRates
+from repro.core.segtools import region_et_tables
 
 __all__ = [
     "idle_ratio_greedy",
@@ -147,11 +148,9 @@ def greedy_select_indices(
     # are evaluated in bulk: ET once per distinct destination, the ratio
     # formula broadcast over all pairs.
     eta_key = pickup_eta_s if include_pickup else np.zeros(n, dtype=float)
-    et_by_region = np.empty(rates.num_regions, dtype=float)
-    version_by_region = np.empty(rates.num_regions, dtype=np.int64)
-    for region in np.unique(destination_region).tolist():
-        et_by_region[region] = rates.expected_idle_time(region)
-        version_by_region[region] = rates.version(region)
+    et_by_region, version_by_region = region_et_tables(
+        destination_region, rates, with_versions=True
+    )
     ratios = idle_ratio_many(
         trip_cost_s, et_by_region[destination_region], eta_key
     )

@@ -16,6 +16,8 @@ revisited state terminates the search deterministically with
 defensive bound; a cap hit mid-improvement is surfaced — the returned
 :class:`LocalSearchResult` carries ``converged=False`` and a warning is
 logged, so a truncated batch can never masquerade as a converged one.
+All entry points share that machinery through :func:`_converge_sweeps`,
+so revisit detection and the cap warning cannot drift apart.
 
 Replacing rider ``r`` by ``r'`` for driver ``d`` moves the future driver
 contribution from ``dest(r)`` to ``dest(r')``: ``mu(dest(r))`` drops by
@@ -25,19 +27,37 @@ search escape the greedy's myopia.
 Two entry points share the semantics: :func:`local_search` is the scalar
 per-pair reference over the batch-entity objects, and
 :func:`local_search_arrays` the array-native port consuming the flat CSR
-pair arrays the vectorised candidate pipeline already builds — per-driver
-candidate slices are gathered once, each sweep evaluates a driver's
-replacement ratios with one vectorised
-:func:`~repro.core.idle_ratio.idle_ratio_many` call, and the
-``RegionRates`` mu-feedback is applied by region id.  Both produce
-bit-identical assignments (same swaps, same tie-breaking, same exit
-refresh of ``predicted_idle_s`` against the final rates).
+pair arrays the vectorised candidate pipeline already builds.  The array
+port offers two sweep modes:
+
+- ``"sequential"`` walks the drivers one at a time — per driver one
+  vectorised :func:`~repro.core.idle_ratio.idle_ratio_many` call over its
+  CSR candidate slice against a dense per-region ET table refreshed for
+  the two regions each swap mutates;
+- ``"speculative"`` (the default) evaluates *every* driver's best
+  replacement in one batch pass per sweep round: the ET table and the
+  assigned-rider mask are frozen at round start, one ``idle_ratio_many``
+  call covers all pairs, and a CSR segment-argmin
+  (:func:`~repro.core.segtools.segment_min_argmin`) proposes each
+  driver's winner.  Proposals are then *committed in scalar sweep order*
+  with dependency-aware re-validation: a proposal is taken from the
+  frozen pass iff no earlier commit this round touched its inputs — the
+  ET entries of any destination region in its candidate slice, or the
+  assigned-mask of any rider in it — and is otherwise re-evaluated
+  exactly on its slice against the live state (which is precisely what
+  the sequential sweep would have computed).  Clean proposals are
+  provably unchanged, dirty ones are recomputed, and commit order and
+  first-strict-improvement tie-breaking are preserved, so the result —
+  swaps, tie-cycle detection, ``converged``, the exit refresh of
+  ``predicted_idle_s`` — stays bit-identical to both the sequential mode
+  and the scalar reference while the per-driver Python loop collapses to
+  O(1) set lookups per clean driver.
 """
 
 from __future__ import annotations
 
 import logging
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -45,10 +65,19 @@ from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, Selec
 from repro.core.idle_ratio import idle_ratio, idle_ratio_many
 from repro.core.irg import greedy_select_indices, idle_ratio_greedy
 from repro.core.rates import RegionRates
+from repro.core.segtools import (
+    csr_from_labels,
+    masked_fill,
+    region_et_tables,
+    segment_min_argmin,
+)
 
-__all__ = ["LocalSearchResult", "local_search", "local_search_arrays"]
+__all__ = ["SWEEP_MODES", "LocalSearchResult", "local_search", "local_search_arrays"]
 
 _LOG = logging.getLogger(__name__)
+
+#: Valid ``sweep=`` modes of :func:`local_search_arrays`.
+SWEEP_MODES = ("speculative", "sequential")
 
 
 class LocalSearchResult(list):
@@ -76,6 +105,34 @@ def _warn_cap_hit(max_sweeps: int) -> None:
         "returning a non-converged assignment",
         max_sweeps,
     )
+
+
+def _converge_sweeps(
+    sweep_once: Callable[[], bool],
+    state_key: Callable[[], frozenset],
+    max_sweeps: int,
+) -> bool:
+    """Drive improvement sweeps to convergence; returns ``converged``.
+
+    The one shared copy of the sweep-loop machinery (every LS path uses
+    it): runs ``sweep_once`` (which returns whether it committed any
+    replacement) up to ``max_sweeps`` times, terminating deterministically
+    on a no-replacement sweep (Lemma 5.1's fixed point) or on a revisited
+    sweep-end state (``state_key`` must be a pure function of the full
+    search state — the assignment set; a repeat proves a tie cycle, since
+    the sweep order is fixed the search would repeat forever).  A cap hit
+    mid-improvement logs the warning and reports ``False``.
+    """
+    seen_states: set[frozenset] = {state_key()}
+    for _ in range(max_sweeps):
+        if not sweep_once():
+            return True
+        state = state_key()
+        if state in seen_states:
+            return True
+        seen_states.add(state)
+    _warn_cap_hit(max_sweeps)
+    return False
 
 
 def local_search(
@@ -128,14 +185,7 @@ def local_search(
     assigned_rider_of: dict[int, int] = {sp.driver: sp.rider for sp in current}
     assigned_riders: set[int] = {sp.rider for sp in current}
 
-    # The assignment set is the full search state (the rates are a pure
-    # function of it), so a revisited sweep-end state proves a tie cycle:
-    # the sweep order is fixed, hence the search would repeat forever.
-    seen_states: set[frozenset[tuple[int, int]]] = {
-        frozenset(assigned_rider_of.items())
-    }
-    converged = False
-    for _ in range(max_sweeps):
+    def sweep_once() -> bool:
         improved = False
         for driver, rider_idx in list(assigned_rider_of.items()):
             rider = rider_by_index[rider_idx]
@@ -174,16 +224,13 @@ def local_search(
                 assigned_riders.discard(rider_idx)
                 assigned_riders.add(best_candidate)
                 improved = True
-        if not improved:
-            converged = True
-            break
-        state = frozenset(assigned_rider_of.items())
-        if state in seen_states:
-            converged = True
-            break
-        seen_states.add(state)
-    if not converged:
-        _warn_cap_hit(max_sweeps)
+        return improved
+
+    converged = _converge_sweeps(
+        sweep_once,
+        lambda: frozenset(assigned_rider_of.items()),
+        max_sweeps,
+    )
 
     result = LocalSearchResult(converged=converged)
     for driver, rider_idx in assigned_rider_of.items():
@@ -210,6 +257,7 @@ def local_search_arrays(
     initial: Sequence[SelectedPair] | None = None,
     max_sweeps: int = 64,
     include_pickup: bool = True,
+    sweep: str = "speculative",
 ) -> LocalSearchResult:
     """Algorithm 3 over flat per-pair arrays (the array pipeline's entry).
 
@@ -218,13 +266,14 @@ def local_search_arrays(
     driver)`` combinations must be unique (Definition 3).  Returns the same
     :class:`LocalSearchResult` (same pairs, same order, same values, same
     ``converged`` flag) as :func:`local_search` over the equivalent object
-    batch.
-
-    Per sweep, a driver's replacement candidates are one CSR slice of pair
-    indices; their idle ratios are evaluated in a single vectorised call
-    against a dense per-region ET table that is refreshed only for the two
-    regions each swap mutates.
+    batch, whichever ``sweep`` mode runs (see the module docstring for the
+    two modes; ``"speculative"`` batches each round into one vectorised
+    pass, ``"sequential"`` is the retained per-driver sweep).
     """
+    if sweep not in SWEEP_MODES:
+        raise ValueError(
+            f"unknown sweep mode {sweep!r}; expected one of {SWEEP_MODES}"
+        )
     n = len(rider_ids)
     if n == 0:
         return LocalSearchResult(converged=True)
@@ -234,26 +283,6 @@ def local_search_arrays(
     driver_l = driver_ids.tolist()
     eta_l = pickup_eta_s.tolist()
     dest_l = destination_region.tolist()
-
-    # Dense rider ids (two pair rows naming the same rider must share one
-    # "assigned" slot) and a per-driver CSR of pair indices in pair order —
-    # the array form of the scalar path's ``riders_of_driver`` lists.
-    _, r_local = np.unique(rider_ids, return_inverse=True)
-    d_uniq, d_local = np.unique(driver_ids, return_inverse=True)
-    pair_order = np.argsort(d_local, kind="stable")
-    counts = np.bincount(d_local, minlength=len(d_uniq))
-    indptr = np.empty(len(d_uniq) + 1, dtype=np.int64)
-    indptr[0] = 0
-    np.cumsum(counts, out=indptr[1:])
-    # Position of each pair within its driver's slice (to read the current
-    # pair's ratio out of the vectorised slice evaluation).
-    pos_within = np.empty(n, dtype=np.int64)
-    pos_within[pair_order] = np.arange(n) - np.repeat(indptr[:-1], counts)
-
-    r_local_l = r_local.tolist()
-    d_local_l = d_local.tolist()
-    indptr_l = indptr.tolist()
-    pos_within_l = pos_within.tolist()
 
     # Alg. 3 line 1: seed from Algorithm 2 (mutating `rates`, exactly like
     # the scalar path) unless the caller supplies a starting assignment.
@@ -271,63 +300,193 @@ def local_search_arrays(
         }
         chosen = [pair_at[(sp.rider, sp.driver)] for sp in initial]
 
+    if max_sweeps > 0 and len(set(driver_l)) == n:
+        # Every driver holds exactly one candidate — its current rider —
+        # so no sweep can ever commit a replacement: the first sweep would
+        # evaluate each slice, find only the (assigned, masked) own pair,
+        # and terminate with no change to `rates`.  Converge immediately;
+        # on thin real-time batches (order arrivals per 3 s batch ≪ fleet)
+        # this skips the entire sweep apparatus for most calls.  (With
+        # ``max_sweeps == 0`` even a no-op search reports a cap hit, so
+        # that degenerate case keeps the shared machinery.)
+        return _build_result(
+            chosen, True, rider_l, driver_l, eta_l, dest_l, rates
+        )
+
+    # Dense rider ids (two pair rows naming the same rider must share one
+    # "assigned" slot) and a per-driver CSR of pair indices in pair order —
+    # the array form of the scalar path's ``riders_of_driver`` lists.
+    _, r_local = np.unique(rider_ids, return_inverse=True)
+    d_uniq, d_local = np.unique(driver_ids, return_inverse=True)
+    pair_order, indptr, pos_within = csr_from_labels(d_local, len(d_uniq))
+
+    r_local_l = r_local.tolist()
+    d_local_l = d_local.tolist()
+    indptr_l = indptr.tolist()
+    pos_within_l = pos_within.tolist()
+
     assigned = np.zeros(int(r_local.max()) + 1, dtype=bool)
     for t in chosen:
         assigned[r_local_l[t]] = True
 
     # Dense ET table over the destination regions in play, kept current by
     # refreshing exactly the two regions each swap mutates.
-    et_by_region = np.empty(rates.num_regions, dtype=float)
-    for region in np.unique(destination_region).tolist():
-        et_by_region[region] = rates.expected_idle_time(region)
+    et_by_region = region_et_tables(destination_region, rates)
+
+    def dirty_sweep(t_cur: int, d: int) -> int | None:
+        """One driver's slice against the *live* state (the sequential
+        sweep body); returns the winning pair index or ``None``."""
+        cand = pair_order[indptr_l[d] : indptr_l[d + 1]]
+        ratios = idle_ratio_many(
+            trip_cost_s[cand],
+            et_by_region[destination_region[cand]],
+            eta_key[cand],
+        )
+        current_ratio = ratios[pos_within_l[t_cur]]
+        # Assigned riders (including the driver's own) are not swap
+        # targets; masking them with +inf reproduces the scalar skip.
+        ratios[assigned[r_local[cand]]] = np.inf
+        j = int(np.argmin(ratios))
+        # argmin returns the first occurrence of the minimum — the same
+        # winner as the scalar path's first-strict-improvement scan.
+        if ratios[j] < current_ratio:
+            return int(cand[j])
+        return None
+
+    def commit(k: int, t_cur: int, t_new: int) -> None:
+        old_dest = dest_l[t_cur]
+        new_dest = dest_l[t_new]
+        rates.on_unassignment(old_dest)
+        rates.on_assignment(new_dest)
+        et_by_region[old_dest] = rates.expected_idle_time(old_dest)
+        et_by_region[new_dest] = rates.expected_idle_time(new_dest)
+        assigned[r_local_l[t_cur]] = False
+        assigned[r_local_l[t_new]] = True
+        chosen[k] = t_new
+
+    if sweep == "sequential":
+
+        def sweep_once() -> bool:
+            improved = False
+            for k in range(len(chosen)):
+                t_cur = chosen[k]
+                t_new = dirty_sweep(t_cur, d_local_l[t_cur])
+                if t_new is not None:
+                    commit(k, t_cur, t_new)
+                    improved = True
+            return improved
+
+    else:
+        # Speculative batch sweep: pair arrays re-gathered once into CSR
+        # (sweep) order, so each round is one vectorised pass + a segment
+        # argmin instead of a per-driver loop of small kernel calls.
+        trip_sw = trip_cost_s[pair_order]
+        eta_sw = eta_key[pair_order]
+        dest_sw = destination_region[pair_order]
+        rl_sw = r_local[pair_order]
+        pair_order_l = pair_order.tolist()
+        # Sweep-order position of each pair (to read a driver's current
+        # ratio out of the frozen full-batch evaluation).
+        sorted_pos = indptr[d_local] + pos_within
+        # Each driver's dependency footprint: the ET entries (destination
+        # regions) and assigned-mask slots (riders) its slice evaluation
+        # reads.  A commit touching none of them cannot change the frozen
+        # proposal — the bit-identity invariant of the speculative commit.
+        # The footprints are static per call but cost O(pairs) Python to
+        # build, and a round that commits nothing never consults them —
+        # the common converged-verification round — so they are built
+        # lazily at the first commit of the call.
+        footprints: list[tuple[frozenset, frozenset]] | None = None
+
+        def slice_footprints() -> list[tuple[frozenset, frozenset]]:
+            nonlocal footprints
+            if footprints is None:
+                dest_sw_l = dest_sw.tolist()
+                rl_sw_l = rl_sw.tolist()
+                footprints = [
+                    (
+                        frozenset(dest_sw_l[indptr_l[d] : indptr_l[d + 1]]),
+                        frozenset(rl_sw_l[indptr_l[d] : indptr_l[d + 1]]),
+                    )
+                    for d in range(len(d_uniq))
+                ]
+            return footprints
+
+        def sweep_once() -> bool:
+            # Freeze the round's inputs: ET table and assigned mask as of
+            # round start.  One ratio evaluation covers every pair (each
+            # element bit-identical to its slice evaluation), the masked
+            # segment argmin proposes every driver's best replacement.
+            ratios_all = idle_ratio_many(
+                trip_sw, et_by_region[dest_sw], eta_sw
+            )
+            best_vals, best_pos = segment_min_argmin(
+                masked_fill(ratios_all, assigned[rl_sw]), indptr
+            )
+            # Only the assigned drivers' cells are consulted; gather them
+            # instead of round-tripping the full arrays through Python.
+            # ``chosen[k]`` can only change at step ``k`` itself, so the
+            # round-start snapshot of each driver's pair/slice is exact.
+            t_of_k = list(chosen)
+            d_of_k = [d_local_l[t] for t in t_of_k]
+            cur_l = ratios_all[sorted_pos[t_of_k]].tolist()
+            best_vals_l = best_vals[d_of_k].tolist()
+            best_pos_l = best_pos[d_of_k].tolist()
+            dirty_regions: set[int] = set()
+            dirty_riders: set[int] = set()
+            improved = False
+            for k, t_cur in enumerate(t_of_k):
+                d = d_of_k[k]
+                if not improved:
+                    clean = True  # nothing committed yet this round
+                else:
+                    dest_fp, rider_fp = slice_footprints()[d]
+                    clean = dirty_regions.isdisjoint(
+                        dest_fp
+                    ) and dirty_riders.isdisjoint(rider_fp)
+                if clean:
+                    # Clean: no commit this round touched the slice's
+                    # inputs, so the frozen proposal IS the live answer.
+                    if best_vals_l[k] < cur_l[k]:
+                        t_new = pair_order_l[best_pos_l[k]]
+                    else:
+                        continue
+                else:
+                    # Dirty: re-evaluate exactly on the slice.
+                    t_new = dirty_sweep(t_cur, d)
+                    if t_new is None:
+                        continue
+                commit(k, t_cur, t_new)
+                dirty_regions.add(dest_l[t_cur])
+                dirty_regions.add(dest_l[t_new])
+                dirty_riders.add(r_local_l[t_cur])
+                dirty_riders.add(r_local_l[t_new])
+                improved = True
+            return improved
 
     # Cycle detection, mirroring the scalar path: ``chosen`` holds pair
     # indices, and (rider, driver) combinations are unique, so a frozenset
     # of pair indices is bijective with the scalar path's assignment set —
-    # both entry points detect the same revisit at the same sweep.
-    seen_states: set[frozenset[int]] = {frozenset(chosen)}
-    converged = False
-    for _ in range(max_sweeps):
-        improved = False
-        for k in range(len(chosen)):
-            t_cur = chosen[k]
-            d = d_local_l[t_cur]
-            cand = pair_order[indptr_l[d] : indptr_l[d + 1]]
-            ratios = idle_ratio_many(
-                trip_cost_s[cand],
-                et_by_region[destination_region[cand]],
-                eta_key[cand],
-            )
-            current_ratio = ratios[pos_within_l[t_cur]]
-            # Assigned riders (including the driver's own) are not swap
-            # targets; masking them with +inf reproduces the scalar skip.
-            ratios[assigned[r_local[cand]]] = np.inf
-            j = int(np.argmin(ratios))
-            # argmin returns the first occurrence of the minimum — the same
-            # winner as the scalar path's first-strict-improvement scan.
-            if ratios[j] < current_ratio:
-                t_new = int(cand[j])
-                old_dest = dest_l[t_cur]
-                new_dest = dest_l[t_new]
-                rates.on_unassignment(old_dest)
-                rates.on_assignment(new_dest)
-                et_by_region[old_dest] = rates.expected_idle_time(old_dest)
-                et_by_region[new_dest] = rates.expected_idle_time(new_dest)
-                assigned[r_local_l[t_cur]] = False
-                assigned[r_local_l[t_new]] = True
-                chosen[k] = t_new
-                improved = True
-        if not improved:
-            converged = True
-            break
-        state = frozenset(chosen)
-        if state in seen_states:
-            converged = True
-            break
-        seen_states.add(state)
-    if not converged:
-        _warn_cap_hit(max_sweeps)
+    # all entry points detect the same revisit at the same sweep.
+    converged = _converge_sweeps(
+        sweep_once, lambda: frozenset(chosen), max_sweeps
+    )
+    return _build_result(
+        chosen, converged, rider_l, driver_l, eta_l, dest_l, rates
+    )
 
+
+def _build_result(
+    chosen: list[int],
+    converged: bool,
+    rider_l: list[int],
+    driver_l: list[int],
+    eta_l: list[float],
+    dest_l: list[int],
+    rates: RegionRates,
+) -> LocalSearchResult:
+    """The exit refresh: each pair's ``predicted_idle_s`` against the
+    final rates, in commit order."""
     result = LocalSearchResult(converged=converged)
     for t in chosen:
         result.append(

@@ -1,0 +1,157 @@
+"""Shared CSR segment-reduction kernels for the array-native policies.
+
+The three array policies (IRG / LS / SHORT) all reduce over *segments* of
+flat per-pair arrays: per-driver candidate slices in the Local Search
+sweep, per-region key tables in the greedy initial-key builds.  This
+module is the one vectorised substrate they share:
+
+- :func:`csr_from_labels` sorts pair positions into contiguous per-label
+  segments (the CSR the LS sweep walks);
+- :func:`segment_min` / :func:`segment_min_argmin` reduce every segment
+  in one pass (``np.minimum.reduceat``, no Python loop over segments) —
+  the speculative batch sweep's "best replacement for every driver at
+  once" kernel;
+- :func:`masked_fill` knocks candidates out of a reduction (assigned
+  riders, dirty slices) without mutating the caller's values;
+- :func:`region_et_tables` builds the dense per-region expected-idle-time
+  (and version) tables that key every policy's bulk priority evaluation.
+
+All kernels assume finite-or-``inf`` float inputs (never NaN: NaN breaks
+the equality-based argmin) and preserve *first-occurrence* tie-breaking,
+matching ``np.argmin`` on each segment exactly — which is what keeps the
+speculative sweep bit-identical to the scalar per-driver scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rates import RegionRates
+
+__all__ = [
+    "csr_from_labels",
+    "segment_min",
+    "segment_min_argmin",
+    "masked_fill",
+    "region_et_tables",
+]
+
+
+def csr_from_labels(
+    labels: np.ndarray, num_segments: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group positions by integer label into contiguous CSR segments.
+
+    Returns ``(order, indptr, pos_within)``: ``order`` is a stable sort of
+    ``arange(len(labels))`` by label, so segment ``s`` occupies
+    ``order[indptr[s]:indptr[s + 1]]``; ``pos_within[t]`` is position
+    ``t``'s offset inside its own segment (``order[indptr[labels[t]] +
+    pos_within[t]] == t``).  Stability keeps each segment in original
+    enumeration order — the property every tie-break proof relies on.
+    """
+    n = len(labels)
+    order = np.argsort(labels, kind="stable")
+    counts = np.bincount(labels, minlength=num_segments)
+    indptr = np.empty(num_segments + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    pos_within = np.empty(n, dtype=np.int64)
+    pos_within[order] = np.arange(n) - np.repeat(indptr[:-1], counts)
+    return order, indptr, pos_within
+
+
+def segment_min(
+    values: np.ndarray, indptr: np.ndarray, fill: float = np.inf
+) -> np.ndarray:
+    """Per-segment minimum over CSR slices; empty segments get ``fill``.
+
+    ``values`` holds all segments back to back; segment ``s`` is
+    ``values[indptr[s]:indptr[s + 1]]``.  One ``np.minimum.reduceat``
+    pass — no Python loop over segments.
+    """
+    starts = indptr[:-1]
+    mins = np.full(len(starts), fill, dtype=float)
+    if values.size == 0:
+        return mins
+    # Reduce over the nonempty starts only: an empty segment shares its
+    # start with the next segment, so consecutive nonempty starts still
+    # delimit each nonempty segment exactly (and the trailing one runs to
+    # the end of ``values``).  Feeding empty starts to reduceat instead
+    # would shift its boundaries and corrupt the neighbouring segments.
+    nonempty = np.flatnonzero(indptr[1:] > starts)
+    if nonempty.size:
+        mins[nonempty] = np.minimum.reduceat(values, starts[nonempty])
+    return mins
+
+
+def segment_min_argmin(
+    values: np.ndarray, indptr: np.ndarray, fill: float = np.inf
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``(min, argmin)`` with first-occurrence tie-breaking.
+
+    ``argmin[s]`` is an *absolute* index into ``values`` — the first
+    position of segment ``s``'s minimum, exactly what ``indptr[s] +
+    np.argmin(values[indptr[s]:indptr[s+1]])`` would give (first
+    occurrence on ties, including all-``inf`` segments, where the
+    segment's first element wins just like ``np.argmin``) — or ``-1``
+    for an empty segment.  No NaNs: the argmin is recovered by equality
+    against the segment minimum.
+    """
+    mins = segment_min(values, indptr, fill)
+    starts = indptr[:-1]
+    argmins = np.full(len(starts), -1, dtype=np.int64)
+    if values.size == 0:
+        return mins, argmins
+    n = values.size
+    seg_of = np.repeat(
+        np.arange(len(starts), dtype=np.int64), np.diff(indptr)
+    )
+    # First index holding its segment's min: positions that don't match
+    # are pushed past the end, then a min-reduceat picks the earliest
+    # (over the nonempty starts only — see ``segment_min``).
+    candidate = np.where(
+        values == mins[seg_of], np.arange(n, dtype=np.int64), n
+    )
+    nonempty = np.flatnonzero(indptr[1:] > starts)
+    if nonempty.size:
+        argmins[nonempty] = np.minimum.reduceat(candidate, starts[nonempty])
+    return mins, argmins
+
+
+def masked_fill(
+    values: np.ndarray, mask: np.ndarray, fill: float = np.inf
+) -> np.ndarray:
+    """Copy of ``values`` with ``mask`` positions set to ``fill``.
+
+    The masking half of a masked segment reduction (assigned riders, dirty
+    slices); the caller's array is never mutated.
+    """
+    out = values.copy()
+    out[mask] = fill
+    return out
+
+
+def region_et_tables(
+    destination_region: np.ndarray,
+    rates: RegionRates,
+    with_versions: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Dense per-region expected-idle-time (and version) tables.
+
+    Evaluates ``rates.expected_idle_time`` once per *distinct* destination
+    region in play — the shared prologue of every array policy's bulk key
+    build (``et_by_region[destination_region]`` then one vectorised
+    priority call over all pairs).  Entries for regions not present are
+    uninitialised; callers only ever gather by ``destination_region``.
+    """
+    et = np.empty(rates.num_regions, dtype=float)
+    versions = (
+        np.empty(rates.num_regions, dtype=np.int64) if with_versions else None
+    )
+    for region in np.unique(destination_region).tolist():
+        et[region] = rates.expected_idle_time(region)
+        if versions is not None:
+            versions[region] = rates.version(region)
+    if with_versions:
+        return et, versions
+    return et

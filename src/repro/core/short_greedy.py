@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair, SelectedPair
 from repro.core.idle_ratio import short_total_time, short_total_time_many
 from repro.core.rates import RegionRates
+from repro.core.segtools import region_et_tables
 
 __all__ = ["shortest_total_time_greedy", "shortest_total_time_greedy_arrays"]
 
@@ -115,11 +116,9 @@ def shortest_total_time_greedy_arrays(
     # the tiebreak (pair index) mirrors the scalar path's enumerate order,
     # so equal keys pop identically.
     eta_key = pickup_eta_s if include_pickup else np.zeros(n, dtype=float)
-    et_by_region = np.empty(rates.num_regions, dtype=float)
-    version_by_region = np.empty(rates.num_regions, dtype=np.int64)
-    for region in np.unique(destination_region).tolist():
-        et_by_region[region] = rates.expected_idle_time(region)
-        version_by_region[region] = rates.version(region)
+    et_by_region, version_by_region = region_et_tables(
+        destination_region, rates, with_versions=True
+    )
     keys = short_total_time_many(
         trip_cost_s, et_by_region[destination_region], eta_key
     )

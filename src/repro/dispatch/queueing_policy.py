@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.batch_types import BatchDriver, BatchRider, CandidatePair
 from repro.core.irg import idle_ratio_greedy, idle_ratio_greedy_arrays
-from repro.core.local_search import local_search, local_search_arrays
+from repro.core.local_search import SWEEP_MODES, local_search, local_search_arrays
 from repro.core.rates import RegionRates
 from repro.core.short_greedy import (
     shortest_total_time_greedy,
@@ -59,6 +59,12 @@ class QueueingPolicy(DispatchPolicy):
     name_suffix:
         Appended to the report name, e.g. ``"-P"`` / ``"-R"`` to mark
         predicted vs real demand, following the paper's labels.
+    ls_sweep:
+        Sweep mode of the array-native Local Search —
+        ``"speculative"`` (default, the batched sweep) or
+        ``"sequential"`` (the retained per-driver sweep).  Both are
+        bit-identical; the knob exists for benchmarking and as a
+        fallback.  Ignored by IRG/SHORT and by the scalar backend.
     """
 
     supports_tick_skipping = True  # no riders → no pairs → no-op batch
@@ -74,6 +80,7 @@ class QueueingPolicy(DispatchPolicy):
         name_suffix: str = "",
         ls_max_sweeps: int = 16,
         include_pickup: bool = True,
+        ls_sweep: str = "speculative",
     ):
         if algorithm not in _ALGORITHMS:
             raise ValueError(
@@ -82,7 +89,12 @@ class QueueingPolicy(DispatchPolicy):
         self.algorithm = algorithm
         self.beta = float(beta)
         self.max_drivers_per_rider = max_drivers_per_rider
+        if ls_sweep not in SWEEP_MODES:
+            raise ValueError(
+                f"unknown ls_sweep {ls_sweep!r}; expected one of {SWEEP_MODES}"
+            )
         self.ls_max_sweeps = int(ls_max_sweeps)
+        self.ls_sweep = ls_sweep
         #: Count the pickup deadhead in the priority keys (see
         #: repro.core.idle_ratio); False gives the paper-exact Eq. 17.
         self.include_pickup = bool(include_pickup)
@@ -141,6 +153,7 @@ class QueueingPolicy(DispatchPolicy):
                 *pair_args,
                 max_sweeps=self.ls_max_sweeps,
                 include_pickup=self.include_pickup,
+                sweep=self.ls_sweep,
             )
         return shortest_total_time_greedy_arrays(
             *pair_args, include_pickup=self.include_pickup

@@ -15,7 +15,13 @@ import os
 import subprocess
 from pathlib import Path
 
-__all__ = ["results_dir", "save_result", "append_bench_record"]
+__all__ = [
+    "results_dir",
+    "save_result",
+    "append_bench_record",
+    "load_bench_history",
+    "bench_trajectories",
+]
 
 _RESULTS_DIRNAME = "results"
 
@@ -99,3 +105,81 @@ def append_bench_record(filename: str, record: dict) -> Path:
     history.append(entry)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return path
+
+
+def load_bench_history(filename: str) -> list[dict]:
+    """Read one repo-root benchmark history; missing or invalid → ``[]``."""
+    path = _repo_root() / filename
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except ValueError:
+        return []
+    if isinstance(history, dict):  # legacy single-object file
+        return [history]
+    return [entry for entry in history if isinstance(entry, dict)]
+
+
+def _engine_headline(record: dict) -> tuple[str, float] | None:
+    scenario = record.get("scenario", {})
+    if scenario.get("benchmark") == "fleet_scaling":
+        growth = record.get("per_batch_growth")
+        return None if growth is None else ("scaling growth", float(growth))
+    policy = scenario.get("policy")
+    speedup = record.get("speedup")
+    if policy is None or speedup is None:
+        return None
+    label = f"{policy} ×"
+    if scenario.get("benchmark") == "ls_stress":
+        label = f"{policy} stress ×"
+    return label, float(speedup)
+
+
+def _serve_headline(record: dict) -> tuple[str, float] | None:
+    mode = record.get("scenario", {}).get("mode", "serve")
+    rps = record.get("requests_per_s")
+    return None if rps is None else (f"{mode} req/s", float(rps))
+
+
+def _simple_headline(label: str):
+    def extract(record: dict) -> tuple[str, float] | None:
+        value = record.get("speedup")
+        return None if value is None else (label, float(value))
+
+    return extract
+
+
+#: history file → (display name, headline extractor).  An extractor maps a
+#: record to one ``(column, value)`` cell, or ``None`` to skip the record.
+_BENCH_HISTORIES = {
+    "BENCH_engine.json": ("engine", _engine_headline),
+    "BENCH_roadnet.json": ("roadnet", _simple_headline("roadnet ×")),
+    "BENCH_serve.json": ("serve", _serve_headline),
+    "BENCH_sweep.json": ("sweep", _simple_headline("sweep ×")),
+}
+
+
+def bench_trajectories() -> dict[str, dict]:
+    """The per-PR headline trajectory of every benchmark history.
+
+    Returns ``{name: {"columns": [...], "rows": [{"pr": ..., <column>:
+    <value>, ...}]}}`` with PRs in first-appearance (history) order and one
+    row per PR label — when a PR appended several records to one cell (CI
+    re-runs), the latest wins.  This is the data behind ``repro bench``.
+    """
+    out: dict[str, dict] = {}
+    for filename, (name, extract) in _BENCH_HISTORIES.items():
+        columns: list[str] = []
+        rows: dict[str, dict] = {}
+        for record in load_bench_history(filename):
+            cell = extract(record)
+            if cell is None:
+                continue
+            column, value = cell
+            pr = str(record.get("pr", "local"))
+            if column not in columns:
+                columns.append(column)
+            rows.setdefault(pr, {"pr": pr})[column] = value
+        out[name] = {"columns": columns, "rows": list(rows.values())}
+    return out

@@ -7,11 +7,13 @@ grid cell is one queueing region.  Region ids are row-major integers in
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterator
 
 import numpy as np
 
 from repro.geo.bbox import BoundingBox
+from repro.geo.distance import EARTH_RADIUS_M
 from repro.geo.point import GeoPoint
 
 __all__ = ["GridPartition"]
@@ -108,12 +110,12 @@ class GridPartition:
         whole regions that no admissible pair can straddle (cached).
         """
         if self._cell_gap_m is None:
-            import math
-
-            from repro.geo.distance import EARTH_RADIUS_M
-
             extreme_lat = max(abs(self.bbox.min_lat), abs(self.bbox.max_lat))
             self._cos_floor = math.cos(math.radians(min(extreme_lat, 90.0)))
+            to_m = EARTH_RADIUS_M * math.pi / 180.0
+            # Degrees-to-metres scales for edge_gaps_m, hoisted out of its
+            # per-rider hot path.
+            self._deg_m = (to_m * self._cos_floor, to_m)
             self._cell_gap_m = (
                 EARTH_RADIUS_M * math.radians(self._cell_w) * self._cos_floor,
                 EARTH_RADIUS_M * math.radians(self._cell_h),
@@ -134,16 +136,12 @@ class GridPartition:
         point in any other cell, which is what lets candidate generation
         prune a reach disc's unreachable corner regions.
         """
-        import math
-
-        from repro.geo.distance import EARTH_RADIUS_M
-
-        self.cell_gap_m()  # ensure the cached cos floor exists
+        if self._cell_gap_m is None:
+            self.cell_gap_m()  # compute the cached degree-to-metre scales
+        lon_m, to_m = self._deg_m
         row, col = divmod(region_id, self.cols)
         lon_w = self.bbox.min_lon + col * self._cell_w
         lat_s = self.bbox.min_lat + row * self._cell_h
-        to_m = EARTH_RADIUS_M * math.pi / 180.0
-        lon_m = to_m * self._cos_floor
         return (
             max(0.0, (lon - lon_w) * lon_m),
             max(0.0, (lon_w + self._cell_w - lon) * lon_m),

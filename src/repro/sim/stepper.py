@@ -90,9 +90,13 @@ class SimConfig:
     the policy call on ticks with no waiting riders when the policy has
     opted in via ``supports_tick_skipping`` (disable to force the
     policy-every-tick behaviour of the reference loop).  ``profile_phases``
-    accumulates per-phase wall time (event drain / snapshot build / plan /
-    apply) into ``SimMetrics.phase_seconds`` — two extra clock reads per
-    tick when on, a single boolean test when off.  The accounting lives in
+    accumulates per-phase wall time (event drain / snapshot build /
+    plan-candidates / plan-policy / apply) into
+    ``SimMetrics.phase_seconds`` — two extra clock reads per tick when on,
+    a single boolean test when off.  The plan phase is split at the
+    candidate boundary: ``plan_candidates`` is the snapshot's own timing
+    of candidate-set builds, ``plan_policy`` the remaining ``plan_batch``
+    wall time (the matching algorithm proper).  The accounting lives in
     the stepper, so offline replays and serve-mode ticks are profiled
     identically.
     """
@@ -234,7 +238,13 @@ class SimulationStepper:
         self._seal_snapshots = not no_repositions
         self._profile = self.config.profile_phases
         if self._profile:
-            for phase in ("event_drain", "snapshot_build", "plan", "apply"):
+            for phase in (
+                "event_drain",
+                "snapshot_build",
+                "plan_candidates",
+                "plan_policy",
+                "apply",
+            ):
                 self.metrics.phase_seconds.setdefault(phase, 0.0)
         self._policy_skippable = (
             self.config.skip_empty_ticks
@@ -673,7 +683,12 @@ class SimulationStepper:
             )
         )
         if profile:
-            phase_seconds["plan"] += plan_seconds
+            # The snapshot timed its own candidate builds (cache misses
+            # inside `plan_batch`); the rest of the plan wall time is the
+            # matching algorithm proper.
+            cand_seconds = min(snapshot.candidate_seconds, plan_seconds)
+            phase_seconds["plan_candidates"] += cand_seconds
+            phase_seconds["plan_policy"] += plan_seconds - cand_seconds
             phase_seconds["apply"] += (
                 _time.perf_counter() - start - plan_seconds
             )

@@ -312,3 +312,61 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "total revenue" in out
         assert "served orders" in out
+
+
+class TestBenchCommand:
+    @staticmethod
+    def _seed_histories(tmp_path, monkeypatch):
+        import json
+
+        from repro.experiments import reporting
+
+        monkeypatch.setattr(reporting, "_repo_root", lambda: tmp_path)
+        (tmp_path / "BENCH_engine.json").write_text(json.dumps([
+            {"scenario": {"policy": "IRG-R"}, "speedup": 3.5, "pr": "PR1"},
+            {"scenario": {"policy": "LS-R"}, "speedup": 3.0, "pr": "PR1"},
+            {"scenario": {"policy": "LS-R"}, "speedup": 3.2, "pr": "PR1"},
+            {
+                "scenario": {"benchmark": "fleet_scaling", "policy": "NEAR"},
+                "per_batch_growth": 2.1,
+                "pr": "PR2",
+            },
+            {
+                "scenario": {"benchmark": "ls_stress", "policy": "LS-R"},
+                "speedup": 6.0,
+                "pr": "PR2",
+            },
+        ]))
+        (tmp_path / "BENCH_sweep.json").write_text(json.dumps([
+            {"scenario": {}, "speedup": 1.2, "pr": "PR2"},
+        ]))
+
+    def test_tables_cover_every_history(self, tmp_path, monkeypatch, capsys):
+        self._seed_histories(tmp_path, monkeypatch)
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "engine (BENCH_engine.json, 2 PRs)" in out
+        assert "IRG-R ×" in out and "LS-R ×" in out
+        assert "scaling growth" in out and "LS-R stress ×" in out
+        assert "sweep (BENCH_sweep.json, 1 PRs)" in out
+        # Absent histories are simply omitted, not an error.
+        assert "roadnet" not in out and "serve" not in out
+
+    def test_latest_record_wins_within_a_pr(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        self._seed_histories(tmp_path, monkeypatch)
+        assert main(["bench", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        engine = {row["pr"]: row for row in data["engine"]["rows"]}
+        assert engine["PR1"]["LS-R ×"] == 3.2  # two PR1 LS-R records
+        assert engine["PR2"]["scaling growth"] == 2.1
+        assert engine["PR2"]["LS-R stress ×"] == 6.0
+        assert data["roadnet"]["rows"] == []
+
+    def test_empty_histories_print_hint(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import reporting
+
+        monkeypatch.setattr(reporting, "_repo_root", lambda: tmp_path)
+        assert main(["bench"]) == 0
+        assert "no benchmark histories" in capsys.readouterr().out

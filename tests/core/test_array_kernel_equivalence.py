@@ -12,6 +12,7 @@ so tie-breaking order is exercised, not just the generic case.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -95,26 +96,62 @@ def assert_pairs_identical(scalar, arrays):
         assert a.predicted_idle_s == b.predicted_idle_s  # exact, not approx
 
 
+#: Tiny caps force the cap-hit path; 16 lets tie cycles terminate via the
+#: revisit detector.  Both flow through `converged`, which must agree.
+SWEEP_CAPS = st.sampled_from((1, 2, 16))
+
+
+@pytest.mark.parametrize("sweep", ["speculative", "sequential"])
 @settings(max_examples=120, deadline=None)
-@given(batches())
-def test_local_search_arrays_equivalent(batch):
+@given(batches(), SWEEP_CAPS)
+def test_local_search_arrays_equivalent(sweep, batch, max_sweeps):
     riders, drivers, pairs, rates_args, include_pickup = batch
     scalar = local_search(
         riders, drivers, pairs, RegionRates(**rates_args),
-        max_sweeps=16, include_pickup=include_pickup,
+        max_sweeps=max_sweeps, include_pickup=include_pickup,
     )
     rates_arr = RegionRates(**rates_args)
     arrays = local_search_arrays(
         *_flatten(riders, pairs), rates_arr,
-        max_sweeps=16, include_pickup=include_pickup,
+        max_sweeps=max_sweeps, include_pickup=include_pickup, sweep=sweep,
     )
     assert_pairs_identical(scalar, arrays)
     assert scalar.converged == arrays.converged
 
 
 @settings(max_examples=120, deadline=None)
+@given(batches(), SWEEP_CAPS)
+def test_speculative_and_sequential_sweeps_identical(batch, max_sweeps):
+    """The triple pin, arrays side: the speculative batch sweep must track
+    the sequential per-driver sweep exactly — pairs, ``converged``, and the
+    mutated end state of ``rates`` (the policy reads ET off it afterwards).
+    Together with the scalar-vs-arrays tests this closes the
+    speculative ≡ sequential ≡ scalar triangle."""
+    riders, drivers, pairs, rates_args, include_pickup = batch
+    flat = _flatten(riders, pairs)
+    rates_seq = RegionRates(**rates_args)
+    sequential = local_search_arrays(
+        *flat, rates_seq,
+        max_sweeps=max_sweeps, include_pickup=include_pickup,
+        sweep="sequential",
+    )
+    rates_spec = RegionRates(**rates_args)
+    speculative = local_search_arrays(
+        *flat, rates_spec,
+        max_sweeps=max_sweeps, include_pickup=include_pickup,
+        sweep="speculative",
+    )
+    assert_pairs_identical(sequential, speculative)
+    assert sequential.converged == speculative.converged
+    for k in range(len(rates_args["waiting_riders"])):
+        assert rates_seq.version(k) == rates_spec.version(k)
+        assert rates_seq.expected_idle_time(k) == rates_spec.expected_idle_time(k)
+
+
+@pytest.mark.parametrize("sweep", ["speculative", "sequential"])
+@settings(max_examples=120, deadline=None)
 @given(batches())
-def test_local_search_arrays_equivalent_with_initial(batch):
+def test_local_search_arrays_equivalent_with_initial(sweep, batch):
     """Seeding both paths from the same explicit assignment (Alg. 3's
     ``initial`` contract: rates already reflect it)."""
     riders, drivers, pairs, rates_args, include_pickup = batch
@@ -146,7 +183,7 @@ def test_local_search_arrays_equivalent_with_initial(batch):
     rates_a = RegionRates(**rates_args)
     arrays = local_search_arrays(
         *_flatten(riders, pairs), rates_a, initial=greedy_initial(rates_a),
-        max_sweeps=16, include_pickup=include_pickup,
+        max_sweeps=16, include_pickup=include_pickup, sweep=sweep,
     )
     assert_pairs_identical(scalar, arrays)
     assert scalar.converged == arrays.converged
@@ -184,7 +221,8 @@ def test_irg_arrays_equivalent(batch):
     assert_pairs_identical(scalar, arrays)
 
 
-def test_final_rates_mutations_identical():
+@pytest.mark.parametrize("sweep", ["speculative", "sequential"])
+def test_final_rates_mutations_identical(sweep):
     """Both LS paths leave `rates` itself in the same state (the policy
     reads ET off the mutated rates after the batch)."""
     rng = np.random.default_rng(5)
@@ -206,7 +244,9 @@ def test_final_rates_mutations_identical():
     rates_s = RegionRates(**args)
     local_search(riders, drivers, pairs, rates_s, max_sweeps=16)
     rates_a = RegionRates(**args)
-    local_search_arrays(*_flatten(riders, pairs), rates_a, max_sweeps=16)
+    local_search_arrays(
+        *_flatten(riders, pairs), rates_a, max_sweeps=16, sweep=sweep
+    )
     for k in range(3):
         assert rates_s.mu(k) == rates_a.mu(k)
         assert rates_s.version(k) == rates_a.version(k)

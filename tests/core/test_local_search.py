@@ -180,7 +180,8 @@ class TestConvergenceReporting:
         assert not caplog.records
         assert out[0].rider == 1
 
-    def test_array_path_reports_cap_hit_identically(self, caplog):
+    @pytest.mark.parametrize("sweep", ["speculative", "sequential"])
+    def test_array_path_reports_cap_hit_identically(self, sweep, caplog):
         import numpy as np
 
         from repro.core.local_search import local_search_arrays
@@ -191,10 +192,24 @@ class TestConvergenceReporting:
                 np.array([0, 1]), np.array([0, 0]),
                 np.array([120.0, 900.0]), np.array([5.0, 5.0]),
                 np.array([1, 0]), rates, initial=initial, max_sweeps=1,
+                sweep=sweep,
             )
         assert out.converged is False
         assert any("max_sweeps" in r.message for r in caplog.records)
         assert out[0].rider == 1
+
+    def test_array_path_rejects_unknown_sweep_mode(self):
+        import numpy as np
+
+        from repro.core.local_search import local_search_arrays
+
+        riders, drivers, pairs, rates, initial = self.improving_batch()
+        with pytest.raises(ValueError, match="sweep mode"):
+            local_search_arrays(
+                np.array([0, 1]), np.array([0, 0]),
+                np.array([120.0, 900.0]), np.array([5.0, 5.0]),
+                np.array([1, 0]), rates, sweep="parallel",
+            )
 
 
 class TestTieCycleTermination:
@@ -245,7 +260,8 @@ class TestTieCycleTermination:
         assert all((p.rider, p.driver) in valid for p in out)
 
     @pytest.mark.parametrize("seed", [13, 22, 34, 35, 37])
-    def test_array_path_detects_same_cycle(self, seed):
+    @pytest.mark.parametrize("sweep", ["speculative", "sequential"])
+    def test_array_path_detects_same_cycle(self, seed, sweep):
         import numpy as np
 
         from repro.core.local_search import local_search_arrays
@@ -263,6 +279,7 @@ class TestTieCycleTermination:
             np.array([rider_by_index[p.rider].destination_region for p in pairs]),
             fresh_rates(pred_r, pred_d),
             max_sweeps=256,
+            sweep=sweep,
         )
         assert out_arrays.converged is True
         assert out_scalar.converged is True

@@ -1,0 +1,191 @@
+"""Unit tests of the shared CSR segment-reduction kernels.
+
+These kernels carry the bit-identity of the speculative LS sweep, so the
+edge cases are pinned explicitly: empty segments, single-element segments,
+all-``inf`` values (a fully masked slice), and first-occurrence
+tie-breaking exactly matching ``np.argmin`` per segment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rates import RegionRates
+from repro.core.segtools import (
+    csr_from_labels,
+    masked_fill,
+    region_et_tables,
+    segment_min,
+    segment_min_argmin,
+)
+
+
+class TestCsrFromLabels:
+    def test_groups_positions_stably(self):
+        labels = np.array([2, 0, 2, 1, 0, 2])
+        order, indptr, pos_within = csr_from_labels(labels, 3)
+        assert indptr.tolist() == [0, 2, 3, 6]
+        # Stable: original enumeration order survives within each segment.
+        assert order.tolist() == [1, 4, 3, 0, 2, 5]
+        # pos_within inverts the CSR: order[indptr[l] + pos_within[t]] == t.
+        for t, label in enumerate(labels.tolist()):
+            assert order[indptr[label] + pos_within[t]] == t
+
+    def test_empty_segments_are_zero_width(self):
+        order, indptr, _ = csr_from_labels(np.array([3, 3, 0]), 5)
+        assert indptr.tolist() == [0, 1, 1, 1, 3, 3]
+        assert order.tolist() == [2, 0, 1]
+
+    def test_no_labels_at_all(self):
+        order, indptr, pos_within = csr_from_labels(
+            np.empty(0, dtype=np.int64), 4
+        )
+        assert order.size == 0 and pos_within.size == 0
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+
+
+class TestSegmentMin:
+    def test_reduces_each_slice(self):
+        values = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        indptr = np.array([0, 2, 2, 5])
+        mins = segment_min(values, indptr)
+        assert mins.tolist() == [1.0, np.inf, 2.0]
+
+    def test_single_element_segments(self):
+        values = np.array([7.0, -1.0, 0.0])
+        indptr = np.array([0, 1, 2, 3])
+        assert segment_min(values, indptr).tolist() == [7.0, -1.0, 0.0]
+
+    def test_all_segments_empty(self):
+        mins = segment_min(np.empty(0), np.array([0, 0, 0]), fill=9.0)
+        assert mins.tolist() == [9.0, 9.0]
+
+    def test_custom_fill(self):
+        mins = segment_min(np.array([2.0]), np.array([0, 0, 1]), fill=-1.0)
+        assert mins.tolist() == [-1.0, 2.0]
+
+    def test_trailing_empty_segment_not_polluted_by_clamp(self):
+        # The reduceat clamp evaluates empty segments at the last element;
+        # their bogus result must be overwritten with the fill.
+        values = np.array([5.0, -3.0])
+        indptr = np.array([0, 2, 2])
+        assert segment_min(values, indptr).tolist() == [-3.0, np.inf]
+
+
+class TestSegmentMinArgmin:
+    def test_matches_per_segment_argmin(self):
+        values = np.array([3.0, 1.0, 1.0, 5.0, 4.0, 4.0])
+        indptr = np.array([0, 3, 6])
+        mins, argmins = segment_min_argmin(values, indptr)
+        assert mins.tolist() == [1.0, 4.0]
+        # First occurrence on ties, as absolute indices.
+        assert argmins.tolist() == [1, 4]
+
+    def test_empty_segment_returns_minus_one(self):
+        values = np.array([2.0, 0.5])
+        indptr = np.array([0, 0, 2, 2])
+        mins, argmins = segment_min_argmin(values, indptr)
+        assert mins.tolist() == [np.inf, 0.5, np.inf]
+        assert argmins.tolist() == [-1, 1, -1]
+
+    def test_all_inf_segment_first_element_wins(self):
+        # A fully masked slice still proposes its first element — exactly
+        # what np.argmin does on an all-inf array.
+        values = np.array([np.inf, np.inf, 1.0])
+        indptr = np.array([0, 2, 3])
+        mins, argmins = segment_min_argmin(values, indptr)
+        assert mins.tolist() == [np.inf, 1.0]
+        assert argmins.tolist() == [0, 2]
+
+    def test_no_values_at_all(self):
+        mins, argmins = segment_min_argmin(np.empty(0), np.array([0, 0]))
+        assert mins.tolist() == [np.inf]
+        assert argmins.tolist() == [-1]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            # Heavy collisions (few distinct values, inf included) so the
+            # tie-break equality path is the norm, not the exception.
+            st.sampled_from((0.0, 1.0, 1.0, 2.0, float("inf"))),
+            max_size=24,
+        ),
+        st.integers(1, 6),
+    )
+    def test_equals_np_argmin_on_random_segments(self, values, num_segments):
+        values = np.asarray(values, dtype=float)
+        bounds = sorted(
+            (len(values) * (i + 1)) // (num_segments + 1)
+            for i in range(num_segments)
+        )
+        indptr = np.array([0, *bounds, len(values)], dtype=np.int64)
+        mins, argmins = segment_min_argmin(values, indptr)
+        for s in range(len(indptr) - 1):
+            seg = values[indptr[s] : indptr[s + 1]]
+            if seg.size == 0:
+                assert mins[s] == np.inf and argmins[s] == -1
+            else:
+                assert mins[s] == seg.min()
+                assert argmins[s] == indptr[s] + int(np.argmin(seg))
+
+
+class TestMaskedFill:
+    def test_masks_without_mutating(self):
+        values = np.array([1.0, 2.0, 3.0])
+        out = masked_fill(values, np.array([False, True, False]))
+        assert out.tolist() == [1.0, np.inf, 3.0]
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_custom_fill_and_empty(self):
+        assert masked_fill(
+            np.array([4.0]), np.array([True]), fill=0.0
+        ).tolist() == [0.0]
+        assert masked_fill(
+            np.empty(0), np.empty(0, dtype=bool)
+        ).size == 0
+
+
+class TestRegionEtTables:
+    @staticmethod
+    def _rates():
+        return RegionRates(
+            waiting_riders=[2, 0, 1],
+            available_drivers=[0, 1, 0],
+            predicted_riders=[4.0, 0.5, 8.0],
+            predicted_drivers=[1.0, 2.0, 0.0],
+            tc_seconds=1200.0,
+            beta=0.05,
+        )
+
+    def test_covers_exactly_the_regions_in_play(self):
+        rates = self._rates()
+        dest = np.array([2, 0, 2, 0])
+        et = region_et_tables(dest, rates)
+        assert et.shape == (3,)
+        assert et[0] == rates.expected_idle_time(0)
+        assert et[2] == rates.expected_idle_time(2)
+
+    def test_versions_track_rates(self):
+        rates = self._rates()
+        rates.on_assignment(1)
+        et, versions = region_et_tables(
+            np.array([1, 1]), rates, with_versions=True
+        )
+        assert et[1] == rates.expected_idle_time(1)
+        assert versions[1] == rates.version(1)
+
+    def test_matches_all_policy_prologues(self):
+        # The three array policies share this prologue; pin the contract
+        # they rely on: one evaluation per distinct destination.
+        rates = self._rates()
+        calls = []
+        original = rates.expected_idle_time
+
+        def counting(region):
+            calls.append(region)
+            return original(region)
+
+        rates.expected_idle_time = counting
+        region_et_tables(np.array([0, 2, 0, 2, 2]), rates)
+        assert sorted(calls) == [0, 2]

@@ -135,7 +135,8 @@ def test_status_and_request_lifecycle_over_http():
         # The stepper profiles serve-mode ticks; /status surfaces it.
         _, body = _get(host, port, "/status")
         assert set(body["phase_seconds"]) >= {
-            "event_drain", "snapshot_build", "plan", "apply",
+            "event_drain", "snapshot_build", "plan_candidates",
+            "plan_policy", "apply",
         }
         assert body["ticks"] >= 1
         assert body["served_orders"] == 1

@@ -285,10 +285,13 @@ class TestStepperContract:
         """Serve-mode ticks profile exactly like offline replays."""
         stepper, _ = make_stepper(profile_phases=True)
         assert set(stepper.metrics.phase_seconds) == {
-            "event_drain", "snapshot_build", "plan", "apply",
+            "event_drain", "snapshot_build", "plan_candidates",
+            "plan_policy", "apply",
         }
         stepper.ingest([make_rider(0, 0.0), make_rider(1, 3.0)])
         stepper.advance_to(30.0)
         phases = stepper.metrics.phase_seconds
         assert all(v >= 0.0 for v in phases.values())
-        assert phases["plan"] > 0.0  # at least one planned (unskipped) tick
+        # At least one planned (unskipped) tick; the policy side of the
+        # plan split always accrues wall time on such a tick.
+        assert phases["plan_policy"] > 0.0
